@@ -1,0 +1,90 @@
+// Ablation A2: CELIA's exhaustive sweep vs heuristic configuration search.
+//
+// The paper's Algorithm 1 explores the entire space, "guaranteeing to find
+// all optimal configurations". This ablation quantifies the trade-off: how
+// close (and how much cheaper in evaluations) are random sampling, greedy
+// construction, and hill climbing?
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/baselines.hpp"
+#include "core/celia.hpp"
+#include "util/format.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+
+  cloud::CloudProvider provider(2017);
+  const core::Celia celia =
+      core::Celia::build(*apps::make_galaxy(), provider);
+  const auto& space = celia.space();
+  const auto& capacity = celia.capacity();
+
+  std::cout << "=== Ablation A2: Exhaustive Search vs Heuristics ===\n"
+            << "task: min-cost configuration for galaxy(65536, 8000),"
+            << " T' = 24h, C' = $350\n\n";
+
+  core::Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.budget_dollars = 350.0;
+  const double demand = celia.predict_demand({65536, 8000});
+
+  struct Entry {
+    std::string name;
+    core::SearchOutcome outcome;
+    double seconds;
+  };
+  std::vector<Entry> entries;
+
+  util::Stopwatch watch;
+  entries.push_back({"exhaustive (CELIA)",
+                     core::exhaustive_search(space, capacity, demand,
+                                             constraints),
+                     watch.elapsed_seconds()});
+  watch.reset();
+  entries.push_back({"greedy cost",
+                     core::greedy_cost_search(space, capacity, demand,
+                                              constraints),
+                     watch.elapsed_seconds()});
+  watch.reset();
+  entries.push_back({"random (10k samples)",
+                     core::random_search(space, capacity, demand, constraints,
+                                         10000, 1),
+                     watch.elapsed_seconds()});
+  watch.reset();
+  entries.push_back({"random (100k samples)",
+                     core::random_search(space, capacity, demand, constraints,
+                                         100000, 2),
+                     watch.elapsed_seconds()});
+  watch.reset();
+  entries.push_back({"hill climb (5 restarts)",
+                     core::hill_climb_search(space, capacity, demand,
+                                             constraints, 5, 3),
+                     watch.elapsed_seconds()});
+
+  const double optimal = entries[0].outcome.best.cost;
+  util::TablePrinter table({"Searcher", "found", "cost ($)",
+                            "optimality gap", "evaluations", "time (ms)"});
+  for (std::size_t c = 2; c < 6; ++c) table.set_right_aligned(c);
+  for (const auto& entry : entries) {
+    table.add_row(
+        {entry.name, entry.outcome.found ? "yes" : "no",
+         entry.outcome.found ? util::format_fixed(entry.outcome.best.cost, 2)
+                             : "-",
+         entry.outcome.found
+             ? util::format_percent(entry.outcome.best.cost / optimal - 1.0)
+             : "-",
+         util::format_with_commas(entry.outcome.evaluations),
+         util::format_fixed(entry.seconds * 1e3, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the exhaustive sweep is cheap enough (parallel, "
+            << "incremental-odometer\nevaluation) that its optimality "
+            << "guarantee costs little; heuristics need\norders of magnitude "
+            << "fewer evaluations but can miss the optimum.\n";
+  return 0;
+}

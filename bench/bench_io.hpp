@@ -1,0 +1,58 @@
+#pragma once
+// Shared helper for the figure-reproduction benches: optional
+// machine-readable output. When the environment variable CELIA_CSV_DIR is
+// set to a directory, each bench writes its series there as
+// <dir>/<name>.csv alongside the human-readable stdout.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace celia::benchio {
+
+/// An optional CSV sink: no-op when CELIA_CSV_DIR is unset.
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& name) {
+    const char* dir = std::getenv("CELIA_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    file_ = std::make_unique<std::ofstream>(path);
+    if (!*file_) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      file_.reset();
+      return;
+    }
+    path_ = path;
+    writer_ = std::make_unique<util::CsvWriter>(*file_);
+  }
+
+  bool enabled() const { return writer_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void header(const std::vector<std::string>& columns) {
+    if (writer_) writer_->header(columns);
+  }
+  void row(const std::vector<std::string>& fields) {
+    if (writer_) writer_->row(fields);
+  }
+  void row_values(const std::vector<double>& fields) {
+    if (writer_) writer_->row_values(fields);
+  }
+
+  /// Announce the file on stdout (call once at the end).
+  void announce() const {
+    if (enabled()) std::cout << "[csv written to " << path_ << "]\n";
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::unique_ptr<util::CsvWriter> writer_;
+  std::string path_;
+};
+
+}  // namespace celia::benchio

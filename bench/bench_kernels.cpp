@@ -1,0 +1,87 @@
+// Microbenchmark M3: throughput of the elastic-application kernels (the
+// instrumented compute the whole measurement methodology rests on).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/galaxy/nbody.hpp"
+#include "apps/sand/align.hpp"
+#include "apps/sand/sequence.hpp"
+#include "apps/x264/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia;
+
+void BM_X264EncodeBlock(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  const apps::x264::Block block = apps::x264::make_block(rng);
+  const apps::x264::Block reference = apps::x264::make_block(rng);
+  const int f = static_cast<int>(state.range(0));
+  hw::PerfCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::x264::encode_block(block, reference, f, counter));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_X264EncodeBlock)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_X264MotionSearch(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  const apps::x264::Block block = apps::x264::make_block(rng);
+  const apps::x264::Block reference = apps::x264::make_block(rng);
+  hw::PerfCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::x264::motion_search(block, reference, counter));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          apps::x264::kMotionCandidates * 64);
+}
+BENCHMARK(BM_X264MotionSearch);
+
+void BM_GalaxyForceStep(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  apps::galaxy::Bodies bodies =
+      apps::galaxy::make_plummer(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  hw::PerfCounter counter;
+  for (auto _ : state) {
+    apps::galaxy::leapfrog_step(bodies, counter);
+    benchmark::DoNotOptimize(bodies.ax[0]);
+  }
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  state.SetItemsProcessed(state.iterations() * n * (n - 1));
+}
+BENCHMARK(BM_GalaxyForceStep)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SandBandedAlign(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const apps::sand::Sequence a = apps::sand::make_sequence(2000, rng);
+  const apps::sand::Sequence b = apps::sand::make_sequence(2000, rng);
+  const int band = static_cast<int>(state.range(0));
+  hw::PerfCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::sand::banded_align(a, b, band, counter));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * band);
+}
+BENCHMARK(BM_SandBandedAlign)->Arg(6)->Arg(12)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SandKmerScan(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  const apps::sand::Sequence read = apps::sand::make_sequence(2000, rng);
+  hw::PerfCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::sand::kmer_scan(read, counter));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SandKmerScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

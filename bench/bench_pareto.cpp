@@ -1,0 +1,55 @@
+// Microbenchmark M2: Pareto-filter algorithms on point sets up to the
+// millions-of-feasible-configurations scale of Figure 4.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+std::vector<CostTimePoint> random_points(std::size_t n, std::uint64_t seed) {
+  celia::util::Xoshiro256 rng(seed);
+  std::vector<CostTimePoint> points;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Anti-correlated cloud-like cloud of points.
+    const double time = rng.uniform(1.0, 24.0);
+    const double cost = 400.0 / time * rng.uniform(0.5, 2.0);
+    points.push_back({i, time * 3600.0, cost});
+  }
+  return points;
+}
+
+void BM_ParetoFilter(benchmark::State& state) {
+  const auto points =
+      random_points(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto copy = points;
+    benchmark::DoNotOptimize(pareto_filter(std::move(copy)).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ParetoFilter)->Range(1 << 10, 1 << 21)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EpsilonNondominated(benchmark::State& state) {
+  const auto points =
+      random_points(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto copy = points;
+    benchmark::DoNotOptimize(
+        epsilon_nondominated(std::move(copy), 600.0, 2.0).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EpsilonNondominated)->Range(1 << 10, 1 << 21)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Extension E1: CELIA's ahead-of-time optimal configuration vs reactive
+// autoscaling (the approach of Mao et al., paper §II, which CELIA is
+// "complementary to").
+//
+// Task: run galaxy(65536, s) within a deadline. CELIA picks the min-cost
+// static configuration by exhaustive search; the autoscaler starts with
+// one instance of the most cost-efficient type and reacts every 5 minutes.
+// The autoscaler pays for what CELIA avoids: boot delays, trial-and-error
+// fleet sizes, and end-of-run overcapacity.
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/autoscaler.hpp"
+#include "cloud/provider.hpp"
+#include "core/celia.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+
+  cloud::CloudProvider provider(2017);
+  const auto app = apps::make_galaxy();
+  const core::Celia celia = core::Celia::build(*app, provider);
+
+  std::cout << "=== Extension E1: CELIA (static optimal) vs Reactive "
+               "Autoscaling ===\n"
+            << "workload: galaxy(65536, s), varying accuracy s and "
+               "deadline\n\n";
+
+  util::TablePrinter table({"s", "deadline (h)", "CELIA cost",
+                            "CELIA config", "autoscaler cost", "peak fleet",
+                            "met deadline", "overhead"});
+  for (std::size_t c : {2u, 4u, 7u}) table.set_right_aligned(c);
+
+  for (const double s : {2000.0, 4000.0, 8000.0}) {
+    for (const double deadline_hours : {24.0, 48.0}) {
+      const apps::AppParams params{65536, s};
+      const auto best = celia.min_cost_configuration(params, deadline_hours);
+      const double demand = celia.predict_demand(params);
+
+      cloud::AutoscalerPolicy policy;
+      // The autoscaler also gets to pick the most cost-efficient type.
+      std::size_t best_type = 0;
+      for (std::size_t i = 0; i < cloud::catalog_size(); ++i) {
+        if (celia.capacity().normalized_performance(i) >
+            celia.capacity().normalized_performance(best_type))
+          best_type = i;
+      }
+      policy.type_index = best_type;
+      policy.max_instances = 30;
+      cloud::CloudProvider scaler_provider(2017 + static_cast<int>(s));
+      const auto scaled = cloud::run_autoscaled(
+          scaler_provider, app->workload_class(), demand,
+          deadline_hours * 3600.0, policy);
+
+      const double overhead =
+          best ? scaled.cost / best->cost - 1.0 : 0.0;
+      table.add_row(
+          {util::format_si(s, 0), util::format_fixed(deadline_hours, 0),
+           best ? util::format_money(best->cost) : "infeasible",
+           best ? core::to_string(celia.space().decode(best->config_index))
+                : "-",
+           util::format_money(scaled.cost),
+           std::to_string(scaled.peak_instances),
+           scaled.met_deadline ? "yes" : "no",
+           best ? (overhead >= 0 ? "+" : "") + util::format_percent(overhead)
+                : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: on perfectly divisible work a reactive controller "
+         "converges to a\ncompetitive fleet (its instances even enjoy turbo "
+         "headroom), but it cannot\npromise the deadline before starting, "
+         "needs a homogeneous scaling group,\nand pays boot/overshoot "
+         "overhead at tight deadlines — CELIA's exhaustive\nstatic plan "
+         "gives the same cost WITH an a-priori feasibility guarantee\nand "
+         "heterogeneous (category-spilling) configurations. The approaches\n"
+         "are complementary, as the paper argues (§II).\n";
+  return 0;
+}

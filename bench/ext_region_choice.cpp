@@ -1,0 +1,87 @@
+// Extension E4: which region should the job run in?
+//
+// The paper prices everything in us-west-2. Real EC2 tariffs differ per
+// region, and the input data has gravity: moving it costs an egress fee
+// and staging time out of the deadline. This bench sweeps data sizes for
+// the x264 batch (whose input — the raw clips — is large) and shows the
+// crossover: small inputs chase cheap tariffs, large inputs stay home.
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/region.hpp"
+#include "core/celia.hpp"
+#include "core/region_planner.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+
+  cloud::CloudProvider provider(2017);
+  const auto app = apps::make_x264();
+  const core::Celia celia = core::Celia::build(*app, provider);
+
+  std::cout << "=== Extension E4: Cross-region Planning ===\n\n";
+
+  // A compute-heavy, data-light job first: the n-body simulation's input
+  // is a few megabytes of initial conditions, so the cheapest tariff wins.
+  {
+    cloud::CloudProvider galaxy_provider(2017);
+    const auto galaxy = apps::make_galaxy();
+    const core::Celia galaxy_celia =
+        core::Celia::build(*galaxy, galaxy_provider);
+    const auto best =
+        core::best_region_plan(galaxy_celia, {65536, 8000}, 24.0, 0.01);
+    std::cout << "galaxy(65536, 8000), ~10 MB input: best region is "
+              << (best ? cloud::region_catalog()[best->region_index].name
+                       : "none")
+              << (best ? " at " + util::format_money(best->total_cost())
+                       : "")
+              << " — compute-heavy jobs chase the cheapest tariff.\n\n";
+  }
+
+  std::cout << "workload: x264(n clips, f = 20), 24 h deadline; input data "
+               "= n x 75 MB\nstored in us-west-2 (the paper's region)\n\n";
+
+  for (const double n : {2000.0, 8000.0, 32000.0}) {
+    const apps::AppParams params{n, 20};
+    const double input_gb = n * 0.075;  // 75 MB per clip
+    std::cout << "--- " << util::format_si(n, 0) << " clips ("
+              << util::format_fixed(input_gb, 0) << " GB input) ---\n";
+    util::TablePrinter table({"region", "staging", "egress fee",
+                              "compute cost", "total", "feasible"});
+    for (std::size_t c = 1; c < 5; ++c) table.set_right_aligned(c);
+
+    const auto plans = core::plan_across_regions(celia, params, 24.0,
+                                                 input_gb);
+    const auto best = core::best_region_plan(celia, params, 24.0, input_gb);
+    for (const auto& plan : plans) {
+      const auto& region = cloud::region_catalog()[plan.region_index];
+      std::string name = std::string(region.name);
+      if (best && plan.feasible &&
+          plan.region_index == best->region_index &&
+          plan.total_cost() == best->total_cost()) {
+        name += "  <== best";
+      }
+      table.add_row(
+          {name,
+           plan.staging_seconds > 0
+               ? util::format_duration(plan.staging_seconds)
+               : "-",
+           util::format_money(plan.transfer_cost),
+           plan.feasible ? util::format_money(plan.compute_cost) : "-",
+           plan.feasible ? util::format_money(plan.total_cost()) : "-",
+           plan.feasible ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "reading: cheap-tariff regions win only while the egress fee "
+               "and staging\ntime stay small relative to the compute bill — "
+               "data gravity pins large\ninputs to their home region, "
+               "which retroactively justifies the paper's\nsingle-region "
+               "evaluation for data-heavy elastic applications.\n";
+  return 0;
+}

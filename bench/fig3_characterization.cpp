@@ -1,0 +1,80 @@
+// Reproduces paper Table III (the EC2 catalog) and Figure 3 (cloud
+// resource characterization): normalized performance — billions of
+// instructions per second per dollar — for each application on each of the
+// nine resource types.
+//
+// Paper reference: c4 types have ~2x and m4 types ~1.5x the normalized
+// performance of r3 types, uniformly across types within a category;
+// galaxy on c4 is ~26 B instr/s/$.
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/instance_type.hpp"
+#include "cloud/provider.hpp"
+#include "core/capacity.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+
+  // Table III.
+  util::TablePrinter table3({"Type", "vCPUs", "Frequency (GHz)",
+                             "Memory (GB)", "Storage (GB)", "Cost ($)"});
+  for (std::size_t c = 1; c < 6; ++c) table3.set_right_aligned(c);
+  for (const auto& type : cloud::ec2_catalog()) {
+    table3.add_row({std::string(type.name), std::to_string(type.vcpus),
+                    util::format_fixed(type.frequency_ghz, 1),
+                    util::format_fixed(type.memory_gb, type.memory_gb ==
+                        static_cast<int>(type.memory_gb) ? 0 : 2),
+                    std::string(type.storage),
+                    util::format_fixed(type.cost_per_hour, 3)});
+  }
+  std::cout << "=== Table III: Amazon EC2 Cloud Resource Types ===\n";
+  table3.print(std::cout);
+
+  // Figure 3: normalized performance per app per type.
+  std::cout << "\n=== Figure 3: Cloud Resource Characterization ===\n"
+            << "normalized performance (billion instructions / second / $)\n\n";
+
+  util::TablePrinter fig3({"Type", "x264", "galaxy", "sand"});
+  for (std::size_t c = 1; c < 4; ++c) fig3.set_right_aligned(c);
+
+  std::vector<core::ResourceCapacity> capacities;
+  for (const auto& app : apps::all_apps()) {
+    cloud::CloudProvider provider(2017);
+    capacities.push_back(core::characterize_capacity(*app, provider));
+  }
+  for (std::size_t i = 0; i < cloud::catalog_size(); ++i) {
+    fig3.add_row(
+        {std::string(cloud::ec2_catalog()[i].name),
+         util::format_fixed(capacities[0].normalized_performance(i) / 1e9, 2),
+         util::format_fixed(capacities[1].normalized_performance(i) / 1e9, 2),
+         util::format_fixed(capacities[2].normalized_performance(i) / 1e9, 2)});
+  }
+  fig3.print(std::cout);
+
+  // Category ratios (the paper's §IV-C argument).
+  std::cout << "\ncategory ratios (normalized performance, averaged over the"
+            << " three types of each category):\n";
+  const char* app_names[] = {"x264", "galaxy", "sand"};
+  for (std::size_t a = 0; a < capacities.size(); ++a) {
+    auto mean_cat = [&](std::size_t base) {
+      return (capacities[a].normalized_performance(base) +
+              capacities[a].normalized_performance(base + 1) +
+              capacities[a].normalized_performance(base + 2)) /
+             3.0;
+    };
+    const double c4 = mean_cat(0), m4 = mean_cat(3), r3 = mean_cat(6);
+    std::cout << "  " << app_names[a]
+              << ": c4/r3 = " << util::format_fixed(c4 / r3, 2)
+              << " (paper ~2.0), m4/r3 = " << util::format_fixed(m4 / r3, 2)
+              << " (paper ~1.5)\n";
+  }
+  std::cout << "\ngalaxy on c4.large: "
+            << util::format_fixed(
+                   capacities[1].normalized_performance(0) / 1e9, 2)
+            << " B instr/s/$ (paper: 26.27)\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Figure 5 (effect of scaling PROBLEM SIZE on cost) and
+// the §IV-E.3 deadline-tightening analysis (Observation 3).
+//
+// Fixed accuracy, scaled problem size, minimum feasible cost per deadline
+// in {6, 12, 24, 48, 72} hours:
+//   (a) galaxy, s = 1000, n in {32768 .. 262144} — quadratic cost growth;
+//   (b) sand, t = 0.32, n in {1024M .. 8192M}    — linear cost growth.
+//
+// Paper reference for Observation 3: tightening galaxy(262144, 1000) from
+// 72 h to 24 h (deadline -67%) raises cost by only ~40%; tightening
+// sand(8192M, 0.32) from 48 h to 24 h (-50%) raises cost by ~25%.
+
+#include <iostream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_io.hpp"
+#include "cloud/provider.hpp"
+#include "core/analysis.hpp"
+#include "core/celia.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace celia;
+
+const std::vector<double> kDeadlines = {6, 12, 24, 48, 72};
+
+benchio::CsvSink& csv() {
+  static benchio::CsvSink sink("fig5_problem_scaling");
+  static bool initialized = false;
+  if (!initialized) {
+    sink.header({"panel", "n", "deadline_hours", "min_cost_dollars",
+                 "feasible", "config_index"});
+    initialized = true;
+  }
+  return sink;
+}
+
+void run_panel(const core::Celia& celia, double fixed_accuracy,
+               const std::vector<double>& sizes, const char* label,
+               double size_print_scale, const char* size_unit) {
+  std::cout << "--- " << label << " ---\n";
+  util::AsciiChart chart(label, size_unit, "min cost ($)");
+  util::TablePrinter table([&] {
+    std::vector<std::string> headers = {std::string(size_unit)};
+    for (const double d : kDeadlines)
+      headers.push_back(util::format_fixed(d, 0) + "hr");
+    return headers;
+  }());
+  for (std::size_t c = 1; c <= kDeadlines.size(); ++c)
+    table.set_right_aligned(c);
+
+  std::vector<std::vector<core::ScalingPoint>> curves;
+  for (const double deadline : kDeadlines) {
+    curves.push_back(
+        core::problem_size_scaling(celia, fixed_accuracy, sizes, deadline));
+    util::Series series{util::format_fixed(deadline, 0) + "hr", {}, {}};
+    for (const auto& point : curves.back()) {
+      csv().row({label, util::format_fixed(point.value, 0),
+                 util::format_fixed(deadline, 0),
+                 util::format_fixed(point.min_cost, 4),
+                 point.feasible ? "1" : "0",
+                 std::to_string(point.config_index)});
+      if (!point.feasible) continue;
+      series.xs.push_back(point.value / size_print_scale);
+      series.ys.push_back(point.min_cost);
+    }
+    chart.add_series(std::move(series));
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row = {
+        util::format_si(sizes[i] / size_print_scale, 0)};
+    for (const auto& curve : curves)
+      row.push_back(curve[i].feasible
+                        ? util::format_fixed(curve[i].min_cost, 0)
+                        : "infeasible");
+    table.add_row(std::move(row));
+  }
+  chart.print(std::cout);
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void observation3(const core::Celia& celia, const apps::AppParams& params,
+                  double from_hr, double to_hr, const char* label,
+                  const char* paper_note) {
+  const std::vector<double> deadlines = {from_hr, to_hr};
+  const auto curve = core::deadline_tightening(celia, params, deadlines);
+  if (!curve[0].feasible || !curve[1].feasible) {
+    std::cout << label << ": infeasible at one of the deadlines\n";
+    return;
+  }
+  const double deadline_cut = 1.0 - to_hr / from_hr;
+  const double cost_up = curve[1].min_cost / curve[0].min_cost - 1.0;
+  std::cout << label << ": " << util::format_fixed(from_hr, 0) << "h ("
+            << util::format_money(curve[0].min_cost) << ") -> "
+            << util::format_fixed(to_hr, 0) << "h ("
+            << util::format_money(curve[1].min_cost) << "): deadline -"
+            << util::format_percent(deadline_cut) << ", cost +"
+            << util::format_percent(cost_up) << "  [" << paper_note << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  cloud::CloudProvider provider(2017);
+  const core::Celia galaxy =
+      core::Celia::build(*apps::make_galaxy(), provider);
+  const core::Celia sand = core::Celia::build(*apps::make_sand(), provider);
+
+  std::cout << "=== Figure 5: Effect of Scaling Problem Size on Cost ===\n\n";
+  run_panel(galaxy, 1000, {32768, 65536, 131072, 262144},
+            "(a) galaxy - n (s = 1000)", 1.0, "n (masses)");
+  run_panel(sand, 0.32, {1024e6, 2048e6, 4096e6, 8192e6},
+            "(b) sand - n (t = 0.32)", 1e6, "n (millions)");
+
+  std::cout << "=== Observation 3: Cost of Tightening the Time Deadline ===\n";
+  observation3(galaxy, {262144, 1000}, 72.0, 24.0, "galaxy(262144, 1000)",
+               "paper: -67% deadline for +40% cost");
+  observation3(sand, {8192e6, 0.32}, 48.0, 24.0, "sand(8192M, 0.32)",
+               "paper: -50% deadline for +25% cost");
+  csv().announce();
+  return 0;
+}

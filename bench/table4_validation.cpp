@@ -1,0 +1,69 @@
+// Reproduces paper Table IV (Model Validation): predicted vs actual time
+// and cost for three runs of each application on the paper's
+// configurations, with relative errors.
+//
+// Paper reference values: max errors 9.5% (x264), 13.1% (galaxy),
+// 16.7% (sand); overall "prediction error less than 17%".
+
+#include <iostream>
+
+#include "bench_io.hpp"
+#include "cloud/provider.hpp"
+#include "core/configuration.hpp"
+#include "core/validation.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celia;
+
+  std::uint64_t seed = 2017;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+
+  cloud::CloudProvider provider(seed);
+  const auto rows = core::run_table4_validation(provider);
+
+  util::TablePrinter table({"Application", "Configuration", "T pred (hr)",
+                            "T actual (hr)", "C pred ($)", "C actual ($)",
+                            "Error (%)"});
+  for (std::size_t c = 2; c < 7; ++c) table.set_right_aligned(c);
+
+  benchio::CsvSink csv("table4_validation");
+  csv.header({"app", "n", "a", "config", "predicted_hours", "actual_hours",
+              "predicted_cost", "actual_cost", "time_error"});
+
+  double max_error = 0.0;
+  std::string max_app;
+  for (const auto& row : rows) {
+    csv.row({row.app, util::format_fixed(row.params.n, 0),
+             util::format_fixed(row.params.a, 4),
+             core::to_string(row.config),
+             util::format_fixed(row.predicted_hours, 4),
+             util::format_fixed(row.actual_hours, 4),
+             util::format_fixed(row.predicted_cost, 4),
+             util::format_fixed(row.actual_cost, 4),
+             util::format_fixed(row.time_error, 6)});
+    table.add_row({row.app + "(" + util::format_si(row.params.n, 0) + "," +
+                       util::format_fixed(row.params.a, row.app == "sand" ? 2 : 0) +
+                       ")",
+                   core::to_string(row.config),
+                   util::format_fixed(row.predicted_hours, 1),
+                   util::format_fixed(row.actual_hours, 1),
+                   util::format_fixed(row.predicted_cost, 0),
+                   util::format_fixed(row.actual_cost, 0),
+                   util::format_fixed(row.time_error * 100.0, 1)});
+    if (row.time_error > max_error) {
+      max_error = row.time_error;
+      max_app = row.app;
+    }
+  }
+
+  std::cout << "=== Table IV: Model Validation (seed " << seed << ") ===\n";
+  table.print(std::cout);
+  std::cout << "\nmax prediction error: "
+            << util::format_percent(max_error) << " (" << max_app << ")"
+            << "\npaper reference      : 9.5% / 13.1% / 16.7% max per app;"
+            << " all under 17%\n";
+  csv.announce();
+  return max_error < 0.25 ? 0 : 1;
+}

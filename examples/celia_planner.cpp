@@ -1,0 +1,184 @@
+// Example: a general-purpose CELIA command-line planner — the tool a
+// downstream user would actually run. Wraps the full pipeline (profiling,
+// characterization, exhaustive selection, Pareto filtering) behind flags.
+//
+// Usage:
+//   example_celia_planner --app=galaxy --n=65536 --a=8000
+//       --deadline=24 --budget=350 [--mode=per-category] [--seed=2017]
+//       [--epsilon-hours=1 --epsilon-dollars=5] [--top=10] [--verbose]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/celia.hpp"
+#include "core/recommend.hpp"
+#include "core/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celia;
+
+  util::CliParser cli("celia_planner",
+                      "find cost-time Pareto-optimal cloud configurations "
+                      "for an elastic application");
+  cli.add_option("app", "application: x264 | galaxy | sand", "galaxy");
+  cli.add_option("n", "problem size", "65536");
+  cli.add_option("a", "accuracy parameter (f / s / t)", "8000");
+  cli.add_option("deadline", "time deadline in hours", "24");
+  cli.add_option("budget", "cost budget in dollars", "350");
+  cli.add_option("mode",
+                 "characterization: full | per-category | spec", "full");
+  cli.add_option("seed", "cloud noise seed", "2017");
+  cli.add_option("epsilon-hours", "epsilon box height for frontier thinning "
+                 "(0 = exact frontier)", "0");
+  cli.add_option("epsilon-dollars", "epsilon box width", "5");
+  cli.add_option("top", "max frontier rows to print", "20");
+  cli.add_option("pick",
+                 "recommend one frontier point: cheapest | fastest | "
+                 "balanced | knee | none",
+                 "knee");
+  cli.add_option("save-model", "write the built model to this file", "");
+  cli.add_option("load-model",
+                 "skip measurement and load a model saved earlier", "");
+  cli.add_flag("verbose", "log model-building details");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << "error: " << cli.error() << "\n\n";
+    cli.print_usage(std::cerr);
+    return 1;
+  }
+  if (cli.has("verbose")) util::Logger::set_level(util::LogLevel::kInfo);
+
+  const auto app = apps::make_app(cli.get("app"));
+  if (!app) {
+    std::cerr << "unknown application '" << cli.get("app")
+              << "' (expected x264, galaxy or sand)\n";
+    return 1;
+  }
+  core::CharacterizationMode mode = core::CharacterizationMode::kFullMeasurement;
+  if (cli.get("mode") == "per-category")
+    mode = core::CharacterizationMode::kPerCategory;
+  else if (cli.get("mode") == "spec")
+    mode = core::CharacterizationMode::kSpecFrequency;
+  else if (cli.get("mode") != "full") {
+    std::cerr << "unknown mode '" << cli.get("mode") << "'\n";
+    return 1;
+  }
+
+  const apps::AppParams params{cli.get_double("n"), cli.get_double("a")};
+  const double deadline = cli.get_double("deadline");
+  const double budget = cli.get_double("budget");
+
+  cloud::CloudProvider provider(
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  util::Stopwatch watch;
+  const core::Celia celia = [&] {
+    if (const std::string path = cli.get("load-model"); !path.empty()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open model file " << path << "\n";
+        std::exit(1);
+      }
+      CELIA_LOG_INFO << "loading model from " << path;
+      core::Celia loaded = core::load_model(in);
+      if (loaded.app_name() != app->name()) {
+        std::cerr << "model file is for '" << loaded.app_name()
+                  << "', not '" << app->name() << "'\n";
+        std::exit(1);
+      }
+      return loaded;
+    }
+    CELIA_LOG_INFO << "building models ("
+                   << core::characterization_mode_name(mode) << ")";
+    return core::Celia::build(*app, provider, mode);
+  }();
+  CELIA_LOG_INFO << "model ready after "
+                 << util::format_fixed(watch.elapsed_ms(), 1) << " ms";
+  if (const std::string path = cli.get("save-model"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write model file " << path << "\n";
+      return 1;
+    }
+    core::save_model(celia, out);
+    std::cout << "model saved to " << path << "\n";
+  }
+
+  std::cout << "CELIA plan for " << app->name() << "(n=" << params.n
+            << ", " << app->accuracy_param_name() << "=" << params.a
+            << ")\n"
+            << "  demand model : " << fit::shape_name(
+                   celia.demand_model().n_shape()) << " in n, "
+            << fit::shape_name(celia.demand_model().a_shape())
+            << " in accuracy (grid R^2 = "
+            << util::format_fixed(celia.demand_model().grid_r2(), 4) << ")\n"
+            << "  demand       : "
+            << util::format_instructions(celia.predict_demand(params))
+            << "\n  constraints  : T' = " << deadline << " h, C' = "
+            << util::format_money(budget) << "\n\n";
+
+  watch.reset();
+  const core::SweepResult result = celia.select(params, deadline, budget);
+  std::cout << "swept " << util::format_with_commas(result.total)
+            << " configurations in "
+            << util::format_fixed(watch.elapsed_ms(), 0) << " ms; "
+            << util::format_with_commas(result.feasible) << " feasible, "
+            << result.pareto.size() << " Pareto-optimal\n\n";
+  if (!result.any_feasible) {
+    std::cout << "no feasible configuration — relax the deadline or "
+                 "budget.\n";
+    return 2;
+  }
+
+  std::vector<core::CostTimePoint> frontier = result.pareto;
+  const double eps_hours = cli.get_double("epsilon-hours");
+  if (eps_hours > 0) {
+    frontier = core::epsilon_nondominated(
+        frontier, eps_hours * 3600.0, cli.get_double("epsilon-dollars"));
+    std::cout << "epsilon-thinned frontier: " << frontier.size()
+              << " representatives\n";
+  }
+
+  util::TablePrinter table({"Configuration", "time", "cost"});
+  table.set_right_aligned(1);
+  table.set_right_aligned(2);
+  const auto top = static_cast<std::size_t>(cli.get_int("top"));
+  for (std::size_t i = 0; i < frontier.size() && i < top; ++i) {
+    table.add_row(
+        {core::to_string(celia.space().decode(frontier[i].config_index)),
+         util::format_duration(frontier[i].seconds),
+         util::format_money(frontier[i].cost)});
+  }
+  table.print(std::cout);
+  if (frontier.size() > top)
+    std::cout << "(" << frontier.size() - top << " more rows; --top to "
+              << "print them)\n";
+
+  // One-point recommendation off the exact frontier.
+  const std::string pick_name = cli.get("pick");
+  if (pick_name != "none") {
+    core::PickStrategy strategy;
+    if (pick_name == "cheapest") strategy = core::PickStrategy::kCheapest;
+    else if (pick_name == "fastest") strategy = core::PickStrategy::kFastest;
+    else if (pick_name == "balanced")
+      strategy = core::PickStrategy::kBalanced;
+    else if (pick_name == "knee") strategy = core::PickStrategy::kKnee;
+    else {
+      std::cerr << "unknown --pick strategy '" << pick_name << "'\n";
+      return 1;
+    }
+    const core::CostTimePoint pick =
+        core::pick_from_frontier(result.pareto, strategy);
+    std::cout << "\nrecommended (" << pick_name << "): "
+              << core::to_string(celia.space().decode(pick.config_index))
+              << "  " << util::format_duration(pick.seconds) << "  "
+              << util::format_money(pick.cost) << "\n";
+  }
+  return 0;
+}

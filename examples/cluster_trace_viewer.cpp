@@ -1,0 +1,59 @@
+// Example: visualizing where a configuration's time goes.
+//
+// Runs the x264 and sand workloads on a small cluster with execution
+// tracing enabled and renders per-vCPU Gantt charts: x264's independent
+// clips pack tightly with only an end-of-run tail; sand's master-worker
+// run shows the serial master phase (all slots idle at the left edge) and
+// dispatch staggering — the exact effects behind the paper's Table IV
+// prediction errors.
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "cloud/cluster_exec.hpp"
+#include "cloud/gantt.hpp"
+#include "cloud/provider.hpp"
+#include "core/configuration.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace celia;
+
+void show(const apps::ElasticApp& app, const apps::AppParams& params,
+          const std::vector<int>& config, cloud::CloudProvider& provider) {
+  const apps::Workload workload = app.make_workload(params);
+  const auto instances = provider.provision(config);
+  const cloud::ClusterExecutor executor(provider.network());
+  cloud::ExecutionOptions options;
+  options.record_trace = true;
+  const auto report = executor.execute(workload, instances, config, options);
+
+  std::cout << "--- " << app.name() << "(" << params.n << ", " << params.a
+            << ") on " << core::to_string(config) << " ---\n"
+            << "tasks: " << workload.task_instructions.size()
+            << ", actual time " << util::format_duration(report.seconds)
+            << ", cost " << util::format_money(report.cost)
+            << ", utilization "
+            << util::format_percent(report.busy_fraction) << "\n";
+  cloud::GanttOptions gantt;
+  gantt.width = 72;
+  cloud::render_gantt(report, std::cout, gantt);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  cloud::CloudProvider provider(7);
+
+  // x264: 23 independent clips on 2 nodes (10 slots): tight packing, a tail.
+  show(*apps::make_x264(), {23, 20}, {1, 0, 1, 0, 0, 0, 0, 0, 0}, provider);
+
+  // sand: master-worker on a 70-vCPU fleet. The serial master phase shows
+  // up as the idle band on the left of every slot row (~13% of the run),
+  // followed by dispatch-staggered task waves.
+  show(*apps::make_sand(), {600e6, 0.32}, {5, 5, 5, 0, 0, 0, 0, 0, 0},
+       provider);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+// The elastic-application interface (paper §I, Table II).
+//
+// An elastic application P(n, a) produces results whose accuracy/quality is
+// a function of resource consumption: problem size n and an accuracy
+// parameter a (x264's compression factor f, galaxy's simulation steps s,
+// sand's quality threshold t).
+//
+// Each application exposes three views of itself:
+//   * run_instrumented() — actually executes the computational kernel on
+//     synthetic input, reporting every operation to a hw::PerfCounter.
+//     This is the analogue of running the real binary under `perf` on the
+//     local server. Only practical at scaled-down parameters.
+//   * exact_demand() — closed-form operation counts derived from the
+//     kernel's loop structure. The test suite proves this agrees *exactly*
+//     with run_instrumented() at small parameters, which justifies using it
+//     as the simulated ground truth at cloud-scale parameters (where a real
+//     instrumented run would take CPU-days).
+//   * make_workload() — the application's parallel decomposition, consumed
+//     by the cluster execution simulator.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "hw/perf_counter.hpp"
+#include "hw/workload_class.hpp"
+
+namespace celia::apps {
+
+/// A point in an elastic application's parameter space.
+struct AppParams {
+  double n = 0.0;  // problem size
+  double a = 0.0;  // accuracy parameter
+
+  friend bool operator==(const AppParams&, const AppParams&) = default;
+};
+
+/// Valid ranges of the two parameters (used by harnesses for sweeps).
+struct ParamRange {
+  double min_n, max_n;
+  double min_a, max_a;
+};
+
+class ElasticApp {
+ public:
+  virtual ~ElasticApp() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view domain() const = 0;
+  virtual hw::WorkloadClass workload_class() const = 0;
+  virtual std::string_view size_param_name() const = 0;
+  virtual std::string_view accuracy_param_name() const = 0;
+  virtual ParamRange param_range() const = 0;
+
+  /// Closed-form resource demand D_P(n,a) in instructions.
+  virtual double exact_demand(const AppParams& params) const = 0;
+
+  /// Execute the real kernel at `params`, accumulating operation counts.
+  /// Intended for scale-down parameters; cost is proportional to demand.
+  virtual void run_instrumented(const AppParams& params,
+                                hw::PerfCounter& counter,
+                                std::uint64_t seed = 42) const = 0;
+
+  /// The application's parallel structure at `params`.
+  virtual Workload make_workload(const AppParams& params) const = 0;
+
+  /// The scale-down parameter grid used for baseline profiling (the
+  /// equivalent of the paper's §IV-A measurement campaign).
+  virtual std::vector<AppParams> profile_grid() const = 0;
+};
+
+}  // namespace celia::apps

@@ -1,0 +1,68 @@
+#include "apps/galaxy/galaxy_app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::apps::galaxy {
+
+namespace {
+
+std::uint64_t checked_n(const AppParams& params) {
+  const auto n = static_cast<std::int64_t>(std::llround(params.n));
+  if (n < 2) throw std::invalid_argument("galaxy: need at least two masses");
+  return static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t checked_s(const AppParams& params) {
+  const auto s = static_cast<std::int64_t>(std::llround(params.a));
+  if (s < 1) throw std::invalid_argument("galaxy: need at least one step");
+  return static_cast<std::uint64_t>(s);
+}
+
+}  // namespace
+
+double GalaxyApp::exact_demand(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t s = checked_s(params);
+  return static_cast<double>(s) *
+         static_cast<double>(step_ops(n).instructions());
+}
+
+void GalaxyApp::run_instrumented(const AppParams& params,
+                                 hw::PerfCounter& counter,
+                                 std::uint64_t seed) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t s = checked_s(params);
+  util::Xoshiro256 rng(seed);
+  Bodies bodies = make_plummer(n, rng);
+  simulate(bodies, s, counter);
+}
+
+Workload GalaxyApp::make_workload(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t s = checked_s(params);
+
+  Workload workload;
+  workload.app_name = std::string(name());
+  workload.workload_class = workload_class();
+  workload.pattern = ParallelPattern::kBulkSynchronous;
+  workload.steps = s;
+  workload.instructions_per_step =
+      static_cast<double>(step_ops(n).instructions());
+  // All-gather of 3 doubles per body at every step barrier.
+  workload.sync_bytes_per_step = 24.0 * static_cast<double>(n);
+  workload.total_instructions =
+      workload.instructions_per_step * static_cast<double>(s);
+  return workload;
+}
+
+std::vector<AppParams> GalaxyApp::profile_grid() const {
+  // Paper §IV-A: n in [8192, 65536] masses, s in [1000, 8000] steps.
+  std::vector<AppParams> grid;
+  for (const double n : {8192, 16384, 32768, 65536})
+    for (const double s : {1000, 2000, 3000, 4000, 6000, 8000})
+      grid.push_back({n, s});
+  return grid;
+}
+
+}  // namespace celia::apps::galaxy

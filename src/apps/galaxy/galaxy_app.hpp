@@ -1,0 +1,36 @@
+#pragma once
+// The galaxy elastic application (paper Table II, row 2).
+//
+// Problem size n = number of masses; accuracy a = number of simulation
+// steps s (more steps = finer time resolution = higher accuracy; the paper
+// uses s as the accuracy proxy). Masses are block-distributed across MPI
+// ranks; every step ends in an all-gather of positions, so the cluster
+// execution is bulk-synchronous and pays per-step communication — the
+// source of galaxy's higher prediction error in Table IV.
+
+#include "apps/elastic_app.hpp"
+#include "apps/galaxy/nbody.hpp"
+
+namespace celia::apps::galaxy {
+
+class GalaxyApp final : public ElasticApp {
+ public:
+  std::string_view name() const override { return "galaxy"; }
+  std::string_view domain() const override { return "astrophysics"; }
+  hw::WorkloadClass workload_class() const override {
+    return hw::WorkloadClass::kNBody;
+  }
+  std::string_view size_param_name() const override { return "n (masses)"; }
+  std::string_view accuracy_param_name() const override {
+    return "s (simulation steps)";
+  }
+  ParamRange param_range() const override { return {2, 1u << 24, 1, 1e9}; }
+
+  double exact_demand(const AppParams& params) const override;
+  void run_instrumented(const AppParams& params, hw::PerfCounter& counter,
+                        std::uint64_t seed = 42) const override;
+  Workload make_workload(const AppParams& params) const override;
+  std::vector<AppParams> profile_grid() const override;
+};
+
+}  // namespace celia::apps::galaxy

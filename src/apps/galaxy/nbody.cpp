@@ -1,0 +1,201 @@
+#include "apps/galaxy/nbody.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "parallel/parallel_for.hpp"
+
+namespace celia::apps::galaxy {
+
+void Bodies::resize(std::size_t n) {
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  vz.resize(n);
+  ax.assign(n, 0.0);
+  ay.assign(n, 0.0);
+  az.assign(n, 0.0);
+  mass.resize(n);
+}
+
+Bodies make_plummer(std::size_t n, util::Xoshiro256& rng) {
+  Bodies bodies;
+  bodies.resize(n);
+  const double total_mass = 1.0;
+  const double m = total_mass / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the Plummer cumulative mass profile.
+    const double u = rng.uniform(1e-6, 1.0 - 1e-6);
+    const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    // Isotropic direction.
+    const double cos_theta = rng.uniform(-1.0, 1.0);
+    const double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    bodies.x[i] = r * sin_theta * std::cos(phi);
+    bodies.y[i] = r * sin_theta * std::sin(phi);
+    bodies.z[i] = r * cos_theta;
+    // Velocity magnitude by von Neumann rejection from the Plummer
+    // distribution function g(q) = q^2 (1 - q^2)^3.5.
+    double q, g;
+    do {
+      q = rng.uniform(0.0, 1.0);
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double escape = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    const double v = q * escape;
+    const double vcos = rng.uniform(-1.0, 1.0);
+    const double vsin = std::sqrt(1.0 - vcos * vcos);
+    const double vphi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    bodies.vx[i] = v * vsin * std::cos(vphi);
+    bodies.vy[i] = v * vsin * std::sin(vphi);
+    bodies.vz[i] = v * vcos;
+    bodies.mass[i] = m;
+  }
+  return bodies;
+}
+
+namespace {
+
+/// Compute the acceleration of body i from all other bodies and record the
+/// per-row operation ledger: 3 subs + 3 r2 adds + 3 accumulates = 9 FP
+/// adds; 3 + 2 + 1 + 3 = 9 FP muls; one sqrt, one divide; 4 loads
+/// (position + mass of j); one loop branch; calibrated code overhead.
+void force_row(Bodies& bodies, std::size_t i, hw::PerfCounter& counter) {
+  const std::size_t n = bodies.size();
+  constexpr double eps2 = kSoftening * kSoftening;
+  double axi = 0.0, ayi = 0.0, azi = 0.0;
+  const double xi = bodies.x[i], yi = bodies.y[i], zi = bodies.z[i];
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    const double dx = bodies.x[j] - xi;
+    const double dy = bodies.y[j] - yi;
+    const double dz = bodies.z[j] - zi;
+    const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    const double inv_r3 = inv_r * inv_r * inv_r;
+    const double s = bodies.mass[j] * inv_r3;
+    axi += s * dx;
+    ayi += s * dy;
+    azi += s * dz;
+  }
+  bodies.ax[i] = axi;
+  bodies.ay[i] = ayi;
+  bodies.az[i] = azi;
+  const std::uint64_t pairs = n - 1;
+  counter.add(hw::OpClass::kFloatAdd, 9 * pairs);
+  counter.add(hw::OpClass::kFloatMul, 9 * pairs);
+  counter.add(hw::OpClass::kFloatDiv, pairs);
+  counter.add(hw::OpClass::kFloatSqrt, pairs);
+  counter.add(hw::OpClass::kLoadStore, 4 * pairs);
+  counter.add(hw::OpClass::kBranch, pairs);
+  counter.add(hw::OpClass::kOther, kPerPairOverheadOps * pairs);
+}
+
+/// Kick-drift update shared by the serial and parallel steps.
+void integrate_bodies(Bodies& bodies, hw::PerfCounter& counter) {
+  const std::size_t n = bodies.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bodies.vx[i] += bodies.ax[i] * kTimeStep;
+    bodies.vy[i] += bodies.ay[i] * kTimeStep;
+    bodies.vz[i] += bodies.az[i] * kTimeStep;
+    bodies.x[i] += bodies.vx[i] * kTimeStep;
+    bodies.y[i] += bodies.vy[i] * kTimeStep;
+    bodies.z[i] += bodies.vz[i] * kTimeStep;
+  }
+  // Per-body ledger: kick (3 mul + 3 add) + drift (3 mul + 3 add),
+  // 9 loads/stores, loop overhead.
+  counter.add(hw::OpClass::kFloatMul, 6 * n);
+  counter.add(hw::OpClass::kFloatAdd, 6 * n);
+  counter.add(hw::OpClass::kLoadStore, 9 * n);
+  counter.add(hw::OpClass::kOther, kPerBodyOverheadOps * n);
+}
+
+}  // namespace
+
+void compute_forces(Bodies& bodies, hw::PerfCounter& counter) {
+  for (std::size_t i = 0; i < bodies.size(); ++i)
+    force_row(bodies, i, counter);
+}
+
+void compute_forces_parallel(Bodies& bodies, hw::PerfCounter& counter,
+                             parallel::ThreadPool* pool) {
+  parallel::ThreadPool& workers =
+      pool ? *pool : parallel::default_pool();
+  // One private counter per worker-range; rows write disjoint ax/ay/az
+  // slots and only read positions, so no synchronization is needed in the
+  // force loop itself.
+  const auto ranges =
+      parallel::split_range(0, bodies.size(), workers.num_threads());
+  std::vector<hw::PerfCounter> partials(ranges.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    futures.push_back(workers.submit([&bodies, &partials, range = ranges[r],
+                                      r] {
+      for (std::uint64_t i = range.begin; i < range.end; ++i)
+        force_row(bodies, static_cast<std::size_t>(i), partials[r]);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  for (const auto& partial : partials) counter.merge(partial);
+}
+
+void leapfrog_step(Bodies& bodies, hw::PerfCounter& counter) {
+  compute_forces(bodies, counter);
+  integrate_bodies(bodies, counter);
+}
+
+void leapfrog_step_parallel(Bodies& bodies, hw::PerfCounter& counter,
+                            parallel::ThreadPool* pool) {
+  compute_forces_parallel(bodies, counter, pool);
+  integrate_bodies(bodies, counter);
+}
+
+void simulate(Bodies& bodies, std::uint64_t steps, hw::PerfCounter& counter) {
+  for (std::uint64_t s = 0; s < steps; ++s) leapfrog_step(bodies, counter);
+}
+
+void simulate_parallel(Bodies& bodies, std::uint64_t steps,
+                       hw::PerfCounter& counter,
+                       parallel::ThreadPool* pool) {
+  for (std::uint64_t s = 0; s < steps; ++s)
+    leapfrog_step_parallel(bodies, counter, pool);
+}
+
+hw::PerfCounter step_ops(std::uint64_t n) {
+  hw::PerfCounter ops;
+  const std::uint64_t pairs = n * (n - 1);
+  ops.add(hw::OpClass::kFloatAdd, 9 * pairs + 6 * n);
+  ops.add(hw::OpClass::kFloatMul, 9 * pairs + 6 * n);
+  ops.add(hw::OpClass::kFloatDiv, pairs);
+  ops.add(hw::OpClass::kFloatSqrt, pairs);
+  ops.add(hw::OpClass::kLoadStore, 4 * pairs + 9 * n);
+  ops.add(hw::OpClass::kBranch, pairs);
+  ops.add(hw::OpClass::kOther,
+          kPerPairOverheadOps * pairs + kPerBodyOverheadOps * n);
+  return ops;
+}
+
+double total_energy(const Bodies& bodies) {
+  const std::size_t n = bodies.size();
+  constexpr double eps2 = kSoftening * kSoftening;
+  double kinetic = 0.0, potential = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v2 = bodies.vx[i] * bodies.vx[i] +
+                      bodies.vy[i] * bodies.vy[i] +
+                      bodies.vz[i] * bodies.vz[i];
+    kinetic += 0.5 * bodies.mass[i] * v2;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = bodies.x[j] - bodies.x[i];
+      const double dy = bodies.y[j] - bodies.y[i];
+      const double dz = bodies.z[j] - bodies.z[i];
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz + eps2);
+      potential -= bodies.mass[i] * bodies.mass[j] / r;
+    }
+  }
+  return kinetic + potential;
+}
+
+}  // namespace celia::apps::galaxy

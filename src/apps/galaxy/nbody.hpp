@@ -1,0 +1,81 @@
+#pragma once
+// All-pairs n-body simulation kernel (the paper's `galaxy` application,
+// from the PetaKit suite): masses in a galaxy interact gravitationally;
+// positions are advanced with a leapfrog (kick-drift) integrator over s
+// simulation steps. Demand is quadratic in the number of masses n and
+// linear in s (paper Fig. 2(b,e)).
+//
+// The kernels execute real double-precision arithmetic on Plummer-sphere
+// initial conditions and report an exact operation ledger; `step_ops()` is
+// the matching closed form.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/perf_counter.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace celia::apps::galaxy {
+
+/// Structure-of-arrays body storage for the simulation.
+struct Bodies {
+  std::vector<double> x, y, z;
+  std::vector<double> vx, vy, vz;
+  std::vector<double> ax, ay, az;
+  std::vector<double> mass;
+
+  std::size_t size() const { return x.size(); }
+  void resize(std::size_t n);
+};
+
+/// Gravitational softening: pairwise force uses r^2 + eps^2.
+inline constexpr double kSoftening = 1e-2;
+inline constexpr double kTimeStep = 1e-3;
+
+/// Per-interaction bookkeeping charged to OpClass::kOther. PetaKit's galaxy
+/// is an unoptimized reference code; this constant calibrates our kernel's
+/// per-pair instruction count (64 arithmetic + 196 overhead = 260) to the
+/// per-interaction cost implied by the paper's galaxy measurements
+/// (Fig. 2(b,e) magnitudes and the Table IV galaxy(65536,8000) runtime).
+inline constexpr std::uint64_t kPerPairOverheadOps = 196;
+
+/// Loop/bookkeeping overhead per body per integration step.
+inline constexpr std::uint64_t kPerBodyOverheadOps = 4;
+
+/// Plummer-sphere initial conditions (standard astrophysical test setup);
+/// deterministic per seed. Initialization is not charged to the counter —
+/// demand characterization measures the simulation loop, as in the paper.
+Bodies make_plummer(std::size_t n, util::Xoshiro256& rng);
+
+/// Compute accelerations of all bodies (all-pairs, j != i), accumulating
+/// the operation ledger.
+void compute_forces(Bodies& bodies, hw::PerfCounter& counter);
+
+/// One leapfrog step: forces + kick + drift.
+void leapfrog_step(Bodies& bodies, hw::PerfCounter& counter);
+
+/// Run `steps` integration steps.
+void simulate(Bodies& bodies, std::uint64_t steps, hw::PerfCounter& counter);
+
+/// Shared-memory parallel variants: the force loop is parallelized over
+/// body rows (each worker accumulates into disjoint acceleration slots and
+/// into a private PerfCounter, merged at the end). Produces bit-identical
+/// trajectories and ledgers to the serial kernel — the test suite checks
+/// both — and is what a real multi-core profiling run would execute.
+void compute_forces_parallel(Bodies& bodies, hw::PerfCounter& counter,
+                             parallel::ThreadPool* pool = nullptr);
+void leapfrog_step_parallel(Bodies& bodies, hw::PerfCounter& counter,
+                            parallel::ThreadPool* pool = nullptr);
+void simulate_parallel(Bodies& bodies, std::uint64_t steps,
+                       hw::PerfCounter& counter,
+                       parallel::ThreadPool* pool = nullptr);
+
+/// Closed-form operation ledger of one leapfrog step over n bodies.
+hw::PerfCounter step_ops(std::uint64_t n);
+
+/// Total (kinetic + potential) energy — used by the physics tests to check
+/// the integrator conserves energy; not charged to any counter.
+double total_energy(const Bodies& bodies);
+
+}  // namespace celia::apps::galaxy

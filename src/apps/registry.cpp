@@ -1,0 +1,44 @@
+#include "apps/registry.hpp"
+
+#include "apps/galaxy/galaxy_app.hpp"
+#include "apps/sand/sand_app.hpp"
+#include "apps/x264/x264_app.hpp"
+
+namespace celia::apps {
+
+std::unique_ptr<ElasticApp> make_x264() {
+  return std::make_unique<x264::X264App>(x264::ClipModel::full());
+}
+
+std::unique_ptr<ElasticApp> make_galaxy() {
+  return std::make_unique<galaxy::GalaxyApp>();
+}
+
+std::unique_ptr<ElasticApp> make_sand() {
+  return std::make_unique<sand::SandApp>(sand::SandModel::full());
+}
+
+std::unique_ptr<ElasticApp> make_x264_mini() {
+  return std::make_unique<x264::X264App>(x264::ClipModel::mini());
+}
+
+std::unique_ptr<ElasticApp> make_sand_mini() {
+  return std::make_unique<sand::SandApp>(sand::SandModel::mini());
+}
+
+std::vector<std::unique_ptr<ElasticApp>> all_apps() {
+  std::vector<std::unique_ptr<ElasticApp>> apps;
+  apps.push_back(make_x264());
+  apps.push_back(make_galaxy());
+  apps.push_back(make_sand());
+  return apps;
+}
+
+std::unique_ptr<ElasticApp> make_app(std::string_view name) {
+  if (name == "x264") return make_x264();
+  if (name == "galaxy") return make_galaxy();
+  if (name == "sand") return make_sand();
+  return nullptr;
+}
+
+}  // namespace celia::apps

@@ -1,0 +1,31 @@
+#pragma once
+// Factory/registry for the three modeled elastic applications.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "apps/elastic_app.hpp"
+
+namespace celia::apps {
+
+/// Full-scale applications, calibrated to the paper's measurements; these
+/// are what the benchmark harnesses use.
+std::unique_ptr<ElasticApp> make_x264();
+std::unique_ptr<ElasticApp> make_galaxy();
+std::unique_ptr<ElasticApp> make_sand();
+
+/// Scaled-down variants whose instrumented runs finish in milliseconds;
+/// used by tests to validate closed forms against real kernel execution.
+/// (galaxy needs no mini variant: its instrumented cost is set entirely by
+/// the n/s arguments.)
+std::unique_ptr<ElasticApp> make_x264_mini();
+std::unique_ptr<ElasticApp> make_sand_mini();
+
+/// All three full-scale applications (x264, galaxy, sand — paper order).
+std::vector<std::unique_ptr<ElasticApp>> all_apps();
+
+/// Lookup by paper name ("x264", "galaxy", "sand"); nullptr when unknown.
+std::unique_ptr<ElasticApp> make_app(std::string_view name);
+
+}  // namespace celia::apps

@@ -1,0 +1,56 @@
+#include "apps/sand/align.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace celia::apps::sand {
+
+int banded_align(const Sequence& a, const Sequence& b, int band,
+                 hw::PerfCounter& counter) {
+  if (band < 1) throw std::invalid_argument("banded_align: band must be >= 1");
+  const std::size_t length = a.size();
+  if (b.size() < length)
+    throw std::invalid_argument("banded_align: reads must have equal length");
+
+  // DP over `length` rows x `band` diagonals around the main diagonal.
+  constexpr int kMatch = 2, kMismatch = -1, kGap = -1;
+  std::vector<int> prev(band, 0), curr(band, 0);
+  int best = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    for (int k = 0; k < band; ++k) {
+      // Column index of this band cell, clamped inside b.
+      const std::size_t j =
+          std::min<std::size_t>(b.size() - 1, i + static_cast<std::size_t>(k));
+      const int diag = prev[k] + (a[i] == b[j] ? kMatch : kMismatch);
+      const int up = (k + 1 < band ? prev[k + 1] : 0) + kGap;
+      const int left = (k > 0 ? curr[k - 1] : 0) + kGap;
+      const int score = std::max({0, diag, up, left});
+      curr[k] = score;
+      best = std::max(best, score);
+    }
+    std::swap(prev, curr);
+  }
+  // Ledger per cell: 3 loads (prev/curr/base), 4 integer ops (adds +
+  // clamping arithmetic), 2 compare-branches (3-way max + best update),
+  // 1 bookkeeping op.
+  const std::uint64_t cells = length * static_cast<std::uint64_t>(band);
+  counter.add(hw::OpClass::kLoadStore, 3 * cells);
+  counter.add(hw::OpClass::kIntArith, 4 * cells);
+  counter.add(hw::OpClass::kBranch, 2 * cells);
+  counter.add(hw::OpClass::kOther, cells);
+  counter.add(hw::OpClass::kOther, kAlignSetupOps);
+  return best;
+}
+
+hw::PerfCounter banded_align_ops(std::uint64_t length, std::uint64_t band) {
+  hw::PerfCounter ops;
+  const std::uint64_t cells = length * band;
+  ops.add(hw::OpClass::kLoadStore, 3 * cells);
+  ops.add(hw::OpClass::kIntArith, 4 * cells);
+  ops.add(hw::OpClass::kBranch, 2 * cells);
+  ops.add(hw::OpClass::kOther, cells + kAlignSetupOps);
+  return ops;
+}
+
+}  // namespace celia::apps::sand

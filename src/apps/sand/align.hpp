@@ -1,0 +1,29 @@
+#pragma once
+// Banded Smith-Waterman alignment of two reads.
+//
+// SAND's quality threshold t controls alignment sensitivity: a higher
+// threshold demands more exhaustive alignment, which we model — as real
+// aligners do — by widening the dynamic-programming band. The band width
+// grows logarithmically with t, giving the paper's logarithmic demand
+// relationship (Fig. 2(f)).
+
+#include <cstdint>
+
+#include "apps/sand/sequence.hpp"
+#include "hw/perf_counter.hpp"
+
+namespace celia::apps::sand {
+
+/// Fixed per-alignment setup cost (allocating/priming the DP band).
+inline constexpr std::uint64_t kAlignSetupOps = 50;
+
+/// Banded Smith-Waterman over `band` diagonals; returns the best score.
+/// Trip counts depend only on (|a|, band), so the operation ledger is a
+/// function of the parameters alone.
+int banded_align(const Sequence& a, const Sequence& b, int band,
+                 hw::PerfCounter& counter);
+
+/// Closed-form ledger of banded_align on reads of `length` bases.
+hw::PerfCounter banded_align_ops(std::uint64_t length, std::uint64_t band);
+
+}  // namespace celia::apps::sand

@@ -1,0 +1,155 @@
+#include "apps/sand/sand_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::apps::sand {
+
+namespace {
+
+std::uint64_t checked_n(const AppParams& params) {
+  const auto n = static_cast<std::int64_t>(std::llround(params.n));
+  if (n < 2) throw std::invalid_argument("sand: need at least two sequences");
+  return static_cast<std::uint64_t>(n);
+}
+
+double checked_t(const AppParams& params) {
+  if (params.a <= 0.0 || params.a > 1.0)
+    throw std::invalid_argument("sand: threshold t must be in (0, 1]");
+  return params.a;
+}
+
+}  // namespace
+
+int SandModel::band(double t) const {
+  const auto width = static_cast<int>(
+      std::llround(band_base + band_log_coeff * std::log(t)));
+  return std::max(min_band, width);
+}
+
+namespace {
+
+/// The master's per-read task-index construction: a SplitMix64-style hash
+/// chain over the read id. Real work (the chain cannot be folded away) with
+/// a fixed ledger: 2 integer multiplies + 4 integer ops per step.
+std::uint64_t master_pass(std::uint64_t read_id, std::uint64_t steps,
+                          hw::PerfCounter& counter) {
+  std::uint64_t h = read_id + 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t k = 0; k < steps; ++k) {
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  }
+  counter.add(hw::OpClass::kIntMul, 2 * steps);
+  counter.add(hw::OpClass::kIntArith, 4 * steps);
+  return h;
+}
+
+}  // namespace
+
+hw::PerfCounter SandApp::master_pass_ops() const {
+  hw::PerfCounter ops;
+  ops.add(hw::OpClass::kIntMul, 2 * model_.master_chain_steps);
+  ops.add(hw::OpClass::kIntArith, 4 * model_.master_chain_steps);
+  return ops;
+}
+
+hw::PerfCounter SandApp::per_read_ops(double t, std::uint64_t n) const {
+  const auto candidates = static_cast<std::uint64_t>(
+      std::min<std::uint64_t>(model_.candidates_per_read, n - 1));
+  const auto band = static_cast<std::uint64_t>(model_.band(t));
+
+  hw::PerfCounter ops = kmer_scan_ops(model_.read_length);
+  const hw::PerfCounter align = banded_align_ops(model_.read_length, band);
+  for (int i = 0; i < hw::kNumOpClasses; ++i) {
+    const auto op = static_cast<hw::OpClass>(i);
+    ops.add(op, align.ops(op) * candidates);
+  }
+  ops.add(hw::OpClass::kOther, model_.master_ops_per_read);
+  return ops;
+}
+
+double SandApp::exact_demand(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const double t = checked_t(params);
+  return static_cast<double>(n) *
+         static_cast<double>(per_read_ops(t, n).instructions() +
+                             master_pass_ops().instructions());
+}
+
+void SandApp::run_instrumented(const AppParams& params,
+                               hw::PerfCounter& counter,
+                               std::uint64_t seed) const {
+  const std::uint64_t n = checked_n(params);
+  const double t = checked_t(params);
+  const int band = model_.band(t);
+  const auto candidates =
+      std::min<std::uint64_t>(model_.candidates_per_read, n - 1);
+
+  util::Xoshiro256 rng(seed);
+  std::vector<Sequence> reads;
+  reads.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    reads.push_back(make_sequence(model_.read_length, rng));
+
+  volatile std::int64_t sink = 0;
+  // Master pass: build the task index (serial in the cluster run).
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sink = sink + static_cast<std::int64_t>(
+                      master_pass(i, model_.master_chain_steps, counter));
+  }
+  // Worker passes: k-mer scan + candidate alignments.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sink = sink + static_cast<std::int64_t>(kmer_scan(reads[i], counter));
+    // Deterministic candidate selection: the next `candidates` reads in a
+    // ring (real SAND picks them via the k-mer index; the count per read
+    // is the quantity that matters for demand).
+    for (std::uint64_t c = 1; c <= candidates; ++c) {
+      const std::uint64_t j = (i + c) % n;
+      sink = sink + banded_align(reads[i], reads[j], band, counter);
+    }
+    counter.add(hw::OpClass::kOther, model_.master_ops_per_read);
+  }
+}
+
+Workload SandApp::make_workload(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const double t = checked_t(params);
+  const double per_read =
+      static_cast<double>(per_read_ops(t, n).instructions());
+
+  const std::uint64_t reads_per_task = std::max<std::uint64_t>(
+      1, std::min(model_.reads_per_task, n));
+  const std::uint64_t tasks = (n + reads_per_task - 1) / reads_per_task;
+
+  Workload workload;
+  workload.app_name = std::string(name());
+  workload.workload_class = workload_class();
+  workload.pattern = ParallelPattern::kMasterWorker;
+  workload.dispatch_seconds_per_task = model_.dispatch_seconds_per_task;
+  workload.serial_instructions =
+      static_cast<double>(master_pass_ops().instructions()) *
+      static_cast<double>(n);
+  workload.task_instructions.reserve(tasks);
+  std::uint64_t remaining = n;
+  for (std::uint64_t task = 0; task < tasks; ++task) {
+    const std::uint64_t reads = std::min(reads_per_task, remaining);
+    workload.task_instructions.push_back(per_read *
+                                         static_cast<double>(reads));
+    remaining -= reads;
+  }
+  workload.total_instructions =
+      per_read * static_cast<double>(n) + workload.serial_instructions;
+  return workload;
+}
+
+std::vector<AppParams> SandApp::profile_grid() const {
+  // Paper §IV-A: n in [1M, 64M] sequences, t in [0.01, 1].
+  std::vector<AppParams> grid;
+  for (const double n : {1e6, 2e6, 4e6, 8e6, 16e6, 32e6, 64e6})
+    for (const double t : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0})
+      grid.push_back({n, t});
+  return grid;
+}
+
+}  // namespace celia::apps::sand

@@ -1,0 +1,97 @@
+#pragma once
+// The sand elastic application (paper Table II, row 3).
+//
+// Problem size n = number of candidate genome sequences; accuracy a = the
+// quality threshold t in (0, 1]. A master process creates alignment tasks
+// and distributes them to workers over a Work Queue — master-worker
+// execution with per-task dispatch latency, which is why sand shows the
+// largest prediction error in the paper's Table IV.
+//
+// Demand is linear in n and logarithmic in t: each read is k-mer scanned
+// and aligned against a fixed number of candidate partners with a banded
+// Smith-Waterman whose band width grows with ln(t).
+
+#include "apps/elastic_app.hpp"
+#include "apps/sand/align.hpp"
+#include "apps/sand/sequence.hpp"
+
+namespace celia::apps::sand {
+
+/// Tunable model of the assembler's per-read work. `full()` is calibrated
+/// to the paper's sand measurements (~2.4 M instructions/read at t = 1);
+/// `mini()` keeps instrumented runs fast in tests.
+struct SandModel {
+  std::uint64_t read_length = 2000;   // bases per read (long reads)
+  int candidates_per_read = 4;        // alignment partners per read
+  double band_base = 20.0;            // band(t) = base + coeff * ln(t)
+  double band_log_coeff = 3.138;
+  int min_band = 4;
+
+  /// Master-side bookkeeping per read (task creation, result merge).
+  std::uint64_t master_ops_per_read = 20;
+  /// Length of the master's per-read task-index hash chain (see
+  /// master_pass below): each step costs 6 instructions and runs
+  /// single-threaded on the master, so this sets the serial fraction the
+  /// fluid model cannot see (~4 k instructions/read at full scale).
+  std::uint64_t master_chain_steps = 667;
+  /// Wall-clock the master needs to serialize + dispatch one task.
+  double dispatch_seconds_per_task = 1.6;
+  /// Reads per Work Queue task.
+  std::uint64_t reads_per_task = 4'000'000;
+
+  static SandModel full() { return {}; }
+  static SandModel mini() {
+    SandModel m;
+    m.read_length = 40;
+    m.candidates_per_read = 2;
+    m.band_base = 6.0;
+    m.band_log_coeff = 1.5;
+    m.min_band = 2;
+    m.reads_per_task = 16;
+    m.dispatch_seconds_per_task = 0.01;
+    m.master_chain_steps = 8;
+    return m;
+  }
+
+  /// Alignment band width at quality threshold t.
+  int band(double t) const;
+};
+
+class SandApp final : public ElasticApp {
+ public:
+  explicit SandApp(SandModel model = SandModel::full()) : model_(model) {}
+
+  std::string_view name() const override { return "sand"; }
+  std::string_view domain() const override { return "bioinformatics"; }
+  hw::WorkloadClass workload_class() const override {
+    return hw::WorkloadClass::kGenomeAlignment;
+  }
+  std::string_view size_param_name() const override {
+    return "n (sequences)";
+  }
+  std::string_view accuracy_param_name() const override {
+    return "t (quality threshold)";
+  }
+  ParamRange param_range() const override { return {2, 1e12, 0.01, 1.0}; }
+
+  double exact_demand(const AppParams& params) const override;
+  void run_instrumented(const AppParams& params, hw::PerfCounter& counter,
+                        std::uint64_t seed = 42) const override;
+  Workload make_workload(const AppParams& params) const override;
+  std::vector<AppParams> profile_grid() const override;
+
+  const SandModel& model() const { return model_; }
+
+  /// Closed-form per-read operation ledger at threshold t given `n` total
+  /// reads (each read aligns against min(candidates, n-1) partners).
+  /// Worker-side work only; the master's share is master_ops_per_read().
+  hw::PerfCounter per_read_ops(double t, std::uint64_t n) const;
+
+  /// Closed-form ledger of the master's per-read task-index work.
+  hw::PerfCounter master_pass_ops() const;
+
+ private:
+  SandModel model_;
+};
+
+}  // namespace celia::apps::sand

@@ -1,0 +1,30 @@
+#include "apps/sand/sequence.hpp"
+
+namespace celia::apps::sand {
+
+Sequence make_sequence(std::size_t length, util::Xoshiro256& rng) {
+  Sequence read(length);
+  for (auto& base : read)
+    base = static_cast<std::uint8_t>(rng.bounded(4));
+  return read;
+}
+
+std::uint64_t kmer_scan(const Sequence& read, hw::PerfCounter& counter) {
+  std::uint64_t hash = 0;
+  for (const std::uint8_t base : read) {
+    hash = (hash << 2) | base;   // extend the rolling 8-mer
+    hash &= (1ULL << 16) - 1;    // keep k = 8 bases (16 bits)
+  }
+  counter.add(hw::OpClass::kLoadStore, read.size());
+  counter.add(hw::OpClass::kIntArith, 2 * read.size());
+  return hash;
+}
+
+hw::PerfCounter kmer_scan_ops(std::uint64_t length) {
+  hw::PerfCounter ops;
+  ops.add(hw::OpClass::kLoadStore, length);
+  ops.add(hw::OpClass::kIntArith, 2 * length);
+  return ops;
+}
+
+}  // namespace celia::apps::sand

@@ -1,0 +1,29 @@
+#pragma once
+// Synthetic genome sequences and the k-mer candidate-selection scan used by
+// the SAND assembler model. Real SAND filters candidate sequence pairs with
+// a k-mer index before aligning them; we reproduce the computational shape
+// with a deterministic scan whose operation count depends only on the
+// parameters (so the closed-form demand is exact).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/perf_counter.hpp"
+#include "util/rng.hpp"
+
+namespace celia::apps::sand {
+
+/// Bases encoded 0..3 (A, C, G, T).
+using Sequence = std::vector<std::uint8_t>;
+
+/// Deterministic synthetic read of `length` bases.
+Sequence make_sequence(std::size_t length, util::Xoshiro256& rng);
+
+/// Rolling k-mer scan over one read (k = 8); returns a hash so the work is
+/// observable. Ledger per base: 1 load, 2 integer ops.
+std::uint64_t kmer_scan(const Sequence& read, hw::PerfCounter& counter);
+
+/// Closed-form ledger of kmer_scan over a read of `length` bases.
+hw::PerfCounter kmer_scan_ops(std::uint64_t length);
+
+}  // namespace celia::apps::sand

@@ -1,0 +1,64 @@
+#pragma once
+// Workload descriptions handed from an elastic application to the cluster
+// execution simulator. A workload captures the parallel structure the real
+// application would exhibit on a cluster; the simulator interprets it to
+// produce the "actual" execution time CELIA's predictions are validated
+// against (paper Table IV).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/workload_class.hpp"
+
+namespace celia::apps {
+
+/// Parallel execution pattern of an application on a cluster.
+enum class ParallelPattern {
+  /// Independent tasks, no inter-node communication (x264: one process per
+  /// video clip; nodes never talk to each other).
+  kIndependentTasks,
+  /// Bulk-synchronous: fixed number of steps; in each step the work is
+  /// divided across nodes and every node must finish (plus a synchronization
+  /// exchange) before the next step starts (galaxy: per-step all-gather of
+  /// body positions).
+  kBulkSynchronous,
+  /// Master-worker: a master dispatches tasks to idle workers over the
+  /// network with a fixed per-task dispatch latency (sand on Work Queue).
+  kMasterWorker,
+};
+
+struct Workload {
+  std::string app_name;
+  hw::WorkloadClass workload_class = hw::WorkloadClass::kNBody;
+  ParallelPattern pattern = ParallelPattern::kIndependentTasks;
+
+  /// Total demand in instructions; always equals the sum over the pattern's
+  /// components below.
+  double total_instructions = 0.0;
+
+  // --- kIndependentTasks / kMasterWorker ---
+  /// Per-task instruction counts.
+  std::vector<double> task_instructions;
+
+  // --- kMasterWorker ---
+  /// Wall-clock the master spends dispatching one task (serialization +
+  /// network round trip); tasks wait for it serially at the master.
+  double dispatch_seconds_per_task = 0.0;
+  /// Instructions the master must execute single-threaded before any task
+  /// can be dispatched (task creation / index construction). Part of the
+  /// application's total demand, but NOT parallelizable — the fluid model
+  /// (paper Eq. 2) ignores this, which is a deliberate source of
+  /// prediction error for master-worker applications (Table IV).
+  double serial_instructions = 0.0;
+
+  // --- kBulkSynchronous ---
+  std::uint64_t steps = 0;
+  /// Instructions per step, divided across nodes proportionally to their
+  /// capacity (the decomposition the paper's model assumes).
+  double instructions_per_step = 0.0;
+  /// Bytes every node must exchange at each step barrier.
+  double sync_bytes_per_step = 0.0;
+};
+
+}  // namespace celia::apps

@@ -1,0 +1,221 @@
+#include "apps/x264/encoder.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace celia::apps::x264 {
+
+namespace {
+
+/// DCT-II coefficient matrix, computed once.
+struct DctTable {
+  double c[8][8];
+  DctTable() {
+    for (int k = 0; k < 8; ++k) {
+      const double scale = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int i = 0; i < 8; ++i) {
+        c[k][i] = scale * std::cos((2 * i + 1) * k * std::numbers::pi / 16.0);
+      }
+    }
+  }
+};
+
+const DctTable& dct_table() {
+  static const DctTable table;
+  return table;
+}
+
+/// JPEG-style luminance quantization steps (flattened zigzag-less layout).
+constexpr int kQuantStep[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Zigzag scan order for an 8x8 block.
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace
+
+Block make_block(util::Xoshiro256& rng) {
+  Block block;
+  for (auto& pixel : block) pixel = rng.uniform(0.0, 255.0);
+  return block;
+}
+
+void dct8(const double* input, double* output, hw::PerfCounter& counter) {
+  const auto& table = dct_table();
+  for (int k = 0; k < 8; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < 8; ++i) sum += table.c[k][i] * input[i];
+    output[k] = sum;
+  }
+  // Ledger: 8 outputs x (8 multiplies, 8 adds incl. the accumulator init),
+  // 8 input loads + 8 output stores.
+  counter.add(hw::OpClass::kFloatMul, 64);
+  counter.add(hw::OpClass::kFloatAdd, 64);
+  counter.add(hw::OpClass::kLoadStore, 16);
+}
+
+int motion_search(const Block& block, const Block& reference,
+                  hw::PerfCounter& counter) {
+  // Evaluate kMotionCandidates cyclic shifts of the reference block (the
+  // stand-in for a +/- pixel search window) by sum of absolute
+  // differences.
+  int best = 0;
+  double best_sad = std::numeric_limits<double>::infinity();
+  for (int candidate = 0; candidate < kMotionCandidates; ++candidate) {
+    double sad = 0.0;
+    const int shift = candidate * 4;
+    for (int i = 0; i < 64; ++i) {
+      sad += std::abs(block[i] - reference[(i + shift) % 64]);
+    }
+    if (sad < best_sad) {
+      best_sad = sad;
+      best = candidate;
+    }
+  }
+  // Ledger per candidate: 64 loads of the shifted reference (the source
+  // block stays in registers), 128 FP adds (difference + accumulate),
+  // 1 compare-branch for the running minimum.
+  counter.add(hw::OpClass::kLoadStore,
+              64ull * kMotionCandidates);
+  counter.add(hw::OpClass::kFloatAdd, 128ull * kMotionCandidates);
+  counter.add(hw::OpClass::kBranch, kMotionCandidates);
+  return best;
+}
+
+double encode_block(const Block& block, const Block& reference, int f,
+                    hw::PerfCounter& counter) {
+  if (f < 1) throw std::invalid_argument("encode_block: f must be >= 1");
+
+  // Motion search against the previous frame's co-located block; the
+  // residual against the winning prediction is what gets transformed.
+  const int mv = motion_search(block, reference, counter);
+  const int shift = mv * 4;
+
+  // Load the source block and form the residual.
+  double work[64];
+  for (int i = 0; i < 64; ++i)
+    work[i] = block[i] - reference[(i + shift) % 64];
+  counter.add(hw::OpClass::kLoadStore, 64);
+  counter.add(hw::OpClass::kFloatAdd, 64);
+
+  // 2-D DCT: 8 row passes then 8 column passes.
+  double rows[64];
+  for (int r = 0; r < 8; ++r) dct8(&work[r * 8], &rows[r * 8], counter);
+  double coeffs[64];
+  for (int c = 0; c < 8; ++c) {
+    double column[8], transformed[8];
+    for (int r = 0; r < 8; ++r) column[r] = rows[r * 8 + c];
+    dct8(column, transformed, counter);
+    for (int r = 0; r < 8; ++r) coeffs[r * 8 + c] = transformed[r];
+  }
+
+  // Quantization with a dead-zone test.
+  double quantized[64];
+  for (int i = 0; i < 64; ++i) {
+    const double q = coeffs[i] / kQuantStep[i];
+    quantized[i] = std::abs(q) < 0.5 ? 0.0 : q;
+  }
+  counter.add(hw::OpClass::kFloatMul, 64);   // divide-by-step as multiply
+  counter.add(hw::OpClass::kLoadStore, 64);
+  counter.add(hw::OpClass::kBranch, 64);     // dead-zone comparisons
+
+  // Zigzag + run-length entropy pass.
+  int run = 0;
+  double checksum = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double v = quantized[kZigzag[i]];
+    if (v == 0.0) {
+      ++run;
+    } else {
+      checksum += v + run;
+      run = 0;
+    }
+  }
+  counter.add(hw::OpClass::kIntArith, 64);
+  counter.add(hw::OpClass::kLoadStore, 64);
+  counter.add(hw::OpClass::kBranch, 64);
+
+  // Rate-distortion refinement: an f x f candidate grid (trellis-like
+  // search); effort grows quadratically with the compression factor.
+  for (int p = 0; p < f; ++p) {
+    for (int q = 0; q < f; ++q) {
+      const int idx = (p * 8 + q) % 64;
+      const double lambda = 0.85 * p + 0.15;
+      const double rate = quantized[idx] * lambda;
+      const double dist = (coeffs[idx] - rate) * (coeffs[idx] - rate);
+      const double cost1 = dist + lambda * rate;
+      const double cost2 = dist * 1.0625 + lambda;
+      if (cost2 < cost1) checksum += cost2 - cost1;
+    }
+  }
+  // Ledger per (p,q): 6 multiplies, 6 adds/subs, 3 loads, 3 branches.
+  const auto grid = static_cast<std::uint64_t>(f) * f;
+  counter.add(hw::OpClass::kFloatMul, 6 * grid);
+  counter.add(hw::OpClass::kFloatAdd, 6 * grid);
+  counter.add(hw::OpClass::kLoadStore, 3 * grid);
+  counter.add(hw::OpClass::kBranch, 3 * grid);
+
+  return checksum;
+}
+
+double encode_clip(const ClipModel& model, int f, std::uint64_t seed,
+                   hw::PerfCounter& counter) {
+  util::Xoshiro256 rng(seed);
+  double checksum = 0.0;
+  // Frame 0 predicts from mid-gray; later frames from the previous frame.
+  Block gray;
+  gray.fill(128.0);
+  std::vector<Block> previous(model.blocks_per_frame(), gray);
+  std::vector<Block> current(model.blocks_per_frame());
+  for (int frame = 0; frame < model.frames; ++frame) {
+    for (int b = 0; b < model.blocks_per_frame(); ++b) {
+      current[b] = make_block(rng);
+      checksum += encode_block(current[b], previous[b], f, counter);
+    }
+    std::swap(previous, current);
+    counter.add(hw::OpClass::kOther, kPerFrameOverheadOps);
+  }
+  counter.add(hw::OpClass::kOther, kPerClipOverheadOps);
+  return checksum;
+}
+
+hw::PerfCounter block_ops(int f) {
+  hw::PerfCounter ops;
+  const auto grid = static_cast<std::uint64_t>(f) * f;
+  constexpr std::uint64_t kMe = kMotionCandidates;
+  // Motion search + residual + 16 dct8 calls (8 row + 8 column passes) +
+  // quantization + entropy + refinement.
+  ops.add(hw::OpClass::kFloatMul, 16 * 64 + 64 + 6 * grid);
+  ops.add(hw::OpClass::kFloatAdd, 128 * kMe + 64 + 16 * 64 + 6 * grid);
+  ops.add(hw::OpClass::kLoadStore,
+          64 * kMe + 64 + 16 * 16 + 64 + 64 + 3 * grid);
+  ops.add(hw::OpClass::kBranch, kMe + 64 + 64 + 3 * grid);
+  ops.add(hw::OpClass::kIntArith, 64);
+  return ops;
+}
+
+hw::PerfCounter clip_ops(const ClipModel& model, int f) {
+  hw::PerfCounter per_block = block_ops(f);
+  hw::PerfCounter ops;
+  const std::uint64_t blocks = model.blocks_per_clip();
+  for (int i = 0; i < hw::kNumOpClasses; ++i) {
+    const auto op = static_cast<hw::OpClass>(i);
+    ops.add(op, per_block.ops(op) * blocks);
+  }
+  ops.add(hw::OpClass::kOther,
+          kPerFrameOverheadOps * static_cast<std::uint64_t>(model.frames) +
+              kPerClipOverheadOps);
+  return ops;
+}
+
+}  // namespace celia::apps::x264

@@ -1,0 +1,82 @@
+#pragma once
+// x264-like video encoding kernel.
+//
+// Models the computational core of encoding one video clip: per 8x8 block,
+// a SAD motion search against the co-located reference block of the
+// previous frame (16 candidate offsets), a 2-D DCT of the residual,
+// quantization, zigzag + run-length entropy pass, and a rate-distortion
+// refinement whose effort grows quadratically with the compression factor
+// f (trellis-like search over an f x f candidate grid). This reproduces
+// the paper's Fig. 2 demand shape for x264: linear in the number of clips
+// n, quadratic in f.
+//
+// Every kernel *actually computes* on synthetic pixel data and reports its
+// operations to a hw::PerfCounter; `block_ops()` is the closed-form ledger
+// of the same loop structure (tests assert exact agreement).
+
+#include <array>
+#include <cstdint>
+
+#include "hw/perf_counter.hpp"
+#include "util/rng.hpp"
+
+namespace celia::apps::x264 {
+
+/// Dimensions of the modeled clip. The "full" model is calibrated so one
+/// 75 MB clip costs ~50 G instructions at f=10 (paper Table IV scale);
+/// the "mini" model keeps instrumented runs fast in tests.
+struct ClipModel {
+  int width = 320;       // pixels, multiple of 8
+  int height = 240;      // pixels, multiple of 8
+  int frames = 3400;     // frames per 75 MB clip
+
+  static ClipModel full() { return {320, 240, 3400}; }
+  static ClipModel mini() { return {64, 64, 2}; }
+
+  int blocks_per_frame() const { return (width / 8) * (height / 8); }
+  std::uint64_t blocks_per_clip() const {
+    return static_cast<std::uint64_t>(blocks_per_frame()) * frames;
+  }
+};
+
+/// One 8x8 pixel block in natural (row-major) order.
+using Block = std::array<double, 64>;
+
+/// Fill `block` with synthetic luma data (deterministic per rng state).
+Block make_block(util::Xoshiro256& rng);
+
+/// 1-D 8-point DCT-II of `input` into `output` (naive O(8^2) form, the
+/// instruction count the closed form assumes).
+void dct8(const double* input, double* output, hw::PerfCounter& counter);
+
+/// Candidate motion-vector offsets evaluated per block.
+inline constexpr int kMotionCandidates = 16;
+
+/// SAD motion search: evaluates kMotionCandidates cyclic shifts of
+/// `reference` against `block`; returns the index of the best candidate.
+int motion_search(const Block& block, const Block& reference,
+                  hw::PerfCounter& counter);
+
+/// Full per-block encode at compression factor f, predicting from
+/// `reference` (the co-located block of the previous frame); returns a
+/// checksum of the produced coefficients so the computation cannot be
+/// optimized away.
+double encode_block(const Block& block, const Block& reference, int f,
+                    hw::PerfCounter& counter);
+
+/// Encode one whole clip (all frames/blocks of `model`); returns a checksum.
+double encode_clip(const ClipModel& model, int f, std::uint64_t seed,
+                   hw::PerfCounter& counter);
+
+/// Closed-form per-block operation counts at compression factor f.
+hw::PerfCounter block_ops(int f);
+
+/// Closed-form per-clip operation counts (blocks + per-frame/clip overhead).
+hw::PerfCounter clip_ops(const ClipModel& model, int f);
+
+/// Per-frame and per-clip bookkeeping overhead (muxing, headers) charged to
+/// OpClass::kOther; also part of the closed form.
+inline constexpr std::uint64_t kPerFrameOverheadOps = 100;
+inline constexpr std::uint64_t kPerClipOverheadOps = 10000;
+
+}  // namespace celia::apps::x264

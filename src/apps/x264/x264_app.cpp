@@ -1,0 +1,66 @@
+#include "apps/x264/x264_app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::apps::x264 {
+
+namespace {
+
+int checked_f(const AppParams& params) {
+  const int f = static_cast<int>(std::llround(params.a));
+  if (f < 1 || f > 51)
+    throw std::invalid_argument("x264: compression factor out of [1, 51]");
+  return f;
+}
+
+std::uint64_t checked_n(const AppParams& params) {
+  const auto n = static_cast<std::int64_t>(std::llround(params.n));
+  if (n < 1) throw std::invalid_argument("x264: need at least one clip");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+double X264App::exact_demand(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const int f = checked_f(params);
+  return static_cast<double>(n) *
+         static_cast<double>(clip_ops(model_, f).instructions());
+}
+
+void X264App::run_instrumented(const AppParams& params,
+                               hw::PerfCounter& counter,
+                               std::uint64_t seed) const {
+  const std::uint64_t n = checked_n(params);
+  const int f = checked_f(params);
+  volatile double sink = 0.0;
+  for (std::uint64_t clip = 0; clip < n; ++clip) {
+    sink = sink + encode_clip(model_, f, seed + clip, counter);
+  }
+}
+
+Workload X264App::make_workload(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const int f = checked_f(params);
+  const double per_clip =
+      static_cast<double>(clip_ops(model_, f).instructions());
+
+  Workload workload;
+  workload.app_name = std::string(name());
+  workload.workload_class = workload_class();
+  workload.pattern = ParallelPattern::kIndependentTasks;
+  workload.task_instructions.assign(n, per_clip);
+  workload.total_instructions = per_clip * static_cast<double>(n);
+  return workload;
+}
+
+std::vector<AppParams> X264App::profile_grid() const {
+  // Paper §IV-A: n in [2, 32], f in [10, 50].
+  std::vector<AppParams> grid;
+  for (const double n : {2, 4, 8, 16, 32})
+    for (const double f : {10, 20, 30, 40, 50}) grid.push_back({n, f});
+  return grid;
+}
+
+}  // namespace celia::apps::x264

@@ -1,0 +1,41 @@
+#pragma once
+// The x264 elastic application (paper Table II, row 1).
+//
+// Problem size n = number of 75 MB video clips; accuracy a = compression
+// factor f in [1, 51] (the paper profiles f in [10, 50]). Clips are encoded
+// by independent processes — no inter-node communication — which is why
+// x264 shows the lowest prediction error in the paper's Table IV.
+
+#include "apps/elastic_app.hpp"
+#include "apps/x264/encoder.hpp"
+
+namespace celia::apps::x264 {
+
+class X264App final : public ElasticApp {
+ public:
+  explicit X264App(ClipModel model = ClipModel::full()) : model_(model) {}
+
+  std::string_view name() const override { return "x264"; }
+  std::string_view domain() const override { return "video compression"; }
+  hw::WorkloadClass workload_class() const override {
+    return hw::WorkloadClass::kVideoEncoding;
+  }
+  std::string_view size_param_name() const override { return "n (clips)"; }
+  std::string_view accuracy_param_name() const override {
+    return "f (compression factor)";
+  }
+  ParamRange param_range() const override { return {1, 1u << 20, 1, 51}; }
+
+  double exact_demand(const AppParams& params) const override;
+  void run_instrumented(const AppParams& params, hw::PerfCounter& counter,
+                        std::uint64_t seed = 42) const override;
+  Workload make_workload(const AppParams& params) const override;
+  std::vector<AppParams> profile_grid() const override;
+
+  const ClipModel& clip_model() const { return model_; }
+
+ private:
+  ClipModel model_;
+};
+
+}  // namespace celia::apps::x264

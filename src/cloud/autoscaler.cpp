@@ -1,0 +1,136 @@
+#include "cloud/autoscaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace celia::cloud {
+
+namespace {
+
+/// One leased instance with its own billing clock.
+struct Lease {
+  Instance instance;
+  double provisioned_at = 0.0;   // starts billing
+  double compute_from = 0.0;     // starts contributing (after boot delay)
+  double released_at = -1.0;     // < 0 while active
+};
+
+double lease_cost(const Lease& lease, double now, BillingPolicy billing) {
+  const double end = lease.released_at >= 0 ? lease.released_at : now;
+  return instance_cost(lease.instance.type(), end - lease.provisioned_at,
+                       billing);
+}
+
+}  // namespace
+
+AutoscaleReport run_autoscaled(CloudProvider& provider,
+                               hw::WorkloadClass workload,
+                               double total_instructions,
+                               double deadline_seconds,
+                               const AutoscalerPolicy& policy) {
+  if (total_instructions <= 0)
+    throw std::invalid_argument("run_autoscaled: non-positive work");
+  if (deadline_seconds <= 0)
+    throw std::invalid_argument("run_autoscaled: non-positive deadline");
+  if (policy.interval_seconds <= 0 || policy.max_instances < 1)
+    throw std::invalid_argument("run_autoscaled: bad policy");
+  if (policy.type_index >= catalog_size())
+    throw std::out_of_range("run_autoscaled: bad type index");
+
+  // Provision one instance of the chosen type via the provider so its
+  // speed factor comes from the same noise stream as everything else.
+  std::vector<int> one(catalog_size(), 0);
+  one[policy.type_index] = 1;
+
+  std::vector<Lease> leases;
+  auto add_instance = [&](double now) {
+    Lease lease;
+    lease.instance = provider.provision(one)[0];
+    lease.provisioned_at = now;
+    lease.compute_from = now + policy.provision_delay_seconds;
+    leases.push_back(lease);
+  };
+
+  AutoscaleReport report;
+  double remaining = total_instructions;
+  double now = 0.0;
+  add_instance(now);
+  report.peak_instances = 1;
+
+  const double hard_stop = 100.0 * deadline_seconds;  // runaway guard
+  while (remaining > 0 && now < hard_stop) {
+    const double slice_end = now + policy.interval_seconds;
+
+    // Advance the fluid model over this interval, honoring per-instance
+    // boot delays (an instance contributes only after compute_from).
+    double step_now = now;
+    while (step_now < slice_end && remaining > 0) {
+      // The next boot-completion inside this interval splits the slice.
+      double next_edge = slice_end;
+      double rate = 0.0;
+      for (const Lease& lease : leases) {
+        if (lease.released_at >= 0) continue;
+        if (lease.compute_from <= step_now) {
+          rate += lease.instance.actual_rate(workload);
+        } else {
+          next_edge = std::min(next_edge, lease.compute_from);
+        }
+      }
+      const double dt = next_edge - step_now;
+      if (rate > 0) {
+        const double work = rate * dt;
+        if (work >= remaining) {
+          step_now += remaining / rate;
+          remaining = 0;
+          break;
+        }
+        remaining -= work;
+      }
+      step_now = next_edge;
+    }
+    now = remaining > 0 ? slice_end : step_now;
+    if (remaining <= 0) break;
+
+    // Controller decision.
+    double active_rate = 0.0;
+    int active = 0;
+    for (const Lease& lease : leases) {
+      if (lease.released_at < 0) {
+        active_rate += lease.instance.actual_rate(workload);
+        ++active;
+      }
+    }
+    const double projected =
+        active_rate > 0 ? now + remaining / active_rate : hard_stop;
+    if (projected > deadline_seconds * policy.headroom &&
+        active < policy.max_instances) {
+      add_instance(now);
+      ++report.scale_ups;
+    } else if (projected < deadline_seconds * policy.relax && active > 1) {
+      // Release the most recently added active instance.
+      for (auto it = leases.rbegin(); it != leases.rend(); ++it) {
+        if (it->released_at < 0) {
+          it->released_at = now;
+          ++report.scale_downs;
+          break;
+        }
+      }
+    }
+    int now_active = 0;
+    for (const Lease& lease : leases)
+      if (lease.released_at < 0) ++now_active;
+    report.peak_instances = std::max(report.peak_instances, now_active);
+    report.fleet_trace.push_back(now_active);
+  }
+
+  // Release everything and settle the bill.
+  report.seconds = now;
+  for (Lease& lease : leases) {
+    if (lease.released_at < 0) lease.released_at = now;
+    report.cost += lease_cost(lease, now, policy.billing);
+  }
+  report.met_deadline = remaining <= 0 && now <= deadline_seconds;
+  return report;
+}
+
+}  // namespace celia::cloud

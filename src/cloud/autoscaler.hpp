@@ -1,0 +1,65 @@
+#pragma once
+// Reactive deadline-driven autoscaling baseline.
+//
+// The paper's related work (§II) contrasts CELIA's ahead-of-time optimal
+// configuration selection with reactive autoscaling (Mao et al.): start
+// small, watch progress, add or remove instances to meet the deadline.
+// This module implements such a controller over the simulated cloud so the
+// two approaches can be compared on cost (bench/ext_autoscaling).
+//
+// The executor uses a fluid approximation of a divisible workload: in each
+// control interval the fleet retires work at its aggregate delivered rate;
+// between intervals the controller re-estimates the finish time and scales
+// up (toward the deadline) or down (when comfortably ahead). Scale-ups pay
+// a provisioning delay during which the new instance bills but does no
+// work — the classic autoscaling inefficiency CELIA avoids.
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/pricing.hpp"
+#include "cloud/provider.hpp"
+#include "hw/workload_class.hpp"
+
+namespace celia::cloud {
+
+struct AutoscalerPolicy {
+  /// Controller wake-up period.
+  double interval_seconds = 300.0;
+  /// Instance boot + contextualization time; bills, does not compute.
+  double provision_delay_seconds = 120.0;
+  /// Scale up while projected finish > deadline x headroom.
+  double headroom = 0.95;
+  /// Scale down when projected finish < deadline x relax (never below one
+  /// instance).
+  double relax = 0.60;
+  /// Catalog type the controller adds/removes (autoscaling groups are
+  /// homogeneous; pick the type by cost-efficiency before starting).
+  std::size_t type_index = 0;
+  /// Upper bound on fleet size (EC2 default limits).
+  int max_instances = 20;
+  BillingPolicy billing = BillingPolicy::kContinuous;
+};
+
+struct AutoscaleReport {
+  double seconds = 0.0;          // makespan
+  double cost = 0.0;             // total billed cost
+  bool met_deadline = false;
+  int peak_instances = 0;
+  int scale_ups = 0;
+  int scale_downs = 0;
+  /// Fleet-size samples, one per control interval (for plotting).
+  std::vector<int> fleet_trace;
+};
+
+/// Run `total_instructions` of perfectly divisible work of class
+/// `workload` under the reactive controller. The provider supplies
+/// per-instance speed factors; instances bill from provision to release.
+/// Throws std::invalid_argument on non-positive work or bad policy.
+AutoscaleReport run_autoscaled(CloudProvider& provider,
+                               hw::WorkloadClass workload,
+                               double total_instructions,
+                               double deadline_seconds,
+                               const AutoscalerPolicy& policy = {});
+
+}  // namespace celia::cloud

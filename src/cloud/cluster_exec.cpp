@@ -1,0 +1,192 @@
+#include "cloud/cluster_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace celia::cloud {
+
+namespace {
+
+/// One compute slot: a vCPU of some instance, executing one task at a time.
+struct Slot {
+  double rate = 0.0;       // instructions/second delivered by this vCPU
+  double busy_until = 0.0; // accumulated busy seconds (for utilization)
+};
+
+std::vector<Slot> make_slots(const std::vector<Instance>& instances,
+                             hw::WorkloadClass workload) {
+  std::vector<Slot> slots;
+  for (const auto& instance : instances) {
+    const double per_vcpu =
+        instance.actual_rate(workload) / instance.type().vcpus;
+    for (int v = 0; v < instance.type().vcpus; ++v)
+      slots.push_back({per_vcpu, 0.0});
+  }
+  return slots;
+}
+
+}  // namespace
+
+ExecutionReport ClusterExecutor::execute(const apps::Workload& workload,
+                                         const std::vector<Instance>& instances,
+                                         const std::vector<int>& node_counts,
+                                         ExecutionOptions options) const {
+  if (instances.empty())
+    throw std::invalid_argument("ClusterExecutor: no instances");
+  if (workload.total_instructions <= 0)
+    throw std::invalid_argument("ClusterExecutor: empty workload");
+
+  ExecutionReport report;
+  switch (workload.pattern) {
+    case apps::ParallelPattern::kIndependentTasks:
+      report = run_task_farm(workload, instances, /*dispatch_seconds=*/0.0,
+                             options.record_trace);
+      break;
+    case apps::ParallelPattern::kMasterWorker:
+      report = run_task_farm(workload, instances,
+                             workload.dispatch_seconds_per_task,
+                             options.record_trace);
+      break;
+    case apps::ParallelPattern::kBulkSynchronous:
+      report = run_bulk_synchronous(workload, instances);
+      break;
+  }
+  report.nodes = instances.size();
+  report.cost = configuration_cost(node_counts, report.seconds,
+                                   options.billing);
+  return report;
+}
+
+ExecutionReport ClusterExecutor::run_task_farm(
+    const apps::Workload& workload, const std::vector<Instance>& instances,
+    double dispatch_seconds, bool record_trace) const {
+  if (workload.task_instructions.empty())
+    throw std::invalid_argument("task farm: no tasks");
+  std::vector<TraceSegment> trace;
+  if (record_trace) trace.reserve(workload.task_instructions.size());
+
+  std::vector<Slot> slots = make_slots(instances, workload.workload_class);
+
+  // Serial master prologue: task creation runs single-threaded on one vCPU
+  // of the first instance before anything can be dispatched.
+  double serial_seconds = 0.0;
+  if (workload.serial_instructions > 0.0) {
+    const double master_rate =
+        instances.front().actual_rate(workload.workload_class) /
+        instances.front().type().vcpus;
+    serial_seconds = workload.serial_instructions / master_rate;
+  }
+
+  sim::Simulator simulator;
+  std::deque<std::size_t> idle;  // slot indices waiting for work
+  for (std::size_t i = 0; i < slots.size(); ++i) idle.push_back(i);
+
+  std::size_t next_task = 0;
+  bool master_busy = false;
+  double makespan = serial_seconds;
+
+  // The master hands the next task to an idle worker, occupying itself for
+  // `dispatch_seconds` per task (serialization + network round trip). With
+  // dispatch_seconds == 0 this degenerates to greedy list scheduling of
+  // independent tasks.
+  std::function<void()> try_dispatch = [&] {
+    if (master_busy || idle.empty() ||
+        next_task >= workload.task_instructions.size())
+      return;
+    const std::size_t slot_index = idle.front();
+    idle.pop_front();
+    const std::size_t task_index = next_task;
+    const double instructions = workload.task_instructions[next_task++];
+    master_busy = dispatch_seconds > 0.0;
+    simulator.schedule_after(dispatch_seconds, [&, slot_index, task_index,
+                                                instructions] {
+      master_busy = false;
+      const double duration = instructions / slots[slot_index].rate;
+      slots[slot_index].busy_until += duration;
+      if (record_trace) {
+        trace.push_back({slot_index, task_index, simulator.now(),
+                         simulator.now() + duration});
+      }
+      simulator.schedule_after(duration, [&, slot_index] {
+        makespan = std::max(makespan, simulator.now());
+        idle.push_back(slot_index);
+        try_dispatch();
+      });
+      try_dispatch();  // master is free again: overlap with compute
+    });
+  };
+
+  if (serial_seconds > 0.0) {
+    simulator.schedule_at(serial_seconds, [&] { try_dispatch(); });
+  } else {
+    try_dispatch();
+  }
+  const std::uint64_t events = simulator.run();
+
+  ExecutionReport report;
+  report.seconds = makespan;
+  report.events = events;
+  report.slots = slots.size();
+  report.trace = std::move(trace);
+  double busy = 0.0;
+  for (const auto& slot : slots) busy += slot.busy_until;
+  report.busy_fraction =
+      makespan > 0 ? busy / (makespan * static_cast<double>(slots.size()))
+                   : 0.0;
+  return report;
+}
+
+ExecutionReport ClusterExecutor::run_bulk_synchronous(
+    const apps::Workload& workload,
+    const std::vector<Instance>& instances) const {
+  if (workload.steps == 0)
+    throw std::invalid_argument("bulk synchronous: no steps");
+
+  // Static decomposition by *nominal* capacity (the application partitions
+  // work from catalog specs, not from delivered performance), executed at
+  // each node's *actual* rate: every step takes as long as its slowest
+  // node, then pays a logarithmic-depth synchronization exchange.
+  double nominal_total = 0.0;
+  for (const auto& instance : instances)
+    nominal_total += instance.nominal_rate(workload.workload_class);
+
+  double slowest_step = 0.0;
+  for (const auto& instance : instances) {
+    const double share = workload.instructions_per_step *
+                         instance.nominal_rate(workload.workload_class) /
+                         nominal_total;
+    slowest_step = std::max(
+        share / instance.actual_rate(workload.workload_class), slowest_step);
+  }
+
+  double sync = 0.0;
+  if (instances.size() > 1) {
+    const double depth = std::ceil(std::log2(instances.size()));
+    sync = (network_.latency_seconds +
+            workload.sync_bytes_per_step / network_.bandwidth_bytes_per_s) *
+           depth;
+  }
+
+  ExecutionReport report;
+  report.seconds = static_cast<double>(workload.steps) * (slowest_step + sync);
+  report.events = 0;  // analytic path: stepping is closed-form
+  for (const auto& instance : instances)
+    report.slots += static_cast<std::size_t>(instance.type().vcpus);
+  // Utilization: average over nodes of (their compute share time / step).
+  double busy = 0.0;
+  for (const auto& instance : instances) {
+    const double share = workload.instructions_per_step *
+                         instance.nominal_rate(workload.workload_class) /
+                         nominal_total;
+    busy += share / instance.actual_rate(workload.workload_class);
+  }
+  report.busy_fraction =
+      busy / (static_cast<double>(instances.size()) * (slowest_step + sync));
+  return report;
+}
+
+}  // namespace celia::cloud

@@ -1,0 +1,65 @@
+#include "cloud/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace celia::cloud {
+
+std::size_t render_gantt(const ExecutionReport& report, std::ostream& out,
+                         GanttOptions options) {
+  if (report.trace.empty())
+    throw std::invalid_argument(
+        "render_gantt: report has no trace (set ExecutionOptions::"
+        "record_trace)");
+  options.width = std::max(16, options.width);
+  options.max_rows = std::max(1, options.max_rows);
+
+  const double horizon = report.seconds > 0 ? report.seconds : 1.0;
+  const std::size_t rows =
+      std::min<std::size_t>(report.slots,
+                            static_cast<std::size_t>(options.max_rows));
+
+  std::vector<std::string> grid(
+      rows, std::string(static_cast<std::size_t>(options.width), '.'));
+  std::vector<double> busy(rows, 0.0);
+
+  for (const TraceSegment& segment : report.trace) {
+    if (segment.slot >= rows) continue;
+    const int from = static_cast<int>(
+        std::floor(segment.start_seconds / horizon * options.width));
+    int to = static_cast<int>(
+        std::ceil(segment.end_seconds / horizon * options.width));
+    to = std::min(to, options.width);
+    const char mark =
+        options.label_tasks ? static_cast<char>('0' + segment.task % 10)
+                            : '#';
+    for (int c = std::max(0, from); c < to; ++c)
+      grid[segment.slot][static_cast<std::size_t>(c)] = mark;
+    busy[segment.slot] += segment.end_seconds - segment.start_seconds;
+  }
+
+  out << "Gantt (" << report.slots << " slots, makespan "
+      << util::format_duration(report.seconds) << "; '.' = idle";
+  if (options.label_tasks) out << ", digits = task index mod 10";
+  out << ")\n";
+  for (std::size_t row = 0; row < rows; ++row) {
+    out << "  slot " << (row < 10 ? " " : "") << row << " |" << grid[row]
+        << "| " << util::format_percent(busy[row] / horizon, 0) << "\n";
+  }
+  if (report.slots > rows)
+    out << "  (" << report.slots - rows << " more slots not shown)\n";
+  return rows;
+}
+
+std::string gantt_to_string(const ExecutionReport& report,
+                            GanttOptions options) {
+  std::ostringstream oss;
+  render_gantt(report, oss, options);
+  return oss.str();
+}
+
+}  // namespace celia::cloud

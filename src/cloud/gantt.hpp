@@ -1,0 +1,32 @@
+#pragma once
+// ASCII Gantt rendering of cluster execution traces — one row per compute
+// slot (vCPU), time flowing left to right. Lets a user see where a
+// configuration's time actually goes: ramp-up staggering, master dispatch
+// serialization, and the end-of-run tail that makes indivisible workloads
+// slower than the fluid model predicts.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cloud/cluster_exec.hpp"
+
+namespace celia::cloud {
+
+struct GanttOptions {
+  int width = 72;          // columns used for the time axis
+  int max_rows = 48;       // slots beyond this are summarized
+  bool label_tasks = true; // paint task-index digits instead of '#'
+};
+
+/// Render `report.trace` (requires ExecutionOptions::record_trace).
+/// Returns the number of slot rows printed. Throws std::invalid_argument
+/// when the report carries no trace.
+std::size_t render_gantt(const ExecutionReport& report, std::ostream& out,
+                         GanttOptions options = {});
+
+/// Convenience: render to a string.
+std::string gantt_to_string(const ExecutionReport& report,
+                            GanttOptions options = {});
+
+}  // namespace celia::cloud

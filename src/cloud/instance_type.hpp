@@ -1,0 +1,50 @@
+#pragma once
+// The cloud resource catalog — the paper's Table III: nine Amazon EC2
+// on-demand instance types from the Oregon region (2017 pricing), three
+// categories (compute-intensive c4, general-purpose m4, memory-optimized
+// r3) x three sizes (large, xlarge, 2xlarge).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "hw/microarch.hpp"
+
+namespace celia::cloud {
+
+enum class Category { kCompute, kGeneralPurpose, kMemoryOptimized };
+enum class Size { kLarge, kXLarge, k2XLarge };
+
+std::string_view category_name(Category category);
+std::string_view size_name(Size size);
+
+struct InstanceType {
+  std::string_view name;          // e.g. "c4.large"
+  Category category;
+  Size size;
+  int vcpus;                      // hyper-threads exposed to the guest
+  double frequency_ghz;           // per Table III
+  double memory_gb;
+  std::string_view storage;       // "EBS" or local SSD GB
+  double cost_per_hour;           // USD, on-demand
+  hw::Microarch microarch;        // host processor
+};
+
+/// The nine types of Table III, in the paper's row order (c4.large ..
+/// r3.2xlarge). Configuration tuples index into this order.
+std::span<const InstanceType> ec2_catalog();
+
+/// Number of catalog entries (M in the paper's notation) — 9.
+std::size_t catalog_size();
+
+/// Maximum instances per type the paper allows in a configuration — 5.
+inline constexpr int kMaxInstancesPerType = 5;
+
+/// Lookup by name ("c4.large" ...); nullopt when unknown.
+std::optional<InstanceType> find_instance_type(std::string_view name);
+
+/// Index of a type in the catalog; throws std::out_of_range when unknown.
+std::size_t catalog_index(std::string_view name);
+
+}  // namespace celia::cloud

@@ -1,0 +1,65 @@
+#include "cloud/pricing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::cloud {
+
+std::string_view billing_policy_name(BillingPolicy policy) {
+  switch (policy) {
+    case BillingPolicy::kContinuous:
+      return "continuous";
+    case BillingPolicy::kPerSecond:
+      return "per-second";
+    case BillingPolicy::kPerHour:
+      return "per-hour";
+  }
+  return "?";
+}
+
+double instance_cost(const InstanceType& type, double seconds,
+                     BillingPolicy policy) {
+  if (seconds < 0) throw std::invalid_argument("instance_cost: negative time");
+  double billed_hours = seconds / 3600.0;
+  switch (policy) {
+    case BillingPolicy::kContinuous:
+      break;
+    case BillingPolicy::kPerSecond:
+      billed_hours = std::ceil(seconds) / 3600.0;
+      break;
+    case BillingPolicy::kPerHour:
+      billed_hours = std::ceil(seconds / 3600.0);
+      break;
+  }
+  return billed_hours * type.cost_per_hour;
+}
+
+double configuration_hourly_cost(const std::vector<int>& node_counts) {
+  const auto catalog = ec2_catalog();
+  if (node_counts.size() != catalog.size())
+    throw std::invalid_argument(
+        "configuration_hourly_cost: counts must match catalog size");
+  double hourly = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (node_counts[i] < 0)
+      throw std::invalid_argument(
+          "configuration_hourly_cost: negative node count");
+    hourly += node_counts[i] * catalog[i].cost_per_hour;
+  }
+  return hourly;
+}
+
+double configuration_cost(const std::vector<int>& node_counts, double seconds,
+                          BillingPolicy policy) {
+  const auto catalog = ec2_catalog();
+  if (node_counts.size() != catalog.size())
+    throw std::invalid_argument(
+        "configuration_cost: counts must match catalog size");
+  double total = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    total += node_counts[i] * instance_cost(catalog[i], seconds, policy);
+  }
+  return total;
+}
+
+}  // namespace celia::cloud

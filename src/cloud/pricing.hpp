@@ -1,0 +1,34 @@
+#pragma once
+// Billing policies. The paper's cost model (Eq. 5) is continuous
+// (C = T x hourly rate); real EC2 billed per full hour in 2017 and per
+// second today. All three are available so the billing-granularity
+// ablation can quantify the difference.
+
+#include <string_view>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+
+namespace celia::cloud {
+
+enum class BillingPolicy {
+  kContinuous,  // paper Eq. 5: cost accrues fractionally
+  kPerSecond,   // rounded up to whole seconds (modern EC2)
+  kPerHour,     // rounded up to whole hours (EC2 as of the paper)
+};
+
+std::string_view billing_policy_name(BillingPolicy policy);
+
+/// Cost of running one instance of `type` for `seconds`.
+double instance_cost(const InstanceType& type, double seconds,
+                     BillingPolicy policy = BillingPolicy::kContinuous);
+
+/// Hourly cost of a configuration given per-type node counts aligned with
+/// ec2_catalog() order (paper Eq. 6).
+double configuration_hourly_cost(const std::vector<int>& node_counts);
+
+/// Cost of running a whole configuration for `seconds`.
+double configuration_cost(const std::vector<int>& node_counts, double seconds,
+                          BillingPolicy policy = BillingPolicy::kContinuous);
+
+}  // namespace celia::cloud

@@ -1,0 +1,52 @@
+#include "cloud/provider.hpp"
+
+#include <stdexcept>
+
+namespace celia::cloud {
+
+CloudProvider::CloudProvider(std::uint64_t seed) : seed_(seed) {}
+
+std::vector<Instance> CloudProvider::provision(
+    const std::vector<int>& node_counts) {
+  const auto catalog = ec2_catalog();
+  if (node_counts.size() != catalog.size())
+    throw std::invalid_argument(
+        "provision: counts must match catalog size");
+
+  std::vector<Instance> instances;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (node_counts[i] < 0 || node_counts[i] > kMaxInstancesPerType)
+      throw std::invalid_argument(
+          "provision: node count outside [0, " +
+          std::to_string(kMaxInstancesPerType) + "] for " +
+          std::string(catalog[i].name));
+    for (int k = 0; k < node_counts[i]; ++k) {
+      Instance instance;
+      instance.type_index = i;
+      instance.instance_id = next_instance_id_++;
+      instance.speed_factor =
+          instance_speed_factor(seed_, instance.instance_id);
+      instances.push_back(instance);
+    }
+  }
+  if (instances.empty())
+    throw std::invalid_argument("provision: empty configuration");
+  return instances;
+}
+
+double CloudProvider::run_benchmark(std::size_t type_index,
+                                    double instructions,
+                                    hw::WorkloadClass workload) {
+  if (type_index >= catalog_size())
+    throw std::out_of_range("run_benchmark: bad type index");
+  if (instructions <= 0)
+    throw std::invalid_argument("run_benchmark: non-positive demand");
+
+  Instance instance;
+  instance.type_index = type_index;
+  instance.instance_id = next_instance_id_++;
+  instance.speed_factor = instance_speed_factor(seed_, instance.instance_id);
+  return instructions / instance.actual_rate(workload);
+}
+
+}  // namespace celia::cloud

@@ -1,0 +1,51 @@
+#pragma once
+// The simulated IaaS provider: provisioning against per-type limits and
+// timed benchmark runs used by CELIA's cloud-side characterization.
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/vm.hpp"
+#include "hw/workload_class.hpp"
+
+namespace celia::cloud {
+
+/// Interconnect between instances (EC2 "moderate-to-high" networking).
+struct NetworkModel {
+  double latency_seconds = 100e-6;       // per message
+  double bandwidth_bytes_per_s = 1.0e9;  // per link
+};
+
+class CloudProvider {
+ public:
+  /// `seed` fixes every instance's speed factor, making all experiments
+  /// reproducible; different seeds give different "days on EC2".
+  explicit CloudProvider(std::uint64_t seed = 2017);
+
+  /// Provision a configuration: node_counts aligned with ec2_catalog().
+  /// Throws std::invalid_argument when a count exceeds kMaxInstancesPerType
+  /// or the configuration is empty.
+  std::vector<Instance> provision(const std::vector<int>& node_counts);
+
+  /// Run a timed scale-down benchmark of `instructions` on one fresh
+  /// instance of catalog type `type_index` using all its vCPUs, and return
+  /// the measured wall-clock seconds. This is the cloud half of the
+  /// paper's characterization: the user cannot read instruction counters
+  /// in the VM, only time the run.
+  double run_benchmark(std::size_t type_index, double instructions,
+                       hw::WorkloadClass workload);
+
+  const NetworkModel& network() const { return network_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Total instances handed out so far (monotonic instance ids).
+  std::uint64_t instances_provisioned() const { return next_instance_id_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t next_instance_id_ = 0;
+  NetworkModel network_;
+};
+
+}  // namespace celia::cloud

@@ -1,0 +1,28 @@
+#include "cloud/region.hpp"
+
+#include <array>
+
+namespace celia::cloud {
+
+namespace {
+
+// Relative 2017 EC2 on-demand price levels (us-west-2 = 1.0) and
+// inter-region staging characteristics. Transfer into the home region is
+// free (the data already lives there).
+constexpr std::array<Region, 5> kRegions = {{
+    {"us-west-2 (Oregon)", 1.00, 0.00, 0.0},
+    {"us-east-1 (Virginia)", 0.97, 0.02, 600e6},
+    {"eu-west-1 (Ireland)", 1.11, 0.02, 300e6},
+    {"ap-southeast-1 (Singapore)", 1.25, 0.09, 150e6},
+    {"sa-east-1 (Sao Paulo)", 1.55, 0.16, 100e6},
+}};
+
+}  // namespace
+
+std::span<const Region> region_catalog() { return kRegions; }
+
+double regional_hourly_cost(const InstanceType& type, const Region& region) {
+  return type.cost_per_hour * region.price_multiplier;
+}
+
+}  // namespace celia::cloud

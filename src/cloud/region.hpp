@@ -1,0 +1,39 @@
+#pragma once
+// Multi-region pricing (extension E4).
+//
+// The paper evaluates a single region ("All cloud instances are selected
+// from Amazon EC2 Oregon region"). Real EC2 prices the same instance
+// types differently per region, and moving the computation to a cheaper
+// region costs a one-time data transfer (egress fee + staging time).
+// This module models both so CELIA can answer "which region should this
+// job run in?" (core/region_planner.hpp).
+
+#include <span>
+#include <string_view>
+
+#include "cloud/instance_type.hpp"
+
+namespace celia::cloud {
+
+struct Region {
+  std::string_view name;
+  /// Multiplier on the Table III (us-west-2) hourly prices.
+  double price_multiplier;
+  /// Inter-region transfer fee per GB into this region ($0 at home).
+  double transfer_dollars_per_gb;
+  /// Achievable inter-region staging bandwidth (bytes/s).
+  double staging_bandwidth_bytes_per_s;
+};
+
+/// Modeled regions, index 0 = us-west-2 (Oregon, the paper's region,
+/// multiplier 1.0). Multipliers reflect the 2017-era relative price
+/// spread across EC2 regions.
+std::span<const Region> region_catalog();
+
+/// Index of the paper's home region (us-west-2) in region_catalog().
+inline constexpr std::size_t kHomeRegion = 0;
+
+/// Hourly cost of `type` in `region`.
+double regional_hourly_cost(const InstanceType& type, const Region& region);
+
+}  // namespace celia::cloud

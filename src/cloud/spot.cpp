@@ -1,0 +1,201 @@
+#include "cloud/spot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hw/ipc_model.hpp"
+#include "util/rng.hpp"
+
+namespace celia::cloud {
+
+SpotMarket::SpotMarket(const InstanceType& type, std::uint64_t seed,
+                       SpotMarketModel model)
+    : type_(type), model_(model) {
+  if (model_.tick_seconds <= 0)
+    throw std::invalid_argument("SpotMarket: non-positive tick");
+  util::SplitMix64 sm(seed ^ (type.cost_per_hour * 1e6 > 0
+                                  ? static_cast<std::uint64_t>(
+                                        type.cost_per_hour * 1e6)
+                                  : 1));
+  rng_state_[0] = sm.next();
+  rng_state_[1] = sm.next();
+  path_.push_back(model_.mean_fraction * type_.cost_per_hour);
+}
+
+void SpotMarket::extend(std::uint64_t tick) const {
+  util::Xoshiro256 rng(rng_state_[0] ^ (rng_state_[1] * (path_.size() + 1)));
+  const double mean = model_.mean_fraction * type_.cost_per_hour;
+  while (path_.size() <= tick) {
+    // Re-seed a small generator per step from the memoized state so the
+    // path is identical regardless of the query order.
+    util::Xoshiro256 step_rng(rng_state_[0] + 0x9e3779b97f4a7c15ULL *
+                                                  path_.size());
+    const double previous = path_.back();
+    double next = previous + model_.reversion * (mean - previous);
+    next *= std::exp(model_.volatility * step_rng.normal());
+    if (step_rng.next_double() < model_.spike_probability)
+      next *= model_.spike_multiplier;
+    // Spot never exceeds 10x on-demand nor drops below 5% of it.
+    next = std::clamp(next, 0.05 * type_.cost_per_hour,
+                      10.0 * type_.cost_per_hour);
+    path_.push_back(next);
+  }
+  (void)rng;
+}
+
+double SpotMarket::price(std::uint64_t tick) const {
+  if (tick >= path_.size()) extend(tick);
+  return path_[tick];
+}
+
+SpotRunReport run_on_spot(const SpotMarket& market,
+                          hw::WorkloadClass workload,
+                          double total_instructions,
+                          const SpotRunPolicy& policy,
+                          double horizon_seconds) {
+  if (total_instructions <= 0)
+    throw std::invalid_argument("run_on_spot: non-positive work");
+  if (policy.instances < 1)
+    throw std::invalid_argument("run_on_spot: need at least one instance");
+  if (policy.bid_per_hour <= 0)
+    throw std::invalid_argument("run_on_spot: non-positive bid");
+  if (horizon_seconds <= 0)
+    throw std::invalid_argument("run_on_spot: non-positive horizon");
+
+  const InstanceType& type = market.type();
+  const double fleet_rate =
+      hw::vcpu_rate(type.microarch, workload) * type.vcpus *
+      policy.instances;
+  const double tick = market.tick_seconds();
+
+  SpotRunReport report;
+  double done = 0.0;            // completed work
+  double checkpointed = 0.0;    // work safe on stable storage
+  double since_checkpoint_time = 0.0;
+  double resume_at = 0.0;       // compute blocked until this time
+  bool was_running = false;
+
+  double now = 0.0;
+  while (done < total_instructions && now < horizon_seconds) {
+    const auto k = static_cast<std::uint64_t>(now / tick);
+    const double tick_end = (static_cast<double>(k) + 1.0) * tick;
+    const double slice = std::min(tick_end, horizon_seconds) - now;
+    const double price = market.price(k);
+
+    if (price > policy.bid_per_hour) {
+      // Evicted (or staying evicted): lose uncheckpointed work once per
+      // eviction event.
+      if (was_running) {
+        ++report.evictions;
+        report.lost_work_instructions += done - checkpointed;
+        done = checkpointed;
+        was_running = false;
+      }
+      resume_at = 0.0;  // re-arm the restart delay for the next run phase
+      now += slice;
+      continue;
+    }
+
+    // Price is under the bid: (re)start after the restart delay.
+    if (!was_running) {
+      if (resume_at == 0.0) resume_at = now + policy.restart_delay_seconds;
+      if (now < resume_at) {
+        // Waiting to boot: spot instances bill from launch.
+        const double wait = std::min(slice, resume_at - now);
+        report.cost +=
+            price * policy.instances * wait / 3600.0;
+        now += wait;
+        if (now < resume_at) continue;
+      }
+      was_running = true;
+      since_checkpoint_time = 0.0;
+    }
+
+    // Compute through the remainder of this tick, pausing to checkpoint.
+    double t = now;
+    const double compute_end = std::min(tick_end, horizon_seconds);
+    while (t < compute_end && done < total_instructions) {
+      double dt = compute_end - t;
+      if (policy.checkpoint_interval_seconds > 0) {
+        const double until_ckpt =
+            policy.checkpoint_interval_seconds - since_checkpoint_time;
+        if (until_ckpt <= 0) {
+          // Stall for the checkpoint write; work becomes durable.
+          const double stall =
+              std::min(policy.checkpoint_cost_seconds, compute_end - t);
+          report.cost += price * policy.instances * stall / 3600.0;
+          report.checkpoint_overhead_seconds += stall;
+          t += stall;
+          if (stall >= policy.checkpoint_cost_seconds) {
+            checkpointed = done;
+            since_checkpoint_time = 0.0;
+          }
+          continue;
+        }
+        dt = std::min(dt, until_ckpt);
+      }
+      const double work = fleet_rate * dt;
+      if (done + work >= total_instructions) {
+        const double need = (total_instructions - done) / fleet_rate;
+        report.cost += price * policy.instances * need / 3600.0;
+        done = total_instructions;
+        t += need;
+        break;
+      }
+      done += work;
+      report.cost += price * policy.instances * dt / 3600.0;
+      since_checkpoint_time += dt;
+      t += dt;
+    }
+    now = t;
+    if (t < compute_end && done < total_instructions) now = compute_end;
+  }
+
+  report.seconds = now;
+  report.completed = done >= total_instructions;
+  return report;
+}
+
+ReplicatedRunReport run_replicated(const SpotMarket& market,
+                                   hw::WorkloadClass workload,
+                                   double total_instructions,
+                                   const SpotRunPolicy& spot_policy,
+                                   int on_demand_instances,
+                                   double horizon_seconds) {
+  if (on_demand_instances < 1)
+    throw std::invalid_argument(
+        "run_replicated: need at least one on-demand instance");
+
+  const InstanceType& type = market.type();
+  const double od_rate = hw::vcpu_rate(type.microarch, workload) *
+                         type.vcpus * on_demand_instances;
+  const double od_finish = total_instructions / od_rate;
+
+  // The spot replica races the on-demand replica to the SAME finish line.
+  const SpotRunReport spot = run_on_spot(
+      market, workload, total_instructions, spot_policy,
+      std::min(horizon_seconds, od_finish));
+
+  ReplicatedRunReport report;
+  if (spot.completed && spot.seconds < od_finish) {
+    report.spot_won = true;
+    report.seconds = spot.seconds;
+    report.completed = true;
+  } else {
+    report.spot_won = false;
+    report.seconds = std::min(od_finish, horizon_seconds);
+    report.completed = od_finish <= horizon_seconds;
+  }
+  report.spot_evictions = spot.evictions;
+  // Both replicas bill until the winner finishes: the spot report already
+  // stops accruing at min(horizon, od_finish) >= report.seconds for the
+  // spot-won case; for the on-demand-won case it accrued exactly to
+  // od_finish (capped by the horizon) — either way `spot.cost` covers the
+  // spot side up to completion.
+  report.cost = spot.cost + on_demand_instances * type.cost_per_hour *
+                                report.seconds / 3600.0;
+  return report;
+}
+
+}  // namespace celia::cloud

@@ -1,0 +1,122 @@
+#pragma once
+// Spot-instance market simulation with checkpoint/restart execution.
+//
+// The paper restricts CELIA to on-demand resources and notes (§II) that
+// spot instances risk abrupt termination: Marathe et al. pick checkpoint
+// strategies from historical spot prices; Gong et al. replicate on
+// on-demand nodes to protect the deadline. This extension builds the
+// substrate those comparisons need:
+//
+//   * SpotMarket — a seeded mean-reverting price process per instance
+//     type (prices hover around a fraction of on-demand, with lognormal
+//     shocks), sampled on a fixed tick;
+//   * run_on_spot — execute a divisible workload on one spot fleet with a
+//     bid price: when the market price exceeds the bid the fleet is
+//     terminated, losing all work since the last checkpoint, and resumes
+//     (after a restart delay) once the price falls below the bid again.
+//     Billing follows the market price per tick while running.
+//
+// bench/ext_spot_analysis compares the resulting cost/deadline-risk
+// trade-off against CELIA's on-demand optimum.
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/provider.hpp"
+#include "hw/workload_class.hpp"
+
+namespace celia::cloud {
+
+struct SpotMarketModel {
+  /// Long-run mean spot price as a fraction of on-demand (EC2 ~0.25-0.4).
+  double mean_fraction = 0.30;
+  /// Mean-reversion strength per tick (0..1).
+  double reversion = 0.10;
+  /// Lognormal shock sigma per tick.
+  double volatility = 0.12;
+  /// Occasional demand spike: probability per tick of a multiplicative
+  /// jump (drives evictions even for generous bids).
+  double spike_probability = 0.01;
+  double spike_multiplier = 4.0;
+  /// Price-tick length.
+  double tick_seconds = 300.0;
+};
+
+/// Seeded spot-price path for one instance type.
+class SpotMarket {
+ public:
+  SpotMarket(const InstanceType& type, std::uint64_t seed,
+             SpotMarketModel model = {});
+
+  /// Price in $/hr during tick k (k = 0 is [0, tick_seconds)).
+  /// Paths are generated lazily and memoized; price(k) is deterministic
+  /// for a given (type, seed, model).
+  double price(std::uint64_t tick) const;
+
+  double tick_seconds() const { return model_.tick_seconds; }
+  const InstanceType& type() const { return type_; }
+  const SpotMarketModel& model() const { return model_; }
+
+ private:
+  void extend(std::uint64_t tick) const;
+
+  InstanceType type_;
+  SpotMarketModel model_;
+  mutable std::vector<double> path_;
+  mutable std::uint64_t rng_state_[2];
+};
+
+struct SpotRunPolicy {
+  /// Bid in $/hr per instance; evicted while market price > bid.
+  double bid_per_hour = 0.0;
+  /// Checkpoint period; on eviction, work since the last checkpoint is
+  /// lost. 0 disables checkpointing (an eviction restarts from zero).
+  double checkpoint_interval_seconds = 1800.0;
+  /// Wall-clock overhead of writing one checkpoint (fleet stalls).
+  double checkpoint_cost_seconds = 30.0;
+  /// Delay between the price falling below the bid and compute resuming.
+  double restart_delay_seconds = 120.0;
+  /// Fleet size (homogeneous spot fleet of the market's type).
+  int instances = 1;
+};
+
+struct SpotRunReport {
+  double seconds = 0.0;       // wall-clock to completion (or give-up)
+  double cost = 0.0;          // integral of market price while running
+  bool completed = false;     // false if the run hit the horizon
+  int evictions = 0;
+  double lost_work_instructions = 0.0;  // recomputed after evictions
+  double checkpoint_overhead_seconds = 0.0;
+};
+
+/// Execute `total_instructions` of divisible work of class `workload` on a
+/// spot fleet, with a horizon after which the run is abandoned.
+/// Throws std::invalid_argument on bad arguments.
+SpotRunReport run_on_spot(const SpotMarket& market,
+                          hw::WorkloadClass workload,
+                          double total_instructions,
+                          const SpotRunPolicy& policy,
+                          double horizon_seconds);
+
+/// Replicated execution in the style of Gong et al. (paper §II): the same
+/// work runs simultaneously on a spot fleet AND on a small on-demand
+/// fleet; the job finishes when EITHER replica finishes, and both bill
+/// until that moment. The on-demand replica guarantees the deadline that
+/// spot alone cannot; the spot replica usually wins and caps the cost.
+struct ReplicatedRunReport {
+  double seconds = 0.0;
+  double cost = 0.0;          // spot + on-demand, both until completion
+  bool completed = false;
+  bool spot_won = false;      // which replica finished first
+  int spot_evictions = 0;
+};
+
+ReplicatedRunReport run_replicated(const SpotMarket& market,
+                                   hw::WorkloadClass workload,
+                                   double total_instructions,
+                                   const SpotRunPolicy& spot_policy,
+                                   int on_demand_instances,
+                                   double horizon_seconds);
+
+}  // namespace celia::cloud

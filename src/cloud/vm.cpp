@@ -1,0 +1,20 @@
+#include "cloud/vm.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace celia::cloud {
+
+double instance_speed_factor(std::uint64_t provider_seed,
+                             std::uint64_t instance_id) {
+  // Derive an independent stream per instance; a couple of warm-up draws
+  // decorrelate nearby seeds.
+  util::Xoshiro256 rng(provider_seed * 0x9e3779b97f4a7c15ULL + instance_id);
+  rng.next();
+  rng.next();
+  const double gauss = rng.normal();
+  return kTurboHeadroom * std::exp(kSpeedSigma * gauss);
+}
+
+}  // namespace celia::cloud

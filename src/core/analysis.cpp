@@ -1,0 +1,74 @@
+#include "core/analysis.hpp"
+
+#include <stdexcept>
+
+namespace celia::core {
+
+namespace {
+
+ScalingPoint min_cost_point(const Celia& celia, const apps::AppParams& params,
+                            double deadline_hours, double swept_value) {
+  ScalingPoint point;
+  point.value = swept_value;
+  const auto best = celia.min_cost_configuration(params, deadline_hours);
+  if (best.has_value()) {
+    point.feasible = true;
+    point.min_cost = best->cost;
+    point.config_index = best->config_index;
+    point.seconds = best->seconds;
+  }
+  return point;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> problem_size_scaling(const Celia& celia,
+                                               double fixed_accuracy,
+                                               std::span<const double> sizes,
+                                               double deadline_hours) {
+  std::vector<ScalingPoint> curve;
+  curve.reserve(sizes.size());
+  for (const double n : sizes)
+    curve.push_back(
+        min_cost_point(celia, {n, fixed_accuracy}, deadline_hours, n));
+  return curve;
+}
+
+std::vector<ScalingPoint> accuracy_scaling(const Celia& celia,
+                                           double fixed_size,
+                                           std::span<const double> accuracies,
+                                           double deadline_hours) {
+  std::vector<ScalingPoint> curve;
+  curve.reserve(accuracies.size());
+  for (const double a : accuracies)
+    curve.push_back(min_cost_point(celia, {fixed_size, a}, deadline_hours, a));
+  return curve;
+}
+
+std::vector<ScalingPoint> deadline_tightening(
+    const Celia& celia, const apps::AppParams& params,
+    std::span<const double> deadlines_hours) {
+  std::vector<ScalingPoint> curve;
+  curve.reserve(deadlines_hours.size());
+  for (const double deadline : deadlines_hours)
+    curve.push_back(min_cost_point(celia, params, deadline, deadline));
+  return curve;
+}
+
+ParetoSpan pareto_span(std::span<const CostTimePoint> frontier) {
+  if (frontier.empty())
+    throw std::invalid_argument("pareto_span: empty frontier");
+  ParetoSpan span;
+  span.min_cost = frontier.front().cost;
+  span.max_cost = frontier.front().cost;
+  for (const auto& point : frontier) {
+    span.min_cost = std::min(span.min_cost, point.cost);
+    span.max_cost = std::max(span.max_cost, point.cost);
+  }
+  span.span_ratio = span.min_cost > 0 ? span.max_cost / span.min_cost : 0.0;
+  span.saving_fraction =
+      span.max_cost > 0 ? 1.0 - span.min_cost / span.max_cost : 0.0;
+  return span;
+}
+
+}  // namespace celia::core

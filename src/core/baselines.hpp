@@ -1,0 +1,58 @@
+#pragma once
+// Baseline configuration searchers.
+//
+// CELIA's exhaustive sweep guarantees it finds every optimal configuration
+// (paper §III-D). These baselines quantify what that guarantee buys:
+// heuristic searchers are faster but can return suboptimal configurations
+// or miss feasibility entirely. Used by the A2 ablation bench.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/capacity.hpp"
+#include "core/configuration.hpp"
+#include "core/enumerate.hpp"
+#include "core/pareto.hpp"
+
+namespace celia::core {
+
+struct SearchOutcome {
+  bool found = false;
+  CostTimePoint best;            // min-cost feasible point found
+  std::uint64_t evaluations = 0; // model evaluations spent
+};
+
+/// Evaluate one configuration against demand/constraints.
+std::optional<CostTimePoint> evaluate_configuration(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    double demand, const Constraints& constraints,
+    const Configuration& config);
+
+/// Ground truth: full sweep (CELIA itself), returning the min-cost point.
+SearchOutcome exhaustive_search(const ConfigurationSpace& space,
+                                const ResourceCapacity& capacity,
+                                double demand, const Constraints& constraints);
+
+/// Uniform random sampling of `budget_evaluations` configurations.
+SearchOutcome random_search(const ConfigurationSpace& space,
+                            const ResourceCapacity& capacity, double demand,
+                            const Constraints& constraints,
+                            std::uint64_t budget_evaluations,
+                            std::uint64_t seed);
+
+/// Cost-greedy construction: repeatedly add one node of the type with the
+/// best capacity-per-dollar until the deadline is met (then stop). Very
+/// fast; optimal only while a single category suffices.
+SearchOutcome greedy_cost_search(const ConfigurationSpace& space,
+                                 const ResourceCapacity& capacity,
+                                 double demand,
+                                 const Constraints& constraints);
+
+/// Greedy start + steepest-descent local search over +/-1-node moves,
+/// minimizing cost subject to feasibility, with random restarts.
+SearchOutcome hill_climb_search(const ConfigurationSpace& space,
+                                const ResourceCapacity& capacity,
+                                double demand, const Constraints& constraints,
+                                int restarts, std::uint64_t seed);
+
+}  // namespace celia::core

@@ -1,0 +1,92 @@
+#pragma once
+// Cloud resource capacity characterization (paper §IV-B, §IV-C).
+//
+// CELIA expresses the capacity of resource type i as an instruction
+// execution rate W_i = W_i,vCPU x v_i (Eq. 4). W_i,vCPU is obtained by
+// dividing the instruction count of a scale-down run (measured with `perf`
+// on the local server) by the wall-clock time of the same run on one cloud
+// instance of type i. Three characterization modes are supported:
+//
+//   kFullMeasurement — time the scale-down run on every type (paper §IV-B);
+//   kPerCategory     — time it on ONE type per category and derive the rest
+//                      from the observation that instructions/second/$ is
+//                      constant within a category (paper §IV-C);
+//   kSpecFrequency   — no cloud runs at all: assume 1 instruction/cycle at
+//                      the catalog base frequency (the naive upper bound the
+//                      paper argues against; used as an ablation baseline).
+
+#include <string_view>
+#include <vector>
+
+#include "apps/elastic_app.hpp"
+#include "cloud/provider.hpp"
+#include "hw/local_server.hpp"
+
+namespace celia::core {
+
+enum class CharacterizationMode {
+  kFullMeasurement,
+  kPerCategory,
+  kSpecFrequency,
+};
+
+std::string_view characterization_mode_name(CharacterizationMode mode);
+
+/// Per-type capacities for one application/workload class.
+class ResourceCapacity {
+ public:
+  explicit ResourceCapacity(std::vector<double> per_vcpu_rates);
+
+  /// W_i,vCPU — instruction rate of one vCPU of type i.
+  double per_vcpu_rate(std::size_t type_index) const;
+
+  /// W_i — full-instance rate (Eq. 4).
+  double rate(std::size_t type_index) const;
+
+  /// Normalized performance: instructions/second per dollar/hour (the
+  /// quantity of the paper's Figure 3).
+  double normalized_performance(std::size_t type_index) const;
+
+  std::size_t num_types() const { return per_vcpu_rates_.size(); }
+
+ private:
+  std::vector<double> per_vcpu_rates_;
+};
+
+/// The scale-down parameters used for the characterization run of each
+/// application (small enough to be cheap, large enough to be steady-state).
+apps::AppParams characterization_point(const apps::ElasticApp& app);
+
+/// Characterize all catalog types for `app`. The local server provides the
+/// instruction count of the scale-down run; `provider` provides timed runs
+/// on cloud instances. `mode` selects the measurement strategy above.
+ResourceCapacity characterize_capacity(
+    const apps::ElasticApp& app, cloud::CloudProvider& provider,
+    CharacterizationMode mode = CharacterizationMode::kFullMeasurement,
+    const hw::LocalServer& local = hw::LocalServer());
+
+/// What the measurement campaign itself costs: the benchmark runs are
+/// real paid cloud time. §IV-C's one-type-per-category optimization is
+/// motivated exactly by this overhead.
+struct CharacterizationReport {
+  ResourceCapacity capacity;
+  int cloud_runs = 0;             // timed benchmark executions
+  double benchmark_seconds = 0.0; // summed wall-clock of those runs
+  double benchmark_cost = 0.0;    // what the runs billed (continuous)
+};
+
+CharacterizationReport characterize_capacity_with_report(
+    const apps::ElasticApp& app, cloud::CloudProvider& provider,
+    CharacterizationMode mode = CharacterizationMode::kFullMeasurement,
+    const hw::LocalServer& local = hw::LocalServer());
+
+/// Estimate the relative per-instance rate spread (Constraints::rate_sigma
+/// for risk-aware selection) by repeating the scale-down benchmark on
+/// `samples` freshly provisioned instances of catalog type `type_index`
+/// and taking the sample coefficient of variation of the measured rates.
+/// Requires samples >= 2.
+double estimate_rate_sigma(const apps::ElasticApp& app,
+                           cloud::CloudProvider& provider,
+                           std::size_t type_index, int samples = 10);
+
+}  // namespace celia::core

@@ -1,0 +1,62 @@
+#include "core/celia.hpp"
+
+#include <utility>
+
+namespace celia::core {
+
+Celia Celia::build(const apps::ElasticApp& app, cloud::CloudProvider& provider,
+                   CharacterizationMode mode) {
+  // Demand model: profile-grid runs on the local server, instruction counts
+  // read from its performance counters (exact in our substrate).
+  std::vector<fit::ProfilePoint> profile;
+  for (const apps::AppParams& params : app.profile_grid()) {
+    profile.push_back({params.n, params.a, app.exact_demand(params)});
+  }
+  fit::SeparableDemandModel demand = fit::SeparableDemandModel::fit(profile);
+
+  // Capacity: timed scale-down runs on cloud instances.
+  ResourceCapacity capacity = characterize_capacity(app, provider, mode);
+
+  return Celia(std::string(app.name()), app.workload_class(),
+               std::move(demand), std::move(capacity),
+               ConfigurationSpace::ec2_default());
+}
+
+Celia::Celia(std::string app_name, hw::WorkloadClass workload,
+             fit::SeparableDemandModel demand, ResourceCapacity capacity,
+             ConfigurationSpace space)
+    : app_name_(std::move(app_name)),
+      workload_(workload),
+      demand_(std::move(demand)),
+      capacity_(std::move(capacity)),
+      space_(std::move(space)) {}
+
+Prediction Celia::predict(const apps::AppParams& params,
+                          const Configuration& config) const {
+  return core::predict(predict_demand(params), config, capacity_);
+}
+
+SweepResult Celia::select(const apps::AppParams& params, double deadline_hours,
+                          double budget_dollars, SweepOptions options) const {
+  Constraints constraints;
+  constraints.deadline_seconds = deadline_hours * 3600.0;
+  constraints.budget_dollars = budget_dollars;
+  return sweep(space_, capacity_, predict_demand(params), constraints,
+               options);
+}
+
+std::optional<CostTimePoint> Celia::min_cost_configuration(
+    const apps::AppParams& params, double deadline_hours,
+    parallel::ThreadPool* pool) const {
+  SweepOptions options;
+  options.collect_pareto = false;
+  options.pool = pool;
+  Constraints constraints;
+  constraints.deadline_seconds = deadline_hours * 3600.0;
+  const SweepResult result =
+      sweep(space_, capacity_, predict_demand(params), constraints, options);
+  if (!result.any_feasible) return std::nullopt;
+  return result.min_cost;
+}
+
+}  // namespace celia::core

@@ -1,0 +1,83 @@
+#include "core/configuration.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "cloud/instance_type.hpp"
+
+namespace celia::core {
+
+std::string to_string(const Configuration& config) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(config[i]);
+  }
+  out += "]";
+  return out;
+}
+
+ConfigurationSpace::ConfigurationSpace(std::vector<int> max_counts)
+    : max_counts_(std::move(max_counts)) {
+  if (max_counts_.empty())
+    throw std::invalid_argument("ConfigurationSpace: no resource types");
+  std::uint64_t total = 1;
+  radix_.reserve(max_counts_.size());
+  for (const int max : max_counts_) {
+    if (max < 0)
+      throw std::invalid_argument("ConfigurationSpace: negative max count");
+    const auto radix = static_cast<std::uint64_t>(max) + 1;
+    if (total > std::numeric_limits<std::uint64_t>::max() / radix)
+      throw std::overflow_error("ConfigurationSpace: space size overflow");
+    radix_.push_back(radix);
+    total *= radix;
+  }
+  size_ = total - 1;  // exclude the all-zero configuration
+}
+
+ConfigurationSpace ConfigurationSpace::ec2_default() {
+  return ConfigurationSpace(std::vector<int>(
+      cloud::catalog_size(), cloud::kMaxInstancesPerType));
+}
+
+Configuration ConfigurationSpace::decode(std::uint64_t index) const {
+  Configuration config(num_types());
+  decode_into(index, config);
+  return config;
+}
+
+void ConfigurationSpace::decode_into(std::uint64_t index,
+                                     std::span<int> out) const {
+  if (index >= size_)
+    throw std::out_of_range("ConfigurationSpace: index out of range");
+  if (out.size() != num_types())
+    throw std::invalid_argument("ConfigurationSpace: bad output span");
+  std::uint64_t value = index + 1;  // shift past the all-zero tuple
+  for (std::size_t i = 0; i < radix_.size(); ++i) {
+    out[i] = static_cast<int>(value % radix_[i]);
+    value /= radix_[i];
+  }
+}
+
+std::uint64_t ConfigurationSpace::encode(std::span<const int> config) const {
+  if (config.size() != num_types())
+    throw std::invalid_argument("ConfigurationSpace: bad tuple width");
+  std::uint64_t value = 0;
+  std::uint64_t scale = 1;
+  bool all_zero = true;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (config[i] < 0 || config[i] > max_counts_[i])
+      throw std::invalid_argument(
+          "ConfigurationSpace: count out of range at type " +
+          std::to_string(i));
+    if (config[i] != 0) all_zero = false;
+    value += static_cast<std::uint64_t>(config[i]) * scale;
+    scale *= radix_[i];
+  }
+  if (all_zero)
+    throw std::invalid_argument(
+        "ConfigurationSpace: all-zero configuration is excluded");
+  return value - 1;
+}
+
+}  // namespace celia::core

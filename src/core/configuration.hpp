@@ -1,0 +1,53 @@
+#pragma once
+// Cloud configurations and the configuration space (paper §III-A).
+//
+// A configuration G_j = <m_j,1 ... m_j,M> gives the number of nodes taken
+// from each of M resource types, 0 <= m_j,i <= m_i,max. The space size is
+// S = prod(m_i,max + 1) - 1 (the all-zero tuple is excluded): with the
+// paper's nine EC2 types and m_i,max = 5, S = 6^9 - 1 = 10,077,695.
+//
+// Configurations are indexed 0..S-1 by the mixed-radix value of the tuple
+// minus one, so enumeration, decoding and random access are O(M).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace celia::core {
+
+/// Node counts per resource type, aligned with cloud::ec2_catalog() order.
+using Configuration = std::vector<int>;
+
+/// Render "[5,5,5,3,0,0,0,0,0]" — the paper's annotation format.
+std::string to_string(const Configuration& config);
+
+class ConfigurationSpace {
+ public:
+  /// `max_counts[i]` = m_i,max for type i. Throws on empty or negative.
+  explicit ConfigurationSpace(std::vector<int> max_counts);
+
+  /// Space over the full EC2 catalog with the paper's limit of 5 per type.
+  static ConfigurationSpace ec2_default();
+
+  std::size_t num_types() const { return max_counts_.size(); }
+  const std::vector<int>& max_counts() const { return max_counts_; }
+
+  /// Total number of non-empty configurations (paper Eq. 1).
+  std::uint64_t size() const { return size_; }
+
+  /// Decode index (0-based, < size()) into node counts.
+  Configuration decode(std::uint64_t index) const;
+  void decode_into(std::uint64_t index, std::span<int> out) const;
+
+  /// Inverse of decode. Throws std::invalid_argument for out-of-range
+  /// counts or the all-zero configuration.
+  std::uint64_t encode(std::span<const int> config) const;
+
+ private:
+  std::vector<int> max_counts_;
+  std::vector<std::uint64_t> radix_;   // radix_[i] = max_counts_[i] + 1
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace celia::core

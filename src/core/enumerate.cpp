@@ -1,0 +1,205 @@
+#include "core/enumerate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "cloud/instance_type.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace celia::core {
+
+namespace {
+
+/// Walk [range.begin, range.end) with an incremental odometer, invoking
+/// body(index, U, Cu, V) for every configuration, where V is the capacity
+/// variance sum_i m_i var_terms[i] (used by risk-aware selection;
+/// var_terms may be all-zero).
+template <typename Body>
+void walk_range(const ConfigurationSpace& space,
+                const std::vector<double>& rates,
+                const std::vector<double>& hourly,
+                const std::vector<double>& var_terms,
+                parallel::BlockedRange range, Body&& body) {
+  const std::size_t m = space.num_types();
+  const auto& max_counts = space.max_counts();
+  std::vector<int> digits(m);
+  space.decode_into(range.begin, digits);
+
+  double u = 0.0, cu = 0.0, v = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    u += digits[i] * rates[i];
+    cu += digits[i] * hourly[i];
+    v += digits[i] * var_terms[i];
+  }
+
+  for (std::uint64_t index = range.begin; index < range.end; ++index) {
+    body(index, u, cu, v);
+    if (index + 1 >= range.end) break;
+    // Odometer increment with capacity/cost/variance deltas.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (digits[i] < max_counts[i]) {
+        ++digits[i];
+        u += rates[i];
+        cu += hourly[i];
+        v += var_terms[i];
+        break;
+      }
+      u -= digits[i] * rates[i];
+      cu -= digits[i] * hourly[i];
+      v -= digits[i] * var_terms[i];
+      digits[i] = 0;
+    }
+  }
+}
+
+struct PartialResult {
+  std::uint64_t feasible = 0;
+  bool any = false;
+  CostTimePoint min_cost;
+  CostTimePoint min_time;
+  std::vector<CostTimePoint> pareto_buffer;
+  std::uint64_t prune_threshold = 1 << 14;
+  std::vector<CostTimePoint> samples;
+
+  void note_feasible(const CostTimePoint& point, const SweepOptions& options) {
+    ++feasible;
+    if (!any) {
+      min_cost = min_time = point;
+      any = true;
+    } else {
+      if (point.cost < min_cost.cost ||
+          (point.cost == min_cost.cost && point.seconds < min_cost.seconds))
+        min_cost = point;
+      if (point.seconds < min_time.seconds ||
+          (point.seconds == min_time.seconds && point.cost < min_time.cost))
+        min_time = point;
+    }
+    if (options.collect_pareto) {
+      pareto_buffer.push_back(point);
+      if (pareto_buffer.size() >= prune_threshold) {
+        pareto_buffer = pareto_filter(std::move(pareto_buffer));
+        prune_threshold = std::max<std::uint64_t>(
+            1 << 14, 2 * pareto_buffer.size());
+      }
+    }
+    if (options.sample_stride > 0 && feasible % options.sample_stride == 0)
+      samples.push_back(point);
+  }
+};
+
+std::vector<double> catalog_hourly_costs() {
+  std::vector<double> hourly;
+  for (const auto& type : cloud::ec2_catalog())
+    hourly.push_back(type.cost_per_hour);
+  return hourly;
+}
+
+std::vector<double> capacity_rates(const ResourceCapacity& capacity) {
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < capacity.num_types(); ++i)
+    rates.push_back(capacity.rate(i));
+  return rates;
+}
+
+}  // namespace
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity, double demand,
+                  const Constraints& constraints, SweepOptions options) {
+  if (demand <= 0) throw std::invalid_argument("sweep: non-positive demand");
+  if (space.num_types() != capacity.num_types())
+    throw std::invalid_argument("sweep: space/capacity width mismatch");
+
+  const std::vector<double> rates = capacity_rates(capacity);
+  const std::vector<double> hourly = catalog_hourly_costs();
+
+  // Per-type variance contribution for risk-aware selection: adding one
+  // instance of type i adds (W_i x sigma)^2 to the capacity variance.
+  const bool risk_aware =
+      constraints.confidence_z > 0 && constraints.rate_sigma > 0;
+  std::vector<double> var_terms(rates.size(), 0.0);
+  if (risk_aware) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const double term = rates[i] * constraints.rate_sigma;
+      var_terms[i] = term * term;
+    }
+  }
+  const double z = constraints.confidence_z;
+
+  std::mutex merge_mutex;
+  SweepResult result;
+  result.total = space.size();
+  std::vector<CostTimePoint> merged_pareto;
+
+  parallel::ForOptions for_options;
+  for_options.pool = options.pool;
+  parallel::parallel_for_blocked(
+      0, space.size(),
+      [&](parallel::BlockedRange range) {
+        PartialResult partial;
+        walk_range(space, rates, hourly, var_terms, range,
+                   [&](std::uint64_t index, double u, double cu, double v) {
+                     if (risk_aware) u -= z * std::sqrt(v);
+                     if (u <= 0) return;
+                     const double seconds = demand / u;
+                     if (seconds >= constraints.deadline_seconds) return;
+                     const double cost = seconds / 3600.0 * cu;
+                     if (cost >= constraints.budget_dollars) return;
+                     partial.note_feasible({index, seconds, cost}, options);
+                   });
+        if (options.collect_pareto)
+          partial.pareto_buffer = pareto_filter(std::move(partial.pareto_buffer));
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.feasible += partial.feasible;
+        if (partial.any) {
+          if (!result.any_feasible) {
+            result.min_cost = partial.min_cost;
+            result.min_time = partial.min_time;
+            result.any_feasible = true;
+          } else {
+            if (partial.min_cost.cost < result.min_cost.cost ||
+                (partial.min_cost.cost == result.min_cost.cost &&
+                 partial.min_cost.seconds < result.min_cost.seconds))
+              result.min_cost = partial.min_cost;
+            if (partial.min_time.seconds < result.min_time.seconds ||
+                (partial.min_time.seconds == result.min_time.seconds &&
+                 partial.min_time.cost < result.min_time.cost))
+              result.min_time = partial.min_time;
+          }
+        }
+        merged_pareto.insert(merged_pareto.end(),
+                             partial.pareto_buffer.begin(),
+                             partial.pareto_buffer.end());
+        result.feasible_points.insert(result.feasible_points.end(),
+                                      partial.samples.begin(),
+                                      partial.samples.end());
+      },
+      for_options);
+
+  if (options.collect_pareto)
+    result.pareto = pareto_filter(std::move(merged_pareto));
+  return result;
+}
+
+void for_each_configuration(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const std::function<void(std::uint64_t, double, double)>& visit,
+    parallel::ThreadPool* pool) {
+  const std::vector<double> rates = capacity_rates(capacity);
+  const std::vector<double> hourly = catalog_hourly_costs();
+  const std::vector<double> zero_var(rates.size(), 0.0);
+  parallel::ForOptions for_options;
+  for_options.pool = pool;
+  parallel::parallel_for_blocked(
+      0, space.size(),
+      [&](parallel::BlockedRange range) {
+        walk_range(space, rates, hourly, zero_var, range,
+                   [&visit](std::uint64_t index, double u, double cu,
+                            double /*v*/) { visit(index, u, cu); });
+      },
+      for_options);
+}
+
+}  // namespace celia::core

@@ -1,0 +1,75 @@
+#pragma once
+// Parallel exhaustive sweep of the configuration space — the paper's
+// Algorithm 1 (Resource Configuration Selection) at scale.
+//
+// The sweep walks all S configurations (10,077,695 for the default EC2
+// space) with an incremental mixed-radix odometer, updating U_j and C_j,u
+// by the per-type deltas instead of recomputing the dot products, and
+// partitions the index range across a thread pool. Per-thread partial
+// results (feasible count, running min-cost/min-time points, local Pareto
+// buffers, sampled scatter points) are merged at the end — the classic
+// map-reduce shape of an HPC parameter sweep.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/configuration.hpp"
+#include "core/pareto.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace celia::core {
+
+/// Deadline/budget constraints (paper: T < T' and C < C', strict).
+///
+/// Setting `confidence_z` > 0 enables RISK-AWARE selection (an extension
+/// beyond the paper's deterministic Eq. 2): each instance's delivered rate
+/// is treated as W_i (1 + eps) with eps ~ (0, rate_sigma^2) independent per
+/// instance, so a configuration's capacity has standard deviation
+/// sqrt(sum_i m_i (W_i rate_sigma)^2). Feasibility and cost are then
+/// evaluated at the pessimistic capacity U - z * sigma_U: z = 1.645 keeps
+/// the deadline with ~95 % one-sided confidence under the normal
+/// approximation.
+struct Constraints {
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  double budget_dollars = std::numeric_limits<double>::infinity();
+  double confidence_z = 0.0;  // 0 = the paper's deterministic model
+  double rate_sigma = 0.0;    // relative per-instance rate spread
+};
+
+struct SweepOptions {
+  /// Collect every `sample_stride`-th feasible point into
+  /// SweepResult::feasible_points (for scatter plots). 0 disables.
+  std::uint64_t sample_stride = 0;
+  /// Compute the exact Pareto frontier of all feasible points.
+  bool collect_pareto = true;
+  /// Pool to run on; nullptr = parallel::default_pool().
+  parallel::ThreadPool* pool = nullptr;
+};
+
+struct SweepResult {
+  std::uint64_t total = 0;      // configurations evaluated (== space size)
+  std::uint64_t feasible = 0;   // satisfying both constraints
+  bool any_feasible = false;
+  CostTimePoint min_cost;       // cheapest feasible (ties: faster wins)
+  CostTimePoint min_time;       // fastest feasible (ties: cheaper wins)
+  std::vector<CostTimePoint> pareto;           // ascending cost
+  std::vector<CostTimePoint> feasible_points;  // sampled scatter
+};
+
+/// Evaluate every configuration against `demand` (instructions) and the
+/// constraints; Algorithm 1 plus the Pareto filter of §III-D.
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity, double demand,
+                  const Constraints& constraints, SweepOptions options = {});
+
+/// Streaming variant: `visit(index, capacity_U, hourly_cost)` is called for
+/// every configuration from worker threads (must be thread-safe). Useful
+/// for custom reductions.
+void for_each_configuration(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const std::function<void(std::uint64_t, double, double)>& visit,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace celia::core

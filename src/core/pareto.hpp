@@ -1,0 +1,40 @@
+#pragma once
+// Cost-time Pareto filtering (paper §III-D).
+//
+// Feasible configurations are filtered to the Pareto frontier: the set of
+// configurations not dominated in (time, cost). Both objectives are
+// minimized. Two filters are provided: the exact sort-and-scan filter, and
+// the epsilon-nondomination variant of Woodruff & Herman's pareto.py (the
+// tool the paper cites), which thins the frontier to one representative
+// per epsilon box.
+
+#include <cstdint>
+#include <vector>
+
+namespace celia::core {
+
+/// A feasible configuration's predicted performance.
+struct CostTimePoint {
+  std::uint64_t config_index = 0;  // into a ConfigurationSpace
+  double seconds = 0.0;
+  double cost = 0.0;
+
+  friend bool operator==(const CostTimePoint&, const CostTimePoint&) = default;
+};
+
+/// True when `a` dominates `b`: no worse in both objectives, strictly
+/// better in at least one.
+bool dominates(const CostTimePoint& a, const CostTimePoint& b);
+
+/// Exact Pareto filter; returns the frontier sorted by ascending cost
+/// (hence descending time). O(n log n).
+std::vector<CostTimePoint> pareto_filter(std::vector<CostTimePoint> points);
+
+/// Epsilon-nondomination sort: points are binned into (eps_seconds x
+/// eps_cost) boxes; dominance is evaluated on box coordinates and one
+/// representative (closest to the ideal corner of its box) is kept per
+/// nondominated box. Returns representatives sorted by ascending cost.
+std::vector<CostTimePoint> epsilon_nondominated(
+    std::vector<CostTimePoint> points, double eps_seconds, double eps_cost);
+
+}  // namespace celia::core

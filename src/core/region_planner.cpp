@@ -1,0 +1,62 @@
+#include "core/region_planner.hpp"
+
+#include <stdexcept>
+
+namespace celia::core {
+
+std::vector<RegionPlan> plan_across_regions(const Celia& celia,
+                                            const apps::AppParams& params,
+                                            double deadline_hours,
+                                            double input_gb) {
+  if (input_gb < 0)
+    throw std::invalid_argument("plan_across_regions: negative data size");
+  const auto regions = cloud::region_catalog();
+  std::vector<RegionPlan> plans;
+  plans.reserve(regions.size());
+
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const cloud::Region& region = regions[r];
+    RegionPlan plan;
+    plan.region_index = r;
+
+    // Staging: free and instantaneous at home; a fee plus transfer time
+    // elsewhere, carved out of the deadline.
+    if (r != cloud::kHomeRegion && input_gb > 0) {
+      plan.transfer_cost = input_gb * region.transfer_dollars_per_gb;
+      plan.staging_seconds =
+          input_gb * 1e9 / region.staging_bandwidth_bytes_per_s;
+    }
+    const double remaining_hours =
+        deadline_hours - plan.staging_seconds / 3600.0;
+    if (remaining_hours <= 0) {
+      plans.push_back(plan);
+      continue;
+    }
+
+    const auto best = celia.min_cost_configuration(params, remaining_hours);
+    if (best.has_value()) {
+      plan.feasible = true;
+      plan.config_index = best->config_index;
+      plan.compute_seconds = best->seconds;
+      // Same configuration, same time; only the tariff differs.
+      plan.compute_cost = best->cost * region.price_multiplier;
+    }
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+std::optional<RegionPlan> best_region_plan(const Celia& celia,
+                                           const apps::AppParams& params,
+                                           double deadline_hours,
+                                           double input_gb) {
+  std::optional<RegionPlan> best;
+  for (const RegionPlan& plan :
+       plan_across_regions(celia, params, deadline_hours, input_gb)) {
+    if (!plan.feasible) continue;
+    if (!best || plan.total_cost() < best->total_cost()) best = plan;
+  }
+  return best;
+}
+
+}  // namespace celia::core

@@ -1,0 +1,45 @@
+#pragma once
+// Cross-region planning (extension E4).
+//
+// For each modeled region: stage the input data in (one-time egress fee +
+// transfer time out of the remaining deadline), then run CELIA's min-cost
+// selection against the region's prices. Capacity is identical across
+// regions (same instance types); only prices and staging differ, so the
+// cheapest region is a real trade-off between price multiplier and data
+// gravity.
+
+#include <optional>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "core/celia.hpp"
+
+namespace celia::core {
+
+struct RegionPlan {
+  std::size_t region_index = 0;
+  bool feasible = false;
+  std::uint64_t config_index = 0;
+  double compute_seconds = 0.0;
+  double staging_seconds = 0.0;   // data transfer before compute starts
+  double compute_cost = 0.0;      // at the region's prices
+  double transfer_cost = 0.0;     // egress fee for the input data
+  double total_cost() const { return compute_cost + transfer_cost; }
+  double total_seconds() const { return compute_seconds + staging_seconds; }
+};
+
+/// Evaluate every region for running `params` within `deadline_hours`,
+/// where the job's input data (`input_gb` gigabytes) currently lives in
+/// cloud::kHomeRegion. Returns one plan per region, in catalog order.
+std::vector<RegionPlan> plan_across_regions(const Celia& celia,
+                                            const apps::AppParams& params,
+                                            double deadline_hours,
+                                            double input_gb);
+
+/// The cheapest feasible plan across regions; nullopt if none qualifies.
+std::optional<RegionPlan> best_region_plan(const Celia& celia,
+                                           const apps::AppParams& params,
+                                           double deadline_hours,
+                                           double input_gb);
+
+}  // namespace celia::core

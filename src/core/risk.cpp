@@ -1,0 +1,140 @@
+#include "core/risk.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "cloud/instance_type.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/stats.hpp"
+
+namespace celia::core {
+
+std::string_view risk_model_name(RiskModel model) {
+  switch (model) {
+    case RiskModel::kNone:
+      return "deterministic";
+    case RiskModel::kSumCapacity:
+      return "sum-capacity";
+    case RiskModel::kBottleneck:
+      return "bottleneck";
+  }
+  return "?";
+}
+
+std::optional<CostTimePoint> robust_min_cost(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    double demand, double deadline_seconds, const RiskSpec& spec,
+    parallel::ThreadPool* pool) {
+  if (demand <= 0)
+    throw std::invalid_argument("robust_min_cost: non-positive demand");
+  if (spec.model != RiskModel::kNone &&
+      (!(spec.confidence > 0 && spec.confidence < 1) || spec.sigma <= 0 ||
+       spec.median_factor <= 0))
+    throw std::invalid_argument("robust_min_cost: bad risk spec");
+  if (space.num_types() != capacity.num_types() ||
+      space.num_types() != cloud::catalog_size())
+    throw std::invalid_argument("robust_min_cost: width mismatch");
+
+  const std::size_t m = space.num_types();
+  std::vector<double> rates(m), hourly(m), var_terms(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rates[i] = capacity.rate(i);
+    hourly[i] = cloud::ec2_catalog()[i].cost_per_hour;
+    const double term = rates[i] * spec.sigma;
+    var_terms[i] = term * term;
+  }
+
+  const double z = spec.model == RiskModel::kSumCapacity
+                       ? util::normal_quantile(spec.confidence)
+                       : 0.0;
+  const double ln_confidence = std::log(spec.confidence);
+  const double ln_median = std::log(spec.median_factor);
+
+  std::mutex merge_mutex;
+  std::optional<CostTimePoint> best;
+
+  parallel::ForOptions for_options;
+  for_options.pool = pool;
+  parallel::parallel_for_blocked(
+      0, space.size(),
+      [&](parallel::BlockedRange range) {
+        std::vector<int> digits(m);
+        space.decode_into(range.begin, digits);
+        double u = 0, cu = 0, v = 0;
+        int instances = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          u += digits[i] * rates[i];
+          cu += digits[i] * hourly[i];
+          v += digits[i] * var_terms[i];
+          instances += digits[i];
+        }
+
+        std::optional<CostTimePoint> local;
+        for (std::uint64_t index = range.begin; index < range.end; ++index) {
+          if (u > 0) {
+            bool feasible = false;
+            switch (spec.model) {
+              case RiskModel::kNone:
+                feasible = demand / u < deadline_seconds;
+                break;
+              case RiskModel::kSumCapacity: {
+                const double u_eff =
+                    spec.median_factor * (u - z * std::sqrt(v));
+                feasible = u_eff > 0 && demand / u_eff < deadline_seconds;
+                break;
+              }
+              case RiskModel::kBottleneck: {
+                // Need min over `instances` lognormal factors >= x.
+                const double x = demand / (u * deadline_seconds);
+                if (x <= 0) {
+                  feasible = true;
+                } else {
+                  const double tail = 1.0 - util::normal_cdf(
+                                                (std::log(x) - ln_median) /
+                                                spec.sigma);
+                  feasible = tail > 0 &&
+                             instances * std::log(tail) >= ln_confidence;
+                }
+                break;
+              }
+            }
+            if (feasible) {
+              const double seconds = demand / u;  // deterministic quote
+              const double cost = seconds / 3600.0 * cu;
+              if (!local || cost < local->cost ||
+                  (cost == local->cost && seconds < local->seconds)) {
+                local = CostTimePoint{index, seconds, cost};
+              }
+            }
+          }
+          if (index + 1 >= range.end) break;
+          for (std::size_t i = 0; i < m; ++i) {
+            if (digits[i] < space.max_counts()[i]) {
+              ++digits[i];
+              u += rates[i];
+              cu += hourly[i];
+              v += var_terms[i];
+              ++instances;
+              break;
+            }
+            u -= digits[i] * rates[i];
+            cu -= digits[i] * hourly[i];
+            v -= digits[i] * var_terms[i];
+            instances -= digits[i];
+            digits[i] = 0;
+          }
+        }
+
+        if (local) {
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          if (!best || local->cost < best->cost ||
+              (local->cost == best->cost && local->seconds < best->seconds))
+            best = local;
+        }
+      },
+      for_options);
+  return best;
+}
+
+}  // namespace celia::core

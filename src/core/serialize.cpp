@@ -1,0 +1,224 @@
+#include "core/serialize.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace celia::core {
+
+namespace {
+
+int shape_id(fit::Shape shape) { return static_cast<int>(shape); }
+
+fit::Shape shape_from_id(int id) {
+  switch (id) {
+    case static_cast<int>(fit::Shape::kLinear):
+      return fit::Shape::kLinear;
+    case static_cast<int>(fit::Shape::kQuadratic):
+      return fit::Shape::kQuadratic;
+    case static_cast<int>(fit::Shape::kLogarithmic):
+      return fit::Shape::kLogarithmic;
+  }
+  throw std::runtime_error("celia-model: unknown shape id " +
+                           std::to_string(id));
+}
+
+fit::Basis basis_from_id(int id) {
+  switch (id) {
+    case static_cast<int>(fit::Basis::kConstant):
+      return fit::Basis::kConstant;
+    case static_cast<int>(fit::Basis::kLinear):
+      return fit::Basis::kLinear;
+    case static_cast<int>(fit::Basis::kQuadratic):
+      return fit::Basis::kQuadratic;
+    case static_cast<int>(fit::Basis::kCubic):
+      return fit::Basis::kCubic;
+    case static_cast<int>(fit::Basis::kLog):
+      return fit::Basis::kLog;
+    case static_cast<int>(fit::Basis::kXLogX):
+      return fit::Basis::kXLogX;
+    case static_cast<int>(fit::Basis::kSqrt):
+      return fit::Basis::kSqrt;
+  }
+  throw std::runtime_error("celia-model: unknown basis id " +
+                           std::to_string(id));
+}
+
+hw::WorkloadClass workload_from_id(int id) {
+  if (id < 0 || id >= hw::kNumWorkloadClasses)
+    throw std::runtime_error("celia-model: unknown workload class " +
+                             std::to_string(id));
+  return static_cast<hw::WorkloadClass>(id);
+}
+
+void write_fit(std::ostream& out, const char* key,
+               const fit::FitResult& fit) {
+  out << key << " " << fit.bases.size();
+  for (const auto basis : fit.bases) out << " " << static_cast<int>(basis);
+  for (const double coeff : fit.coeffs) {
+    out << " ";
+    out.precision(17);
+    out << coeff;
+  }
+  out << " " << fit.r2 << " " << fit.adjusted_r2 << " " << fit.rmse << "\n";
+}
+
+/// Read one line and verify it starts with `key`; returns the rest as a
+/// stream.
+std::istringstream expect_line(std::istream& in, const std::string& key) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("celia-model: unexpected end of file, wanted '" +
+                             key + "'");
+  std::istringstream stream(line);
+  std::string token;
+  stream >> token;
+  if (token != key)
+    throw std::runtime_error("celia-model: expected '" + key + "', found '" +
+                             token + "'");
+  return stream;
+}
+
+fit::FitResult read_fit(std::istream& in, const std::string& key) {
+  auto stream = expect_line(in, key);
+  std::size_t count = 0;
+  if (!(stream >> count) || count == 0 || count > 16)
+    throw std::runtime_error("celia-model: bad basis count in " + key);
+  fit::FitResult fit;
+  for (std::size_t i = 0; i < count; ++i) {
+    int id;
+    if (!(stream >> id))
+      throw std::runtime_error("celia-model: truncated bases in " + key);
+    fit.bases.push_back(basis_from_id(id));
+  }
+  fit.coeffs.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(stream >> fit.coeffs[i]) || !std::isfinite(fit.coeffs[i]))
+      throw std::runtime_error("celia-model: bad coefficient in " + key);
+  }
+  if (!(stream >> fit.r2 >> fit.adjusted_r2 >> fit.rmse))
+    throw std::runtime_error("celia-model: truncated statistics in " + key);
+  return fit;
+}
+
+}  // namespace
+
+void save_model(const Celia& celia, std::ostream& out) {
+  out << "celia-model " << kModelFormatVersion << "\n";
+  out << "app " << celia.app_name() << "\n";
+  out << "workload " << static_cast<int>(celia.workload()) << "\n";
+
+  out << "space " << celia.space().num_types();
+  for (const int max : celia.space().max_counts()) out << " " << max;
+  out << "\n";
+
+  out << "capacity " << celia.capacity().num_types();
+  out.precision(17);
+  for (std::size_t i = 0; i < celia.capacity().num_types(); ++i)
+    out << " " << celia.capacity().per_vcpu_rate(i);
+  out << "\n";
+
+  const auto& demand = celia.demand_model();
+  out << "demand.shapes " << shape_id(demand.n_shape()) << " "
+      << shape_id(demand.a_shape()) << "\n";
+  write_fit(out, "demand.n_fit", demand.n_fit());
+  write_fit(out, "demand.a_fit", demand.a_fit());
+  out.precision(17);
+  out << "demand.reference " << demand.reference_n() << " "
+      << demand.reference_a() << " " << demand.reference_demand() << " "
+      << demand.grid_r2() << "\n";
+}
+
+std::string model_to_string(const Celia& celia) {
+  std::ostringstream oss;
+  save_model(celia, oss);
+  return oss.str();
+}
+
+Celia load_model(std::istream& in) {
+  {
+    auto header = expect_line(in, "celia-model");
+    int version = 0;
+    if (!(header >> version) || version != kModelFormatVersion)
+      throw std::runtime_error("celia-model: unsupported format version");
+  }
+
+  std::string app_name;
+  {
+    auto stream = expect_line(in, "app");
+    if (!(stream >> app_name) || app_name.empty())
+      throw std::runtime_error("celia-model: missing app name");
+  }
+
+  hw::WorkloadClass workload;
+  {
+    auto stream = expect_line(in, "workload");
+    int id;
+    if (!(stream >> id))
+      throw std::runtime_error("celia-model: missing workload class");
+    workload = workload_from_id(id);
+  }
+
+  std::vector<int> max_counts;
+  {
+    auto stream = expect_line(in, "space");
+    std::size_t count = 0;
+    if (!(stream >> count) || count == 0 || count > 64)
+      throw std::runtime_error("celia-model: bad space width");
+    max_counts.resize(count);
+    for (auto& max : max_counts) {
+      if (!(stream >> max) || max < 0)
+        throw std::runtime_error("celia-model: bad max count");
+    }
+  }
+
+  std::vector<double> per_vcpu;
+  {
+    auto stream = expect_line(in, "capacity");
+    std::size_t count = 0;
+    if (!(stream >> count))
+      throw std::runtime_error("celia-model: bad capacity width");
+    per_vcpu.resize(count);
+    for (auto& rate : per_vcpu) {
+      if (!(stream >> rate) || !(rate > 0))
+        throw std::runtime_error("celia-model: bad capacity rate");
+    }
+  }
+
+  fit::Shape n_shape, a_shape;
+  {
+    auto stream = expect_line(in, "demand.shapes");
+    int n_id, a_id;
+    if (!(stream >> n_id >> a_id))
+      throw std::runtime_error("celia-model: missing shapes");
+    n_shape = shape_from_id(n_id);
+    a_shape = shape_from_id(a_id);
+  }
+
+  fit::FitResult n_fit = read_fit(in, "demand.n_fit");
+  fit::FitResult a_fit = read_fit(in, "demand.a_fit");
+
+  double n0, a0, d00, grid_r2;
+  {
+    auto stream = expect_line(in, "demand.reference");
+    if (!(stream >> n0 >> a0 >> d00 >> grid_r2))
+      throw std::runtime_error("celia-model: bad reference line");
+  }
+
+  fit::SeparableDemandModel demand = fit::SeparableDemandModel::from_parts(
+      n_shape, a_shape, std::move(n_fit), std::move(a_fit), n0, a0, d00,
+      grid_r2);
+  return Celia(app_name, workload, std::move(demand),
+               ResourceCapacity(std::move(per_vcpu)),
+               ConfigurationSpace(std::move(max_counts)));
+}
+
+Celia model_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return load_model(iss);
+}
+
+}  // namespace celia::core

@@ -1,0 +1,33 @@
+#pragma once
+// Model persistence.
+//
+// A CELIA build is the product of a (conceptually expensive) measurement
+// campaign — profile runs on the local server plus timed runs on cloud
+// instances. Persisting the built model lets a user characterize once and
+// re-plan many times without re-measuring. The format is a line-oriented
+// text file ("celia-model 1") designed to be diff-able and hand-auditable.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/celia.hpp"
+
+namespace celia::core {
+
+/// Current serialization format version.
+inline constexpr int kModelFormatVersion = 1;
+
+/// Write `celia` to `out` in the celia-model text format.
+void save_model(const Celia& celia, std::ostream& out);
+
+/// Convenience: serialize to a string.
+std::string model_to_string(const Celia& celia);
+
+/// Parse a model previously written by save_model. Throws
+/// std::runtime_error with a descriptive message on malformed input,
+/// version mismatch, or numeric corruption.
+Celia load_model(std::istream& in);
+
+Celia model_from_string(const std::string& text);
+
+}  // namespace celia::core

@@ -1,0 +1,46 @@
+#include "core/time_cost.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "cloud/instance_type.hpp"
+
+namespace celia::core {
+
+double configuration_capacity(std::span<const int> config,
+                              const ResourceCapacity& capacity) {
+  if (config.size() != capacity.num_types())
+    throw std::invalid_argument("configuration_capacity: width mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < config.size(); ++i)
+    total += config[i] * capacity.rate(i);
+  return total;
+}
+
+double configuration_hourly_cost(std::span<const int> config) {
+  const auto catalog = cloud::ec2_catalog();
+  if (config.size() != catalog.size())
+    throw std::invalid_argument("configuration_hourly_cost: width mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < config.size(); ++i)
+    total += config[i] * catalog[i].cost_per_hour;
+  return total;
+}
+
+Prediction predict(double demand, std::span<const int> config,
+                   const ResourceCapacity& capacity) {
+  if (demand <= 0) throw std::invalid_argument("predict: non-positive demand");
+  const double u = configuration_capacity(config, capacity);
+  Prediction prediction;
+  if (u <= 0) {
+    prediction.seconds = std::numeric_limits<double>::infinity();
+    prediction.cost = std::numeric_limits<double>::infinity();
+    return prediction;
+  }
+  prediction.seconds = demand / u;
+  prediction.cost = prediction.seconds / 3600.0 *
+                    configuration_hourly_cost(config);
+  return prediction;
+}
+
+}  // namespace celia::core

@@ -1,0 +1,33 @@
+#pragma once
+// CELIA's analytical time and cost models (paper §III-B, §III-C).
+//
+//   T = D / U_j                 (Eq. 2)
+//   U_j = sum_i m_j,i x W_i     (Eq. 3)
+//   C = T x C_j,u               (Eq. 5)
+//   C_j,u = sum_i m_j,i x c_i   (Eq. 6)
+
+#include <span>
+
+#include "core/capacity.hpp"
+#include "core/configuration.hpp"
+
+namespace celia::core {
+
+/// Predicted time (seconds) and cost ($) for one configuration.
+struct Prediction {
+  double seconds = 0.0;
+  double cost = 0.0;
+};
+
+/// U_j: total capacity of a configuration (instructions/second).
+double configuration_capacity(std::span<const int> config,
+                              const ResourceCapacity& capacity);
+
+/// C_j,u: total cost per hour of a configuration ($/hour).
+double configuration_hourly_cost(std::span<const int> config);
+
+/// Full prediction for `demand` instructions on `config`.
+Prediction predict(double demand, std::span<const int> config,
+                   const ResourceCapacity& capacity);
+
+}  // namespace celia::core

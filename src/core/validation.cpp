@@ -1,0 +1,76 @@
+#include "core/validation.hpp"
+
+#include <cmath>
+
+#include "apps/registry.hpp"
+
+namespace celia::core {
+
+ValidationRow validate_case(const Celia& celia, const apps::ElasticApp& app,
+                            const apps::AppParams& params,
+                            const Configuration& config,
+                            cloud::CloudProvider& provider,
+                            const cloud::ClusterExecutor& executor) {
+  ValidationRow row;
+  row.app = std::string(app.name());
+  row.params = params;
+  row.config = config;
+
+  const Prediction prediction = celia.predict(params, config);
+  row.predicted_hours = prediction.seconds / 3600.0;
+  row.predicted_cost = prediction.cost;
+
+  const apps::Workload workload = app.make_workload(params);
+  const std::vector<cloud::Instance> instances = provider.provision(config);
+  const cloud::ExecutionReport report =
+      executor.execute(workload, instances, config);
+  row.actual_hours = report.seconds / 3600.0;
+  row.actual_cost = report.cost;
+
+  row.time_error =
+      std::abs(row.predicted_hours - row.actual_hours) / row.actual_hours;
+  row.cost_error =
+      std::abs(row.predicted_cost - row.actual_cost) / row.actual_cost;
+  return row;
+}
+
+std::vector<ValidationRow> run_table4_validation(
+    cloud::CloudProvider& provider, CharacterizationMode mode) {
+  struct Case {
+    const char* app;
+    apps::AppParams params;
+    Configuration config;
+  };
+  // Paper Table IV: three runs per application on the paper's
+  // configurations ([c4.l, c4.xl, c4.2xl, m4.l, m4.xl, m4.2xl, r3.l,
+  // r3.xl, r3.2xl] counts).
+  const std::vector<Case> cases = {
+      {"x264", {8000, 20}, {2, 1, 0, 0, 0, 0, 0, 0, 0}},
+      {"x264", {16000, 20}, {5, 1, 1, 0, 0, 0, 0, 0, 0}},
+      {"x264", {32000, 20}, {5, 5, 5, 1, 0, 0, 0, 0, 0}},
+      {"galaxy", {65536, 4000}, {5, 5, 0, 0, 0, 0, 0, 0, 0}},
+      {"galaxy", {65536, 6000}, {5, 5, 5, 0, 0, 0, 0, 0, 0}},
+      {"galaxy", {65536, 8000}, {5, 5, 5, 3, 0, 0, 0, 0, 0}},
+      {"sand", {1024e6, 0.32}, {5, 4, 1, 0, 0, 0, 0, 0, 0}},
+      {"sand", {2048e6, 0.32}, {5, 5, 0, 0, 0, 0, 0, 0, 0}},
+      {"sand", {4096e6, 0.32}, {5, 3, 1, 0, 0, 0, 0, 0, 0}},
+  };
+
+  const cloud::ClusterExecutor executor(provider.network());
+  std::vector<ValidationRow> rows;
+  std::string current_app;
+  std::unique_ptr<apps::ElasticApp> app;
+  std::unique_ptr<Celia> celia;
+  for (const Case& c : cases) {
+    if (c.app != current_app) {
+      current_app = c.app;
+      app = apps::make_app(c.app);
+      celia = std::make_unique<Celia>(Celia::build(*app, provider, mode));
+    }
+    rows.push_back(validate_case(*celia, *app, c.params, c.config, provider,
+                                 executor));
+  }
+  return rows;
+}
+
+}  // namespace celia::core

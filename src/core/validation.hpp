@@ -1,0 +1,43 @@
+#pragma once
+// Model validation machinery (paper §IV-D, Table IV): run CELIA's
+// prediction for one (application, parameters, configuration) case, run the
+// same case on the simulated cloud, and report the relative errors.
+
+#include <string>
+#include <vector>
+
+#include "apps/elastic_app.hpp"
+#include "cloud/cluster_exec.hpp"
+#include "cloud/provider.hpp"
+#include "core/celia.hpp"
+
+namespace celia::core {
+
+struct ValidationRow {
+  std::string app;
+  apps::AppParams params;
+  Configuration config;
+  double predicted_hours = 0.0;
+  double actual_hours = 0.0;
+  double predicted_cost = 0.0;
+  double actual_cost = 0.0;
+  /// |predicted - actual| / actual.
+  double time_error = 0.0;
+  double cost_error = 0.0;
+};
+
+/// Validate one case: `celia` supplies the prediction; `provider` +
+/// `executor` supply the measured run of app's workload on `config`.
+ValidationRow validate_case(const Celia& celia, const apps::ElasticApp& app,
+                            const apps::AppParams& params,
+                            const Configuration& config,
+                            cloud::CloudProvider& provider,
+                            const cloud::ClusterExecutor& executor);
+
+/// The paper's nine Table IV cases (three per application) against the
+/// paper's configurations.
+std::vector<ValidationRow> run_table4_validation(
+    cloud::CloudProvider& provider,
+    CharacterizationMode mode = CharacterizationMode::kFullMeasurement);
+
+}  // namespace celia::core

@@ -1,0 +1,67 @@
+#include "fit/basis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::fit {
+
+double eval_basis(Basis basis, double x) {
+  switch (basis) {
+    case Basis::kConstant:
+      return 1.0;
+    case Basis::kLinear:
+      return x;
+    case Basis::kQuadratic:
+      return x * x;
+    case Basis::kCubic:
+      return x * x * x;
+    case Basis::kLog:
+      if (x <= 0) throw std::domain_error("eval_basis: log of x <= 0");
+      return std::log(x);
+    case Basis::kXLogX:
+      if (x <= 0) throw std::domain_error("eval_basis: x log x of x <= 0");
+      return x * std::log(x);
+    case Basis::kSqrt:
+      if (x < 0) throw std::domain_error("eval_basis: sqrt of x < 0");
+      return std::sqrt(x);
+  }
+  throw std::invalid_argument("eval_basis: unknown basis");
+}
+
+std::string_view basis_name(Basis basis) {
+  switch (basis) {
+    case Basis::kConstant:
+      return "1";
+    case Basis::kLinear:
+      return "x";
+    case Basis::kQuadratic:
+      return "x^2";
+    case Basis::kCubic:
+      return "x^3";
+    case Basis::kLog:
+      return "ln(x)";
+    case Basis::kXLogX:
+      return "x ln(x)";
+    case Basis::kSqrt:
+      return "sqrt(x)";
+  }
+  return "?";
+}
+
+std::vector<Basis> linear_form() { return {Basis::kConstant, Basis::kLinear}; }
+
+std::vector<Basis> quadratic_form() {
+  return {Basis::kConstant, Basis::kLinear, Basis::kQuadratic};
+}
+
+std::vector<Basis> cubic_form() {
+  return {Basis::kConstant, Basis::kLinear, Basis::kQuadratic, Basis::kCubic};
+}
+
+std::vector<Basis> log_form() { return {Basis::kConstant, Basis::kLog}; }
+
+std::vector<Basis> xlogx_form() {
+  return {Basis::kConstant, Basis::kLinear, Basis::kXLogX};
+}
+
+}  // namespace celia::fit

@@ -1,0 +1,37 @@
+#pragma once
+// Basis functions for linear least-squares fitting.
+//
+// The paper's §IV-A finds that elastic-application resource demand follows
+// linear, quadratic and logarithmic relationships with problem size and
+// accuracy. We fit demand as a linear combination of basis functions of the
+// parameter, which keeps the regression linear in the coefficients.
+
+#include <string_view>
+#include <vector>
+
+namespace celia::fit {
+
+enum class Basis {
+  kConstant,   // 1
+  kLinear,     // x
+  kQuadratic,  // x^2
+  kCubic,      // x^3
+  kLog,        // ln(x)        (x > 0)
+  kXLogX,      // x ln(x)      (x > 0)
+  kSqrt,       // sqrt(x)      (x >= 0)
+};
+
+/// Evaluate one basis function. Throws std::domain_error when x is outside
+/// the basis' domain (e.g. log of a non-positive value).
+double eval_basis(Basis basis, double x);
+
+std::string_view basis_name(Basis basis);
+
+/// Common model forms as basis sets.
+std::vector<Basis> linear_form();      // {1, x}
+std::vector<Basis> quadratic_form();   // {1, x, x^2}
+std::vector<Basis> cubic_form();       // {1, x, x^2, x^3}
+std::vector<Basis> log_form();         // {1, ln x}
+std::vector<Basis> xlogx_form();       // {1, x, x ln x}
+
+}  // namespace celia::fit

@@ -1,0 +1,113 @@
+#include "fit/demand_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace celia::fit {
+
+namespace {
+
+/// Value of the second parameter that has the most samples along the first
+/// — the best "slice" for a one-dimensional fit.
+double best_reference(std::span<const ProfilePoint> grid,
+                      double ProfilePoint::*key) {
+  std::map<double, int> counts;
+  for (const auto& point : grid) ++counts[point.*key];
+  double best = 0.0;
+  int best_count = -1;
+  for (const auto& [value, count] : counts) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SeparableDemandModel SeparableDemandModel::fit(
+    std::span<const ProfilePoint> grid) {
+  if (grid.size() < 7)
+    throw std::invalid_argument(
+        "SeparableDemandModel: need at least 7 profile points");
+
+  SeparableDemandModel model;
+  model.a0_ = best_reference(grid, &ProfilePoint::a);
+  model.n0_ = best_reference(grid, &ProfilePoint::n);
+
+  std::vector<Sample> n_slice;   // D(n, a0) vs n
+  std::vector<Sample> a_slice;   // D(n0, a) vs a
+  double d00 = 0.0;
+  int d00_count = 0;
+  for (const auto& point : grid) {
+    if (point.a == model.a0_) n_slice.push_back({point.n, point.instructions});
+    if (point.n == model.n0_) a_slice.push_back({point.a, point.instructions});
+    if (point.n == model.n0_ && point.a == model.a0_) {
+      d00 += point.instructions;
+      ++d00_count;
+    }
+  }
+  if (n_slice.size() < 4 || a_slice.size() < 4)
+    throw std::invalid_argument(
+        "SeparableDemandModel: need >= 4 samples along each parameter at "
+        "the reference slice");
+  if (d00_count == 0)
+    throw std::invalid_argument(
+        "SeparableDemandModel: missing the (n0, a0) reference point");
+  d00 /= d00_count;
+  if (d00 <= 0)
+    throw std::invalid_argument(
+        "SeparableDemandModel: non-positive reference demand");
+
+  ShapeDetection n_detect = detect_shape(n_slice);
+  ShapeDetection a_detect = detect_shape(a_slice);
+  model.n_shape_ = n_detect.shape;
+  model.a_shape_ = a_detect.shape;
+  model.n_fit_ = std::move(n_detect.fit);
+  model.a_fit_ = std::move(a_detect.fit);
+  model.d00_ = d00;
+
+  // Goodness of the separable combination over the full grid.
+  double y_mean = 0.0;
+  for (const auto& point : grid) y_mean += point.instructions;
+  y_mean /= static_cast<double>(grid.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (const auto& point : grid) {
+    const double r = point.instructions - model.predict(point.n, point.a);
+    const double d = point.instructions - y_mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  model.grid_r2_ =
+      ss_tot > 0 ? 1.0 - ss_res / ss_tot : (ss_res == 0 ? 1.0 : 0.0);
+  return model;
+}
+
+SeparableDemandModel SeparableDemandModel::from_parts(
+    Shape n_shape, Shape a_shape, FitResult n_fit, FitResult a_fit,
+    double n0, double a0, double d00, double grid_r2) {
+  if (d00 <= 0)
+    throw std::invalid_argument(
+        "SeparableDemandModel: non-positive reference demand");
+  SeparableDemandModel model;
+  model.n_shape_ = n_shape;
+  model.a_shape_ = a_shape;
+  model.n_fit_ = std::move(n_fit);
+  model.a_fit_ = std::move(a_fit);
+  model.n0_ = n0;
+  model.a0_ = a0;
+  model.d00_ = d00;
+  model.grid_r2_ = grid_r2;
+  return model;
+}
+
+double SeparableDemandModel::predict(double n, double a) const {
+  const double f = n_fit_.predict(n);
+  const double g = a_fit_.predict(a);
+  return std::max(0.0, f * g / d00_);
+}
+
+}  // namespace celia::fit

@@ -1,0 +1,73 @@
+#pragma once
+// Two-parameter demand-model fitting.
+//
+// An elastic application P(n, a) has resource demand D(n, a) (instructions).
+// The paper profiles scale-down runs varying one parameter at a time and
+// establishes the per-parameter relationship (Fig. 2). We reproduce that
+// procedure: detect the shape along n at a reference accuracy, detect the
+// shape along a at a reference problem size, and combine them into a
+// separable model
+//
+//     D(n, a) ~= F(n) * G(a) / D(n0, a0)
+//
+// where F(n) = D(n, a0) and G(a) = D(n0, a). All three paper applications
+// are separable in this sense (x264: n x quadratic(f); galaxy: n^2 x s;
+// sand: n x log(t)), and the fit reports its R^2 over the full profile grid
+// so non-separable inputs are detectable.
+
+#include <span>
+#include <vector>
+
+#include "fit/model_select.hpp"
+
+namespace celia::fit {
+
+/// One profiled scale-down run: parameters and measured instruction count.
+struct ProfilePoint {
+  double n;             // problem size
+  double a;             // accuracy parameter
+  double instructions;  // measured demand
+};
+
+class SeparableDemandModel {
+ public:
+  /// Fit from a profile grid. Requires at least 4 distinct n values at some
+  /// reference a, and at least 4 distinct a values at some reference n.
+  static SeparableDemandModel fit(std::span<const ProfilePoint> grid);
+
+  /// Reassemble a model from previously fitted parts (model persistence).
+  /// Throws std::invalid_argument when d00 is not positive.
+  static SeparableDemandModel from_parts(Shape n_shape, Shape a_shape,
+                                         FitResult n_fit, FitResult a_fit,
+                                         double n0, double a0, double d00,
+                                         double grid_r2);
+
+  /// Predicted demand in instructions. Clamped below at 0.
+  double predict(double n, double a) const;
+
+  Shape n_shape() const { return n_shape_; }
+  Shape a_shape() const { return a_shape_; }
+  const FitResult& n_fit() const { return n_fit_; }
+  const FitResult& a_fit() const { return a_fit_; }
+  double reference_n() const { return n0_; }
+  double reference_a() const { return a0_; }
+  /// Demand measured at the (n0, a0) reference point.
+  double reference_demand() const { return d00_; }
+
+  /// R^2 of the separable model over the whole input grid.
+  double grid_r2() const { return grid_r2_; }
+
+ private:
+  SeparableDemandModel() = default;
+
+  Shape n_shape_ = Shape::kLinear;
+  Shape a_shape_ = Shape::kLinear;
+  FitResult n_fit_;
+  FitResult a_fit_;
+  double n0_ = 0.0;
+  double a0_ = 0.0;
+  double d00_ = 0.0;
+  double grid_r2_ = 0.0;
+};
+
+}  // namespace celia::fit

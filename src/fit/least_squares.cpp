@@ -1,0 +1,116 @@
+#include "fit/least_squares.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace celia::fit {
+
+double FitResult::predict(double x) const {
+  double y = 0.0;
+  for (std::size_t k = 0; k < bases.size(); ++k)
+    y += coeffs[k] * eval_basis(bases[k], x);
+  return y;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining |entry| to the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col]))
+        pivot = row;
+    if (std::abs(a[pivot * n + col]) < 1e-12)
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k)
+        a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i * n + k] * x[k];
+    x[i] = sum / a[i * n + i];
+  }
+  return x;
+}
+
+FitResult fit_least_squares(std::span<const Sample> samples,
+                            std::vector<Basis> bases) {
+  const std::size_t n = samples.size();
+  const std::size_t p = bases.size();
+  if (p == 0) throw std::invalid_argument("fit_least_squares: empty basis");
+  if (n < p)
+    throw std::invalid_argument("fit_least_squares: underdetermined fit");
+
+  // Column scaling keeps the Gram matrix conditioned when basis values span
+  // many orders of magnitude (e.g. x^2 with x ~ 1e5).
+  std::vector<double> scale(p, 0.0);
+  for (std::size_t k = 0; k < p; ++k) {
+    double max_abs = 0.0;
+    for (const auto& s : samples)
+      max_abs = std::max(max_abs, std::abs(eval_basis(bases[k], s.x)));
+    scale[k] = max_abs > 0 ? max_abs : 1.0;
+  }
+
+  // Normal equations: (Phi^T Phi) c = Phi^T y on the scaled design matrix.
+  std::vector<double> gram(p * p, 0.0);
+  std::vector<double> rhs(p, 0.0);
+  for (const auto& s : samples) {
+    std::vector<double> phi(p);
+    for (std::size_t k = 0; k < p; ++k)
+      phi[k] = eval_basis(bases[k], s.x) / scale[k];
+    for (std::size_t i = 0; i < p; ++i) {
+      rhs[i] += phi[i] * s.y;
+      for (std::size_t j = 0; j < p; ++j) gram[i * p + j] += phi[i] * phi[j];
+    }
+  }
+
+  std::vector<double> scaled_coeffs =
+      solve_linear_system(std::move(gram), std::move(rhs));
+
+  FitResult result;
+  result.bases = std::move(bases);
+  result.coeffs.resize(p);
+  for (std::size_t k = 0; k < p; ++k)
+    result.coeffs[k] = scaled_coeffs[k] / scale[k];
+
+  // Goodness of fit.
+  double y_mean = 0.0;
+  for (const auto& s : samples) y_mean += s.y;
+  y_mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (const auto& s : samples) {
+    const double r = s.y - result.predict(s.x);
+    const double d = s.y - y_mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  result.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : (ss_res == 0 ? 1.0 : 0.0);
+  result.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  if (n > p) {
+    result.adjusted_r2 =
+        1.0 - (1.0 - result.r2) * static_cast<double>(n - 1) /
+                  static_cast<double>(n - p);
+  } else {
+    result.adjusted_r2 = result.r2;
+  }
+  return result;
+}
+
+}  // namespace celia::fit

@@ -1,0 +1,42 @@
+#pragma once
+// Ordinary least squares over arbitrary basis functions, solved via the
+// normal equations with Gaussian elimination (partial pivoting). Problem
+// sizes here are tiny (tens of samples, <= 4 coefficients), so the normal
+// equations are numerically adequate; inputs are mean-scaled internally to
+// keep the Gram matrix well conditioned.
+
+#include <span>
+#include <vector>
+
+#include "fit/basis.hpp"
+
+namespace celia::fit {
+
+struct Sample {
+  double x;
+  double y;
+};
+
+struct FitResult {
+  std::vector<Basis> bases;      // the model form
+  std::vector<double> coeffs;    // one per basis
+  double r2 = 0.0;               // coefficient of determination
+  double adjusted_r2 = 0.0;      // penalized for model size
+  double rmse = 0.0;             // root mean squared residual
+
+  /// Evaluate the fitted model at x.
+  double predict(double x) const;
+};
+
+/// Fit y ~= sum_k c_k phi_k(x). Requires samples.size() >= bases.size().
+/// Throws std::invalid_argument on underdetermined input and
+/// std::runtime_error if the Gram matrix is singular.
+FitResult fit_least_squares(std::span<const Sample> samples,
+                            std::vector<Basis> bases);
+
+/// Solve the dense linear system A x = b in place (partial pivoting).
+/// A is row-major n x n. Throws std::runtime_error when singular.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b);
+
+}  // namespace celia::fit

@@ -1,0 +1,58 @@
+#include "fit/model_select.hpp"
+
+#include <stdexcept>
+
+namespace celia::fit {
+
+std::string_view shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::kLinear:
+      return "linear";
+    case Shape::kQuadratic:
+      return "quadratic";
+    case Shape::kLogarithmic:
+      return "logarithmic";
+  }
+  return "?";
+}
+
+ShapeDetection detect_shape(std::span<const Sample> samples,
+                            double min_gain) {
+  if (samples.size() < 4)
+    throw std::invalid_argument("detect_shape: need at least 4 samples");
+
+  // Candidates ordered simplest-first: log and linear are both
+  // 2-coefficient forms; quadratic must justify its extra coefficient.
+  struct Candidate {
+    Shape shape;
+    std::vector<Basis> bases;
+    int complexity;
+  };
+  const Candidate candidates[] = {
+      {Shape::kLinear, linear_form(), 0},
+      {Shape::kLogarithmic, log_form(), 0},
+      {Shape::kQuadratic, quadratic_form(), 1},
+  };
+
+  ShapeDetection detection{Shape::kLinear, {}, {}};
+  bool have_best = false;
+  int best_complexity = 0;
+  for (const auto& candidate : candidates) {
+    FitResult fit = fit_least_squares(samples, candidate.bases);
+    const bool better =
+        !have_best ||
+        (candidate.complexity <= best_complexity
+             ? fit.adjusted_r2 > detection.fit.adjusted_r2
+             : fit.adjusted_r2 > detection.fit.adjusted_r2 + min_gain);
+    if (better) {
+      detection.shape = candidate.shape;
+      detection.fit = fit;
+      best_complexity = candidate.complexity;
+      have_best = true;
+    }
+    detection.candidates.push_back(std::move(fit));
+  }
+  return detection;
+}
+
+}  // namespace celia::fit

@@ -1,0 +1,35 @@
+#pragma once
+// Automatic shape detection: given demand samples along one application
+// parameter, decide whether the relationship is linear, quadratic or
+// logarithmic (the three shapes the paper reports in Figure 2), with a
+// parsimony rule so that near-ties go to the simpler form.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fit/least_squares.hpp"
+
+namespace celia::fit {
+
+enum class Shape {
+  kLinear,
+  kQuadratic,
+  kLogarithmic,
+};
+
+std::string_view shape_name(Shape shape);
+
+struct ShapeDetection {
+  Shape shape;
+  FitResult fit;  // the winning fit
+  std::vector<FitResult> candidates;  // all candidate fits, for reporting
+};
+
+/// Fit all candidate forms and select the winner by adjusted R^2; a more
+/// complex model must beat a simpler one by at least `min_gain` (absolute
+/// adjusted-R^2 improvement) to be preferred.
+ShapeDetection detect_shape(std::span<const Sample> samples,
+                            double min_gain = 1e-4);
+
+}  // namespace celia::fit

@@ -1,0 +1,18 @@
+#include "hw/local_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace celia::hw {
+
+double LocalServer::runtime_seconds(std::uint64_t instructions,
+                                    WorkloadClass workload,
+                                    int threads) const {
+  if (threads <= 0)
+    throw std::invalid_argument("LocalServer: threads must be positive");
+  const int used = std::min(threads, hardware_threads());
+  const double rate = vcpu_rate(model_.microarch, workload) * used;
+  return static_cast<double>(instructions) / rate;
+}
+
+}  // namespace celia::hw

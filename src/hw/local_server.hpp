@@ -1,0 +1,47 @@
+#pragma once
+// The local measurement server.
+//
+// The paper cannot read hardware counters inside EC2 VMs, so all instruction
+// counts come from `perf` runs on a local Intel Xeon E5-2630 v4 machine that
+// shares the ISA/micro-architecture family with the cloud nodes. This class
+// models that machine: it "executes" an instrumented run (the kernels report
+// exact operation counts) and derives the wall-clock time the run would take
+// locally, which characterization code can use for sanity checks.
+
+#include <cstdint>
+
+#include "hw/ipc_model.hpp"
+#include "hw/microarch.hpp"
+#include "hw/perf_counter.hpp"
+#include "hw/workload_class.hpp"
+
+namespace celia::hw {
+
+class LocalServer {
+ public:
+  /// Defaults to the paper's measurement host (Xeon E5-2630 v4, 10C/20T).
+  explicit LocalServer(Microarch microarch = Microarch::kBroadwellE5_2630v4)
+      : model_(processor(microarch)) {}
+
+  const ProcessorModel& model() const { return model_; }
+
+  /// Total hardware threads (vCPU equivalents) of the box.
+  int hardware_threads() const {
+    return model_.physical_cores * model_.threads_per_core;
+  }
+
+  /// Aggregate instruction rate (instr/s) with all threads busy.
+  double aggregate_rate(WorkloadClass workload) const {
+    return vcpu_rate(model_.microarch, workload) * hardware_threads();
+  }
+
+  /// Wall-clock seconds a perfectly parallel run of `instructions` would
+  /// take on this server using `threads` threads (capped at the hardware).
+  double runtime_seconds(std::uint64_t instructions, WorkloadClass workload,
+                         int threads) const;
+
+ private:
+  ProcessorModel model_;
+};
+
+}  // namespace celia::hw

@@ -1,0 +1,33 @@
+#include "hw/microarch.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace celia::hw {
+
+namespace {
+
+// Frequencies follow the paper's Table III (per-instance GHz); the local
+// server models the E5-2630 v4 at its 2.2 GHz base clock.
+constexpr std::array<ProcessorModel, 4> kCatalog = {{
+    {Microarch::kHaswellE5_2666v3, "Intel Xeon E5-2666 v3", 2.9, 10, 2},
+    {Microarch::kHaswellE5_2676v3, "Intel Xeon E5-2676 v3", 2.3, 12, 2},
+    {Microarch::kSandyBridgeE5_2670, "Intel Xeon E5-2670", 2.5, 8, 2},
+    {Microarch::kBroadwellE5_2630v4, "Intel Xeon E5-2630 v4", 2.2, 10, 2},
+}};
+
+}  // namespace
+
+std::span<const ProcessorModel> processor_catalog() { return kCatalog; }
+
+const ProcessorModel& processor(Microarch microarch) {
+  for (const auto& model : kCatalog)
+    if (model.microarch == microarch) return model;
+  throw std::out_of_range("unknown micro-architecture");
+}
+
+std::string to_string(Microarch microarch) {
+  return std::string(processor(microarch).name);
+}
+
+}  // namespace celia::hw

@@ -1,0 +1,44 @@
+#pragma once
+// Micro-architecture catalog.
+//
+// The paper's measurement methodology depends on the local server and the
+// cloud instances sharing an ISA and micro-architecture, so that instruction
+// counts measured locally transfer to the cloud. We model the four processor
+// models the paper names:
+//   * Intel Xeon E5-2666 v3 (Haswell)  — EC2 c4 instances
+//   * Intel Xeon E5-2676 v3 (Haswell)  — EC2 m4 instances
+//   * Intel Xeon E5-2670    (Sandy Bridge) — EC2 r3 instances
+//   * Intel Xeon E5-2630 v4 (Broadwell) — the local measurement server
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace celia::hw {
+
+enum class Microarch {
+  kHaswellE5_2666v3,
+  kHaswellE5_2676v3,
+  kSandyBridgeE5_2670,
+  kBroadwellE5_2630v4,
+};
+
+/// Static description of a processor model.
+struct ProcessorModel {
+  Microarch microarch;
+  std::string_view name;        // marketing name, e.g. "Intel Xeon E5-2666 v3"
+  double base_frequency_ghz;    // sustained all-core frequency we model
+  int physical_cores;           // per socket
+  int threads_per_core;         // SMT width (2 on all modeled parts)
+};
+
+/// All modeled processors.
+std::span<const ProcessorModel> processor_catalog();
+
+/// Lookup by micro-architecture; throws std::out_of_range if unknown.
+const ProcessorModel& processor(Microarch microarch);
+
+std::string to_string(Microarch microarch);
+
+}  // namespace celia::hw

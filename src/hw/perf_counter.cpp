@@ -1,0 +1,29 @@
+#include "hw/perf_counter.hpp"
+
+namespace celia::hw {
+
+std::string_view op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kIntArith:
+      return "int-arith";
+    case OpClass::kIntMul:
+      return "int-mul";
+    case OpClass::kFloatAdd:
+      return "fp-add";
+    case OpClass::kFloatMul:
+      return "fp-mul";
+    case OpClass::kFloatDiv:
+      return "fp-div";
+    case OpClass::kFloatSqrt:
+      return "fp-sqrt";
+    case OpClass::kLoadStore:
+      return "load-store";
+    case OpClass::kBranch:
+      return "branch";
+    case OpClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace celia::hw

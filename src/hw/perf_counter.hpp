@@ -1,0 +1,105 @@
+#pragma once
+// Simulated hardware performance counters (the stand-in for Linux `perf`).
+//
+// The elastic-application kernels are *instrumented*: every kernel reports
+// the operations it actually performs, by class, into a PerfCounter. A
+// central cost table converts operation counts into retired-instruction
+// counts. Each application also exposes a closed-form demand function that
+// must agree exactly with the instrumented count — the test suite enforces
+// this, which is what makes model extrapolation to cloud-scale problem
+// sizes trustworthy.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace celia::hw {
+
+/// Coarse operation classes reported by the instrumented kernels.
+enum class OpClass : int {
+  kIntArith = 0,    // integer add/sub/logic
+  kIntMul,          // integer multiply
+  kFloatAdd,        // FP add/sub
+  kFloatMul,        // FP multiply (incl. fused multiply-add counted once)
+  kFloatDiv,        // FP divide
+  kFloatSqrt,       // FP square root
+  kLoadStore,       // memory access
+  kBranch,          // compare-and-branch
+  kOther,           // bookkeeping / call overhead
+};
+
+inline constexpr int kNumOpClasses = 9;
+
+std::string_view op_class_name(OpClass op);
+
+/// Retired instructions charged per operation of each class. These model a
+/// scalar x86-64 compilation of the kernels (address arithmetic, moves and
+/// loop control folded into the per-op charge); divide/sqrt are micro-coded
+/// multi-instruction sequences.
+struct OpCostTable {
+  std::array<std::uint64_t, kNumOpClasses> instructions_per_op;
+
+  constexpr std::uint64_t cost(OpClass op) const {
+    return instructions_per_op[static_cast<int>(op)];
+  }
+};
+
+/// Default cost table used everywhere (applications and closed forms must
+/// share one table or counts would not match).
+constexpr OpCostTable default_op_costs() {
+  return OpCostTable{{
+      1,   // kIntArith
+      1,   // kIntMul
+      2,   // kFloatAdd (load-op-store pattern)
+      2,   // kFloatMul
+      8,   // kFloatDiv
+      10,  // kFloatSqrt
+      2,   // kLoadStore
+      2,   // kBranch
+      1,   // kOther
+  }};
+}
+
+/// Accumulates per-class operation counts; converts to instructions on
+/// demand. Cheap enough to update from inner loops in batched form.
+class PerfCounter {
+ public:
+  explicit constexpr PerfCounter(OpCostTable costs = default_op_costs())
+      : costs_(costs) {}
+
+  constexpr void add(OpClass op, std::uint64_t count) {
+    ops_[static_cast<int>(op)] += count;
+  }
+
+  constexpr std::uint64_t ops(OpClass op) const {
+    return ops_[static_cast<int>(op)];
+  }
+
+  constexpr std::uint64_t total_ops() const {
+    std::uint64_t total = 0;
+    for (const auto count : ops_) total += count;
+    return total;
+  }
+
+  /// Retired-instruction count: sum of per-class ops x per-class cost.
+  constexpr std::uint64_t instructions() const {
+    std::uint64_t total = 0;
+    for (int i = 0; i < kNumOpClasses; ++i)
+      total += ops_[i] * costs_.instructions_per_op[i];
+    return total;
+  }
+
+  constexpr void merge(const PerfCounter& other) {
+    for (int i = 0; i < kNumOpClasses; ++i) ops_[i] += other.ops_[i];
+  }
+
+  constexpr void reset() { ops_.fill(0); }
+
+  constexpr const OpCostTable& costs() const { return costs_; }
+
+ private:
+  OpCostTable costs_;
+  std::array<std::uint64_t, kNumOpClasses> ops_{};
+};
+
+}  // namespace celia::hw

@@ -1,0 +1,31 @@
+#pragma once
+// Workload classes: instruction-mix categories of the modeled elastic
+// applications. The achieved IPC of a processor depends on the instruction
+// mix, so per-(micro-architecture, workload-class) IPC is the quantity the
+// paper's characterization step effectively measures.
+
+#include <string_view>
+
+namespace celia::hw {
+
+enum class WorkloadClass : int {
+  kVideoEncoding = 0,   // x264: integer/SIMD-heavy transform + quantization
+  kNBody,               // galaxy: FP-heavy with divides/sqrts (low IPC)
+  kGenomeAlignment,     // sand: branchy integer dynamic programming
+};
+
+inline constexpr int kNumWorkloadClasses = 3;
+
+constexpr std::string_view workload_class_name(WorkloadClass wc) {
+  switch (wc) {
+    case WorkloadClass::kVideoEncoding:
+      return "video-encoding";
+    case WorkloadClass::kNBody:
+      return "n-body";
+    case WorkloadClass::kGenomeAlignment:
+      return "genome-alignment";
+  }
+  return "?";
+}
+
+}  // namespace celia::hw

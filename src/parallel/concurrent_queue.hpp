@@ -1,0 +1,99 @@
+#pragma once
+// Bounded multi-producer multi-consumer queue with blocking push/pop and a
+// close() protocol. Used by the SAND master-worker simulator's work queue
+// and available as a general building block.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace celia::parallel {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit ConcurrentQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_))
+        return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// After close(), pushes fail and pops drain the remaining items.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace celia::parallel

@@ -1,0 +1,85 @@
+#pragma once
+// Data-parallel loops and reductions over index ranges.
+//
+// parallel_for splits [begin, end) into contiguous blocks, one task per
+// worker (static schedule) or many small chunks claimed via an atomic
+// cursor (dynamic schedule). parallel_reduce gives each worker a private
+// accumulator and merges them at the end — no locks on the hot path, in
+// the spirit of OpenMP `reduction` clauses.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace celia::parallel {
+
+/// Contiguous index block [begin, end).
+struct BlockedRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Splits [begin, end) into at most `parts` near-equal contiguous ranges.
+std::vector<BlockedRange> split_range(std::uint64_t begin, std::uint64_t end,
+                                      std::size_t parts);
+
+enum class Schedule { kStatic, kDynamic };
+
+struct ForOptions {
+  Schedule schedule = Schedule::kStatic;
+  /// Chunk size for the dynamic schedule; 0 picks a heuristic
+  /// (~8 chunks per worker).
+  std::uint64_t chunk = 0;
+  /// Pool to run on; nullptr means default_pool().
+  ThreadPool* pool = nullptr;
+};
+
+/// Invoke body(range) in parallel over [begin, end).
+void parallel_for_blocked(std::uint64_t begin, std::uint64_t end,
+                          const std::function<void(BlockedRange)>& body,
+                          ForOptions options = {});
+
+/// Invoke body(i) for each i in [begin, end) in parallel.
+template <typename Body>
+void parallel_for(std::uint64_t begin, std::uint64_t end, Body&& body,
+                  ForOptions options = {}) {
+  parallel_for_blocked(
+      begin, end,
+      [&body](BlockedRange range) {
+        for (std::uint64_t i = range.begin; i < range.end; ++i) body(i);
+      },
+      options);
+}
+
+/// Parallel reduction: each worker folds its block into a private
+/// accumulator (starting from `identity`) via `fold(acc, i)`; partial
+/// accumulators are combined with `merge(a, b)`.
+template <typename T, typename Fold, typename Merge>
+T parallel_reduce(std::uint64_t begin, std::uint64_t end, T identity,
+                  Fold&& fold, Merge&& merge, ForOptions options = {}) {
+  ThreadPool& pool = options.pool ? *options.pool : default_pool();
+  const auto ranges = split_range(begin, end, pool.num_threads());
+  std::vector<std::future<T>> partials;
+  partials.reserve(ranges.size());
+  for (const auto range : ranges) {
+    partials.push_back(pool.submit([range, identity, &fold]() {
+      T acc = identity;
+      for (std::uint64_t i = range.begin; i < range.end; ++i)
+        acc = fold(std::move(acc), i);
+      return acc;
+    }));
+  }
+  T result = identity;
+  for (auto& partial : partials)
+    result = merge(std::move(result), partial.get());
+  return result;
+}
+
+}  // namespace celia::parallel

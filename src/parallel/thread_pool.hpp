@@ -1,0 +1,78 @@
+#pragma once
+// Fixed-size worker pool with a shared task queue. This is the execution
+// substrate for CELIA's 10-million-configuration sweeps and for the
+// master-worker application simulator.
+//
+// Design notes (following the C++ Core Guidelines concurrency rules):
+//  * all shared state is guarded by one mutex + condition variable; tasks
+//    are type-erased std::move_only_function-style via std::function;
+//  * the pool joins its threads in the destructor (RAII, no detached
+//    threads);
+//  * submit() returns std::future so exceptions thrown inside a task
+//    propagate to the caller instead of being swallowed.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace celia::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a callable; the returned future carries its result/exception.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using Result = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<F>(f),
+         ... captured = std::forward<Args>(args)]() mutable {
+          return fn(std::move(captured)...);
+        });
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Block until the queue is empty and all in-flight tasks are done.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed, sized to the hardware).
+ThreadPool& default_pool();
+
+}  // namespace celia::parallel

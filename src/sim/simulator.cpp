@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace celia::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime when, Handler handler) {
+  if (when < now_)
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  auto event = std::make_shared<Event>();
+  event->time = when;
+  event->sequence = next_sequence_++;
+  event->id = next_id_++;
+  event->handler = std::move(handler);
+  pending_by_id_.emplace(event->id, event);
+  queue_.push(std::move(event));
+  return next_id_ - 1;
+}
+
+std::uint64_t Simulator::schedule_after(SimTime delay, Handler handler) {
+  if (delay < 0)
+    throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(std::uint64_t id) {
+  const auto it = pending_by_id_.find(id);
+  if (it == pending_by_id_.end()) return false;
+  it->second->cancelled = true;
+  pending_by_id_.erase(it);
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    auto event = queue_.top();
+    queue_.pop();
+    if (event->cancelled) continue;
+    pending_by_id_.erase(event->id);
+    now_ = event->time;
+    event->handler();
+    ++fired;
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    auto event = queue_.top();
+    if (event->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (event->time > deadline) break;
+    queue_.pop();
+    pending_by_id_.erase(event->id);
+    now_ = event->time;
+    event->handler();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace celia::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// The cluster execution simulator (src/cloud/cluster_exec) runs workloads on
+// modeled cloud configurations by scheduling events (task completions,
+// synchronization barriers, master dispatches) on a time-ordered queue.
+// Events at the same timestamp fire in insertion order (stable FIFO
+// tie-break), which makes every simulation deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace celia::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. 0 before the first event fires.
+  SimTime now() const { return now_; }
+
+  /// Schedule `handler` to fire at absolute time `when` (>= now()).
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(SimTime when, Handler handler);
+
+  /// Schedule `handler` to fire `delay` seconds from now.
+  std::uint64_t schedule_after(SimTime delay, Handler handler);
+
+  /// Cancel a pending event. Returns false if it already fired or is unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Run until the event queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until the queue is empty or the next event lies beyond `deadline`;
+  /// later events remain pending and now() stops at the last fired event.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return pending_by_id_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;  // insertion order; breaks timestamp ties
+    std::uint64_t id;
+    Handler handler;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->sequence > b->sequence;
+    }
+  };
+
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, EventOrder>
+      queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Event>> pending_by_id_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace celia::sim

@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace celia::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "false", /*is_flag=*/true, false};
+  order_.push_back(name);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  options_[name] = Option{help, default_value, /*is_flag=*/false, false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      error_ = "unknown option --" + name;
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value) {
+        error_ = "flag --" + name + " does not take a value";
+        return false;
+      }
+      opt.value = "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          error_ = "option --" + name + " requires a value";
+          return false;
+        }
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  return it->second.is_flag ? it->second.value == "true" : it->second.seen;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end())
+    throw std::invalid_argument("CliParser: unregistered option " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+void CliParser::print_usage(std::ostream& out) const {
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out << "  --" << name;
+    if (!opt.is_flag) out << "=<value> (default: " << opt.value << ")";
+    out << "\n      " << opt.help << "\n";
+  }
+}
+
+}  // namespace celia::util

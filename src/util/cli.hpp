@@ -1,0 +1,52 @@
+#pragma once
+// Tiny declarative command-line parser used by examples and benchmarks.
+// Supports --name=value, --name value, and boolean --flag forms.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace celia::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register options. `help` is shown by print_usage().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv. Returns false (and records an error) on unknown or
+  /// malformed options; positional arguments are collected in positionals().
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& error() const { return error_; }
+
+  void print_usage(std::ostream& out) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+};
+
+}  // namespace celia::util

@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace celia::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  header(std::vector<std::string>(columns));
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_ || rows_ > 0)
+    throw std::logic_error("CsvWriter: header after data");
+  write_fields(columns);
+  header_written_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::row_values(const std::vector<double>& fields, int decimals) {
+  std::vector<std::string> strings;
+  strings.reserve(fields.size());
+  char buffer[64];
+  for (double v : fields) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g",
+                  decimals > 0 ? decimals + 6 : 6, v);
+    strings.emplace_back(buffer);
+  }
+  row(strings);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(field);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> csv_parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace celia::util

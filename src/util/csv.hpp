@@ -1,0 +1,48 @@
+#pragma once
+// CSV emission for benchmark harnesses. Every figure-reproduction binary can
+// dump its series as CSV next to the human-readable output so results can be
+// re-plotted externally.
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace celia::util {
+
+/// Escapes a field per RFC 4180 (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+/// Row-oriented CSV writer over any std::ostream. The writer does not own
+/// the stream; keep it alive for the writer's lifetime.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write a header row. May be called once, before any data rows.
+  void header(std::initializer_list<std::string> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row of strings.
+  void row(const std::vector<std::string>& fields);
+
+  /// Write one data row of doubles (%g with `decimals`+6 significant
+  /// digits). Named differently from row() because a braced list of two
+  /// pointers would otherwise match vector<double>'s iterator-pair
+  /// constructor and make calls ambiguous.
+  void row_values(const std::vector<double>& fields, int decimals = 6);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Splits one CSV line into fields (handles RFC 4180 quoting).
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+}  // namespace celia::util

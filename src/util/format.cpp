@@ -1,0 +1,102 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace celia::util {
+
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+constexpr std::array<Prefix, 7> kPrefixes = {{{1e18, "E"},
+                                              {1e15, "P"},
+                                              {1e12, "T"},
+                                              {1e9, "G"},
+                                              {1e6, "M"},
+                                              {1e3, "k"},
+                                              {1.0, ""}}};
+
+std::string printf_string(const char* fmt, double a) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, a);
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_si(double value, int decimals) {
+  const double magnitude = std::abs(value);
+  for (const auto& prefix : kPrefixes) {
+    if (magnitude >= prefix.scale) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.*f%s", decimals,
+                    value / prefix.scale, prefix.symbol);
+      return buffer;
+    }
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_instructions(double instructions) {
+  return format_si(instructions) + " instr";
+}
+
+std::string format_rate(double instructions_per_second) {
+  return format_si(instructions_per_second) + " instr/s";
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  if (seconds < 60.0) return printf_string("%.1fs", seconds);
+  const auto total = static_cast<long long>(seconds);
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buffer[64];
+  if (h > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldh %lldm %llds", h, m, s);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lldm %llds", m, s);
+  }
+  return buffer;
+}
+
+std::string format_money(double dollars) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "$%.2f", dollars);
+  return buffer;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+std::string format_with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace celia::util

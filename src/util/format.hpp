@@ -1,0 +1,34 @@
+#pragma once
+// Human-readable formatting of the quantities this project reports:
+// instruction counts, instruction rates, durations, and money.
+
+#include <cstdint>
+#include <string>
+
+namespace celia::util {
+
+/// 1234567890123 -> "1.23 Tinstr"; engineering-prefixed instruction count.
+std::string format_instructions(double instructions);
+
+/// 2.76e9 -> "2.76 Ginstr/s".
+std::string format_rate(double instructions_per_second);
+
+/// Seconds -> "1h 23m 45s" (or "12.3s" below a minute).
+std::string format_duration(double seconds);
+
+/// Dollars with two decimals and $ sign: "$126.40".
+std::string format_money(double dollars);
+
+/// Fixed-decimal formatting: format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Value with engineering SI prefix: 2.5e6 -> "2.50M".
+std::string format_si(double value, int decimals = 2);
+
+/// Percentage: 0.135 -> "13.5%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Thousands separators: 10077695 -> "10,077,695".
+std::string format_with_commas(std::uint64_t value);
+
+}  // namespace celia::util

@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace celia::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0)
+    throw std::invalid_argument("Histogram: need lo < hi and bins > 0");
+}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double value : values) add(value);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin + 1);
+}
+
+void Histogram::print(std::ostream& out, int max_bar_width) const {
+  max_bar_width = std::max(1, max_bar_width);
+  std::size_t peak = 1;
+  for (const auto count : counts_) peak = std::max(peak, count);
+  char label[64];
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    std::snprintf(label, sizeof(label), "[%7.3f, %7.3f)", bin_low(bin),
+                  bin_high(bin));
+    const auto width = static_cast<int>(
+        static_cast<double>(counts_[bin]) / static_cast<double>(peak) *
+        max_bar_width);
+    out << "  " << label << ' ' << std::string(width, '#') << ' '
+        << counts_[bin] << '\n';
+  }
+}
+
+std::string Histogram::to_string(int max_bar_width) const {
+  std::ostringstream oss;
+  print(oss, max_bar_width);
+  return oss.str();
+}
+
+}  // namespace celia::util

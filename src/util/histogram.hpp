@@ -1,0 +1,38 @@
+#pragma once
+// Fixed-bin histogram with ASCII bar rendering — used by the robustness
+// ablations to show error distributions.
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace celia::util {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); values outside are clamped to
+  /// the first/last bin. Throws std::invalid_argument on bad bounds.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  /// Render horizontal bars, one line per bin:
+  ///   [ 0.0,  5.0) ################ 16
+  void print(std::ostream& out, int max_bar_width = 50) const;
+  std::string to_string(int max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace celia::util

@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace celia::util {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+std::mutex Logger::mutex_;
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Logger::level() { return level_; }
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, std::string_view file, int line,
+                   const std::string& message) {
+  // Keep only the basename of the file for compact output.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%-5s %.*s:%d] %s\n", level_name(level),
+               static_cast<int>(file.size()), file.data(), line,
+               message.c_str());
+}
+
+}  // namespace celia::util

@@ -1,0 +1,68 @@
+#pragma once
+// Minimal leveled logger. Thread-safe: each log statement is formatted into
+// a single string and written with one mutex-protected call, so concurrent
+// log lines never interleave.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace celia::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration and sink. All members are process-wide.
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Write one formatted line to stderr if `level` is enabled.
+  static void write(LogLevel level, std::string_view file, int line,
+                    const std::string& message);
+
+  static const char* level_name(LogLevel level);
+
+ private:
+  static LogLevel level_;
+  static std::mutex mutex_;
+};
+
+namespace detail {
+
+/// Accumulates a log message via operator<< and emits it on destruction.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { Logger::write(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace celia::util
+
+#define CELIA_LOG(severity)                                                 \
+  if (::celia::util::Logger::level() <= ::celia::util::LogLevel::severity) \
+  ::celia::util::detail::LogStatement(::celia::util::LogLevel::severity,   \
+                                      __FILE__, __LINE__)
+
+#define CELIA_LOG_DEBUG CELIA_LOG(kDebug)
+#define CELIA_LOG_INFO CELIA_LOG(kInfo)
+#define CELIA_LOG_WARN CELIA_LOG(kWarn)
+#define CELIA_LOG_ERROR CELIA_LOG(kError)

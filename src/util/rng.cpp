@@ -1,0 +1,10 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace celia::util {
+
+double Xoshiro256::sqrt_impl(double x) { return std::sqrt(x); }
+double Xoshiro256::log_impl(double x) { return std::log(x); }
+
+}  // namespace celia::util

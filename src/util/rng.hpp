@@ -1,0 +1,137 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the simulator (multi-tenant noise, synthetic
+// genomes, synthetic video frames, Plummer-sphere initial conditions) draw
+// from Xoshiro256** so that every experiment in the repository is exactly
+// reproducible from its seed. The engine satisfies the C++ named requirement
+// UniformRandomBitGenerator and can be used with <random> distributions.
+
+#include <cstdint>
+
+namespace celia::util {
+
+/// SplitMix64 — used to expand a 64-bit seed into Xoshiro256** state.
+/// Reference: Vigna, "Further scramblings of Marsaglia's xorshift generators".
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  constexpr std::uint64_t bounded(std::uint64_t bound) {
+    // Simple modulo with rejection to avoid bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 % bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_impl(-2.0 * log_impl(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with explicit mean / standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Jump the sequence forward by 2^128 steps; used to derive independent
+  /// per-thread / per-instance streams from one master seed.
+  constexpr void jump() {
+    constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                       0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL,
+                                       0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        next();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Thin non-constexpr math wrappers kept out of the header-visible API.
+  static double sqrt_impl(double x);
+  static double log_impl(double x);
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace celia::util

@@ -1,0 +1,64 @@
+#pragma once
+// Descriptive statistics over numeric samples — used by the noise model
+// calibration, validation-error reporting and benchmark summaries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace celia::util {
+
+/// Streaming accumulator using Welford's algorithm — numerically stable
+/// mean/variance in one pass, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `values`; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> values, double p);
+
+double median(std::span<const double> values);
+
+/// Relative error |predicted - actual| / |actual| (paper Table IV metric).
+double relative_error(double predicted, double actual);
+
+/// Coefficient of determination of predictions vs observations.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Standard normal CDF Phi(z).
+double normal_cdf(double z);
+
+/// Standard normal quantile Phi^{-1}(p), p in (0, 1) — Acklam's rational
+/// approximation (|error| < 1.2e-9). Throws std::domain_error outside (0,1).
+double normal_quantile(double p);
+
+}  // namespace celia::util

@@ -1,0 +1,152 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace celia::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)), right_aligned_(headers_.size(), false) {
+  if (headers_.empty())
+    throw std::invalid_argument("TablePrinter: empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> fields) {
+  if (fields.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::set_right_aligned(std::size_t column, bool right) {
+  if (column >= headers_.size())
+    throw std::out_of_range("TablePrinter: column out of range");
+  right_aligned_[column] = right;
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      out << ' ';
+      if (right_aligned_[c]) out << std::string(pad, ' ') << row[c];
+      else out << row[c] << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << "+";
+    for (const auto w : widths) out << std::string(w + 2, '-') << "+";
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void AsciiChart::add_series(Series series) {
+  if (series.xs.size() != series.ys.size())
+    throw std::invalid_argument("AsciiChart: xs/ys size mismatch");
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::set_size(int width, int height) {
+  width_ = std::max(16, width);
+  height_ = std::max(4, height);
+}
+
+void AsciiChart::print(std::ostream& out) const {
+  static constexpr char kMarkers[] = "*o+x#@%&";
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double y = s.ys[i];
+      if (log_y_ && y <= 0) continue;
+      if (log_y_) y = std::log10(y);
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  out << "=== " << title_ << " ===\n";
+  if (!any) {
+    out << "(no data)\n";
+    return;
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char marker = kMarkers[si % (sizeof(kMarkers) - 1)];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double y = s.ys[i];
+      if (log_y_) {
+        if (y <= 0) continue;
+        y = std::log10(y);
+      }
+      const int col = static_cast<int>(
+          std::lround((s.xs[i] - xmin) / (xmax - xmin) * (width_ - 1)));
+      const int row = static_cast<int>(
+          std::lround((y - ymin) / (ymax - ymin) * (height_ - 1)));
+      grid[height_ - 1 - row][col] = marker;
+    }
+  }
+
+  const double ytop = log_y_ ? std::pow(10.0, ymax) : ymax;
+  const double ybot = log_y_ ? std::pow(10.0, ymin) : ymin;
+  out << "  y: " << y_label_ << "  [" << format_si(ybot) << " .. "
+      << format_si(ytop) << (log_y_ ? ", log scale" : "") << "]\n";
+  for (const auto& line : grid) out << "  |" << line << "\n";
+  out << "  +" << std::string(width_, '-') << "\n";
+  out << "  x: " << x_label_ << "  [" << format_si(xmin) << " .. "
+      << format_si(xmax) << "]\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "    '" << kMarkers[si % (sizeof(kMarkers) - 1)]
+        << "' = " << series_[si].label << "\n";
+  }
+}
+
+std::string AsciiChart::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace celia::util

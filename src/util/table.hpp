@@ -1,0 +1,68 @@
+#pragma once
+// ASCII rendering of tables and simple XY charts. The benchmark harnesses
+// print the paper's tables/figures to stdout in a terminal-friendly form.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace celia::util {
+
+/// Column-aligned ASCII table with a header row.
+///
+///   TablePrinter t({"Type", "vCPUs", "Cost"});
+///   t.add_row({"c4.large", "2", "$0.105"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many fields as the header.
+  void add_row(std::vector<std::string> fields);
+
+  /// Right-align a column (numbers); default is left-aligned.
+  void set_right_aligned(std::size_t column, bool right = true);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_aligned_;
+};
+
+/// A single data series for AsciiChart.
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Scatter/line rendering of XY series on a character grid, with axis
+/// labels — enough to eyeball the shape of each reproduced figure.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(Series series);
+  /// Use logarithmic y-axis scaling (demand spans many decades).
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_size(int width, int height);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+  bool log_y_ = false;
+  int width_ = 72;
+  int height_ = 20;
+};
+
+}  // namespace celia::util

@@ -1,0 +1,81 @@
+// Tests for the shared-memory parallel n-body kernels: bit-identical
+// trajectories and operation ledgers versus the serial kernels.
+
+#include <gtest/gtest.h>
+
+#include "apps/galaxy/nbody.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::apps::galaxy;
+
+Bodies fresh_bodies(std::size_t n, std::uint64_t seed) {
+  celia::util::Xoshiro256 rng(seed);
+  return make_plummer(n, rng);
+}
+
+TEST(NBodyParallel, ForcesBitIdenticalToSerial) {
+  Bodies serial = fresh_bodies(257, 1);
+  Bodies parallel = serial;
+  celia::hw::PerfCounter sc, pc;
+  compute_forces(serial, sc);
+  compute_forces_parallel(parallel, pc);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.ax[i], parallel.ax[i]) << i;
+    EXPECT_EQ(serial.ay[i], parallel.ay[i]) << i;
+    EXPECT_EQ(serial.az[i], parallel.az[i]) << i;
+  }
+}
+
+TEST(NBodyParallel, LedgerIdenticalToSerial) {
+  Bodies serial = fresh_bodies(100, 2);
+  Bodies parallel = serial;
+  celia::hw::PerfCounter sc, pc;
+  simulate(serial, 5, sc);
+  simulate_parallel(parallel, 5, pc);
+  for (int i = 0; i < celia::hw::kNumOpClasses; ++i) {
+    const auto op = static_cast<celia::hw::OpClass>(i);
+    EXPECT_EQ(sc.ops(op), pc.ops(op))
+        << celia::hw::op_class_name(op);
+  }
+}
+
+TEST(NBodyParallel, TrajectoriesBitIdenticalOverManySteps) {
+  Bodies serial = fresh_bodies(64, 3);
+  Bodies parallel = serial;
+  celia::hw::PerfCounter sc, pc;
+  simulate(serial, 20, sc);
+  simulate_parallel(parallel, 20, pc);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.x[i], parallel.x[i]);
+    EXPECT_EQ(serial.vx[i], parallel.vx[i]);
+  }
+}
+
+TEST(NBodyParallel, ExplicitPoolWorks) {
+  celia::parallel::ThreadPool pool(3);
+  Bodies bodies = fresh_bodies(33, 4);
+  celia::hw::PerfCounter counter;
+  simulate_parallel(bodies, 2, counter, &pool);
+  EXPECT_EQ(counter.instructions(),
+            2 * step_ops(33).instructions());
+}
+
+TEST(NBodyParallel, MatchesClosedFormLedger) {
+  Bodies bodies = fresh_bodies(47, 5);
+  celia::hw::PerfCounter counter;
+  leapfrog_step_parallel(bodies, counter);
+  EXPECT_EQ(counter.instructions(), step_ops(47).instructions());
+}
+
+TEST(NBodyParallel, EnergyConservedLikeSerial) {
+  Bodies bodies = fresh_bodies(128, 6);
+  const double e0 = total_energy(bodies);
+  celia::hw::PerfCounter counter;
+  simulate_parallel(bodies, 50, counter);
+  const double e1 = total_energy(bodies);
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.02);
+}
+
+}  // namespace

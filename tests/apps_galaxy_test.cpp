@@ -1,0 +1,160 @@
+// Tests for the galaxy n-body application: ledger/closed-form agreement,
+// demand shape (quadratic in n, linear in s — paper Fig. 2(b,e)), and the
+// physics of the kernel itself (energy conservation, Plummer properties).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/galaxy/galaxy_app.hpp"
+#include "apps/galaxy/nbody.hpp"
+#include "fit/model_select.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::apps::galaxy;
+using celia::apps::AppParams;
+using celia::hw::PerfCounter;
+
+TEST(NBody, PlummerHasRequestedSizeAndUnitMass) {
+  celia::util::Xoshiro256 rng(1);
+  const Bodies bodies = make_plummer(500, rng);
+  EXPECT_EQ(bodies.size(), 500u);
+  double mass = 0;
+  for (const double m : bodies.mass) mass += m;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(NBody, PlummerIsRoughlyCentered) {
+  celia::util::Xoshiro256 rng(2);
+  const Bodies bodies = make_plummer(4000, rng);
+  double cx = 0, cy = 0, cz = 0;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    cx += bodies.x[i];
+    cy += bodies.y[i];
+    cz += bodies.z[i];
+  }
+  const auto n = static_cast<double>(bodies.size());
+  EXPECT_NEAR(cx / n, 0.0, 0.2);
+  EXPECT_NEAR(cy / n, 0.0, 0.2);
+  EXPECT_NEAR(cz / n, 0.0, 0.2);
+}
+
+TEST(NBody, PlummerIsBoundSystem) {
+  celia::util::Xoshiro256 rng(3);
+  Bodies bodies = make_plummer(300, rng);
+  EXPECT_LT(total_energy(bodies), 0.0);  // gravitationally bound
+}
+
+TEST(NBody, ForcesAreEqualAndOpposite) {
+  // Two equal masses: momentum derivative must vanish.
+  Bodies bodies;
+  bodies.resize(2);
+  bodies.x = {0.0, 1.0};
+  bodies.y = {0.0, 0.0};
+  bodies.z = {0.0, 0.0};
+  bodies.mass = {0.5, 0.5};
+  PerfCounter counter;
+  compute_forces(bodies, counter);
+  EXPECT_NEAR(bodies.ax[0] + bodies.ax[1], 0.0, 1e-12);
+  EXPECT_GT(bodies.ax[0], 0.0);  // attraction toward the other body
+  EXPECT_LT(bodies.ax[1], 0.0);
+}
+
+TEST(NBody, LeapfrogConservesEnergy) {
+  celia::util::Xoshiro256 rng(4);
+  Bodies bodies = make_plummer(128, rng);
+  const double e0 = total_energy(bodies);
+  PerfCounter counter;
+  simulate(bodies, 50, counter);
+  const double e1 = total_energy(bodies);
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.02);
+}
+
+TEST(NBody, StepLedgerMatchesClosedForm) {
+  celia::util::Xoshiro256 rng(5);
+  for (const std::size_t n : {2u, 16u, 64u}) {
+    Bodies bodies = make_plummer(n, rng);
+    PerfCounter measured;
+    leapfrog_step(bodies, measured);
+    const PerfCounter expected = step_ops(n);
+    for (int i = 0; i < celia::hw::kNumOpClasses; ++i) {
+      const auto op = static_cast<celia::hw::OpClass>(i);
+      EXPECT_EQ(measured.ops(op), expected.ops(op))
+          << "n=" << n << " op=" << celia::hw::op_class_name(op);
+    }
+  }
+}
+
+TEST(GalaxyApp, InstrumentedRunMatchesExactDemand) {
+  const GalaxyApp app;
+  for (const AppParams params :
+       {AppParams{8, 3}, AppParams{32, 5}, AppParams{64, 2}}) {
+    PerfCounter counter;
+    app.run_instrumented(params, counter);
+    EXPECT_DOUBLE_EQ(static_cast<double>(counter.instructions()),
+                     app.exact_demand(params));
+  }
+}
+
+TEST(GalaxyApp, DemandIsLinearInSteps) {
+  const GalaxyApp app;
+  const double d1 = app.exact_demand({100, 1});
+  for (const double s : {2.0, 7.0, 100.0})
+    EXPECT_DOUBLE_EQ(app.exact_demand({100, s}), s * d1);
+}
+
+TEST(GalaxyApp, DemandShapeDetectedQuadraticInN) {
+  const GalaxyApp app;
+  std::vector<celia::fit::Sample> samples;
+  for (const double n : {64, 128, 256, 512, 1024})
+    samples.push_back({n, app.exact_demand({n, 10})});
+  EXPECT_EQ(celia::fit::detect_shape(samples).shape,
+            celia::fit::Shape::kQuadratic);
+}
+
+TEST(GalaxyApp, PerPairCostIsCalibrated) {
+  // DESIGN.md calibration: ~260 instructions per pairwise interaction.
+  const GalaxyApp app;
+  const double n = 1024, s = 4;
+  const double pair_dominated = app.exact_demand({n, s}) / (s * n * (n - 1));
+  EXPECT_NEAR(pair_dominated, 260.0, 2.0);
+}
+
+TEST(GalaxyApp, WorkloadIsBulkSynchronous) {
+  const GalaxyApp app;
+  const auto workload = app.make_workload({256, 10});
+  EXPECT_EQ(workload.pattern, celia::apps::ParallelPattern::kBulkSynchronous);
+  EXPECT_EQ(workload.steps, 10u);
+  EXPECT_DOUBLE_EQ(workload.instructions_per_step * 10,
+                   workload.total_instructions);
+  EXPECT_DOUBLE_EQ(workload.total_instructions, app.exact_demand({256, 10}));
+  EXPECT_DOUBLE_EQ(workload.sync_bytes_per_step, 24.0 * 256);
+}
+
+TEST(GalaxyApp, InvalidParamsThrow) {
+  const GalaxyApp app;
+  EXPECT_THROW(app.exact_demand({1, 10}), std::invalid_argument);
+  EXPECT_THROW(app.exact_demand({100, 0}), std::invalid_argument);
+}
+
+TEST(GalaxyApp, ProfileGridMatchesPaperRanges) {
+  const GalaxyApp app;
+  for (const auto& params : app.profile_grid()) {
+    EXPECT_GE(params.n, 8192);
+    EXPECT_LE(params.n, 65536);
+    EXPECT_GE(params.a, 1000);
+    EXPECT_LE(params.a, 8000);
+  }
+}
+
+TEST(GalaxyApp, Metadata) {
+  const GalaxyApp app;
+  EXPECT_EQ(app.name(), "galaxy");
+  EXPECT_EQ(app.domain(), "astrophysics");
+  EXPECT_EQ(app.workload_class(), celia::hw::WorkloadClass::kNBody);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Tests for the application registry (apps/registry.hpp).
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+
+namespace {
+
+using namespace celia::apps;
+
+TEST(Registry, AllAppsInPaperOrder) {
+  const auto apps = all_apps();
+  ASSERT_EQ(apps.size(), 3u);
+  EXPECT_EQ(apps[0]->name(), "x264");
+  EXPECT_EQ(apps[1]->name(), "galaxy");
+  EXPECT_EQ(apps[2]->name(), "sand");
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_EQ(make_app("x264")->name(), "x264");
+  EXPECT_EQ(make_app("galaxy")->name(), "galaxy");
+  EXPECT_EQ(make_app("sand")->name(), "sand");
+  EXPECT_EQ(make_app("nope"), nullptr);
+  EXPECT_EQ(make_app(""), nullptr);
+}
+
+TEST(Registry, MiniVariantsAreCheaperThanFull) {
+  const AppParams x264_params{2, 20};
+  EXPECT_LT(make_x264_mini()->exact_demand(x264_params),
+            make_x264()->exact_demand(x264_params));
+  const AppParams sand_params{100, 0.32};
+  EXPECT_LT(make_sand_mini()->exact_demand(sand_params),
+            make_sand()->exact_demand(sand_params));
+}
+
+TEST(Registry, DistinctWorkloadClasses) {
+  const auto apps = all_apps();
+  EXPECT_NE(apps[0]->workload_class(), apps[1]->workload_class());
+  EXPECT_NE(apps[1]->workload_class(), apps[2]->workload_class());
+  EXPECT_NE(apps[0]->workload_class(), apps[2]->workload_class());
+}
+
+TEST(Registry, ProfileGridsAreWithinParamRanges) {
+  for (const auto& app : all_apps()) {
+    const ParamRange range = app->param_range();
+    for (const AppParams& params : app->profile_grid()) {
+      EXPECT_GE(params.n, range.min_n) << app->name();
+      EXPECT_LE(params.n, range.max_n) << app->name();
+      EXPECT_GE(params.a, range.min_a) << app->name();
+      EXPECT_LE(params.a, range.max_a) << app->name();
+    }
+  }
+}
+
+TEST(Registry, ProfileGridsSupportDemandFitting) {
+  // Every grid must contain >= 4 distinct sizes at some accuracy and
+  // >= 4 distinct accuracies at some size (SeparableDemandModel::fit's
+  // requirement).
+  for (const auto& app : all_apps()) {
+    std::map<double, std::set<double>> by_a, by_n;
+    for (const AppParams& params : app->profile_grid()) {
+      by_a[params.a].insert(params.n);
+      by_n[params.n].insert(params.a);
+    }
+    std::size_t max_n_slice = 0, max_a_slice = 0;
+    for (const auto& [a, ns] : by_a)
+      max_n_slice = std::max(max_n_slice, ns.size());
+    for (const auto& [n, as] : by_n)
+      max_a_slice = std::max(max_a_slice, as.size());
+    EXPECT_GE(max_n_slice, 4u) << app->name();
+    EXPECT_GE(max_a_slice, 4u) << app->name();
+  }
+}
+
+}  // namespace

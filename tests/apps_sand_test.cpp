@@ -1,0 +1,168 @@
+// Tests for the sand genome-assembly application: ledger/closed-form
+// agreement, demand shape (linear in n, logarithmic in t — paper
+// Fig. 2(c,f)) and the alignment kernel itself.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/sand/align.hpp"
+#include "apps/sand/sand_app.hpp"
+#include "apps/sand/sequence.hpp"
+#include "fit/model_select.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::apps::sand;
+using celia::apps::AppParams;
+using celia::hw::PerfCounter;
+
+TEST(SandSequence, DeterministicPerSeed) {
+  celia::util::Xoshiro256 a(1), b(1);
+  EXPECT_EQ(make_sequence(100, a), make_sequence(100, b));
+}
+
+TEST(SandSequence, BasesAreValid) {
+  celia::util::Xoshiro256 rng(2);
+  for (const auto base : make_sequence(1000, rng)) EXPECT_LT(base, 4);
+}
+
+TEST(SandSequence, KmerScanLedgerMatchesClosedForm) {
+  celia::util::Xoshiro256 rng(3);
+  const Sequence read = make_sequence(123, rng);
+  PerfCounter measured;
+  kmer_scan(read, measured);
+  EXPECT_EQ(measured.instructions(), kmer_scan_ops(123).instructions());
+}
+
+TEST(SandAlign, IdenticalReadsScoreHighest) {
+  celia::util::Xoshiro256 rng(4);
+  const Sequence read = make_sequence(60, rng);
+  Sequence other = read;
+  other[10] ^= 1;  // one mismatch
+  PerfCounter counter;
+  const int self_score = banded_align(read, read, 8, counter);
+  const int other_score = banded_align(read, other, 8, counter);
+  EXPECT_GT(self_score, other_score);
+  EXPECT_EQ(self_score, 2 * 60);  // all matches on the main diagonal
+}
+
+TEST(SandAlign, ScoreIsNonNegative) {
+  celia::util::Xoshiro256 rng(5);
+  const Sequence a = make_sequence(50, rng);
+  const Sequence b = make_sequence(50, rng);
+  PerfCounter counter;
+  EXPECT_GE(banded_align(a, b, 4, counter), 0);
+}
+
+TEST(SandAlign, LedgerMatchesClosedForm) {
+  celia::util::Xoshiro256 rng(6);
+  const Sequence a = make_sequence(80, rng);
+  const Sequence b = make_sequence(80, rng);
+  for (const int band : {1, 4, 16}) {
+    PerfCounter measured;
+    banded_align(a, b, band, measured);
+    EXPECT_EQ(measured.instructions(),
+              banded_align_ops(80, band).instructions())
+        << "band=" << band;
+  }
+}
+
+TEST(SandAlign, InvalidBandThrows) {
+  celia::util::Xoshiro256 rng(7);
+  const Sequence a = make_sequence(10, rng);
+  PerfCounter counter;
+  EXPECT_THROW(banded_align(a, a, 0, counter), std::invalid_argument);
+}
+
+TEST(SandModel, BandGrowsWithThreshold) {
+  const SandModel model = SandModel::full();
+  EXPECT_LT(model.band(0.01), model.band(0.32));
+  EXPECT_LT(model.band(0.32), model.band(1.0));
+}
+
+TEST(SandModel, BandClampedAtMinimum) {
+  SandModel model = SandModel::full();
+  model.band_log_coeff = 100.0;  // would go far negative at small t
+  EXPECT_EQ(model.band(1e-9), model.min_band);
+}
+
+TEST(SandApp, InstrumentedRunMatchesExactDemand) {
+  const SandApp app{SandModel::mini()};
+  for (const AppParams params :
+       {AppParams{16, 0.32}, AppParams{64, 1.0}, AppParams{33, 0.05}}) {
+    PerfCounter counter;
+    app.run_instrumented(params, counter);
+    EXPECT_DOUBLE_EQ(static_cast<double>(counter.instructions()),
+                     app.exact_demand(params));
+  }
+}
+
+TEST(SandApp, CandidatesClampWhenFewReads) {
+  // With n = 2 each read has only one partner, not candidates_per_read.
+  const SandApp app{SandModel::mini()};
+  PerfCounter counter;
+  app.run_instrumented({2, 0.32}, counter);
+  EXPECT_DOUBLE_EQ(static_cast<double>(counter.instructions()),
+                   app.exact_demand({2, 0.32}));
+}
+
+TEST(SandApp, DemandIsLinearInN) {
+  const SandApp app{SandModel::mini()};
+  const double d100 = app.exact_demand({100, 0.32});
+  EXPECT_DOUBLE_EQ(app.exact_demand({200, 0.32}), 2 * d100);
+  EXPECT_DOUBLE_EQ(app.exact_demand({700, 0.32}), 7 * d100);
+}
+
+TEST(SandApp, DemandShapeDetectedLogarithmicInT) {
+  const SandApp app{SandModel::full()};
+  std::vector<celia::fit::Sample> samples;
+  for (const double t : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0})
+    samples.push_back({t, app.exact_demand({1e6, t})});
+  EXPECT_EQ(celia::fit::detect_shape(samples).shape,
+            celia::fit::Shape::kLogarithmic);
+}
+
+TEST(SandApp, FullScalePerReadCalibration) {
+  // DESIGN.md calibration: ~2.4 M instructions per read at t = 1.
+  const SandApp app{SandModel::full()};
+  const double per_read = app.exact_demand({1e6, 1.0}) / 1e6;
+  EXPECT_GT(per_read, 2.0e6);
+  EXPECT_LT(per_read, 2.9e6);
+}
+
+TEST(SandApp, WorkloadIsMasterWorkerAndPartitionsAllReads) {
+  SandModel model = SandModel::mini();
+  const SandApp app{model};
+  const auto workload = app.make_workload({100, 0.32});
+  EXPECT_EQ(workload.pattern, celia::apps::ParallelPattern::kMasterWorker);
+  EXPECT_GT(workload.dispatch_seconds_per_task, 0.0);
+  // ceil(100 / 16) = 7 tasks; tasks + the serial master phase sum to the
+  // application's total demand.
+  EXPECT_EQ(workload.task_instructions.size(), 7u);
+  EXPECT_GT(workload.serial_instructions, 0.0);
+  double sum = workload.serial_instructions;
+  for (const double t : workload.task_instructions) sum += t;
+  EXPECT_NEAR(sum, workload.total_instructions, 1.0);
+  EXPECT_DOUBLE_EQ(workload.total_instructions,
+                   app.exact_demand({100, 0.32}));
+}
+
+TEST(SandApp, InvalidParamsThrow) {
+  const SandApp app{SandModel::mini()};
+  EXPECT_THROW(app.exact_demand({1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(app.exact_demand({100, 0.0}), std::invalid_argument);
+  EXPECT_THROW(app.exact_demand({100, 1.5}), std::invalid_argument);
+}
+
+TEST(SandApp, Metadata) {
+  const SandApp app;
+  EXPECT_EQ(app.name(), "sand");
+  EXPECT_EQ(app.domain(), "bioinformatics");
+  EXPECT_EQ(app.workload_class(),
+            celia::hw::WorkloadClass::kGenomeAlignment);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the x264 elastic application: the instrumented kernel's
+// operation ledger must agree EXACTLY with the closed-form demand, and the
+// demand shape must be linear in n and quadratic in f (paper Fig. 2(a,d)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/x264/encoder.hpp"
+#include "apps/x264/x264_app.hpp"
+#include "fit/model_select.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::apps::x264;
+using celia::apps::AppParams;
+using celia::hw::OpClass;
+using celia::hw::PerfCounter;
+
+TEST(X264Encoder, Dct8PreservesEnergy) {
+  // DCT-II with orthonormal scaling preserves the L2 norm.
+  celia::util::Xoshiro256 rng(1);
+  double input[8], output[8];
+  for (auto& v : input) v = rng.uniform(-1.0, 1.0);
+  PerfCounter counter;
+  dct8(input, output, counter);
+  double in2 = 0, out2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    in2 += input[i] * input[i];
+    out2 += output[i] * output[i];
+  }
+  EXPECT_NEAR(in2, out2, 1e-9);
+}
+
+TEST(X264Encoder, Dct8OfConstantIsDcOnly) {
+  double input[8], output[8];
+  for (auto& v : input) v = 3.0;
+  PerfCounter counter;
+  dct8(input, output, counter);
+  EXPECT_NEAR(output[0], 3.0 * std::sqrt(8.0), 1e-9);
+  for (int k = 1; k < 8; ++k) EXPECT_NEAR(output[k], 0.0, 1e-9);
+}
+
+TEST(X264Encoder, MotionSearchFindsExactMatch) {
+  // A reference identical to the block: candidate 0 (zero shift) has
+  // SAD 0 and must win.
+  celia::util::Xoshiro256 rng(11);
+  const Block block = make_block(rng);
+  PerfCounter counter;
+  EXPECT_EQ(motion_search(block, block, counter), 0);
+}
+
+TEST(X264Encoder, MotionSearchFindsShiftedMatch) {
+  celia::util::Xoshiro256 rng(12);
+  const Block reference = make_block(rng);
+  // Build the block as reference shifted by candidate 3 (shift 12).
+  Block block;
+  for (int i = 0; i < 64; ++i) block[i] = reference[(i + 12) % 64];
+  PerfCounter counter;
+  EXPECT_EQ(motion_search(block, reference, counter), 3);
+}
+
+TEST(X264Encoder, BlockLedgerMatchesClosedForm) {
+  celia::util::Xoshiro256 rng(2);
+  for (const int f : {1, 10, 25, 50}) {
+    const Block block = make_block(rng);
+    const Block reference = make_block(rng);
+    PerfCounter measured;
+    encode_block(block, reference, f, measured);
+    const PerfCounter expected = block_ops(f);
+    for (int i = 0; i < celia::hw::kNumOpClasses; ++i) {
+      const auto op = static_cast<OpClass>(i);
+      EXPECT_EQ(measured.ops(op), expected.ops(op))
+          << "f=" << f << " op=" << celia::hw::op_class_name(op);
+    }
+  }
+}
+
+TEST(X264Encoder, ClipLedgerMatchesClosedForm) {
+  const ClipModel model = ClipModel::mini();
+  for (const int f : {10, 30}) {
+    PerfCounter measured;
+    encode_clip(model, f, /*seed=*/7, measured);
+    EXPECT_EQ(measured.instructions(), clip_ops(model, f).instructions())
+        << "f=" << f;
+  }
+}
+
+TEST(X264Encoder, InvalidCompressionFactorThrows) {
+  celia::util::Xoshiro256 rng(3);
+  const Block block = make_block(rng);
+  PerfCounter counter;
+  EXPECT_THROW(encode_block(block, block, 0, counter),
+               std::invalid_argument);
+}
+
+TEST(X264App, InstrumentedRunMatchesExactDemand) {
+  const X264App app{ClipModel::mini()};
+  for (const AppParams params : {AppParams{1, 10}, AppParams{3, 20},
+                                 AppParams{2, 50}}) {
+    PerfCounter counter;
+    app.run_instrumented(params, counter);
+    EXPECT_DOUBLE_EQ(static_cast<double>(counter.instructions()),
+                     app.exact_demand(params))
+        << "n=" << params.n << " f=" << params.a;
+  }
+}
+
+TEST(X264App, DemandIsLinearInN) {
+  const X264App app{ClipModel::mini()};
+  const double d1 = app.exact_demand({1, 20});
+  for (const double n : {2.0, 5.0, 17.0})
+    EXPECT_DOUBLE_EQ(app.exact_demand({n, 20}), n * d1);
+}
+
+TEST(X264App, DemandShapeDetectedQuadraticInF) {
+  const X264App app{ClipModel::mini()};
+  std::vector<celia::fit::Sample> samples;
+  for (const double f : {10, 15, 20, 25, 30, 35, 40, 45, 50})
+    samples.push_back({f, app.exact_demand({4, f})});
+  EXPECT_EQ(celia::fit::detect_shape(samples).shape,
+            celia::fit::Shape::kQuadratic);
+}
+
+TEST(X264App, FullScaleClipCalibration) {
+  // Full-scale per-clip demand at f=10 is ~50 G instructions + the
+  // f-squared refinement term (DESIGN.md calibration).
+  const X264App app{ClipModel::full()};
+  const double per_clip = app.exact_demand({1, 10});
+  EXPECT_GT(per_clip, 4.5e10);
+  EXPECT_LT(per_clip, 6.5e10);
+}
+
+TEST(X264App, WorkloadIsIndependentTasks) {
+  const X264App app{ClipModel::mini()};
+  const auto workload = app.make_workload({6, 20});
+  EXPECT_EQ(workload.pattern, celia::apps::ParallelPattern::kIndependentTasks);
+  EXPECT_EQ(workload.task_instructions.size(), 6u);
+  double sum = 0;
+  for (const double t : workload.task_instructions) sum += t;
+  EXPECT_DOUBLE_EQ(sum, workload.total_instructions);
+  EXPECT_DOUBLE_EQ(workload.total_instructions, app.exact_demand({6, 20}));
+}
+
+TEST(X264App, InvalidParamsThrow) {
+  const X264App app{ClipModel::mini()};
+  EXPECT_THROW(app.exact_demand({0, 20}), std::invalid_argument);
+  EXPECT_THROW(app.exact_demand({4, 0}), std::invalid_argument);
+  EXPECT_THROW(app.exact_demand({4, 52}), std::invalid_argument);
+}
+
+TEST(X264App, ProfileGridMatchesPaperRanges) {
+  const X264App app{ClipModel::mini()};
+  const auto grid = app.profile_grid();
+  EXPECT_EQ(grid.size(), 25u);
+  for (const auto& params : grid) {
+    EXPECT_GE(params.n, 2);
+    EXPECT_LE(params.n, 32);
+    EXPECT_GE(params.a, 10);
+    EXPECT_LE(params.a, 50);
+  }
+}
+
+TEST(X264App, Metadata) {
+  const X264App app;
+  EXPECT_EQ(app.name(), "x264");
+  EXPECT_EQ(app.domain(), "video compression");
+  EXPECT_EQ(app.workload_class(),
+            celia::hw::WorkloadClass::kVideoEncoding);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the reactive autoscaling baseline (cloud/autoscaler.hpp).
+
+#include <gtest/gtest.h>
+
+#include "cloud/autoscaler.hpp"
+#include "hw/ipc_model.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+constexpr WorkloadClass kWc = WorkloadClass::kNBody;
+
+double one_instance_rate(std::size_t type_index) {
+  const auto& type = ec2_catalog()[type_index];
+  return celia::hw::vcpu_rate(type.microarch, kWc) * type.vcpus;
+}
+
+TEST(Autoscaler, TrivialWorkFinishesOnOneInstance) {
+  CloudProvider provider(1);
+  AutoscalerPolicy policy;
+  policy.type_index = 0;
+  const double work = one_instance_rate(0) * 100.0;  // ~100 s of work
+  const auto report = run_autoscaled(provider, kWc, work, 24 * 3600.0,
+                                     policy);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_EQ(report.peak_instances, 1);
+  EXPECT_EQ(report.scale_ups, 0);
+  EXPECT_GT(report.cost, 0.0);
+}
+
+TEST(Autoscaler, ScalesUpWhenBehindSchedule) {
+  CloudProvider provider(2);
+  AutoscalerPolicy policy;
+  policy.type_index = 0;
+  policy.max_instances = 10;
+  // ~20 single-instance-hours of work against a 4-hour deadline.
+  const double work = one_instance_rate(0) * 20.0 * 3600.0;
+  const auto report =
+      run_autoscaled(provider, kWc, work, 4 * 3600.0, policy);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_GT(report.scale_ups, 3);
+  EXPECT_GT(report.peak_instances, 4);
+}
+
+TEST(Autoscaler, ScalesDownWhenComfortablyAhead) {
+  CloudProvider provider(3);
+  AutoscalerPolicy policy;
+  policy.type_index = 0;
+  policy.max_instances = 10;
+  policy.relax = 0.85;  // eager to shed capacity once ahead
+  // Behind at first (forces growth); once the second instance is online
+  // the projected finish drops well under relax x deadline and the
+  // controller sheds it again.
+  const double work = one_instance_rate(0) * 10.0 * 3600.0;
+  const auto report =
+      run_autoscaled(provider, kWc, work, 8 * 3600.0, policy);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_GT(report.scale_downs, 0);
+}
+
+TEST(Autoscaler, CapsAtMaxInstances) {
+  CloudProvider provider(4);
+  AutoscalerPolicy policy;
+  policy.type_index = 0;
+  policy.max_instances = 3;
+  const double work = one_instance_rate(0) * 50.0 * 3600.0;
+  const auto report =
+      run_autoscaled(provider, kWc, work, 2 * 3600.0, policy);
+  EXPECT_LE(report.peak_instances, 3);
+  EXPECT_FALSE(report.met_deadline);  // impossible under the cap
+}
+
+TEST(Autoscaler, ProvisionDelayCostsMoney) {
+  // Same work, same policy, but a long boot delay must cost strictly more
+  // (instances bill while booting).
+  const double work = one_instance_rate(0) * 10.0 * 3600.0;
+  AutoscalerPolicy fast;
+  fast.provision_delay_seconds = 0.0;
+  AutoscalerPolicy slow = fast;
+  slow.provision_delay_seconds = 900.0;
+  CloudProvider pa(5), pb(5);
+  const auto a = run_autoscaled(pa, kWc, work, 4 * 3600.0, fast);
+  const auto b = run_autoscaled(pb, kWc, work, 4 * 3600.0, slow);
+  EXPECT_GT(b.cost, a.cost);
+}
+
+TEST(Autoscaler, FleetTraceIsRecorded) {
+  CloudProvider provider(6);
+  AutoscalerPolicy policy;
+  const double work = one_instance_rate(0) * 5.0 * 3600.0;
+  const auto report =
+      run_autoscaled(provider, kWc, work, 3 * 3600.0, policy);
+  EXPECT_FALSE(report.fleet_trace.empty());
+  for (const int fleet : report.fleet_trace) EXPECT_GE(fleet, 1);
+}
+
+TEST(Autoscaler, ValidatesArguments) {
+  CloudProvider provider(7);
+  EXPECT_THROW(run_autoscaled(provider, kWc, 0.0, 3600.0),
+               std::invalid_argument);
+  EXPECT_THROW(run_autoscaled(provider, kWc, 1e12, -1.0),
+               std::invalid_argument);
+  AutoscalerPolicy bad;
+  bad.interval_seconds = 0;
+  EXPECT_THROW(run_autoscaled(provider, kWc, 1e12, 3600.0, bad),
+               std::invalid_argument);
+  AutoscalerPolicy bad_type;
+  bad_type.type_index = 99;
+  EXPECT_THROW(run_autoscaled(provider, kWc, 1e12, 3600.0, bad_type),
+               std::out_of_range);
+}
+
+TEST(Autoscaler, DeterministicPerSeed) {
+  const double work = one_instance_rate(0) * 8.0 * 3600.0;
+  CloudProvider pa(8), pb(8);
+  const auto a = run_autoscaled(pa, kWc, work, 4 * 3600.0);
+  const auto b = run_autoscaled(pb, kWc, work, 4 * 3600.0);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.fleet_trace, b.fleet_trace);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Tests for the discrete-event cluster executor (cloud/cluster_exec.hpp):
+// each parallel pattern's timing semantics, and the model/testbed gaps that
+// produce the paper's Table IV prediction errors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/registry.hpp"
+#include "cloud/cluster_exec.hpp"
+#include "cloud/provider.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::apps::ParallelPattern;
+using celia::apps::Workload;
+using celia::hw::WorkloadClass;
+
+Workload independent_tasks(std::vector<double> tasks) {
+  Workload workload;
+  workload.app_name = "test";
+  workload.workload_class = WorkloadClass::kVideoEncoding;
+  workload.pattern = ParallelPattern::kIndependentTasks;
+  workload.total_instructions =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  workload.task_instructions = std::move(tasks);
+  return workload;
+}
+
+std::vector<int> single(const std::string& name) {
+  std::vector<int> counts(9, 0);
+  counts[catalog_index(name)] = 1;
+  return counts;
+}
+
+TEST(ClusterExec, SingleSlotRunsTasksSerially) {
+  CloudProvider provider(1);
+  const auto counts = single("c4.large");  // 2 vCPUs = 2 slots
+  const auto instances = provider.provision(counts);
+  const double slot_rate =
+      instances[0].actual_rate(WorkloadClass::kVideoEncoding) / 2;
+
+  // 4 equal tasks on 2 slots => exactly 2 rounds.
+  const double per_task = 1e11;
+  const Workload workload =
+      independent_tasks({per_task, per_task, per_task, per_task});
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+  EXPECT_NEAR(report.seconds, 2 * per_task / slot_rate, 1e-6);
+  EXPECT_NEAR(report.busy_fraction, 1.0, 1e-9);
+}
+
+TEST(ClusterExec, IndivisibleTasksExceedFluidModel) {
+  CloudProvider provider(2);
+  const auto counts = single("c4.large");
+  const auto instances = provider.provision(counts);
+  // 3 equal tasks on 2 slots: fluid model says 1.5 rounds; reality is 2.
+  const Workload workload = independent_tasks({1e11, 1e11, 1e11});
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+  const double fluid =
+      workload.total_instructions /
+      instances[0].actual_rate(WorkloadClass::kVideoEncoding);
+  EXPECT_GT(report.seconds, fluid * 1.3);
+}
+
+TEST(ClusterExec, ManySmallTasksApproachFluidModel) {
+  CloudProvider provider(3);
+  const auto counts = single("c4.2xlarge");
+  const auto instances = provider.provision(counts);
+  const Workload workload =
+      independent_tasks(std::vector<double>(800, 1e9));
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+  const double fluid =
+      workload.total_instructions /
+      instances[0].actual_rate(WorkloadClass::kVideoEncoding);
+  EXPECT_NEAR(report.seconds / fluid, 1.0, 0.02);
+}
+
+TEST(ClusterExec, MasterDispatchDelaysExecution) {
+  CloudProvider provider(4);
+  const auto counts = single("c4.large");
+  const auto instances = provider.provision(counts);
+
+  Workload workload = independent_tasks(std::vector<double>(16, 1e10));
+  const ClusterExecutor executor;
+  const auto no_dispatch = executor.execute(workload, instances, counts);
+
+  workload.pattern = ParallelPattern::kMasterWorker;
+  workload.dispatch_seconds_per_task = 5.0;
+  const auto with_dispatch = executor.execute(workload, instances, counts);
+  EXPECT_GT(with_dispatch.seconds, no_dispatch.seconds + 8 * 5.0 * 0.9);
+}
+
+TEST(ClusterExec, BspStepTimeIsSlowestNodePlusSync) {
+  CloudProvider provider(5);
+  std::vector<int> counts(9, 0);
+  counts[0] = 2;  // two c4.large
+  const auto instances = provider.provision(counts);
+
+  Workload workload;
+  workload.app_name = "bsp";
+  workload.workload_class = WorkloadClass::kNBody;
+  workload.pattern = ParallelPattern::kBulkSynchronous;
+  workload.steps = 100;
+  workload.instructions_per_step = 1e10;
+  workload.sync_bytes_per_step = 1e6;
+  workload.total_instructions = 1e12;
+
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+
+  // Reconstruct the expected step time.
+  double nominal_total = 0;
+  for (const auto& instance : instances)
+    nominal_total += instance.nominal_rate(WorkloadClass::kNBody);
+  double slowest = 0;
+  for (const auto& instance : instances) {
+    const double share = workload.instructions_per_step *
+                         instance.nominal_rate(WorkloadClass::kNBody) /
+                         nominal_total;
+    slowest = std::max(slowest,
+                       share / instance.actual_rate(WorkloadClass::kNBody));
+  }
+  const NetworkModel net;
+  const double sync = (net.latency_seconds + 1e6 / net.bandwidth_bytes_per_s);
+  EXPECT_NEAR(report.seconds, 100 * (slowest + sync), 1e-6);
+}
+
+TEST(ClusterExec, BspSingleNodeHasNoSync) {
+  CloudProvider provider(6);
+  const auto counts = single("m4.2xlarge");
+  const auto instances = provider.provision(counts);
+  Workload workload;
+  workload.workload_class = WorkloadClass::kNBody;
+  workload.pattern = ParallelPattern::kBulkSynchronous;
+  workload.steps = 10;
+  workload.instructions_per_step = 1e10;
+  workload.sync_bytes_per_step = 1e9;  // would be huge if charged
+  workload.total_instructions = 1e11;
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+  const double expected =
+      1e11 / instances[0].actual_rate(WorkloadClass::kNBody);
+  EXPECT_NEAR(report.seconds, expected, 1e-6);
+}
+
+TEST(ClusterExec, BspStragglerSlowsWholeCluster) {
+  // With per-instance noise, the heterogeneous-cluster BSP time is set by
+  // the slowest node: it must be >= the noise-free fluid time.
+  CloudProvider provider(7);
+  std::vector<int> counts = {5, 5, 5, 3, 0, 0, 0, 0, 0};
+  const auto instances = provider.provision(counts);
+  Workload workload;
+  workload.workload_class = WorkloadClass::kNBody;
+  workload.pattern = ParallelPattern::kBulkSynchronous;
+  workload.steps = 50;
+  workload.instructions_per_step = 1e12;
+  workload.sync_bytes_per_step = 0;
+  workload.total_instructions = 5e13;
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+
+  double slowest_factor = 1e9;
+  for (const auto& instance : instances)
+    slowest_factor = std::min(slowest_factor, instance.speed_factor);
+  double nominal_total = 0;
+  for (const auto& instance : instances)
+    nominal_total += instance.nominal_rate(WorkloadClass::kNBody);
+  const double fluid_nominal = 5e13 / nominal_total;
+  // Zero sync bytes still pay per-step latency: depth x latency per step.
+  const NetworkModel net;
+  const double sync = 50 * net.latency_seconds *
+                      std::ceil(std::log2(static_cast<double>(instances.size())));
+  EXPECT_NEAR(report.seconds, fluid_nominal / slowest_factor + sync, 1e-6);
+}
+
+TEST(ClusterExec, CostUsesBillingPolicy) {
+  CloudProvider provider(8);
+  const auto counts = single("c4.large");
+  const auto instances = provider.provision(counts);
+  const Workload workload = independent_tasks({1e9});  // sub-second-ish run
+  const ClusterExecutor executor;
+  ExecutionOptions continuous;
+  ExecutionOptions hourly;
+  hourly.billing = BillingPolicy::kPerHour;
+  const auto c = executor.execute(workload, instances, counts, continuous);
+  const auto h = executor.execute(workload, instances, counts, hourly);
+  EXPECT_LT(c.cost, h.cost);
+  EXPECT_DOUBLE_EQ(h.cost, 0.105);  // one billed hour
+}
+
+TEST(ClusterExec, UtilizationNeverExceedsOne) {
+  CloudProvider provider(9);
+  std::vector<int> counts = {1, 1, 0, 1, 0, 0, 0, 0, 0};
+  const auto instances = provider.provision(counts);
+  const Workload workload = independent_tasks(std::vector<double>(37, 3e9));
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, counts);
+  EXPECT_GT(report.busy_fraction, 0.0);
+  EXPECT_LE(report.busy_fraction, 1.0 + 1e-9);
+  EXPECT_EQ(report.nodes, 3u);
+}
+
+TEST(ClusterExec, EmptyInputsThrow) {
+  CloudProvider provider(10);
+  const auto counts = single("c4.large");
+  const auto instances = provider.provision(counts);
+  const ClusterExecutor executor;
+  Workload empty;
+  empty.pattern = ParallelPattern::kIndependentTasks;
+  EXPECT_THROW(executor.execute(empty, instances, counts),
+               std::invalid_argument);
+  const Workload ok = independent_tasks({1e9});
+  EXPECT_THROW(executor.execute(ok, {}, counts), std::invalid_argument);
+}
+
+TEST(ClusterExec, RealAppWorkloadsRunEndToEnd) {
+  CloudProvider provider(11);
+  std::vector<int> counts = {2, 1, 0, 0, 0, 0, 0, 0, 0};
+  const auto instances = provider.provision(counts);
+  const ClusterExecutor executor;
+  for (const auto& app : celia::apps::all_apps()) {
+    const celia::apps::AppParams params =
+        app->name() == "galaxy"
+            ? celia::apps::AppParams{4096, 100}
+            : (app->name() == "sand" ? celia::apps::AppParams{1e6, 0.32}
+                                     : celia::apps::AppParams{64, 20});
+    const auto workload = app->make_workload(params);
+    const auto report = executor.execute(workload, instances, counts);
+    EXPECT_GT(report.seconds, 0.0) << app->name();
+    EXPECT_GT(report.cost, 0.0) << app->name();
+  }
+}
+
+}  // namespace

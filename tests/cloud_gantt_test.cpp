@@ -1,0 +1,129 @@
+// Tests for execution tracing and the Gantt renderer (cloud/gantt.hpp).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cloud/cluster_exec.hpp"
+#include "cloud/gantt.hpp"
+#include "cloud/provider.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::apps::ParallelPattern;
+using celia::apps::Workload;
+using celia::hw::WorkloadClass;
+
+Workload farm(std::vector<double> tasks) {
+  Workload workload;
+  workload.workload_class = WorkloadClass::kVideoEncoding;
+  workload.pattern = ParallelPattern::kIndependentTasks;
+  workload.total_instructions =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  workload.task_instructions = std::move(tasks);
+  return workload;
+}
+
+ExecutionReport traced_run(int tasks, std::uint64_t seed) {
+  CloudProvider provider(seed);
+  std::vector<int> counts(9, 0);
+  counts[0] = 1;  // c4.large: 2 slots
+  const auto instances = provider.provision(counts);
+  const ClusterExecutor executor;
+  ExecutionOptions options;
+  options.record_trace = true;
+  return executor.execute(farm(std::vector<double>(tasks, 1e10)), instances,
+                          counts, options);
+}
+
+TEST(Trace, RecordsOneSegmentPerTask) {
+  const auto report = traced_run(7, 1);
+  EXPECT_EQ(report.trace.size(), 7u);
+  EXPECT_EQ(report.slots, 2u);
+}
+
+TEST(Trace, SegmentsAreWellFormed) {
+  const auto report = traced_run(9, 2);
+  for (const auto& segment : report.trace) {
+    EXPECT_LT(segment.slot, report.slots);
+    EXPECT_LT(segment.task, 9u);
+    EXPECT_GE(segment.start_seconds, 0.0);
+    EXPECT_GT(segment.end_seconds, segment.start_seconds);
+    EXPECT_LE(segment.end_seconds, report.seconds + 1e-9);
+  }
+}
+
+TEST(Trace, SegmentsOnOneSlotNeverOverlap) {
+  const auto report = traced_run(20, 3);
+  for (const auto& a : report.trace) {
+    for (const auto& b : report.trace) {
+      if (&a == &b || a.slot != b.slot) continue;
+      const bool disjoint = a.end_seconds <= b.start_seconds + 1e-9 ||
+                            b.end_seconds <= a.start_seconds + 1e-9;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+}
+
+TEST(Trace, BusyTimeMatchesUtilization) {
+  const auto report = traced_run(10, 4);
+  double busy = 0.0;
+  for (const auto& segment : report.trace)
+    busy += segment.end_seconds - segment.start_seconds;
+  EXPECT_NEAR(busy / (report.seconds * static_cast<double>(report.slots)),
+              report.busy_fraction, 1e-9);
+}
+
+TEST(Trace, OffByDefault) {
+  CloudProvider provider(5);
+  std::vector<int> counts(9, 0);
+  counts[0] = 1;
+  const auto instances = provider.provision(counts);
+  const ClusterExecutor executor;
+  const auto report =
+      executor.execute(farm({1e10, 1e10}), instances, counts);
+  EXPECT_TRUE(report.trace.empty());
+}
+
+TEST(Gantt, RendersRowsAndUtilization) {
+  const auto report = traced_run(6, 6);
+  const std::string out = gantt_to_string(report);
+  EXPECT_NE(out.find("slot  0"), std::string::npos);
+  EXPECT_NE(out.find("slot  1"), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(Gantt, HashMarksWhenUnlabeled) {
+  const auto report = traced_run(4, 7);
+  GanttOptions options;
+  options.label_tasks = false;
+  const std::string out = gantt_to_string(report, options);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Gantt, SummarizesExtraRows) {
+  CloudProvider provider(8);
+  std::vector<int> counts(9, 0);
+  counts[2] = 2;  // 16 slots
+  const auto instances = provider.provision(counts);
+  const ClusterExecutor executor;
+  ExecutionOptions exec_options;
+  exec_options.record_trace = true;
+  const auto report = executor.execute(
+      farm(std::vector<double>(32, 1e9)), instances, counts, exec_options);
+  GanttOptions options;
+  options.max_rows = 4;
+  const std::string out = gantt_to_string(report, options);
+  EXPECT_NE(out.find("12 more slots not shown"), std::string::npos);
+}
+
+TEST(Gantt, ThrowsWithoutTrace) {
+  ExecutionReport empty;
+  empty.seconds = 10;
+  empty.slots = 2;
+  EXPECT_THROW(gantt_to_string(empty), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for provisioning and the VM performance model (src/cloud/).
+
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "cloud/vm.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+TEST(SpeedFactor, DeterministicPerSeedAndInstance) {
+  EXPECT_DOUBLE_EQ(instance_speed_factor(1, 5), instance_speed_factor(1, 5));
+  EXPECT_NE(instance_speed_factor(1, 5), instance_speed_factor(1, 6));
+  EXPECT_NE(instance_speed_factor(1, 5), instance_speed_factor(2, 5));
+}
+
+TEST(SpeedFactor, DistributionCentersOnTurboHeadroom) {
+  celia::util::RunningStats stats;
+  for (std::uint64_t i = 0; i < 20000; ++i)
+    stats.add(instance_speed_factor(42, i));
+  EXPECT_NEAR(stats.mean(), kTurboHeadroom, 0.01);
+  // Lognormal sigma ~ multiplicative spread.
+  EXPECT_NEAR(stats.stddev() / stats.mean(), kSpeedSigma, 0.01);
+  EXPECT_GT(stats.min(), 0.5);
+  EXPECT_LT(stats.max(), 2.0);
+}
+
+TEST(Provider, ProvisionExpandsCounts) {
+  CloudProvider provider(1);
+  std::vector<int> counts = {2, 0, 1, 0, 0, 0, 0, 0, 3};
+  const auto instances = provider.provision(counts);
+  ASSERT_EQ(instances.size(), 6u);
+  EXPECT_EQ(instances[0].type().name, "c4.large");
+  EXPECT_EQ(instances[1].type().name, "c4.large");
+  EXPECT_EQ(instances[2].type().name, "c4.2xlarge");
+  EXPECT_EQ(instances[3].type().name, "r3.2xlarge");
+}
+
+TEST(Provider, EnforcesPerTypeLimit) {
+  CloudProvider provider(1);
+  std::vector<int> counts(9, 0);
+  counts[0] = kMaxInstancesPerType + 1;
+  EXPECT_THROW(provider.provision(counts), std::invalid_argument);
+}
+
+TEST(Provider, RejectsNegativeAndEmpty) {
+  CloudProvider provider(1);
+  std::vector<int> negative(9, 0);
+  negative[3] = -1;
+  EXPECT_THROW(provider.provision(negative), std::invalid_argument);
+  EXPECT_THROW(provider.provision(std::vector<int>(9, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(provider.provision({1, 2}), std::invalid_argument);
+}
+
+TEST(Provider, SameSeedSameFleet) {
+  CloudProvider a(7), b(7);
+  std::vector<int> counts(9, 0);
+  counts[1] = 3;
+  const auto fa = a.provision(counts);
+  const auto fb = b.provision(counts);
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    EXPECT_DOUBLE_EQ(fa[i].speed_factor, fb[i].speed_factor);
+}
+
+TEST(Provider, InstanceIdsAreMonotonic) {
+  CloudProvider provider(3);
+  std::vector<int> counts(9, 0);
+  counts[0] = 2;
+  const auto first = provider.provision(counts);
+  const auto second = provider.provision(counts);
+  EXPECT_LT(first[1].instance_id, second[0].instance_id);
+  EXPECT_EQ(provider.instances_provisioned(), 4u);
+}
+
+TEST(Provider, NominalRateFollowsEq4) {
+  CloudProvider provider(1);
+  std::vector<int> counts(9, 0);
+  counts[2] = 1;  // c4.2xlarge: 8 vCPUs
+  const auto instances = provider.provision(counts);
+  const double per_vcpu = celia::hw::vcpu_rate(
+      celia::hw::Microarch::kHaswellE5_2666v3, WorkloadClass::kNBody);
+  EXPECT_DOUBLE_EQ(instances[0].nominal_rate(WorkloadClass::kNBody),
+                   8 * per_vcpu);
+  EXPECT_DOUBLE_EQ(instances[0].actual_rate(WorkloadClass::kNBody),
+                   8 * per_vcpu * instances[0].speed_factor);
+}
+
+TEST(Provider, BenchmarkTimeIsDemandOverRate) {
+  CloudProvider provider(5);
+  const double demand = 1e12;
+  const double seconds =
+      provider.run_benchmark(0, demand, WorkloadClass::kVideoEncoding);
+  EXPECT_GT(seconds, 0.0);
+  // Within the noise envelope of the nominal time.
+  std::vector<int> counts(9, 0);
+  counts[0] = 1;
+  CloudProvider fresh(5);
+  const double nominal =
+      demand / fresh.provision(counts)[0].nominal_rate(
+                   WorkloadClass::kVideoEncoding);
+  EXPECT_NEAR(seconds / nominal, 1.0 / kTurboHeadroom, 0.35);
+}
+
+TEST(Provider, BenchmarkValidatesArguments) {
+  CloudProvider provider(1);
+  EXPECT_THROW(provider.run_benchmark(99, 1e9, WorkloadClass::kNBody),
+               std::out_of_range);
+  EXPECT_THROW(provider.run_benchmark(0, 0, WorkloadClass::kNBody),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Tests for replicated spot + on-demand execution (Gong-style deadline
+// protection, cloud/spot.hpp).
+
+#include <gtest/gtest.h>
+
+#include "cloud/spot.hpp"
+#include "hw/ipc_model.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+const InstanceType& c4large() { return ec2_catalog()[0]; }
+constexpr WorkloadClass kWc = WorkloadClass::kNBody;
+
+double rate(int instances) {
+  return celia::hw::vcpu_rate(c4large().microarch, kWc) * c4large().vcpus *
+         instances;
+}
+
+TEST(Replication, AlwaysCompletesWithinOnDemandBound) {
+  // Even with a hopeless spot bid, the on-demand replica finishes the job
+  // by total/od_rate.
+  const SpotMarket market(c4large(), 1);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 0.051 * c4large().cost_per_hour;  // ~never runs
+  spot.instances = 4;
+  const double work = rate(2) * 2.0 * 3600.0;  // 2 h on 2 on-demand nodes
+  const auto report =
+      run_replicated(market, kWc, work, spot, 2, 100 * 3600.0);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.spot_won);
+  EXPECT_NEAR(report.seconds, 2.0 * 3600.0, 1.0);
+}
+
+TEST(Replication, SpotWinsWithGenerousBidAndBiggerFleet) {
+  const SpotMarket market(c4large(), 2);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 2.0 * c4large().cost_per_hour;
+  spot.instances = 8;  // 4x the on-demand replica
+  const double work = rate(2) * 4.0 * 3600.0;
+  const auto report =
+      run_replicated(market, kWc, work, spot, 2, 100 * 3600.0);
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.spot_won);
+  EXPECT_LT(report.seconds, 4.0 * 3600.0);
+}
+
+TEST(Replication, CostIncludesBothReplicas) {
+  const SpotMarket market(c4large(), 3);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 2.0 * c4large().cost_per_hour;
+  spot.instances = 2;
+  const double work = rate(2) * 1.0 * 3600.0;
+  const auto report =
+      run_replicated(market, kWc, work, spot, 2, 100 * 3600.0);
+  const double od_only =
+      2 * c4large().cost_per_hour * report.seconds / 3600.0;
+  EXPECT_GT(report.cost, od_only);  // spot replica billed on top
+}
+
+TEST(Replication, DeadlineGuaranteeBeatsSpotAlone) {
+  // With a marginal bid, spot alone may blow past the on-demand finish
+  // time; replication never does.
+  const SpotMarket market(c4large(), 4);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 0.28 * c4large().cost_per_hour;
+  spot.instances = 2;
+  const double work = rate(2) * 6.0 * 3600.0;
+  const double od_finish = work / rate(2);
+  const auto replicated =
+      run_replicated(market, kWc, work, spot, 2, 100 * 3600.0);
+  EXPECT_TRUE(replicated.completed);
+  EXPECT_LE(replicated.seconds, od_finish + 1.0);
+}
+
+TEST(Replication, HorizonLimitsEvenOnDemand) {
+  const SpotMarket market(c4large(), 5);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 0.3 * c4large().cost_per_hour;
+  const double work = rate(1) * 10.0 * 3600.0;  // 10 h on 1 node
+  const auto report = run_replicated(market, kWc, work, spot, 1,
+                                     /*horizon=*/3600.0);
+  EXPECT_FALSE(report.completed);
+}
+
+TEST(Replication, ValidatesArguments) {
+  const SpotMarket market(c4large(), 6);
+  SpotRunPolicy spot;
+  spot.bid_per_hour = 0.1;
+  EXPECT_THROW(run_replicated(market, kWc, 1e12, spot, 0, 3600.0),
+               std::invalid_argument);
+}
+
+}  // namespace

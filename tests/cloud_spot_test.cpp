@@ -1,0 +1,147 @@
+// Tests for the spot-market substrate (cloud/spot.hpp).
+
+#include <gtest/gtest.h>
+
+#include "cloud/spot.hpp"
+#include "hw/ipc_model.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+const InstanceType& c4large() { return ec2_catalog()[0]; }
+
+constexpr WorkloadClass kWc = WorkloadClass::kGenomeAlignment;
+
+double fleet_rate(int instances) {
+  return celia::hw::vcpu_rate(c4large().microarch, kWc) * c4large().vcpus *
+         instances;
+}
+
+TEST(SpotMarket, PricesArePositiveAndBounded) {
+  const SpotMarket market(c4large(), 1);
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const double price = market.price(k);
+    EXPECT_GE(price, 0.05 * c4large().cost_per_hour);
+    EXPECT_LE(price, 10.0 * c4large().cost_per_hour);
+  }
+}
+
+TEST(SpotMarket, PathIsDeterministicAndOrderIndependent) {
+  const SpotMarket forward(c4large(), 7);
+  const SpotMarket backward(c4large(), 7);
+  std::vector<double> a, b;
+  for (std::uint64_t k = 0; k < 500; ++k) a.push_back(forward.price(k));
+  for (std::uint64_t k = 500; k-- > 0;) b.push_back(backward.price(k));
+  for (std::uint64_t k = 0; k < 500; ++k)
+    EXPECT_DOUBLE_EQ(a[k], b[499 - k]) << k;
+}
+
+TEST(SpotMarket, MeanPriceNearTargetFraction) {
+  const SpotMarket market(c4large(), 11);
+  celia::util::RunningStats stats;
+  for (std::uint64_t k = 100; k < 5000; ++k) stats.add(market.price(k));
+  const double target = 0.30 * c4large().cost_per_hour;
+  // Spikes skew the mean upward; it must sit near (and above) the target
+  // but far below on-demand.
+  EXPECT_GT(stats.mean(), 0.6 * target);
+  EXPECT_LT(stats.mean(), c4large().cost_per_hour);
+}
+
+TEST(SpotMarket, SeedsChangePaths) {
+  const SpotMarket a(c4large(), 1), b(c4large(), 2);
+  int equal = 0;
+  for (std::uint64_t k = 0; k < 100; ++k)
+    if (a.price(k) == b.price(k)) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(SpotRun, CompletesUnderGenerousBid) {
+  const SpotMarket market(c4large(), 3);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = c4large().cost_per_hour;  // bid = on-demand price
+  policy.instances = 2;
+  const double work = fleet_rate(2) * 2.0 * 3600.0;  // ~2 h of compute
+  const auto report = run_on_spot(market, kWc, work, policy, 72 * 3600.0);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.seconds, 1.9 * 3600.0);
+  EXPECT_GT(report.cost, 0.0);
+}
+
+TEST(SpotRun, CheaperThanOnDemandWhenUneventful) {
+  const SpotMarket market(c4large(), 4);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = c4large().cost_per_hour;
+  policy.instances = 1;
+  const double hours = 3.0;
+  const double work = fleet_rate(1) * hours * 3600.0;
+  const auto report = run_on_spot(market, kWc, work, policy, 96 * 3600.0);
+  ASSERT_TRUE(report.completed);
+  const double on_demand_cost =
+      c4large().cost_per_hour * report.seconds / 3600.0;
+  EXPECT_LT(report.cost, on_demand_cost);
+}
+
+TEST(SpotRun, LowBidCausesEvictionsAndDelay) {
+  const SpotMarket market(c4large(), 5);
+  const double work = fleet_rate(1) * 6.0 * 3600.0;
+  SpotRunPolicy generous;
+  generous.bid_per_hour = 2.0 * c4large().cost_per_hour;
+  SpotRunPolicy stingy = generous;
+  stingy.bid_per_hour = 0.28 * c4large().cost_per_hour;  // near the mean
+  const auto fast = run_on_spot(market, kWc, work, generous, 200 * 3600.0);
+  const auto slow = run_on_spot(market, kWc, work, stingy, 200 * 3600.0);
+  ASSERT_TRUE(fast.completed);
+  EXPECT_GT(slow.evictions, fast.evictions);
+  EXPECT_GT(slow.seconds, fast.seconds);
+}
+
+TEST(SpotRun, CheckpointingBoundsLostWork) {
+  // With frequent evictions, checkpointing should lose less work than
+  // restart-from-zero.
+  const SpotMarket market(c4large(), 6);
+  const double work = fleet_rate(1) * 8.0 * 3600.0;
+  SpotRunPolicy with_ckpt;
+  with_ckpt.bid_per_hour = 0.30 * c4large().cost_per_hour;
+  with_ckpt.checkpoint_interval_seconds = 900.0;
+  SpotRunPolicy no_ckpt = with_ckpt;
+  no_ckpt.checkpoint_interval_seconds = 0.0;
+  const auto a = run_on_spot(market, kWc, work, with_ckpt, 500 * 3600.0);
+  const auto b = run_on_spot(market, kWc, work, no_ckpt, 500 * 3600.0);
+  if (a.evictions > 0 && b.evictions > 0) {
+    EXPECT_LT(a.lost_work_instructions, b.lost_work_instructions);
+  }
+  EXPECT_GT(a.checkpoint_overhead_seconds, 0.0);
+  EXPECT_EQ(b.checkpoint_overhead_seconds, 0.0);
+}
+
+TEST(SpotRun, HorizonAbandonsHopelessRuns) {
+  const SpotMarket market(c4large(), 7);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 0.051 * c4large().cost_per_hour;  // ~never runs
+  const double work = fleet_rate(1) * 3600.0;
+  const auto report = run_on_spot(market, kWc, work, policy, 10 * 3600.0);
+  EXPECT_FALSE(report.completed);
+  EXPECT_NEAR(report.seconds, 10 * 3600.0, 1.0);
+}
+
+TEST(SpotRun, ValidatesArguments) {
+  const SpotMarket market(c4large(), 8);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 0.1;
+  EXPECT_THROW(run_on_spot(market, kWc, 0.0, policy, 3600.0),
+               std::invalid_argument);
+  EXPECT_THROW(run_on_spot(market, kWc, 1e12, policy, -1.0),
+               std::invalid_argument);
+  SpotRunPolicy no_bid;
+  EXPECT_THROW(run_on_spot(market, kWc, 1e12, no_bid, 3600.0),
+               std::invalid_argument);
+  SpotRunPolicy no_fleet = policy;
+  no_fleet.instances = 0;
+  EXPECT_THROW(run_on_spot(market, kWc, 1e12, no_fleet, 3600.0),
+               std::invalid_argument);
+}
+
+}  // namespace

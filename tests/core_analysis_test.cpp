@@ -1,0 +1,107 @@
+// Unit tests for the model-analysis helpers (core/analysis.hpp), using a
+// synthetic CELIA model so expectations are computable by hand.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::apps::AppParams;
+
+/// A hand-built model: demand D(n, a) = n * a * 1e9 instructions, uniform
+/// per-vCPU rates, the standard EC2 space.
+Celia synthetic_celia() {
+  // Fit from an exactly bilinear grid so predictions are exact.
+  std::vector<celia::fit::ProfilePoint> grid;
+  for (double n : {1, 2, 3, 4, 5})
+    for (double a : {1, 2, 3, 4, 5}) grid.push_back({n, a, n * a * 1e9});
+  auto demand = celia::fit::SeparableDemandModel::fit(grid);
+  return Celia("synthetic", celia::hw::WorkloadClass::kNBody,
+               std::move(demand),
+               ResourceCapacity(std::vector<double>(9, 1e9)),
+               ConfigurationSpace::ec2_default());
+}
+
+TEST(Analysis, SyntheticDemandIsExact) {
+  const Celia celia = synthetic_celia();
+  EXPECT_NEAR(celia.predict_demand({7, 11}), 77e9, 77e9 * 1e-9);
+}
+
+TEST(Analysis, ProblemSizeScalingTracksDemand) {
+  const Celia celia = synthetic_celia();
+  const std::vector<double> sizes = {10, 20, 40};
+  const auto curve = problem_size_scaling(celia, 100.0, sizes, 1000.0);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& point : curve) ASSERT_TRUE(point.feasible);
+  // Linear demand in n: min cost doubles with n (fluid model, ample
+  // deadline so the cheapest type mix stays the same).
+  EXPECT_NEAR(curve[1].min_cost / curve[0].min_cost, 2.0, 0.02);
+  EXPECT_NEAR(curve[2].min_cost / curve[1].min_cost, 2.0, 0.02);
+  EXPECT_EQ(curve[0].value, 10.0);
+}
+
+TEST(Analysis, AccuracyScalingTracksDemand) {
+  const Celia celia = synthetic_celia();
+  const std::vector<double> accuracies = {5, 10};
+  const auto curve = accuracy_scaling(celia, 50.0, accuracies, 1000.0);
+  ASSERT_TRUE(curve[0].feasible && curve[1].feasible);
+  EXPECT_NEAR(curve[1].min_cost / curve[0].min_cost, 2.0, 0.02);
+}
+
+TEST(Analysis, DeadlineTighteningMonotone) {
+  const Celia celia = synthetic_celia();
+  const std::vector<double> deadlines = {100.0, 10.0, 1.0};
+  const auto curve = deadline_tightening(celia, {100, 100}, deadlines);
+  ASSERT_EQ(curve.size(), 3u);
+  double previous = 0.0;
+  for (const auto& point : curve) {
+    if (!point.feasible) continue;
+    EXPECT_GE(point.min_cost, previous - 1e-9);
+    previous = point.min_cost;
+  }
+}
+
+TEST(Analysis, InfeasiblePointHasDefaults) {
+  const Celia celia = synthetic_celia();
+  // 1 second deadline for ~1e13 instructions on <= 2.7e11 instr/s: hopeless.
+  const std::vector<double> sizes = {100};
+  const auto curve = problem_size_scaling(celia, 100, sizes, 1.0 / 3600.0);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_FALSE(curve[0].feasible);
+  EXPECT_EQ(curve[0].min_cost, 0.0);
+}
+
+TEST(Analysis, ParetoSpanOfSingleton) {
+  const std::vector<CostTimePoint> frontier = {{0, 10, 50}};
+  const ParetoSpan span = pareto_span(frontier);
+  EXPECT_DOUBLE_EQ(span.min_cost, 50.0);
+  EXPECT_DOUBLE_EQ(span.max_cost, 50.0);
+  EXPECT_DOUBLE_EQ(span.span_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(span.saving_fraction, 0.0);
+}
+
+TEST(Analysis, ParetoSpanOfEmptyThrows) {
+  EXPECT_THROW(pareto_span({}), std::invalid_argument);
+}
+
+TEST(Analysis, ParetoSpanComputesRatioAndSaving) {
+  const std::vector<CostTimePoint> frontier = {
+      {0, 20, 100}, {1, 10, 120}, {2, 5, 130}};
+  const ParetoSpan span = pareto_span(frontier);
+  EXPECT_DOUBLE_EQ(span.min_cost, 100.0);
+  EXPECT_DOUBLE_EQ(span.max_cost, 130.0);
+  EXPECT_DOUBLE_EQ(span.span_ratio, 1.3);
+  EXPECT_NEAR(span.saving_fraction, 1.0 - 100.0 / 130.0, 1e-12);
+}
+
+TEST(Analysis, SyntheticModelSurvivesSerialization) {
+  const Celia celia = synthetic_celia();
+  const Celia loaded = model_from_string(model_to_string(celia));
+  EXPECT_DOUBLE_EQ(loaded.predict_demand({3, 4}),
+                   celia.predict_demand({3, 4}));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Tests for the baseline searchers (core/baselines.hpp) against CELIA's
+// exhaustive guarantee.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/time_cost.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+ResourceCapacity paper_like_capacity() {
+  // Per-vCPU rates shaped like the galaxy characterization (c4 best $/instr).
+  std::vector<double> per_vcpu = {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9,
+                                  1.31e9, 1.09e9, 1.09e9, 1.09e9};
+  return ResourceCapacity(per_vcpu);
+}
+
+Constraints day_constraints() {
+  Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.budget_dollars = 350.0;
+  return constraints;
+}
+
+TEST(Baselines, EvaluateConfigurationAgreesWithPredict) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const Configuration config = {5, 5, 5, 3, 0, 0, 0, 0, 0};
+  const auto point = evaluate_configuration(space, capacity, 9e15,
+                                            day_constraints(), config);
+  ASSERT_TRUE(point.has_value());
+  const Prediction p = predict(9e15, config, capacity);
+  EXPECT_DOUBLE_EQ(point->seconds, p.seconds);
+  EXPECT_DOUBLE_EQ(point->cost, p.cost);
+  EXPECT_EQ(point->config_index, space.encode(config));
+}
+
+TEST(Baselines, EvaluateRejectsInfeasible) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  Constraints tight;
+  tight.deadline_seconds = 1.0;
+  const Configuration config = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(evaluate_configuration(space, capacity, 9e15, tight, config)
+                   .has_value());
+}
+
+TEST(Baselines, ExhaustiveFindsOptimum) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const auto outcome =
+      exhaustive_search(space, capacity, 9e15, day_constraints());
+  EXPECT_TRUE(outcome.found);
+  EXPECT_EQ(outcome.evaluations, space.size());
+}
+
+TEST(Baselines, HeuristicsNeverBeatExhaustive) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const double demand = 9e15;
+  const auto constraints = day_constraints();
+  const auto optimal = exhaustive_search(space, capacity, demand, constraints);
+  ASSERT_TRUE(optimal.found);
+
+  const auto greedy = greedy_cost_search(space, capacity, demand, constraints);
+  const auto random =
+      random_search(space, capacity, demand, constraints, 5000, 1);
+  const auto hill =
+      hill_climb_search(space, capacity, demand, constraints, 3, 2);
+  for (const auto* outcome : {&greedy, &random, &hill}) {
+    if (outcome->found) {
+      EXPECT_GE(outcome->best.cost, optimal.best.cost - 1e-9);
+    }
+  }
+}
+
+TEST(Baselines, GreedyFindsFeasibleWhenOneExists) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const auto outcome =
+      greedy_cost_search(space, capacity, 9e15, day_constraints());
+  EXPECT_TRUE(outcome.found);
+  // Greedy fills the best capacity-per-dollar category (c4) first, so its
+  // answer uses only c4 nodes when c4 alone meets the deadline.
+  EXPECT_LT(outcome.evaluations, 50u);
+}
+
+TEST(Baselines, GreedyFailsGracefullyWhenNothingFeasible) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  Constraints impossible;
+  impossible.deadline_seconds = 1e-9;
+  const auto outcome =
+      greedy_cost_search(space, capacity, 9e15, impossible);
+  EXPECT_FALSE(outcome.found);
+}
+
+TEST(Baselines, RandomSearchIsSeedDeterministic) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const auto a =
+      random_search(space, capacity, 9e15, day_constraints(), 2000, 7);
+  const auto b =
+      random_search(space, capacity, 9e15, day_constraints(), 2000, 7);
+  EXPECT_EQ(a.found, b.found);
+  if (a.found) {
+    EXPECT_EQ(a.best.config_index, b.best.config_index);
+  }
+}
+
+TEST(Baselines, RandomSearchRespectsEvaluationBudget) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const auto outcome =
+      random_search(space, capacity, 9e15, day_constraints(), 123, 3);
+  EXPECT_EQ(outcome.evaluations, 123u);
+}
+
+TEST(Baselines, HillClimbImprovesOnGreedyOrMatches) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const double demand = 2.0e16;  // forces spilling beyond one category
+  const auto constraints = day_constraints();
+  const auto greedy = greedy_cost_search(space, capacity, demand, constraints);
+  const auto hill =
+      hill_climb_search(space, capacity, demand, constraints, 1, 5);
+  ASSERT_TRUE(greedy.found);
+  ASSERT_TRUE(hill.found);
+  EXPECT_LE(hill.best.cost, greedy.best.cost + 1e-9);
+}
+
+TEST(Baselines, HillClimbNearOptimalOnPaperScale) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto capacity = paper_like_capacity();
+  const double demand = 9e15;
+  const auto constraints = day_constraints();
+  const auto optimal = exhaustive_search(space, capacity, demand, constraints);
+  const auto hill =
+      hill_climb_search(space, capacity, demand, constraints, 5, 11);
+  ASSERT_TRUE(hill.found);
+  EXPECT_LT(hill.best.cost / optimal.best.cost, 1.05);
+  EXPECT_LT(hill.evaluations, space.size() / 100);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the CELIA facade (core/celia.hpp): the full measurement-driven
+// build and its predictions.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/analysis.hpp"
+#include "core/celia.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::apps::AppParams;
+using celia::cloud::CloudProvider;
+
+const Celia& galaxy_celia() {
+  static const Celia instance = [] {
+    CloudProvider provider(2017);
+    const auto app = celia::apps::make_galaxy();
+    return Celia::build(*app, provider);
+  }();
+  return instance;
+}
+
+TEST(Celia, BuildDetectsPaperDemandShapes) {
+  CloudProvider provider(1);
+  for (const auto& app : celia::apps::all_apps()) {
+    const Celia celia = Celia::build(*app, provider);
+    if (app->name() == "x264") {
+      EXPECT_EQ(celia.demand_model().n_shape(), celia::fit::Shape::kLinear);
+      EXPECT_EQ(celia.demand_model().a_shape(),
+                celia::fit::Shape::kQuadratic);
+    } else if (app->name() == "galaxy") {
+      EXPECT_EQ(celia.demand_model().n_shape(),
+                celia::fit::Shape::kQuadratic);
+      EXPECT_EQ(celia.demand_model().a_shape(), celia::fit::Shape::kLinear);
+    } else if (app->name() == "sand") {
+      EXPECT_EQ(celia.demand_model().n_shape(), celia::fit::Shape::kLinear);
+      EXPECT_EQ(celia.demand_model().a_shape(),
+                celia::fit::Shape::kLogarithmic);
+    }
+  }
+}
+
+TEST(Celia, FittedDemandTracksExactDemand) {
+  CloudProvider provider(2);
+  for (const auto& app : celia::apps::all_apps()) {
+    const Celia celia = Celia::build(*app, provider);
+    // At grid points and in-between, the fitted model should be within a
+    // few percent of the closed form.
+    for (const AppParams& params : app->profile_grid()) {
+      const double exact = app->exact_demand(params);
+      const double fitted = celia.predict_demand(params);
+      EXPECT_NEAR(fitted / exact, 1.0, 0.05)
+          << app->name() << " n=" << params.n << " a=" << params.a;
+    }
+  }
+}
+
+TEST(Celia, ExtrapolatesToValidationScale) {
+  // Table IV predictions use parameters far beyond the profile grid
+  // (e.g. galaxy 65536 masses was profiled, but x264 runs 8000 clips vs a
+  // 32-clip grid). Linearity must carry the extrapolation.
+  CloudProvider provider(3);
+  const auto app = celia::apps::make_x264();
+  const Celia celia = Celia::build(*app, provider);
+  const AppParams params{8000, 20};
+  EXPECT_NEAR(celia.predict_demand(params) / app->exact_demand(params), 1.0,
+              0.05);
+}
+
+TEST(Celia, PredictUsesMeasuredCapacity) {
+  const Celia& celia = galaxy_celia();
+  const Configuration config = {5, 5, 5, 3, 0, 0, 0, 0, 0};
+  const Prediction p = celia.predict({65536, 8000}, config);
+  // ~24 hours on the paper's Fig. 6(a) annotated configuration.
+  EXPECT_NEAR(p.seconds / 3600.0, 24.0, 4.0);
+  EXPECT_NEAR(p.cost, 95.0, 20.0);
+}
+
+TEST(Celia, SelectReproducesFigure4Shape) {
+  const Celia& celia = galaxy_celia();
+  SweepOptions options;
+  options.sample_stride = 1000;
+  const SweepResult result = celia.select({65536, 8000}, 24.0, 350.0, options);
+  EXPECT_EQ(result.total, 10'077'695u);
+  // Millions of feasible configurations, a small Pareto frontier.
+  EXPECT_GT(result.feasible, 1'000'000u);
+  EXPECT_GT(result.pareto.size(), 10u);
+  EXPECT_LT(result.pareto.size(), 200u);
+  EXPECT_FALSE(result.feasible_points.empty());
+}
+
+TEST(Celia, MinCostMatchesSelect) {
+  const Celia& celia = galaxy_celia();
+  const auto best = celia.min_cost_configuration({65536, 8000}, 24.0);
+  ASSERT_TRUE(best.has_value());
+  const SweepResult result = celia.select({65536, 8000}, 24.0, 1e18);
+  EXPECT_EQ(best->config_index, result.min_cost.config_index);
+  // The cheapest feasible point is the cheapest Pareto point.
+  ASSERT_FALSE(result.pareto.empty());
+  EXPECT_EQ(result.pareto.front().config_index, best->config_index);
+}
+
+TEST(Celia, MinCostInfeasibleReturnsNullopt) {
+  const Celia& celia = galaxy_celia();
+  EXPECT_FALSE(
+      celia.min_cost_configuration({262144, 8000}, 0.05).has_value());
+}
+
+TEST(Celia, TighterDeadlineNeverCheaper) {
+  const Celia& celia = galaxy_celia();
+  const AppParams params{65536, 8000};
+  double previous = 0.0;
+  for (const double deadline : {72.0, 48.0, 24.0, 12.0}) {
+    const auto best = celia.min_cost_configuration(params, deadline);
+    ASSERT_TRUE(best.has_value()) << deadline;
+    EXPECT_GE(best->cost, previous - 1e-9);
+    previous = best->cost;
+  }
+}
+
+TEST(Celia, ParetoSpanStatistics) {
+  const Celia& celia = galaxy_celia();
+  const SweepResult result = celia.select({65536, 8000}, 24.0, 350.0);
+  const ParetoSpan span = pareto_span(result.pareto);
+  EXPECT_GT(span.span_ratio, 1.0);
+  EXPECT_LT(span.span_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(span.saving_fraction, 1.0 - span.min_cost / span.max_cost);
+}
+
+TEST(Celia, AccessorsExposeModels) {
+  const Celia& celia = galaxy_celia();
+  EXPECT_EQ(celia.app_name(), "galaxy");
+  EXPECT_EQ(celia.workload(), celia::hw::WorkloadClass::kNBody);
+  EXPECT_EQ(celia.space().size(), 10'077'695u);
+  EXPECT_EQ(celia.capacity().num_types(), 9u);
+  EXPECT_GT(celia.demand_model().grid_r2(), 0.99);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for configurations and the configuration space (paper §III-A).
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+TEST(ConfigurationSpace, PaperSizeEquation) {
+  // S = prod(m_i,max + 1) - 1 = 6^9 - 1 = 10,077,695 (paper Eq. 1).
+  const auto space = ConfigurationSpace::ec2_default();
+  EXPECT_EQ(space.size(), 10'077'695u);
+  EXPECT_EQ(space.num_types(), 9u);
+}
+
+TEST(ConfigurationSpace, SmallSpaceSize) {
+  const ConfigurationSpace space({1, 2, 3});
+  EXPECT_EQ(space.size(), 2u * 3 * 4 - 1);
+}
+
+TEST(ConfigurationSpace, FirstIndexIsSingleNodeOfFirstType) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const Configuration config = space.decode(0);
+  EXPECT_EQ(config[0], 1);
+  for (std::size_t i = 1; i < config.size(); ++i) EXPECT_EQ(config[i], 0);
+}
+
+TEST(ConfigurationSpace, LastIndexIsFullFleet) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const Configuration config = space.decode(space.size() - 1);
+  for (const int count : config) EXPECT_EQ(count, 5);
+}
+
+TEST(ConfigurationSpace, EncodeDecodeRoundTripSampled) {
+  const auto space = ConfigurationSpace::ec2_default();
+  celia::util::Xoshiro256 rng(99);
+  for (int k = 0; k < 10000; ++k) {
+    const std::uint64_t index = rng.bounded(space.size());
+    EXPECT_EQ(space.encode(space.decode(index)), index);
+  }
+}
+
+TEST(ConfigurationSpace, DecodeEncodeExhaustiveOnSmallSpace) {
+  const ConfigurationSpace space({2, 1, 3});
+  for (std::uint64_t index = 0; index < space.size(); ++index) {
+    const Configuration config = space.decode(index);
+    EXPECT_EQ(space.encode(config), index);
+    bool all_zero = true;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      EXPECT_GE(config[i], 0);
+      EXPECT_LE(config[i], space.max_counts()[i]);
+      if (config[i] != 0) all_zero = false;
+    }
+    EXPECT_FALSE(all_zero);
+  }
+}
+
+TEST(ConfigurationSpace, AllZeroIsExcluded) {
+  const auto space = ConfigurationSpace::ec2_default();
+  EXPECT_THROW(space.encode(std::vector<int>(9, 0)), std::invalid_argument);
+}
+
+TEST(ConfigurationSpace, OutOfRangeCountThrows) {
+  const auto space = ConfigurationSpace::ec2_default();
+  std::vector<int> config(9, 0);
+  config[0] = 6;
+  EXPECT_THROW(space.encode(config), std::invalid_argument);
+  config[0] = -1;
+  EXPECT_THROW(space.encode(config), std::invalid_argument);
+}
+
+TEST(ConfigurationSpace, WrongWidthThrows) {
+  const auto space = ConfigurationSpace::ec2_default();
+  EXPECT_THROW(space.encode(std::vector<int>{1, 2}), std::invalid_argument);
+  std::vector<int> out(3);
+  EXPECT_THROW(space.decode_into(0, out), std::invalid_argument);
+}
+
+TEST(ConfigurationSpace, DecodeOutOfRangeThrows) {
+  const auto space = ConfigurationSpace::ec2_default();
+  EXPECT_THROW(space.decode(space.size()), std::out_of_range);
+}
+
+TEST(ConfigurationSpace, ConstructionValidation) {
+  EXPECT_THROW(ConfigurationSpace({}), std::invalid_argument);
+  EXPECT_THROW(ConfigurationSpace({2, -1}), std::invalid_argument);
+}
+
+TEST(ConfigurationSpace, PaperAnnotationFormat) {
+  EXPECT_EQ(to_string({5, 5, 5, 3, 0, 0, 0, 0, 0}),
+            "[5,5,5,3,0,0,0,0,0]");
+}
+
+TEST(ConfigurationSpace, AdjacentIndicesDifferByOdometerStep) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const Configuration a = space.decode(41);
+  const Configuration b = space.decode(42);
+  // Mixed-radix increment: the first non-max digit increases by one and
+  // all digits before it wrap to zero.
+  std::size_t i = 0;
+  while (a[i] == space.max_counts()[i]) {
+    EXPECT_EQ(b[i], 0);
+    ++i;
+  }
+  EXPECT_EQ(b[i], a[i] + 1);
+  for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+}
+
+}  // namespace

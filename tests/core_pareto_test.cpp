@@ -1,0 +1,152 @@
+// Tests for Pareto filtering (core/pareto.hpp), including a brute-force
+// property check of the exact filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+TEST(Dominates, StrictAndWeakCases) {
+  const CostTimePoint a{0, 1.0, 1.0};
+  const CostTimePoint b{1, 2.0, 2.0};
+  const CostTimePoint c{2, 1.0, 2.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_TRUE(dominates(a, c));   // equal time, lower cost
+  EXPECT_FALSE(dominates(a, a));  // a point never dominates itself
+}
+
+TEST(ParetoFilter, EmptyInput) {
+  EXPECT_TRUE(pareto_filter({}).empty());
+}
+
+TEST(ParetoFilter, SinglePoint) {
+  const auto frontier = pareto_filter({{7, 3.0, 4.0}});
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].config_index, 7u);
+}
+
+TEST(ParetoFilter, RemovesDominatedPoints) {
+  const std::vector<CostTimePoint> points = {
+      {0, 10.0, 1.0},  // frontier (cheapest)
+      {1, 5.0, 2.0},   // frontier
+      {2, 6.0, 3.0},   // dominated by 1
+      {3, 1.0, 4.0},   // frontier (fastest)
+      {4, 10.0, 1.5},  // dominated by 0
+  };
+  const auto frontier = pareto_filter(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].config_index, 0u);
+  EXPECT_EQ(frontier[1].config_index, 1u);
+  EXPECT_EQ(frontier[2].config_index, 3u);
+}
+
+TEST(ParetoFilter, OutputSortedByCostAndTimeDecreasing) {
+  celia::util::Xoshiro256 rng(5);
+  std::vector<CostTimePoint> points;
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    points.push_back({i, rng.uniform(1, 100), rng.uniform(1, 100)});
+  const auto frontier = pareto_filter(points);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].cost, frontier[i - 1].cost);
+    EXPECT_LT(frontier[i].seconds, frontier[i - 1].seconds);
+  }
+}
+
+TEST(ParetoFilter, MatchesBruteForceOnRandomSets) {
+  celia::util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<CostTimePoint> points;
+    for (std::uint64_t i = 0; i < 200; ++i)
+      points.push_back({i, rng.uniform(0, 10), rng.uniform(0, 10)});
+
+    // Brute force: keep points not dominated by any other.
+    std::vector<std::uint64_t> expected;
+    for (const auto& p : points) {
+      bool dominated = false;
+      for (const auto& q : points)
+        if (dominates(q, p)) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) expected.push_back(p.config_index);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    auto frontier = pareto_filter(points);
+    std::vector<std::uint64_t> got;
+    for (const auto& p : frontier) got.push_back(p.config_index);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(ParetoFilter, IdempotentOnFrontier) {
+  celia::util::Xoshiro256 rng(23);
+  std::vector<CostTimePoint> points;
+  for (std::uint64_t i = 0; i < 500; ++i)
+    points.push_back({i, rng.uniform(0, 10), rng.uniform(0, 10)});
+  const auto once = pareto_filter(points);
+  const auto twice = pareto_filter(once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(ParetoFilter, DuplicatePointsKeepOne) {
+  const std::vector<CostTimePoint> points = {
+      {0, 1.0, 1.0}, {1, 1.0, 1.0}, {2, 1.0, 1.0}};
+  EXPECT_EQ(pareto_filter(points).size(), 1u);
+}
+
+TEST(EpsilonNondominated, CoarseGridThinsFrontier) {
+  // A dense staircase frontier: with a coarse epsilon the result must be
+  // much smaller but still nondominated at box resolution.
+  std::vector<CostTimePoint> points;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double t = 1000.0 - static_cast<double>(i);
+    const double c = 10.0 + 0.01 * static_cast<double>(i);
+    points.push_back({i, t, c});
+  }
+  const auto exact = pareto_filter(points);
+  EXPECT_EQ(exact.size(), 1000u);
+  const auto eps = epsilon_nondominated(points, 100.0, 1.0);
+  EXPECT_LT(eps.size(), 20u);
+  EXPECT_GE(eps.size(), 5u);
+}
+
+TEST(EpsilonNondominated, ResultIsSubsetOfInput) {
+  celia::util::Xoshiro256 rng(31);
+  std::vector<CostTimePoint> points;
+  for (std::uint64_t i = 0; i < 300; ++i)
+    points.push_back({i, rng.uniform(0, 50), rng.uniform(0, 50)});
+  const auto eps = epsilon_nondominated(points, 5.0, 5.0);
+  for (const auto& p : eps) {
+    EXPECT_TRUE(std::any_of(points.begin(), points.end(),
+                            [&](const CostTimePoint& q) { return q == p; }));
+  }
+}
+
+TEST(EpsilonNondominated, InvalidEpsilonThrows) {
+  EXPECT_THROW(epsilon_nondominated({{0, 1, 1}}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(epsilon_nondominated({{0, 1, 1}}, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(EpsilonNondominated, TinyEpsilonApproachesExactFilter) {
+  celia::util::Xoshiro256 rng(37);
+  std::vector<CostTimePoint> points;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    points.push_back({i, rng.uniform(0, 10), rng.uniform(0, 10)});
+  const auto exact = pareto_filter(points);
+  const auto eps = epsilon_nondominated(points, 1e-9, 1e-9);
+  EXPECT_EQ(eps.size(), exact.size());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for frontier-point selection (core/recommend.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/recommend.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+// A convex staircase frontier with an obvious knee at (10, 20):
+// times 100 -> 10 cheaply, then tiny gains get expensive.
+std::vector<CostTimePoint> knee_frontier() {
+  return {
+      {0, 100.0, 10.0},  // cheapest
+      {1, 50.0, 12.0},
+      {2, 20.0, 15.0},
+      {3, 10.0, 20.0},   // the knee
+      {4, 8.0, 60.0},
+      {5, 7.0, 100.0},   // fastest
+  };
+}
+
+TEST(Recommend, CheapestPicksMinCost) {
+  const auto pick =
+      pick_from_frontier(knee_frontier(), PickStrategy::kCheapest);
+  EXPECT_EQ(pick.config_index, 0u);
+}
+
+TEST(Recommend, FastestPicksMinTime) {
+  const auto pick =
+      pick_from_frontier(knee_frontier(), PickStrategy::kFastest);
+  EXPECT_EQ(pick.config_index, 5u);
+}
+
+TEST(Recommend, KneeFindsTheElbow) {
+  const auto pick = pick_from_frontier(knee_frontier(), PickStrategy::kKnee);
+  EXPECT_EQ(pick.config_index, 3u);
+}
+
+TEST(Recommend, BalancedPrefersUtopiaNeighborhood) {
+  const auto pick =
+      pick_from_frontier(knee_frontier(), PickStrategy::kBalanced);
+  // Near-utopia points are 2 or 3; definitely not the extremes.
+  EXPECT_NE(pick.config_index, 0u);
+  EXPECT_NE(pick.config_index, 5u);
+}
+
+TEST(Recommend, SinglePointFrontierAlwaysReturnsIt) {
+  const std::vector<CostTimePoint> one = {{7, 3.0, 4.0}};
+  for (const auto strategy :
+       {PickStrategy::kCheapest, PickStrategy::kFastest,
+        PickStrategy::kBalanced, PickStrategy::kKnee}) {
+    EXPECT_EQ(pick_from_frontier(one, strategy).config_index, 7u);
+  }
+}
+
+TEST(Recommend, TwoPointFrontierKneeFallsBackToBalanced) {
+  const std::vector<CostTimePoint> two = {{0, 10.0, 1.0}, {1, 1.0, 10.0}};
+  const auto knee = pick_from_frontier(two, PickStrategy::kKnee);
+  const auto balanced = pick_from_frontier(two, PickStrategy::kBalanced);
+  EXPECT_EQ(knee.config_index, balanced.config_index);
+}
+
+TEST(Recommend, EmptyFrontierThrows) {
+  EXPECT_THROW(pick_from_frontier({}, PickStrategy::kKnee),
+               std::invalid_argument);
+}
+
+TEST(Recommend, OrderInvariant) {
+  auto frontier = knee_frontier();
+  std::reverse(frontier.begin(), frontier.end());
+  EXPECT_EQ(pick_from_frontier(frontier, PickStrategy::kKnee).config_index,
+            3u);
+  EXPECT_EQ(
+      pick_from_frontier(frontier, PickStrategy::kCheapest).config_index,
+      0u);
+}
+
+TEST(Recommend, StrategyNames) {
+  EXPECT_EQ(pick_strategy_name(PickStrategy::kCheapest), "cheapest");
+  EXPECT_EQ(pick_strategy_name(PickStrategy::kFastest), "fastest");
+  EXPECT_EQ(pick_strategy_name(PickStrategy::kBalanced), "balanced");
+  EXPECT_EQ(pick_strategy_name(PickStrategy::kKnee), "knee");
+}
+
+TEST(Recommend, PicksAreAlwaysFrontierMembers) {
+  const auto frontier = knee_frontier();
+  for (const auto strategy :
+       {PickStrategy::kCheapest, PickStrategy::kFastest,
+        PickStrategy::kBalanced, PickStrategy::kKnee}) {
+    const auto pick = pick_from_frontier(frontier, strategy);
+    bool member = false;
+    for (const auto& point : frontier)
+      if (point == pick) member = true;
+    EXPECT_TRUE(member) << pick_strategy_name(strategy);
+  }
+}
+
+}  // namespace

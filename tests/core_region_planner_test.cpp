@@ -1,0 +1,126 @@
+// Tests for cross-region planning (core/region_planner.hpp).
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/region.hpp"
+#include "core/region_planner.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::cloud::CloudProvider;
+using celia::cloud::kHomeRegion;
+using celia::cloud::region_catalog;
+
+const Celia& galaxy_celia() {
+  static const Celia instance = [] {
+    CloudProvider provider(2017);
+    return Celia::build(*celia::apps::make_galaxy(), provider);
+  }();
+  return instance;
+}
+
+TEST(RegionCatalog, HomeRegionIsOregonAtParity) {
+  const auto& home = region_catalog()[kHomeRegion];
+  EXPECT_NE(std::string(home.name).find("us-west-2"), std::string::npos);
+  EXPECT_DOUBLE_EQ(home.price_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(home.transfer_dollars_per_gb, 0.0);
+}
+
+TEST(RegionCatalog, RegionalPricingScales) {
+  const auto& type = celia::cloud::ec2_catalog()[0];
+  for (const auto& region : region_catalog()) {
+    EXPECT_DOUBLE_EQ(celia::cloud::regional_hourly_cost(type, region),
+                     type.cost_per_hour * region.price_multiplier);
+  }
+}
+
+TEST(RegionPlanner, OnePlanPerRegion) {
+  const auto plans =
+      plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, 10.0);
+  ASSERT_EQ(plans.size(), region_catalog().size());
+  for (std::size_t r = 0; r < plans.size(); ++r)
+    EXPECT_EQ(plans[r].region_index, r);
+}
+
+TEST(RegionPlanner, HomeRegionHasNoStaging) {
+  const auto plans =
+      plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, 500.0);
+  EXPECT_DOUBLE_EQ(plans[kHomeRegion].staging_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(plans[kHomeRegion].transfer_cost, 0.0);
+  for (std::size_t r = 1; r < plans.size(); ++r) {
+    EXPECT_GT(plans[r].staging_seconds, 0.0) << r;
+    EXPECT_GT(plans[r].transfer_cost, 0.0) << r;
+  }
+}
+
+TEST(RegionPlanner, ComputeCostScalesWithMultiplier) {
+  // With negligible input data, compute costs differ exactly by the
+  // price multipliers (the selected configuration is the same).
+  const auto plans =
+      plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, 0.0);
+  ASSERT_TRUE(plans[kHomeRegion].feasible);
+  const double home = plans[kHomeRegion].compute_cost;
+  for (const auto& plan : plans) {
+    if (!plan.feasible) continue;
+    EXPECT_NEAR(plan.compute_cost,
+                home * region_catalog()[plan.region_index].price_multiplier,
+                home * 1e-9);
+    EXPECT_EQ(plan.config_index, plans[kHomeRegion].config_index);
+  }
+}
+
+TEST(RegionPlanner, ZeroDataChoosesCheapestTariff) {
+  const auto best = best_region_plan(galaxy_celia(), {65536, 4000}, 24.0,
+                                     0.0);
+  ASSERT_TRUE(best.has_value());
+  // us-east-1 has the lowest multiplier (0.97) and free-ish staging of
+  // nothing.
+  EXPECT_EQ(best->region_index, 1u);
+}
+
+TEST(RegionPlanner, DataGravityKeepsBigInputsHome) {
+  // A huge input makes every remote region pay a large egress fee, so the
+  // home region wins despite parity pricing.
+  const auto best = best_region_plan(galaxy_celia(), {65536, 4000}, 24.0,
+                                     5000.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->region_index, kHomeRegion);
+}
+
+TEST(RegionPlanner, StagingTimeCanKillFeasibility) {
+  // A deadline just above the FASTEST possible run leaves no room for
+  // staging: remote regions become infeasible while home stays viable.
+  const auto& celia = galaxy_celia();
+  const SweepResult all = celia.select({65536, 4000}, 1e6, 1e18);
+  ASSERT_TRUE(all.any_feasible);
+  const double fastest_hours = all.min_time.seconds / 3600.0;
+  const auto plans = plan_across_regions(
+      celia, {65536, 4000},
+      fastest_hours + 0.05,  // 3 minutes of slack over the fastest run
+      2000.0);               // ~an hour of staging anywhere else
+  EXPECT_TRUE(plans[kHomeRegion].feasible);
+  for (std::size_t r = 1; r < plans.size(); ++r)
+    EXPECT_FALSE(plans[r].feasible) << r;
+}
+
+TEST(RegionPlanner, NegativeDataThrows) {
+  EXPECT_THROW(
+      plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, -1.0),
+      std::invalid_argument);
+}
+
+TEST(RegionPlanner, TotalsAreSums) {
+  const auto plans =
+      plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, 100.0);
+  for (const auto& plan : plans) {
+    EXPECT_DOUBLE_EQ(plan.total_cost(),
+                     plan.compute_cost + plan.transfer_cost);
+    EXPECT_DOUBLE_EQ(plan.total_seconds(),
+                     plan.compute_seconds + plan.staging_seconds);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for model persistence (core/serialize.hpp).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::cloud::CloudProvider;
+
+Celia build_galaxy() {
+  CloudProvider provider(2017);
+  return Celia::build(*celia::apps::make_galaxy(), provider);
+}
+
+TEST(Serialize, RoundTripPreservesIdentity) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(model_to_string(original));
+  EXPECT_EQ(loaded.app_name(), original.app_name());
+  EXPECT_EQ(loaded.workload(), original.workload());
+  EXPECT_EQ(loaded.space().size(), original.space().size());
+  EXPECT_EQ(loaded.demand_model().n_shape(),
+            original.demand_model().n_shape());
+  EXPECT_EQ(loaded.demand_model().a_shape(),
+            original.demand_model().a_shape());
+}
+
+TEST(Serialize, RoundTripPreservesPredictionsExactly) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(model_to_string(original));
+  for (const auto& params :
+       {celia::apps::AppParams{65536, 8000}, celia::apps::AppParams{8192, 1000},
+        celia::apps::AppParams{131072, 3000}}) {
+    EXPECT_DOUBLE_EQ(loaded.predict_demand(params),
+                     original.predict_demand(params));
+    const Configuration config = {5, 5, 5, 3, 0, 0, 0, 0, 0};
+    const Prediction a = original.predict(params, config);
+    const Prediction b = loaded.predict(params, config);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesSelection) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(model_to_string(original));
+  const auto a = original.min_cost_configuration({65536, 8000}, 24.0);
+  const auto b = loaded.min_cost_configuration({65536, 8000}, 24.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->config_index, b->config_index);
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+}
+
+TEST(Serialize, SecondRoundTripIsStable) {
+  const Celia original = build_galaxy();
+  const std::string once = model_to_string(original);
+  const std::string twice = model_to_string(model_from_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Serialize, FormatIsVersioned) {
+  const std::string text = model_to_string(build_galaxy());
+  EXPECT_EQ(text.rfind("celia-model 1\n", 0), 0u);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::string text = model_to_string(build_galaxy());
+  text.replace(text.find("celia-model 1"), 13, "celia-model 9");
+  EXPECT_THROW(model_from_string(text), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW(model_from_string("not a model at all"),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(""), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const std::string text = model_to_string(build_galaxy());
+  const std::string truncated = text.substr(0, text.size() / 2);
+  EXPECT_THROW(model_from_string(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptCapacity) {
+  std::string text = model_to_string(build_galaxy());
+  // Sabotage: make one capacity rate negative.
+  const auto pos = text.find("capacity 9 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + 11, "-");
+  EXPECT_THROW(model_from_string(text), std::runtime_error);
+}
+
+TEST(Serialize, WorksForAllThreeApplications) {
+  for (const auto& app : celia::apps::all_apps()) {
+    CloudProvider provider(5);
+    const Celia original = Celia::build(*app, provider);
+    const Celia loaded = model_from_string(model_to_string(original));
+    EXPECT_EQ(loaded.app_name(), original.app_name());
+    const celia::apps::AppParams probe =
+        original.app_name() == "sand"
+            ? celia::apps::AppParams{1024e6, 0.32}
+            : (original.app_name() == "galaxy"
+                   ? celia::apps::AppParams{65536, 4000}
+                   : celia::apps::AppParams{8000, 20});
+    EXPECT_DOUBLE_EQ(loaded.predict_demand(probe),
+                     original.predict_demand(probe));
+  }
+}
+
+}  // namespace

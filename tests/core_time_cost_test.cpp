@@ -1,0 +1,83 @@
+// Tests for the analytical time/cost models, Eq. 2-6 (core/time_cost.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/time_cost.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+ResourceCapacity uniform_capacity(double per_vcpu) {
+  return ResourceCapacity(std::vector<double>(9, per_vcpu));
+}
+
+TEST(TimeCost, CapacityIsWeightedSum) {
+  const auto capacity = uniform_capacity(1e9);
+  // [1,0,0,2,0,0,0,0,1]: 1x2 + 2x2 + 1x8 vCPUs = 14 vCPUs at 1e9 each.
+  const std::vector<int> config = {1, 0, 0, 2, 0, 0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(configuration_capacity(config, capacity), 14e9);
+}
+
+TEST(TimeCost, HourlyCostMatchesCatalog) {
+  const std::vector<int> config = {2, 1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(configuration_hourly_cost(config), 2 * 0.105 + 0.209, 1e-12);
+}
+
+TEST(TimeCost, PredictionFollowsEquations) {
+  const auto capacity = uniform_capacity(1e9);
+  const std::vector<int> config = {5, 0, 0, 0, 0, 0, 0, 0, 0};  // U = 10e9
+  const double demand = 3.6e13;
+  const Prediction prediction = predict(demand, config, capacity);
+  EXPECT_DOUBLE_EQ(prediction.seconds, 3600.0);        // Eq. 2
+  EXPECT_NEAR(prediction.cost, 1.0 * 5 * 0.105, 1e-12);  // Eq. 5/6
+}
+
+TEST(TimeCost, EmptyConfigurationGivesInfiniteTime) {
+  const auto capacity = uniform_capacity(1e9);
+  const std::vector<int> config(9, 0);
+  const Prediction prediction = predict(1e12, config, capacity);
+  EXPECT_TRUE(std::isinf(prediction.seconds));
+  EXPECT_TRUE(std::isinf(prediction.cost));
+}
+
+TEST(TimeCost, NonPositiveDemandThrows) {
+  const auto capacity = uniform_capacity(1e9);
+  const std::vector<int> config = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(predict(0.0, config, capacity), std::invalid_argument);
+  EXPECT_THROW(predict(-5.0, config, capacity), std::invalid_argument);
+}
+
+TEST(TimeCost, WidthMismatchThrows) {
+  const auto capacity = uniform_capacity(1e9);
+  const std::vector<int> narrow = {1, 2};
+  EXPECT_THROW(configuration_capacity(narrow, capacity),
+               std::invalid_argument);
+  EXPECT_THROW(configuration_hourly_cost(narrow), std::invalid_argument);
+}
+
+TEST(TimeCost, MoreCapacityNeverSlower) {
+  const auto capacity = uniform_capacity(2e9);
+  std::vector<int> small = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<int> big = {1, 0, 0, 0, 0, 0, 0, 0, 1};
+  const double demand = 1e13;
+  EXPECT_LT(predict(demand, big, capacity).seconds,
+            predict(demand, small, capacity).seconds);
+}
+
+TEST(TimeCost, CostScaleInvariance) {
+  // Doubling every node count halves time and leaves cost unchanged
+  // under the fluid model (same capacity-to-cost ratio).
+  const auto capacity = uniform_capacity(1.5e9);
+  std::vector<int> one = {1, 1, 1, 0, 0, 0, 0, 0, 0};
+  std::vector<int> two = {2, 2, 2, 0, 0, 0, 0, 0, 0};
+  const double demand = 7e13;
+  const auto p1 = predict(demand, one, capacity);
+  const auto p2 = predict(demand, two, capacity);
+  EXPECT_NEAR(p1.seconds / p2.seconds, 2.0, 1e-9);
+  EXPECT_NEAR(p1.cost, p2.cost, 1e-9);
+}
+
+}  // namespace

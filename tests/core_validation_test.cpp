@@ -1,0 +1,102 @@
+// Tests for model validation (paper §IV-D, Table IV): CELIA predictions vs
+// simulated-cloud measurements must land within the paper's error band.
+
+#include <gtest/gtest.h>
+
+#include "core/validation.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::cloud::CloudProvider;
+
+const std::vector<ValidationRow>& table4() {
+  static const std::vector<ValidationRow> rows = [] {
+    CloudProvider provider(2017);
+    return run_table4_validation(provider);
+  }();
+  return rows;
+}
+
+TEST(Validation, NineCasesThreePerApp) {
+  ASSERT_EQ(table4().size(), 9u);
+  int x264 = 0, galaxy = 0, sand = 0;
+  for (const auto& row : table4()) {
+    if (row.app == "x264") ++x264;
+    if (row.app == "galaxy") ++galaxy;
+    if (row.app == "sand") ++sand;
+  }
+  EXPECT_EQ(x264, 3);
+  EXPECT_EQ(galaxy, 3);
+  EXPECT_EQ(sand, 3);
+}
+
+TEST(Validation, AllQuantitiesPositive) {
+  for (const auto& row : table4()) {
+    EXPECT_GT(row.predicted_hours, 0.0) << row.app;
+    EXPECT_GT(row.actual_hours, 0.0) << row.app;
+    EXPECT_GT(row.predicted_cost, 0.0) << row.app;
+    EXPECT_GT(row.actual_cost, 0.0) << row.app;
+  }
+}
+
+TEST(Validation, ErrorsWithinPaperBand) {
+  // Paper: "the prediction error of our models is less than 17%".
+  for (const auto& row : table4()) {
+    EXPECT_LT(row.time_error, 0.20)
+        << row.app << "(" << row.params.n << ", " << row.params.a << ")";
+    EXPECT_LT(row.cost_error, 0.20)
+        << row.app << "(" << row.params.n << ", " << row.params.a << ")";
+  }
+}
+
+TEST(Validation, GalaxyTableIvScale) {
+  // galaxy(65536, 8000) on [5,5,5,3,...] runs about a day (paper: 24h
+  // predicted, 22h actual).
+  for (const auto& row : table4()) {
+    if (row.app == "galaxy" && row.params.a == 8000) {
+      EXPECT_NEAR(row.predicted_hours, 24.0, 5.0);
+      EXPECT_NEAR(row.actual_hours, 24.0, 6.0);
+    }
+  }
+}
+
+TEST(Validation, CostErrorTracksTimeError) {
+  // Under continuous billing cost = time x fixed hourly rate, so the two
+  // relative errors must coincide.
+  for (const auto& row : table4())
+    EXPECT_NEAR(row.time_error, row.cost_error, 1e-9);
+}
+
+TEST(Validation, CommunicationPatternsRankErrors) {
+  // Paper ordering: x264 (no inter-node communication) has the smallest
+  // max error; sand (master-worker dispatch) the largest. Compare the
+  // mean error per app.
+  double sum_x264 = 0, sum_sand = 0;
+  for (const auto& row : table4()) {
+    if (row.app == "x264") sum_x264 += row.time_error;
+    if (row.app == "sand") sum_sand += row.time_error;
+  }
+  EXPECT_LT(sum_x264, sum_sand);
+}
+
+TEST(Validation, DeterministicForFixedSeed) {
+  CloudProvider provider(2017);
+  const auto again = run_table4_validation(provider);
+  ASSERT_EQ(again.size(), table4().size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].predicted_hours, table4()[i].predicted_hours);
+    EXPECT_DOUBLE_EQ(again[i].actual_hours, table4()[i].actual_hours);
+  }
+}
+
+TEST(Validation, PerCategoryCharacterizationStaysInBand) {
+  // The §IV-C optimization (profile one type per category) must not blow
+  // up validation error.
+  CloudProvider provider(2017);
+  const auto rows =
+      run_table4_validation(provider, CharacterizationMode::kPerCategory);
+  for (const auto& row : rows) EXPECT_LT(row.time_error, 0.25) << row.app;
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for separable two-parameter demand fitting (fit/demand_fit.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fit/demand_fit.hpp"
+
+namespace {
+
+using namespace celia::fit;
+
+std::vector<ProfilePoint> make_grid(const std::vector<double>& ns,
+                                    const std::vector<double>& as,
+                                    double (*demand)(double, double)) {
+  std::vector<ProfilePoint> grid;
+  for (const double n : ns)
+    for (const double a : as) grid.push_back({n, a, demand(n, a)});
+  return grid;
+}
+
+TEST(SeparableDemand, RecoversLinearTimesQuadratic) {
+  // x264-like: D = n x (50 + 0.4 a^2).
+  const auto grid = make_grid(
+      {2, 4, 8, 16, 32}, {10, 20, 30, 40, 50},
+      [](double n, double a) { return n * (50.0 + 0.4 * a * a); });
+  const auto model = SeparableDemandModel::fit(grid);
+  EXPECT_EQ(model.n_shape(), Shape::kLinear);
+  EXPECT_EQ(model.a_shape(), Shape::kQuadratic);
+  EXPECT_GT(model.grid_r2(), 1.0 - 1e-9);
+  EXPECT_NEAR(model.predict(64, 25), 64 * (50.0 + 0.4 * 625), 1e-6 * 64 * 300);
+}
+
+TEST(SeparableDemand, RecoversQuadraticTimesLinear) {
+  // galaxy-like: D = 260 n^2 a.
+  const auto grid =
+      make_grid({8192, 16384, 32768, 65536}, {1000, 2000, 4000, 8000},
+                [](double n, double a) { return 260.0 * n * n * a; });
+  const auto model = SeparableDemandModel::fit(grid);
+  EXPECT_EQ(model.n_shape(), Shape::kQuadratic);
+  EXPECT_EQ(model.a_shape(), Shape::kLinear);
+  const double expected = 260.0 * 131072.0 * 131072.0 * 5000.0;
+  EXPECT_NEAR(model.predict(131072, 5000), expected, expected * 1e-6);
+}
+
+TEST(SeparableDemand, RecoversLinearTimesLog) {
+  // sand-like: D = n x (3e6 + 4e5 ln a).
+  const auto grid = make_grid(
+      {1e6, 2e6, 4e6, 8e6}, {0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0},
+      [](double n, double a) { return n * (3e6 + 4e5 * std::log(a)); });
+  const auto model = SeparableDemandModel::fit(grid);
+  EXPECT_EQ(model.n_shape(), Shape::kLinear);
+  EXPECT_EQ(model.a_shape(), Shape::kLogarithmic);
+  EXPECT_GT(model.grid_r2(), 1.0 - 1e-9);
+}
+
+TEST(SeparableDemand, InterpolatesInsideGrid) {
+  const auto grid = make_grid(
+      {2, 4, 8, 16, 32}, {10, 20, 30, 40, 50},
+      [](double n, double a) { return n * (10.0 + a); });
+  const auto model = SeparableDemandModel::fit(grid);
+  EXPECT_NEAR(model.predict(10, 25), 10 * 35.0, 0.5);
+}
+
+TEST(SeparableDemand, PredictionClampedAtZero) {
+  const auto grid = make_grid(
+      {2, 4, 8, 16, 32}, {10, 20, 30, 40, 50},
+      [](double n, double a) { return n * (10.0 + a); });
+  const auto model = SeparableDemandModel::fit(grid);
+  // Far below the fitted range the linear extrapolation could go negative;
+  // the prediction must clamp.
+  EXPECT_GE(model.predict(0.0001, 10), 0.0);
+}
+
+TEST(SeparableDemand, ReferencesAreGridValues) {
+  const auto grid = make_grid(
+      {2, 4, 8, 16, 32}, {10, 20, 30, 40, 50},
+      [](double n, double a) { return n * a; });
+  const auto model = SeparableDemandModel::fit(grid);
+  EXPECT_TRUE(model.reference_n() == 2 || model.reference_n() == 4 ||
+              model.reference_n() == 8 || model.reference_n() == 16 ||
+              model.reference_n() == 32);
+  EXPECT_GE(model.reference_a(), 10);
+  EXPECT_LE(model.reference_a(), 50);
+}
+
+TEST(SeparableDemand, TooFewPointsThrows) {
+  std::vector<ProfilePoint> grid = {{1, 1, 1}, {2, 1, 2}, {1, 2, 2}};
+  EXPECT_THROW(SeparableDemandModel::fit(grid), std::invalid_argument);
+}
+
+TEST(SeparableDemand, MissingSliceThrows) {
+  // 8 points but no (n, a) grid structure: only 2 distinct n at any a.
+  std::vector<ProfilePoint> grid;
+  for (int i = 0; i < 8; ++i)
+    grid.push_back({static_cast<double>(i % 2 + 1),
+                    static_cast<double>(i + 1), 10.0});
+  EXPECT_THROW(SeparableDemandModel::fit(grid), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for basis functions and least squares (src/fit/).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fit/basis.hpp"
+#include "fit/least_squares.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::fit;
+
+TEST(Basis, EvaluatesEachForm) {
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kConstant, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kLinear, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kQuadratic, 5.0), 25.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kCubic, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kLog, std::exp(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kXLogX, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(eval_basis(Basis::kSqrt, 16.0), 4.0);
+}
+
+TEST(Basis, DomainViolationsThrow) {
+  EXPECT_THROW(eval_basis(Basis::kLog, 0.0), std::domain_error);
+  EXPECT_THROW(eval_basis(Basis::kLog, -1.0), std::domain_error);
+  EXPECT_THROW(eval_basis(Basis::kXLogX, 0.0), std::domain_error);
+  EXPECT_THROW(eval_basis(Basis::kSqrt, -1.0), std::domain_error);
+}
+
+TEST(SolveLinearSystem, SolvesIdentity) {
+  const auto x = solve_linear_system({1, 0, 0, 1}, {3, 4});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero on the diagonal: fails without partial pivoting.
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}),
+               std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 3}, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(FitLeastSquares, RecoversExactLine) {
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 10; ++x) samples.push_back({x, 3.0 + 2.0 * x});
+  const FitResult fit = fit_least_squares(samples, linear_form());
+  EXPECT_NEAR(fit.coeffs[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(FitLeastSquares, RecoversExactQuadratic) {
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 10; ++x)
+    samples.push_back({x, 1.0 - 4.0 * x + 0.5 * x * x});
+  const FitResult fit = fit_least_squares(samples, quadratic_form());
+  EXPECT_NEAR(fit.coeffs[0], 1.0, 1e-8);
+  EXPECT_NEAR(fit.coeffs[1], -4.0, 1e-8);
+  EXPECT_NEAR(fit.coeffs[2], 0.5, 1e-9);
+}
+
+TEST(FitLeastSquares, RecoversExactLogarithm) {
+  std::vector<Sample> samples;
+  for (double x : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0})
+    samples.push_back({x, 7.0 + 1.5 * std::log(x)});
+  const FitResult fit = fit_least_squares(samples, log_form());
+  EXPECT_NEAR(fit.coeffs[0], 7.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], 1.5, 1e-9);
+}
+
+TEST(FitLeastSquares, HandlesHugeScales) {
+  // Demand-like magnitudes: x ~ 1e5, y ~ 1e15 with an x^2 basis — the
+  // scaled normal equations must stay well conditioned.
+  std::vector<Sample> samples;
+  for (double x = 8192; x <= 131072; x *= 2)
+    samples.push_back({x, 260.0 * x * x + 50.0 * x});
+  const FitResult fit = fit_least_squares(samples, quadratic_form());
+  for (const auto& s : samples)
+    EXPECT_NEAR(fit.predict(s.x), s.y, s.y * 1e-9);
+}
+
+TEST(FitLeastSquares, NoisyFitHasReasonableR2) {
+  celia::util::Xoshiro256 rng(1);
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 50; ++x)
+    samples.push_back({x, 10.0 + 5.0 * x + rng.normal(0.0, 2.0)});
+  const FitResult fit = fit_least_squares(samples, linear_form());
+  EXPECT_GT(fit.r2, 0.98);
+  EXPECT_NEAR(fit.coeffs[1], 5.0, 0.2);
+}
+
+TEST(FitLeastSquares, PredictEvaluatesModel) {
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 5; ++x) samples.push_back({x, 2.0 * x});
+  const FitResult fit = fit_least_squares(samples, linear_form());
+  EXPECT_NEAR(fit.predict(100.0), 200.0, 1e-6);
+}
+
+TEST(FitLeastSquares, UnderdeterminedThrows) {
+  const std::vector<Sample> samples = {{1, 1}, {2, 2}};
+  EXPECT_THROW(fit_least_squares(samples, quadratic_form()),
+               std::invalid_argument);
+}
+
+TEST(FitLeastSquares, EmptyBasisThrows) {
+  const std::vector<Sample> samples = {{1, 1}, {2, 2}};
+  EXPECT_THROW(fit_least_squares(samples, {}), std::invalid_argument);
+}
+
+TEST(FitLeastSquares, AdjustedR2PenalizesModelSize) {
+  celia::util::Xoshiro256 rng(3);
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 20; ++x)
+    samples.push_back({x, 4.0 + 3.0 * x + rng.normal(0.0, 1.0)});
+  const FitResult lin = fit_least_squares(samples, linear_form());
+  const FitResult quad = fit_least_squares(samples, quadratic_form());
+  // Quadratic never has smaller raw R^2, but adjusted R^2 should not be
+  // meaningfully better on truly linear data.
+  EXPECT_GE(quad.r2, lin.r2 - 1e-12);
+  EXPECT_LT(quad.adjusted_r2 - lin.adjusted_r2, 5e-3);
+}
+
+}  // namespace

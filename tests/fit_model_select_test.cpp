@@ -1,0 +1,83 @@
+// Tests for automatic shape detection (fit/model_select.hpp) — the three
+// relationships the paper reports in Fig. 2 must be recovered from samples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fit/model_select.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::fit;
+
+std::vector<Sample> sampled(const std::vector<double>& xs,
+                            double (*f)(double)) {
+  std::vector<Sample> samples;
+  for (const double x : xs) samples.push_back({x, f(x)});
+  return samples;
+}
+
+TEST(DetectShape, Linear) {
+  const auto detection = detect_shape(
+      sampled({1, 2, 4, 8, 16, 32}, [](double x) { return 5.0 + 3.0 * x; }));
+  EXPECT_EQ(detection.shape, Shape::kLinear);
+  EXPECT_NEAR(detection.fit.r2, 1.0, 1e-12);
+}
+
+TEST(DetectShape, Quadratic) {
+  const auto detection = detect_shape(sampled(
+      {1, 2, 4, 8, 16, 32}, [](double x) { return 2.0 * x * x + x; }));
+  EXPECT_EQ(detection.shape, Shape::kQuadratic);
+}
+
+TEST(DetectShape, Logarithmic) {
+  const auto detection =
+      detect_shape(sampled({0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0},
+                           [](double x) { return 10.0 + 2.0 * std::log(x); }));
+  EXPECT_EQ(detection.shape, Shape::kLogarithmic);
+}
+
+TEST(DetectShape, LinearWithNoiseStaysLinear) {
+  celia::util::Xoshiro256 rng(7);
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 40; ++x)
+    samples.push_back({x, 100.0 + 10.0 * x + rng.normal(0.0, 2.0)});
+  EXPECT_EQ(detect_shape(samples).shape, Shape::kLinear);
+}
+
+TEST(DetectShape, QuadraticWithNoise) {
+  celia::util::Xoshiro256 rng(9);
+  std::vector<Sample> samples;
+  for (double x = 1; x <= 40; ++x)
+    samples.push_back({x, 3.0 * x * x + rng.normal(0.0, 5.0)});
+  EXPECT_EQ(detect_shape(samples).shape, Shape::kQuadratic);
+}
+
+TEST(DetectShape, ParsimonyPrefersSimplerOnTies) {
+  // A pure line: quadratic fits exactly too (c2 = 0), but must not win.
+  const auto detection = detect_shape(
+      sampled({1, 2, 3, 4, 5, 6}, [](double x) { return 2.0 * x; }));
+  EXPECT_EQ(detection.shape, Shape::kLinear);
+}
+
+TEST(DetectShape, ReportsAllCandidates) {
+  const auto detection = detect_shape(
+      sampled({1, 2, 3, 4, 5}, [](double x) { return x; }));
+  EXPECT_EQ(detection.candidates.size(), 3u);
+}
+
+TEST(DetectShape, TooFewSamplesThrows) {
+  const std::vector<Sample> samples = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_THROW(detect_shape(samples), std::invalid_argument);
+}
+
+TEST(DetectShape, ShapeNamesAreStable) {
+  EXPECT_EQ(shape_name(Shape::kLinear), "linear");
+  EXPECT_EQ(shape_name(Shape::kQuadratic), "quadratic");
+  EXPECT_EQ(shape_name(Shape::kLogarithmic), "logarithmic");
+}
+
+}  // namespace

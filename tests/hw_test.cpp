@@ -1,0 +1,147 @@
+// Tests for the hardware substrate: micro-architecture catalog, IPC model,
+// perf counters, local server (src/hw/).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "hw/ipc_model.hpp"
+#include "hw/local_server.hpp"
+#include "hw/microarch.hpp"
+#include "hw/perf_counter.hpp"
+#include "hw/workload_class.hpp"
+
+namespace {
+
+using namespace celia::hw;
+
+TEST(Microarch, CatalogHasFourProcessors) {
+  EXPECT_EQ(processor_catalog().size(), 4u);
+}
+
+TEST(Microarch, LookupReturnsPaperFrequencies) {
+  EXPECT_DOUBLE_EQ(processor(Microarch::kHaswellE5_2666v3).base_frequency_ghz,
+                   2.9);
+  EXPECT_DOUBLE_EQ(processor(Microarch::kHaswellE5_2676v3).base_frequency_ghz,
+                   2.3);
+  EXPECT_DOUBLE_EQ(processor(Microarch::kSandyBridgeE5_2670).base_frequency_ghz,
+                   2.5);
+  EXPECT_DOUBLE_EQ(processor(Microarch::kBroadwellE5_2630v4).base_frequency_ghz,
+                   2.2);
+}
+
+TEST(Microarch, AllProcessorsHaveSmt2) {
+  for (const auto& model : processor_catalog())
+    EXPECT_EQ(model.threads_per_core, 2);
+}
+
+TEST(Microarch, NamesMatchXeonModels) {
+  EXPECT_EQ(to_string(Microarch::kBroadwellE5_2630v4),
+            "Intel Xeon E5-2630 v4");
+}
+
+TEST(IpcModel, RatesArePositiveForAllCombinations) {
+  for (const auto& model : processor_catalog()) {
+    for (int w = 0; w < kNumWorkloadClasses; ++w) {
+      const auto workload = static_cast<WorkloadClass>(w);
+      EXPECT_GT(ipc(model.microarch, workload), 0.0);
+      EXPECT_GT(vcpu_rate(model.microarch, workload), 0.0);
+    }
+  }
+}
+
+TEST(IpcModel, VcpuRateIsIpcTimesFrequency) {
+  const double rate =
+      vcpu_rate(Microarch::kHaswellE5_2666v3, WorkloadClass::kNBody);
+  EXPECT_DOUBLE_EQ(rate, 0.476 * 2.9e9);
+}
+
+TEST(IpcModel, NBodyHasLowestIpc) {
+  // FP-divide/sqrt heavy n-body sustains the lowest IPC on every part.
+  for (const auto& model : processor_catalog()) {
+    const double nbody = ipc(model.microarch, WorkloadClass::kNBody);
+    EXPECT_LT(nbody, ipc(model.microarch, WorkloadClass::kVideoEncoding));
+    EXPECT_LT(nbody, ipc(model.microarch, WorkloadClass::kGenomeAlignment));
+  }
+}
+
+TEST(PerfCounter, StartsEmpty) {
+  PerfCounter counter;
+  EXPECT_EQ(counter.instructions(), 0u);
+  EXPECT_EQ(counter.total_ops(), 0u);
+}
+
+TEST(PerfCounter, AccumulatesPerClass) {
+  PerfCounter counter;
+  counter.add(OpClass::kFloatMul, 10);
+  counter.add(OpClass::kFloatMul, 5);
+  counter.add(OpClass::kBranch, 3);
+  EXPECT_EQ(counter.ops(OpClass::kFloatMul), 15u);
+  EXPECT_EQ(counter.ops(OpClass::kBranch), 3u);
+  EXPECT_EQ(counter.total_ops(), 18u);
+}
+
+TEST(PerfCounter, InstructionsApplyCostTable) {
+  PerfCounter counter;
+  counter.add(OpClass::kFloatDiv, 2);   // cost 8
+  counter.add(OpClass::kFloatSqrt, 1);  // cost 10
+  counter.add(OpClass::kIntArith, 5);   // cost 1
+  EXPECT_EQ(counter.instructions(), 2u * 8 + 10 + 5);
+}
+
+TEST(PerfCounter, MergeAddsCounts) {
+  PerfCounter a, b;
+  a.add(OpClass::kLoadStore, 7);
+  b.add(OpClass::kLoadStore, 3);
+  b.add(OpClass::kOther, 1);
+  a.merge(b);
+  EXPECT_EQ(a.ops(OpClass::kLoadStore), 10u);
+  EXPECT_EQ(a.ops(OpClass::kOther), 1u);
+}
+
+TEST(PerfCounter, ResetClears) {
+  PerfCounter counter;
+  counter.add(OpClass::kBranch, 9);
+  counter.reset();
+  EXPECT_EQ(counter.instructions(), 0u);
+}
+
+TEST(PerfCounter, OpClassNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumOpClasses; ++i)
+    names.insert(op_class_name(static_cast<OpClass>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumOpClasses));
+}
+
+TEST(LocalServer, DefaultsToPaperMeasurementHost) {
+  const LocalServer server;
+  EXPECT_EQ(server.model().microarch, Microarch::kBroadwellE5_2630v4);
+  EXPECT_EQ(server.hardware_threads(), 20);
+}
+
+TEST(LocalServer, RuntimeScalesInverselyWithThreads) {
+  const LocalServer server;
+  const double t1 =
+      server.runtime_seconds(1'000'000'000, WorkloadClass::kNBody, 1);
+  const double t10 =
+      server.runtime_seconds(1'000'000'000, WorkloadClass::kNBody, 10);
+  EXPECT_NEAR(t1 / t10, 10.0, 1e-9);
+}
+
+TEST(LocalServer, ThreadsCappedAtHardware) {
+  const LocalServer server;
+  const double t20 =
+      server.runtime_seconds(1'000'000'000, WorkloadClass::kNBody, 20);
+  const double t100 =
+      server.runtime_seconds(1'000'000'000, WorkloadClass::kNBody, 100);
+  EXPECT_DOUBLE_EQ(t20, t100);
+}
+
+TEST(LocalServer, NonPositiveThreadsThrow) {
+  const LocalServer server;
+  EXPECT_THROW(server.runtime_seconds(1, WorkloadClass::kNBody, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// End-to-end integration tests: the paper's three headline observations
+// (§IV-E) must hold in the reproduced system.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/analysis.hpp"
+#include "core/celia.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::apps::AppParams;
+using celia::cloud::CloudProvider;
+
+const Celia& galaxy_celia() {
+  static const Celia instance = [] {
+    CloudProvider provider(2017);
+    return Celia::build(*celia::apps::make_galaxy(), provider);
+  }();
+  return instance;
+}
+
+const Celia& sand_celia() {
+  static const Celia instance = [] {
+    CloudProvider provider(2017);
+    return Celia::build(*celia::apps::make_sand(), provider);
+  }();
+  return instance;
+}
+
+// --- Observation 1: a Pareto frontier of multiple configurations exists;
+// picking a cheap frontier point instead of an expensive one saves cost. ---
+
+TEST(Observation1, GalaxyFrontierHasMultiplePointsAndCostSpan) {
+  const SweepResult result =
+      galaxy_celia().select({65536, 8000}, 24.0, 350.0);
+  EXPECT_GT(result.pareto.size(), 5u);  // paper: 23
+  const ParetoSpan span = pareto_span(result.pareto);
+  // Paper: highest frontier cost ~1.3x the lowest for galaxy.
+  EXPECT_GT(span.span_ratio, 1.1);
+  EXPECT_LT(span.span_ratio, 1.8);
+}
+
+TEST(Observation1, SandFrontierHasMultiplePointsAndCostSpan) {
+  const SweepResult result =
+      sand_celia().select({8192e6, 0.32}, 24.0, 350.0);
+  EXPECT_GT(result.pareto.size(), 5u);  // paper: 58
+  const ParetoSpan span = pareto_span(result.pareto);
+  EXPECT_GT(span.span_ratio, 1.05);  // paper: ~1.2x for sand
+  EXPECT_LT(span.span_ratio, 1.8);
+}
+
+TEST(Observation1, RelaxingDeadlineReducesCostAlongFrontier) {
+  const SweepResult result =
+      galaxy_celia().select({65536, 8000}, 24.0, 350.0);
+  ASSERT_GT(result.pareto.size(), 1u);
+  // Frontier sorted by ascending cost => descending time: the cheapest
+  // point is the slowest. Cost can be traded for time.
+  EXPECT_GT(result.pareto.front().seconds, result.pareto.back().seconds);
+  EXPECT_LT(result.pareto.front().cost, result.pareto.back().cost);
+}
+
+TEST(Observation1, FeasibleSetIsMillionsOfConfigurations) {
+  const SweepResult galaxy =
+      galaxy_celia().select({65536, 8000}, 24.0, 350.0);
+  EXPECT_GT(galaxy.feasible, 1'000'000u);  // paper: ~5.8 M
+  const SweepResult sand = sand_celia().select({8192e6, 0.32}, 24.0, 350.0);
+  EXPECT_GT(sand.feasible, 500'000u);  // paper: ~2 M
+}
+
+// --- Observation 2: cost grows faster than resource demand once the
+// configuration spills into a less cost-efficient resource category. ---
+
+TEST(Observation2, GalaxyCostGradientIncreasesAtCategorySpill) {
+  const std::vector<double> steps = {1000, 2000, 3000, 4000,
+                                     5000, 6000, 7000, 8000};
+  const auto curve = accuracy_scaling(galaxy_celia(), 65536, steps, 24.0);
+  ASSERT_EQ(curve.size(), steps.size());
+  for (const auto& point : curve) ASSERT_TRUE(point.feasible);
+
+  // Demand is linear in s, so with a single category the cost-per-step
+  // gradient would be constant. Compare the average gradient in the first
+  // half (c4 only) against the last segment (c4 exhausted, spilled to m4).
+  const double early_gradient =
+      (curve[2].min_cost - curve[0].min_cost) / 2000.0;
+  const double late_gradient =
+      (curve[7].min_cost - curve[5].min_cost) / 2000.0;
+  EXPECT_GT(late_gradient, early_gradient * 1.05);
+}
+
+TEST(Observation2, SpillConfigurationsUseNewCategory) {
+  // Along the galaxy 24h curve, small s uses only c4 nodes; s = 8000
+  // needs m4 nodes too (the paper's Fig. 6(a) annotations).
+  const auto& celia = galaxy_celia();
+  const auto small = celia.min_cost_configuration({65536, 2000}, 24.0);
+  const auto large = celia.min_cost_configuration({65536, 8000}, 24.0);
+  ASSERT_TRUE(small && large);
+  const Configuration c_small = celia.space().decode(small->config_index);
+  const Configuration c_large = celia.space().decode(large->config_index);
+  // Small problem: no m4/r3 nodes.
+  for (std::size_t i = 3; i < 9; ++i) EXPECT_EQ(c_small[i], 0) << i;
+  // Large problem: c4 saturated, m4 in use.
+  EXPECT_EQ(c_large[0], 5);
+  EXPECT_EQ(c_large[1], 5);
+  EXPECT_EQ(c_large[2], 5);
+  EXPECT_GT(c_large[3] + c_large[4] + c_large[5], 0);
+}
+
+// --- Observation 3: the relative cost increase is smaller than the
+// relative deadline reduction. ---
+
+TEST(Observation3, GalaxyDeadlineTightening) {
+  const std::vector<double> deadlines = {72.0, 48.0, 24.0, 12.0};
+  const auto curve =
+      deadline_tightening(galaxy_celia(), {262144, 1000}, deadlines);
+  ASSERT_EQ(curve.size(), 4u);
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    if (!curve[i].feasible || !curve[i + 1].feasible) continue;
+    const double deadline_reduction =
+        1.0 - deadlines[i + 1] / deadlines[i];
+    const double cost_increase =
+        curve[i + 1].min_cost / curve[i].min_cost - 1.0;
+    EXPECT_LT(cost_increase, deadline_reduction)
+        << deadlines[i] << "h -> " << deadlines[i + 1] << "h";
+  }
+}
+
+TEST(Observation3, SandDeadlineTightening) {
+  const std::vector<double> deadlines = {48.0, 24.0};
+  const auto curve =
+      deadline_tightening(sand_celia(), {8192e6, 0.32}, deadlines);
+  ASSERT_TRUE(curve[0].feasible && curve[1].feasible);
+  const double cost_increase = curve[1].min_cost / curve[0].min_cost - 1.0;
+  // Paper: tightening 48h -> 24h costs ~25% more; definitely < 50%.
+  EXPECT_GT(cost_increase, 0.0);
+  EXPECT_LT(cost_increase, 0.5);
+}
+
+// --- Fixed-time scaling shapes (Figs. 5/6): cost follows demand shape. ---
+
+TEST(FixedTimeScaling, GalaxyCostGrowsSuperlinearlyInN) {
+  const std::vector<double> sizes = {32768, 65536, 131072};
+  const auto curve = problem_size_scaling(galaxy_celia(), 1000, sizes, 72.0);
+  ASSERT_TRUE(curve[0].feasible && curve[1].feasible && curve[2].feasible);
+  // Quadratic demand: doubling n should ~4x the cost.
+  const double ratio1 = curve[1].min_cost / curve[0].min_cost;
+  const double ratio2 = curve[2].min_cost / curve[1].min_cost;
+  EXPECT_GT(ratio1, 2.5);
+  EXPECT_GT(ratio2, 2.5);
+}
+
+TEST(FixedTimeScaling, SandCostGrowsLinearlyInN) {
+  const std::vector<double> sizes = {1024e6, 2048e6, 4096e6};
+  const auto curve = problem_size_scaling(sand_celia(), 0.32, sizes, 72.0);
+  ASSERT_TRUE(curve[0].feasible && curve[1].feasible && curve[2].feasible);
+  EXPECT_NEAR(curve[1].min_cost / curve[0].min_cost, 2.0, 0.3);
+  EXPECT_NEAR(curve[2].min_cost / curve[1].min_cost, 2.0, 0.3);
+}
+
+TEST(FixedTimeScaling, SandAccuracyIsCheapAtTheTop) {
+  // Paper: improving sand accuracy 1.6x (0.64 -> 1.0) costs only ~20% more.
+  const auto& celia = sand_celia();
+  const auto low = celia.min_cost_configuration({1024e6, 0.64}, 24.0);
+  const auto high = celia.min_cost_configuration({1024e6, 1.0}, 24.0);
+  ASSERT_TRUE(low && high);
+  const double increase = high->cost / low->cost - 1.0;
+  EXPECT_GT(increase, 0.0);
+  EXPECT_LT(increase, 0.35);
+}
+
+TEST(FixedTimeScaling, InfeasibleSizesReportedAsSuch) {
+  // A deadline no configuration can meet (galaxy n=262144, s=1000 in 1h).
+  const std::vector<double> sizes = {262144};
+  const auto curve = problem_size_scaling(galaxy_celia(), 1000, sizes, 1.0);
+  EXPECT_FALSE(curve[0].feasible);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for data-parallel loops and reductions (parallel/parallel_for.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace {
+
+using namespace celia::parallel;
+
+TEST(SplitRange, CoversRangeExactlyOnce) {
+  const auto ranges = split_range(10, 107, 8);
+  std::uint64_t expected = 10;
+  for (const auto& range : ranges) {
+    EXPECT_EQ(range.begin, expected);
+    expected = range.end;
+  }
+  EXPECT_EQ(expected, 107u);
+}
+
+TEST(SplitRange, NearEqualSizes) {
+  const auto ranges = split_range(0, 100, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  std::uint64_t min = 100, max = 0;
+  for (const auto& range : ranges) {
+    min = std::min(min, range.size());
+    max = std::max(max, range.size());
+  }
+  EXPECT_LE(max - min, 1u);
+}
+
+TEST(SplitRange, MorePartsThanElements) {
+  const auto ranges = split_range(0, 3, 10);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (const auto& range : ranges) EXPECT_EQ(range.size(), 1u);
+}
+
+TEST(SplitRange, EmptyRange) {
+  EXPECT_TRUE(split_range(5, 5, 4).empty());
+  EXPECT_TRUE(split_range(7, 3, 4).empty());
+  EXPECT_TRUE(split_range(0, 10, 0).empty());
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  constexpr std::uint64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::uint64_t i) { ++hits[i]; });
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, DynamicScheduleVisitsEveryIndexOnce) {
+  constexpr std::uint64_t kN = 50000;
+  std::vector<std::atomic<int>> hits(kN);
+  ForOptions options;
+  options.schedule = Schedule::kDynamic;
+  options.chunk = 64;
+  parallel_for(0, kN, [&](std::uint64_t i) { ++hits[i]; }, options);
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(10, 10, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NonZeroBase) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(100, 200, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2u);
+}
+
+TEST(ParallelFor, ExplicitPool) {
+  ThreadPool pool(2);
+  ForOptions options;
+  options.pool = &pool;
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, [&](std::uint64_t) { ++count; }, options);
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  constexpr std::uint64_t kN = 1000000;
+  const auto sum = parallel_reduce<std::uint64_t>(
+      0, kN, 0, [](std::uint64_t acc, std::uint64_t i) { return acc + i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  std::vector<double> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<double>((i * 7919) % 10007);
+  const double expected = *std::max_element(data.begin(), data.end());
+  const double got = parallel_reduce<double>(
+      0, data.size(), -1.0,
+      [&](double acc, std::uint64_t i) { return std::max(acc, data[i]); },
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  const int got = parallel_reduce<int>(
+      5, 5, 42, [](int acc, std::uint64_t) { return acc + 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ParallelForBlocked, BlocksCoverRange) {
+  std::mutex mutex;
+  std::vector<BlockedRange> seen;
+  parallel_for_blocked(0, 1000, [&](BlockedRange range) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(range);
+  });
+  std::sort(seen.begin(), seen.end(),
+            [](const BlockedRange& a, const BlockedRange& b) {
+              return a.begin < b.begin;
+            });
+  std::uint64_t expected = 0;
+  for (const auto& range : seen) {
+    EXPECT_EQ(range.begin, expected);
+    expected = range.end;
+  }
+  EXPECT_EQ(expected, 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the MPMC bounded queue (parallel/concurrent_queue.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "parallel/concurrent_queue.hpp"
+
+namespace {
+
+using celia::parallel::ConcurrentQueue;
+
+TEST(ConcurrentQueue, FifoOrderSingleThread) {
+  ConcurrentQueue<int> queue;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto value = queue.try_pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(ConcurrentQueue, TryPushRespectsCapacity) {
+  ConcurrentQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  queue.try_pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(ConcurrentQueue, SizeTracksContents) {
+  ConcurrentQueue<int> queue;
+  EXPECT_EQ(queue.size(), 0u);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.try_pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ConcurrentQueue, CloseRejectsPushes) {
+  ConcurrentQueue<int> queue;
+  queue.push(1);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(2));
+  EXPECT_FALSE(queue.try_push(2));
+}
+
+TEST(ConcurrentQueue, CloseDrainsThenReturnsNullopt) {
+  ConcurrentQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ConcurrentQueue, PopBlocksUntilPush) {
+  ConcurrentQueue<int> queue;
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(99);
+  });
+  const auto value = queue.pop();
+  producer.join();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 99);
+}
+
+TEST(ConcurrentQueue, CloseWakesBlockedConsumers) {
+  ConcurrentQueue<int> queue;
+  std::thread consumer([&queue] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+}
+
+TEST(ConcurrentQueue, BoundedPushBlocksUntilSpace) {
+  ConcurrentQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(2);  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(ConcurrentQueue, MpmcStressDeliversEveryItemOnce) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2500;
+  ConcurrentQueue<int> queue(64);
+  std::mutex seen_mutex;
+  std::multiset<int> seen;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        queue.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto value = queue.pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(*value);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v)
+    EXPECT_EQ(seen.count(v), 1u) << "value " << v;
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the worker pool (parallel/thread_pool.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using celia::parallel::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 7; });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, ForwardsArguments) {
+  ThreadPool pool(2);
+  auto future = pool.submit([](int a, int b) { return a * b; }, 6, 7);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ExplicitThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, TasksActuallyRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = ++in_flight;
+      int expected = max_in_flight.load();
+      while (now > expected &&
+             !max_in_flight.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      --in_flight;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&done] { ++done; });
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&celia::parallel::default_pool(),
+            &celia::parallel::default_pool());
+}
+
+TEST(ThreadPool, MoveOnlyResultType) {
+  ThreadPool pool(1);
+  auto future =
+      pool.submit([] { return std::make_unique<int>(99); });
+  EXPECT_EQ(*future.get(), 99);
+}
+
+}  // namespace

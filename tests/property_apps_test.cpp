@@ -1,0 +1,165 @@
+// Property-style parameterized sweeps over the elastic applications
+// (TEST_P / INSTANTIATE_TEST_SUITE_P): the closed-form/instrumented
+// agreement and workload invariants must hold across the whole parameter
+// grid of every application, not just hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/galaxy/galaxy_app.hpp"
+#include "apps/registry.hpp"
+#include "apps/sand/sand_app.hpp"
+#include "apps/x264/x264_app.hpp"
+
+namespace {
+
+using celia::apps::AppParams;
+using celia::apps::ElasticApp;
+using celia::apps::ParallelPattern;
+
+// ---------------------------------------------------------------------------
+// Ledger agreement across a small parameter grid, per application.
+// ---------------------------------------------------------------------------
+
+struct LedgerCase {
+  const char* app;  // mini-model factory key
+  double n;
+  double a;
+};
+
+std::unique_ptr<ElasticApp> make_mini(const std::string& name) {
+  if (name == "x264") return celia::apps::make_x264_mini();
+  if (name == "galaxy") return celia::apps::make_galaxy();
+  return celia::apps::make_sand_mini();
+}
+
+class LedgerAgreement : public ::testing::TestWithParam<LedgerCase> {};
+
+TEST_P(LedgerAgreement, InstrumentedEqualsClosedForm) {
+  const LedgerCase param = GetParam();
+  const auto app = make_mini(param.app);
+  celia::hw::PerfCounter counter;
+  app->run_instrumented({param.n, param.a}, counter, /*seed=*/123);
+  EXPECT_DOUBLE_EQ(static_cast<double>(counter.instructions()),
+                   app->exact_demand({param.n, param.a}));
+}
+
+TEST_P(LedgerAgreement, LedgerIsSeedIndependent) {
+  // Operation counts depend only on the parameters, never on the data.
+  const LedgerCase param = GetParam();
+  const auto app = make_mini(param.app);
+  celia::hw::PerfCounter a, b;
+  app->run_instrumented({param.n, param.a}, a, /*seed=*/1);
+  app->run_instrumented({param.n, param.a}, b, /*seed=*/999);
+  EXPECT_EQ(a.instructions(), b.instructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    X264Grid, LedgerAgreement,
+    ::testing::Values(LedgerCase{"x264", 1, 10}, LedgerCase{"x264", 2, 20},
+                      LedgerCase{"x264", 3, 35}, LedgerCase{"x264", 1, 50},
+                      LedgerCase{"x264", 4, 15}, LedgerCase{"x264", 2, 45}));
+
+INSTANTIATE_TEST_SUITE_P(
+    GalaxyGrid, LedgerAgreement,
+    ::testing::Values(LedgerCase{"galaxy", 4, 2}, LedgerCase{"galaxy", 16, 3},
+                      LedgerCase{"galaxy", 48, 2}, LedgerCase{"galaxy", 9, 7},
+                      LedgerCase{"galaxy", 2, 1}, LedgerCase{"galaxy", 96, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SandGrid, LedgerAgreement,
+    ::testing::Values(LedgerCase{"sand", 8, 0.01}, LedgerCase{"sand", 24, 0.1},
+                      LedgerCase{"sand", 64, 0.32}, LedgerCase{"sand", 5, 1.0},
+                      LedgerCase{"sand", 40, 0.64},
+                      LedgerCase{"sand", 2, 0.5}));
+
+// ---------------------------------------------------------------------------
+// Workload invariants for every app at several parameter points.
+// ---------------------------------------------------------------------------
+
+class WorkloadInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, double, double>> {
+};
+
+TEST_P(WorkloadInvariants, TotalsAndComponentsAreConsistent) {
+  const auto [name, n, a] = GetParam();
+  const auto app = make_mini(name);
+  const celia::apps::Workload workload = app->make_workload({n, a});
+
+  EXPECT_GT(workload.total_instructions, 0.0);
+  EXPECT_DOUBLE_EQ(workload.total_instructions, app->exact_demand({n, a}));
+
+  switch (workload.pattern) {
+    case ParallelPattern::kIndependentTasks:
+    case ParallelPattern::kMasterWorker: {
+      double sum = workload.serial_instructions;
+      for (const double task : workload.task_instructions) {
+        EXPECT_GT(task, 0.0);
+        sum += task;
+      }
+      EXPECT_NEAR(sum, workload.total_instructions,
+                  workload.total_instructions * 1e-12 + 1.0);
+      break;
+    }
+    case ParallelPattern::kBulkSynchronous: {
+      EXPECT_GT(workload.steps, 0u);
+      EXPECT_NEAR(workload.instructions_per_step *
+                      static_cast<double>(workload.steps),
+                  workload.total_instructions,
+                  workload.total_instructions * 1e-12);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, WorkloadInvariants,
+    ::testing::Values(std::make_tuple("x264", 5.0, 20.0),
+                      std::make_tuple("x264", 1.0, 10.0),
+                      std::make_tuple("x264", 33.0, 50.0),
+                      std::make_tuple("galaxy", 64.0, 5.0),
+                      std::make_tuple("galaxy", 2.0, 1.0),
+                      std::make_tuple("galaxy", 1000.0, 3.0),
+                      std::make_tuple("sand", 100.0, 0.32),
+                      std::make_tuple("sand", 2.0, 1.0),
+                      std::make_tuple("sand", 17.0, 0.05)));
+
+// ---------------------------------------------------------------------------
+// Demand monotonicity: more problem or more accuracy never costs less.
+// ---------------------------------------------------------------------------
+
+class DemandMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DemandMonotonicity, DemandIncreasesInN) {
+  const auto app = make_mini(GetParam());
+  const double a = std::string(GetParam()) == "sand" ? 0.32
+                   : std::string(GetParam()) == "x264" ? 20
+                                                       : 4;
+  double previous = 0.0;
+  for (const double n : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double demand = app->exact_demand({n, a});
+    EXPECT_GT(demand, previous) << "n=" << n;
+    previous = demand;
+  }
+}
+
+TEST_P(DemandMonotonicity, DemandNonDecreasingInAccuracy) {
+  const auto app = make_mini(GetParam());
+  const std::string name = GetParam();
+  const std::vector<double> accuracies =
+      name == "sand" ? std::vector<double>{0.01, 0.1, 0.32, 0.64, 1.0}
+                     : std::vector<double>{2, 6, 12, 25, 50};
+  double previous = 0.0;
+  for (const double a : accuracies) {
+    const double demand = app->exact_demand({8, a});
+    EXPECT_GE(demand, previous) << "a=" << a;
+    previous = demand;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, DemandMonotonicity,
+                         ::testing::Values("x264", "galaxy", "sand"));
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Property-style parameterized sweeps over the cloud extension modules:
+// spot-market invariants across seeds, autoscaler invariants across
+// policies, and serializer robustness against random corruption.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "cloud/autoscaler.hpp"
+#include "cloud/spot.hpp"
+#include "core/serialize.hpp"
+#include "hw/ipc_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+// ---------------------------------------------------------------------------
+// Spot-market invariants across (type, seed) combinations.
+// ---------------------------------------------------------------------------
+
+class SpotMarketProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(SpotMarketProperties, PricesBoundedEverywhere) {
+  const auto [type_index, seed] = GetParam();
+  const InstanceType& type = ec2_catalog()[type_index];
+  const SpotMarket market(type, seed);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double price = market.price(k);
+    EXPECT_GE(price, 0.05 * type.cost_per_hour);
+    EXPECT_LE(price, 10.0 * type.cost_per_hour);
+  }
+}
+
+TEST_P(SpotMarketProperties, RunAlwaysTerminatesWithinHorizon) {
+  const auto [type_index, seed] = GetParam();
+  const InstanceType& type = ec2_catalog()[type_index];
+  const SpotMarket market(type, seed);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 0.35 * type.cost_per_hour;
+  policy.instances = 2;
+  const double rate = celia::hw::vcpu_rate(type.microarch,
+                                           WorkloadClass::kNBody) *
+                      type.vcpus * 2;
+  const double horizon = 48 * 3600.0;
+  const auto report = run_on_spot(market, WorkloadClass::kNBody,
+                                  rate * 4 * 3600.0, policy, horizon);
+  EXPECT_LE(report.seconds, horizon + 1.0);
+  EXPECT_GE(report.cost, 0.0);
+  if (report.completed) {
+    EXPECT_GT(report.seconds, 0.0);
+  }
+}
+
+TEST_P(SpotMarketProperties, HigherBidNeverSlower) {
+  const auto [type_index, seed] = GetParam();
+  const InstanceType& type = ec2_catalog()[type_index];
+  const SpotMarket market(type, seed);
+  const double rate = celia::hw::vcpu_rate(type.microarch,
+                                           WorkloadClass::kNBody) *
+                      type.vcpus;
+  const double work = rate * 3 * 3600.0;
+  SpotRunPolicy low, high;
+  low.bid_per_hour = 0.30 * type.cost_per_hour;
+  high.bid_per_hour = 3.0 * type.cost_per_hour;
+  low.instances = high.instances = 1;
+  const double horizon = 400 * 3600.0;
+  const auto slow = run_on_spot(market, WorkloadClass::kNBody, work, low,
+                                horizon);
+  const auto fast = run_on_spot(market, WorkloadClass::kNBody, work, high,
+                                horizon);
+  ASSERT_TRUE(fast.completed);
+  if (slow.completed) {
+    EXPECT_LE(fast.seconds, slow.seconds + 1.0);
+  }
+  EXPECT_LE(fast.evictions, slow.evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSeeds, SpotMarketProperties,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 4, 8),
+                       ::testing::Values<std::uint64_t>(1, 17, 99)));
+
+// ---------------------------------------------------------------------------
+// Autoscaler invariants across policies.
+// ---------------------------------------------------------------------------
+
+struct PolicyCase {
+  double interval;
+  double boot_delay;
+  int max_instances;
+};
+
+class AutoscalerProperties : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(AutoscalerProperties, InvariantsHold) {
+  const PolicyCase param = GetParam();
+  AutoscalerPolicy policy;
+  policy.interval_seconds = param.interval;
+  policy.provision_delay_seconds = param.boot_delay;
+  policy.max_instances = param.max_instances;
+  policy.type_index = 0;
+
+  CloudProvider provider(11);
+  const double rate =
+      celia::hw::vcpu_rate(ec2_catalog()[0].microarch,
+                           WorkloadClass::kNBody) *
+      ec2_catalog()[0].vcpus;
+  const auto report = run_autoscaled(provider, WorkloadClass::kNBody,
+                                     rate * 6 * 3600.0, 4 * 3600.0, policy);
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.cost, 0.0);
+  EXPECT_GE(report.peak_instances, 1);
+  EXPECT_LE(report.peak_instances, param.max_instances);
+  // A fleet of peak size running the whole makespan is an upper bound on
+  // billed cost.
+  EXPECT_LE(report.cost, report.peak_instances *
+                             ec2_catalog()[0].cost_per_hour *
+                             (report.seconds / 3600.0) +
+                             1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AutoscalerProperties,
+    ::testing::Values(PolicyCase{60, 0, 4}, PolicyCase{300, 120, 8},
+                      PolicyCase{900, 600, 16}, PolicyCase{300, 0, 2},
+                      PolicyCase{120, 300, 32}));
+
+// ---------------------------------------------------------------------------
+// Serializer robustness: random single-character corruption never crashes —
+// it either throws or yields a loadable model.
+// ---------------------------------------------------------------------------
+
+class SerializerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializerFuzz, CorruptionIsHandledGracefully) {
+  static const std::string pristine = [] {
+    CloudProvider provider(2017);
+    return celia::core::model_to_string(celia::core::Celia::build(
+        *celia::apps::make_galaxy(), provider));
+  }();
+
+  celia::util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string corrupted = pristine;
+    const std::size_t pos = rng.bounded(corrupted.size());
+    corrupted[pos] = static_cast<char>('!' + rng.bounded(90));
+    try {
+      const celia::core::Celia loaded =
+          celia::core::model_from_string(corrupted);
+      // If it loaded, predictions must at least be finite and usable.
+      const double demand = loaded.predict_demand({65536, 8000});
+      EXPECT_TRUE(std::isfinite(demand));
+    } catch (const std::exception&) {
+      // Throwing a typed exception is the expected failure mode.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace

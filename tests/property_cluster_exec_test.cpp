@@ -1,0 +1,118 @@
+// Property-style parameterized sweeps over the cluster executor: timing
+// bounds that must hold for every configuration and every application
+// pattern.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "apps/registry.hpp"
+#include "cloud/cluster_exec.hpp"
+#include "cloud/provider.hpp"
+#include "core/configuration.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+
+struct ExecCase {
+  const char* app;          // "x264" | "galaxy" | "sand" (mini variants)
+  std::vector<int> config;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<celia::apps::ElasticApp> make_for(const std::string& name) {
+  if (name == "x264") return celia::apps::make_x264_mini();
+  if (name == "galaxy") return celia::apps::make_galaxy();
+  return celia::apps::make_sand_mini();
+}
+
+celia::apps::AppParams params_for(const std::string& name) {
+  if (name == "x264") return {40, 20};
+  if (name == "galaxy") return {512, 20};
+  return {400, 0.32};
+}
+
+class ClusterExecProperties : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ClusterExecProperties, ActualTimeBoundedByFluidEnvelope) {
+  const ExecCase param = GetParam();
+  const auto app = make_for(param.app);
+  const auto params = params_for(param.app);
+  const auto workload = app->make_workload(params);
+
+  CloudProvider provider(param.seed);
+  const auto instances = provider.provision(param.config);
+  const ClusterExecutor executor;
+  const auto report = executor.execute(workload, instances, param.config);
+
+  // Lower bound: perfect-fluid time at the fleet's ACTUAL aggregate rate.
+  double actual_rate = 0.0;
+  double slowest_factor = 1e9, fastest_factor = 0.0;
+  for (const auto& instance : instances) {
+    actual_rate += instance.actual_rate(workload.workload_class);
+    slowest_factor = std::min(slowest_factor, instance.speed_factor);
+    fastest_factor = std::max(fastest_factor, instance.speed_factor);
+  }
+  const double fluid = workload.total_instructions / actual_rate;
+  EXPECT_GE(report.seconds, fluid * 0.999)
+      << param.app << " " << celia::core::to_string(param.config);
+
+  // Generous upper bound: everything serialized on the slowest vCPU plus
+  // all dispatch/serial overheads.
+  double slowest_slot_rate = 1e18;
+  for (const auto& instance : instances) {
+    slowest_slot_rate =
+        std::min(slowest_slot_rate,
+                 instance.actual_rate(workload.workload_class) /
+                     instance.type().vcpus);
+  }
+  const double serial_everything =
+      workload.total_instructions / slowest_slot_rate +
+      workload.dispatch_seconds_per_task *
+          static_cast<double>(workload.task_instructions.size()) +
+      1000.0;  // sync slack
+  EXPECT_LE(report.seconds, serial_everything)
+      << param.app << " " << celia::core::to_string(param.config);
+
+  EXPECT_GT(report.cost, 0.0);
+  EXPECT_LE(report.busy_fraction, 1.0 + 1e-9);
+}
+
+TEST_P(ClusterExecProperties, MoreNodesNeverSlower) {
+  const ExecCase param = GetParam();
+  const auto app = make_for(param.app);
+  const auto params = params_for(param.app);
+  const auto workload = app->make_workload(params);
+
+  // Same fleet plus one extra c4.2xlarge must not increase the makespan
+  // (same seed => the original instances draw identical factors).
+  std::vector<int> bigger = param.config;
+  if (bigger[2] < kMaxInstancesPerType) ++bigger[2];
+  else return;  // nothing to grow
+
+  CloudProvider provider_a(param.seed), provider_b(param.seed);
+  const ClusterExecutor executor;
+  const auto small = executor.execute(
+      workload, provider_a.provision(param.config), param.config);
+  const auto large =
+      executor.execute(workload, provider_b.provision(bigger), bigger);
+  EXPECT_LE(large.seconds, small.seconds * 1.001)
+      << param.app << " " << celia::core::to_string(param.config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndConfigs, ClusterExecProperties,
+    ::testing::Values(
+        ExecCase{"x264", {1, 0, 0, 0, 0, 0, 0, 0, 0}, 1},
+        ExecCase{"x264", {2, 1, 0, 0, 1, 0, 0, 0, 1}, 2},
+        ExecCase{"x264", {0, 0, 0, 0, 0, 0, 0, 0, 3}, 3},
+        ExecCase{"galaxy", {1, 0, 0, 0, 0, 0, 0, 0, 0}, 4},
+        ExecCase{"galaxy", {2, 2, 2, 2, 2, 2, 2, 2, 2}, 5},
+        ExecCase{"galaxy", {0, 0, 5, 0, 0, 5, 0, 0, 0}, 6},
+        ExecCase{"sand", {1, 0, 0, 0, 0, 0, 0, 0, 0}, 7},
+        ExecCase{"sand", {3, 0, 1, 0, 2, 0, 1, 0, 0}, 8},
+        ExecCase{"sand", {0, 0, 0, 5, 0, 0, 0, 0, 0}, 9}));
+
+}  // namespace

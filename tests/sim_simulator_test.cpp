@@ -1,0 +1,122 @@
+// Tests for the discrete-event engine (sim/simulator.hpp).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using celia::sim::Simulator;
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  EXPECT_EQ(sim.now(), 0.0);
+  sim.run();
+  EXPECT_EQ(seen, 4.5);
+  EXPECT_EQ(sim.now(), 4.5);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulator, CancelAfterFiringFails) {
+  Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, PendingCountsNonCancelled) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const auto id = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);  // remaining events still fire
+  EXPECT_EQ(fired.back(), 4.0);
+}
+
+TEST(Simulator, CascadedEventsBuildPipelines) {
+  // A chain of events each scheduling the next — the pattern the cluster
+  // executor uses for task completions.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> step = [&] {
+    if (++count < 100) sim.schedule_after(1.0, step);
+  };
+  sim.schedule_at(1.0, step);
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+}  // namespace

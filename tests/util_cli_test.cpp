@@ -1,0 +1,94 @@
+// Tests for the CLI parser (util/cli.hpp).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+
+namespace {
+
+using celia::util::CliParser;
+
+CliParser make_parser() {
+  CliParser parser("prog", "test program");
+  parser.add_flag("verbose", "enable verbose output");
+  parser.add_option("deadline", "deadline in hours", "24");
+  parser.add_option("budget", "budget in dollars", "350.5");
+  return parser;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_FALSE(parser.has("verbose"));
+  EXPECT_EQ(parser.get_int("deadline"), 24);
+  EXPECT_DOUBLE_EQ(parser.get_double("budget"), 350.5);
+}
+
+TEST(Cli, EqualsForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--deadline=48"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_EQ(parser.get_int("deadline"), 48);
+  EXPECT_TRUE(parser.has("deadline"));
+}
+
+TEST(Cli, SpaceForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--budget", "100"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("budget"), 100.0);
+}
+
+TEST(Cli, FlagForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.has("verbose"));
+}
+
+TEST(Cli, FlagWithValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("verbose"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--deadline"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Cli, PositionalsCollected) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "galaxy", "--verbose", "sand"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "galaxy");
+  EXPECT_EQ(parser.positionals()[1], "sand");
+}
+
+TEST(Cli, GetUnregisteredThrows) {
+  auto parser = make_parser();
+  EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsAllOptions) {
+  auto parser = make_parser();
+  std::ostringstream out;
+  parser.print_usage(out);
+  EXPECT_NE(out.str().find("--verbose"), std::string::npos);
+  EXPECT_NE(out.str().find("--deadline"), std::string::npos);
+  EXPECT_NE(out.str().find("default: 24"), std::string::npos);
+}
+
+}  // namespace

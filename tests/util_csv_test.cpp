@@ -1,0 +1,93 @@
+// Tests for CSV emission/parsing (util/csv.hpp).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace celia::util;
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuotesDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"app", "cost"});
+  writer.row({"galaxy", "126.4"});
+  writer.row({"sand", "180"});
+  EXPECT_EQ(out.str(), "app,cost\ngalaxy,126.4\nsand,180\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, DoubleRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row_values({1.5, 2.25});
+  EXPECT_EQ(out.str(), "1.5,2.25\n");
+}
+
+TEST(CsvWriter, HeaderAfterDataThrows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"x"});
+  EXPECT_THROW(writer.header({"h"}), std::logic_error);
+}
+
+TEST(CsvWriter, DoubleHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"h"});
+  EXPECT_THROW(writer.header({"h"}), std::logic_error);
+}
+
+TEST(CsvParse, SimpleFields) {
+  const auto fields = csv_parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const auto fields = csv_parse_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const auto fields = csv_parse_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = csv_parse_line("a,,b,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvRoundTrip, EscapeThenParse) {
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with \"quote\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (i) line += ",";
+    line += csv_escape(original[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), original);
+}
+
+}  // namespace

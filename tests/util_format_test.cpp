@@ -1,0 +1,71 @@
+// Tests for human-readable formatting (util/format.hpp).
+
+#include <gtest/gtest.h>
+
+#include "util/format.hpp"
+
+namespace {
+
+using namespace celia::util;
+
+TEST(Format, SiPrefixes) {
+  EXPECT_EQ(format_si(0.0), "0.00");
+  EXPECT_EQ(format_si(999.0), "999.00");
+  EXPECT_EQ(format_si(1000.0), "1.00k");
+  EXPECT_EQ(format_si(2.5e6), "2.50M");
+  EXPECT_EQ(format_si(3.1e9), "3.10G");
+  EXPECT_EQ(format_si(4.2e12), "4.20T");
+  EXPECT_EQ(format_si(5.0e15), "5.00P");
+  EXPECT_EQ(format_si(6.0e18), "6.00E");
+}
+
+TEST(Format, SiRespectsDecimals) {
+  EXPECT_EQ(format_si(1234.0, 1), "1.2k");
+  EXPECT_EQ(format_si(1234.0, 0), "1k");
+}
+
+TEST(Format, SiNegativeValues) {
+  EXPECT_EQ(format_si(-2.5e6), "-2.50M");
+}
+
+TEST(Format, Instructions) {
+  EXPECT_EQ(format_instructions(2.23e15), "2.23P instr");
+}
+
+TEST(Format, Rate) {
+  EXPECT_EQ(format_rate(2.76e9), "2.76G instr/s");
+}
+
+TEST(Format, DurationSubMinute) { EXPECT_EQ(format_duration(12.34), "12.3s"); }
+
+TEST(Format, DurationMinutes) { EXPECT_EQ(format_duration(125), "2m 5s"); }
+
+TEST(Format, DurationHours) {
+  EXPECT_EQ(format_duration(3600 * 24 + 60 + 1), "24h 1m 1s");
+}
+
+TEST(Format, DurationNegative) { EXPECT_EQ(format_duration(-61), "-1m 1s"); }
+
+TEST(Format, Money) {
+  EXPECT_EQ(format_money(126.4), "$126.40");
+  EXPECT_EQ(format_money(0.105), "$0.10");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.135), "13.5%");
+  EXPECT_EQ(format_percent(0.3, 0), "30%");
+}
+
+TEST(Format, Commas) {
+  EXPECT_EQ(format_with_commas(0), "0");
+  EXPECT_EQ(format_with_commas(999), "999");
+  EXPECT_EQ(format_with_commas(1000), "1,000");
+  EXPECT_EQ(format_with_commas(10077695), "10,077,695");
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Tests for the ASCII histogram (util/histogram.hpp).
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using celia::util::Histogram;
+
+TEST(Histogram, BinsValuesUniformly) {
+  Histogram h(0.0, 10.0, 5);
+  for (const double v : {0.5, 1.0, 3.0, 5.0, 7.0, 9.0}) h.add(v);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.count(1), 1u);  // 3.0
+  EXPECT_EQ(h.count(2), 1u);  // 5.0
+  EXPECT_EQ(h.count(3), 1u);  // 7.0
+  EXPECT_EQ(h.count(4), 1u);  // 9.0
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> values = {0.5, 1.5, 2.5, 3.5, 3.9};
+  h.add_all(values);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(3), 2u);
+}
+
+TEST(Histogram, RendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.to_string(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+  EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyHistogramRenders) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.to_string().empty());
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for the deterministic PRNG substrate (util/rng.hpp).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using celia::util::SplitMix64;
+using celia::util::Xoshiro256;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, IsDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SeedsProduceDistinctStreams) {
+  Xoshiro256 a(1), b(1000000007);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, NextDoubleIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRespectsBounds) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 12.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 12.25);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  celia::util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+}
+
+TEST(Xoshiro256, BoundedStaysBelowBound) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Xoshiro256, BoundedCoversAllResidues) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(19);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(10)];
+  for (const int count : counts) {
+    EXPECT_GT(count, kDraws / 10 - 600);
+    EXPECT_LT(count, kDraws / 10 + 600);
+  }
+}
+
+TEST(Xoshiro256, NormalHasUnitMoments) {
+  Xoshiro256 rng(23);
+  celia::util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Xoshiro256, NormalWithParamsShiftsAndScales) {
+  Xoshiro256 rng(29);
+  celia::util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+  Xoshiro256 a(31);
+  Xoshiro256 b(31);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace

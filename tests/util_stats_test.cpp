@@ -1,0 +1,135 @@
+// Tests for descriptive statistics (util/stats.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace celia::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.sample_variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Xoshiro256 rng(1);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats, empty;
+  stats.add(1.0);
+  stats.add(3.0);
+  const double mean_before = stats.mean();
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.mean(), mean_before);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean_before);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(values), 3.0);
+  EXPECT_NEAR(stddev(values), std::sqrt(2.5), 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(values), 25.0);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50),
+               std::invalid_argument);
+}
+
+TEST(Stats, PercentileClampsP) {
+  const std::vector<double> values = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(values, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 400), 3.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_error(1, 0)));
+}
+
+TEST(Stats, RSquaredPerfectFitIsOne) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  const std::vector<double> pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(obs, pred), 0.0, 1e-12);
+}
+
+TEST(Stats, RSquaredSizeMismatchThrows) {
+  const std::vector<double> a = {1, 2}, b = {1};
+  EXPECT_THROW(r_squared(a, b), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonOfConstantIsZero) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {5, 5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the ASCII table and chart renderers (util/table.hpp).
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace {
+
+using namespace celia::util;
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter table({"Type", "Cost"});
+  table.add_row({"c4.large", "0.105"});
+  table.add_row({"r3.2xlarge", "0.664"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| Type"), std::string::npos);
+  EXPECT_NE(out.find("c4.large"), std::string::npos);
+  EXPECT_NE(out.find("r3.2xlarge"), std::string::npos);
+  // All lines are equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RightAlignment) {
+  TablePrinter table({"n", "value"});
+  table.set_right_aligned(1);
+  table.add_row({"x", "9"});
+  table.add_row({"y", "1234"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("    9 |"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignmentOutOfRangeThrows) {
+  TablePrinter table({"a"});
+  EXPECT_THROW(table.set_right_aligned(5), std::out_of_range);
+}
+
+TEST(AsciiChart, RendersSeriesMarkersAndBounds) {
+  AsciiChart chart("demand", "n", "instructions");
+  chart.add_series({"f=10", {1, 2, 3}, {10, 20, 30}});
+  chart.add_series({"f=20", {1, 2, 3}, {15, 25, 35}});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("=== demand ==="), std::string::npos);
+  EXPECT_NE(out.find("'*' = f=10"), std::string::npos);
+  EXPECT_NE(out.find("'o' = f=20"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartSaysNoData) {
+  AsciiChart chart("empty", "x", "y");
+  EXPECT_NE(chart.to_string().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, MismatchedSeriesThrows) {
+  AsciiChart chart("bad", "x", "y");
+  EXPECT_THROW(chart.add_series({"s", {1, 2}, {1}}), std::invalid_argument);
+}
+
+TEST(AsciiChart, LogScaleSkipsNonPositive) {
+  AsciiChart chart("log", "x", "y");
+  chart.set_log_y(true);
+  chart.add_series({"s", {1, 2, 3}, {0.0, 10.0, 1000.0}});
+  const std::string out = chart.to_string();  // must not throw on y=0
+  EXPECT_NE(out.find("log scale"), std::string::npos);
+}
+
+TEST(AsciiChart, SingletonSeriesRenders) {
+  AsciiChart chart("one", "x", "y");
+  chart.add_series({"s", {5}, {7}});
+  EXPECT_NE(chart.to_string().find('*'), std::string::npos);
+}
+
+}  // namespace
