@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_billing.dir/ablation_billing.cpp.o"
+  "CMakeFiles/ablation_billing.dir/ablation_billing.cpp.o.d"
+  "ablation_billing"
+  "ablation_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

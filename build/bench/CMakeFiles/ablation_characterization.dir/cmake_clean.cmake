@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_characterization.dir/ablation_characterization.cpp.o"
+  "CMakeFiles/ablation_characterization.dir/ablation_characterization.cpp.o.d"
+  "ablation_characterization"
+  "ablation_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_demand_error.dir/ablation_demand_error.cpp.o"
+  "CMakeFiles/ablation_demand_error.dir/ablation_demand_error.cpp.o.d"
+  "ablation_demand_error"
+  "ablation_demand_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_demand_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

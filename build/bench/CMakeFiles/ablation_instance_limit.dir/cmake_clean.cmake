@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instance_limit.dir/ablation_instance_limit.cpp.o"
+  "CMakeFiles/ablation_instance_limit.dir/ablation_instance_limit.cpp.o.d"
+  "ablation_instance_limit"
+  "ablation_instance_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instance_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noise_seeds.dir/ablation_noise_seeds.cpp.o"
+  "CMakeFiles/ablation_noise_seeds.dir/ablation_noise_seeds.cpp.o.d"
+  "ablation_noise_seeds"
+  "ablation_noise_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

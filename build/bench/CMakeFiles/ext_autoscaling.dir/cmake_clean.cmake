@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_autoscaling.dir/ext_autoscaling.cpp.o"
+  "CMakeFiles/ext_autoscaling.dir/ext_autoscaling.cpp.o.d"
+  "ext_autoscaling"
+  "ext_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

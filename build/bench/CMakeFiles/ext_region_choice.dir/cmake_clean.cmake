@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_region_choice.dir/ext_region_choice.cpp.o"
+  "CMakeFiles/ext_region_choice.dir/ext_region_choice.cpp.o.d"
+  "ext_region_choice"
+  "ext_region_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_robust_selection.dir/ext_robust_selection.cpp.o"
+  "CMakeFiles/ext_robust_selection.dir/ext_robust_selection.cpp.o.d"
+  "ext_robust_selection"
+  "ext_robust_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_robust_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

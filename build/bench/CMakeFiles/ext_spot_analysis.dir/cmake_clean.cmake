@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spot_analysis.dir/ext_spot_analysis.cpp.o"
+  "CMakeFiles/ext_spot_analysis.dir/ext_spot_analysis.cpp.o.d"
+  "ext_spot_analysis"
+  "ext_spot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

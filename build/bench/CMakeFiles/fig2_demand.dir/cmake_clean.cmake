@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_demand.dir/fig2_demand.cpp.o"
+  "CMakeFiles/fig2_demand.dir/fig2_demand.cpp.o.d"
+  "fig2_demand"
+  "fig2_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

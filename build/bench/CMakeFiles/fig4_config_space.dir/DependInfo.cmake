@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_config_space.cpp" "bench/CMakeFiles/fig4_config_space.dir/fig4_config_space.cpp.o" "gcc" "bench/CMakeFiles/fig4_config_space.dir/fig4_config_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/celia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/celia_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/celia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/celia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/celia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/celia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

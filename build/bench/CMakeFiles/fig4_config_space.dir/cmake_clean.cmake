@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_config_space.dir/fig4_config_space.cpp.o"
+  "CMakeFiles/fig4_config_space.dir/fig4_config_space.cpp.o.d"
+  "fig4_config_space"
+  "fig4_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

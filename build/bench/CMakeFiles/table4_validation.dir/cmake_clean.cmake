@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_validation.dir/table4_validation.cpp.o"
+  "CMakeFiles/table4_validation.dir/table4_validation.cpp.o.d"
+  "table4_validation"
+  "table4_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

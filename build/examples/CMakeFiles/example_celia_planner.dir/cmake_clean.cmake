@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_celia_planner.dir/celia_planner.cpp.o"
+  "CMakeFiles/example_celia_planner.dir/celia_planner.cpp.o.d"
+  "example_celia_planner"
+  "example_celia_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_celia_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

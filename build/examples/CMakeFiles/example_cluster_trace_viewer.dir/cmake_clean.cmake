@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_trace_viewer.dir/cluster_trace_viewer.cpp.o"
+  "CMakeFiles/example_cluster_trace_viewer.dir/cluster_trace_viewer.cpp.o.d"
+  "example_cluster_trace_viewer"
+  "example_cluster_trace_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_trace_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

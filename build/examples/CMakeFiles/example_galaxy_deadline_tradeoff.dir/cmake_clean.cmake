@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_galaxy_deadline_tradeoff.dir/galaxy_deadline_tradeoff.cpp.o"
+  "CMakeFiles/example_galaxy_deadline_tradeoff.dir/galaxy_deadline_tradeoff.cpp.o.d"
+  "example_galaxy_deadline_tradeoff"
+  "example_galaxy_deadline_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_galaxy_deadline_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

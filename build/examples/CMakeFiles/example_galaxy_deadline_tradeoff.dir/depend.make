@@ -1,0 +1,2 @@
+# Empty dependencies file for example_galaxy_deadline_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genome_budget_planner.dir/genome_budget_planner.cpp.o"
+  "CMakeFiles/example_genome_budget_planner.dir/genome_budget_planner.cpp.o.d"
+  "example_genome_budget_planner"
+  "example_genome_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genome_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

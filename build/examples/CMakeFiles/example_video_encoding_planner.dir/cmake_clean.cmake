@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_encoding_planner.dir/video_encoding_planner.cpp.o"
+  "CMakeFiles/example_video_encoding_planner.dir/video_encoding_planner.cpp.o.d"
+  "example_video_encoding_planner"
+  "example_video_encoding_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_encoding_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/galaxy/galaxy_app.cpp" "src/apps/CMakeFiles/celia_apps.dir/galaxy/galaxy_app.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/galaxy/galaxy_app.cpp.o.d"
+  "/root/repo/src/apps/galaxy/nbody.cpp" "src/apps/CMakeFiles/celia_apps.dir/galaxy/nbody.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/galaxy/nbody.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/celia_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sand/align.cpp" "src/apps/CMakeFiles/celia_apps.dir/sand/align.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/sand/align.cpp.o.d"
+  "/root/repo/src/apps/sand/sand_app.cpp" "src/apps/CMakeFiles/celia_apps.dir/sand/sand_app.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/sand/sand_app.cpp.o.d"
+  "/root/repo/src/apps/sand/sequence.cpp" "src/apps/CMakeFiles/celia_apps.dir/sand/sequence.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/sand/sequence.cpp.o.d"
+  "/root/repo/src/apps/x264/encoder.cpp" "src/apps/CMakeFiles/celia_apps.dir/x264/encoder.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/x264/encoder.cpp.o.d"
+  "/root/repo/src/apps/x264/x264_app.cpp" "src/apps/CMakeFiles/celia_apps.dir/x264/x264_app.cpp.o" "gcc" "src/apps/CMakeFiles/celia_apps.dir/x264/x264_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/celia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/celia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

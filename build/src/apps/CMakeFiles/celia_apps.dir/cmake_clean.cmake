@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_apps.dir/galaxy/galaxy_app.cpp.o"
+  "CMakeFiles/celia_apps.dir/galaxy/galaxy_app.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/galaxy/nbody.cpp.o"
+  "CMakeFiles/celia_apps.dir/galaxy/nbody.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/registry.cpp.o"
+  "CMakeFiles/celia_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/sand/align.cpp.o"
+  "CMakeFiles/celia_apps.dir/sand/align.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/sand/sand_app.cpp.o"
+  "CMakeFiles/celia_apps.dir/sand/sand_app.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/sand/sequence.cpp.o"
+  "CMakeFiles/celia_apps.dir/sand/sequence.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/x264/encoder.cpp.o"
+  "CMakeFiles/celia_apps.dir/x264/encoder.cpp.o.d"
+  "CMakeFiles/celia_apps.dir/x264/x264_app.cpp.o"
+  "CMakeFiles/celia_apps.dir/x264/x264_app.cpp.o.d"
+  "libcelia_apps.a"
+  "libcelia_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

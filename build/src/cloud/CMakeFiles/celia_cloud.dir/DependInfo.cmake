@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/autoscaler.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/autoscaler.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/autoscaler.cpp.o.d"
+  "/root/repo/src/cloud/cluster_exec.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/cluster_exec.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/cluster_exec.cpp.o.d"
+  "/root/repo/src/cloud/gantt.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/gantt.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/gantt.cpp.o.d"
+  "/root/repo/src/cloud/instance_type.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/instance_type.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/instance_type.cpp.o.d"
+  "/root/repo/src/cloud/pricing.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/pricing.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/pricing.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/region.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/region.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/region.cpp.o.d"
+  "/root/repo/src/cloud/spot.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/spot.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/spot.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/cloud/CMakeFiles/celia_cloud.dir/vm.cpp.o" "gcc" "src/cloud/CMakeFiles/celia_cloud.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/celia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/celia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/celia_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_cloud.dir/autoscaler.cpp.o"
+  "CMakeFiles/celia_cloud.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/cluster_exec.cpp.o"
+  "CMakeFiles/celia_cloud.dir/cluster_exec.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/gantt.cpp.o"
+  "CMakeFiles/celia_cloud.dir/gantt.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/instance_type.cpp.o"
+  "CMakeFiles/celia_cloud.dir/instance_type.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/pricing.cpp.o"
+  "CMakeFiles/celia_cloud.dir/pricing.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/provider.cpp.o"
+  "CMakeFiles/celia_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/region.cpp.o"
+  "CMakeFiles/celia_cloud.dir/region.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/spot.cpp.o"
+  "CMakeFiles/celia_cloud.dir/spot.cpp.o.d"
+  "CMakeFiles/celia_cloud.dir/vm.cpp.o"
+  "CMakeFiles/celia_cloud.dir/vm.cpp.o.d"
+  "libcelia_cloud.a"
+  "libcelia_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/celia_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/celia_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/celia_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/celia.cpp" "src/core/CMakeFiles/celia_core.dir/celia.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/celia.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/celia_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/enumerate.cpp" "src/core/CMakeFiles/celia_core.dir/enumerate.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/enumerate.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/celia_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/recommend.cpp" "src/core/CMakeFiles/celia_core.dir/recommend.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/recommend.cpp.o.d"
+  "/root/repo/src/core/region_planner.cpp" "src/core/CMakeFiles/celia_core.dir/region_planner.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/region_planner.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/core/CMakeFiles/celia_core.dir/risk.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/risk.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/celia_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/time_cost.cpp" "src/core/CMakeFiles/celia_core.dir/time_cost.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/time_cost.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/celia_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/celia_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/celia_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/celia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/celia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/celia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/celia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_core.dir/analysis.cpp.o"
+  "CMakeFiles/celia_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/celia_core.dir/baselines.cpp.o"
+  "CMakeFiles/celia_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/celia_core.dir/capacity.cpp.o"
+  "CMakeFiles/celia_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/celia_core.dir/celia.cpp.o"
+  "CMakeFiles/celia_core.dir/celia.cpp.o.d"
+  "CMakeFiles/celia_core.dir/configuration.cpp.o"
+  "CMakeFiles/celia_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/celia_core.dir/enumerate.cpp.o"
+  "CMakeFiles/celia_core.dir/enumerate.cpp.o.d"
+  "CMakeFiles/celia_core.dir/pareto.cpp.o"
+  "CMakeFiles/celia_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/celia_core.dir/recommend.cpp.o"
+  "CMakeFiles/celia_core.dir/recommend.cpp.o.d"
+  "CMakeFiles/celia_core.dir/region_planner.cpp.o"
+  "CMakeFiles/celia_core.dir/region_planner.cpp.o.d"
+  "CMakeFiles/celia_core.dir/risk.cpp.o"
+  "CMakeFiles/celia_core.dir/risk.cpp.o.d"
+  "CMakeFiles/celia_core.dir/serialize.cpp.o"
+  "CMakeFiles/celia_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/celia_core.dir/time_cost.cpp.o"
+  "CMakeFiles/celia_core.dir/time_cost.cpp.o.d"
+  "CMakeFiles/celia_core.dir/validation.cpp.o"
+  "CMakeFiles/celia_core.dir/validation.cpp.o.d"
+  "libcelia_core.a"
+  "libcelia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/basis.cpp" "src/fit/CMakeFiles/celia_fit.dir/basis.cpp.o" "gcc" "src/fit/CMakeFiles/celia_fit.dir/basis.cpp.o.d"
+  "/root/repo/src/fit/demand_fit.cpp" "src/fit/CMakeFiles/celia_fit.dir/demand_fit.cpp.o" "gcc" "src/fit/CMakeFiles/celia_fit.dir/demand_fit.cpp.o.d"
+  "/root/repo/src/fit/least_squares.cpp" "src/fit/CMakeFiles/celia_fit.dir/least_squares.cpp.o" "gcc" "src/fit/CMakeFiles/celia_fit.dir/least_squares.cpp.o.d"
+  "/root/repo/src/fit/model_select.cpp" "src/fit/CMakeFiles/celia_fit.dir/model_select.cpp.o" "gcc" "src/fit/CMakeFiles/celia_fit.dir/model_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_fit.dir/basis.cpp.o"
+  "CMakeFiles/celia_fit.dir/basis.cpp.o.d"
+  "CMakeFiles/celia_fit.dir/demand_fit.cpp.o"
+  "CMakeFiles/celia_fit.dir/demand_fit.cpp.o.d"
+  "CMakeFiles/celia_fit.dir/least_squares.cpp.o"
+  "CMakeFiles/celia_fit.dir/least_squares.cpp.o.d"
+  "CMakeFiles/celia_fit.dir/model_select.cpp.o"
+  "CMakeFiles/celia_fit.dir/model_select.cpp.o.d"
+  "libcelia_fit.a"
+  "libcelia_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/ipc_model.cpp" "src/hw/CMakeFiles/celia_hw.dir/ipc_model.cpp.o" "gcc" "src/hw/CMakeFiles/celia_hw.dir/ipc_model.cpp.o.d"
+  "/root/repo/src/hw/local_server.cpp" "src/hw/CMakeFiles/celia_hw.dir/local_server.cpp.o" "gcc" "src/hw/CMakeFiles/celia_hw.dir/local_server.cpp.o.d"
+  "/root/repo/src/hw/microarch.cpp" "src/hw/CMakeFiles/celia_hw.dir/microarch.cpp.o" "gcc" "src/hw/CMakeFiles/celia_hw.dir/microarch.cpp.o.d"
+  "/root/repo/src/hw/perf_counter.cpp" "src/hw/CMakeFiles/celia_hw.dir/perf_counter.cpp.o" "gcc" "src/hw/CMakeFiles/celia_hw.dir/perf_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

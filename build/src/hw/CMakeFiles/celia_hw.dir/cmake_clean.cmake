@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_hw.dir/ipc_model.cpp.o"
+  "CMakeFiles/celia_hw.dir/ipc_model.cpp.o.d"
+  "CMakeFiles/celia_hw.dir/local_server.cpp.o"
+  "CMakeFiles/celia_hw.dir/local_server.cpp.o.d"
+  "CMakeFiles/celia_hw.dir/microarch.cpp.o"
+  "CMakeFiles/celia_hw.dir/microarch.cpp.o.d"
+  "CMakeFiles/celia_hw.dir/perf_counter.cpp.o"
+  "CMakeFiles/celia_hw.dir/perf_counter.cpp.o.d"
+  "libcelia_hw.a"
+  "libcelia_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/celia_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/celia_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/celia_parallel.dir/thread_pool.cpp.o.d"
+  "libcelia_parallel.a"
+  "libcelia_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

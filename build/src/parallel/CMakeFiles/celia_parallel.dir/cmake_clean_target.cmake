@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcelia_parallel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_sim.dir/simulator.cpp.o"
+  "CMakeFiles/celia_sim.dir/simulator.cpp.o.d"
+  "libcelia_sim.a"
+  "libcelia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celia_util.dir/cli.cpp.o"
+  "CMakeFiles/celia_util.dir/cli.cpp.o.d"
+  "CMakeFiles/celia_util.dir/csv.cpp.o"
+  "CMakeFiles/celia_util.dir/csv.cpp.o.d"
+  "CMakeFiles/celia_util.dir/format.cpp.o"
+  "CMakeFiles/celia_util.dir/format.cpp.o.d"
+  "CMakeFiles/celia_util.dir/histogram.cpp.o"
+  "CMakeFiles/celia_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/celia_util.dir/logging.cpp.o"
+  "CMakeFiles/celia_util.dir/logging.cpp.o.d"
+  "CMakeFiles/celia_util.dir/rng.cpp.o"
+  "CMakeFiles/celia_util.dir/rng.cpp.o.d"
+  "CMakeFiles/celia_util.dir/stats.cpp.o"
+  "CMakeFiles/celia_util.dir/stats.cpp.o.d"
+  "CMakeFiles/celia_util.dir/table.cpp.o"
+  "CMakeFiles/celia_util.dir/table.cpp.o.d"
+  "libcelia_util.a"
+  "libcelia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_galaxy_parallel_test.cpp" "tests/CMakeFiles/celia_tests.dir/apps_galaxy_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/apps_galaxy_parallel_test.cpp.o.d"
+  "/root/repo/tests/apps_galaxy_test.cpp" "tests/CMakeFiles/celia_tests.dir/apps_galaxy_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/apps_galaxy_test.cpp.o.d"
+  "/root/repo/tests/apps_registry_test.cpp" "tests/CMakeFiles/celia_tests.dir/apps_registry_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/apps_registry_test.cpp.o.d"
+  "/root/repo/tests/apps_sand_test.cpp" "tests/CMakeFiles/celia_tests.dir/apps_sand_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/apps_sand_test.cpp.o.d"
+  "/root/repo/tests/apps_x264_test.cpp" "tests/CMakeFiles/celia_tests.dir/apps_x264_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/apps_x264_test.cpp.o.d"
+  "/root/repo/tests/cloud_autoscaler_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_autoscaler_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_autoscaler_test.cpp.o.d"
+  "/root/repo/tests/cloud_catalog_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_catalog_test.cpp.o.d"
+  "/root/repo/tests/cloud_cluster_exec_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_cluster_exec_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_cluster_exec_test.cpp.o.d"
+  "/root/repo/tests/cloud_gantt_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_gantt_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_gantt_test.cpp.o.d"
+  "/root/repo/tests/cloud_provider_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_provider_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_provider_test.cpp.o.d"
+  "/root/repo/tests/cloud_replication_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_replication_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_replication_test.cpp.o.d"
+  "/root/repo/tests/cloud_spot_test.cpp" "tests/CMakeFiles/celia_tests.dir/cloud_spot_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/cloud_spot_test.cpp.o.d"
+  "/root/repo/tests/core_analysis_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_analysis_test.cpp.o.d"
+  "/root/repo/tests/core_baselines_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_baselines_test.cpp.o.d"
+  "/root/repo/tests/core_capacity_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_capacity_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_capacity_test.cpp.o.d"
+  "/root/repo/tests/core_celia_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_celia_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_celia_test.cpp.o.d"
+  "/root/repo/tests/core_configuration_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_configuration_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_configuration_test.cpp.o.d"
+  "/root/repo/tests/core_enumerate_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_enumerate_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_enumerate_test.cpp.o.d"
+  "/root/repo/tests/core_pareto_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_pareto_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_pareto_test.cpp.o.d"
+  "/root/repo/tests/core_recommend_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_recommend_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_recommend_test.cpp.o.d"
+  "/root/repo/tests/core_region_planner_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_region_planner_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_region_planner_test.cpp.o.d"
+  "/root/repo/tests/core_risk_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_risk_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_risk_test.cpp.o.d"
+  "/root/repo/tests/core_robust_selection_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_robust_selection_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_robust_selection_test.cpp.o.d"
+  "/root/repo/tests/core_serialize_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_serialize_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_serialize_test.cpp.o.d"
+  "/root/repo/tests/core_time_cost_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_time_cost_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_time_cost_test.cpp.o.d"
+  "/root/repo/tests/core_validation_test.cpp" "tests/CMakeFiles/celia_tests.dir/core_validation_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/core_validation_test.cpp.o.d"
+  "/root/repo/tests/fit_demand_fit_test.cpp" "tests/CMakeFiles/celia_tests.dir/fit_demand_fit_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/fit_demand_fit_test.cpp.o.d"
+  "/root/repo/tests/fit_least_squares_test.cpp" "tests/CMakeFiles/celia_tests.dir/fit_least_squares_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/fit_least_squares_test.cpp.o.d"
+  "/root/repo/tests/fit_model_select_test.cpp" "tests/CMakeFiles/celia_tests.dir/fit_model_select_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/fit_model_select_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/celia_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/integration_observations_test.cpp" "tests/CMakeFiles/celia_tests.dir/integration_observations_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/integration_observations_test.cpp.o.d"
+  "/root/repo/tests/parallel_for_test.cpp" "tests/CMakeFiles/celia_tests.dir/parallel_for_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/parallel_for_test.cpp.o.d"
+  "/root/repo/tests/parallel_queue_test.cpp" "tests/CMakeFiles/celia_tests.dir/parallel_queue_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/parallel_queue_test.cpp.o.d"
+  "/root/repo/tests/parallel_thread_pool_test.cpp" "tests/CMakeFiles/celia_tests.dir/parallel_thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/parallel_thread_pool_test.cpp.o.d"
+  "/root/repo/tests/property_apps_test.cpp" "tests/CMakeFiles/celia_tests.dir/property_apps_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/property_apps_test.cpp.o.d"
+  "/root/repo/tests/property_cloud_test.cpp" "tests/CMakeFiles/celia_tests.dir/property_cloud_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/property_cloud_test.cpp.o.d"
+  "/root/repo/tests/property_cluster_exec_test.cpp" "tests/CMakeFiles/celia_tests.dir/property_cluster_exec_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/property_cluster_exec_test.cpp.o.d"
+  "/root/repo/tests/property_core_test.cpp" "tests/CMakeFiles/celia_tests.dir/property_core_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/property_core_test.cpp.o.d"
+  "/root/repo/tests/sim_simulator_test.cpp" "tests/CMakeFiles/celia_tests.dir/sim_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/sim_simulator_test.cpp.o.d"
+  "/root/repo/tests/util_cli_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_cli_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_cli_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_format_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_format_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_format_test.cpp.o.d"
+  "/root/repo/tests/util_histogram_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_histogram_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_histogram_test.cpp.o.d"
+  "/root/repo/tests/util_logging_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_logging_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_logging_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/celia_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/celia_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/celia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/celia_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/celia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/celia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/celia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/celia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
