@@ -10,10 +10,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "apps/registry.hpp"
 #include "cloud/provider.hpp"
 #include "core/celia.hpp"
+#include "core/frontier_index.hpp"
 #include "core/recommend.hpp"
 #include "core/serialize.hpp"
 #include "util/cli.hpp"
@@ -47,6 +49,9 @@ int main(int argc, char** argv) {
   cli.add_option("save-model", "write the built model to this file", "");
   cli.add_option("load-model",
                  "skip measurement and load a model saved earlier", "");
+  cli.add_flag("index",
+               "answer the query from a precomputed frontier index instead "
+               "of a full sweep");
   cli.add_flag("verbose", "log model-building details");
   if (!cli.parse(argc, argv)) {
     std::cerr << "error: " << cli.error() << "\n\n";
@@ -123,12 +128,34 @@ int main(int argc, char** argv) {
             << "\n  constraints  : T' = " << deadline << " h, C' = "
             << util::format_money(budget) << "\n\n";
 
+  core::SweepOptions sweep_options;
+  std::shared_ptr<const core::FrontierIndex> index;
+  if (cli.has("index")) {
+    watch.reset();
+    index = core::shared_frontier_index(celia.space(), celia.capacity(),
+                                        celia.hourly_costs());
+    std::cout << "frontier index: " << index->frontier().size()
+              << " staircase entries over "
+              << util::format_with_commas(index->attainable_configurations())
+              << " attainable configurations ("
+              << index->memory_bytes() / 1024 << " KiB), built in "
+              << util::format_fixed(watch.elapsed_ms(), 0) << " ms\n";
+    sweep_options.index = index.get();
+  }
+
   watch.reset();
-  const core::SweepResult result = celia.select(params, deadline, budget);
-  std::cout << "swept " << util::format_with_commas(result.total)
-            << " configurations in "
-            << util::format_fixed(watch.elapsed_ms(), 0) << " ms; "
-            << util::format_with_commas(result.feasible) << " feasible, "
+  const core::SweepResult result =
+      celia.select(params, deadline, budget, sweep_options);
+  if (cli.has("index")) {
+    std::cout << "answered from the index in "
+              << util::format_fixed(watch.elapsed_ms() * 1000.0, 1)
+              << " us; ";
+  } else {
+    std::cout << "swept " << util::format_with_commas(result.total)
+              << " configurations in "
+              << util::format_fixed(watch.elapsed_ms(), 0) << " ms; ";
+  }
+  std::cout << util::format_with_commas(result.feasible) << " feasible, "
             << result.pareto.size() << " Pareto-optimal\n\n";
   if (!result.any_feasible) {
     std::cout << "no feasible configuration — relax the deadline or "

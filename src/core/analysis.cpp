@@ -7,10 +7,12 @@ namespace celia::core {
 namespace {
 
 ScalingPoint min_cost_point(const Celia& celia, const apps::AppParams& params,
-                            double deadline_hours, double swept_value) {
+                            double deadline_hours, double swept_value,
+                            const SweepOptions& options) {
   ScalingPoint point;
   point.value = swept_value;
-  const auto best = celia.min_cost_configuration(params, deadline_hours);
+  const auto best =
+      celia.min_cost_configuration(params, deadline_hours, options);
   if (best.has_value()) {
     point.feasible = true;
     point.min_cost = best->cost;
@@ -25,33 +27,36 @@ ScalingPoint min_cost_point(const Celia& celia, const apps::AppParams& params,
 std::vector<ScalingPoint> problem_size_scaling(const Celia& celia,
                                                double fixed_accuracy,
                                                std::span<const double> sizes,
-                                               double deadline_hours) {
+                                               double deadline_hours,
+                                               SweepOptions options) {
   std::vector<ScalingPoint> curve;
   curve.reserve(sizes.size());
   for (const double n : sizes)
     curve.push_back(
-        min_cost_point(celia, {n, fixed_accuracy}, deadline_hours, n));
+        min_cost_point(celia, {n, fixed_accuracy}, deadline_hours, n, options));
   return curve;
 }
 
 std::vector<ScalingPoint> accuracy_scaling(const Celia& celia,
                                            double fixed_size,
                                            std::span<const double> accuracies,
-                                           double deadline_hours) {
+                                           double deadline_hours,
+                                           SweepOptions options) {
   std::vector<ScalingPoint> curve;
   curve.reserve(accuracies.size());
   for (const double a : accuracies)
-    curve.push_back(min_cost_point(celia, {fixed_size, a}, deadline_hours, a));
+    curve.push_back(
+        min_cost_point(celia, {fixed_size, a}, deadline_hours, a, options));
   return curve;
 }
 
 std::vector<ScalingPoint> deadline_tightening(
     const Celia& celia, const apps::AppParams& params,
-    std::span<const double> deadlines_hours) {
+    std::span<const double> deadlines_hours, SweepOptions options) {
   std::vector<ScalingPoint> curve;
   curve.reserve(deadlines_hours.size());
   for (const double deadline : deadlines_hours)
-    curve.push_back(min_cost_point(celia, params, deadline, deadline));
+    curve.push_back(min_cost_point(celia, params, deadline, deadline, options));
   return curve;
 }
 

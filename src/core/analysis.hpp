@@ -21,21 +21,25 @@ struct ScalingPoint {
 };
 
 /// Fig. 5: fix accuracy, scale problem size, report min cost per deadline.
+/// `options` is forwarded to every underlying sweep — pass
+/// `use_cached_index = true` so the whole curve reuses one FrontierIndex.
 std::vector<ScalingPoint> problem_size_scaling(const Celia& celia,
                                                double fixed_accuracy,
                                                std::span<const double> sizes,
-                                               double deadline_hours);
+                                               double deadline_hours,
+                                               SweepOptions options = {});
 
 /// Fig. 6: fix problem size, scale accuracy, report min cost per deadline.
 std::vector<ScalingPoint> accuracy_scaling(const Celia& celia,
                                            double fixed_size,
                                            std::span<const double> accuracies,
-                                           double deadline_hours);
+                                           double deadline_hours,
+                                           SweepOptions options = {});
 
 /// §IV-E.3: fix the problem entirely and tighten the deadline.
 std::vector<ScalingPoint> deadline_tightening(
     const Celia& celia, const apps::AppParams& params,
-    std::span<const double> deadlines_hours);
+    std::span<const double> deadlines_hours, SweepOptions options = {});
 
 /// Observation-1 statistic: cost span of a Pareto frontier —
 /// max cost / min cost (1.3x for galaxy, 1.2x for sand in the paper), and

@@ -29,7 +29,8 @@ Celia::Celia(std::string app_name, hw::WorkloadClass workload,
       workload_(workload),
       demand_(std::move(demand)),
       capacity_(std::move(capacity)),
-      space_(std::move(space)) {}
+      space_(std::move(space)),
+      hourly_costs_(ec2_hourly_costs()) {}
 
 Prediction Celia::predict(const apps::AppParams& params,
                           const Configuration& config) const {
@@ -41,20 +42,27 @@ SweepResult Celia::select(const apps::AppParams& params, double deadline_hours,
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
   constraints.budget_dollars = budget_dollars;
-  return sweep(space_, capacity_, predict_demand(params), constraints,
-               options);
+  return sweep(space_, capacity_, hourly_costs_, predict_demand(params),
+               constraints, options);
 }
 
 std::optional<CostTimePoint> Celia::min_cost_configuration(
     const apps::AppParams& params, double deadline_hours,
     parallel::ThreadPool* pool) const {
   SweepOptions options;
-  options.collect_pareto = false;
   options.pool = pool;
+  return min_cost_configuration(params, deadline_hours, options);
+}
+
+std::optional<CostTimePoint> Celia::min_cost_configuration(
+    const apps::AppParams& params, double deadline_hours,
+    SweepOptions options) const {
+  options.collect_pareto = false;
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
-  const SweepResult result =
-      sweep(space_, capacity_, predict_demand(params), constraints, options);
+  const SweepResult result = sweep(space_, capacity_, hourly_costs_,
+                                   predict_demand(params), constraints,
+                                   options);
   if (!result.any_feasible) return std::nullopt;
   return result.min_cost;
 }

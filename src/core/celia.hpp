@@ -11,7 +11,9 @@
 //   * min_cost_configuration(...)       — cheapest feasible configuration.
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "apps/elastic_app.hpp"
 #include "cloud/provider.hpp"
@@ -63,12 +65,23 @@ class Celia {
       const apps::AppParams& params, double deadline_hours,
       parallel::ThreadPool* pool = nullptr) const;
 
+  /// As above but with full sweep control — e.g. pass
+  /// `use_cached_index = true` to answer repeated deadline ladders from the
+  /// shared FrontierIndex. collect_pareto is forced off.
+  std::optional<CostTimePoint> min_cost_configuration(
+      const apps::AppParams& params, double deadline_hours,
+      SweepOptions options) const;
+
+  /// Per-hour price of one instance of each type, indexed like the space.
+  std::span<const double> hourly_costs() const { return hourly_costs_; }
+
  private:
   std::string app_name_;
   hw::WorkloadClass workload_;
   fit::SeparableDemandModel demand_;
   ResourceCapacity capacity_;
   ConfigurationSpace space_;
+  std::vector<double> hourly_costs_;
 };
 
 }  // namespace celia::core

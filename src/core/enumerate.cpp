@@ -5,53 +5,12 @@
 #include <mutex>
 
 #include "cloud/instance_type.hpp"
+#include "core/frontier_index.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace celia::core {
 
 namespace {
-
-/// Walk [range.begin, range.end) with an incremental odometer, invoking
-/// body(index, U, Cu, V) for every configuration, where V is the capacity
-/// variance sum_i m_i var_terms[i] (used by risk-aware selection;
-/// var_terms may be all-zero).
-template <typename Body>
-void walk_range(const ConfigurationSpace& space,
-                const std::vector<double>& rates,
-                const std::vector<double>& hourly,
-                const std::vector<double>& var_terms,
-                parallel::BlockedRange range, Body&& body) {
-  const std::size_t m = space.num_types();
-  const auto& max_counts = space.max_counts();
-  std::vector<int> digits(m);
-  space.decode_into(range.begin, digits);
-
-  double u = 0.0, cu = 0.0, v = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    u += digits[i] * rates[i];
-    cu += digits[i] * hourly[i];
-    v += digits[i] * var_terms[i];
-  }
-
-  for (std::uint64_t index = range.begin; index < range.end; ++index) {
-    body(index, u, cu, v);
-    if (index + 1 >= range.end) break;
-    // Odometer increment with capacity/cost/variance deltas.
-    for (std::size_t i = 0; i < m; ++i) {
-      if (digits[i] < max_counts[i]) {
-        ++digits[i];
-        u += rates[i];
-        cu += hourly[i];
-        v += var_terms[i];
-        break;
-      }
-      u -= digits[i] * rates[i];
-      cu -= digits[i] * hourly[i];
-      v -= digits[i] * var_terms[i];
-      digits[i] = 0;
-    }
-  }
-}
 
 struct PartialResult {
   std::uint64_t feasible = 0;
@@ -88,13 +47,6 @@ struct PartialResult {
   }
 };
 
-std::vector<double> catalog_hourly_costs() {
-  std::vector<double> hourly;
-  for (const auto& type : cloud::ec2_catalog())
-    hourly.push_back(type.cost_per_hour);
-  return hourly;
-}
-
 std::vector<double> capacity_rates(const ResourceCapacity& capacity) {
   std::vector<double> rates;
   for (std::size_t i = 0; i < capacity.num_types(); ++i)
@@ -102,17 +54,48 @@ std::vector<double> capacity_rates(const ResourceCapacity& capacity) {
   return rates;
 }
 
+/// The FrontierIndex answers only the deterministic, unsampled form of the
+/// query; everything else takes the sweep path.
+bool index_can_answer(const Constraints& constraints,
+                      const SweepOptions& options) {
+  const bool risk_aware =
+      constraints.confidence_z > 0 && constraints.rate_sigma > 0;
+  return !risk_aware && options.sample_stride == 0;
+}
+
 }  // namespace
 
+std::vector<double> ec2_hourly_costs() {
+  std::vector<double> hourly;
+  for (const auto& type : cloud::ec2_catalog())
+    hourly.push_back(type.cost_per_hour);
+  return hourly;
+}
+
 SweepResult sweep(const ConfigurationSpace& space,
-                  const ResourceCapacity& capacity, double demand,
+                  const ResourceCapacity& capacity,
+                  std::span<const double> hourly_costs, double demand,
                   const Constraints& constraints, SweepOptions options) {
   if (demand <= 0) throw std::invalid_argument("sweep: non-positive demand");
   if (space.num_types() != capacity.num_types())
     throw std::invalid_argument("sweep: space/capacity width mismatch");
+  if (hourly_costs.size() != capacity.num_types())
+    throw std::invalid_argument("sweep: hourly cost width mismatch");
+
+  if (index_can_answer(constraints, options)) {
+    if (options.index != nullptr) {
+      if (!options.index->matches(space, capacity, hourly_costs))
+        throw std::invalid_argument(
+            "sweep: FrontierIndex was built for a different model");
+      return options.index->query(demand, constraints, options.collect_pareto);
+    }
+    if (options.use_cached_index) {
+      return shared_frontier_index(space, capacity, hourly_costs, options.pool)
+          ->query(demand, constraints, options.collect_pareto);
+    }
+  }
 
   const std::vector<double> rates = capacity_rates(capacity);
-  const std::vector<double> hourly = catalog_hourly_costs();
 
   // Per-type variance contribution for risk-aware selection: adding one
   // instance of type i adds (W_i x sigma)^2 to the capacity variance.
@@ -138,16 +121,17 @@ SweepResult sweep(const ConfigurationSpace& space,
       0, space.size(),
       [&](parallel::BlockedRange range) {
         PartialResult partial;
-        walk_range(space, rates, hourly, var_terms, range,
-                   [&](std::uint64_t index, double u, double cu, double v) {
-                     if (risk_aware) u -= z * std::sqrt(v);
-                     if (u <= 0) return;
-                     const double seconds = demand / u;
-                     if (seconds >= constraints.deadline_seconds) return;
-                     const double cost = seconds / 3600.0 * cu;
-                     if (cost >= constraints.budget_dollars) return;
-                     partial.note_feasible({index, seconds, cost}, options);
-                   });
+        detail::walk_range(
+            space, rates, hourly_costs, var_terms, range,
+            [&](std::uint64_t index, double u, double cu, double v) {
+              if (risk_aware) u -= z * std::sqrt(v);
+              if (u <= 0) return;
+              const double seconds = demand / u;
+              if (seconds >= constraints.deadline_seconds) return;
+              const double cost = seconds / 3600.0 * cu;
+              if (cost >= constraints.budget_dollars) return;
+              partial.note_feasible({index, seconds, cost}, options);
+            });
         if (options.collect_pareto)
           partial.pareto_buffer = pareto_filter(std::move(partial.pareto_buffer));
 
@@ -183,23 +167,19 @@ SweepResult sweep(const ConfigurationSpace& space,
   return result;
 }
 
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity, double demand,
+                  const Constraints& constraints, SweepOptions options) {
+  const std::vector<double> hourly = ec2_hourly_costs();
+  return sweep(space, capacity, hourly, demand, constraints, options);
+}
+
 void for_each_configuration(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     const std::function<void(std::uint64_t, double, double)>& visit,
     parallel::ThreadPool* pool) {
-  const std::vector<double> rates = capacity_rates(capacity);
-  const std::vector<double> hourly = catalog_hourly_costs();
-  const std::vector<double> zero_var(rates.size(), 0.0);
-  parallel::ForOptions for_options;
-  for_options.pool = pool;
-  parallel::parallel_for_blocked(
-      0, space.size(),
-      [&](parallel::BlockedRange range) {
-        walk_range(space, rates, hourly, zero_var, range,
-                   [&visit](std::uint64_t index, double u, double cu,
-                            double /*v*/) { visit(index, u, cu); });
-      },
-      for_options);
+  const std::vector<double> hourly = ec2_hourly_costs();
+  for_each_configuration(space, capacity, hourly, visit, pool);
 }
 
 }  // namespace celia::core

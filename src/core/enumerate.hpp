@@ -3,23 +3,38 @@
 // Algorithm 1 (Resource Configuration Selection) at scale.
 //
 // The sweep walks all S configurations (10,077,695 for the default EC2
-// space) with an incremental mixed-radix odometer, updating U_j and C_j,u
-// by the per-type deltas instead of recomputing the dot products, and
-// partitions the index range across a thread pool. Per-thread partial
-// results (feasible count, running min-cost/min-time points, local Pareto
-// buffers, sampled scatter points) are merged at the end — the classic
-// map-reduce shape of an HPC parameter sweep.
+// space) row by row: the innermost mixed-radix digit becomes a tight
+// inner loop over each row, while the outer digits advance with an
+// odometer carry between rows. Row bases are maintained as suffix sums
+// S[i] = sum_{t>=i} d_t * r_t (a fixed right-to-left fold), so a carry at
+// level i costs one multiply-add per channel instead of re-deriving the
+// whole dot product. Every value is a pure function of the digit tuple —
+// independent of how the index range is partitioned across threads.
+// Per-thread partial results (feasible count, running min-cost/min-time
+// points, local Pareto buffers, sampled scatter points) are merged at the
+// end — the classic map-reduce shape of an HPC parameter sweep.
+//
+// Deterministic queries (confidence_z == 0, no sampling) can skip the
+// sweep entirely via the demand-invariant FrontierIndex — see
+// core/frontier_index.hpp and the `index` / `use_cached_index` options.
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
 #include "core/pareto.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace celia::core {
+
+class FrontierIndex;
 
 /// Deadline/budget constraints (paper: T < T' and C < C', strict).
 ///
@@ -46,6 +61,14 @@ struct SweepOptions {
   bool collect_pareto = true;
   /// Pool to run on; nullptr = parallel::default_pool().
   parallel::ThreadPool* pool = nullptr;
+  /// Answer from this prebuilt FrontierIndex instead of sweeping. Only
+  /// deterministic queries qualify (confidence_z == 0, sample_stride == 0);
+  /// anything else silently falls back to the full sweep. The index must
+  /// have been built for the same (space, capacity, hourly costs).
+  const FrontierIndex* index = nullptr;
+  /// Like `index`, but fetches (building on first use) the process-wide
+  /// shared index for this model — see core::shared_frontier_index().
+  bool use_cached_index = false;
 };
 
 struct SweepResult {
@@ -58,15 +81,134 @@ struct SweepResult {
   std::vector<CostTimePoint> feasible_points;  // sampled scatter
 };
 
+namespace detail {
+
+/// Walk [range.begin, range.end) invoking body(index, U, Cu, V) for every
+/// configuration, where V is the capacity variance sum_i m_i var_terms[i]
+/// (used by risk-aware selection; var_terms may be all-zero).
+///
+/// The innermost digit is a tight inner loop over each mixed-radix "row";
+/// the outer digits carry between rows. Row bases are suffix sums
+/// S[i] = sum_{t>=i} d_t * r_t, maintained as a fixed right-to-left fold:
+/// a carry at level i recomputes S[i] from the untouched S[i+1] and
+/// propagates S[t] = S[t+1] to the zeroed levels below (exact — those
+/// digits contribute 0). In-row values accumulate by repeated addition
+/// from k = 0 (mid-row range starts warm up from zero), so every value
+/// passed to `body` depends only on the configuration, never on `range`.
+template <typename Body>
+void walk_range(const ConfigurationSpace& space, std::span<const double> rates,
+                std::span<const double> hourly,
+                std::span<const double> var_terms, parallel::BlockedRange range,
+                Body&& body) {
+  if (range.empty()) return;
+  const std::size_t m = space.num_types();
+  const auto& max_counts = space.max_counts();
+  std::vector<int> digits(m);
+  space.decode_into(range.begin, digits);
+
+  const double rate0 = rates[0];
+  const double hourly0 = hourly[0];
+  const double var0 = var_terms[0];
+  const std::uint64_t row_radix = static_cast<std::uint64_t>(max_counts[0]) + 1;
+
+  std::vector<double> su(m + 1, 0.0), scu(m + 1, 0.0), sv(m + 1, 0.0);
+  for (std::size_t i = m; i-- > 1;) {
+    su[i] = su[i + 1] + digits[i] * rates[i];
+    scu[i] = scu[i + 1] + digits[i] * hourly[i];
+    sv[i] = sv[i + 1] + digits[i] * var_terms[i];
+  }
+
+  std::uint64_t index = range.begin;
+  for (;;) {
+    double u = su[1], cu = scu[1], v = sv[1];
+    const auto k_begin = static_cast<std::uint64_t>(digits[0]);
+    for (std::uint64_t k = 0; k < k_begin; ++k) {
+      u += rate0;
+      cu += hourly0;
+      v += var0;
+    }
+    const std::uint64_t steps =
+        std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
+    for (std::uint64_t j = 0; j < steps; ++j) {
+      body(index + j, u, cu, v);
+      u += rate0;
+      cu += hourly0;
+      v += var0;
+    }
+    index += steps;
+    if (index >= range.end) break;
+    digits[0] = 0;
+    std::size_t i = 1;
+    for (; i < m; ++i) {
+      if (digits[i] < max_counts[i]) {
+        ++digits[i];
+        break;
+      }
+      digits[i] = 0;
+    }
+    su[i] = su[i + 1] + digits[i] * rates[i];
+    scu[i] = scu[i + 1] + digits[i] * hourly[i];
+    sv[i] = sv[i + 1] + digits[i] * var_terms[i];
+    for (std::size_t t = i; t-- > 1;) {
+      su[t] = su[t + 1];
+      scu[t] = scu[t + 1];
+      sv[t] = sv[t + 1];
+    }
+  }
+}
+
+}  // namespace detail
+
 /// Evaluate every configuration against `demand` (instructions) and the
 /// constraints; Algorithm 1 plus the Pareto filter of §III-D.
+/// `hourly_costs[i]` is the per-hour price of one instance of type i.
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  std::span<const double> hourly_costs, double demand,
+                  const Constraints& constraints, SweepOptions options = {});
+
+/// Convenience overload pricing with the EC2 catalog (paper Table III).
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity, double demand,
                   const Constraints& constraints, SweepOptions options = {});
 
+/// Hourly costs of the EC2 catalog (paper Table III), indexed by type.
+std::vector<double> ec2_hourly_costs();
+
 /// Streaming variant: `visit(index, capacity_U, hourly_cost)` is called for
 /// every configuration from worker threads (must be thread-safe). Useful
-/// for custom reductions.
+/// for custom reductions. The visitor is invoked directly (no type
+/// erasure), so it inlines into the enumeration loop.
+template <typename Visit>
+void for_each_configuration(const ConfigurationSpace& space,
+                            const ResourceCapacity& capacity,
+                            std::span<const double> hourly_costs,
+                            Visit&& visit,
+                            parallel::ThreadPool* pool = nullptr) {
+  if (space.num_types() != capacity.num_types())
+    throw std::invalid_argument(
+        "for_each_configuration: space/capacity width mismatch");
+  if (hourly_costs.size() != capacity.num_types())
+    throw std::invalid_argument(
+        "for_each_configuration: hourly cost width mismatch");
+  std::vector<double> rates;
+  rates.reserve(capacity.num_types());
+  for (std::size_t i = 0; i < capacity.num_types(); ++i)
+    rates.push_back(capacity.rate(i));
+  const std::vector<double> zero_var(rates.size(), 0.0);
+  parallel::ForOptions for_options;
+  for_options.pool = pool;
+  parallel::parallel_for_blocked(
+      0, space.size(),
+      [&](parallel::BlockedRange range) {
+        detail::walk_range(space, rates, hourly_costs, zero_var, range,
+                           [&visit](std::uint64_t index, double u, double cu,
+                                    double /*v*/) { visit(index, u, cu); });
+      },
+      for_options);
+}
+
+/// Type-erased overload pricing with the EC2 catalog (paper Table III).
 void for_each_configuration(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     const std::function<void(std::uint64_t, double, double)>& visit,

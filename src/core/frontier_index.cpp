@@ -1,0 +1,448 @@
+#include "core/frontier_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace celia::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Strip containing x: fences[0] = 0 and fences.back() = +inf, so every
+/// positive x lands in [0, fences.size() - 2].
+std::size_t strip_of(const std::vector<double>& fences, double x) {
+  const auto it = std::upper_bound(fences.begin(), fences.end(), x);
+  const auto raw = static_cast<std::size_t>(it - fences.begin());
+  return std::min(raw - 1, fences.size() - 2);
+}
+
+/// Quantile fences from a sorted-on-demand sample; interior fences are
+/// sample quantiles, capped by the 0 / +inf sentinels.
+std::vector<double> make_fences(std::vector<double> sample, std::size_t grid) {
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> fences(grid + 1, 0.0);
+  fences[grid] = kInf;
+  if (!sample.empty()) {
+    for (std::size_t k = 1; k < grid; ++k)
+      fences[k] = sample[(k * sample.size()) / grid];
+  }
+  return fences;
+}
+
+/// Safety margin for slope dominance. Integer multiples of one instance
+/// mix have real-equal slopes that round to doubles a few ulps apart, and
+/// the rounded per-query cost chain (two divisions + one multiplication
+/// each side) adds a few ulps more — rounded costs can order either way
+/// within ~8 ulps of slope. An entry is dropped only when its slope
+/// exceeds the best by MORE than this margin: then its rounded cost is
+/// provably larger for every demand, so sweep() can never prefer it.
+constexpr double kSlopeMargin = 1e-14;
+
+/// The (max U, min slope) non-dominated staircase, returned ascending in U
+/// with (near-)non-decreasing slope. Near-ties within kSlopeMargin are all
+/// kept so rounded-cost comparisons resolve exactly as sweep()'s.
+std::vector<FrontierIndex::Entry> staircase_filter(
+    std::vector<FrontierIndex::Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const FrontierIndex::Entry& a, const FrontierIndex::Entry& b) {
+              if (a.u != b.u) return a.u > b.u;
+              if (a.cu != b.cu) return a.cu < b.cu;
+              return a.config_index < b.config_index;
+            });
+  std::vector<FrontierIndex::Entry> kept;
+  double best_slope = kInf;
+  for (const auto& entry : entries) {
+    const double slope = entry.cu / entry.u;
+    if (slope <= best_slope * (1.0 + kSlopeMargin)) {
+      // Skip exact (u, cu) duplicates; pareto_filter would drop them too.
+      if (!kept.empty() && kept.back().u == entry.u &&
+          kept.back().cu == entry.cu)
+        continue;
+      kept.push_back(entry);
+      best_slope = std::min(best_slope, slope);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace
+
+FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
+                                   const ResourceCapacity& capacity,
+                                   std::span<const double> hourly_costs,
+                                   const BuildOptions& options) {
+  if (space.num_types() != capacity.num_types())
+    throw std::invalid_argument(
+        "FrontierIndex: space/capacity width mismatch");
+  if (hourly_costs.size() != capacity.num_types())
+    throw std::invalid_argument("FrontierIndex: hourly cost width mismatch");
+
+  FrontierIndex index;
+  index.max_counts_ = space.max_counts();
+  for (std::size_t i = 0; i < capacity.num_types(); ++i)
+    index.rates_.push_back(capacity.rate(i));
+  index.hourly_.assign(hourly_costs.begin(), hourly_costs.end());
+  index.total_ = space.size();
+
+  const std::vector<double>& rates = index.rates_;
+  const std::vector<double>& hourly = index.hourly_;
+  const std::vector<double> zero_var(rates.size(), 0.0);
+  parallel::ThreadPool& pool =
+      options.pool ? *options.pool : parallel::default_pool();
+
+  const std::uint64_t n = space.size();
+  std::size_t grid = options.grid;
+  if (grid == 0) {
+    grid = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    grid = std::clamp<std::size_t>(grid, 8, 2048);
+  }
+  index.grid_ = grid;
+
+  // Fences from a deterministic stride sample. Fence values only steer the
+  // partition (any value is correct); quantiles keep the strips balanced.
+  {
+    const std::uint64_t target = std::min<std::uint64_t>(n, 65536);
+    const std::uint64_t stride = std::max<std::uint64_t>(1, n / target);
+    std::vector<double> u_sample, s_sample;
+    std::vector<int> digits(space.num_types());
+    for (std::uint64_t i = 0; i < n; i += stride) {
+      space.decode_into(i, digits);
+      double u = 0.0, cu = 0.0;
+      for (std::size_t t = 0; t < digits.size(); ++t) {
+        u += digits[t] * rates[t];
+        cu += digits[t] * hourly[t];
+      }
+      if (u > 0) {
+        u_sample.push_back(u);
+        s_sample.push_back(cu / u);
+      }
+    }
+    index.u_fences_ = make_fences(std::move(u_sample), grid);
+    index.s_fences_ = make_fences(std::move(s_sample), grid);
+  }
+
+  // Pass A: per-block strip histograms + staircase candidates.
+  const auto blocks = parallel::split_range(0, n, pool.num_threads());
+  struct BlockStats {
+    std::vector<std::uint64_t> hist_u, hist_s;
+    std::vector<Entry> frontier;
+  };
+  std::vector<BlockStats> stats(blocks.size());
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      futures.push_back(pool.submit([&, b] {
+        BlockStats& local = stats[b];
+        local.hist_u.assign(grid, 0);
+        local.hist_s.assign(grid, 0);
+        std::size_t prune = 1 << 15;
+        detail::walk_range(
+            space, rates, hourly, zero_var, blocks[b],
+            [&](std::uint64_t idx, double u, double cu, double /*v*/) {
+              if (u <= 0) return;
+              ++local.hist_u[strip_of(index.u_fences_, u)];
+              ++local.hist_s[strip_of(index.s_fences_, cu / u)];
+              local.frontier.push_back({u, cu, idx});
+              if (local.frontier.size() >= prune) {
+                local.frontier = staircase_filter(std::move(local.frontier));
+                prune = std::max<std::size_t>(1 << 15,
+                                              2 * local.frontier.size());
+              }
+            });
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Strip offsets plus per-(block, strip) scatter cursors: deterministic
+  // destinations, so pass B needs no atomics.
+  index.u_offsets_.assign(grid + 1, 0);
+  index.s_offsets_.assign(grid + 1, 0);
+  for (std::size_t i = 0; i < grid; ++i) {
+    index.u_offsets_[i + 1] = index.u_offsets_[i];
+    index.s_offsets_[i + 1] = index.s_offsets_[i];
+    for (const auto& local : stats) {
+      index.u_offsets_[i + 1] += local.hist_u[i];
+      index.s_offsets_[i + 1] += local.hist_s[i];
+    }
+  }
+  index.positive_ = index.u_offsets_[grid];
+
+  std::vector<std::vector<std::uint64_t>> cursor_u(blocks.size()),
+      cursor_s(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    cursor_u[b].resize(grid);
+    cursor_s[b].resize(grid);
+  }
+  for (std::size_t i = 0; i < grid; ++i) {
+    std::uint64_t run_u = index.u_offsets_[i];
+    std::uint64_t run_s = index.s_offsets_[i];
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      cursor_u[b][i] = run_u;
+      cursor_s[b][i] = run_s;
+      run_u += stats[b].hist_u[i];
+      run_s += stats[b].hist_s[i];
+    }
+  }
+
+  // Pass B: scatter (U, Cu) into the strip-grouped copies.
+  index.by_u_strip_.resize(index.positive_);
+  index.by_s_strip_.resize(index.positive_);
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      futures.push_back(pool.submit([&, b] {
+        std::vector<std::uint64_t>& cu_cursor = cursor_u[b];
+        std::vector<std::uint64_t>& cs_cursor = cursor_s[b];
+        detail::walk_range(
+            space, rates, hourly, zero_var, blocks[b],
+            [&](std::uint64_t /*idx*/, double u, double cu, double /*v*/) {
+              if (u <= 0) return;
+              index.by_u_strip_[cu_cursor[strip_of(index.u_fences_, u)]++] = {
+                  u, cu};
+              index.by_s_strip_[cs_cursor[strip_of(index.s_fences_,
+                                                   cu / u)]++] = {u, cu};
+            });
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Pass C: per-u-strip slope histogram (each row owned by one task), then
+  // the (suffix-in-U, prefix-in-s) count matrix.
+  std::vector<std::uint64_t> hist2d(grid * grid, 0);
+  {
+    parallel::ForOptions fo;
+    fo.pool = &pool;
+    parallel::parallel_for(
+        0, grid,
+        [&](std::uint64_t i) {
+          std::uint64_t* row = hist2d.data() + i * grid;
+          for (std::uint64_t p = index.u_offsets_[i];
+               p < index.u_offsets_[i + 1]; ++p) {
+            const PointUC& point = index.by_u_strip_[p];
+            ++row[strip_of(index.s_fences_, point.cu / point.u)];
+          }
+        },
+        fo);
+  }
+  const std::size_t width = grid + 1;
+  index.matrix_.assign(width * width, 0);
+  for (std::size_t i = grid; i-- > 0;) {
+    std::uint64_t run = 0;
+    for (std::size_t j = 1; j <= grid; ++j) {
+      run += hist2d[i * grid + (j - 1)];
+      index.matrix_[i * width + j] = index.matrix_[(i + 1) * width + j] + run;
+    }
+  }
+
+  // Merge per-block staircase candidates into the final frontier.
+  std::vector<Entry> candidates;
+  for (auto& local : stats) {
+    candidates.insert(candidates.end(), local.frontier.begin(),
+                      local.frontier.end());
+    local.frontier.clear();
+  }
+  index.frontier_ = staircase_filter(std::move(candidates));
+  return index;
+}
+
+FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
+                                   const ResourceCapacity& capacity,
+                                   const BuildOptions& options) {
+  const std::vector<double> hourly = ec2_hourly_costs();
+  return build(space, capacity, hourly, options);
+}
+
+std::uint64_t FrontierIndex::count_feasible(double demand,
+                                            double deadline_seconds,
+                                            double budget_dollars) const {
+  const std::size_t grid = grid_;
+  if (grid == 0 || positive_ == 0) return 0;
+
+  // First u-fence meeting the deadline: strips >= m pass it wholly (exact:
+  // division is monotone), strip m-1 is the single partial strip, strips
+  // below fail wholly. m >= 1 always because u_fences_[0] = 0.
+  const std::size_t m =
+      static_cast<std::size_t>(
+          std::partition_point(u_fences_.begin(), u_fences_.end(),
+                               [&](double fence) {
+                                 return !(demand / fence < deadline_seconds);
+                               }) -
+          u_fences_.begin());
+  if (m > grid) return 0;  // not even unbounded capacity meets the deadline
+
+  // First s-fence failing the budget in slope form (cost ~ D/3600 * s):
+  // strips < jm-1 pass wholly, strip jm-1 is partial, the rest fail.
+  const double hscale = demand / 3600.0;
+  const std::size_t jm =
+      static_cast<std::size_t>(
+          std::partition_point(
+              s_fences_.begin(), s_fences_.end(),
+              [&](double fence) { return hscale * fence < budget_dollars; }) -
+          s_fences_.begin());
+
+  const std::size_t width = grid + 1;
+  std::uint64_t count = matrix_[m * width + (jm == 0 ? 0 : jm - 1)];
+
+  // Partial u-strip m-1: exact per-point predicates.
+  for (std::uint64_t p = u_offsets_[m - 1]; p < u_offsets_[m]; ++p) {
+    const PointUC& point = by_u_strip_[p];
+    const double seconds = demand / point.u;
+    if (!(seconds < deadline_seconds)) continue;
+    const double cost = seconds / 3600.0 * point.cu;
+    if (cost < budget_dollars) ++count;
+  }
+
+  // Partial s-strip jm-1, restricted to whole-passing u-strips (u >=
+  // u_fences_[m] excludes strip m-1, already counted above).
+  if (jm >= 1) {
+    const double u_min = u_fences_[m];
+    for (std::uint64_t p = s_offsets_[jm - 1]; p < s_offsets_[jm]; ++p) {
+      const PointUC& point = by_s_strip_[p];
+      if (!(point.u >= u_min)) continue;
+      const double seconds = demand / point.u;
+      if (!(seconds < deadline_seconds)) continue;
+      const double cost = seconds / 3600.0 * point.cu;
+      if (cost < budget_dollars) ++count;
+    }
+  }
+  return count;
+}
+
+SweepResult FrontierIndex::query(double demand, const Constraints& constraints,
+                                 bool collect_pareto) const {
+  if (demand <= 0)
+    throw std::invalid_argument("FrontierIndex::query: non-positive demand");
+  if (constraints.confidence_z > 0 && constraints.rate_sigma > 0)
+    throw std::invalid_argument(
+        "FrontierIndex::query: risk-aware queries need sweep()");
+
+  const double deadline = constraints.deadline_seconds;
+  const double budget = constraints.budget_dollars;
+
+  SweepResult result;
+  result.total = total_;
+  result.feasible = count_feasible(demand, deadline, budget);
+
+  // The staircase's U ascends, so predicted seconds descend: the deadline
+  // admits a suffix (exact). Slopes ascend with U, so cost ascends
+  // (modulo ulps) and the budget admits a prefix of that suffix.
+  const auto begin = frontier_.begin();
+  const auto lo = std::partition_point(
+      begin, frontier_.end(),
+      [&](const Entry& e) { return !(demand / e.u < deadline); });
+  const auto hi = std::partition_point(lo, frontier_.end(), [&](const Entry& e) {
+    const double seconds = demand / e.u;
+    return seconds / 3600.0 * e.cu < budget;
+  });
+  const auto lo_i = static_cast<std::size_t>(lo - begin);
+  const auto hi_i = static_cast<std::size_t>(hi - begin);
+
+  // One exact pass over the (short) admitted range: rounded costs inside an
+  // equal-slope run wiggle by ulps in either direction, so no early exit —
+  // min-cost and min-time use sweep()'s exact comparisons and tie breaks.
+  bool any = false;
+  for (std::size_t i = lo_i; i < hi_i; ++i) {
+    const Entry& e = frontier_[i];
+    const double seconds = demand / e.u;
+    const double cost = seconds / 3600.0 * e.cu;
+    if (!(cost < budget)) continue;
+    if (!any) {
+      result.min_cost = result.min_time = {e.config_index, seconds, cost};
+      any = true;
+      continue;
+    }
+    if (cost < result.min_cost.cost ||
+        (cost == result.min_cost.cost && seconds < result.min_cost.seconds)) {
+      result.min_cost = {e.config_index, seconds, cost};
+    }
+    if (seconds < result.min_time.seconds ||
+        (seconds == result.min_time.seconds && cost < result.min_time.cost)) {
+      result.min_time = {e.config_index, seconds, cost};
+    }
+  }
+  result.any_feasible = any;
+
+  if (collect_pareto && any) {
+    std::vector<CostTimePoint> candidates;
+    candidates.reserve(hi_i - lo_i);
+    for (std::size_t i = lo_i; i < hi_i; ++i) {
+      const Entry& e = frontier_[i];
+      const double seconds = demand / e.u;
+      const double cost = seconds / 3600.0 * e.cu;
+      if (!(cost < budget)) continue;
+      candidates.push_back({e.config_index, seconds, cost});
+    }
+    result.pareto = pareto_filter(std::move(candidates));
+  }
+  return result;
+}
+
+std::size_t FrontierIndex::memory_bytes() const {
+  return frontier_.capacity() * sizeof(Entry) +
+         (by_u_strip_.capacity() + by_s_strip_.capacity()) * sizeof(PointUC) +
+         matrix_.capacity() * sizeof(std::uint64_t) +
+         (u_fences_.capacity() + s_fences_.capacity()) * sizeof(double) +
+         (u_offsets_.capacity() + s_offsets_.capacity()) *
+             sizeof(std::uint64_t);
+}
+
+bool FrontierIndex::matches(const ConfigurationSpace& space,
+                            const ResourceCapacity& capacity,
+                            std::span<const double> hourly_costs) const {
+  if (space.max_counts() != max_counts_) return false;
+  if (capacity.num_types() != rates_.size()) return false;
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    if (capacity.rate(i) != rates_[i]) return false;
+  if (hourly_costs.size() != hourly_.size()) return false;
+  for (std::size_t i = 0; i < hourly_.size(); ++i)
+    if (hourly_costs[i] != hourly_[i]) return false;
+  return true;
+}
+
+std::shared_ptr<const FrontierIndex> shared_frontier_index(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    std::span<const double> hourly_costs, parallel::ThreadPool* pool) {
+  static std::mutex mutex;
+  static std::vector<std::shared_ptr<const FrontierIndex>> cache;  // MRU first
+  constexpr std::size_t kMaxCached = 4;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+      if ((*it)->matches(space, capacity, hourly_costs)) {
+        auto hit = *it;
+        cache.erase(it);
+        cache.insert(cache.begin(), hit);
+        return hit;
+      }
+    }
+  }
+
+  // Build outside the lock; a concurrent builder of the same model may
+  // race, in which case the first insertion wins.
+  FrontierIndex::BuildOptions build_options;
+  build_options.pool = pool;
+  auto built = std::make_shared<const FrontierIndex>(
+      FrontierIndex::build(space, capacity, hourly_costs, build_options));
+
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& cached : cache)
+    if (cached->matches(space, capacity, hourly_costs)) return cached;
+  cache.insert(cache.begin(), built);
+  if (cache.size() > kMaxCached) cache.pop_back();
+  return built;
+}
+
+}  // namespace celia::core

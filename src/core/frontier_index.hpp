@@ -1,0 +1,150 @@
+#pragma once
+// Demand-invariant frontier index: pay the 10M-configuration enumeration
+// once, answer every subsequent planner query in microseconds.
+//
+// A configuration's capacity U_j (Eq. 3) and unit cost C_j,u (Eq. 6) do
+// not depend on the query — demand D, deadline T' and budget C' only enter
+// through T = D/U (Eq. 2) and C = T * C_j,u / 3600 (Eq. 5/6). In the
+// (U, s)-plane with slope s = C_u / U, both constraints become
+// axis-aligned half-planes:
+//
+//     feasible  <=>  U > D/T'   and   s < 3600 C' / D.
+//
+// The index therefore precomputes, in one parallel pass over the space:
+//
+//  1. The STAIRCASE: the (max U, min s) non-dominated entries (equal
+//     slopes all kept — integer multiples of one mix tie exactly in s but
+//     their rounded costs differ by ulps either way). Sorted by ascending
+//     U the surviving slopes are non-decreasing, so any query's feasible
+//     frontier candidates form one contiguous range found by two binary
+//     searches; one exact pass over that short range reproduces sweep()'s
+//     min-cost/min-time points and (via pareto_filter) its exact Pareto
+//     frontier.
+//  2. The COUNTING GRID for the exact feasible count: ~sqrt(S) quantile
+//     fences per axis, a (suffix-in-U, prefix-in-s) count matrix for the
+//     strips that pass/fail wholly, and the (U, Cu) points bucketed by
+//     strip so the one partial strip per axis is re-tested with the exact
+//     per-point sweep predicates. O(log S + sqrt(S)) per query vs O(S).
+//
+// Exactness: U and Cu are the same doubles the sweep computes (both come
+// from detail::walk_range), the deadline side of the grid classification
+// is exact (division is monotone), and every point in a partial strip or
+// in the staircase range is re-tested with bit-identical predicates. The
+// only divergence from sweep() is for points whose cost lies within a few
+// ulps of a constraint boundary (the budget-side strip classification and
+// the staircase range end use a slope-form bound) — a measure-zero event
+// for real-valued inputs, validated against sweep() by the property tests.
+//
+// Risk-aware queries (confidence_z > 0) change the effective capacity per
+// configuration and keep the sweep path; see SweepOptions.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/configuration.hpp"
+#include "core/enumerate.hpp"
+
+namespace celia::core {
+
+/// Namespace-scope so the in-class `= {}` defaults below can use its
+/// member initializers (nested aggregates can't until the enclosing class
+/// is complete).
+struct FrontierBuildOptions {
+  /// Pool for the build passes; nullptr = parallel::default_pool().
+  parallel::ThreadPool* pool = nullptr;
+  /// Strips per axis of the counting grid; 0 picks ~sqrt(space size)
+  /// (clamped to [8, 2048]).
+  std::size_t grid = 0;
+};
+
+class FrontierIndex {
+ public:
+  using BuildOptions = FrontierBuildOptions;
+
+  /// One staircase entry: capacity, hourly cost, configuration.
+  struct Entry {
+    double u = 0.0;
+    double cu = 0.0;
+    std::uint64_t config_index = 0;
+  };
+
+  /// One parallel pass over the space (plus a scatter pass for the grid).
+  /// `hourly_costs[i]` is the per-hour price of one instance of type i.
+  static FrontierIndex build(const ConfigurationSpace& space,
+                             const ResourceCapacity& capacity,
+                             std::span<const double> hourly_costs,
+                             const BuildOptions& options = {});
+
+  /// Convenience overload pricing with the EC2 catalog (paper Table III).
+  static FrontierIndex build(const ConfigurationSpace& space,
+                             const ResourceCapacity& capacity,
+                             const BuildOptions& options = {});
+
+  /// Answer a deterministic (demand, deadline, budget) query. Equivalent
+  /// to sweep() with the same arguments (see the exactness note above).
+  /// Throws std::invalid_argument for non-positive demand and for
+  /// risk-aware constraints (those need the sweep path).
+  SweepResult query(double demand, const Constraints& constraints,
+                    bool collect_pareto = true) const;
+
+  /// The demand-invariant staircase: ascending U, non-decreasing slope.
+  /// Equal-slope runs (integer multiples of one instance mix) are kept in
+  /// full so rounded-cost ties resolve exactly as sweep()'s.
+  std::span<const Entry> frontier() const { return frontier_; }
+
+  std::uint64_t total_configurations() const { return total_; }
+  /// Configurations with U > 0 (the only ones any query can return).
+  std::uint64_t attainable_configurations() const { return positive_; }
+  std::size_t grid_resolution() const { return grid_; }
+  std::size_t memory_bytes() const;
+
+  /// True when the index was built for exactly this model.
+  bool matches(const ConfigurationSpace& space,
+               const ResourceCapacity& capacity,
+               std::span<const double> hourly_costs) const;
+
+ private:
+  struct PointUC {
+    double u = 0.0;
+    double cu = 0.0;
+  };
+
+  FrontierIndex() = default;
+
+  std::uint64_t count_feasible(double demand, double deadline_seconds,
+                               double budget_dollars) const;
+
+  // Model identity.
+  std::vector<int> max_counts_;
+  std::vector<double> rates_;
+  std::vector<double> hourly_;
+  std::uint64_t total_ = 0;
+  std::uint64_t positive_ = 0;
+
+  std::vector<Entry> frontier_;
+
+  // Counting grid: fences[0] = 0 and fences[grid_] = +inf sentinel each
+  // axis; matrix_[i*(grid_+1)+j] = #points with u-strip >= i, s-strip < j;
+  // by_*_strip_ hold the (U, Cu) points grouped by strip via *_offsets_.
+  std::size_t grid_ = 0;
+  std::vector<double> u_fences_;
+  std::vector<double> s_fences_;
+  std::vector<std::uint64_t> u_offsets_;
+  std::vector<std::uint64_t> s_offsets_;
+  std::vector<PointUC> by_u_strip_;
+  std::vector<PointUC> by_s_strip_;
+  std::vector<std::uint64_t> matrix_;
+};
+
+/// Process-wide index cache (small LRU keyed by the model): returns the
+/// shared index for (space, capacity, hourly_costs), building it on first
+/// use. This is what SweepOptions::use_cached_index consults.
+std::shared_ptr<const FrontierIndex> shared_frontier_index(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    std::span<const double> hourly_costs,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace celia::core

@@ -121,4 +121,20 @@ CostTimePoint pick_from_frontier(std::span<const CostTimePoint> frontier,
   throw std::invalid_argument("pick_from_frontier: unknown strategy");
 }
 
+std::optional<CostTimePoint> recommend(const ConfigurationSpace& space,
+                                       const ResourceCapacity& capacity,
+                                       std::span<const double> hourly_costs,
+                                       double demand,
+                                       const Constraints& constraints,
+                                       PickStrategy strategy,
+                                       parallel::ThreadPool* pool) {
+  SweepOptions options;
+  options.use_cached_index = true;
+  options.pool = pool;
+  const SweepResult result =
+      sweep(space, capacity, hourly_costs, demand, constraints, options);
+  if (!result.any_feasible) return std::nullopt;
+  return pick_from_frontier(result.pareto, strategy);
+}
+
 }  // namespace celia::core

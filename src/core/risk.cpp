@@ -59,70 +59,107 @@ std::optional<CostTimePoint> robust_min_cost(
   parallel::parallel_for_blocked(
       0, space.size(),
       [&](parallel::BlockedRange range) {
+        if (range.empty()) return;
+        // Suffix-sum walk mirroring detail::walk_range's arithmetic
+        // exactly, so kNone reproduces sweep()'s doubles bit for bit; the
+        // extra `instances` channel (exact integer) feeds kBottleneck.
+        const auto& max_counts = space.max_counts();
         std::vector<int> digits(m);
         space.decode_into(range.begin, digits);
-        double u = 0, cu = 0, v = 0;
-        int instances = 0;
-        for (std::size_t i = 0; i < m; ++i) {
-          u += digits[i] * rates[i];
-          cu += digits[i] * hourly[i];
-          v += digits[i] * var_terms[i];
-          instances += digits[i];
-        }
+        const double rate0 = rates[0];
+        const double hourly0 = hourly[0];
+        const double var0 = var_terms[0];
+        const std::uint64_t row_radix =
+            static_cast<std::uint64_t>(max_counts[0]) + 1;
 
         std::optional<CostTimePoint> local;
-        for (std::uint64_t index = range.begin; index < range.end; ++index) {
-          if (u > 0) {
-            bool feasible = false;
-            switch (spec.model) {
-              case RiskModel::kNone:
-                feasible = demand / u < deadline_seconds;
-                break;
-              case RiskModel::kSumCapacity: {
-                const double u_eff =
-                    spec.median_factor * (u - z * std::sqrt(v));
-                feasible = u_eff > 0 && demand / u_eff < deadline_seconds;
-                break;
-              }
-              case RiskModel::kBottleneck: {
-                // Need min over `instances` lognormal factors >= x.
-                const double x = demand / (u * deadline_seconds);
-                if (x <= 0) {
-                  feasible = true;
-                } else {
-                  const double tail = 1.0 - util::normal_cdf(
-                                                (std::log(x) - ln_median) /
-                                                spec.sigma);
-                  feasible = tail > 0 &&
-                             instances * std::log(tail) >= ln_confidence;
-                }
-                break;
-              }
-            }
-            if (feasible) {
-              const double seconds = demand / u;  // deterministic quote
-              const double cost = seconds / 3600.0 * cu;
-              if (!local || cost < local->cost ||
-                  (cost == local->cost && seconds < local->seconds)) {
-                local = CostTimePoint{index, seconds, cost};
-              }
-            }
-          }
-          if (index + 1 >= range.end) break;
-          for (std::size_t i = 0; i < m; ++i) {
-            if (digits[i] < space.max_counts()[i]) {
-              ++digits[i];
-              u += rates[i];
-              cu += hourly[i];
-              v += var_terms[i];
-              ++instances;
+        const auto consider = [&](std::uint64_t index, double u, double cu,
+                                  double v, int instances) {
+          if (u <= 0) return;
+          bool feasible = false;
+          switch (spec.model) {
+            case RiskModel::kNone:
+              feasible = demand / u < deadline_seconds;
+              break;
+            case RiskModel::kSumCapacity: {
+              const double u_eff = spec.median_factor * (u - z * std::sqrt(v));
+              feasible = u_eff > 0 && demand / u_eff < deadline_seconds;
               break;
             }
-            u -= digits[i] * rates[i];
-            cu -= digits[i] * hourly[i];
-            v -= digits[i] * var_terms[i];
-            instances -= digits[i];
+            case RiskModel::kBottleneck: {
+              // Need min over `instances` lognormal factors >= x.
+              const double x = demand / (u * deadline_seconds);
+              if (x <= 0) {
+                feasible = true;
+              } else {
+                const double tail = 1.0 - util::normal_cdf(
+                                              (std::log(x) - ln_median) /
+                                              spec.sigma);
+                feasible =
+                    tail > 0 && instances * std::log(tail) >= ln_confidence;
+              }
+              break;
+            }
+          }
+          if (feasible) {
+            const double seconds = demand / u;  // deterministic quote
+            const double cost = seconds / 3600.0 * cu;
+            if (!local || cost < local->cost ||
+                (cost == local->cost && seconds < local->seconds)) {
+              local = CostTimePoint{index, seconds, cost};
+            }
+          }
+        };
+
+        std::vector<double> su(m + 1, 0.0), scu(m + 1, 0.0), sv(m + 1, 0.0);
+        std::vector<int> si(m + 1, 0);
+        for (std::size_t i = m; i-- > 1;) {
+          su[i] = su[i + 1] + digits[i] * rates[i];
+          scu[i] = scu[i + 1] + digits[i] * hourly[i];
+          sv[i] = sv[i + 1] + digits[i] * var_terms[i];
+          si[i] = si[i + 1] + digits[i];
+        }
+
+        std::uint64_t index = range.begin;
+        for (;;) {
+          double u = su[1], cu = scu[1], v = sv[1];
+          int instances = si[1];
+          const auto k_begin = static_cast<std::uint64_t>(digits[0]);
+          for (std::uint64_t k = 0; k < k_begin; ++k) {
+            u += rate0;
+            cu += hourly0;
+            v += var0;
+            ++instances;
+          }
+          const std::uint64_t steps =
+              std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
+          for (std::uint64_t j = 0; j < steps; ++j) {
+            consider(index + j, u, cu, v, instances);
+            u += rate0;
+            cu += hourly0;
+            v += var0;
+            ++instances;
+          }
+          index += steps;
+          if (index >= range.end) break;
+          digits[0] = 0;
+          std::size_t i = 1;
+          for (; i < m; ++i) {
+            if (digits[i] < max_counts[i]) {
+              ++digits[i];
+              break;
+            }
             digits[i] = 0;
+          }
+          su[i] = su[i + 1] + digits[i] * rates[i];
+          scu[i] = scu[i + 1] + digits[i] * hourly[i];
+          sv[i] = sv[i + 1] + digits[i] * var_terms[i];
+          si[i] = si[i + 1] + digits[i];
+          for (std::size_t t = i; t-- > 1;) {
+            su[t] = su[t + 1];
+            scu[t] = scu[t + 1];
+            sv[t] = sv[t + 1];
+            si[t] = si[t + 1];
           }
         }
 

@@ -24,41 +24,10 @@ std::vector<BlockedRange> split_range(std::uint64_t begin, std::uint64_t end,
 void parallel_for_blocked(std::uint64_t begin, std::uint64_t end,
                           const std::function<void(BlockedRange)>& body,
                           ForOptions options) {
-  if (begin >= end) return;
-  ThreadPool& pool = options.pool ? *options.pool : default_pool();
-
-  if (options.schedule == Schedule::kStatic) {
-    const auto ranges = split_range(begin, end, pool.num_threads());
-    std::vector<std::future<void>> futures;
-    futures.reserve(ranges.size());
-    for (const auto range : ranges)
-      futures.push_back(pool.submit([range, &body] { body(range); }));
-    for (auto& f : futures) f.get();
-    return;
-  }
-
-  // Dynamic schedule: workers claim chunks from a shared atomic cursor.
-  std::uint64_t chunk = options.chunk;
-  if (chunk == 0) {
-    const std::uint64_t total = end - begin;
-    chunk = std::max<std::uint64_t>(
-        1, total / (8 * std::max<std::size_t>(1, pool.num_threads())));
-  }
-  auto cursor = std::make_shared<std::atomic<std::uint64_t>>(begin);
-  std::vector<std::future<void>> futures;
-  futures.reserve(pool.num_threads());
-  for (std::size_t t = 0; t < pool.num_threads(); ++t) {
-    futures.push_back(pool.submit([cursor, begin, end, chunk, &body] {
-      (void)begin;
-      for (;;) {
-        const std::uint64_t start =
-            cursor->fetch_add(chunk, std::memory_order_relaxed);
-        if (start >= end) return;
-        body({start, std::min(start + chunk, end)});
-      }
-    }));
-  }
-  for (auto& f : futures) f.get();
+  // Explicit template argument so this forwards to the template above
+  // instead of recursing into itself.
+  parallel_for_blocked<const std::function<void(BlockedRange)>&>(
+      begin, end, body, options);
 }
 
 }  // namespace celia::parallel

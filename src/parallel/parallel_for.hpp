@@ -6,12 +6,18 @@
 // cursor (dynamic schedule). parallel_reduce gives each worker a private
 // accumulator and merges them at the end — no locks on the hot path, in
 // the spirit of OpenMP `reduction` clauses.
+//
+// parallel_for_blocked is a template so the per-block body is invoked
+// directly and can inline into the caller's loop; a std::function overload
+// is kept for callers that already hold a type-erased body.
 
 #include <atomic>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -41,7 +47,50 @@ struct ForOptions {
   ThreadPool* pool = nullptr;
 };
 
-/// Invoke body(range) in parallel over [begin, end).
+/// Invoke body(range) in parallel over [begin, end). `body` may be called
+/// concurrently from several workers and must outlive the call (it does:
+/// the call blocks until every block completes).
+template <typename Body>
+  requires std::invocable<Body&, BlockedRange>
+void parallel_for_blocked(std::uint64_t begin, std::uint64_t end, Body&& body,
+                          ForOptions options = {}) {
+  if (begin >= end) return;
+  ThreadPool& pool = options.pool ? *options.pool : default_pool();
+
+  if (options.schedule == Schedule::kStatic) {
+    const auto ranges = split_range(begin, end, pool.num_threads());
+    std::vector<std::future<void>> futures;
+    futures.reserve(ranges.size());
+    for (const auto range : ranges)
+      futures.push_back(pool.submit([range, &body] { body(range); }));
+    for (auto& f : futures) f.get();
+    return;
+  }
+
+  // Dynamic schedule: workers claim chunks from a shared atomic cursor.
+  std::uint64_t chunk = options.chunk;
+  if (chunk == 0) {
+    const std::uint64_t total = end - begin;
+    chunk = std::max<std::uint64_t>(
+        1, total / (8 * std::max<std::size_t>(1, pool.num_threads())));
+  }
+  auto cursor = std::make_shared<std::atomic<std::uint64_t>>(begin);
+  std::vector<std::future<void>> futures;
+  futures.reserve(pool.num_threads());
+  for (std::size_t t = 0; t < pool.num_threads(); ++t) {
+    futures.push_back(pool.submit([cursor, end, chunk, &body] {
+      for (;;) {
+        const std::uint64_t start =
+            cursor->fetch_add(chunk, std::memory_order_relaxed);
+        if (start >= end) return;
+        body(BlockedRange{start, std::min(start + chunk, end)});
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Type-erased overload for callers that already hold a std::function.
 void parallel_for_blocked(std::uint64_t begin, std::uint64_t end,
                           const std::function<void(BlockedRange)>& body,
                           ForOptions options = {});

@@ -1,0 +1,320 @@
+// Property tests for the demand-invariant FrontierIndex
+// (core/frontier_index.hpp): every deterministic query must reproduce
+// sweep()'s answer exactly — same feasible count, same min-cost/min-time
+// configurations with bit-identical doubles, same Pareto frontier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "core/enumerate.hpp"
+#include "core/frontier_index.hpp"
+#include "core/recommend.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celia::core;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct RandomModel {
+  ConfigurationSpace space;
+  ResourceCapacity capacity;
+  std::vector<double> hourly;
+};
+
+/// A random small model: 9-wide space (ResourceCapacity is always
+/// catalog-wide), random per-vcpu rates and hourly prices.
+RandomModel random_model(celia::util::Xoshiro256& rng) {
+  std::vector<int> max_counts(celia::cloud::catalog_size());
+  bool any = false;
+  for (auto& count : max_counts) {
+    count = static_cast<int>(rng.bounded(4));  // 0..3 => space size <= 4^9
+    any = any || count > 0;
+  }
+  if (!any) max_counts[rng.bounded(max_counts.size())] = 2;
+
+  std::vector<double> per_vcpu(celia::cloud::catalog_size());
+  for (auto& rate : per_vcpu) rate = rng.uniform(1e8, 2e9);
+
+  std::vector<double> hourly(celia::cloud::catalog_size());
+  for (auto& price : hourly) price = rng.uniform(0.05, 1.0);
+
+  return {ConfigurationSpace(max_counts), ResourceCapacity(per_vcpu),
+          std::move(hourly)};
+}
+
+void expect_same_result(const SweepResult& expected, const SweepResult& got,
+                        const char* context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(expected.total, got.total);
+  EXPECT_EQ(expected.feasible, got.feasible);
+  EXPECT_EQ(expected.any_feasible, got.any_feasible);
+  if (expected.any_feasible && got.any_feasible) {
+    EXPECT_EQ(expected.min_cost.config_index, got.min_cost.config_index);
+    EXPECT_EQ(expected.min_cost.seconds, got.min_cost.seconds);
+    EXPECT_EQ(expected.min_cost.cost, got.min_cost.cost);
+    EXPECT_EQ(expected.min_time.config_index, got.min_time.config_index);
+    EXPECT_EQ(expected.min_time.seconds, got.min_time.seconds);
+    EXPECT_EQ(expected.min_time.cost, got.min_time.cost);
+  }
+  // CostTimePoint's operator== compares all three fields exactly.
+  EXPECT_EQ(expected.pareto, got.pareto);
+}
+
+TEST(FrontierIndex, MatchesSweepOnRandomModelsAndQueries) {
+  celia::util::Xoshiro256 rng(20170805);
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE(trial);
+    const RandomModel model = random_model(rng);
+    const FrontierIndex index =
+        FrontierIndex::build(model.space, model.capacity, model.hourly);
+    EXPECT_EQ(index.total_configurations(), model.space.size());
+
+    for (int q = 0; q < 10; ++q) {
+      const double demand = std::pow(10.0, rng.uniform(10.0, 16.0));
+      Constraints constraints;
+      switch (rng.bounded(4)) {
+        case 0:  // both finite, often tight
+          constraints.deadline_seconds =
+              demand / rng.uniform(1e9, 5e10);
+          constraints.budget_dollars = rng.uniform(0.01, 50.0);
+          break;
+        case 1:  // deadline only
+          constraints.deadline_seconds = demand / rng.uniform(1e9, 5e10);
+          break;
+        case 2:  // budget only
+          constraints.budget_dollars = rng.uniform(0.01, 50.0);
+          break;
+        case 3:  // unconstrained
+          break;
+      }
+
+      const SweepResult expected = sweep(model.space, model.capacity,
+                                         model.hourly, demand, constraints);
+      const SweepResult got = index.query(demand, constraints);
+      expect_same_result(expected, got, "query");
+
+      SweepOptions options;
+      options.index = &index;
+      const SweepResult via_sweep = sweep(model.space, model.capacity,
+                                          model.hourly, demand, constraints,
+                                          options);
+      expect_same_result(expected, via_sweep, "sweep with options.index");
+    }
+  }
+}
+
+TEST(FrontierIndex, EmptyFeasibleSet) {
+  celia::util::Xoshiro256 rng(42);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex index =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  Constraints constraints;
+  constraints.deadline_seconds = 1e-9;  // nothing is this fast
+  const SweepResult got = index.query(1e15, constraints);
+  EXPECT_FALSE(got.any_feasible);
+  EXPECT_EQ(got.feasible, 0u);
+  EXPECT_TRUE(got.pareto.empty());
+
+  constraints = {};
+  constraints.budget_dollars = 0.0;  // strict bound: nothing is free
+  const SweepResult broke = index.query(1e15, constraints);
+  EXPECT_FALSE(broke.any_feasible);
+  EXPECT_EQ(broke.feasible, 0u);
+}
+
+TEST(FrontierIndex, InfiniteConstraintsCountEveryAttainableConfig) {
+  celia::util::Xoshiro256 rng(7);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex index =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  const SweepResult expected =
+      sweep(model.space, model.capacity, model.hourly, 1e14, Constraints{});
+  const SweepResult got = index.query(1e14, Constraints{});
+  expect_same_result(expected, got, "unconstrained");
+  // Rates are strictly positive, so every configuration is attainable.
+  EXPECT_EQ(got.feasible, model.space.size());
+  EXPECT_EQ(index.attainable_configurations(), model.space.size());
+}
+
+TEST(FrontierIndex, SingleTypeSpace) {
+  std::vector<int> max_counts(celia::cloud::catalog_size(), 0);
+  max_counts[0] = 5;
+  const ConfigurationSpace space(max_counts);
+  const ResourceCapacity capacity(
+      std::vector<double>(celia::cloud::catalog_size(), 1e9));
+  const std::vector<double> hourly = ec2_hourly_costs();
+  const FrontierIndex index = FrontierIndex::build(space, capacity, hourly);
+  EXPECT_EQ(index.total_configurations(), 5u);
+
+  Constraints constraints;
+  constraints.deadline_seconds = 3600.0;
+  constraints.budget_dollars = 100.0;
+  for (const double demand : {1e9, 1e12, 1e13, 1e14}) {
+    const SweepResult expected =
+        sweep(space, capacity, hourly, demand, constraints);
+    expect_same_result(expected, index.query(demand, constraints), "1-type");
+  }
+}
+
+TEST(FrontierIndex, BuildIsDeterministic) {
+  celia::util::Xoshiro256 rng(99);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex a =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  const FrontierIndex b =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  ASSERT_EQ(a.frontier().size(), b.frontier().size());
+  for (std::size_t i = 0; i < a.frontier().size(); ++i) {
+    EXPECT_EQ(a.frontier()[i].u, b.frontier()[i].u);
+    EXPECT_EQ(a.frontier()[i].cu, b.frontier()[i].cu);
+    EXPECT_EQ(a.frontier()[i].config_index, b.frontier()[i].config_index);
+  }
+}
+
+TEST(FrontierIndex, StaircaseIsSortedAndAttainable) {
+  celia::util::Xoshiro256 rng(5);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex index =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  const auto frontier = index.frontier();
+  ASSERT_FALSE(frontier.empty());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].u, 0.0);
+    EXPECT_LT(frontier[i].config_index, model.space.size());
+    if (i > 0) {
+      EXPECT_LE(frontier[i - 1].u, frontier[i].u);
+      // Slopes ascend modulo the dominance margin (near-ties are kept).
+      EXPECT_LE(frontier[i - 1].cu / frontier[i - 1].u,
+                (frontier[i].cu / frontier[i].u) * (1.0 + 1e-13));
+    }
+  }
+  EXPECT_GT(index.memory_bytes(), 0u);
+  EXPECT_GE(index.grid_resolution(), 8u);
+}
+
+TEST(FrontierIndex, QueryValidation) {
+  celia::util::Xoshiro256 rng(3);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex index =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  EXPECT_THROW(index.query(0.0, Constraints{}), std::invalid_argument);
+  EXPECT_THROW(index.query(-1.0, Constraints{}), std::invalid_argument);
+  Constraints risky;
+  risky.confidence_z = 1.645;
+  risky.rate_sigma = 0.05;
+  EXPECT_THROW(index.query(1e12, risky), std::invalid_argument);
+}
+
+TEST(FrontierIndex, SweepRejectsMismatchedIndex) {
+  celia::util::Xoshiro256 rng(11);
+  const RandomModel a = random_model(rng);
+  const RandomModel b = random_model(rng);
+  const FrontierIndex index = FrontierIndex::build(a.space, a.capacity,
+                                                   a.hourly);
+  SweepOptions options;
+  options.index = &index;
+  EXPECT_THROW(sweep(b.space, b.capacity, b.hourly, 1e12, Constraints{},
+                     options),
+               std::invalid_argument);
+}
+
+TEST(FrontierIndex, RiskAwareConstraintsFallBackToSweep) {
+  celia::util::Xoshiro256 rng(13);
+  const RandomModel model = random_model(rng);
+  const FrontierIndex index =
+      FrontierIndex::build(model.space, model.capacity, model.hourly);
+  Constraints risky;
+  risky.deadline_seconds = 3600.0;
+  risky.confidence_z = 1.645;
+  risky.rate_sigma = 0.05;
+  const SweepResult expected =
+      sweep(model.space, model.capacity, model.hourly, 1e13, risky);
+  SweepOptions options;
+  options.index = &index;  // must be ignored: risk-aware needs the sweep
+  const SweepResult got =
+      sweep(model.space, model.capacity, model.hourly, 1e13, risky, options);
+  expect_same_result(expected, got, "risk-aware fallback");
+}
+
+TEST(FrontierIndex, SharedCacheReturnsSameInstance) {
+  celia::util::Xoshiro256 rng(17);
+  const RandomModel model = random_model(rng);
+  const auto first =
+      shared_frontier_index(model.space, model.capacity, model.hourly);
+  const auto second =
+      shared_frontier_index(model.space, model.capacity, model.hourly);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first.get(), second.get());
+
+  SweepOptions options;
+  options.use_cached_index = true;
+  Constraints constraints;
+  constraints.deadline_seconds = 3600.0;
+  const SweepResult expected =
+      sweep(model.space, model.capacity, model.hourly, 1e13, constraints);
+  const SweepResult got = sweep(model.space, model.capacity, model.hourly,
+                                1e13, constraints, options);
+  expect_same_result(expected, got, "use_cached_index");
+}
+
+TEST(FrontierIndex, RecommendMatchesSweepPlusPick) {
+  celia::util::Xoshiro256 rng(19);
+  const RandomModel model = random_model(rng);
+  Constraints constraints;
+  constraints.deadline_seconds = 7200.0;
+  constraints.budget_dollars = 25.0;
+  const double demand = 5e12;
+  const SweepResult expected =
+      sweep(model.space, model.capacity, model.hourly, demand, constraints);
+  const auto pick = recommend(model.space, model.capacity, model.hourly,
+                              demand, constraints, PickStrategy::kCheapest);
+  ASSERT_EQ(pick.has_value(), expected.any_feasible);
+  if (pick) {
+    const CostTimePoint direct =
+        pick_from_frontier(expected.pareto, PickStrategy::kCheapest);
+    EXPECT_EQ(pick->config_index, direct.config_index);
+    EXPECT_EQ(pick->cost, direct.cost);
+    EXPECT_EQ(pick->seconds, direct.seconds);
+  }
+
+  Constraints impossible;
+  impossible.deadline_seconds = 1e-9;
+  EXPECT_FALSE(recommend(model.space, model.capacity, model.hourly, demand,
+                         impossible, PickStrategy::kKnee)
+                   .has_value());
+}
+
+TEST(FrontierIndex, ExplicitGridResolutionStillExact) {
+  celia::util::Xoshiro256 rng(23);
+  const RandomModel model = random_model(rng);
+  for (const std::size_t grid : {1u, 2u, 7u, 64u}) {
+    FrontierIndex::BuildOptions options;
+    options.grid = grid;
+    const FrontierIndex index = FrontierIndex::build(
+        model.space, model.capacity, model.hourly, options);
+    EXPECT_EQ(index.grid_resolution(), grid);
+    Constraints constraints;
+    constraints.deadline_seconds = 1800.0;
+    constraints.budget_dollars = 10.0;
+    const SweepResult expected = sweep(model.space, model.capacity,
+                                       model.hourly, 3e12, constraints);
+    expect_same_result(expected, index.query(3e12, constraints), "grid");
+  }
+}
+
+TEST(FrontierIndex, BuildValidatesWidths) {
+  celia::util::Xoshiro256 rng(29);
+  const RandomModel model = random_model(rng);
+  const std::vector<double> short_hourly(model.space.num_types() - 1, 0.1);
+  EXPECT_THROW(
+      FrontierIndex::build(model.space, model.capacity, short_hourly),
+      std::invalid_argument);
+}
+
+}  // namespace
