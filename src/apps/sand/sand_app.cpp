@@ -92,21 +92,23 @@ void SandApp::run_instrumented(const AppParams& params,
   for (std::uint64_t i = 0; i < n; ++i)
     reads.push_back(make_sequence(model_.read_length, rng));
 
-  volatile std::int64_t sink = 0;
+  // Unsigned so the deliberate wraparound of this optimisation barrier is
+  // defined behaviour; the value is never read.
+  volatile std::uint64_t sink = 0;
   // Master pass: build the task index (serial in the cluster run).
   for (std::uint64_t i = 0; i < n; ++i) {
-    sink = sink + static_cast<std::int64_t>(
-                      master_pass(i, model_.master_chain_steps, counter));
+    sink = sink + master_pass(i, model_.master_chain_steps, counter);
   }
   // Worker passes: k-mer scan + candidate alignments.
   for (std::uint64_t i = 0; i < n; ++i) {
-    sink = sink + static_cast<std::int64_t>(kmer_scan(reads[i], counter));
+    sink = sink + kmer_scan(reads[i], counter);
     // Deterministic candidate selection: the next `candidates` reads in a
     // ring (real SAND picks them via the k-mer index; the count per read
     // is the quantity that matters for demand).
     for (std::uint64_t c = 1; c <= candidates; ++c) {
       const std::uint64_t j = (i + c) % n;
-      sink = sink + banded_align(reads[i], reads[j], band, counter);
+      sink = sink + static_cast<std::uint64_t>(
+                        banded_align(reads[i], reads[j], band, counter));
     }
     counter.add(hw::OpClass::kOther, model_.master_ops_per_read);
   }

@@ -1,0 +1,89 @@
+#pragma once
+// Shared checkpoint/restart machinery.
+//
+// Generalized from the spot-eviction path (cloud/spot.hpp) so that every
+// failure-aware execution mode — spot evictions, fault-injected crashes in
+// the cluster executor (cloud/cluster_exec.hpp), horizon give-ups — uses
+// one progress-accounting model:
+//
+//   done     — work completed so far (instructions);
+//   durable  — work safe on stable storage (survives any failure);
+//   a WRITE stalls the fleet for `write_cost_seconds`, then promotes
+//   done -> durable; a FAILURE rolls done back to durable and reports the
+//   difference as lost (to be recomputed); an ABANDONED run wastes
+//   everything that was never made durable.
+//
+// The tracker is pure bookkeeping: callers own the clock and the billing.
+
+#include <limits>
+#include <stdexcept>
+
+namespace celia::cloud {
+
+struct CheckpointPolicy {
+  /// Computing time between checkpoint writes. 0 disables checkpointing
+  /// (a failure rolls back to zero durable progress).
+  double interval_seconds = 1800.0;
+  /// Wall-clock stall of one checkpoint write (the fleet pauses).
+  double write_cost_seconds = 30.0;
+
+  bool enabled() const { return interval_seconds > 0; }
+};
+
+/// Throws std::invalid_argument on negative interval or write cost.
+inline void validate(const CheckpointPolicy& policy) {
+  if (policy.interval_seconds < 0 || policy.write_cost_seconds < 0)
+    throw std::invalid_argument("CheckpointPolicy: negative field");
+}
+
+class CheckpointTracker {
+ public:
+  explicit CheckpointTracker(CheckpointPolicy policy) : policy_(policy) {
+    validate(policy);
+  }
+
+  const CheckpointPolicy& policy() const { return policy_; }
+  double done() const { return done_; }
+  double durable() const { return durable_; }
+
+  /// Computing time left until the next write is due; +inf when
+  /// checkpointing is disabled.
+  double until_due() const {
+    if (!policy_.enabled()) return std::numeric_limits<double>::infinity();
+    return policy_.interval_seconds - since_write_;
+  }
+
+  /// Record `dt` seconds of computing that produced `work` instructions.
+  void run(double dt, double work) {
+    done_ += work;
+    since_write_ += dt;
+  }
+
+  /// A completed checkpoint write: current progress becomes durable.
+  void commit() {
+    durable_ = done_;
+    since_write_ = 0.0;
+  }
+
+  /// A failure: roll back to the last durable state. Returns the work
+  /// lost (to be recomputed).
+  double rollback() {
+    const double lost = done_ - durable_;
+    done_ = durable_;
+    since_write_ = 0.0;
+    return lost;
+  }
+
+  /// A run abandoned (horizon / give-up): everything not durable was
+  /// computed — and billed — for nothing. Returns that wasted work
+  /// without mutating state.
+  double abandoned_work() const { return done_ - durable_; }
+
+ private:
+  CheckpointPolicy policy_;
+  double done_ = 0.0;
+  double durable_ = 0.0;
+  double since_write_ = 0.0;  // computing seconds since the last commit
+};
+
+}  // namespace celia::cloud

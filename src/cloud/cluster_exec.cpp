@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/simulator.hpp"
@@ -137,6 +138,519 @@ ExecutionReport ClusterExecutor::run_task_farm(
   report.busy_fraction =
       makespan > 0 ? busy / (makespan * static_cast<double>(slots.size()))
                    : 0.0;
+  return report;
+}
+
+namespace {
+
+/// Failure-aware paths give up after this many node deaths: with a
+/// pathologically small MTBF every replacement dies before the fleet makes
+/// durable progress and the run would never converge.
+constexpr std::uint64_t kMaxNodeFailures = 10000;
+
+/// One member of the dynamic fleet (initial nodes + mid-run replacements).
+struct FleetNode {
+  Instance instance;
+  double ready = 0.0;     // absolute time its slots join
+  double crash_at = std::numeric_limits<double>::infinity();
+  double end = -1.0;      // death time; < 0 while alive
+  bool alive() const { return end < 0; }
+};
+
+std::vector<FleetNode> make_fleet(const ProvisionResult& fleet,
+                                  const FaultModel& faults,
+                                  std::uint64_t fault_seed) {
+  std::vector<FleetNode> nodes;
+  nodes.reserve(fleet.instances.size());
+  for (std::size_t i = 0; i < fleet.instances.size(); ++i) {
+    FleetNode node;
+    node.instance = fleet.instances[i];
+    node.ready = i < fleet.ready_seconds.size() ? fleet.ready_seconds[i] : 0.0;
+    const InstanceFaultProfile profile =
+        fault_profile(faults, fault_seed, node.instance.instance_id);
+    node.crash_at = node.ready + profile.crash_after_seconds;
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+/// Per-instance billing over actual lifetimes: each node bills from the
+/// moment it is ready until its death or the end of the run.
+double fleet_cost(const std::vector<FleetNode>& nodes, double end_seconds,
+                  BillingPolicy billing) {
+  double cost = 0.0;
+  for (const auto& node : nodes) {
+    const double until = node.alive() ? end_seconds : node.end;
+    const double billed = std::max(0.0, until - node.ready);
+    if (billed > 0)
+      cost += instance_cost(node.instance.type(), billed, billing);
+  }
+  return cost;
+}
+
+}  // namespace
+
+ExecutionReport ClusterExecutor::execute_with_faults(
+    const apps::Workload& workload, CloudProvider& provider,
+    const ProvisionResult& fleet, const std::vector<int>& node_counts,
+    FaultExecutionOptions options) const {
+  validate(options.faults);
+  validate(options.checkpoint);
+  if (options.faults.inert() && !options.speculative_execution) {
+    // Nothing can be injected: take the exact legacy path so a zero-fault
+    // model is bit-identical to execute() (no-regression property test).
+    return execute(workload, fleet.instances, node_counts, options.base);
+  }
+  if (fleet.instances.empty())
+    throw std::invalid_argument("ClusterExecutor: no instances");
+  if (workload.total_instructions <= 0)
+    throw std::invalid_argument("ClusterExecutor: empty workload");
+
+  ExecutionReport report;
+  switch (workload.pattern) {
+    case apps::ParallelPattern::kIndependentTasks:
+      report = run_task_farm_with_faults(workload, provider, fleet,
+                                         /*dispatch_seconds=*/0.0, options);
+      break;
+    case apps::ParallelPattern::kMasterWorker:
+      report = run_task_farm_with_faults(workload, provider, fleet,
+                                         workload.dispatch_seconds_per_task,
+                                         options);
+      break;
+    case apps::ParallelPattern::kBulkSynchronous:
+      report = run_bulk_synchronous_with_faults(workload, provider, fleet,
+                                                options);
+      break;
+  }
+  report.nodes = fleet.instances.size();
+  return report;
+}
+
+ExecutionReport ClusterExecutor::run_task_farm_with_faults(
+    const apps::Workload& workload, CloudProvider& provider,
+    const ProvisionResult& fleet, double dispatch_seconds,
+    const FaultExecutionOptions& options) const {
+  if (workload.task_instructions.empty())
+    throw std::invalid_argument("task farm: no tasks");
+
+  const std::uint64_t fault_seed = provider.seed();
+  std::vector<FleetNode> nodes =
+      make_fleet(fleet, options.faults, fault_seed);
+
+  // One compute slot per vCPU; slots die with their node.
+  struct FaultSlot {
+    std::size_t node = 0;
+    double rate = 0.0;
+    double busy = 0.0;
+    bool alive = true;
+    bool running = false;
+    std::size_t task = 0;
+    double task_start = 0.0;
+    std::uint64_t completion_event = 0;
+  };
+  std::vector<FaultSlot> slots;
+  const std::size_t initial_slots = [&] {
+    std::size_t n = 0;
+    for (const auto& node : nodes)
+      n += static_cast<std::size_t>(node.instance.type().vcpus);
+    return n;
+  }();
+  slots.reserve(initial_slots);
+
+  const auto add_slots_for = [&](std::size_t node_index) {
+    const Instance& instance = nodes[node_index].instance;
+    const double per_vcpu = instance.actual_rate(workload.workload_class) /
+                            instance.type().vcpus;
+    for (int v = 0; v < instance.type().vcpus; ++v)
+      slots.push_back({node_index, per_vcpu});
+  };
+
+  const std::size_t num_tasks = workload.task_instructions.size();
+  std::deque<std::size_t> pending;
+  for (std::size_t t = 0; t < num_tasks; ++t) pending.push_back(t);
+  std::vector<bool> task_done(num_tasks, false);
+  std::vector<int> task_copies(num_tasks, 0);
+  std::size_t remaining = num_tasks;
+
+  // Serial master prologue on the first node (as in the legacy path); the
+  // master itself is treated as reliable — only workers fail.
+  double serial_seconds = 0.0;
+  if (workload.serial_instructions > 0.0) {
+    const double master_rate =
+        nodes.front().instance.actual_rate(workload.workload_class) /
+        nodes.front().instance.type().vcpus;
+    serial_seconds = workload.serial_instructions / master_rate;
+  }
+  const double dispatch_open = nodes.front().ready + serial_seconds;
+
+  sim::Simulator simulator;
+  std::deque<std::size_t> idle;
+  std::vector<std::uint64_t> crash_events;  // cancelled once the job ends
+  std::vector<TraceSegment> trace;
+  if (options.base.record_trace) trace.reserve(num_tasks);
+
+  ExecutionReport report;
+  bool serial_done = false;
+  bool master_busy = false;
+  bool replacements_allowed = options.provision_replacements;
+  double makespan = dispatch_open;
+  bool extinct = false;
+
+  std::function<void()> try_dispatch;
+  std::function<void(std::size_t)> on_complete;
+  std::function<void(std::size_t)> on_crash;
+
+  const auto finish_job = [&] {
+    for (const std::uint64_t id : crash_events) simulator.cancel(id);
+    crash_events.clear();
+  };
+
+  // Free every OTHER running copy of `task` (its result is in): their
+  // slots return to the pool, their partial work counts as busy time.
+  const auto reap_copies = [&](std::size_t task, std::size_t winner_slot) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (s == winner_slot || !slots[s].alive || !slots[s].running ||
+          slots[s].task != task)
+        continue;
+      simulator.cancel(slots[s].completion_event);
+      slots[s].busy += simulator.now() - slots[s].task_start;
+      slots[s].running = false;
+      --task_copies[task];
+      idle.push_back(s);
+    }
+  };
+
+  on_complete = [&](std::size_t slot_index) {
+    FaultSlot& slot = slots[slot_index];
+    const std::size_t task = slot.task;
+    slot.busy += simulator.now() - slot.task_start;
+    slot.running = false;
+    --task_copies[task];
+    if (!task_done[task]) {
+      task_done[task] = true;
+      --remaining;
+      makespan = std::max(makespan, simulator.now());
+      if (options.base.record_trace)
+        trace.push_back(
+            {slot_index, task, slot.task_start, simulator.now()});
+      reap_copies(task, slot_index);
+      if (remaining == 0) {
+        finish_job();
+      }
+    }
+    idle.push_back(slot_index);
+    try_dispatch();
+  };
+
+  // Dispatch one unit of work (a pending task, or a speculative copy of
+  // the straggler predicted to finish last) to the head idle slot; the
+  // master serializes dispatches exactly as in the legacy path.
+  try_dispatch = [&] {
+    if (master_busy || idle.empty() || !serial_done || remaining == 0) return;
+    while (!pending.empty() && task_done[pending.front()])
+      pending.pop_front();
+
+    std::size_t task_index;
+    if (!pending.empty()) {
+      task_index = pending.front();
+      pending.pop_front();
+    } else if (options.speculative_execution) {
+      // Straggler with the latest predicted finish, one backup copy max.
+      const std::size_t candidate_slot = idle.front();
+      double worst_finish = -1.0;
+      std::size_t worst_task = num_tasks;
+      for (const auto& slot : slots) {
+        if (!slot.alive || !slot.running || task_done[slot.task] ||
+            task_copies[slot.task] > 1)
+          continue;
+        const double finish =
+            slot.task_start + workload.task_instructions[slot.task] / slot.rate;
+        if (finish > worst_finish) {
+          worst_finish = finish;
+          worst_task = slot.task;
+        }
+      }
+      if (worst_task == num_tasks) return;
+      const double copy_finish =
+          simulator.now() + dispatch_seconds +
+          workload.task_instructions[worst_task] / slots[candidate_slot].rate;
+      if (copy_finish >= worst_finish) return;  // the copy would not help
+      task_index = worst_task;
+      ++report.faults.speculative_launches;
+    } else {
+      return;
+    }
+
+    const std::size_t slot_index = idle.front();
+    idle.pop_front();
+    const double instructions = workload.task_instructions[task_index];
+    // Count the copy from the moment it is dispatched, not when it lands:
+    // two slots idling at the same instant must not both back up the same
+    // straggler, and a copy in flight to a node that dies mid-dispatch must
+    // requeue its task instead of silently dropping it.
+    ++task_copies[task_index];
+    master_busy = dispatch_seconds > 0.0;
+    simulator.schedule_after(dispatch_seconds, [&, slot_index, task_index,
+                                                instructions] {
+      master_busy = false;
+      FaultSlot& slot = slots[slot_index];
+      if (task_done[task_index] || !slot.alive) {
+        --task_copies[task_index];
+        if (!task_done[task_index] && task_copies[task_index] == 0) {
+          pending.push_front(task_index);
+          ++report.faults.tasks_redispatched;
+        }
+        if (slot.alive) idle.push_back(slot_index);
+        try_dispatch();
+        return;
+      }
+      slot.running = true;
+      slot.task = task_index;
+      slot.task_start = simulator.now();
+      const double duration = instructions / slot.rate;
+      slot.completion_event = simulator.schedule_after(
+          duration, [&, slot_index] { on_complete(slot_index); });
+      try_dispatch();  // master is free again: overlap with compute
+    });
+  };
+
+  on_crash = [&](std::size_t node_index) {
+    if (remaining == 0) return;
+    FleetNode& node = nodes[node_index];
+    node.end = simulator.now();
+    ++report.faults.node_failures;
+
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      FaultSlot& slot = slots[s];
+      if (slot.node != node_index || !slot.alive) continue;
+      if (slot.running) {
+        simulator.cancel(slot.completion_event);
+        const double elapsed = simulator.now() - slot.task_start;
+        report.faults.recomputed_instructions += elapsed * slot.rate;
+        slot.busy += elapsed;
+        slot.running = false;
+        const std::size_t task = slot.task;
+        --task_copies[task];
+        if (!task_done[task] && task_copies[task] == 0) {
+          pending.push_front(task);
+          ++report.faults.tasks_redispatched;
+        }
+      }
+      slot.alive = false;
+      idle.erase(std::remove(idle.begin(), idle.end(), s), idle.end());
+    }
+
+    if (report.faults.node_failures >= kMaxNodeFailures)
+      replacements_allowed = false;
+
+    if (replacements_allowed) {
+      const ProvisionResult replacement = provider.provision_replacement(
+          node.instance.type_index, options.faults, options.backoff);
+      ++report.faults.replacements;
+      const double wait = replacement.report.ready_seconds;
+      report.faults.replacement_wait_seconds += wait;
+      FleetNode fresh;
+      fresh.instance = replacement.instances.front();
+      fresh.ready = simulator.now() + wait;
+      const InstanceFaultProfile profile = fault_profile(
+          options.faults, fault_seed, fresh.instance.instance_id);
+      fresh.crash_at = fresh.ready + profile.crash_after_seconds;
+      nodes.push_back(fresh);
+      const std::size_t fresh_index = nodes.size() - 1;
+      simulator.schedule_at(fresh.ready, [&, fresh_index] {
+        if (remaining == 0) return;
+        const std::size_t first_slot = slots.size();
+        add_slots_for(fresh_index);
+        for (std::size_t s = first_slot; s < slots.size(); ++s)
+          idle.push_back(s);
+        try_dispatch();
+      });
+      if (std::isfinite(nodes[fresh_index].crash_at)) {
+        crash_events.push_back(simulator.schedule_at(
+            nodes[fresh_index].crash_at,
+            [&, fresh_index] { on_crash(fresh_index); }));
+      }
+    } else {
+      // The fleet may now be extinct with work remaining.
+      bool any_alive = false;
+      for (const auto& n : nodes) any_alive = any_alive || n.alive();
+      if (!any_alive) {
+        extinct = true;
+        makespan = std::max(makespan, simulator.now());
+        finish_job();
+      }
+    }
+  };
+
+  // Bring up the initial fleet: slots join when their node is ready.
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    simulator.schedule_at(nodes[n].ready, [&, n] {
+      if (remaining == 0 || !nodes[n].alive()) return;
+      const std::size_t first_slot = slots.size();
+      add_slots_for(n);
+      for (std::size_t s = first_slot; s < slots.size(); ++s)
+        idle.push_back(s);
+      try_dispatch();
+    });
+    if (std::isfinite(nodes[n].crash_at)) {
+      crash_events.push_back(simulator.schedule_at(
+          nodes[n].crash_at, [&, n] { on_crash(n); }));
+    }
+  }
+  simulator.schedule_at(dispatch_open, [&] {
+    serial_done = true;
+    try_dispatch();
+  });
+
+  report.events = simulator.run();
+  report.completed = remaining == 0;
+  if (!report.completed && !extinct) makespan = simulator.now();
+  report.seconds = makespan;
+  report.slots = initial_slots;
+  report.trace = std::move(trace);
+
+  double busy = 0.0;
+  for (const auto& slot : slots) busy += slot.busy;
+  report.busy_fraction =
+      makespan > 0 && initial_slots > 0
+          ? busy / (makespan * static_cast<double>(initial_slots))
+          : 0.0;
+  report.cost = fleet_cost(nodes, makespan, options.base.billing);
+  return report;
+}
+
+ExecutionReport ClusterExecutor::run_bulk_synchronous_with_faults(
+    const apps::Workload& workload, CloudProvider& provider,
+    const ProvisionResult& fleet, const FaultExecutionOptions& options) const {
+  if (workload.steps == 0)
+    throw std::invalid_argument("bulk synchronous: no steps");
+
+  const std::uint64_t fault_seed = provider.seed();
+  std::vector<FleetNode> nodes =
+      make_fleet(fleet, options.faults, fault_seed);
+  const auto wc = workload.workload_class;
+
+  ExecutionReport report;
+  for (const auto& node : nodes)
+    report.slots += static_cast<std::size_t>(node.instance.type().vcpus);
+
+  // The run starts once the whole initial fleet is up (the application
+  // partitions work across all of it).
+  double now = 0.0;
+  for (const auto& node : nodes) now = std::max(now, node.ready);
+
+  CheckpointTracker tracker(options.checkpoint);
+  const double ips = workload.instructions_per_step;
+  std::uint64_t s = 0;             // next step to execute
+  std::uint64_t durable_steps = 0; // steps safe on stable storage
+  bool replacements_allowed = options.provision_replacements;
+  double busy_node_seconds = 0.0;
+  const double per_message = network_.latency_seconds +
+                             workload.sync_bytes_per_step /
+                                 network_.bandwidth_bytes_per_s;
+
+  const auto alive_count = [&] {
+    std::size_t n = 0;
+    for (const auto& node : nodes) n += node.alive() ? 1 : 0;
+    return n;
+  };
+
+  while (s < workload.steps) {
+    if (alive_count() == 0) break;  // extinct fleet: give up
+
+    // Static decomposition over the CURRENT fleet by nominal capacity,
+    // executed at actual rates — the legacy per-step model, recomputed
+    // after every fleet change.
+    double nominal_total = 0.0;
+    for (const auto& node : nodes)
+      if (node.alive()) nominal_total += node.instance.nominal_rate(wc);
+    double slowest = 0.0;
+    double step_busy = 0.0;
+    for (const auto& node : nodes) {
+      if (!node.alive()) continue;
+      const double share = ips * node.instance.nominal_rate(wc) /
+                           nominal_total;
+      const double t = share / node.instance.actual_rate(wc);
+      slowest = std::max(slowest, t);
+      step_busy += t;
+    }
+    double sync = 0.0;
+    std::uint64_t lost_messages = 0;
+    if (alive_count() > 1) {
+      const double depth =
+          std::ceil(std::log2(static_cast<double>(alive_count())));
+      for (const auto& node : nodes) {
+        if (!node.alive()) continue;
+        if (message_lost(options.faults, fault_seed,
+                         node.instance.instance_id, s))
+          ++lost_messages;
+      }
+      // A lost message is retransmitted after one extra latency round.
+      sync = per_message * depth +
+             static_cast<double>(lost_messages) * per_message;
+    }
+    const double step_time = slowest + sync;
+
+    // A crash inside this step (or earlier — e.g. during a checkpoint
+    // write) kills the step: roll back to the last durable checkpoint.
+    std::size_t crashed = nodes.size();
+    double earliest = now + step_time;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].alive() && nodes[n].crash_at <= earliest) {
+        earliest = nodes[n].crash_at;
+        crashed = n;
+      }
+    }
+    if (crashed != nodes.size()) {
+      now = std::max(now, nodes[crashed].crash_at);
+      nodes[crashed].end = nodes[crashed].crash_at;
+      ++report.faults.node_failures;
+      report.faults.recomputed_instructions += tracker.rollback();
+      if (s > durable_steps) ++report.faults.restarts;
+      s = durable_steps;
+      if (report.faults.node_failures >= kMaxNodeFailures)
+        replacements_allowed = false;
+      if (replacements_allowed) {
+        const ProvisionResult replacement = provider.provision_replacement(
+            nodes[crashed].instance.type_index, options.faults,
+            options.backoff);
+        ++report.faults.replacements;
+        const double wait = replacement.report.ready_seconds;
+        report.faults.replacement_wait_seconds += wait;
+        FleetNode fresh;
+        fresh.instance = replacement.instances.front();
+        fresh.ready = now + wait;
+        const InstanceFaultProfile profile = fault_profile(
+            options.faults, fault_seed, fresh.instance.instance_id);
+        fresh.crash_at = fresh.ready + profile.crash_after_seconds;
+        nodes.push_back(fresh);
+        now = fresh.ready;  // the fleet stalls until it can repartition
+      }
+      continue;
+    }
+
+    now += step_time;
+    tracker.run(step_time, ips);
+    busy_node_seconds += step_busy;
+    ++s;
+    ++report.events;
+    report.faults.sync_retransmits += lost_messages;
+    if (tracker.until_due() <= 0 && s < workload.steps) {
+      now += options.checkpoint.write_cost_seconds;
+      tracker.commit();
+      durable_steps = s;
+      ++report.faults.checkpoints_written;
+    }
+  }
+
+  report.completed = s >= workload.steps;
+  report.seconds = now;
+  report.busy_fraction =
+      now > 0 && !fleet.instances.empty()
+          ? busy_node_seconds /
+                (static_cast<double>(fleet.instances.size()) * now)
+          : 0.0;
+  report.cost = fleet_cost(nodes, now, options.base.billing);
   return report;
 }
 

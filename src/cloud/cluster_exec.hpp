@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "apps/workload.hpp"
+#include "cloud/checkpoint.hpp"
+#include "cloud/faults.hpp"
 #include "cloud/pricing.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/vm.hpp"
+#include "util/backoff.hpp"
 
 namespace celia::cloud {
 
@@ -38,6 +41,20 @@ struct TraceSegment {
   double end_seconds = 0.0;
 };
 
+/// What the failure-aware execution paths observed. All-zero on the
+/// legacy fail-never paths and under an inert fault model.
+struct FaultStats {
+  std::uint64_t node_failures = 0;       // instances lost mid-run
+  std::uint64_t tasks_redispatched = 0;  // task-farm tasks re-enqueued
+  std::uint64_t speculative_launches = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t restarts = 0;            // BSP rollbacks to a checkpoint
+  std::uint64_t replacements = 0;        // nodes provisioned mid-run
+  std::uint64_t sync_retransmits = 0;    // lost-then-resent sync messages
+  double recomputed_instructions = 0.0;  // work lost to failures, re-run
+  double replacement_wait_seconds = 0.0; // BSP stalls waiting for boots
+};
+
 struct ExecutionReport {
   double seconds = 0.0;       // wall-clock makespan
   double cost = 0.0;          // under the billing policy
@@ -45,8 +62,31 @@ struct ExecutionReport {
   std::size_t nodes = 0;
   double busy_fraction = 0.0; // mean compute-slot utilization
   std::size_t slots = 0;      // total vCPUs in the fleet
+  /// False when the whole fleet died with work remaining and replacements
+  /// were disabled; `seconds` then reports the time of the last death.
+  bool completed = true;
+  FaultStats faults;
   /// Populated when ExecutionOptions::record_trace is set (task farms).
   std::vector<TraceSegment> trace;
+};
+
+/// Options of the failure-aware execution path.
+struct FaultExecutionOptions {
+  ExecutionOptions base;       // billing + trace, as for execute()
+  FaultModel faults;           // fault channels active during the run
+  /// BSP runs checkpoint on this policy and roll back to the last durable
+  /// checkpoint after a crash. Ignored by task farms (tasks are the unit
+  /// of recovery there).
+  CheckpointPolicy checkpoint;
+  /// Retry schedule for mid-run replacement provisioning.
+  util::BackoffPolicy backoff;
+  /// Replace dead nodes mid-run (task farms refill the slot pool; BSP
+  /// stalls until the replacement is ready, then repartitions).
+  bool provision_replacements = true;
+  /// Task farms only: when all tasks are dispatched and slots sit idle,
+  /// launch a second copy of the running task predicted to finish last
+  /// (classic straggler mitigation); first copy to finish wins.
+  bool speculative_execution = false;
 };
 
 class ClusterExecutor {
@@ -61,6 +101,22 @@ class ClusterExecutor {
                           const std::vector<int>& node_counts,
                           ExecutionOptions options = {}) const;
 
+  /// Failure-aware execution of `fleet` (from provision_with_faults) under
+  /// the options' fault model: task farms re-dispatch tasks from dead
+  /// workers (and optionally speculate on stragglers); bulk-synchronous
+  /// runs checkpoint/restart and stall for mid-run replacements, which are
+  /// provisioned from `provider` with boot delay and backoff. Billing is
+  /// per instance over its actual lifetime (ready -> death or makespan).
+  /// The fault schedule is a pure function of (provider.seed(), instance
+  /// ids): re-running with an identically-seeded provider replays it
+  /// bit-identically. With an INERT fault model this takes the exact
+  /// legacy execute() path (bit-identical report, zero FaultStats).
+  ExecutionReport execute_with_faults(const apps::Workload& workload,
+                                      CloudProvider& provider,
+                                      const ProvisionResult& fleet,
+                                      const std::vector<int>& node_counts,
+                                      FaultExecutionOptions options = {}) const;
+
  private:
   ExecutionReport run_task_farm(const apps::Workload& workload,
                                 const std::vector<Instance>& instances,
@@ -69,6 +125,15 @@ class ClusterExecutor {
   ExecutionReport run_bulk_synchronous(
       const apps::Workload& workload,
       const std::vector<Instance>& instances) const;
+
+  ExecutionReport run_task_farm_with_faults(
+      const apps::Workload& workload, CloudProvider& provider,
+      const ProvisionResult& fleet, double dispatch_seconds,
+      const FaultExecutionOptions& options) const;
+  ExecutionReport run_bulk_synchronous_with_faults(
+      const apps::Workload& workload, CloudProvider& provider,
+      const ProvisionResult& fleet,
+      const FaultExecutionOptions& options) const;
 
   NetworkModel network_;
 };

@@ -1,0 +1,93 @@
+#include "cloud/faults.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace celia::cloud {
+
+namespace {
+
+/// Independent deterministic stream per (seed, instance_id, channel).
+/// Channels keep the crash / boot / gray / message draws uncorrelated so
+/// that, e.g., raising the gray probability never perturbs crash times.
+util::Xoshiro256 fault_stream(std::uint64_t seed, std::uint64_t instance_id,
+                              std::uint64_t channel) {
+  util::Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL +
+                       instance_id * 0xbf58476d1ce4e5b9ULL + channel);
+  rng.next();
+  rng.next();
+  return rng;
+}
+
+constexpr std::uint64_t kCrashChannel = 0x1;
+constexpr std::uint64_t kBootDelayChannel = 0x2;
+constexpr std::uint64_t kGrayChannel = 0x3;
+constexpr std::uint64_t kBootFailChannel = 0x4;
+constexpr std::uint64_t kMessageChannel = 0x5;
+
+/// Exponential variate with the given mean via inverse transform. The
+/// (1 - u) form keeps the draw strictly positive (u in [0, 1)).
+double exponential(util::Xoshiro256& rng, double mean) {
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+}  // namespace
+
+void validate(const FaultModel& model) {
+  const bool probabilities_ok =
+      model.boot_failure_probability >= 0 &&
+      model.boot_failure_probability <= 1 && model.gray_probability >= 0 &&
+      model.gray_probability <= 1 && model.message_loss_probability >= 0 &&
+      model.message_loss_probability <= 1;
+  if (!probabilities_ok || model.mtbf_seconds < 0 ||
+      model.boot_timeout_seconds < 0 || model.boot_delay_seconds < 0 ||
+      !(model.gray_slowdown > 0) || model.gray_slowdown > 1)
+    throw std::invalid_argument("FaultModel: field out of range");
+}
+
+InstanceFaultProfile fault_profile(const FaultModel& model,
+                                   std::uint64_t seed,
+                                   std::uint64_t instance_id) {
+  validate(model);
+  InstanceFaultProfile profile;
+
+  if (model.mtbf_seconds > 0) {
+    auto rng = fault_stream(seed, instance_id, kCrashChannel);
+    profile.crash_after_seconds = exponential(rng, model.mtbf_seconds);
+  } else {
+    profile.crash_after_seconds = std::numeric_limits<double>::infinity();
+  }
+
+  if (model.boot_delay_seconds > 0) {
+    auto rng = fault_stream(seed, instance_id, kBootDelayChannel);
+    profile.boot_seconds = exponential(rng, model.boot_delay_seconds);
+  }
+
+  if (model.gray_probability > 0) {
+    auto rng = fault_stream(seed, instance_id, kGrayChannel);
+    profile.gray = rng.next_double() < model.gray_probability;
+    if (profile.gray) profile.slowdown = model.gray_slowdown;
+  }
+  return profile;
+}
+
+bool boot_attempt_fails(const FaultModel& model, std::uint64_t seed,
+                        std::uint64_t instance_id, int attempt) {
+  if (model.boot_failure_probability <= 0) return false;
+  auto rng = fault_stream(seed, instance_id,
+                          kBootFailChannel + 0x10ULL * (attempt + 1));
+  return rng.next_double() < model.boot_failure_probability;
+}
+
+bool message_lost(const FaultModel& model, std::uint64_t seed,
+                  std::uint64_t instance_id, std::uint64_t step) {
+  if (model.message_loss_probability <= 0) return false;
+  auto rng = fault_stream(seed, instance_id,
+                          kMessageChannel + 0x10ULL * (step + 1));
+  return rng.next_double() < model.message_loss_probability;
+}
+
+}  // namespace celia::cloud

@@ -1,0 +1,102 @@
+#pragma once
+// Seeded, deterministic fault injection for the simulated cloud.
+//
+// The paper's model (Eqs. 2-6) assumes a fail-never fleet: every
+// provisioned node boots instantly and survives to the makespan. Real
+// on-demand fleets lose nodes to hardware faults, boot slowly or not at
+// all, and include "gray" instances that run but deliver a fraction of
+// their nominal rate — the operational risks ExpoCloud-style systems and
+// the paper's §II related work (Gong, Marathe) engineer around. This layer
+// lets the simulator break things ON PURPOSE, reproducibly:
+//
+//   * crashes     — per-instance exponential time-to-failure with mean
+//                   `mtbf_seconds` (a memoryless renewal process, the
+//                   standard HPC failure model);
+//   * boot faults — each provisioning attempt fails with probability
+//                   `boot_failure_probability`, wasting `boot_timeout`
+//                   of wall-clock before the failure is detected;
+//   * boot delay  — successful boots become ready after an exponential
+//                   delay with mean `boot_delay_seconds`;
+//   * gray nodes  — with probability `gray_probability` an instance runs
+//                   at `gray_slowdown` of its delivered rate for its whole
+//                   life (sustained degradation, not a crash);
+//   * message loss— per (instance, step) transient loss of a
+//                   synchronization message with probability
+//                   `message_loss_probability` (the sender retransmits,
+//                   paying one extra latency round).
+//
+// EVERY draw is a pure function of (fault seed, instance id[, attempt or
+// step]): a fault schedule replays bit-identically from its seed, query
+// order never matters, and a model with all probabilities zero and
+// mtbf_seconds == 0 is inert — it injects nothing and the executor takes
+// the exact legacy code path (see ClusterExecutor::execute_with_faults).
+
+#include <cstdint>
+
+#include "cloud/vm.hpp"
+
+namespace celia::cloud {
+
+struct FaultModel {
+  /// Mean time between failures of one instance, seconds. 0 = never
+  /// crashes (the paper's fail-never assumption).
+  double mtbf_seconds = 0.0;
+  /// Probability that one provisioning attempt fails outright.
+  double boot_failure_probability = 0.0;
+  /// Wall-clock burned before a failed boot is detected.
+  double boot_timeout_seconds = 90.0;
+  /// Mean of the exponential ready-delay of a successful boot. 0 = ready
+  /// instantly (legacy behavior).
+  double boot_delay_seconds = 0.0;
+  /// Probability an instance is gray (degraded for its whole life).
+  double gray_probability = 0.0;
+  /// Delivered-rate fraction of a gray instance, in (0, 1].
+  double gray_slowdown = 0.4;
+  /// Per (instance, step) probability of losing one sync message.
+  double message_loss_probability = 0.0;
+
+  /// True when the model can inject nothing at all: the executor and the
+  /// provider take their exact legacy paths (bit-identical behavior).
+  bool inert() const {
+    return mtbf_seconds == 0.0 && boot_failure_probability == 0.0 &&
+           boot_delay_seconds == 0.0 && gray_probability == 0.0 &&
+           message_loss_probability == 0.0;
+  }
+};
+
+/// Everything the fault model has decided about one instance. Pure
+/// function of (model, seed, instance_id); see fault_profile().
+struct InstanceFaultProfile {
+  /// Uptime before this instance crashes, measured from the moment it
+  /// becomes ready; +inf when the model's mtbf_seconds is 0.
+  double crash_after_seconds = 0.0;
+  /// Ready-delay of a successful boot (exponential, mean boot_delay).
+  double boot_seconds = 0.0;
+  /// Sustained degradation: 1.0 for healthy, gray_slowdown for gray.
+  double slowdown = 1.0;
+  bool gray = false;
+};
+
+/// The fault schedule of one instance. Deterministic in
+/// (model, seed, instance_id): replays bit-identically, independent of
+/// query order. Throws std::invalid_argument on a malformed model.
+InstanceFaultProfile fault_profile(const FaultModel& model,
+                                   std::uint64_t seed,
+                                   std::uint64_t instance_id);
+
+/// Whether provisioning attempt `attempt` (0-based) of `instance_id`
+/// fails. Deterministic in all arguments.
+bool boot_attempt_fails(const FaultModel& model, std::uint64_t seed,
+                        std::uint64_t instance_id, int attempt);
+
+/// Whether instance `instance_id` loses its synchronization message at
+/// bulk-synchronous step `step`. Deterministic in all arguments.
+bool message_lost(const FaultModel& model, std::uint64_t seed,
+                  std::uint64_t instance_id, std::uint64_t step);
+
+/// Throws std::invalid_argument when the model's fields are out of range
+/// (negative rates/probabilities, probabilities > 1, slowdown outside
+/// (0, 1]).
+void validate(const FaultModel& model);
+
+}  // namespace celia::cloud

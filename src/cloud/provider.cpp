@@ -1,8 +1,54 @@
 #include "cloud/provider.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace celia::cloud {
+
+namespace {
+
+/// One node's boot chain: retry failed attempts with backoff until an
+/// attempt succeeds or the budget is exhausted. Each attempt consumes a
+/// fresh instance id (a replacement VM), so the fault draws of later
+/// attempts are independent of earlier ones.
+Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
+                  std::size_t type_index, const FaultModel& faults,
+                  const util::BackoffPolicy& backoff, double& ready_at,
+                  ProvisioningReport& report) {
+  double clock = 0.0;
+  for (int attempt = 0; attempt < backoff.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++report.retries;
+      clock += util::backoff_delay(backoff, attempt,
+                                   provider_seed ^ next_id);
+    }
+    const std::uint64_t id = next_id++;
+    if (boot_attempt_fails(faults, provider_seed, id, attempt)) {
+      ++report.boot_failures;
+      clock += faults.boot_timeout_seconds;
+      report.wasted_boot_seconds += faults.boot_timeout_seconds;
+      continue;
+    }
+    const InstanceFaultProfile profile =
+        fault_profile(faults, provider_seed, id);
+    Instance instance;
+    instance.type_index = type_index;
+    instance.instance_id = id;
+    // Gray degradation folds into the delivered rate; the fault seed for
+    // crash times stays keyed on instance_id, so the schedule replays.
+    instance.speed_factor =
+        instance_speed_factor(provider_seed, id) * profile.slowdown;
+    ready_at = clock + profile.boot_seconds;
+    return instance;
+  }
+  throw ProvisioningError(
+      "provision: type " +
+      std::string(ec2_catalog()[type_index].name) + " failed to boot after " +
+      std::to_string(backoff.max_attempts) + " attempts");
+}
+
+}  // namespace
 
 CloudProvider::CloudProvider(std::uint64_t seed) : seed_(seed) {}
 
@@ -32,6 +78,57 @@ std::vector<Instance> CloudProvider::provision(
   if (instances.empty())
     throw std::invalid_argument("provision: empty configuration");
   return instances;
+}
+
+ProvisionResult CloudProvider::provision_with_faults(
+    const std::vector<int>& node_counts, const FaultModel& faults,
+    const util::BackoffPolicy& backoff) {
+  const auto catalog = ec2_catalog();
+  if (node_counts.size() != catalog.size())
+    throw std::invalid_argument(
+        "provision: counts must match catalog size");
+  validate(faults);
+
+  ProvisionResult result;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (node_counts[i] < 0 || node_counts[i] > kMaxInstancesPerType)
+      throw std::invalid_argument(
+          "provision: node count outside [0, " +
+          std::to_string(kMaxInstancesPerType) + "] for " +
+          std::string(catalog[i].name));
+    for (int k = 0; k < node_counts[i]; ++k) {
+      ++result.report.requested;
+      double ready_at = 0.0;
+      result.instances.push_back(boot_one(seed_, next_instance_id_, i,
+                                          faults, backoff, ready_at,
+                                          result.report));
+      result.ready_seconds.push_back(ready_at);
+      result.report.ready_seconds =
+          std::max(result.report.ready_seconds, ready_at);
+    }
+  }
+  if (result.instances.empty())
+    throw std::invalid_argument("provision: empty configuration");
+  result.report.provisioned = static_cast<int>(result.instances.size());
+  return result;
+}
+
+ProvisionResult CloudProvider::provision_replacement(
+    std::size_t type_index, const FaultModel& faults,
+    const util::BackoffPolicy& backoff) {
+  if (type_index >= catalog_size())
+    throw std::out_of_range("provision_replacement: bad type index");
+  validate(faults);
+  ProvisionResult result;
+  result.report.requested = 1;
+  double ready_at = 0.0;
+  result.instances.push_back(boot_one(seed_, next_instance_id_, type_index,
+                                      faults, backoff, ready_at,
+                                      result.report));
+  result.ready_seconds.push_back(ready_at);
+  result.report.ready_seconds = ready_at;
+  result.report.provisioned = 1;
+  return result;
 }
 
 double CloudProvider::run_benchmark(std::size_t type_index,

@@ -3,11 +3,14 @@
 // timed benchmark runs used by CELIA's cloud-side characterization.
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "cloud/faults.hpp"
 #include "cloud/instance_type.hpp"
 #include "cloud/vm.hpp"
 #include "hw/workload_class.hpp"
+#include "util/backoff.hpp"
 
 namespace celia::cloud {
 
@@ -15,6 +18,33 @@ namespace celia::cloud {
 struct NetworkModel {
   double latency_seconds = 100e-6;       // per message
   double bandwidth_bytes_per_s = 1.0e9;  // per link
+};
+
+/// Thrown when failable provisioning exhausts its retry budget.
+class ProvisioningError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What failable provisioning observed: attempts, boot failures, waits.
+struct ProvisioningReport {
+  int requested = 0;        // instances asked for
+  int provisioned = 0;      // instances actually handed out
+  int boot_failures = 0;    // attempts that failed outright
+  int retries = 0;          // backoff-delayed re-attempts
+  /// When the LAST instance became ready (attempts run in parallel per
+  /// node: each node's ready time is its own boot/retry chain).
+  double ready_seconds = 0.0;
+  /// Wall-clock burned inside failed boot attempts (timeout per failure).
+  double wasted_boot_seconds = 0.0;
+};
+
+/// Instances plus when each becomes usable (aligned vectors) and the
+/// provisioning report. ready_seconds[i] == 0 under an inert fault model.
+struct ProvisionResult {
+  std::vector<Instance> instances;
+  std::vector<double> ready_seconds;
+  ProvisioningReport report;
 };
 
 class CloudProvider {
@@ -27,6 +57,26 @@ class CloudProvider {
   /// Throws std::invalid_argument when a count exceeds kMaxInstancesPerType
   /// or the configuration is empty.
   std::vector<Instance> provision(const std::vector<int>& node_counts);
+
+  /// Failable provisioning under a fault model: each node's boot attempt
+  /// may fail (detected after the model's boot timeout) and is retried
+  /// with exponential backoff + jitter; successful boots become ready
+  /// after the model's boot delay. Gray instances come back with their
+  /// sustained slowdown folded into speed_factor. Throws
+  /// ProvisioningError when any node exhausts `backoff.max_attempts`.
+  /// With an inert fault model this returns exactly provision()'s
+  /// instances (bit-identical ids and speed factors, all ready at 0).
+  ProvisionResult provision_with_faults(
+      const std::vector<int>& node_counts, const FaultModel& faults,
+      const util::BackoffPolicy& backoff = {});
+
+  /// Provision one replacement instance of catalog type `type_index`
+  /// mid-run (fault-aware executors call this when a node dies). Same
+  /// retry semantics as provision_with_faults; ready_seconds is relative
+  /// to the call (the caller adds its own clock).
+  ProvisionResult provision_replacement(
+      std::size_t type_index, const FaultModel& faults,
+      const util::BackoffPolicy& backoff = {});
 
   /// Run a timed scale-down benchmark of `instructions` on one fresh
   /// instance of catalog type `type_index` using all its vCPUs, and return

@@ -154,6 +154,12 @@ SpotRunReport run_on_spot(const SpotMarket& market,
 
   report.seconds = now;
   report.completed = done >= total_instructions;
+  if (!report.completed && done > checkpointed) {
+    // Horizon give-up: work since the last checkpoint was billed but never
+    // made durable — account it as lost, like an eviction, so billed work
+    // always equals checkpointed + lost.
+    report.lost_work_instructions += done - checkpointed;
+  }
   return report;
 }
 

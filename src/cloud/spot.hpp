@@ -86,7 +86,9 @@ struct SpotRunReport {
   double cost = 0.0;          // integral of market price while running
   bool completed = false;     // false if the run hit the horizon
   int evictions = 0;
-  double lost_work_instructions = 0.0;  // recomputed after evictions
+  /// Billed-but-not-durable work: recomputed after evictions, plus the
+  /// uncheckpointed tail abandoned when the run gives up at the horizon.
+  double lost_work_instructions = 0.0;
   double checkpoint_overhead_seconds = 0.0;
 };
 

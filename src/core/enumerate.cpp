@@ -65,6 +65,25 @@ bool index_can_answer(const Constraints& constraints,
 
 }  // namespace
 
+void validate_query(double demand, const Constraints& constraints) {
+  if (!std::isfinite(demand) || demand <= 0)
+    throw std::invalid_argument(
+        "planner query: demand must be finite and positive");
+  if (std::isnan(constraints.deadline_seconds) ||
+      constraints.deadline_seconds < 0)
+    throw std::invalid_argument(
+        "planner query: deadline must be non-negative (NaN rejected)");
+  if (std::isnan(constraints.budget_dollars) || constraints.budget_dollars < 0)
+    throw std::invalid_argument(
+        "planner query: budget must be non-negative (NaN rejected)");
+  if (!std::isfinite(constraints.confidence_z) || constraints.confidence_z < 0)
+    throw std::invalid_argument(
+        "planner query: confidence_z must be finite and non-negative");
+  if (!std::isfinite(constraints.rate_sigma) || constraints.rate_sigma < 0)
+    throw std::invalid_argument(
+        "planner query: rate_sigma must be finite and non-negative");
+}
+
 std::vector<double> ec2_hourly_costs() {
   std::vector<double> hourly;
   for (const auto& type : cloud::ec2_catalog())
@@ -76,7 +95,7 @@ SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity,
                   std::span<const double> hourly_costs, double demand,
                   const Constraints& constraints, SweepOptions options) {
-  if (demand <= 0) throw std::invalid_argument("sweep: non-positive demand");
+  validate_query(demand, constraints);
   if (space.num_types() != capacity.num_types())
     throw std::invalid_argument("sweep: space/capacity width mismatch");
   if (hourly_costs.size() != capacity.num_types())

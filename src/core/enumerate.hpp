@@ -53,6 +53,15 @@ struct Constraints {
   double rate_sigma = 0.0;    // relative per-instance rate spread
 };
 
+/// Shared entry-point validation: every planner query route — sweep(),
+/// FrontierIndex::query(), recommend(), Celia::min_cost_configuration —
+/// funnels through this so they reject malformed input identically.
+/// Throws std::invalid_argument when demand is non-positive or non-finite,
+/// when the deadline or budget is NaN or negative (infinity = "no
+/// constraint" and 0 are both allowed: 0 simply admits nothing), or when
+/// confidence_z / rate_sigma is negative or non-finite.
+void validate_query(double demand, const Constraints& constraints);
+
 struct SweepOptions {
   /// Collect every `sample_stride`-th feasible point into
   /// SweepResult::feasible_points (for scatter plots). 0 disables.

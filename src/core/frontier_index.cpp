@@ -322,8 +322,7 @@ std::uint64_t FrontierIndex::count_feasible(double demand,
 
 SweepResult FrontierIndex::query(double demand, const Constraints& constraints,
                                  bool collect_pareto) const {
-  if (demand <= 0)
-    throw std::invalid_argument("FrontierIndex::query: non-positive demand");
+  validate_query(demand, constraints);
   if (constraints.confidence_z > 0 && constraints.rate_sigma > 0)
     throw std::invalid_argument(
         "FrontierIndex::query: risk-aware queries need sweep()");

@@ -101,6 +101,9 @@ fit::FitResult read_fit(std::istream& in, const std::string& key) {
   }
   if (!(stream >> fit.r2 >> fit.adjusted_r2 >> fit.rmse))
     throw std::runtime_error("celia-model: truncated statistics in " + key);
+  if (!std::isfinite(fit.r2) || !std::isfinite(fit.adjusted_r2) ||
+      !std::isfinite(fit.rmse) || fit.rmse < 0)
+    throw std::runtime_error("celia-model: non-finite statistics in " + key);
   return fit;
 }
 
@@ -170,8 +173,11 @@ Celia load_model(std::istream& in) {
       throw std::runtime_error("celia-model: bad space width");
     max_counts.resize(count);
     for (auto& max : max_counts) {
-      if (!(stream >> max) || max < 0)
-        throw std::runtime_error("celia-model: bad max count");
+      // Bounded so a mangled count can't overflow the mixed-radix space
+      // size (prod of max+1) or allocate absurd frontiers downstream.
+      if (!(stream >> max) || max < 0 || max > 1000)
+        throw std::runtime_error(
+            "celia-model: max count outside [0, 1000]");
     }
   }
 
@@ -179,11 +185,12 @@ Celia load_model(std::istream& in) {
   {
     auto stream = expect_line(in, "capacity");
     std::size_t count = 0;
-    if (!(stream >> count))
+    if (!(stream >> count) || count == 0 || count > 64)
       throw std::runtime_error("celia-model: bad capacity width");
     per_vcpu.resize(count);
     for (auto& rate : per_vcpu) {
-      if (!(stream >> rate) || !(rate > 0))
+      // isfinite: "inf" parses as a valid double and passes (rate > 0).
+      if (!(stream >> rate) || !std::isfinite(rate) || !(rate > 0))
         throw std::runtime_error("celia-model: bad capacity rate");
     }
   }
@@ -206,6 +213,10 @@ Celia load_model(std::istream& in) {
     auto stream = expect_line(in, "demand.reference");
     if (!(stream >> n0 >> a0 >> d00 >> grid_r2))
       throw std::runtime_error("celia-model: bad reference line");
+    if (!std::isfinite(n0) || !std::isfinite(a0) || !std::isfinite(d00) ||
+        !std::isfinite(grid_r2) || d00 <= 0)
+      throw std::runtime_error(
+          "celia-model: reference line must be finite with positive demand");
   }
 
   fit::SeparableDemandModel demand = fit::SeparableDemandModel::from_parts(

@@ -1,0 +1,66 @@
+#pragma once
+// Exponential backoff with deterministic jitter.
+//
+// Shared by every component that retries a failable operation (cloud
+// provisioning, mid-run replacement of crashed nodes). Delays grow
+// geometrically from `initial_seconds`, are capped at `max_seconds`, and
+// carry a +/- jitter drawn as a pure function of (seed, attempt) so that a
+// retry schedule replays bit-identically from its seed — the same
+// reproducibility contract as the fault-injection layer (cloud/faults.hpp).
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace celia::util {
+
+struct BackoffPolicy {
+  /// Delay before the second attempt (the first fires immediately).
+  double initial_seconds = 2.0;
+  /// Geometric growth factor between consecutive delays.
+  double multiplier = 2.0;
+  /// Upper cap on any single delay (before jitter).
+  double max_seconds = 120.0;
+  /// Attempts in total (first try + retries). Callers give up after this.
+  int max_attempts = 6;
+  /// Uniform jitter amplitude as a fraction of the base delay: the drawn
+  /// delay lies in [base * (1 - f), base * (1 + f)]. 0 disables jitter.
+  double jitter_fraction = 0.25;
+};
+
+/// Delay in seconds before retry number `attempt` (attempt 1 = the first
+/// retry, i.e. the delay between the initial failure and the second try).
+/// Pure function of (policy, attempt, seed): replays identically.
+/// Throws std::invalid_argument on a non-positive attempt or a malformed
+/// policy.
+inline double backoff_delay(const BackoffPolicy& policy, int attempt,
+                            std::uint64_t seed) {
+  if (attempt <= 0)
+    throw std::invalid_argument("backoff_delay: attempt must be >= 1");
+  if (policy.initial_seconds < 0 || policy.multiplier < 1.0 ||
+      policy.max_seconds < 0 || policy.jitter_fraction < 0 ||
+      policy.jitter_fraction > 1.0)
+    throw std::invalid_argument("backoff_delay: malformed policy");
+
+  double base = policy.initial_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    base *= policy.multiplier;
+    if (base >= policy.max_seconds) break;  // saturated; stop multiplying
+  }
+  base = std::min(base, policy.max_seconds);
+  if (policy.jitter_fraction == 0.0) return base;
+
+  // Independent stream per (seed, attempt); warm-up draws decorrelate
+  // nearby seeds, mirroring cloud::instance_speed_factor.
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL +
+                 static_cast<std::uint64_t>(attempt));
+  rng.next();
+  rng.next();
+  const double jitter =
+      rng.uniform(-policy.jitter_fraction, policy.jitter_fraction);
+  return base * (1.0 + jitter);
+}
+
+}  // namespace celia::util

@@ -1,0 +1,425 @@
+// Tests for failable provisioning (CloudProvider::provision_with_faults)
+// and the failure-aware executor (ClusterExecutor::execute_with_faults):
+// zero-fault bit-identity with the legacy paths, deterministic replay of
+// fault schedules, task re-dispatch, checkpoint/restart, replacements and
+// speculative execution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cloud/cluster_exec.hpp"
+#include "cloud/provider.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::apps::ParallelPattern;
+using celia::apps::Workload;
+using celia::hw::WorkloadClass;
+
+std::vector<int> single(const std::string& name, int count = 1) {
+  std::vector<int> counts(9, 0);
+  counts[catalog_index(name)] = count;
+  return counts;
+}
+
+Workload independent_tasks(std::vector<double> tasks) {
+  Workload workload;
+  workload.app_name = "test";
+  workload.workload_class = WorkloadClass::kVideoEncoding;
+  workload.pattern = ParallelPattern::kIndependentTasks;
+  workload.total_instructions =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  workload.task_instructions = std::move(tasks);
+  return workload;
+}
+
+Workload master_worker(std::vector<double> tasks, double serial,
+                       double dispatch) {
+  Workload workload = independent_tasks(std::move(tasks));
+  workload.pattern = ParallelPattern::kMasterWorker;
+  workload.serial_instructions = serial;
+  workload.total_instructions += serial;
+  workload.dispatch_seconds_per_task = dispatch;
+  return workload;
+}
+
+Workload bulk_synchronous(std::uint64_t steps, double per_step,
+                          double sync_bytes) {
+  Workload workload;
+  workload.app_name = "test";
+  workload.workload_class = WorkloadClass::kNBody;
+  workload.pattern = ParallelPattern::kBulkSynchronous;
+  workload.steps = steps;
+  workload.instructions_per_step = per_step;
+  workload.sync_bytes_per_step = sync_bytes;
+  workload.total_instructions = steps * per_step;
+  return workload;
+}
+
+void expect_reports_equal(const ExecutionReport& a, const ExecutionReport& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faults.node_failures, b.faults.node_failures);
+  EXPECT_EQ(a.faults.tasks_redispatched, b.faults.tasks_redispatched);
+  EXPECT_EQ(a.faults.speculative_launches, b.faults.speculative_launches);
+  EXPECT_EQ(a.faults.checkpoints_written, b.faults.checkpoints_written);
+  EXPECT_EQ(a.faults.restarts, b.faults.restarts);
+  EXPECT_EQ(a.faults.replacements, b.faults.replacements);
+  EXPECT_EQ(a.faults.sync_retransmits, b.faults.sync_retransmits);
+  EXPECT_EQ(a.faults.recomputed_instructions, b.faults.recomputed_instructions);
+  EXPECT_EQ(a.faults.replacement_wait_seconds,
+            b.faults.replacement_wait_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Failable provisioning.
+
+TEST(FaultProvisioning, InertModelMatchesLegacyProvisionBitwise) {
+  const auto counts = single("c4.xlarge", 3);
+  CloudProvider legacy(77), faulty(77);
+  const auto instances = legacy.provision(counts);
+  const auto result = faulty.provision_with_faults(counts, FaultModel{});
+  ASSERT_EQ(result.instances.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(result.instances[i].instance_id, instances[i].instance_id);
+    EXPECT_EQ(result.instances[i].type_index, instances[i].type_index);
+    EXPECT_EQ(result.instances[i].speed_factor, instances[i].speed_factor);
+    EXPECT_EQ(result.ready_seconds[i], 0.0);
+  }
+  EXPECT_EQ(result.report.requested, 3);
+  EXPECT_EQ(result.report.provisioned, 3);
+  EXPECT_EQ(result.report.boot_failures, 0);
+  EXPECT_EQ(result.report.retries, 0);
+  EXPECT_EQ(result.report.ready_seconds, 0.0);
+  EXPECT_EQ(result.report.wasted_boot_seconds, 0.0);
+}
+
+TEST(FaultProvisioning, BootFailuresAreRetriedAndAccounted) {
+  FaultModel model;
+  model.boot_failure_probability = 0.4;
+  model.boot_timeout_seconds = 60.0;
+  const auto counts = single("c4.large", 5);
+
+  CloudProvider provider(123);
+  const auto result = provider.provision_with_faults(counts, model);
+  EXPECT_EQ(result.report.provisioned, 5);
+  EXPECT_EQ(result.instances.size(), 5u);
+  // Every failed boot triggered exactly one backoff-delayed retry.
+  EXPECT_EQ(result.report.retries, result.report.boot_failures);
+  EXPECT_DOUBLE_EQ(result.report.wasted_boot_seconds,
+                   60.0 * result.report.boot_failures);
+  // Pick a seed-independent truth: with p=0.4 over >= 5 attempts, at
+  // least one failure is overwhelmingly likely for seed 123 — if this
+  // fires the seed can be adjusted, the schedule is deterministic.
+  EXPECT_GT(result.report.boot_failures, 0);
+  // ready_seconds is the slowest node's chain.
+  double slowest = 0.0;
+  for (const double r : result.ready_seconds) slowest = std::max(slowest, r);
+  EXPECT_DOUBLE_EQ(result.report.ready_seconds, slowest);
+
+  // Bit-identical replay from an identically-seeded provider.
+  CloudProvider replay(123);
+  const auto again = replay.provision_with_faults(counts, model);
+  EXPECT_EQ(again.report.boot_failures, result.report.boot_failures);
+  EXPECT_EQ(again.report.ready_seconds, result.report.ready_seconds);
+  for (std::size_t i = 0; i < result.instances.size(); ++i) {
+    EXPECT_EQ(again.instances[i].instance_id,
+              result.instances[i].instance_id);
+    EXPECT_EQ(again.instances[i].speed_factor,
+              result.instances[i].speed_factor);
+    EXPECT_EQ(again.ready_seconds[i], result.ready_seconds[i]);
+  }
+}
+
+TEST(FaultProvisioning, CertainBootFailureExhaustsRetriesAndThrows) {
+  FaultModel model;
+  model.boot_failure_probability = 1.0;
+  CloudProvider provider(1);
+  EXPECT_THROW(provider.provision_with_faults(single("c4.large"), model),
+               ProvisioningError);
+}
+
+TEST(FaultProvisioning, GraySlowdownFoldsIntoSpeedFactor) {
+  FaultModel model;
+  model.gray_probability = 1.0;
+  model.gray_slowdown = 0.5;
+  const auto counts = single("m4.large", 2);
+  CloudProvider legacy(9), faulty(9);
+  const auto instances = legacy.provision(counts);
+  const auto result = faulty.provision_with_faults(counts, model);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.instances[i].speed_factor,
+                     instances[i].speed_factor * 0.5);
+  }
+}
+
+TEST(FaultProvisioning, BootDelayMakesNodesReadyLater) {
+  FaultModel model;
+  model.boot_delay_seconds = 120.0;
+  CloudProvider provider(4);
+  const auto result =
+      provider.provision_with_faults(single("c4.large", 3), model);
+  for (const double ready : result.ready_seconds) EXPECT_GT(ready, 0.0);
+}
+
+TEST(FaultProvisioning, ReplacementContinuesInstanceIds) {
+  CloudProvider provider(5);
+  const auto fleet =
+      provider.provision_with_faults(single("c4.large", 2), FaultModel{});
+  const auto replacement =
+      provider.provision_replacement(catalog_index("r3.xlarge"), FaultModel{});
+  ASSERT_EQ(replacement.instances.size(), 1u);
+  EXPECT_EQ(replacement.instances[0].type_index, catalog_index("r3.xlarge"));
+  EXPECT_GT(replacement.instances[0].instance_id,
+            fleet.instances.back().instance_id);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-fault bit-identity: the determinism property the planner relies on.
+
+TEST(FaultExec, InertModelIsBitIdenticalToLegacyExecutorAllPatterns) {
+  const std::vector<int> counts = [] {
+    auto c = single("c4.large", 2);
+    c[catalog_index("m4.xlarge")] = 1;
+    return c;
+  }();
+  const std::vector<Workload> workloads = {
+      independent_tasks({1e11, 2e11, 5e10, 1.5e11, 8e10, 1e11}),
+      master_worker({1e11, 2e11, 5e10, 1.5e11}, 5e10, 0.030),
+      bulk_synchronous(40, 2e10, 1e6),
+  };
+  const ClusterExecutor executor;
+  for (const auto& workload : workloads) {
+    CloudProvider legacy(2017), faulty(2017);
+    const auto instances = legacy.provision(counts);
+    const auto fleet = faulty.provision_with_faults(counts, FaultModel{});
+
+    const auto baseline = executor.execute(workload, instances, counts);
+    const auto under_faults =
+        executor.execute_with_faults(workload, faulty, fleet, counts);
+    expect_reports_equal(baseline, under_faults);
+    EXPECT_EQ(under_faults.faults.node_failures, 0u);
+    EXPECT_EQ(under_faults.faults.recomputed_instructions, 0.0);
+  }
+}
+
+TEST(FaultExec, SameSeedReplaysIdenticalScheduleTwice) {
+  FaultModel model;
+  model.mtbf_seconds = 400.0;
+  model.gray_probability = 0.2;
+  model.gray_slowdown = 0.5;
+  model.boot_delay_seconds = 15.0;
+  model.message_loss_probability = 0.05;
+
+  const auto counts = single("c4.large", 3);
+  const std::vector<Workload> workloads = {
+      independent_tasks(std::vector<double>(24, 1e11)),
+      bulk_synchronous(60, 3e10, 1e6),
+  };
+  const ClusterExecutor executor;
+  for (const auto& workload : workloads) {
+    FaultExecutionOptions options;
+    options.faults = model;
+    options.checkpoint.interval_seconds = 120.0;
+    options.checkpoint.write_cost_seconds = 5.0;
+
+    CloudProvider first(31), second(31);
+    const auto fleet_a = first.provision_with_faults(counts, model);
+    const auto fleet_b = second.provision_with_faults(counts, model);
+    const auto a =
+        executor.execute_with_faults(workload, first, fleet_a, counts, options);
+    const auto b = executor.execute_with_faults(workload, second, fleet_b,
+                                                counts, options);
+    expect_reports_equal(a, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task-farm failure semantics.
+
+TEST(FaultExec, TaskFarmSurvivesCrashesViaRedispatchAndReplacement) {
+  const auto counts = single("c4.large", 2);
+  const Workload workload = independent_tasks(std::vector<double>(16, 1e11));
+  const ClusterExecutor executor;
+
+  // Baseline run to size the MTBF against the actual makespan.
+  CloudProvider baseline_provider(8);
+  const auto baseline = executor.execute(
+      workload, baseline_provider.provision(counts), counts);
+
+  FaultModel model;
+  model.mtbf_seconds = baseline.seconds / 4.0;  // several crashes expected
+  FaultExecutionOptions options;
+  options.faults = model;
+
+  CloudProvider provider(8);
+  const auto fleet = provider.provision_with_faults(counts, model);
+  const auto report =
+      executor.execute_with_faults(workload, provider, fleet, counts, options);
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.faults.node_failures, 0u);
+  EXPECT_EQ(report.faults.replacements, report.faults.node_failures);
+  EXPECT_GT(report.faults.tasks_redispatched, 0u);
+  EXPECT_GT(report.faults.recomputed_instructions, 0.0);
+  // Crashes + re-execution can only slow the farm down.
+  EXPECT_GT(report.seconds, baseline.seconds);
+  EXPECT_GT(report.cost, 0.0);
+}
+
+TEST(FaultExec, FleetExtinctionWithoutReplacementsReportsIncomplete) {
+  const auto counts = single("c4.large", 2);
+  const Workload workload = independent_tasks(std::vector<double>(16, 1e12));
+  const ClusterExecutor executor;
+
+  CloudProvider baseline_provider(8);
+  const auto baseline = executor.execute(
+      workload, baseline_provider.provision(counts), counts);
+
+  FaultModel model;
+  model.mtbf_seconds = baseline.seconds / 50.0;  // every node dies early
+  FaultExecutionOptions options;
+  options.faults = model;
+  options.provision_replacements = false;
+
+  CloudProvider provider(8);
+  const auto fleet = provider.provision_with_faults(counts, model);
+  const auto report =
+      executor.execute_with_faults(workload, provider, fleet, counts, options);
+
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.faults.node_failures, 2u);
+  EXPECT_EQ(report.faults.replacements, 0u);
+  // The run ends at the last death, having billed only actual lifetimes.
+  EXPECT_LT(report.seconds, baseline.seconds);
+  EXPECT_LT(report.cost, baseline.cost);
+}
+
+TEST(FaultExec, SpeculationRelaunchesStragglersAndHelps) {
+  // Two c4.large nodes, one gray (4x slowdown). Find a provider seed whose
+  // first two instance draws disagree on grayness — the schedule is then
+  // pinned and deterministic.
+  FaultModel model;
+  model.gray_probability = 0.5;
+  model.gray_slowdown = 0.25;
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate < 200; ++candidate) {
+    if (fault_profile(model, candidate, 0).gray !=
+        fault_profile(model, candidate, 1).gray) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+
+  const auto counts = single("c4.large", 2);  // 4 slots
+  const Workload workload = independent_tasks(std::vector<double>(4, 2e11));
+  const ClusterExecutor executor;
+
+  const auto run = [&](bool speculate) {
+    CloudProvider provider(seed);
+    const auto fleet = provider.provision_with_faults(counts, model);
+    FaultExecutionOptions options;
+    options.faults = model;
+    options.speculative_execution = speculate;
+    return executor.execute_with_faults(workload, provider, fleet, counts,
+                                        options);
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+
+  EXPECT_TRUE(with.completed);
+  EXPECT_GT(with.faults.speculative_launches, 0u);
+  // The healthy node's idle slots re-run the gray node's tasks 4x faster.
+  EXPECT_LT(with.seconds, without.seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous checkpoint/restart.
+
+TEST(FaultExec, BulkSynchronousCheckpointsAndRestarts) {
+  const auto counts = single("m4.large", 3);
+  const Workload workload = bulk_synchronous(80, 3e10, 1e6);
+  const ClusterExecutor executor;
+
+  CloudProvider baseline_provider(21);
+  const auto baseline = executor.execute(
+      workload, baseline_provider.provision(counts), counts);
+
+  FaultModel model;
+  model.mtbf_seconds = baseline.seconds / 2.0;
+  FaultExecutionOptions options;
+  options.faults = model;
+  options.checkpoint.interval_seconds = baseline.seconds / 10.0;
+  options.checkpoint.write_cost_seconds = baseline.seconds / 400.0;
+
+  CloudProvider provider(21);
+  const auto fleet = provider.provision_with_faults(counts, model);
+  const auto report =
+      executor.execute_with_faults(workload, provider, fleet, counts, options);
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.faults.node_failures, 0u);
+  EXPECT_EQ(report.faults.replacements, report.faults.node_failures);
+  EXPECT_GT(report.faults.checkpoints_written, 0u);
+  // A rollback re-runs at most one checkpoint interval's worth of steps.
+  EXPECT_EQ(report.faults.restarts > 0,
+            report.faults.recomputed_instructions > 0.0);
+  EXPECT_GT(report.seconds, baseline.seconds);
+}
+
+TEST(FaultExec, BulkSynchronousMessageLossAddsRetransmits) {
+  const auto counts = single("m4.large", 3);
+  const Workload workload = bulk_synchronous(200, 1e10, 1e7);
+  const ClusterExecutor executor;
+
+  FaultModel model;
+  model.message_loss_probability = 0.1;
+  FaultExecutionOptions options;
+  options.faults = model;
+
+  CloudProvider lossy_provider(3), clean_provider(3);
+  const auto lossy_fleet = lossy_provider.provision_with_faults(counts, model);
+  const auto clean_fleet =
+      clean_provider.provision_with_faults(counts, FaultModel{});
+  const auto lossy = executor.execute_with_faults(workload, lossy_provider,
+                                                  lossy_fleet, counts, options);
+  const auto clean = executor.execute_with_faults(workload, clean_provider,
+                                                  clean_fleet, counts);
+
+  EXPECT_TRUE(lossy.completed);
+  EXPECT_GT(lossy.faults.sync_retransmits, 0u);
+  EXPECT_EQ(lossy.faults.node_failures, 0u);
+  // ~0.1 losses per node-step over 3 nodes x 200 steps ~ 60 retransmits.
+  EXPECT_NEAR(static_cast<double>(lossy.faults.sync_retransmits), 60.0, 30.0);
+  EXPECT_GT(lossy.seconds, clean.seconds);
+}
+
+TEST(FaultExec, ExecuteWithFaultsValidatesItsOptions) {
+  const auto counts = single("c4.large");
+  CloudProvider provider(1);
+  const auto fleet = provider.provision_with_faults(counts, FaultModel{});
+  const ClusterExecutor executor;
+  const Workload workload = independent_tasks({1e11});
+
+  FaultExecutionOptions bad_faults;
+  bad_faults.faults.gray_probability = 2.0;
+  EXPECT_THROW(executor.execute_with_faults(workload, provider, fleet, counts,
+                                            bad_faults),
+               std::invalid_argument);
+  FaultExecutionOptions bad_checkpoint;
+  bad_checkpoint.checkpoint.interval_seconds = -1.0;
+  EXPECT_THROW(executor.execute_with_faults(workload, provider, fleet, counts,
+                                            bad_checkpoint),
+               std::invalid_argument);
+}
+
+}  // namespace

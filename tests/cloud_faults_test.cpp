@@ -1,0 +1,162 @@
+// Tests for the seeded fault-injection layer (cloud/faults.hpp): every
+// draw must be a pure function of (model, seed, instance id[, attempt or
+// step]), channels must be independent, and an all-zero model inert.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cloud/faults.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+
+TEST(Faults, DefaultModelIsInert) {
+  FaultModel model;
+  EXPECT_TRUE(model.inert());
+  model.mtbf_seconds = 100.0;
+  EXPECT_FALSE(model.inert());
+  model = {};
+  model.message_loss_probability = 0.01;
+  EXPECT_FALSE(model.inert());
+  // boot_timeout and gray_slowdown are parameters of faults, not faults
+  // themselves: changing them alone keeps the model inert.
+  model = {};
+  model.boot_timeout_seconds = 5.0;
+  model.gray_slowdown = 0.5;
+  EXPECT_TRUE(model.inert());
+}
+
+TEST(Faults, ProfileIsDeterministicPerSeedAndId) {
+  FaultModel model;
+  model.mtbf_seconds = 3600.0;
+  model.boot_delay_seconds = 30.0;
+  model.gray_probability = 0.3;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    const auto a = fault_profile(model, 99, id);
+    const auto b = fault_profile(model, 99, id);
+    EXPECT_EQ(a.crash_after_seconds, b.crash_after_seconds);
+    EXPECT_EQ(a.boot_seconds, b.boot_seconds);
+    EXPECT_EQ(a.slowdown, b.slowdown);
+    EXPECT_EQ(a.gray, b.gray);
+    EXPECT_GT(a.crash_after_seconds, 0.0);
+    EXPECT_GE(a.boot_seconds, 0.0);
+  }
+  // Different ids (and different seeds) draw different schedules.
+  EXPECT_NE(fault_profile(model, 99, 0).crash_after_seconds,
+            fault_profile(model, 99, 1).crash_after_seconds);
+  EXPECT_NE(fault_profile(model, 99, 0).crash_after_seconds,
+            fault_profile(model, 100, 0).crash_after_seconds);
+}
+
+TEST(Faults, ZeroMtbfNeverCrashes) {
+  FaultModel model;
+  model.gray_probability = 0.5;  // non-inert, but no crash channel
+  const auto profile = fault_profile(model, 1, 0);
+  EXPECT_TRUE(std::isinf(profile.crash_after_seconds));
+}
+
+TEST(Faults, ChannelsAreIndependent) {
+  // Turning the gray channel on must not perturb crash times.
+  FaultModel crashes_only;
+  crashes_only.mtbf_seconds = 3600.0;
+  FaultModel crashes_and_gray = crashes_only;
+  crashes_and_gray.gray_probability = 0.9;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    EXPECT_EQ(fault_profile(crashes_only, 5, id).crash_after_seconds,
+              fault_profile(crashes_and_gray, 5, id).crash_after_seconds);
+  }
+}
+
+TEST(Faults, CrashTimesMatchExponentialMean) {
+  FaultModel model;
+  model.mtbf_seconds = 1000.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int id = 0; id < n; ++id)
+    sum += fault_profile(model, 2024, id).crash_after_seconds;
+  // Sample mean of an exponential(1000) over 20k draws: ~1000 +/- ~2 %.
+  EXPECT_NEAR(sum / n, model.mtbf_seconds, 0.05 * model.mtbf_seconds);
+}
+
+TEST(Faults, GrayFrequencyMatchesProbability) {
+  FaultModel model;
+  model.gray_probability = 0.25;
+  model.gray_slowdown = 0.4;
+  int gray = 0;
+  const int n = 20000;
+  for (int id = 0; id < n; ++id) {
+    const auto profile = fault_profile(model, 7, id);
+    if (profile.gray) {
+      ++gray;
+      EXPECT_DOUBLE_EQ(profile.slowdown, 0.4);
+    } else {
+      EXPECT_DOUBLE_EQ(profile.slowdown, 1.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gray) / n, 0.25, 0.02);
+}
+
+TEST(Faults, BootAttemptsAreDeterministicAndIndependentPerAttempt) {
+  FaultModel model;
+  model.boot_failure_probability = 0.5;
+  int fails = 0, disagreements = 0;
+  const int n = 4096;
+  for (int id = 0; id < n; ++id) {
+    const bool first = boot_attempt_fails(model, 3, id, 0);
+    EXPECT_EQ(first, boot_attempt_fails(model, 3, id, 0));
+    fails += first ? 1 : 0;
+    disagreements += first != boot_attempt_fails(model, 3, id, 1) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.5, 0.05);
+  // Attempt index feeds the stream: retries are fresh draws, not replays.
+  EXPECT_GT(disagreements, n / 4);
+}
+
+TEST(Faults, MessageLossIsDeterministicPerStep) {
+  FaultModel model;
+  model.message_loss_probability = 0.2;
+  int lost = 0;
+  const int n = 8192;
+  for (int step = 0; step < n; ++step) {
+    const bool a = message_lost(model, 11, 4, step);
+    EXPECT_EQ(a, message_lost(model, 11, 4, step));
+    lost += a ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.03);
+  FaultModel off;
+  EXPECT_FALSE(message_lost(off, 11, 4, 0));
+}
+
+TEST(Faults, ValidateRejectsOutOfRangeFields) {
+  FaultModel model;
+  model.mtbf_seconds = -1.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.boot_failure_probability = 1.5;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.gray_probability = -0.1;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.gray_slowdown = 0.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.gray_slowdown = 1.5;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.message_loss_probability = 2.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.boot_timeout_seconds = -5.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  EXPECT_NO_THROW(validate(FaultModel{}));
+  // fault_profile validates its model on entry.
+  model = {};
+  model.gray_slowdown = -1.0;
+  EXPECT_THROW(fault_profile(model, 1, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Regression tests for the run_on_spot horizon give-up path: when the run
+// abandons at the horizon, work billed since the last checkpoint must be
+// reported as lost — billing and lost-work accounting stay consistent.
+
+#include <gtest/gtest.h>
+
+#include "cloud/spot.hpp"
+#include "hw/ipc_model.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::hw::WorkloadClass;
+
+const InstanceType& c4large() { return ec2_catalog()[0]; }
+
+constexpr WorkloadClass kWc = WorkloadClass::kGenomeAlignment;
+
+double fleet_rate(int instances) {
+  return celia::hw::vcpu_rate(c4large().microarch, kWc) * c4large().vcpus *
+         instances;
+}
+
+TEST(SpotGiveUp, AbandonedRunCountsUncheckpointedWorkAsLost) {
+  const SpotMarket market(c4large(), 5);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 10.0 * c4large().cost_per_hour;  // never evicted
+  policy.instances = 1;
+  policy.restart_delay_seconds = 0.0;
+  policy.checkpoint_interval_seconds = 1800.0;
+  policy.checkpoint_cost_seconds = 30.0;
+
+  // Work sized for ~4 checkpoint intervals; horizon cuts it mid-interval.
+  const double work = fleet_rate(1) * 4.5 * 1800.0;
+  const double horizon = 2.5 * 1800.0 + 2 * 30.0 + 100.0;
+  const auto report = run_on_spot(market, kWc, work, policy, horizon);
+
+  ASSERT_FALSE(report.completed);
+  EXPECT_NEAR(report.seconds, horizon, 1e-6);
+  EXPECT_EQ(report.evictions, 0);
+  // With no evictions, everything lost is the uncheckpointed tail — and a
+  // horizon that lands mid-interval guarantees the tail is non-empty but
+  // smaller than one full checkpoint interval of work.
+  EXPECT_GT(report.lost_work_instructions, 0.0);
+  EXPECT_LT(report.lost_work_instructions, fleet_rate(1) * 1800.0 * 1.01);
+}
+
+TEST(SpotGiveUp, CompletedRunLosesNothingWithoutEvictions) {
+  const SpotMarket market(c4large(), 5);
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 10.0 * c4large().cost_per_hour;
+  policy.instances = 1;
+  policy.restart_delay_seconds = 0.0;
+  const double work = fleet_rate(1) * 600.0;
+  const auto report = run_on_spot(market, kWc, work, policy, 1e7);
+  ASSERT_TRUE(report.completed);
+  EXPECT_DOUBLE_EQ(report.lost_work_instructions, 0.0);
+}
+
+TEST(SpotGiveUp, GiveUpReportReplaysBitIdentically) {
+  SpotRunPolicy policy;
+  policy.bid_per_hour = 0.4 * c4large().cost_per_hour;  // evictions likely
+  policy.instances = 2;
+  const double work = fleet_rate(2) * 40000.0;
+  const double horizon = 20000.0;
+  const SpotMarket a(c4large(), 42), b(c4large(), 42);
+  const auto first = run_on_spot(a, kWc, work, policy, horizon);
+  const auto second = run_on_spot(b, kWc, work, policy, horizon);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.seconds, second.seconds);
+  EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.evictions, second.evictions);
+  EXPECT_EQ(first.lost_work_instructions, second.lost_work_instructions);
+  EXPECT_EQ(first.checkpoint_overhead_seconds,
+            second.checkpoint_overhead_seconds);
+  EXPECT_FALSE(first.completed);  // pinned: this work cannot fit the horizon
+}
+
+}  // namespace

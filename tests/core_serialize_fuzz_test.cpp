@@ -1,0 +1,181 @@
+// Corruption fuzzing of the model load path (core/serialize.hpp): a
+// truncated or field-mangled `celia-model 1` stream must throw a
+// descriptive exception — never crash, hang, or hand back a partially
+// initialized model.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "cloud/provider.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::cloud::CloudProvider;
+
+const std::string& model_text() {
+  static const std::string text = [] {
+    CloudProvider provider(2017);
+    return model_to_string(
+        Celia::build(*celia::apps::make_galaxy(), provider));
+  }();
+  return text;
+}
+
+/// Replace the whole line starting with `key ` by `replacement`.
+std::string with_line(const std::string& text, const std::string& key,
+                      const std::string& replacement) {
+  const std::size_t begin = text.find(key + " ");
+  EXPECT_NE(begin, std::string::npos) << key;
+  const std::size_t end = text.find('\n', begin);
+  return text.substr(0, begin) + replacement + text.substr(end);
+}
+
+TEST(SerializeFuzz, EveryMeaningfulTruncationThrows) {
+  const std::string& full = model_text();
+  // Truncations inside the final token can still parse (a shortened double
+  // is a double); everything before it must throw.
+  const std::size_t last_token = full.find_last_of(' ') + 1;
+  for (std::size_t len = 0; len <= last_token; ++len) {
+    EXPECT_THROW(model_from_string(full.substr(0, len)), std::exception)
+        << "truncation at byte " << len << " did not throw";
+  }
+  // Truncations inside the final token must not crash either way.
+  for (std::size_t len = last_token + 1; len < full.size(); ++len) {
+    try {
+      (void)model_from_string(full.substr(0, len));
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(SerializeFuzz, MangledHeaderThrows) {
+  EXPECT_THROW(model_from_string(""), std::runtime_error);
+  EXPECT_THROW(model_from_string("garbage\n"), std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "celia-model",
+                                  "celia-model 2")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "celia-model",
+                                  "celia-model x")),
+      std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledWorkloadAndShapesThrow) {
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "workload", "workload 99")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "workload", "workload")),
+      std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.shapes",
+                                           "demand.shapes 7 0")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.shapes",
+                                           "demand.shapes 0")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledSpaceThrows) {
+  // Absurd width.
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "space", "space 64000 5")),
+      std::runtime_error);
+  // Negative and overflow-scale max counts.
+  EXPECT_THROW(model_from_string(with_line(
+                   model_text(), "space",
+                   "space 9 5 5 5 5 5 5 5 5 -1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(
+                   model_text(), "space",
+                   "space 9 5 5 5 5 5 5 5 5 1000000")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledCapacityThrows) {
+  // "inf" parses as a valid positive double: the finiteness check must
+  // catch it.
+  EXPECT_THROW(model_from_string(with_line(
+                   model_text(), "capacity",
+                   "capacity 9 inf 1e9 1e9 1e9 1e9 1e9 1e9 1e9 1e9")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(
+                   model_text(), "capacity",
+                   "capacity 9 nan 1e9 1e9 1e9 1e9 1e9 1e9 1e9 1e9")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(
+                   model_text(), "capacity",
+                   "capacity 9 -1e9 1e9 1e9 1e9 1e9 1e9 1e9 1e9 1e9")),
+               std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "capacity", "capacity 0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "capacity", "capacity 9999")),
+      std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledFitThrows) {
+  // Basis count lies about the payload.
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 17")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 2 0 1 1.0")),
+               std::runtime_error);
+  // Unknown basis id; non-finite coefficient; non-finite statistics.
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 1 99 1.0 1 1 0")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 1 0 inf 1 1 0")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 1 0 1.0 nan 1 0")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.n_fit",
+                                           "demand.n_fit 1 0 1.0 1 1 -2")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledReferenceThrows) {
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.reference",
+                                           "demand.reference 16 20 inf 1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.reference",
+                                           "demand.reference 16 20 -1e15 1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.reference",
+                                           "demand.reference nan 20 1e15 1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "demand.reference",
+                                           "demand.reference 16 20 1e15")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, MissingSectionThrows) {
+  // Deleting a whole line makes the next key appear where another was
+  // expected; the error names what it wanted.
+  const std::string& full = model_text();
+  const std::size_t begin = full.find("capacity ");
+  const std::size_t end = full.find('\n', begin) + 1;
+  const std::string without = full.substr(0, begin) + full.substr(end);
+  try {
+    (void)model_from_string(without);
+    FAIL() << "load of a model missing its capacity line succeeded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("capacity"), std::string::npos);
+  }
+}
+
+TEST(SerializeFuzz, IntactModelStillLoads) {
+  // The fixture itself must be valid, or the tests above prove nothing.
+  EXPECT_NO_THROW(model_from_string(model_text()));
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Tests for the shared exponential-backoff schedule (util/backoff.hpp).
+
+#include <gtest/gtest.h>
+
+#include "util/backoff.hpp"
+
+namespace {
+
+using celia::util::BackoffPolicy;
+using celia::util::backoff_delay;
+
+TEST(Backoff, GrowsGeometricallyWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 2.0;
+  policy.multiplier = 2.0;
+  policy.max_seconds = 1000.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 1, 7), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 2, 7), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 3, 7), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 4, 7), 16.0);
+}
+
+TEST(Backoff, CapsAtMaxSeconds) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 2.0;
+  policy.multiplier = 2.0;
+  policy.max_seconds = 10.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 10, 7), 10.0);
+  // Even an attempt count that would overflow a naive pow stays capped.
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 10000, 7), 10.0);
+}
+
+TEST(Backoff, JitterStaysWithinFractionAndIsDeterministic) {
+  BackoffPolicy policy;  // defaults: 25 % jitter
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double d = backoff_delay(policy, attempt, 42);
+    double base = policy.initial_seconds;
+    for (int i = 1; i < attempt; ++i)
+      base = std::min(base * policy.multiplier, policy.max_seconds);
+    EXPECT_GE(d, base * (1.0 - policy.jitter_fraction));
+    EXPECT_LE(d, base * (1.0 + policy.jitter_fraction));
+    // Pure function of (policy, attempt, seed).
+    EXPECT_DOUBLE_EQ(d, backoff_delay(policy, attempt, 42));
+  }
+  // Different seeds give different jitter (overwhelmingly likely).
+  EXPECT_NE(backoff_delay(policy, 3, 1), backoff_delay(policy, 3, 2));
+}
+
+TEST(Backoff, RejectsBadArguments) {
+  BackoffPolicy policy;
+  EXPECT_THROW(backoff_delay(policy, 0, 1), std::invalid_argument);
+  EXPECT_THROW(backoff_delay(policy, -1, 1), std::invalid_argument);
+  policy.multiplier = 0.5;
+  EXPECT_THROW(backoff_delay(policy, 1, 1), std::invalid_argument);
+  policy = {};
+  policy.jitter_fraction = 1.5;
+  EXPECT_THROW(backoff_delay(policy, 1, 1), std::invalid_argument);
+  policy = {};
+  policy.initial_seconds = -1.0;
+  EXPECT_THROW(backoff_delay(policy, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
