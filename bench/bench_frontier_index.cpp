@@ -77,7 +77,7 @@ void BM_IndexQueryPareto(benchmark::State& state) {
 BENCHMARK(BM_IndexQueryPareto)->Unit(benchmark::kMicrosecond);
 
 void BM_CachedIndexSweepFastPath(benchmark::State& state) {
-  // sweep() with use_cached_index: the API most callers hit. First call
+  // sweep() with IndexPolicy::Shared(): the API most callers hit. First call
   // builds the shared index; steady state is the indexed query plus the
   // cache lookup.
   const auto space = ConfigurationSpace::ec2_default();
@@ -86,7 +86,7 @@ void BM_CachedIndexSweepFastPath(benchmark::State& state) {
   const Constraints constraints = bench_constraints();
   SweepOptions options;
   options.collect_pareto = false;
-  options.use_cached_index = true;
+  options.index_policy = IndexPolicy::Shared();
   // Warm the shared cache so the loop measures steady state, not the
   // one-time build.
   benchmark::DoNotOptimize(

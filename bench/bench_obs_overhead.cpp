@@ -1,0 +1,110 @@
+// Asserts the observability tentpole's budget: metrics-on sweeps may cost
+// at most 2% more wall time than the same sweeps with the runtime kill
+// switch off. Instrumentation is block-granular, so the overhead is
+// O(blocks) atomics against O(configurations) work — far under the
+// budget on any sane machine.
+//
+// Method: ABAB-interleaved min-of-N timing (min is robust to scheduler
+// noise; interleaving cancels thermal/clock drift). A noisy box can still
+// produce a flaky ratio, so the comparison retries up to 3 rounds and
+// only fails if every round exceeds the budget. Exits non-zero on
+// failure so CI can gate on it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "core/enumerate.hpp"
+#include "core/query.hpp"
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace celia;
+
+constexpr double kMaxOverhead = 0.02;
+constexpr int kRepsPerRound = 5;
+constexpr int kMaxRounds = 3;
+
+double min_sweep_seconds(const core::ConfigurationSpace& space,
+                         const core::ResourceCapacity& capacity,
+                         const std::vector<double>& hourly,
+                         const core::Query& query, bool metrics_on,
+                         int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::set_metrics_enabled(metrics_on);
+    util::Stopwatch watch;
+    const core::SweepResult result = core::sweep(space, capacity, hourly,
+                                                 query);
+    const double elapsed = watch.elapsed_seconds();
+    obs::set_metrics_enabled(true);
+    if (result.total != space.size()) {
+      std::fprintf(stderr, "sweep walked %llu of %llu configurations\n",
+                   static_cast<unsigned long long>(result.total),
+                   static_cast<unsigned long long>(space.size()));
+      std::exit(1);
+    }
+    if (elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // ~2M configurations: big enough that one sweep dwarfs timer noise,
+  // small enough to keep the whole bench in seconds.
+  std::vector<int> max_counts(cloud::catalog_size(), 4);
+  const core::ConfigurationSpace space(max_counts);
+  const core::ResourceCapacity capacity(
+      std::vector<double>(cloud::catalog_size(), 1.2e9));
+  const std::vector<double> hourly = core::ec2_hourly_costs();
+
+  core::Constraints constraints;
+  constraints.deadline_seconds = 3600.0;
+  constraints.budget_dollars = 50.0;
+  const core::Query query = core::Query::make(5e14, constraints);
+
+  std::printf("obs overhead bench: %llu configurations per sweep, "
+              "min of %d reps, budget %.1f%%\n",
+              static_cast<unsigned long long>(space.size()), kRepsPerRound,
+              kMaxOverhead * 100.0);
+
+  // Warm up: thread pool spin-up, metric/site registration, page faults.
+  min_sweep_seconds(space, capacity, hourly, query, true, 1);
+
+  bool passed = false;
+  for (int round = 1; round <= kMaxRounds; ++round) {
+    // Interleave A (metrics on) and B (off) so drift hits both equally.
+    double best_on = 1e300, best_off = 1e300;
+    for (int rep = 0; rep < kRepsPerRound; ++rep) {
+      const double on =
+          min_sweep_seconds(space, capacity, hourly, query, true, 1);
+      const double off =
+          min_sweep_seconds(space, capacity, hourly, query, false, 1);
+      if (on < best_on) best_on = on;
+      if (off < best_off) best_off = off;
+    }
+    const double overhead = best_on / best_off - 1.0;
+    std::printf("round %d: metrics on %.3f ms, off %.3f ms, overhead "
+                "%+.2f%%\n",
+                round, best_on * 1e3, best_off * 1e3, overhead * 100.0);
+    if (overhead <= kMaxOverhead) {
+      passed = true;
+      break;
+    }
+  }
+
+  if (!passed) {
+    std::fprintf(stderr,
+                 "FAIL: metrics overhead exceeded %.1f%% in every round\n",
+                 kMaxOverhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS: metrics overhead within the %.1f%% budget\n",
+              kMaxOverhead * 100.0);
+  return 0;
+}

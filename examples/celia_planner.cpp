@@ -18,6 +18,7 @@
 #include "core/frontier_index.hpp"
 #include "core/recommend.hpp"
 #include "core/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
@@ -52,6 +53,9 @@ int main(int argc, char** argv) {
   cli.add_flag("index",
                "answer the query from a precomputed frontier index instead "
                "of a full sweep");
+  cli.add_flag("metrics",
+               "dump the obs metrics registry (Prometheus text format) "
+               "after planning");
   cli.add_flag("verbose", "log model-building details");
   if (!cli.parse(argc, argv)) {
     std::cerr << "error: " << cli.error() << "\n\n";
@@ -140,12 +144,13 @@ int main(int argc, char** argv) {
               << " attainable configurations ("
               << index->memory_bytes() / 1024 << " KiB), built in "
               << util::format_fixed(watch.elapsed_ms(), 0) << " ms\n";
-    sweep_options.index = index.get();
+    sweep_options.index_policy = core::IndexPolicy::Prefer(index.get());
   }
 
   watch.reset();
   const core::SweepResult result =
       celia.select(params, deadline, budget, sweep_options);
+  std::cout << "route: " << core::query_route_name(result.route) << "\n";
   if (cli.has("index")) {
     std::cout << "answered from the index in "
               << util::format_fixed(watch.elapsed_ms() * 1000.0, 1)
@@ -206,6 +211,10 @@ int main(int argc, char** argv) {
               << core::to_string(celia.space().decode(pick.config_index))
               << "  " << util::format_duration(pick.seconds) << "  "
               << util::format_money(pick.cost) << "\n";
+  }
+  if (cli.has("metrics")) {
+    std::cout << "\n--- obs metrics ---\n";
+    obs::dump_metrics(std::cout);
   }
   return 0;
 }

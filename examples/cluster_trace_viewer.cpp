@@ -6,7 +6,14 @@
 // run shows the serial master phase (all slots idle at the left edge) and
 // dispatch staggering — the exact effects behind the paper's Table IV
 // prediction errors.
+//
+// The final section re-runs sand under fault injection with obs tracing
+// on and writes the simulated schedule as chrome://tracing JSON
+// (cluster_trace.json by default) — load it in chrome://tracing or
+// https://ui.perfetto.dev to scrub through task runs, node crashes,
+// redispatches and replacements on a per-track Gantt timeline.
 
+#include <fstream>
 #include <iostream>
 
 #include "apps/registry.hpp"
@@ -14,6 +21,7 @@
 #include "cloud/gantt.hpp"
 #include "cloud/provider.hpp"
 #include "core/configuration.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -55,5 +63,38 @@ int main() {
   // followed by dispatch-staggered task waves.
   show(*apps::make_sand(), {600e6, 0.32}, {5, 5, 5, 0, 0, 0, 0, 0, 0},
        provider);
+
+  // Fault-injected rerun with obs tracing: crashes force redispatches and
+  // replacement provisioning, all visible in the exported chrome trace.
+  obs::set_tracing_enabled(true);
+  obs::clear_trace();
+  {
+    const auto app = apps::make_sand();
+    const apps::AppParams params{600e6, 0.32};
+    const apps::Workload workload = app->make_workload(params);
+    const std::vector<int> config = {5, 5, 5, 0, 0, 0, 0, 0, 0};
+    cloud::FaultModel faults;
+    faults.mtbf_seconds = 20000.0;  // several crashes within the run
+    const auto fleet = provider.provision_with_faults(config, faults);
+    const cloud::ClusterExecutor executor(provider.network());
+    cloud::FaultExecutionOptions options;
+    options.faults = faults;
+    const auto report =
+        executor.execute_with_faults(workload, provider, fleet, config,
+                                     options);
+    std::cout << "--- fault-injected sand run (mtbf "
+              << util::format_duration(faults.mtbf_seconds) << ") ---\n"
+              << "time " << util::format_duration(report.seconds) << ", cost "
+              << util::format_money(report.cost) << ", node failures "
+              << report.faults.node_failures << ", redispatched "
+              << report.faults.tasks_redispatched << ", replacements "
+              << report.faults.replacements << "\n";
+    std::ofstream out("cluster_trace.json");
+    obs::write_chrome_trace(out);
+    std::cout << "wrote " << obs::trace_snapshot().size()
+              << " simulated-time events to cluster_trace.json "
+                 "(open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  obs::set_tracing_enabled(false);
   return 0;
 }

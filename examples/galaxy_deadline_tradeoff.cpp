@@ -51,7 +51,7 @@ int main() {
   // shared frontier index (one build, microseconds per query) instead of
   // re-sweeping 10M configurations each time.
   core::SweepOptions fast;
-  fast.use_cached_index = true;
+  fast.index_policy = core::IndexPolicy::Shared();
 
   // 2. How much accuracy can $100 buy within 24 h? Scan s downward.
   std::cout << "\nmax steps affordable at $100 / 24 h: ";

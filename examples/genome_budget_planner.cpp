@@ -34,7 +34,7 @@ int main() {
   // The ladder fires a dozen queries at one fixed model: build the shared
   // frontier index once and answer them all from it.
   core::SweepOptions fast;
-  fast.use_cached_index = true;
+  fast.index_policy = core::IndexPolicy::Shared();
 
   // 1. The accuracy-cost ladder: min cost per quality threshold.
   const double thresholds[] = {0.01, 0.02, 0.04, 0.08, 0.16,

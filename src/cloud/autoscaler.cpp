@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace celia::cloud {
 
 namespace {
@@ -106,12 +108,20 @@ AutoscaleReport run_autoscaled(CloudProvider& provider,
         active < policy.max_instances) {
       add_instance(now);
       ++report.scale_ups;
+      static obs::Counter& scale_ups = obs::counter(
+          "celia_autoscaler_scale_ups_total",
+          "Instances added by the deadline-tracking autoscaler");
+      scale_ups.add(1);
     } else if (projected < deadline_seconds * policy.relax && active > 1) {
       // Release the most recently added active instance.
       for (auto it = leases.rbegin(); it != leases.rend(); ++it) {
         if (it->released_at < 0) {
           it->released_at = now;
           ++report.scale_downs;
+          static obs::Counter& scale_downs = obs::counter(
+              "celia_autoscaler_scale_downs_total",
+              "Instances released by the deadline-tracking autoscaler");
+          scale_downs.add(1);
           break;
         }
       }

@@ -6,11 +6,44 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace celia::cloud {
 
 namespace {
+
+/// Simulated seconds -> chrome-trace microseconds. Executor events happen
+/// in SIMULATED time, so the exported Gantt chart shows the modeled
+/// schedule, not wall clock.
+std::int64_t sim_us(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6);
+}
+
+/// FaultStats-mirroring counters (process-wide; the per-run numbers stay
+/// in ExecutionReport::faults — these aggregate across runs for obs).
+struct ExecCounters {
+  obs::Counter& redispatched = obs::counter(
+      "celia_exec_redispatch_total",
+      "Tasks returned to the pending queue after a crash or stale copy");
+  obs::Counter& node_failures = obs::counter(
+      "celia_exec_node_failures_total", "Fleet nodes lost to crashes");
+  obs::Counter& speculative = obs::counter(
+      "celia_exec_speculative_total", "Speculative backup copies launched");
+  obs::Counter& replacements = obs::counter(
+      "celia_exec_replacements_total", "Replacement instances provisioned");
+  obs::Counter& rollbacks = obs::counter(
+      "celia_exec_rollbacks_total",
+      "BSP rollbacks to the last durable checkpoint");
+  obs::Counter& checkpoints = obs::counter(
+      "celia_exec_checkpoints_total", "BSP checkpoints written");
+};
+
+ExecCounters& exec_counters() {
+  static ExecCounters counters;
+  return counters;
+}
 
 /// One compute slot: a vCPU of some instance, executing one task at a time.
 struct Slot {
@@ -206,6 +239,13 @@ ExecutionReport ClusterExecutor::execute_with_faults(
   if (workload.total_instructions <= 0)
     throw std::invalid_argument("ClusterExecutor: empty workload");
 
+  // Wall-clock span for the simulation itself; the events recorded inside
+  // carry SIMULATED timestamps (the Gantt chart of the modeled run).
+  obs::Span exec_span("execute_with_faults", "exec");
+  static obs::Counter& fault_runs = obs::counter(
+      "celia_exec_fault_runs_total", "Fault-injected executions simulated");
+  fault_runs.add(1);
+
   ExecutionReport report;
   switch (workload.pattern) {
     case apps::ParallelPattern::kIndependentTasks:
@@ -333,6 +373,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
       if (options.base.record_trace)
         trace.push_back(
             {slot_index, task, slot.task_start, simulator.now()});
+      obs::record_complete("task", "exec", sim_us(slot.task_start),
+                           sim_us(simulator.now() - slot.task_start),
+                           slot_index);
       reap_copies(task, slot_index);
       if (remaining == 0) {
         finish_job();
@@ -377,6 +420,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
       if (copy_finish >= worst_finish) return;  // the copy would not help
       task_index = worst_task;
       ++report.faults.speculative_launches;
+      exec_counters().speculative.add(1);
+      obs::record_instant("speculative_launch", "exec",
+                          sim_us(simulator.now()), idle.front());
     } else {
       return;
     }
@@ -399,6 +445,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
         if (!task_done[task_index] && task_copies[task_index] == 0) {
           pending.push_front(task_index);
           ++report.faults.tasks_redispatched;
+          exec_counters().redispatched.add(1);
+          obs::record_instant("redispatch", "exec", sim_us(simulator.now()),
+                              slot_index);
         }
         if (slot.alive) idle.push_back(slot_index);
         try_dispatch();
@@ -419,6 +468,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
     FleetNode& node = nodes[node_index];
     node.end = simulator.now();
     ++report.faults.node_failures;
+    exec_counters().node_failures.add(1);
+    obs::record_instant("node_crash", "exec", sim_us(simulator.now()),
+                        node.instance.instance_id);
 
     for (std::size_t s = 0; s < slots.size(); ++s) {
       FaultSlot& slot = slots[s];
@@ -434,6 +486,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
         if (!task_done[task] && task_copies[task] == 0) {
           pending.push_front(task);
           ++report.faults.tasks_redispatched;
+          exec_counters().redispatched.add(1);
+          obs::record_instant("redispatch", "exec", sim_us(simulator.now()),
+                              s);
         }
       }
       slot.alive = false;
@@ -447,6 +502,9 @@ ExecutionReport ClusterExecutor::run_task_farm_with_faults(
       const ProvisionResult replacement = provider.provision_replacement(
           node.instance.type_index, options.faults, options.backoff);
       ++report.faults.replacements;
+      exec_counters().replacements.add(1);
+      obs::record_instant("replacement", "exec", sim_us(simulator.now()),
+                          replacement.instances.front().instance_id);
       const double wait = replacement.report.ready_seconds;
       report.faults.replacement_wait_seconds += wait;
       FleetNode fresh;
@@ -605,8 +663,15 @@ ExecutionReport ClusterExecutor::run_bulk_synchronous_with_faults(
       now = std::max(now, nodes[crashed].crash_at);
       nodes[crashed].end = nodes[crashed].crash_at;
       ++report.faults.node_failures;
+      exec_counters().node_failures.add(1);
+      obs::record_instant("node_crash", "exec", sim_us(now),
+                          nodes[crashed].instance.instance_id);
       report.faults.recomputed_instructions += tracker.rollback();
-      if (s > durable_steps) ++report.faults.restarts;
+      if (s > durable_steps) {
+        ++report.faults.restarts;
+        exec_counters().rollbacks.add(1);
+        obs::record_instant("rollback", "exec", sim_us(now), 0);
+      }
       s = durable_steps;
       if (report.faults.node_failures >= kMaxNodeFailures)
         replacements_allowed = false;
@@ -615,6 +680,9 @@ ExecutionReport ClusterExecutor::run_bulk_synchronous_with_faults(
             nodes[crashed].instance.type_index, options.faults,
             options.backoff);
         ++report.faults.replacements;
+        exec_counters().replacements.add(1);
+        obs::record_instant("replacement", "exec", sim_us(now),
+                            replacement.instances.front().instance_id);
         const double wait = replacement.report.ready_seconds;
         report.faults.replacement_wait_seconds += wait;
         FleetNode fresh;
@@ -630,6 +698,8 @@ ExecutionReport ClusterExecutor::run_bulk_synchronous_with_faults(
     }
 
     now += step_time;
+    obs::record_complete("step", "exec", sim_us(now - step_time),
+                         sim_us(step_time), 0);
     tracker.run(step_time, ips);
     busy_node_seconds += step_busy;
     ++s;
@@ -640,6 +710,8 @@ ExecutionReport ClusterExecutor::run_bulk_synchronous_with_faults(
       tracker.commit();
       durable_steps = s;
       ++report.faults.checkpoints_written;
+      exec_counters().checkpoints.add(1);
+      obs::record_instant("checkpoint", "exec", sim_us(now), 0);
     }
   }
 

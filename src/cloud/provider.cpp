@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace celia::cloud {
 
 namespace {
@@ -16,16 +18,28 @@ Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
                   std::size_t type_index, const FaultModel& faults,
                   const util::BackoffPolicy& backoff, double& ready_at,
                   ProvisioningReport& report) {
+  static obs::Counter& retry_count =
+      obs::counter("celia_provision_retries_total",
+                   "Instance boot attempts retried after a failure");
+  static obs::Counter& boot_failure_count = obs::counter(
+      "celia_provision_boot_failures_total", "Instance boot attempt failures");
+  static obs::Histogram& backoff_seconds = obs::histogram(
+      "celia_provision_backoff_seconds", {},
+      "Simulated backoff delay before each boot retry");
   double clock = 0.0;
   for (int attempt = 0; attempt < backoff.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++report.retries;
-      clock += util::backoff_delay(backoff, attempt,
-                                   provider_seed ^ next_id);
+      retry_count.add(1);
+      const double delay =
+          util::backoff_delay(backoff, attempt, provider_seed ^ next_id);
+      backoff_seconds.record(delay);
+      clock += delay;
     }
     const std::uint64_t id = next_id++;
     if (boot_attempt_fails(faults, provider_seed, id, attempt)) {
       ++report.boot_failures;
+      boot_failure_count.add(1);
       clock += faults.boot_timeout_seconds;
       report.wasted_boot_seconds += faults.boot_timeout_seconds;
       continue;

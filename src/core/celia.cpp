@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/query.hpp"
+
 namespace celia::core {
 
 Celia Celia::build(const apps::ElasticApp& app, cloud::CloudProvider& provider,
@@ -42,16 +44,8 @@ SweepResult Celia::select(const apps::AppParams& params, double deadline_hours,
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
   constraints.budget_dollars = budget_dollars;
-  return sweep(space_, capacity_, hourly_costs_, predict_demand(params),
-               constraints, options);
-}
-
-std::optional<CostTimePoint> Celia::min_cost_configuration(
-    const apps::AppParams& params, double deadline_hours,
-    parallel::ThreadPool* pool) const {
-  SweepOptions options;
-  options.pool = pool;
-  return min_cost_configuration(params, deadline_hours, options);
+  return sweep(space_, capacity_, hourly_costs_,
+               Query::make(predict_demand(params), constraints, options));
 }
 
 std::optional<CostTimePoint> Celia::min_cost_configuration(
@@ -60,9 +54,9 @@ std::optional<CostTimePoint> Celia::min_cost_configuration(
   options.collect_pareto = false;
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
-  const SweepResult result = sweep(space_, capacity_, hourly_costs_,
-                                   predict_demand(params), constraints,
-                                   options);
+  const SweepResult result =
+      sweep(space_, capacity_, hourly_costs_,
+            Query::make(predict_demand(params), constraints, options));
   if (!result.any_feasible) return std::nullopt;
   return result.min_cost;
 }

@@ -60,17 +60,14 @@ class Celia {
                      double budget_dollars, SweepOptions options = {}) const;
 
   /// Cheapest feasible configuration within the deadline (unbounded
-  /// budget); nullopt when no configuration meets the deadline.
+  /// budget); nullopt when no configuration meets the deadline. The
+  /// options give full sweep control — e.g. set `index_policy =
+  /// IndexPolicy::Shared()` to answer repeated deadline ladders from the
+  /// shared FrontierIndex, or `pool` to pick the thread pool.
+  /// collect_pareto is forced off.
   std::optional<CostTimePoint> min_cost_configuration(
       const apps::AppParams& params, double deadline_hours,
-      parallel::ThreadPool* pool = nullptr) const;
-
-  /// As above but with full sweep control — e.g. pass
-  /// `use_cached_index = true` to answer repeated deadline ladders from the
-  /// shared FrontierIndex. collect_pareto is forced off.
-  std::optional<CostTimePoint> min_cost_configuration(
-      const apps::AppParams& params, double deadline_hours,
-      SweepOptions options) const;
+      SweepOptions options = {}) const;
 
   /// Per-hour price of one instance of each type, indexed like the space.
   std::span<const double> hourly_costs() const { return hourly_costs_; }

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <string>
 
 #include "cloud/instance_type.hpp"
 #include "core/frontier_index.hpp"
+#include "core/query.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/stopwatch.hpp"
 
 namespace celia::core {
 
@@ -63,6 +68,27 @@ bool index_can_answer(const Constraints& constraints,
   return !risk_aware && options.sample_stride == 0;
 }
 
+struct RouteCounters {
+  obs::Counter& sweep = obs::counter(
+      "celia_planner_route_sweep_total",
+      "Planner queries answered by the full sweep (index never requested)");
+  obs::Counter& index = obs::counter(
+      "celia_planner_route_index_total",
+      "Planner queries answered by a caller-provided FrontierIndex");
+  obs::Counter& shared = obs::counter(
+      "celia_planner_route_shared_index_total",
+      "Planner queries answered by the process-wide shared FrontierIndex");
+  obs::Counter& fallback = obs::counter(
+      "celia_planner_route_fallback_total",
+      "Planner queries that requested an index but were ineligible "
+      "(risk-aware or sampled) and fell back to the full sweep");
+};
+
+RouteCounters& route_counters() {
+  static RouteCounters counters;
+  return counters;
+}
+
 }  // namespace
 
 void validate_query(double demand, const Constraints& constraints) {
@@ -93,26 +119,62 @@ std::vector<double> ec2_hourly_costs() {
 
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity,
-                  std::span<const double> hourly_costs, double demand,
-                  const Constraints& constraints, SweepOptions options) {
-  validate_query(demand, constraints);
-  if (space.num_types() != capacity.num_types())
-    throw std::invalid_argument("sweep: space/capacity width mismatch");
-  if (hourly_costs.size() != capacity.num_types())
-    throw std::invalid_argument("sweep: hourly cost width mismatch");
+                  std::span<const double> hourly_costs, const Query& query) {
+  detail::validate_model_widths(space, capacity, hourly_costs, "sweep");
+  const double demand = query.demand();
+  const Constraints& constraints = query.constraints();
+  const SweepOptions& options = query.options();
+  const IndexPolicy& policy = options.index_policy;
 
-  if (index_can_answer(constraints, options)) {
-    if (options.index != nullptr) {
-      if (!options.index->matches(space, capacity, hourly_costs))
-        throw std::invalid_argument(
-            "sweep: FrontierIndex was built for a different model");
-      return options.index->query(demand, constraints, options.collect_pareto);
+  QueryRoute route = QueryRoute::kSweep;
+  if (policy.mode != IndexPolicy::Mode::kNever) {
+    if (policy.mode == IndexPolicy::Mode::kPrefer && policy.index == nullptr)
+      throw std::invalid_argument(
+          "sweep: IndexPolicy::Prefer requires a non-null FrontierIndex");
+    if (index_can_answer(constraints, options)) {
+      if (policy.mode == IndexPolicy::Mode::kPrefer) {
+        if (!policy.index->matches(space, capacity, hourly_costs))
+          throw std::invalid_argument(
+              "sweep: FrontierIndex was built for a different model");
+        route_counters().index.add(1);
+        SweepResult result = policy.index->query(query);
+        result.route = QueryRoute::kIndex;
+        return result;
+      }
+      route_counters().shared.add(1);
+      SweepResult result =
+          shared_frontier_index(space, capacity, hourly_costs, options.pool)
+              ->query(query);
+      result.route = QueryRoute::kSharedIndex;
+      return result;
     }
-    if (options.use_cached_index) {
-      return shared_frontier_index(space, capacity, hourly_costs, options.pool)
-          ->query(demand, constraints, options.collect_pareto);
-    }
+    // Index requested but this query needs the sweep (risk-aware or
+    // sampled): fall back, visibly.
+    route_counters().fallback.add(1);
+    route = QueryRoute::kSweepFallback;
+  } else {
+    route_counters().sweep.add(1);
   }
+
+  static obs::Counter& sweep_queries = obs::counter(
+      "celia_sweep_queries_total", "Full-sweep planner query executions");
+  static obs::Counter& configs_walked = obs::counter(
+      "celia_sweep_configurations_total",
+      "Configurations walked by sweep/for_each_configuration");
+  static obs::Counter& feasible_found =
+      obs::counter("celia_sweep_feasible_total",
+                   "Feasible configurations found by full sweeps");
+  static obs::Counter& blocks_walked =
+      obs::counter("celia_sweep_blocks_total",
+                   "Enumeration blocks executed by worker threads");
+  static obs::Histogram& block_seconds = obs::histogram(
+      "celia_sweep_block_seconds", {},
+      "Wall time of one enumeration block on one worker thread");
+  static obs::Histogram& sweep_seconds = obs::histogram(
+      "celia_sweep_seconds", {}, "End-to-end full-sweep wall time");
+  sweep_queries.add(1);
+  util::Stopwatch sweep_timer;
+  obs::Span sweep_span("sweep", "planner");
 
   const std::vector<double> rates = capacity_rates(capacity);
 
@@ -132,6 +194,7 @@ SweepResult sweep(const ConfigurationSpace& space,
   std::mutex merge_mutex;
   SweepResult result;
   result.total = space.size();
+  result.route = route;
   std::vector<CostTimePoint> merged_pareto;
 
   parallel::ForOptions for_options;
@@ -139,6 +202,7 @@ SweepResult sweep(const ConfigurationSpace& space,
   parallel::parallel_for_blocked(
       0, space.size(),
       [&](parallel::BlockedRange range) {
+        util::Stopwatch block_timer;
         PartialResult partial;
         detail::walk_range(
             space, rates, hourly_costs, var_terms, range,
@@ -153,6 +217,13 @@ SweepResult sweep(const ConfigurationSpace& space,
             });
         if (options.collect_pareto)
           partial.pareto_buffer = pareto_filter(std::move(partial.pareto_buffer));
+
+        // Block-granularity instrumentation: the inner walk stays
+        // untouched, so metrics cost O(blocks), not O(configurations).
+        block_seconds.record(block_timer.elapsed_seconds());
+        blocks_walked.add(1);
+        configs_walked.add(range.end - range.begin);
+        feasible_found.add(partial.feasible);
 
         std::lock_guard<std::mutex> lock(merge_mutex);
         result.feasible += partial.feasible;
@@ -183,15 +254,47 @@ SweepResult sweep(const ConfigurationSpace& space,
 
   if (options.collect_pareto)
     result.pareto = pareto_filter(std::move(merged_pareto));
+  sweep_seconds.record(sweep_timer.elapsed_seconds());
   return result;
+}
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity, const Query& query) {
+  const std::vector<double> hourly = ec2_hourly_costs();
+  return sweep(space, capacity, hourly, query);
+}
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  std::span<const double> hourly_costs, double demand,
+                  const Constraints& constraints, SweepOptions options) {
+  return sweep(space, capacity, hourly_costs,
+               Query::make(demand, constraints, options));
 }
 
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity, double demand,
                   const Constraints& constraints, SweepOptions options) {
   const std::vector<double> hourly = ec2_hourly_costs();
-  return sweep(space, capacity, hourly, demand, constraints, options);
+  return sweep(space, capacity, hourly,
+               Query::make(demand, constraints, options));
 }
+
+namespace detail {
+
+void validate_model_widths(const ConfigurationSpace& space,
+                           const ResourceCapacity& capacity,
+                           std::span<const double> hourly_costs,
+                           const char* who) {
+  if (space.num_types() != capacity.num_types())
+    throw std::invalid_argument(std::string(who) +
+                                ": space/capacity width mismatch");
+  if (hourly_costs.size() != capacity.num_types())
+    throw std::invalid_argument(std::string(who) +
+                                ": hourly cost width mismatch");
+}
+
+}  // namespace detail
 
 void for_each_configuration(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,

@@ -16,7 +16,10 @@
 //
 // Deterministic queries (confidence_z == 0, no sampling) can skip the
 // sweep entirely via the demand-invariant FrontierIndex — see
-// core/frontier_index.hpp and the `index` / `use_cached_index` options.
+// core/frontier_index.hpp and SweepOptions::index_policy. The route the
+// planner actually took (sweep, index, shared index, or an observable
+// fallback) is reported in SweepResult::route and counted in the obs
+// metrics registry.
 
 #include <algorithm>
 #include <cstdint>
@@ -24,17 +27,21 @@
 #include <limits>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
 #include "core/pareto.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/stopwatch.hpp"
 
 namespace celia::core {
 
 class FrontierIndex;
+class Query;
 
 /// Deadline/budget constraints (paper: T < T' and C < C', strict).
 ///
@@ -62,6 +69,44 @@ struct Constraints {
 /// confidence_z / rate_sigma is negative or non-finite.
 void validate_query(double demand, const Constraints& constraints);
 
+/// How the planner may use the demand-invariant FrontierIndex.
+///
+/// Only deterministic queries are index-eligible (confidence_z == 0,
+/// sample_stride == 0). When Prefer/Shared is requested for an ineligible
+/// query the planner runs the full sweep instead — and that fallback is
+/// OBSERVABLE: SweepResult::route == kSweepFallback and the
+/// celia_planner_route_fallback_total counter is bumped, never silent.
+struct IndexPolicy {
+  enum class Mode {
+    kNever,   // always run the full sweep
+    kPrefer,  // answer from the given prebuilt index when eligible
+    kShared,  // answer from the process-wide shared index (built on first
+              // use) when eligible — see core::shared_frontier_index()
+  };
+
+  Mode mode = Mode::kNever;
+  /// kPrefer only: must be non-null and built for the same (space,
+  /// capacity, hourly costs) — sweep() throws otherwise.
+  const FrontierIndex* index = nullptr;
+
+  static IndexPolicy Never() { return {}; }
+  static IndexPolicy Prefer(const FrontierIndex* prebuilt) {
+    return {Mode::kPrefer, prebuilt};
+  }
+  static IndexPolicy Shared() { return {Mode::kShared, nullptr}; }
+};
+
+/// The path a planner query actually took (recorded in SweepResult::route
+/// and mirrored by the celia_planner_route_*_total counters).
+enum class QueryRoute {
+  kSweep,          // full sweep, index never requested
+  kIndex,          // answered by a caller-provided FrontierIndex
+  kSharedIndex,    // answered by the process-wide shared index
+  kSweepFallback,  // index requested but query ineligible -> full sweep
+};
+
+std::string_view query_route_name(QueryRoute route);
+
 struct SweepOptions {
   /// Collect every `sample_stride`-th feasible point into
   /// SweepResult::feasible_points (for scatter plots). 0 disables.
@@ -70,14 +115,8 @@ struct SweepOptions {
   bool collect_pareto = true;
   /// Pool to run on; nullptr = parallel::default_pool().
   parallel::ThreadPool* pool = nullptr;
-  /// Answer from this prebuilt FrontierIndex instead of sweeping. Only
-  /// deterministic queries qualify (confidence_z == 0, sample_stride == 0);
-  /// anything else silently falls back to the full sweep. The index must
-  /// have been built for the same (space, capacity, hourly costs).
-  const FrontierIndex* index = nullptr;
-  /// Like `index`, but fetches (building on first use) the process-wide
-  /// shared index for this model — see core::shared_frontier_index().
-  bool use_cached_index = false;
+  /// Whether (and which) FrontierIndex may answer instead of sweeping.
+  IndexPolicy index_policy = {};
 };
 
 struct SweepResult {
@@ -86,11 +125,21 @@ struct SweepResult {
   bool any_feasible = false;
   CostTimePoint min_cost;       // cheapest feasible (ties: faster wins)
   CostTimePoint min_time;       // fastest feasible (ties: cheaper wins)
+  QueryRoute route = QueryRoute::kSweep;       // path actually taken
   std::vector<CostTimePoint> pareto;           // ascending cost
   std::vector<CostTimePoint> feasible_points;  // sampled scatter
 };
 
 namespace detail {
+
+/// Shared width validation for every enumeration entry point (sweep, both
+/// for_each_configuration overloads, FrontierIndex::build): throws
+/// std::invalid_argument naming `who` when the space, capacity or hourly
+/// cost vector disagree on the number of instance types.
+void validate_model_widths(const ConfigurationSpace& space,
+                           const ResourceCapacity& capacity,
+                           std::span<const double> hourly_costs,
+                           const char* who);
 
 /// Walk [range.begin, range.end) invoking body(index, U, Cu, V) for every
 /// configuration, where V is the capacity variance sum_i m_i var_terms[i]
@@ -168,9 +217,21 @@ void walk_range(const ConfigurationSpace& space, std::span<const double> rates,
 
 }  // namespace detail
 
-/// Evaluate every configuration against `demand` (instructions) and the
-/// constraints; Algorithm 1 plus the Pareto filter of §III-D.
-/// `hourly_costs[i]` is the per-hour price of one instance of type i.
+/// Evaluate a validated Query against every configuration; Algorithm 1
+/// plus the Pareto filter of §III-D. This is THE planner implementation —
+/// the (demand, constraints) overloads below and every higher-level entry
+/// point (recommend, Celia) forward here through Query::make, so input
+/// validation runs exactly once per query. `hourly_costs[i]` is the
+/// per-hour price of one instance of type i.
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  std::span<const double> hourly_costs, const Query& query);
+
+/// Convenience overload pricing with the EC2 catalog (paper Table III).
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity, const Query& query);
+
+/// Forwarding overload: validates via Query::make and runs the Query.
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity,
                   std::span<const double> hourly_costs, double demand,
@@ -194,12 +255,19 @@ void for_each_configuration(const ConfigurationSpace& space,
                             std::span<const double> hourly_costs,
                             Visit&& visit,
                             parallel::ThreadPool* pool = nullptr) {
-  if (space.num_types() != capacity.num_types())
-    throw std::invalid_argument(
-        "for_each_configuration: space/capacity width mismatch");
-  if (hourly_costs.size() != capacity.num_types())
-    throw std::invalid_argument(
-        "for_each_configuration: hourly cost width mismatch");
+  detail::validate_model_widths(space, capacity, hourly_costs,
+                                "for_each_configuration");
+  // One registry lookup per process (static locals), relaxed adds per
+  // BLOCK after that — the inner walk stays uninstrumented.
+  static obs::Counter& configs_walked = obs::counter(
+      "celia_sweep_configurations_total",
+      "Configurations walked by sweep/for_each_configuration");
+  static obs::Counter& blocks_walked =
+      obs::counter("celia_sweep_blocks_total",
+                   "Enumeration blocks executed by worker threads");
+  static obs::Histogram& block_seconds = obs::histogram(
+      "celia_sweep_block_seconds", {},
+      "Wall time of one enumeration block on one worker thread");
   std::vector<double> rates;
   rates.reserve(capacity.num_types());
   for (std::size_t i = 0; i < capacity.num_types(); ++i)
@@ -210,9 +278,13 @@ void for_each_configuration(const ConfigurationSpace& space,
   parallel::parallel_for_blocked(
       0, space.size(),
       [&](parallel::BlockedRange range) {
+        util::Stopwatch block_timer;
         detail::walk_range(space, rates, hourly_costs, zero_var, range,
                            [&visit](std::uint64_t index, double u, double cu,
                                     double /*v*/) { visit(index, u, cu); });
+        block_seconds.record(block_timer.elapsed_seconds());
+        blocks_walked.add(1);
+        configs_walked.add(range.end - range.begin);
       },
       for_options);
 }

@@ -7,7 +7,11 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/query.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/stopwatch.hpp"
 
 namespace celia::core {
 
@@ -79,11 +83,17 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
                                    const ResourceCapacity& capacity,
                                    std::span<const double> hourly_costs,
                                    const BuildOptions& options) {
-  if (space.num_types() != capacity.num_types())
-    throw std::invalid_argument(
-        "FrontierIndex: space/capacity width mismatch");
-  if (hourly_costs.size() != capacity.num_types())
-    throw std::invalid_argument("FrontierIndex: hourly cost width mismatch");
+  detail::validate_model_widths(space, capacity, hourly_costs,
+                                "FrontierIndex");
+
+  static obs::Counter& builds = obs::counter(
+      "celia_frontier_builds_total", "FrontierIndex builds executed");
+  static obs::Histogram& build_seconds = obs::histogram(
+      "celia_frontier_build_seconds", {},
+      "Wall time of one FrontierIndex build (all three passes)");
+  builds.add(1);
+  util::Stopwatch build_timer;
+  obs::Span build_span("frontier_build", "planner");
 
   FrontierIndex index;
   index.max_counts_ = space.max_counts();
@@ -254,6 +264,7 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
     local.frontier.clear();
   }
   index.frontier_ = staircase_filter(std::move(candidates));
+  build_seconds.record(build_timer.elapsed_seconds());
   return index;
 }
 
@@ -323,9 +334,29 @@ std::uint64_t FrontierIndex::count_feasible(double demand,
 SweepResult FrontierIndex::query(double demand, const Constraints& constraints,
                                  bool collect_pareto) const {
   validate_query(demand, constraints);
+  return query_impl(demand, constraints, collect_pareto);
+}
+
+SweepResult FrontierIndex::query(const Query& query) const {
+  // Query::make already validated; don't pay validate_query twice.
+  return query_impl(query.demand(), query.constraints(),
+                    query.options().collect_pareto);
+}
+
+SweepResult FrontierIndex::query_impl(double demand,
+                                      const Constraints& constraints,
+                                      bool collect_pareto) const {
   if (constraints.confidence_z > 0 && constraints.rate_sigma > 0)
     throw std::invalid_argument(
         "FrontierIndex::query: risk-aware queries need sweep()");
+
+  static obs::Counter& queries = obs::counter(
+      "celia_frontier_queries_total", "FrontierIndex queries answered");
+  static obs::Histogram& query_seconds = obs::histogram(
+      "celia_frontier_query_seconds", {},
+      "FrontierIndex query latency (staircase scan + counting grid)");
+  queries.add(1);
+  util::Stopwatch query_timer;
 
   const double deadline = constraints.deadline_seconds;
   const double budget = constraints.budget_dollars;
@@ -385,6 +416,8 @@ SweepResult FrontierIndex::query(double demand, const Constraints& constraints,
     }
     result.pareto = pareto_filter(std::move(candidates));
   }
+  result.route = QueryRoute::kIndex;
+  query_seconds.record(query_timer.elapsed_seconds());
   return result;
 }
 
@@ -416,6 +449,12 @@ std::shared_ptr<const FrontierIndex> shared_frontier_index(
   static std::mutex mutex;
   static std::vector<std::shared_ptr<const FrontierIndex>> cache;  // MRU first
   constexpr std::size_t kMaxCached = 4;
+  static obs::Counter& cache_hits =
+      obs::counter("celia_frontier_cache_hits_total",
+                   "shared_frontier_index lookups served from the cache");
+  static obs::Counter& cache_misses = obs::counter(
+      "celia_frontier_cache_misses_total",
+      "shared_frontier_index lookups that had to build a new index");
 
   {
     std::lock_guard<std::mutex> lock(mutex);
@@ -424,10 +463,12 @@ std::shared_ptr<const FrontierIndex> shared_frontier_index(
         auto hit = *it;
         cache.erase(it);
         cache.insert(cache.begin(), hit);
+        cache_hits.add(1);
         return hit;
       }
     }
   }
+  cache_misses.add(1);
 
   // Build outside the lock; a concurrent builder of the same model may
   // race, in which case the first insertion wins.

@@ -90,6 +90,11 @@ class FrontierIndex {
   SweepResult query(double demand, const Constraints& constraints,
                     bool collect_pareto = true) const;
 
+  /// As above for a pre-validated core::Query (validation already ran in
+  /// Query::make, so it is not repeated). Risk-aware constraints still
+  /// throw — route those through sweep().
+  SweepResult query(const Query& query) const;
+
   /// The demand-invariant staircase: ascending U, non-decreasing slope.
   /// Equal-slope runs (integer multiples of one instance mix) are kept in
   /// full so rounded-cost ties resolve exactly as sweep()'s.
@@ -113,6 +118,9 @@ class FrontierIndex {
   };
 
   FrontierIndex() = default;
+
+  SweepResult query_impl(double demand, const Constraints& constraints,
+                         bool collect_pareto) const;
 
   std::uint64_t count_feasible(double demand, double deadline_seconds,
                                double budget_dollars) const;
@@ -141,7 +149,7 @@ class FrontierIndex {
 
 /// Process-wide index cache (small LRU keyed by the model): returns the
 /// shared index for (space, capacity, hourly_costs), building it on first
-/// use. This is what SweepOptions::use_cached_index consults.
+/// use. This is what IndexPolicy::Shared() consults.
 std::shared_ptr<const FrontierIndex> shared_frontier_index(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     std::span<const double> hourly_costs,

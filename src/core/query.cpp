@@ -1,0 +1,35 @@
+#include "core/query.hpp"
+
+namespace celia::core {
+
+Query Query::make(double demand, const Constraints& constraints,
+                  SweepOptions options) {
+  validate_query(demand, constraints);
+  Query query;
+  query.demand_ = demand;
+  query.constraints_ = constraints;
+  query.options_ = options;
+  return query;
+}
+
+Query Query::with_options(SweepOptions options) const {
+  Query query = *this;
+  query.options_ = options;
+  return query;
+}
+
+std::string_view query_route_name(QueryRoute route) {
+  switch (route) {
+    case QueryRoute::kSweep:
+      return "sweep";
+    case QueryRoute::kIndex:
+      return "index";
+    case QueryRoute::kSharedIndex:
+      return "shared_index";
+    case QueryRoute::kSweepFallback:
+      return "sweep_fallback";
+  }
+  return "?";
+}
+
+}  // namespace celia::core

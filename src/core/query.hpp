@@ -1,0 +1,43 @@
+#pragma once
+// core::Query — the validated planner query value type.
+//
+// Every planner entry point — sweep(), FrontierIndex::query(),
+// recommend(), Celia::select()/min_cost_configuration() — routes through
+// one of these. Construction via Query::make() runs validate_query()
+// exactly once; downstream code trusts a Query and never re-validates, so
+// a query is checked once no matter how many layers it passes through
+// (and a malformed one is rejected at the API boundary, with the same
+// std::invalid_argument regardless of entry point).
+//
+// The bundled SweepOptions carry the execution knobs (pool, sampling,
+// Pareto collection) and the IndexPolicy deciding whether the
+// demand-invariant FrontierIndex may answer; the route actually taken is
+// reported in SweepResult::route.
+
+#include "core/enumerate.hpp"
+
+namespace celia::core {
+
+class Query {
+ public:
+  /// Validate (throws std::invalid_argument — see validate_query) and
+  /// bundle a planner query.
+  static Query make(double demand, const Constraints& constraints,
+                    SweepOptions options = {});
+
+  double demand() const noexcept { return demand_; }
+  const Constraints& constraints() const noexcept { return constraints_; }
+  const SweepOptions& options() const noexcept { return options_; }
+
+  /// Copy with different options (constraints/demand stay validated).
+  Query with_options(SweepOptions options) const;
+
+ private:
+  Query() = default;
+
+  double demand_ = 0.0;
+  Constraints constraints_;
+  SweepOptions options_;
+};
+
+}  // namespace celia::core

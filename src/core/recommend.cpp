@@ -1,6 +1,8 @@
 #include "core/recommend.hpp"
 
 #include <algorithm>
+
+#include "core/query.hpp"
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -129,10 +131,10 @@ std::optional<CostTimePoint> recommend(const ConfigurationSpace& space,
                                        PickStrategy strategy,
                                        parallel::ThreadPool* pool) {
   SweepOptions options;
-  options.use_cached_index = true;
+  options.index_policy = IndexPolicy::Shared();
   options.pool = pool;
-  const SweepResult result =
-      sweep(space, capacity, hourly_costs, demand, constraints, options);
+  const SweepResult result = sweep(space, capacity, hourly_costs,
+                                   Query::make(demand, constraints, options));
   if (!result.any_feasible) return std::nullopt;
   return pick_from_frontier(result.pareto, strategy);
 }

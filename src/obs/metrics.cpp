@@ -1,0 +1,297 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace celia::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("obs::Histogram bounds must be ascending");
+  // Pad each shard's bucket row to a whole number of cache lines so shards
+  // never share a line.
+  const std::size_t buckets = bounds_.size() + 1;
+  const std::size_t per_line = 64 / sizeof(std::atomic<std::uint64_t>);
+  stride_ = (buckets + per_line - 1) / per_line * per_line;
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(kMetricShards *
+                                                           stride_);
+  for (std::size_t i = 0; i < kMetricShards * stride_; ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  sums_ = std::make_unique<Shade[]>(kMetricShards);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard)
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += counts_[shard * stride_ + b].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard)
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+      total += counts_[shard * stride_ + b].load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard)
+    total += sums_[shard].sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < kMetricShards * stride_; ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard)
+    sums_[shard].sum.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> latency_bounds_seconds() noexcept {
+  static const double kBounds[] = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0,
+      20.0, 50.0, 100.0};
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache references in static
+  // locals, and static-destruction order between translation units is
+  // undefined.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          std::string_view help, Kind kind,
+                                          std::span<const double> bounds) {
+  if (name.empty())
+    throw std::invalid_argument("obs metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry->name == name) {
+      if (entry->kind != kind)
+        throw std::invalid_argument("obs metric '" + entry->name +
+                                    "' already registered with another kind");
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter.reset(new Counter());
+      break;
+    case Kind::kGauge:
+      entry->gauge.reset(new Gauge());
+      break;
+    case Kind::kHistogram: {
+      std::vector<double> b(bounds.begin(), bounds.end());
+      if (b.empty()) {
+        auto defaults = latency_bounds_seconds();
+        b.assign(defaults.begin(), defaults.end());
+      }
+      entry->histogram.reset(new Histogram(std::move(b)));
+      break;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kCounter, {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kGauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds,
+                               std::string_view help) {
+  return *find_or_create(name, help, Kind::kHistogram, bounds).histogram;
+}
+
+namespace {
+
+// Shortest round-trippable representation; Prometheus and JSON both accept
+// plain decimal/exponent doubles.
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (!entry->help.empty())
+      os << "# HELP " << entry->name << " " << entry->help << "\n";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << entry->name << " counter\n";
+        os << entry->name << " " << entry->counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << entry->name << " gauge\n";
+        os << entry->name << " " << format_double(entry->gauge->value())
+           << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << entry->name << " histogram\n";
+        const auto& bounds = entry->histogram->bounds();
+        const auto counts = entry->histogram->bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          cumulative += counts[b];
+          os << entry->name << "_bucket{le=\"" << format_double(bounds[b])
+             << "\"} " << cumulative << "\n";
+        }
+        cumulative += counts.back();
+        os << entry->name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << entry->name << "_sum " << format_double(entry->histogram->sum())
+           << "\n";
+        os << entry->name << "_count " << cumulative << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{";
+  bool first = true;
+  for (const auto& entry : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << entry->name << "\":";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << "{\"type\":\"counter\",\"value\":" << entry->counter->value()
+           << "}";
+        break;
+      case Kind::kGauge:
+        os << "{\"type\":\"gauge\",\"value\":"
+           << format_double(entry->gauge->value()) << "}";
+        break;
+      case Kind::kHistogram: {
+        const auto& bounds = entry->histogram->bounds();
+        const auto counts = entry->histogram->bucket_counts();
+        os << "{\"type\":\"histogram\",\"bounds\":[";
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          if (b) os << ",";
+          os << format_double(bounds[b]);
+        }
+        os << "],\"counts\":[";
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+          if (b) os << ",";
+          os << counts[b];
+        }
+        os << "],\"sum\":" << format_double(entry->histogram->sum())
+           << ",\"count\":" << entry->histogram->count() << "}";
+        break;
+      }
+    }
+  }
+  os << "}";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->reset();
+        break;
+      case Kind::kGauge:
+        entry->gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry->histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Free helpers
+
+Counter& counter(std::string_view name, std::string_view help) {
+  return Registry::global().counter(name, help);
+}
+
+Gauge& gauge(std::string_view name, std::string_view help) {
+  return Registry::global().gauge(name, help);
+}
+
+Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                     std::string_view help) {
+  return Registry::global().histogram(name, bounds, help);
+}
+
+void dump_metrics(std::ostream& os) { Registry::global().write_prometheus(os); }
+
+std::string dump_metrics() {
+  std::ostringstream os;
+  dump_metrics(os);
+  return os.str();
+}
+
+void dump_metrics_json(std::ostream& os) { Registry::global().write_json(os); }
+
+std::string dump_metrics_json() {
+  std::ostringstream os;
+  dump_metrics_json(os);
+  return os.str();
+}
+
+void reset_metrics() { Registry::global().reset(); }
+
+}  // namespace celia::obs

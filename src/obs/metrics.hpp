@@ -1,0 +1,250 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms, cheap enough to leave ON in the sweep and executor hot
+// paths.
+//
+// Hot-path design: every counter/histogram keeps kMetricShards
+// cache-line-aligned slots; a thread is pinned to one slot (a round-robin
+// thread-local index), so an increment is a single RELAXED fetch_add on a
+// line no other thread is hammering — no locks, no contention, ~1 ns.
+// Reads (`value()`, the exporters) sum the shards; totals are exact once
+// the writing threads have quiesced (the concurrency test pins this).
+//
+// Instrumentation sites cache the metric reference (registration takes a
+// registry mutex; it happens once per site via a static local). Metric
+// objects are never deallocated, so cached references stay valid for the
+// process lifetime.
+//
+// Two kill switches:
+//  * runtime: set_metrics_enabled(false) turns every record into a
+//    relaxed-load-and-branch (the bench baseline);
+//  * compile time: -DCELIA_OBS_DISABLED compiles record paths to true
+//    no-ops (registry and exporters still link, values stay zero).
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   celia_<layer>_<what>[_<unit>][_total]
+// e.g. celia_sweep_configurations_total, celia_frontier_query_seconds.
+// Exporters: write_prometheus() (text exposition format) and
+// write_json() (one snapshot object keyed by metric name).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace celia::obs {
+
+/// Shards per metric. More shards = less false sharing with many threads;
+/// 32 covers the pools this codebase creates (hardware_concurrency workers
+/// plus the main thread) with few collisions.
+inline constexpr std::size_t kMetricShards = 32;
+
+/// This thread's shard slot in [0, kMetricShards): assigned round-robin on
+/// first use, stable for the thread's lifetime.
+std::size_t thread_shard() noexcept;
+
+/// Runtime kill switch (default on). Disabled metrics cost one relaxed
+/// load per record call.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+namespace detail {
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+extern std::atomic<bool> g_metrics_enabled;
+
+inline bool recording() noexcept {
+#ifdef CELIA_OBS_DISABLED
+  return false;
+#else
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace detail
+
+/// Monotonic counter. The hot path is one relaxed atomic add on this
+/// thread's shard.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!detail::recording()) return;
+    shards_[thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_)
+      shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::array<detail::Shard, kMetricShards> shards_{};
+};
+
+/// Last-value gauge with an atomic add (CAS loop; gauges are not on the
+/// sweep hot path).
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (!detail::recording()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(double delta) noexcept {
+    if (!detail::recording()) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// one implicit overflow bucket catches everything above bounds.back().
+/// record() is one relaxed add into this thread's shard row (plus a
+/// relaxed CAS for the running sum).
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept {
+    if (!detail::recording()) return;
+    std::size_t bucket = 0;
+    while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+    counts_[thread_shard() * stride_ + bucket].fetch_add(
+        1, std::memory_order_relaxed);
+    Shade& shade = sums_[thread_shard()];
+    double current = shade.sum.load(std::memory_order_relaxed);
+    while (!shade.sum.compare_exchange_weak(current, current + value,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+  /// Per-bucket counts (size bounds().size() + 1; last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  void reset() noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) Shade {
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  // bounds_.size() + 1, padded to a cache line
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::unique_ptr<Shade[]> sums_;
+};
+
+/// Log-spaced latency bounds (seconds): 1-2-5 decades from 1 us to 100 s.
+/// The default for every `*_seconds` histogram in the codebase.
+std::span<const double> latency_bounds_seconds() noexcept;
+
+/// The process-wide registry. Metrics are created on first lookup and
+/// live forever; looking a name up again returns the same object (and
+/// throws std::invalid_argument if the kinds disagree).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  /// Empty `bounds` uses latency_bounds_seconds().
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {},
+                       std::string_view help = {});
+
+  /// Prometheus text exposition format (# HELP / # TYPE + samples;
+  /// histograms expand to cumulative _bucket{le=...}, _sum, _count).
+  void write_prometheus(std::ostream& os) const;
+  /// One JSON object keyed by metric name; histograms carry bounds,
+  /// counts, sum and count.
+  void write_json(std::ostream& os) const;
+
+  /// Zero every metric value; registrations (and cached references at
+  /// instrumentation sites) survive. For tests and benchmarks.
+  void reset();
+
+  std::vector<std::string> names() const;
+
+ private:
+  Registry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Kind kind, std::span<const double> bounds);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+/// Convenience wrappers over Registry::global(). Instrumentation sites
+/// should cache the returned reference in a static local:
+///   static obs::Counter& hits = obs::counter("celia_x_hits_total");
+Counter& counter(std::string_view name, std::string_view help = {});
+Gauge& gauge(std::string_view name, std::string_view help = {});
+Histogram& histogram(std::string_view name,
+                     std::span<const double> bounds = {},
+                     std::string_view help = {});
+
+/// Prometheus text dump of every registered metric.
+void dump_metrics(std::ostream& os);
+std::string dump_metrics();
+/// JSON snapshot of every registered metric.
+void dump_metrics_json(std::ostream& os);
+std::string dump_metrics_json();
+/// Zero all metric values (registrations survive).
+void reset_metrics();
+
+}  // namespace celia::obs

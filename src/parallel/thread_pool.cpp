@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace celia::parallel {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -12,6 +14,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  obs::gauge("celia_pool_threads",
+             "Worker threads owned by live thread pools")
+      .add(static_cast<double>(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,6 +26,7 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  obs::gauge("celia_pool_threads").add(-static_cast<double>(workers_.size()));
 }
 
 void ThreadPool::worker_loop() {
@@ -37,6 +43,9 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    static obs::Counter& tasks_run = obs::counter(
+        "celia_pool_tasks_total", "Tasks executed by thread-pool workers");
+    tasks_run.add(1);
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -100,11 +100,12 @@ TEST(FrontierIndex, MatchesSweepOnRandomModelsAndQueries) {
       expect_same_result(expected, got, "query");
 
       SweepOptions options;
-      options.index = &index;
+      options.index_policy = IndexPolicy::Prefer(&index);
       const SweepResult via_sweep = sweep(model.space, model.capacity,
                                           model.hourly, demand, constraints,
                                           options);
-      expect_same_result(expected, via_sweep, "sweep with options.index");
+      EXPECT_EQ(via_sweep.route, QueryRoute::kIndex);
+      expect_same_result(expected, via_sweep, "sweep with IndexPolicy::Prefer");
     }
   }
 }
@@ -218,7 +219,7 @@ TEST(FrontierIndex, SweepRejectsMismatchedIndex) {
   const FrontierIndex index = FrontierIndex::build(a.space, a.capacity,
                                                    a.hourly);
   SweepOptions options;
-  options.index = &index;
+  options.index_policy = IndexPolicy::Prefer(&index);
   EXPECT_THROW(sweep(b.space, b.capacity, b.hourly, 1e12, Constraints{},
                      options),
                std::invalid_argument);
@@ -236,9 +237,12 @@ TEST(FrontierIndex, RiskAwareConstraintsFallBackToSweep) {
   const SweepResult expected =
       sweep(model.space, model.capacity, model.hourly, 1e13, risky);
   SweepOptions options;
-  options.index = &index;  // must be ignored: risk-aware needs the sweep
+  // Must be ignored: risk-aware needs the sweep — and the fallback is
+  // visible in the result's route.
+  options.index_policy = IndexPolicy::Prefer(&index);
   const SweepResult got =
       sweep(model.space, model.capacity, model.hourly, 1e13, risky, options);
+  EXPECT_EQ(got.route, QueryRoute::kSweepFallback);
   expect_same_result(expected, got, "risk-aware fallback");
 }
 
@@ -253,14 +257,15 @@ TEST(FrontierIndex, SharedCacheReturnsSameInstance) {
   EXPECT_EQ(first.get(), second.get());
 
   SweepOptions options;
-  options.use_cached_index = true;
+  options.index_policy = IndexPolicy::Shared();
   Constraints constraints;
   constraints.deadline_seconds = 3600.0;
   const SweepResult expected =
       sweep(model.space, model.capacity, model.hourly, 1e13, constraints);
   const SweepResult got = sweep(model.space, model.capacity, model.hourly,
                                 1e13, constraints, options);
-  expect_same_result(expected, got, "use_cached_index");
+  EXPECT_EQ(got.route, QueryRoute::kSharedIndex);
+  expect_same_result(expected, got, "IndexPolicy::Shared");
 }
 
 TEST(FrontierIndex, RecommendMatchesSweepPlusPick) {

@@ -1,0 +1,202 @@
+// Tests for the obs metrics registry: exact totals under concurrent
+// hammering (the sharded-slot design must lose no increments), exporter
+// formats, the runtime kill switch and registry identity semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace celia::obs;
+
+TEST(ObsMetrics, CounterSingleThreadExact) {
+  Counter& c = counter("obs_test_counter_single");
+  c.reset();
+  for (int i = 0; i < 1000; ++i) c.add();
+  c.add(42);
+  EXPECT_EQ(c.value(), 1042u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, CounterConcurrentHammerExactTotal) {
+  Counter& c = counter("obs_test_counter_hammer");
+  c.reset();
+  constexpr int kThreads = 16;
+  constexpr std::uint64_t kPerThread = 200000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeSetAndConcurrentAdd) {
+  Gauge& g = gauge("obs_test_gauge");
+  g.reset();
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndOverflow) {
+  const double bounds[] = {1.0, 2.0, 5.0};
+  Histogram& h = histogram("obs_test_histogram_buckets", bounds);
+  h.reset();
+  h.record(0.5);   // bucket 0 (le 1)
+  h.record(1.0);   // bucket 0 (inclusive upper bound)
+  h.record(1.5);   // bucket 1
+  h.record(4.0);   // bucket 2
+  h.record(100.0); // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(ObsMetrics, HistogramConcurrentHammerExactTotals) {
+  const double bounds[] = {10.0, 20.0};
+  Histogram& h = histogram("obs_test_histogram_hammer", bounds);
+  h.reset();
+  constexpr int kThreads = 12;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Thread t records a fixed value so per-bucket totals are exact.
+      const double value = (t % 3 == 0) ? 5.0 : (t % 3 == 1) ? 15.0 : 25.0;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(value);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 4 * kPerThread);  // t = 0,3,6,9
+  EXPECT_EQ(counts[1], 4 * kPerThread);  // t = 1,4,7,10
+  EXPECT_EQ(counts[2], 4 * kPerThread);  // t = 2,5,8,11
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, SameNameReturnsSameMetric) {
+  Counter& a = counter("obs_test_identity");
+  Counter& b = counter("obs_test_identity");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  counter("obs_test_kind_clash");
+  EXPECT_THROW(gauge("obs_test_kind_clash"), std::invalid_argument);
+  EXPECT_THROW(histogram("obs_test_kind_clash"), std::invalid_argument);
+  EXPECT_THROW(counter(""), std::invalid_argument);
+}
+
+TEST(ObsMetrics, RuntimeKillSwitchStopsRecording) {
+  Counter& c = counter("obs_test_kill_switch");
+  c.reset();
+  ASSERT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  set_metrics_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(ObsMetrics, PrometheusExportFormat) {
+  Counter& c = counter("obs_test_prom_counter", "a test counter");
+  c.reset();
+  c.add(3);
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = histogram("obs_test_prom_hist", bounds);
+  h.reset();
+  h.record(0.5);
+  h.record(1.5);
+  h.record(9.0);
+
+  const std::string text = dump_metrics();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# HELP obs_test_prom_counter a test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="1" -> 1, le="2" -> 2, le="+Inf" -> 3.
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_count 3"), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonExportContainsMetrics) {
+  Counter& c = counter("obs_test_json_counter");
+  c.reset();
+  c.add(11);
+  const std::string json = dump_metrics_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(
+      json.find(
+          "\"obs_test_json_counter\":{\"type\":\"counter\",\"value\":11}"),
+      std::string::npos);
+}
+
+TEST(ObsMetrics, RegistryResetZeroesEverythingButKeepsRegistrations) {
+  Counter& c = counter("obs_test_reset_counter");
+  Gauge& g = gauge("obs_test_reset_gauge");
+  c.add(5);
+  g.set(2.0);
+  reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  // Cached references stay valid and usable after reset.
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+  const auto names = celia::obs::Registry::global().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "obs_test_reset_counter"),
+            names.end());
+}
+
+TEST(ObsMetrics, HistogramRejectsUnsortedBounds) {
+  const double bad[] = {5.0, 1.0};
+  EXPECT_THROW(histogram("obs_test_bad_bounds", bad), std::invalid_argument);
+}
+
+TEST(ObsMetrics, ThreadShardStableWithinThread) {
+  const std::size_t a = thread_shard();
+  const std::size_t b = thread_shard();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, kMetricShards);
+}
+
+}  // namespace
