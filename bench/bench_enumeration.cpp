@@ -4,7 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "cloud/catalog.hpp"
 #include "core/enumerate.hpp"
+#include "core/query.hpp"
 
 namespace {
 
@@ -14,6 +19,35 @@ ResourceCapacity bench_capacity() {
   return ResourceCapacity(std::vector<double>(
       {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9, 1.09e9, 1.09e9,
        1.09e9}));
+}
+
+/// A synthetic catalog of `num_types` instance types: Table III extended
+/// with repriced clones. The per-type limit shrinks as the catalog grows
+/// (9 -> m=5, 12 -> m=3, 15 -> m=2) so each point sweeps a comparable
+/// number of configurations (~10-17M) while scaling the TYPE axis — the
+/// suffix-sum walk's per-configuration work is O(1) amortized but its
+/// carry chains lengthen with M.
+celia::cloud::Catalog bench_catalog(std::size_t num_types) {
+  const auto& table3 = celia::cloud::Catalog::ec2_table3();
+  std::vector<celia::cloud::InstanceType> types(table3.types().begin(),
+                                                table3.types().end());
+  while (types.size() < num_types) {
+    celia::cloud::InstanceType extra = types[types.size() % table3.size()];
+    extra.name = "synth" + std::to_string(types.size()) + "." + extra.name;
+    extra.cost_per_hour *= 1.0 + 0.01 * static_cast<double>(types.size());
+    types.push_back(std::move(extra));
+  }
+  const int limit = num_types <= 9 ? 5 : (num_types <= 12 ? 3 : 2);
+  return celia::cloud::Catalog(
+      "bench-" + std::to_string(num_types), "bench", std::move(types),
+      std::vector<int>(num_types, limit));
+}
+
+ResourceCapacity bench_capacity(const celia::cloud::Catalog& catalog) {
+  std::vector<double> per_vcpu(catalog.size());
+  for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+    per_vcpu[i] = 1.38e9 - 3.2e7 * static_cast<double>(i % 9);
+  return ResourceCapacity(std::move(per_vcpu), catalog);
 }
 
 void BM_FullSweepFeasibility(benchmark::State& state) {
@@ -51,6 +85,28 @@ void BM_FullSweepWithPareto(benchmark::State& state) {
                           static_cast<std::int64_t>(space.size()));
 }
 BENCHMARK(BM_FullSweepWithPareto)->Unit(benchmark::kMillisecond);
+
+void BM_FullSweepCatalogScaling(benchmark::State& state) {
+  const celia::cloud::Catalog catalog =
+      bench_catalog(static_cast<std::size_t>(state.range(0)));
+  const auto space = ConfigurationSpace::for_catalog(catalog);
+  const auto capacity = bench_capacity(catalog);
+  Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.budget_dollars = 350.0;
+  SweepOptions options;
+  options.collect_pareto = false;
+  const Query query = Query::make(9e15, constraints, options);
+  for (auto _ : state) {
+    const SweepResult result = sweep(space, capacity, catalog, query);
+    benchmark::DoNotOptimize(result.feasible);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+  state.counters["configs"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_FullSweepCatalogScaling)->Arg(9)->Arg(12)->Arg(15)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_DecodeEncode(benchmark::State& state) {
   const auto space = ConfigurationSpace::ec2_default();

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "cloud/catalog.hpp"
 #include "core/enumerate.hpp"
 #include "core/frontier_index.hpp"
 
@@ -16,6 +20,34 @@ ResourceCapacity bench_capacity() {
   return ResourceCapacity(std::vector<double>(
       {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9, 1.09e9, 1.09e9,
        1.09e9}));
+}
+
+/// Synthetic catalog of `num_types` types: Table III plus repriced clones,
+/// with the per-type limit shrinking (9 -> 5, 12 -> 3, 15 -> 2) so every
+/// point enumerates a comparable ~10-17M configurations while scaling the
+/// type axis. Mirrors bench_enumeration so the two binaries' scaling
+/// curves are directly comparable.
+celia::cloud::Catalog bench_catalog(std::size_t num_types) {
+  const auto& table3 = celia::cloud::Catalog::ec2_table3();
+  std::vector<celia::cloud::InstanceType> types(table3.types().begin(),
+                                                table3.types().end());
+  while (types.size() < num_types) {
+    celia::cloud::InstanceType extra = types[types.size() % table3.size()];
+    extra.name = "synth" + std::to_string(types.size()) + "." + extra.name;
+    extra.cost_per_hour *= 1.0 + 0.01 * static_cast<double>(types.size());
+    types.push_back(std::move(extra));
+  }
+  const int limit = num_types <= 9 ? 5 : (num_types <= 12 ? 3 : 2);
+  return celia::cloud::Catalog(
+      "bench-" + std::to_string(num_types), "bench", std::move(types),
+      std::vector<int>(num_types, limit));
+}
+
+ResourceCapacity bench_capacity(const celia::cloud::Catalog& catalog) {
+  std::vector<double> per_vcpu(catalog.size());
+  for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+    per_vcpu[i] = 1.38e9 - 3.2e7 * static_cast<double>(i % 9);
+  return ResourceCapacity(std::move(per_vcpu), catalog);
 }
 
 Constraints bench_constraints() {
@@ -42,6 +74,45 @@ void BM_IndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexBuild)->Arg(1)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_IndexBuildCatalogScaling(benchmark::State& state) {
+  const celia::cloud::Catalog catalog =
+      bench_catalog(static_cast<std::size_t>(state.range(0)));
+  const auto space = ConfigurationSpace::for_catalog(catalog);
+  const auto capacity = bench_capacity(catalog);
+  for (auto _ : state) {
+    const FrontierIndex index =
+        FrontierIndex::build(space, capacity, catalog);
+    benchmark::DoNotOptimize(index.frontier().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+  state.counters["configs"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_IndexBuildCatalogScaling)->Arg(9)->Arg(12)->Arg(15)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_IndexQueryCatalogScaling(benchmark::State& state) {
+  // Query latency is O(log frontier), so it should stay flat in microseconds
+  // as the catalog grows — that invariance is the point of the index.
+  const celia::cloud::Catalog catalog =
+      bench_catalog(static_cast<std::size_t>(state.range(0)));
+  const auto space = ConfigurationSpace::for_catalog(catalog);
+  const auto capacity = bench_capacity(catalog);
+  const FrontierIndex index = FrontierIndex::build(space, capacity, catalog);
+  const Constraints constraints = bench_constraints();
+  double demand = 9e15;
+  for (auto _ : state) {
+    const SweepResult result =
+        index.query(demand, constraints, /*collect_pareto=*/false);
+    benchmark::DoNotOptimize(result.feasible);
+    demand += 1e9;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["frontier"] = static_cast<double>(index.frontier().size());
+}
+BENCHMARK(BM_IndexQueryCatalogScaling)->Arg(9)->Arg(12)->Arg(15)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_IndexQueryFeasibility(benchmark::State& state) {
   const auto space = ConfigurationSpace::ec2_default();

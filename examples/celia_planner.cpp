@@ -5,6 +5,7 @@
 // Usage:
 //   example_celia_planner --app=galaxy --n=65536 --a=8000
 //       --deadline=24 --budget=350 [--mode=per-category] [--seed=2017]
+//       [--catalog=prices.csv] [--save-model=m.celia | --load-model=m.celia]
 //       [--epsilon-hours=1 --epsilon-dollars=5] [--top=10] [--verbose]
 
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <memory>
 
 #include "apps/registry.hpp"
+#include "cloud/catalog_io.hpp"
 #include "cloud/provider.hpp"
 #include "core/celia.hpp"
 #include "core/frontier_index.hpp"
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
   cli.add_option("mode",
                  "characterization: full | per-category | spec", "full");
   cli.add_option("seed", "cloud noise seed", "2017");
+  cli.add_option("catalog",
+                 "plan against a catalog loaded from this CSV or JSON file "
+                 "instead of the built-in EC2 Table III", "");
   cli.add_option("epsilon-hours", "epsilon box height for frontier thinning "
                  "(0 = exact frontier)", "0");
   cli.add_option("epsilon-dollars", "epsilon box width", "5");
@@ -84,8 +89,22 @@ int main(int argc, char** argv) {
   const double deadline = cli.get_double("deadline");
   const double budget = cli.get_double("budget");
 
+  std::shared_ptr<const cloud::Catalog> catalog =
+      cloud::Catalog::ec2_table3_ptr();
+  if (const std::string path = cli.get("catalog"); !path.empty()) {
+    try {
+      catalog = std::make_shared<const cloud::Catalog>(
+          cloud::load_catalog_file(path));
+    } catch (const std::runtime_error& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+    std::cout << "catalog: " << catalog->name() << " (" << catalog->region()
+              << "), " << catalog->size() << " instance types\n";
+  }
+
   cloud::CloudProvider provider(
-      static_cast<std::uint64_t>(cli.get_int("seed")));
+      static_cast<std::uint64_t>(cli.get_int("seed")), catalog);
   util::Stopwatch watch;
   const core::Celia celia = [&] {
     if (const std::string path = cli.get("load-model"); !path.empty()) {
@@ -109,6 +128,13 @@ int main(int argc, char** argv) {
   }();
   CELIA_LOG_INFO << "model ready after "
                  << util::format_fixed(watch.elapsed_ms(), 1) << " ms";
+  if (!cli.get("catalog").empty() &&
+      celia.catalog().fingerprint() != catalog->fingerprint()) {
+    std::cerr << "model was built against catalog '"
+              << celia.catalog().name() << "', not '" << catalog->name()
+              << "' — rebuild it or drop --catalog\n";
+    return 1;
+  }
   if (const std::string path = cli.get("save-model"); !path.empty()) {
     std::ofstream out(path);
     if (!out) {
@@ -137,7 +163,7 @@ int main(int argc, char** argv) {
   if (cli.has("index")) {
     watch.reset();
     index = core::shared_frontier_index(celia.space(), celia.capacity(),
-                                        celia.hourly_costs());
+                                        celia.catalog());
     std::cout << "frontier index: " << index->frontier().size()
               << " staircase entries over "
               << util::format_with_commas(index->attainable_configurations())

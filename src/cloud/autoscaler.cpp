@@ -36,12 +36,12 @@ AutoscaleReport run_autoscaled(CloudProvider& provider,
     throw std::invalid_argument("run_autoscaled: non-positive deadline");
   if (policy.interval_seconds <= 0 || policy.max_instances < 1)
     throw std::invalid_argument("run_autoscaled: bad policy");
-  if (policy.type_index >= catalog_size())
+  if (policy.type_index >= provider.catalog().size())
     throw std::out_of_range("run_autoscaled: bad type index");
 
   // Provision one instance of the chosen type via the provider so its
   // speed factor comes from the same noise stream as everything else.
-  std::vector<int> one(catalog_size(), 0);
+  std::vector<int> one(provider.catalog().size(), 0);
   one[policy.type_index] = 1;
 
   std::vector<Lease> leases;

@@ -1,0 +1,187 @@
+#include "cloud/catalog.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "hw/microarch.hpp"
+
+namespace celia::cloud {
+
+namespace {
+
+/// FNV-1a 64 over explicitly serialized fields. Doubles hash their bit
+/// patterns, so fingerprints are exact (no rounding ambiguity) and stable
+/// across processes.
+class Fingerprinter {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t value() const { return hash_; }
+  void seed(std::uint64_t v) { hash_ = v; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::uint64_t structure_hash(std::span<const InstanceType> types,
+                             std::span<const int> limits) {
+  Fingerprinter fp;
+  fp.str("celia-catalog-structure");
+  fp.u64(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const InstanceType& t = types[i];
+    fp.str(t.name);
+    fp.u64(static_cast<std::uint64_t>(t.category));
+    fp.u64(static_cast<std::uint64_t>(t.size));
+    fp.u64(static_cast<std::uint64_t>(t.vcpus));
+    fp.f64(t.frequency_ghz);
+    fp.f64(t.memory_gb);
+    fp.str(t.storage);
+    fp.u64(static_cast<std::uint64_t>(t.microarch));
+    fp.u64(static_cast<std::uint64_t>(limits[i]));
+  }
+  return fp.value();
+}
+
+std::uint64_t full_hash(std::uint64_t structure, std::string_view name,
+                        std::string_view region,
+                        std::span<const InstanceType> types) {
+  Fingerprinter fp;
+  fp.seed(structure);
+  fp.str("celia-catalog-identity");
+  fp.str(name);
+  fp.str(region);
+  for (const InstanceType& t : types) fp.f64(t.cost_per_hour);
+  return fp.value();
+}
+
+}  // namespace
+
+Catalog::Catalog(std::string name, std::string region,
+                 std::vector<InstanceType> types, std::vector<int> limits)
+    : name_(std::move(name)),
+      region_(std::move(region)),
+      types_(std::move(types)),
+      limits_(std::move(limits)) {
+  if (types_.empty())
+    throw std::invalid_argument("Catalog: no instance types");
+  if (limits_.empty()) limits_.assign(types_.size(), kDefaultInstanceLimit);
+  if (limits_.size() != types_.size())
+    throw std::invalid_argument(
+        "Catalog: need one instance limit per type (or none for the "
+        "default of " +
+        std::to_string(kDefaultInstanceLimit) + ")");
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const InstanceType& t = types_[i];
+    if (t.name.empty())
+      throw std::invalid_argument("Catalog: type " + std::to_string(i) +
+                                  " has an empty name");
+    for (std::size_t j = 0; j < i; ++j)
+      if (types_[j].name == t.name)
+        throw std::invalid_argument("Catalog: duplicate type name '" +
+                                    t.name + "'");
+    if (t.vcpus < 1)
+      throw std::invalid_argument("Catalog: " + t.name + ": vcpus < 1");
+    if (!std::isfinite(t.frequency_ghz) || t.frequency_ghz <= 0)
+      throw std::invalid_argument("Catalog: " + t.name +
+                                  ": frequency must be finite and positive");
+    if (!std::isfinite(t.memory_gb) || t.memory_gb <= 0)
+      throw std::invalid_argument("Catalog: " + t.name +
+                                  ": memory must be finite and positive");
+    if (!std::isfinite(t.cost_per_hour) || t.cost_per_hour <= 0)
+      throw std::invalid_argument("Catalog: " + t.name +
+                                  ": price must be finite and positive");
+    if (limits_[i] < 0)
+      throw std::invalid_argument("Catalog: " + t.name +
+                                  ": negative instance limit");
+  }
+  hourly_.reserve(types_.size());
+  for (const InstanceType& t : types_) hourly_.push_back(t.cost_per_hour);
+  structure_fingerprint_ = structure_hash(types_, limits_);
+  fingerprint_ = full_hash(structure_fingerprint_, name_, region_, types_);
+}
+
+const Catalog& Catalog::ec2_table3() { return *ec2_table3_ptr(); }
+
+std::shared_ptr<const Catalog> Catalog::ec2_table3_ptr() {
+  using hw::Microarch;
+  // Paper Table III verbatim (vCPUs, GHz, memory, storage, $/hr).
+  static const std::shared_ptr<const Catalog> table3 =
+      std::make_shared<const Catalog>(
+          "ec2-table3", "us-west-2",
+          std::vector<InstanceType>{
+              {"c4.large", Category::kCompute, Size::kLarge, 2, 2.9, 3.75,
+               "EBS", 0.105, Microarch::kHaswellE5_2666v3},
+              {"c4.xlarge", Category::kCompute, Size::kXLarge, 4, 2.9, 7.5,
+               "EBS", 0.209, Microarch::kHaswellE5_2666v3},
+              {"c4.2xlarge", Category::kCompute, Size::k2XLarge, 8, 2.9, 15,
+               "EBS", 0.419, Microarch::kHaswellE5_2666v3},
+              {"m4.large", Category::kGeneralPurpose, Size::kLarge, 2, 2.3,
+               8, "EBS", 0.133, Microarch::kHaswellE5_2676v3},
+              {"m4.xlarge", Category::kGeneralPurpose, Size::kXLarge, 4, 2.3,
+               16, "EBS", 0.266, Microarch::kHaswellE5_2676v3},
+              {"m4.2xlarge", Category::kGeneralPurpose, Size::k2XLarge, 8,
+               2.3, 32, "EBS", 0.532, Microarch::kHaswellE5_2676v3},
+              {"r3.large", Category::kMemoryOptimized, Size::kLarge, 2, 2.5,
+               15, "32", 0.166, Microarch::kSandyBridgeE5_2670},
+              {"r3.xlarge", Category::kMemoryOptimized, Size::kXLarge, 4,
+               2.5, 30.5, "80", 0.333, Microarch::kSandyBridgeE5_2670},
+              {"r3.2xlarge", Category::kMemoryOptimized, Size::k2XLarge, 8,
+               2.5, 61, "160", 0.664, Microarch::kSandyBridgeE5_2670},
+          });
+  return table3;
+}
+
+std::optional<std::size_t> Catalog::find(std::string_view type_name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == type_name) return i;
+  return std::nullopt;
+}
+
+std::size_t Catalog::index_of(std::string_view type_name) const {
+  if (const auto index = find(type_name)) return *index;
+  throw std::out_of_range("Catalog '" + name_ + "': unknown instance type: " +
+                          std::string(type_name));
+}
+
+Catalog Catalog::repriced(std::string name, std::string region,
+                          std::vector<double> hourly_costs) const {
+  if (hourly_costs.size() != types_.size())
+    throw std::invalid_argument(
+        "Catalog::repriced: need one price per type");
+  std::vector<InstanceType> types = types_;
+  for (std::size_t i = 0; i < types.size(); ++i)
+    types[i].cost_per_hour = hourly_costs[i];
+  return Catalog(std::move(name), std::move(region), std::move(types),
+                 limits_);
+}
+
+Catalog Catalog::with_price_multiplier(std::string name, std::string region,
+                                       double multiplier) const {
+  if (!std::isfinite(multiplier) || multiplier <= 0)
+    throw std::invalid_argument(
+        "Catalog::with_price_multiplier: multiplier must be finite and "
+        "positive");
+  std::vector<double> hourly(hourly_.begin(), hourly_.end());
+  for (double& price : hourly) price *= multiplier;
+  return repriced(std::move(name), std::move(region), std::move(hourly));
+}
+
+}  // namespace celia::cloud

@@ -1,0 +1,417 @@
+#include "cloud/catalog_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace celia::cloud {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("catalog: " + what);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+double parse_double(std::string_view field, const std::string& where) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    fail(where + ": '" + std::string(field) + "' is not a number");
+  return value;
+}
+
+int parse_int(std::string_view field, const std::string& where) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    fail(where + ": '" + std::string(field) + "' is not an integer");
+  return value;
+}
+
+/// Table III's host CPUs by category — the default when the input omits
+/// the microarchitecture (the formats have no column/key for it).
+hw::Microarch microarch_for(Category category) {
+  switch (category) {
+    case Category::kCompute:
+      return hw::Microarch::kHaswellE5_2666v3;
+    case Category::kGeneralPurpose:
+      return hw::Microarch::kHaswellE5_2676v3;
+    case Category::kMemoryOptimized:
+      return hw::Microarch::kSandyBridgeE5_2670;
+  }
+  return hw::Microarch::kHaswellE5_2666v3;
+}
+
+Catalog make_catalog(std::string name, std::string region,
+                     std::vector<InstanceType> types,
+                     std::vector<int> limits) {
+  if (types.empty()) fail("no instance types");
+  if (name.empty()) name = "unnamed";
+  if (region.empty()) region = "unspecified";
+  try {
+    return Catalog(std::move(name), std::move(region), std::move(types),
+                   std::move(limits));
+  } catch (const std::invalid_argument& error) {
+    // The Catalog constructor enforces the structural rules; surface its
+    // verdict as the loader's own I/O error type.
+    fail(error.what());
+  }
+}
+
+// ---------------------------------------------------------------- CSV --
+
+constexpr std::string_view kCsvHeader =
+    "name,category,size,vcpus,frequency_ghz,memory_gb,storage,cost_per_hour";
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(trim(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+Catalog load_catalog_csv(std::istream& in) {
+  std::string name, region;
+  std::vector<InstanceType> types;
+  std::vector<int> limits;
+  bool seen_header = false;
+
+  std::string raw;
+  for (int line_number = 1; std::getline(in, raw); ++line_number) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      const std::string_view directive = trim(line.substr(1));
+      if (directive.starts_with("name:"))
+        name = trim(directive.substr(5));
+      else if (directive.starts_with("region:"))
+        region = trim(directive.substr(7));
+      continue;  // plain comment
+    }
+    const std::string where = "line " + std::to_string(line_number);
+    if (!seen_header) {
+      // The mandatory header row fixes the column order.
+      if (!line.starts_with(kCsvHeader))
+        fail(where + ": expected header '" + std::string(kCsvHeader) +
+             "[,limit]'");
+      seen_header = true;
+      continue;
+    }
+
+    const std::vector<std::string_view> fields = split_csv(line);
+    if (fields.size() != 8 && fields.size() != 9)
+      fail(where + ": expected 8 or 9 comma-separated fields, got " +
+           std::to_string(fields.size()));
+
+    InstanceType type;
+    type.name = std::string(fields[0]);
+    if (type.name.empty()) fail(where + ": empty instance type name");
+    const auto category = category_from_name(fields[1]);
+    if (!category)
+      fail(where + ": unknown category '" + std::string(fields[1]) + "'");
+    type.category = *category;
+    const auto size = size_from_name(fields[2]);
+    if (!size) fail(where + ": unknown size '" + std::string(fields[2]) + "'");
+    type.size = *size;
+    type.vcpus = parse_int(fields[3], where + " vcpus");
+    type.frequency_ghz = parse_double(fields[4], where + " frequency_ghz");
+    type.memory_gb = parse_double(fields[5], where + " memory_gb");
+    type.storage = std::string(fields[6]);
+    type.cost_per_hour = parse_double(fields[7], where + " cost_per_hour");
+    type.microarch = microarch_for(type.category);
+    types.push_back(std::move(type));
+    limits.push_back(fields.size() == 9
+                         ? parse_int(fields[8], where + " limit")
+                         : kDefaultInstanceLimit);
+  }
+  if (!seen_header) fail("missing CSV header row");
+  return make_catalog(std::move(name), std::move(region), std::move(types),
+                      std::move(limits));
+}
+
+Catalog catalog_from_csv(const std::string& text) {
+  std::istringstream in(text);
+  return load_catalog_csv(in);
+}
+
+// --------------------------------------------------------------- JSON --
+
+namespace {
+
+/// Minimal recursive-descent parser for the one JSON shape the loader
+/// accepts (an object of strings, numbers, and one array of flat
+/// objects). Kept deliberately strict: no external dependency, and any
+/// deviation from the schema is a parse error rather than a guess.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Catalog parse() {
+    std::string name, region;
+    std::vector<InstanceType> types;
+    std::vector<int> limits;
+    bool seen_types = false;
+
+    expect('{');
+    if (!try_consume('}')) {
+      do {
+        const std::string key = parse_string("object key");
+        expect(':');
+        if (key == "name") {
+          name = parse_string("name");
+        } else if (key == "region") {
+          region = parse_string("region");
+        } else if (key == "types") {
+          parse_types(types, limits);
+          seen_types = true;
+        } else {
+          fail("unknown key '" + key + "'");
+        }
+      } while (try_consume(','));
+      expect('}');
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after catalog object");
+    if (!seen_types) fail("missing 'types' array");
+    return make_catalog(std::move(name), std::move(region), std::move(types),
+                        std::move(limits));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    celia::cloud::fail("json: " + what + " (at offset " +
+                       std::to_string(pos_) + ")");
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string(const std::string& what) {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            fail(what + ": unsupported escape '\\" +
+                 std::string(1, escaped) + "'");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail(what + ": unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number(const std::string& what) {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (start == pos_) fail(what + ": expected a number");
+    return parse_double(text_.substr(start, pos_ - start), "json " + what);
+  }
+
+  void parse_types(std::vector<InstanceType>& types,
+                   std::vector<int>& limits) {
+    expect('[');
+    if (try_consume(']')) return;
+    do {
+      parse_type(types, limits);
+    } while (try_consume(','));
+    expect(']');
+  }
+
+  void parse_type(std::vector<InstanceType>& types,
+                  std::vector<int>& limits) {
+    InstanceType type;
+    int limit = kDefaultInstanceLimit;
+    bool has_name = false, has_category = false, has_size = false,
+         has_vcpus = false, has_frequency = false, has_memory = false,
+         has_cost = false;
+
+    expect('{');
+    do {
+      const std::string key = parse_string("type key");
+      expect(':');
+      if (key == "name") {
+        type.name = parse_string("type name");
+        has_name = true;
+      } else if (key == "category") {
+        const std::string value = parse_string("category");
+        const auto category = category_from_name(value);
+        if (!category) fail("unknown category '" + value + "'");
+        type.category = *category;
+        has_category = true;
+      } else if (key == "size") {
+        const std::string value = parse_string("size");
+        const auto size = size_from_name(value);
+        if (!size) fail("unknown size '" + value + "'");
+        type.size = *size;
+        has_size = true;
+      } else if (key == "vcpus") {
+        type.vcpus = static_cast<int>(parse_number("vcpus"));
+        has_vcpus = true;
+      } else if (key == "frequency_ghz") {
+        type.frequency_ghz = parse_number("frequency_ghz");
+        has_frequency = true;
+      } else if (key == "memory_gb") {
+        type.memory_gb = parse_number("memory_gb");
+        has_memory = true;
+      } else if (key == "storage") {
+        type.storage = parse_string("storage");
+      } else if (key == "cost_per_hour") {
+        type.cost_per_hour = parse_number("cost_per_hour");
+        has_cost = true;
+      } else if (key == "limit") {
+        limit = static_cast<int>(parse_number("limit"));
+      } else {
+        fail("unknown type key '" + key + "'");
+      }
+    } while (try_consume(','));
+    expect('}');
+
+    if (!has_name || !has_category || !has_size || !has_vcpus ||
+        !has_frequency || !has_memory || !has_cost)
+      fail("type object is missing a required key (need name, category, "
+           "size, vcpus, frequency_ghz, memory_gb, cost_per_hour)");
+    type.microarch = microarch_for(type.category);
+    types.push_back(std::move(type));
+    limits.push_back(limit);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_all(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+Catalog catalog_from_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+Catalog load_catalog_json(std::istream& in) {
+  return catalog_from_json(read_all(in));
+}
+
+// ------------------------------------------------------------- facade --
+
+Catalog catalog_from_string(const std::string& text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) fail("empty input");
+  return trimmed.front() == '{' ? catalog_from_json(text)
+                                : catalog_from_csv(text);
+}
+
+Catalog load_catalog(std::istream& in) {
+  return catalog_from_string(read_all(in));
+}
+
+Catalog load_catalog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "'");
+  return load_catalog(in);
+}
+
+// -------------------------------------------------------------- write --
+
+namespace {
+
+/// Shortest decimal that round-trips the double (printf %.17g trimmed
+/// would also work; the loop keeps the common prices human-readable,
+/// e.g. 0.105 instead of 0.10500000000000001).
+std::string format_double(double value) {
+  char buffer[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    double reparsed = 0.0;
+    std::sscanf(buffer, "%lf", &reparsed);
+    if (reparsed == value) break;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void save_catalog_csv(const Catalog& catalog, std::ostream& out) {
+  out << "# name: " << catalog.name() << "\n"
+      << "# region: " << catalog.region() << "\n"
+      << kCsvHeader << ",limit\n";
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const InstanceType& type = catalog.type(i);
+    out << type.name << ',' << category_name(type.category) << ','
+        << size_name(type.size) << ',' << type.vcpus << ','
+        << format_double(type.frequency_ghz) << ','
+        << format_double(type.memory_gb) << ',' << type.storage << ','
+        << format_double(type.cost_per_hour) << ',' << catalog.limit(i)
+        << "\n";
+  }
+}
+
+std::string catalog_to_csv(const Catalog& catalog) {
+  std::ostringstream out;
+  save_catalog_csv(catalog, out);
+  return std::move(out).str();
+}
+
+}  // namespace celia::cloud

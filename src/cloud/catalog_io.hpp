@@ -1,0 +1,66 @@
+#pragma once
+// Catalog persistence: load a cloud::Catalog from CSV or JSON text and
+// write one back out, so a planning service can be pointed at a price
+// list instead of the compiled-in Table III.
+//
+// CSV ("celia-catalog" dialect — diff-able, spreadsheet-exportable):
+//
+//     # any comment
+//     # name: my-catalog          <- optional catalog metadata directives
+//     # region: us-west-2
+//     name,category,size,vcpus,frequency_ghz,memory_gb,storage,cost_per_hour,limit
+//     c4.large,compute,large,2,2.9,3.75,EBS,0.105,5
+//     ...
+//
+// The header row is mandatory and fixes the column order; the trailing
+// `limit` column is optional per row (defaults to kDefaultInstanceLimit).
+// Category accepts compute/general/memory (or the EC2 prefixes c4/m4/r3),
+// size accepts large/xlarge/2xlarge.
+//
+// JSON (one object; no external JSON dependency — a strict subset parser
+// lives in the implementation):
+//
+//     {
+//       "name": "my-catalog",
+//       "region": "us-west-2",
+//       "types": [
+//         {"name": "c4.large", "category": "compute", "size": "large",
+//          "vcpus": 2, "frequency_ghz": 2.9, "memory_gb": 3.75,
+//          "storage": "EBS", "cost_per_hour": 0.105, "limit": 5},
+//         ...
+//       ]
+//     }
+//
+// Both loaders funnel through the Catalog constructor, so every
+// structural rule (unique names, positive prices, non-negative limits...)
+// is enforced identically; malformed input throws std::runtime_error with
+// a message naming the offending line or key. load_catalog() sniffs the
+// format: first non-whitespace character '{' = JSON, anything else = CSV.
+
+#include <iosfwd>
+#include <string>
+
+#include "cloud/catalog.hpp"
+
+namespace celia::cloud {
+
+Catalog load_catalog_csv(std::istream& in);
+Catalog catalog_from_csv(const std::string& text);
+
+Catalog load_catalog_json(std::istream& in);
+Catalog catalog_from_json(const std::string& text);
+
+/// Format-sniffing load (see the header comment).
+Catalog load_catalog(std::istream& in);
+Catalog catalog_from_string(const std::string& text);
+
+/// Load from a file path; throws std::runtime_error when the file cannot
+/// be opened. The format is sniffed from the content, not the extension.
+Catalog load_catalog_file(const std::string& path);
+
+/// Write `catalog` in the CSV dialect above (round-trips through
+/// load_catalog_csv with an identical fingerprint).
+void save_catalog_csv(const Catalog& catalog, std::ostream& out);
+std::string catalog_to_csv(const Catalog& catalog);
+
+}  // namespace celia::cloud

@@ -1,37 +1,10 @@
 #include "cloud/instance_type.hpp"
 
-#include <array>
 #include <stdexcept>
 
+#include "cloud/catalog.hpp"
+
 namespace celia::cloud {
-
-namespace {
-
-using hw::Microarch;
-
-// Paper Table III verbatim (vCPUs, GHz, memory, storage, $/hr).
-constexpr std::array<InstanceType, 9> kCatalog = {{
-    {"c4.large", Category::kCompute, Size::kLarge, 2, 2.9, 3.75, "EBS",
-     0.105, Microarch::kHaswellE5_2666v3},
-    {"c4.xlarge", Category::kCompute, Size::kXLarge, 4, 2.9, 7.5, "EBS",
-     0.209, Microarch::kHaswellE5_2666v3},
-    {"c4.2xlarge", Category::kCompute, Size::k2XLarge, 8, 2.9, 15, "EBS",
-     0.419, Microarch::kHaswellE5_2666v3},
-    {"m4.large", Category::kGeneralPurpose, Size::kLarge, 2, 2.3, 8, "EBS",
-     0.133, Microarch::kHaswellE5_2676v3},
-    {"m4.xlarge", Category::kGeneralPurpose, Size::kXLarge, 4, 2.3, 16, "EBS",
-     0.266, Microarch::kHaswellE5_2676v3},
-    {"m4.2xlarge", Category::kGeneralPurpose, Size::k2XLarge, 8, 2.3, 32,
-     "EBS", 0.532, Microarch::kHaswellE5_2676v3},
-    {"r3.large", Category::kMemoryOptimized, Size::kLarge, 2, 2.5, 15, "32",
-     0.166, Microarch::kSandyBridgeE5_2670},
-    {"r3.xlarge", Category::kMemoryOptimized, Size::kXLarge, 4, 2.5, 30.5,
-     "80", 0.333, Microarch::kSandyBridgeE5_2670},
-    {"r3.2xlarge", Category::kMemoryOptimized, Size::k2XLarge, 8, 2.5, 61,
-     "160", 0.664, Microarch::kSandyBridgeE5_2670},
-}};
-
-}  // namespace
 
 std::string_view category_name(Category category) {
   switch (category) {
@@ -57,19 +30,37 @@ std::string_view size_name(Size size) {
   return "?";
 }
 
-std::span<const InstanceType> ec2_catalog() { return kCatalog; }
+std::optional<Category> category_from_name(std::string_view name) {
+  if (name == "compute" || name == "c4") return Category::kCompute;
+  if (name == "general" || name == "general-purpose" || name == "m4")
+    return Category::kGeneralPurpose;
+  if (name == "memory" || name == "memory-optimized" || name == "r3")
+    return Category::kMemoryOptimized;
+  return std::nullopt;
+}
 
-std::size_t catalog_size() { return kCatalog.size(); }
+std::optional<Size> size_from_name(std::string_view name) {
+  if (name == "large") return Size::kLarge;
+  if (name == "xlarge") return Size::kXLarge;
+  if (name == "2xlarge") return Size::k2XLarge;
+  return std::nullopt;
+}
+
+std::span<const InstanceType> ec2_catalog() {
+  return Catalog::ec2_table3().types();
+}
+
+std::size_t catalog_size() { return Catalog::ec2_table3().size(); }
 
 std::optional<InstanceType> find_instance_type(std::string_view name) {
-  for (const auto& type : kCatalog)
-    if (type.name == name) return type;
+  const Catalog& table3 = Catalog::ec2_table3();
+  if (const auto index = table3.find(name)) return table3.type(*index);
   return std::nullopt;
 }
 
 std::size_t catalog_index(std::string_view name) {
-  for (std::size_t i = 0; i < kCatalog.size(); ++i)
-    if (kCatalog[i].name == name) return i;
+  const Catalog& table3 = Catalog::ec2_table3();
+  if (const auto index = table3.find(name)) return *index;
   throw std::out_of_range("unknown instance type: " + std::string(name));
 }
 

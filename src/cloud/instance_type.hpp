@@ -1,8 +1,11 @@
 #pragma once
-// The cloud resource catalog — the paper's Table III: nine Amazon EC2
-// on-demand instance types from the Oregon region (2017 pricing), three
-// categories (compute-intensive c4, general-purpose m4, memory-optimized
-// r3) x three sizes (large, xlarge, 2xlarge).
+// Instance-type descriptions. The paper's reference catalog — Table III:
+// nine Amazon EC2 on-demand instance types from the Oregon region (2017
+// pricing), three categories (compute-intensive c4, general-purpose m4,
+// memory-optimized r3) x three sizes (large, xlarge, 2xlarge) — lives in
+// cloud::Catalog::ec2_table3() (cloud/catalog.hpp). The free functions
+// below are convenience views of that default catalog; code that plans
+// against arbitrary catalogs takes a cloud::Catalog value instead.
 
 #include <optional>
 #include <span>
@@ -19,32 +22,40 @@ enum class Size { kLarge, kXLarge, k2XLarge };
 std::string_view category_name(Category category);
 std::string_view size_name(Size size);
 
+/// Parse "compute"/"general"/"memory" (also accepts the EC2 prefixes
+/// c4/m4/r3); nullopt when unknown. Used by the catalog loader.
+std::optional<Category> category_from_name(std::string_view name);
+/// Parse "large"/"xlarge"/"2xlarge"; nullopt when unknown.
+std::optional<Size> size_from_name(std::string_view name);
+
 struct InstanceType {
-  std::string_view name;          // e.g. "c4.large"
-  Category category;
-  Size size;
-  int vcpus;                      // hyper-threads exposed to the guest
-  double frequency_ghz;           // per Table III
-  double memory_gb;
-  std::string_view storage;       // "EBS" or local SSD GB
-  double cost_per_hour;           // USD, on-demand
-  hw::Microarch microarch;        // host processor
+  std::string name;               // e.g. "c4.large"
+  Category category = Category::kCompute;
+  Size size = Size::kLarge;
+  int vcpus = 0;                  // hyper-threads exposed to the guest
+  double frequency_ghz = 0.0;     // per Table III
+  double memory_gb = 0.0;
+  std::string storage;            // "EBS" or local SSD GB
+  double cost_per_hour = 0.0;     // USD, on-demand
+  hw::Microarch microarch = hw::Microarch::kHaswellE5_2666v3;  // host CPU
 };
 
 /// The nine types of Table III, in the paper's row order (c4.large ..
-/// r3.2xlarge). Configuration tuples index into this order.
+/// r3.2xlarge) — a view of Catalog::ec2_table3().types().
 std::span<const InstanceType> ec2_catalog();
 
-/// Number of catalog entries (M in the paper's notation) — 9.
+/// Number of Table III entries (M in the paper's notation) — 9.
 std::size_t catalog_size();
 
-/// Maximum instances per type the paper allows in a configuration — 5.
-inline constexpr int kMaxInstancesPerType = 5;
+/// The paper's uniform per-type instance limit (m_i,max = 5). Catalogs
+/// carry PER-TYPE limits (Catalog::limits()); this is only the default
+/// applied when a catalog is built without explicit limits.
+inline constexpr int kDefaultInstanceLimit = 5;
 
-/// Lookup by name ("c4.large" ...); nullopt when unknown.
+/// Lookup by name in Table III ("c4.large" ...); nullopt when unknown.
 std::optional<InstanceType> find_instance_type(std::string_view name);
 
-/// Index of a type in the catalog; throws std::out_of_range when unknown.
+/// Index of a type in Table III; throws std::out_of_range when unknown.
 std::size_t catalog_index(std::string_view name);
 
 }  // namespace celia::cloud

@@ -34,8 +34,8 @@ double instance_cost(const InstanceType& type, double seconds,
   return billed_hours * type.cost_per_hour;
 }
 
-double configuration_hourly_cost(const std::vector<int>& node_counts) {
-  const auto catalog = ec2_catalog();
+double configuration_hourly_cost(const std::vector<int>& node_counts,
+                                 const Catalog& catalog) {
   if (node_counts.size() != catalog.size())
     throw std::invalid_argument(
         "configuration_hourly_cost: counts must match catalog size");
@@ -44,22 +44,31 @@ double configuration_hourly_cost(const std::vector<int>& node_counts) {
     if (node_counts[i] < 0)
       throw std::invalid_argument(
           "configuration_hourly_cost: negative node count");
-    hourly += node_counts[i] * catalog[i].cost_per_hour;
+    hourly += node_counts[i] * catalog.type(i).cost_per_hour;
   }
   return hourly;
 }
 
+double configuration_hourly_cost(const std::vector<int>& node_counts) {
+  return configuration_hourly_cost(node_counts, Catalog::ec2_table3());
+}
+
 double configuration_cost(const std::vector<int>& node_counts, double seconds,
-                          BillingPolicy policy) {
-  const auto catalog = ec2_catalog();
+                          const Catalog& catalog, BillingPolicy policy) {
   if (node_counts.size() != catalog.size())
     throw std::invalid_argument(
         "configuration_cost: counts must match catalog size");
   double total = 0.0;
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    total += node_counts[i] * instance_cost(catalog[i], seconds, policy);
+    total += node_counts[i] * instance_cost(catalog.type(i), seconds, policy);
   }
   return total;
+}
+
+double configuration_cost(const std::vector<int>& node_counts, double seconds,
+                          BillingPolicy policy) {
+  return configuration_cost(node_counts, seconds, Catalog::ec2_table3(),
+                            policy);
 }
 
 }  // namespace celia::cloud

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cloud/catalog.hpp"
 #include "cloud/instance_type.hpp"
 
 namespace celia::cloud {
@@ -24,10 +25,17 @@ double instance_cost(const InstanceType& type, double seconds,
                      BillingPolicy policy = BillingPolicy::kContinuous);
 
 /// Hourly cost of a configuration given per-type node counts aligned with
-/// ec2_catalog() order (paper Eq. 6).
+/// `catalog.types()` (paper Eq. 6).
+double configuration_hourly_cost(const std::vector<int>& node_counts,
+                                 const Catalog& catalog);
+/// Convenience overload pricing with the paper's Table III catalog.
 double configuration_hourly_cost(const std::vector<int>& node_counts);
 
 /// Cost of running a whole configuration for `seconds`.
+double configuration_cost(const std::vector<int>& node_counts, double seconds,
+                          const Catalog& catalog,
+                          BillingPolicy policy = BillingPolicy::kContinuous);
+/// Convenience overload pricing with the paper's Table III catalog.
 double configuration_cost(const std::vector<int>& node_counts, double seconds,
                           BillingPolicy policy = BillingPolicy::kContinuous);
 

@@ -15,7 +15,8 @@ namespace {
 /// fresh instance id (a replacement VM), so the fault draws of later
 /// attempts are independent of earlier ones.
 Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
-                  std::size_t type_index, const FaultModel& faults,
+                  const Catalog& catalog, std::size_t type_index,
+                  const FaultModel& faults,
                   const util::BackoffPolicy& backoff, double& ready_at,
                   ProvisioningReport& report) {
   static obs::Counter& retry_count =
@@ -49,6 +50,7 @@ Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
     Instance instance;
     instance.type_index = type_index;
     instance.instance_id = id;
+    instance.catalog = &catalog;
     // Gray degradation folds into the delivered rate; the fault seed for
     // crash times stays keyed on instance_id, so the schedule replays.
     instance.speed_factor =
@@ -57,33 +59,45 @@ Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
     return instance;
   }
   throw ProvisioningError(
-      "provision: type " +
-      std::string(ec2_catalog()[type_index].name) + " failed to boot after " +
-      std::to_string(backoff.max_attempts) + " attempts");
+      "provision: type " + catalog.type(type_index).name +
+      " failed to boot after " + std::to_string(backoff.max_attempts) +
+      " attempts");
+}
+
+void validate_counts(const Catalog& catalog,
+                     const std::vector<int>& node_counts) {
+  if (node_counts.size() != catalog.size())
+    throw std::invalid_argument(
+        "provision: counts must match catalog size");
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (node_counts[i] < 0 || node_counts[i] > catalog.limit(i))
+      throw std::invalid_argument(
+          "provision: node count outside [0, " +
+          std::to_string(catalog.limit(i)) + "] for " +
+          catalog.type(i).name);
+  }
 }
 
 }  // namespace
 
-CloudProvider::CloudProvider(std::uint64_t seed) : seed_(seed) {}
+CloudProvider::CloudProvider(std::uint64_t seed,
+                             std::shared_ptr<const Catalog> catalog)
+    : seed_(seed), catalog_(std::move(catalog)) {
+  if (!catalog_)
+    throw std::invalid_argument("CloudProvider: null catalog");
+}
 
 std::vector<Instance> CloudProvider::provision(
     const std::vector<int>& node_counts) {
-  const auto catalog = ec2_catalog();
-  if (node_counts.size() != catalog.size())
-    throw std::invalid_argument(
-        "provision: counts must match catalog size");
+  validate_counts(*catalog_, node_counts);
 
   std::vector<Instance> instances;
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    if (node_counts[i] < 0 || node_counts[i] > kMaxInstancesPerType)
-      throw std::invalid_argument(
-          "provision: node count outside [0, " +
-          std::to_string(kMaxInstancesPerType) + "] for " +
-          std::string(catalog[i].name));
+  for (std::size_t i = 0; i < catalog_->size(); ++i) {
     for (int k = 0; k < node_counts[i]; ++k) {
       Instance instance;
       instance.type_index = i;
       instance.instance_id = next_instance_id_++;
+      instance.catalog = catalog_.get();
       instance.speed_factor =
           instance_speed_factor(seed_, instance.instance_id);
       instances.push_back(instance);
@@ -97,25 +111,17 @@ std::vector<Instance> CloudProvider::provision(
 ProvisionResult CloudProvider::provision_with_faults(
     const std::vector<int>& node_counts, const FaultModel& faults,
     const util::BackoffPolicy& backoff) {
-  const auto catalog = ec2_catalog();
-  if (node_counts.size() != catalog.size())
-    throw std::invalid_argument(
-        "provision: counts must match catalog size");
+  validate_counts(*catalog_, node_counts);
   validate(faults);
 
   ProvisionResult result;
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    if (node_counts[i] < 0 || node_counts[i] > kMaxInstancesPerType)
-      throw std::invalid_argument(
-          "provision: node count outside [0, " +
-          std::to_string(kMaxInstancesPerType) + "] for " +
-          std::string(catalog[i].name));
+  for (std::size_t i = 0; i < catalog_->size(); ++i) {
     for (int k = 0; k < node_counts[i]; ++k) {
       ++result.report.requested;
       double ready_at = 0.0;
-      result.instances.push_back(boot_one(seed_, next_instance_id_, i,
-                                          faults, backoff, ready_at,
-                                          result.report));
+      result.instances.push_back(boot_one(seed_, next_instance_id_,
+                                          *catalog_, i, faults, backoff,
+                                          ready_at, result.report));
       result.ready_seconds.push_back(ready_at);
       result.report.ready_seconds =
           std::max(result.report.ready_seconds, ready_at);
@@ -130,14 +136,14 @@ ProvisionResult CloudProvider::provision_with_faults(
 ProvisionResult CloudProvider::provision_replacement(
     std::size_t type_index, const FaultModel& faults,
     const util::BackoffPolicy& backoff) {
-  if (type_index >= catalog_size())
+  if (type_index >= catalog_->size())
     throw std::out_of_range("provision_replacement: bad type index");
   validate(faults);
   ProvisionResult result;
   result.report.requested = 1;
   double ready_at = 0.0;
-  result.instances.push_back(boot_one(seed_, next_instance_id_, type_index,
-                                      faults, backoff, ready_at,
+  result.instances.push_back(boot_one(seed_, next_instance_id_, *catalog_,
+                                      type_index, faults, backoff, ready_at,
                                       result.report));
   result.ready_seconds.push_back(ready_at);
   result.report.ready_seconds = ready_at;
@@ -148,7 +154,7 @@ ProvisionResult CloudProvider::provision_replacement(
 double CloudProvider::run_benchmark(std::size_t type_index,
                                     double instructions,
                                     hw::WorkloadClass workload) {
-  if (type_index >= catalog_size())
+  if (type_index >= catalog_->size())
     throw std::out_of_range("run_benchmark: bad type index");
   if (instructions <= 0)
     throw std::invalid_argument("run_benchmark: non-positive demand");
@@ -156,6 +162,7 @@ double CloudProvider::run_benchmark(std::size_t type_index,
   Instance instance;
   instance.type_index = type_index;
   instance.instance_id = next_instance_id_++;
+  instance.catalog = catalog_.get();
   instance.speed_factor = instance_speed_factor(seed_, instance.instance_id);
   return instructions / instance.actual_rate(workload);
 }

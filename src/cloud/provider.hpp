@@ -3,9 +3,11 @@
 // timed benchmark runs used by CELIA's cloud-side characterization.
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "cloud/catalog.hpp"
 #include "cloud/faults.hpp"
 #include "cloud/instance_type.hpp"
 #include "cloud/vm.hpp"
@@ -50,12 +52,21 @@ struct ProvisionResult {
 class CloudProvider {
  public:
   /// `seed` fixes every instance's speed factor, making all experiments
-  /// reproducible; different seeds give different "days on EC2".
-  explicit CloudProvider(std::uint64_t seed = 2017);
+  /// reproducible; different seeds give different "days on EC2". The
+  /// provider serves `catalog` (default: the paper's Table III); all
+  /// node-count vectors and type indexes align with its types(), and
+  /// per-type provisioning limits come from its limits().
+  explicit CloudProvider(
+      std::uint64_t seed = 2017,
+      std::shared_ptr<const Catalog> catalog = Catalog::ec2_table3_ptr());
 
-  /// Provision a configuration: node_counts aligned with ec2_catalog().
-  /// Throws std::invalid_argument when a count exceeds kMaxInstancesPerType
-  /// or the configuration is empty.
+  /// The catalog this provider serves.
+  const Catalog& catalog() const { return *catalog_; }
+  std::shared_ptr<const Catalog> catalog_ptr() const { return catalog_; }
+
+  /// Provision a configuration: node_counts aligned with catalog().types().
+  /// Throws std::invalid_argument when a count exceeds the type's
+  /// catalog limit or the configuration is empty.
   std::vector<Instance> provision(const std::vector<int>& node_counts);
 
   /// Failable provisioning under a fault model: each node's boot attempt
@@ -94,6 +105,7 @@ class CloudProvider {
 
  private:
   std::uint64_t seed_;
+  std::shared_ptr<const Catalog> catalog_;
   std::uint64_t next_instance_id_ = 0;
   NetworkModel network_;
 };

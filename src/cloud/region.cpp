@@ -1,28 +1,64 @@
 #include "cloud/region.hpp"
 
-#include <array>
+#include <stdexcept>
+#include <utility>
 
 namespace celia::cloud {
 
 namespace {
 
+Region derived_region(std::string name, std::string region_code,
+                      double price_multiplier, double transfer_fee,
+                      double bandwidth) {
+  const Catalog& table3 = Catalog::ec2_table3();
+  std::shared_ptr<const Catalog> catalog =
+      price_multiplier == 1.0
+          ? Catalog::ec2_table3_ptr()
+          : std::make_shared<const Catalog>(table3.with_price_multiplier(
+                "ec2-table3@" + region_code, region_code, price_multiplier));
+  return make_region(std::move(name), std::move(catalog), transfer_fee,
+                     bandwidth);
+}
+
 // Relative 2017 EC2 on-demand price levels (us-west-2 = 1.0) and
 // inter-region staging characteristics. Transfer into the home region is
 // free (the data already lives there).
-constexpr std::array<Region, 5> kRegions = {{
-    {"us-west-2 (Oregon)", 1.00, 0.00, 0.0},
-    {"us-east-1 (Virginia)", 0.97, 0.02, 600e6},
-    {"eu-west-1 (Ireland)", 1.11, 0.02, 300e6},
-    {"ap-southeast-1 (Singapore)", 1.25, 0.09, 150e6},
-    {"sa-east-1 (Sao Paulo)", 1.55, 0.16, 100e6},
-}};
+std::vector<Region> build_regions() {
+  std::vector<Region> regions;
+  regions.push_back(
+      derived_region("us-west-2 (Oregon)", "us-west-2", 1.00, 0.00, 0.0));
+  regions.push_back(derived_region("us-east-1 (Virginia)", "us-east-1", 0.97,
+                                   0.02, 600e6));
+  regions.push_back(derived_region("eu-west-1 (Ireland)", "eu-west-1", 1.11,
+                                   0.02, 300e6));
+  regions.push_back(derived_region("ap-southeast-1 (Singapore)",
+                                   "ap-southeast-1", 1.25, 0.09, 150e6));
+  regions.push_back(derived_region("sa-east-1 (Sao Paulo)", "sa-east-1",
+                                   1.55, 0.16, 100e6));
+  return regions;
+}
 
 }  // namespace
 
-std::span<const Region> region_catalog() { return kRegions; }
+Region make_region(std::string name, std::shared_ptr<const Catalog> catalog,
+                   double transfer_dollars_per_gb,
+                   double staging_bandwidth_bytes_per_s) {
+  if (!catalog) throw std::invalid_argument("make_region: null catalog");
+  if (transfer_dollars_per_gb < 0)
+    throw std::invalid_argument("make_region: negative transfer fee");
+  if (staging_bandwidth_bytes_per_s < 0)
+    throw std::invalid_argument("make_region: negative bandwidth");
+  return Region{std::move(name), std::move(catalog), transfer_dollars_per_gb,
+                staging_bandwidth_bytes_per_s};
+}
 
-double regional_hourly_cost(const InstanceType& type, const Region& region) {
-  return type.cost_per_hour * region.price_multiplier;
+std::span<const Region> region_catalog() {
+  static const std::vector<Region> regions = build_regions();
+  return regions;
+}
+
+double regional_hourly_cost(const Region& region, std::size_t type_index) {
+  return region.catalog->type(type_index).cost_per_hour;
 }
 
 }  // namespace celia::cloud

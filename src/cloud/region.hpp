@@ -5,35 +5,53 @@
 // from Amazon EC2 Oregon region"). Real EC2 prices the same instance
 // types differently per region, and moving the computation to a cheaper
 // region costs a one-time data transfer (egress fee + staging time).
-// This module models both so CELIA can answer "which region should this
-// job run in?" (core/region_planner.hpp).
+//
+// A Region is a REAL per-region catalog — a cloud::Catalog value with its
+// own per-type prices — plus the staging economics. The built-in
+// region_catalog() derives each region's catalog from Table III with the
+// 2017-era relative price level (a uniform multiplier), but nothing
+// requires uniformity: make_region() accepts any catalog whose per-type
+// prices differ arbitrarily, and the region planner
+// (core/region_planner.hpp) sweeps each region's own prices, so optima
+// that shift per type are found.
 
+#include <memory>
 #include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "cloud/catalog.hpp"
 #include "cloud/instance_type.hpp"
 
 namespace celia::cloud {
 
 struct Region {
-  std::string_view name;
-  /// Multiplier on the Table III (us-west-2) hourly prices.
-  double price_multiplier;
+  std::string name;
+  /// This region's own resource catalog (same structure as the home
+  /// catalog — same types and limits — with regional per-type prices).
+  std::shared_ptr<const Catalog> catalog;
   /// Inter-region transfer fee per GB into this region ($0 at home).
-  double transfer_dollars_per_gb;
+  double transfer_dollars_per_gb = 0.0;
   /// Achievable inter-region staging bandwidth (bytes/s).
-  double staging_bandwidth_bytes_per_s;
+  double staging_bandwidth_bytes_per_s = 0.0;
 };
 
+/// A region over an arbitrary catalog. Throws on a null catalog, a
+/// negative fee, or a negative bandwidth.
+Region make_region(std::string name, std::shared_ptr<const Catalog> catalog,
+                   double transfer_dollars_per_gb,
+                   double staging_bandwidth_bytes_per_s);
+
 /// Modeled regions, index 0 = us-west-2 (Oregon, the paper's region,
-/// multiplier 1.0). Multipliers reflect the 2017-era relative price
-/// spread across EC2 regions.
+/// Table III prices). The other catalogs reflect the 2017-era relative
+/// price spread across EC2 regions.
 std::span<const Region> region_catalog();
 
 /// Index of the paper's home region (us-west-2) in region_catalog().
 inline constexpr std::size_t kHomeRegion = 0;
 
-/// Hourly cost of `type` in `region`.
-double regional_hourly_cost(const InstanceType& type, const Region& region);
+/// Hourly cost of the type at `type_index` in `region`.
+double regional_hourly_cost(const Region& region, std::size_t type_index);
 
 }  // namespace celia::cloud

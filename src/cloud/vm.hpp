@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cloud/catalog.hpp"
 #include "cloud/instance_type.hpp"
 #include "hw/ipc_model.hpp"
 #include "hw/workload_class.hpp"
@@ -30,11 +31,17 @@ inline constexpr double kSpeedSigma = 0.06;
 
 /// One provisioned VM.
 struct Instance {
-  std::size_t type_index = 0;   // into ec2_catalog()
+  std::size_t type_index = 0;   // into the provisioning catalog's types()
   std::uint64_t instance_id = 0;
   double speed_factor = 1.0;    // multiplies the nominal instruction rate
+  /// Catalog this instance was provisioned from; nullptr = Table III.
+  /// Non-owning: the provisioning CloudProvider keeps its catalog alive
+  /// for as long as its instances circulate.
+  const Catalog* catalog = nullptr;
 
-  const InstanceType& type() const { return ec2_catalog()[type_index]; }
+  const InstanceType& type() const {
+    return (catalog ? *catalog : Catalog::ec2_table3()).type(type_index);
+  }
 
   /// Nominal (noise-free) instruction rate of this instance for a workload:
   /// paper Eq. 4, W_i = W_i,vCPU x v_i.

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "cloud/instance_type.hpp"
+#include "cloud/catalog.hpp"
 #include "util/stats.hpp"
 
 namespace celia::core {
@@ -20,13 +20,25 @@ std::string_view characterization_mode_name(CharacterizationMode mode) {
 }
 
 ResourceCapacity::ResourceCapacity(std::vector<double> per_vcpu_rates)
-    : per_vcpu_rates_(std::move(per_vcpu_rates)) {
-  if (per_vcpu_rates_.size() != cloud::catalog_size())
+    : ResourceCapacity(std::move(per_vcpu_rates),
+                       cloud::Catalog::ec2_table3()) {}
+
+ResourceCapacity::ResourceCapacity(std::vector<double> per_vcpu_rates,
+                                   const cloud::Catalog& catalog)
+    : per_vcpu_rates_(std::move(per_vcpu_rates)),
+      structure_fingerprint_(catalog.structure_fingerprint()) {
+  if (per_vcpu_rates_.size() != catalog.size())
     throw std::invalid_argument(
         "ResourceCapacity: need one rate per catalog type");
   for (const double rate : per_vcpu_rates_)
     if (rate <= 0)
       throw std::invalid_argument("ResourceCapacity: non-positive rate");
+  vcpus_.reserve(catalog.size());
+  hourly_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    vcpus_.push_back(catalog.type(i).vcpus);
+    hourly_.push_back(catalog.type(i).cost_per_hour);
+  }
 }
 
 double ResourceCapacity::per_vcpu_rate(std::size_t type_index) const {
@@ -34,12 +46,15 @@ double ResourceCapacity::per_vcpu_rate(std::size_t type_index) const {
 }
 
 double ResourceCapacity::rate(std::size_t type_index) const {
-  return per_vcpu_rates_.at(type_index) *
-         cloud::ec2_catalog()[type_index].vcpus;
+  return per_vcpu_rates_.at(type_index) * vcpus_.at(type_index);
 }
 
 double ResourceCapacity::normalized_performance(std::size_t type_index) const {
-  return rate(type_index) / cloud::ec2_catalog()[type_index].cost_per_hour;
+  return rate(type_index) / hourly_.at(type_index);
+}
+
+bool ResourceCapacity::compatible_with(const cloud::Catalog& catalog) const {
+  return structure_fingerprint_ == catalog.structure_fingerprint();
 }
 
 apps::AppParams characterization_point(const apps::ElasticApp& app) {
@@ -65,7 +80,7 @@ ResourceCapacity characterize_capacity(const apps::ElasticApp& app,
 CharacterizationReport characterize_capacity_with_report(
     const apps::ElasticApp& app, cloud::CloudProvider& provider,
     CharacterizationMode mode, const hw::LocalServer& local) {
-  const auto catalog = cloud::ec2_catalog();
+  const auto catalog = provider.catalog().types();
   const apps::AppParams point = characterization_point(app);
 
   // Local half of the measurement: the scale-down run's instruction count,
@@ -119,8 +134,9 @@ CharacterizationReport characterize_capacity_with_report(
       break;
     }
   }
-  return CharacterizationReport{ResourceCapacity(std::move(per_vcpu)), runs,
-                                total_seconds, total_cost};
+  return CharacterizationReport{
+      ResourceCapacity(std::move(per_vcpu), provider.catalog()), runs,
+      total_seconds, total_cost};
 }
 
 double estimate_rate_sigma(const apps::ElasticApp& app,

@@ -15,10 +15,12 @@
 //                      the catalog base frequency (the naive upper bound the
 //                      paper argues against; used as an ablation baseline).
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "apps/elastic_app.hpp"
+#include "cloud/catalog.hpp"
 #include "cloud/provider.hpp"
 #include "hw/local_server.hpp"
 
@@ -33,9 +35,21 @@ enum class CharacterizationMode {
 std::string_view characterization_mode_name(CharacterizationMode mode);
 
 /// Per-type capacities for one application/workload class.
+///
+/// A capacity is characterized AGAINST a catalog: rate(i) multiplies the
+/// per-vCPU rate by that catalog's vCPU count for type i, and the
+/// capacity remembers the catalog's structure fingerprint so planners can
+/// refuse to combine it with a structurally different catalog (different
+/// types or limits). Repriced catalogs — same structure, regional prices —
+/// remain compatible, so one measurement campaign serves every region.
 class ResourceCapacity {
  public:
+  /// Characterized against the paper's Table III catalog.
   explicit ResourceCapacity(std::vector<double> per_vcpu_rates);
+
+  /// Characterized against `catalog` (one rate per catalog type).
+  ResourceCapacity(std::vector<double> per_vcpu_rates,
+                   const cloud::Catalog& catalog);
 
   /// W_i,vCPU — instruction rate of one vCPU of type i.
   double per_vcpu_rate(std::size_t type_index) const;
@@ -44,13 +58,27 @@ class ResourceCapacity {
   double rate(std::size_t type_index) const;
 
   /// Normalized performance: instructions/second per dollar/hour (the
-  /// quantity of the paper's Figure 3).
+  /// quantity of the paper's Figure 3), at the characterization catalog's
+  /// prices.
   double normalized_performance(std::size_t type_index) const;
 
   std::size_t num_types() const { return per_vcpu_rates_.size(); }
 
+  /// Structure fingerprint of the catalog this capacity was characterized
+  /// against (price-free: types + limits).
+  std::uint64_t catalog_structure_fingerprint() const {
+    return structure_fingerprint_;
+  }
+
+  /// True iff `catalog` has the same structure (types and limits) as the
+  /// characterization catalog — prices are allowed to differ.
+  bool compatible_with(const cloud::Catalog& catalog) const;
+
  private:
   std::vector<double> per_vcpu_rates_;
+  std::vector<int> vcpus_;
+  std::vector<double> hourly_;
+  std::uint64_t structure_fingerprint_ = 0;
 };
 
 /// The scale-down parameters used for the characterization run of each

@@ -1,5 +1,6 @@
 #include "core/celia.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "core/query.hpp"
@@ -16,27 +17,49 @@ Celia Celia::build(const apps::ElasticApp& app, cloud::CloudProvider& provider,
   }
   fit::SeparableDemandModel demand = fit::SeparableDemandModel::fit(profile);
 
-  // Capacity: timed scale-down runs on cloud instances.
+  // Capacity: timed scale-down runs on cloud instances, against the
+  // provider's own catalog snapshot.
   ResourceCapacity capacity = characterize_capacity(app, provider, mode);
 
   return Celia(std::string(app.name()), app.workload_class(),
                std::move(demand), std::move(capacity),
-               ConfigurationSpace::ec2_default());
+               ConfigurationSpace::for_catalog(provider.catalog()),
+               provider.catalog_ptr());
 }
 
 Celia::Celia(std::string app_name, hw::WorkloadClass workload,
              fit::SeparableDemandModel demand, ResourceCapacity capacity,
              ConfigurationSpace space)
+    : Celia(std::move(app_name), workload, std::move(demand),
+            std::move(capacity), std::move(space),
+            cloud::Catalog::ec2_table3_ptr()) {}
+
+Celia::Celia(std::string app_name, hw::WorkloadClass workload,
+             fit::SeparableDemandModel demand, ResourceCapacity capacity,
+             ConfigurationSpace space,
+             std::shared_ptr<const cloud::Catalog> catalog)
     : app_name_(std::move(app_name)),
       workload_(workload),
       demand_(std::move(demand)),
       capacity_(std::move(capacity)),
       space_(std::move(space)),
-      hourly_costs_(ec2_hourly_costs()) {}
+      catalog_(std::move(catalog)) {
+  if (!catalog_) throw std::invalid_argument("Celia: null catalog");
+  if (space_.num_types() != catalog_->size())
+    throw std::invalid_argument(
+        "Celia: configuration space width disagrees with catalog '" +
+        catalog_->name() + "'");
+  if (!capacity_.compatible_with(*catalog_))
+    throw std::invalid_argument(
+        "Celia: capacity was characterized against a structurally different "
+        "catalog than '" + catalog_->name() + "'");
+  const auto hourly = catalog_->hourly_costs();
+  hourly_costs_.assign(hourly.begin(), hourly.end());
+}
 
 Prediction Celia::predict(const apps::AppParams& params,
                           const Configuration& config) const {
-  return core::predict(predict_demand(params), config, capacity_);
+  return core::predict(predict_demand(params), config, capacity_, *catalog_);
 }
 
 SweepResult Celia::select(const apps::AppParams& params, double deadline_hours,
@@ -44,7 +67,7 @@ SweepResult Celia::select(const apps::AppParams& params, double deadline_hours,
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
   constraints.budget_dollars = budget_dollars;
-  return sweep(space_, capacity_, hourly_costs_,
+  return sweep(space_, capacity_, *catalog_,
                Query::make(predict_demand(params), constraints, options));
 }
 
@@ -55,7 +78,7 @@ std::optional<CostTimePoint> Celia::min_cost_configuration(
   Constraints constraints;
   constraints.deadline_seconds = deadline_hours * 3600.0;
   const SweepResult result =
-      sweep(space_, capacity_, hourly_costs_,
+      sweep(space_, capacity_, *catalog_,
             Query::make(predict_demand(params), constraints, options));
   if (!result.any_feasible) return std::nullopt;
   return result.min_cost;

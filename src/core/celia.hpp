@@ -10,12 +10,14 @@
 //                                         the full configuration space;
 //   * min_cost_configuration(...)       — cheapest feasible configuration.
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "apps/elastic_app.hpp"
+#include "cloud/catalog.hpp"
 #include "cloud/provider.hpp"
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
@@ -34,16 +36,30 @@ class Celia {
       const apps::ElasticApp& app, cloud::CloudProvider& provider,
       CharacterizationMode mode = CharacterizationMode::kFullMeasurement);
 
-  /// Assemble from already-known models (for tests and what-if studies).
+  /// Assemble from already-known models (for tests and what-if studies),
+  /// planning against the paper's Table III catalog.
   Celia(std::string app_name, hw::WorkloadClass workload,
         fit::SeparableDemandModel demand, ResourceCapacity capacity,
         ConfigurationSpace space);
+
+  /// Assemble against an explicit catalog snapshot. Throws
+  /// std::invalid_argument when `capacity` was characterized against a
+  /// structurally different catalog, or when the space width disagrees
+  /// with the catalog.
+  Celia(std::string app_name, hw::WorkloadClass workload,
+        fit::SeparableDemandModel demand, ResourceCapacity capacity,
+        ConfigurationSpace space, std::shared_ptr<const cloud::Catalog> catalog);
 
   const std::string& app_name() const { return app_name_; }
   hw::WorkloadClass workload() const { return workload_; }
   const fit::SeparableDemandModel& demand_model() const { return demand_; }
   const ResourceCapacity& capacity() const { return capacity_; }
   const ConfigurationSpace& space() const { return space_; }
+  /// The catalog this model plans against (Table III by default).
+  const cloud::Catalog& catalog() const { return *catalog_; }
+  std::shared_ptr<const cloud::Catalog> catalog_ptr() const {
+    return catalog_;
+  }
 
   /// Fitted demand D(n, a) in instructions.
   double predict_demand(const apps::AppParams& params) const {
@@ -78,6 +94,7 @@ class Celia {
   fit::SeparableDemandModel demand_;
   ResourceCapacity capacity_;
   ConfigurationSpace space_;
+  std::shared_ptr<const cloud::Catalog> catalog_;
   std::vector<double> hourly_costs_;
 };
 

@@ -3,7 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "cloud/instance_type.hpp"
+#include "cloud/catalog.hpp"
 
 namespace celia::core {
 
@@ -36,8 +36,12 @@ ConfigurationSpace::ConfigurationSpace(std::vector<int> max_counts)
 }
 
 ConfigurationSpace ConfigurationSpace::ec2_default() {
-  return ConfigurationSpace(std::vector<int>(
-      cloud::catalog_size(), cloud::kMaxInstancesPerType));
+  return for_catalog(cloud::Catalog::ec2_table3());
+}
+
+ConfigurationSpace ConfigurationSpace::for_catalog(
+    const cloud::Catalog& catalog) {
+  return ConfigurationSpace(catalog.limits());
 }
 
 Configuration ConfigurationSpace::decode(std::uint64_t index) const {

@@ -14,9 +14,13 @@
 #include <string>
 #include <vector>
 
+namespace celia::cloud {
+class Catalog;
+}  // namespace celia::cloud
+
 namespace celia::core {
 
-/// Node counts per resource type, aligned with cloud::ec2_catalog() order.
+/// Node counts per resource type, aligned with the catalog's type order.
 using Configuration = std::vector<int>;
 
 /// Render "[5,5,5,3,0,0,0,0,0]" — the paper's annotation format.
@@ -29,6 +33,10 @@ class ConfigurationSpace {
 
   /// Space over the full EC2 catalog with the paper's limit of 5 per type.
   static ConfigurationSpace ec2_default();
+
+  /// Space over an arbitrary catalog using its per-type instance limits
+  /// (m_i,max = catalog.limit(i)); limits may differ per type.
+  static ConfigurationSpace for_catalog(const cloud::Catalog& catalog);
 
   std::size_t num_types() const { return max_counts_.size(); }
   const std::vector<int>& max_counts() const { return max_counts_; }

@@ -117,9 +117,16 @@ std::vector<double> ec2_hourly_costs() {
   return hourly;
 }
 
-SweepResult sweep(const ConfigurationSpace& space,
-                  const ResourceCapacity& capacity,
-                  std::span<const double> hourly_costs, const Query& query) {
+namespace {
+
+/// Shared implementation behind the span- and catalog-based sweep entry
+/// points; `catalog` is null for the span path (hourly costs stand alone)
+/// and non-null when the caller planned against a first-class catalog, in
+/// which case the shared-index route consults the catalog-pinned cache.
+SweepResult sweep_impl(const ConfigurationSpace& space,
+                       const ResourceCapacity& capacity,
+                       std::span<const double> hourly_costs,
+                       const cloud::Catalog* catalog, const Query& query) {
   detail::validate_model_widths(space, capacity, hourly_costs, "sweep");
   const double demand = query.demand();
   const Constraints& constraints = query.constraints();
@@ -133,6 +140,11 @@ SweepResult sweep(const ConfigurationSpace& space,
           "sweep: IndexPolicy::Prefer requires a non-null FrontierIndex");
     if (index_can_answer(constraints, options)) {
       if (policy.mode == IndexPolicy::Mode::kPrefer) {
+        if (catalog && policy.index->catalog_fingerprint() != 0 &&
+            policy.index->catalog_fingerprint() != catalog->fingerprint())
+          throw std::invalid_argument(
+              "sweep: FrontierIndex is pinned to a different catalog than '" +
+              catalog->name() + "'");
         if (!policy.index->matches(space, capacity, hourly_costs))
           throw std::invalid_argument(
               "sweep: FrontierIndex was built for a different model");
@@ -143,7 +155,10 @@ SweepResult sweep(const ConfigurationSpace& space,
       }
       route_counters().shared.add(1);
       SweepResult result =
-          shared_frontier_index(space, capacity, hourly_costs, options.pool)
+          (catalog
+               ? shared_frontier_index(space, capacity, *catalog, options.pool)
+               : shared_frontier_index(space, capacity, hourly_costs,
+                                       options.pool))
               ->query(query);
       result.route = QueryRoute::kSharedIndex;
       return result;
@@ -258,6 +273,24 @@ SweepResult sweep(const ConfigurationSpace& space,
   return result;
 }
 
+}  // namespace
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  std::span<const double> hourly_costs, const Query& query) {
+  return sweep_impl(space, capacity, hourly_costs, nullptr, query);
+}
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  const cloud::Catalog& catalog, const Query& query) {
+  if (!capacity.compatible_with(catalog))
+    throw std::invalid_argument(
+        "sweep: capacity was characterized against a structurally different "
+        "catalog than '" + catalog.name() + "'");
+  return sweep_impl(space, capacity, catalog.hourly_costs(), &catalog, query);
+}
+
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity, const Query& query) {
   const std::vector<double> hourly = ec2_hourly_costs();
@@ -269,6 +302,14 @@ SweepResult sweep(const ConfigurationSpace& space,
                   std::span<const double> hourly_costs, double demand,
                   const Constraints& constraints, SweepOptions options) {
   return sweep(space, capacity, hourly_costs,
+               Query::make(demand, constraints, options));
+}
+
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  const cloud::Catalog& catalog, double demand,
+                  const Constraints& constraints, SweepOptions options) {
+  return sweep(space, capacity, catalog,
                Query::make(demand, constraints, options));
 }
 

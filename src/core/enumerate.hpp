@@ -227,6 +227,17 @@ SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity,
                   std::span<const double> hourly_costs, const Query& query);
 
+/// Catalog-aware planner entry: prices come from `catalog.hourly_costs()`
+/// and the IndexPolicy::Shared route consults the catalog-pinned cache
+/// (keyed by `catalog.fingerprint()`), so queries against two catalogs can
+/// never be answered from each other's staircase. Throws
+/// std::invalid_argument when `capacity` was characterized against a
+/// structurally different catalog, or when a Prefer index is pinned to a
+/// different catalog.
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  const cloud::Catalog& catalog, const Query& query);
+
 /// Convenience overload pricing with the EC2 catalog (paper Table III).
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity, const Query& query);
@@ -235,6 +246,12 @@ SweepResult sweep(const ConfigurationSpace& space,
 SweepResult sweep(const ConfigurationSpace& space,
                   const ResourceCapacity& capacity,
                   std::span<const double> hourly_costs, double demand,
+                  const Constraints& constraints, SweepOptions options = {});
+
+/// Catalog-aware forwarding overload (see the Query overload above).
+SweepResult sweep(const ConfigurationSpace& space,
+                  const ResourceCapacity& capacity,
+                  const cloud::Catalog& catalog, double demand,
                   const Constraints& constraints, SweepOptions options = {});
 
 /// Convenience overload pricing with the EC2 catalog (paper Table III).

@@ -270,6 +270,19 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
 
 FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
                                    const ResourceCapacity& capacity,
+                                   const cloud::Catalog& catalog,
+                                   const BuildOptions& options) {
+  if (!capacity.compatible_with(catalog))
+    throw std::invalid_argument(
+        "FrontierIndex: capacity was characterized against a structurally "
+        "different catalog than '" + catalog.name() + "'");
+  FrontierIndex index = build(space, capacity, catalog.hourly_costs(), options);
+  index.catalog_fingerprint_ = catalog.fingerprint();
+  return index;
+}
+
+FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
+                                   const ResourceCapacity& capacity,
                                    const BuildOptions& options) {
   const std::vector<double> hourly = ec2_hourly_costs();
   return build(space, capacity, hourly, options);
@@ -443,9 +456,25 @@ bool FrontierIndex::matches(const ConfigurationSpace& space,
   return true;
 }
 
-std::shared_ptr<const FrontierIndex> shared_frontier_index(
+bool FrontierIndex::matches(const ConfigurationSpace& space,
+                            const ResourceCapacity& capacity,
+                            std::span<const double> hourly_costs,
+                            std::uint64_t catalog_fingerprint) const {
+  return catalog_fingerprint == catalog_fingerprint_ &&
+         matches(space, capacity, hourly_costs);
+}
+
+namespace {
+
+/// The shared-cache implementation behind both overloads. The key is
+/// (catalog fingerprint, model content); span-based callers live in the
+/// fingerprint-0 ("unpinned") key space, catalog-based callers in their
+/// catalog's own, so the two can never serve each other's entries.
+std::shared_ptr<const FrontierIndex> shared_frontier_index_keyed(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
-    std::span<const double> hourly_costs, parallel::ThreadPool* pool) {
+    std::span<const double> hourly_costs, const cloud::Catalog* catalog,
+    parallel::ThreadPool* pool) {
+  const std::uint64_t fingerprint = catalog ? catalog->fingerprint() : 0;
   static std::mutex mutex;
   static std::vector<std::shared_ptr<const FrontierIndex>> cache;  // MRU first
   constexpr std::size_t kMaxCached = 4;
@@ -459,7 +488,7 @@ std::shared_ptr<const FrontierIndex> shared_frontier_index(
   {
     std::lock_guard<std::mutex> lock(mutex);
     for (auto it = cache.begin(); it != cache.end(); ++it) {
-      if ((*it)->matches(space, capacity, hourly_costs)) {
+      if ((*it)->matches(space, capacity, hourly_costs, fingerprint)) {
         auto hit = *it;
         cache.erase(it);
         cache.insert(cache.begin(), hit);
@@ -475,14 +504,34 @@ std::shared_ptr<const FrontierIndex> shared_frontier_index(
   FrontierIndex::BuildOptions build_options;
   build_options.pool = pool;
   auto built = std::make_shared<const FrontierIndex>(
-      FrontierIndex::build(space, capacity, hourly_costs, build_options));
+      catalog
+          ? FrontierIndex::build(space, capacity, *catalog, build_options)
+          : FrontierIndex::build(space, capacity, hourly_costs,
+                                 build_options));
 
   std::lock_guard<std::mutex> lock(mutex);
   for (const auto& cached : cache)
-    if (cached->matches(space, capacity, hourly_costs)) return cached;
+    if (cached->matches(space, capacity, hourly_costs, fingerprint))
+      return cached;
   cache.insert(cache.begin(), built);
   if (cache.size() > kMaxCached) cache.pop_back();
   return built;
+}
+
+}  // namespace
+
+std::shared_ptr<const FrontierIndex> shared_frontier_index(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    std::span<const double> hourly_costs, parallel::ThreadPool* pool) {
+  return shared_frontier_index_keyed(space, capacity, hourly_costs, nullptr,
+                                     pool);
+}
+
+std::shared_ptr<const FrontierIndex> shared_frontier_index(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const cloud::Catalog& catalog, parallel::ThreadPool* pool) {
+  return shared_frontier_index_keyed(space, capacity, catalog.hourly_costs(),
+                                     &catalog, pool);
 }
 
 }  // namespace celia::core

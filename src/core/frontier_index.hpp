@@ -43,6 +43,7 @@
 #include <span>
 #include <vector>
 
+#include "cloud/catalog.hpp"
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
 #include "core/enumerate.hpp"
@@ -78,6 +79,17 @@ class FrontierIndex {
                              std::span<const double> hourly_costs,
                              const BuildOptions& options = {});
 
+  /// Build for a specific catalog: prices come from
+  /// `catalog.hourly_costs()` and the index is PINNED to the catalog's
+  /// full fingerprint, so the shared cache can never serve it for a
+  /// different catalog (even one with identical prices). Throws
+  /// std::invalid_argument when `capacity` was characterized against a
+  /// structurally different catalog.
+  static FrontierIndex build(const ConfigurationSpace& space,
+                             const ResourceCapacity& capacity,
+                             const cloud::Catalog& catalog,
+                             const BuildOptions& options = {});
+
   /// Convenience overload pricing with the EC2 catalog (paper Table III).
   static FrontierIndex build(const ConfigurationSpace& space,
                              const ResourceCapacity& capacity,
@@ -106,10 +118,22 @@ class FrontierIndex {
   std::size_t grid_resolution() const { return grid_; }
   std::size_t memory_bytes() const;
 
+  /// Full fingerprint of the catalog this index was built for; 0 when the
+  /// index was built from an ad-hoc hourly-cost span (unpinned).
+  std::uint64_t catalog_fingerprint() const { return catalog_fingerprint_; }
+
   /// True when the index was built for exactly this model.
   bool matches(const ConfigurationSpace& space,
                const ResourceCapacity& capacity,
                std::span<const double> hourly_costs) const;
+
+  /// As above, additionally requiring the index's catalog pin to equal
+  /// `catalog_fingerprint` (0 = unpinned). The shared cache keys on this,
+  /// so two catalogs never alias one staircase.
+  bool matches(const ConfigurationSpace& space,
+               const ResourceCapacity& capacity,
+               std::span<const double> hourly_costs,
+               std::uint64_t catalog_fingerprint) const;
 
  private:
   struct PointUC {
@@ -129,6 +153,7 @@ class FrontierIndex {
   std::vector<int> max_counts_;
   std::vector<double> rates_;
   std::vector<double> hourly_;
+  std::uint64_t catalog_fingerprint_ = 0;  // 0 = ad-hoc span build
   std::uint64_t total_ = 0;
   std::uint64_t positive_ = 0;
 
@@ -147,12 +172,21 @@ class FrontierIndex {
   std::vector<std::uint64_t> matrix_;
 };
 
-/// Process-wide index cache (small LRU keyed by the model): returns the
-/// shared index for (space, capacity, hourly_costs), building it on first
-/// use. This is what IndexPolicy::Shared() consults.
+/// Process-wide index cache (small LRU keyed by (catalog fingerprint,
+/// model content)): returns the shared index for (space, capacity,
+/// hourly_costs), building it on first use. This is what
+/// IndexPolicy::Shared() consults. Span-based lookups use the unpinned
+/// key space (fingerprint 0).
 std::shared_ptr<const FrontierIndex> shared_frontier_index(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     std::span<const double> hourly_costs,
     parallel::ThreadPool* pool = nullptr);
+
+/// Catalog-pinned shared index: keyed by `catalog.fingerprint()` in
+/// addition to the model content, so two catalogs — even ones with
+/// identical prices — never share a cache entry.
+std::shared_ptr<const FrontierIndex> shared_frontier_index(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const cloud::Catalog& catalog, parallel::ThreadPool* pool = nullptr);
 
 }  // namespace celia::core

@@ -1,0 +1,196 @@
+#include "core/planner_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace celia::core {
+
+namespace {
+
+struct EngineCounters {
+  obs::Counter& queries =
+      obs::counter("celia_planner_engine_queries_total",
+                   "Queries routed through a PlannerEngine");
+  obs::Counter& index_hits = obs::counter(
+      "celia_planner_engine_index_hits_total",
+      "PlannerEngine queries answered from an already-cached FrontierIndex");
+  obs::Counter& index_builds = obs::counter(
+      "celia_planner_engine_index_builds_total",
+      "PlannerEngine cache misses that built a FrontierIndex");
+  obs::Counter& sweeps = obs::counter(
+      "celia_planner_engine_sweeps_total",
+      "PlannerEngine queries (risk-aware or sampled) that ran a full sweep");
+};
+
+EngineCounters& engine_counters() {
+  static EngineCounters counters;
+  return counters;
+}
+
+/// Same eligibility rule as IndexPolicy: the FrontierIndex answers only
+/// deterministic, unsampled queries.
+bool index_eligible(const Query& query) {
+  const Constraints& constraints = query.constraints();
+  const bool risk_aware =
+      constraints.confidence_z > 0 && constraints.rate_sigma > 0;
+  return !risk_aware && query.options().sample_stride == 0;
+}
+
+}  // namespace
+
+void PlannerEngine::add_catalog(std::string name,
+                                std::shared_ptr<const cloud::Catalog> catalog,
+                                bool replace) {
+  if (name.empty())
+    throw std::invalid_argument("PlannerEngine: empty catalog name");
+  if (!catalog)
+    throw std::invalid_argument("PlannerEngine: null catalog for '" + name +
+                                "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(
+      catalogs_.begin(), catalogs_.end(),
+      [&](const auto& entry) { return entry.first == name; });
+  if (it == catalogs_.end()) {
+    catalogs_.emplace_back(std::move(name), std::move(catalog));
+    return;
+  }
+  if (!replace)
+    throw std::invalid_argument("PlannerEngine: catalog '" + name +
+                                "' is already registered");
+  const std::uint64_t old_fingerprint = it->second->fingerprint();
+  it->second = std::move(catalog);
+  // Drop the replaced snapshot's cached indexes, unless another name still
+  // serves the same catalog (same full fingerprint = same prices + identity).
+  const bool still_referenced = std::any_of(
+      catalogs_.begin(), catalogs_.end(), [&](const auto& entry) {
+        return entry.second->fingerprint() == old_fingerprint;
+      });
+  if (!still_referenced) {
+    std::erase_if(indexes_, [&](const CachedIndex& cached) {
+      return cached.catalog_fingerprint == old_fingerprint;
+    });
+  }
+}
+
+std::shared_ptr<const cloud::Catalog> PlannerEngine::catalog_locked(
+    std::string_view name) const {
+  for (const auto& [key, snapshot] : catalogs_)
+    if (key == name) return snapshot;
+  throw std::out_of_range("PlannerEngine: unknown catalog '" +
+                          std::string(name) + "'");
+}
+
+std::shared_ptr<const cloud::Catalog> PlannerEngine::catalog(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return catalog_locked(name);
+}
+
+std::vector<std::string> PlannerEngine::catalog_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(catalogs_.size());
+  for (const auto& [key, snapshot] : catalogs_) names.push_back(key);
+  return names;
+}
+
+std::size_t PlannerEngine::num_catalogs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return catalogs_.size();
+}
+
+std::size_t PlannerEngine::num_cached_indexes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return indexes_.size();
+}
+
+SweepResult PlannerEngine::plan(std::string_view catalog_name,
+                                const ResourceCapacity& capacity,
+                                const Query& query) {
+  std::shared_ptr<const cloud::Catalog> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = catalog_locked(catalog_name);
+  }
+  const ConfigurationSpace space = ConfigurationSpace::for_catalog(*snapshot);
+  return plan_impl(*snapshot, space, capacity, query);
+}
+
+SweepResult PlannerEngine::plan(std::string_view catalog_name,
+                                const Celia& model, const Query& query) {
+  std::shared_ptr<const cloud::Catalog> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = catalog_locked(catalog_name);
+  }
+  return plan_impl(*snapshot, model.space(), model.capacity(), query);
+}
+
+SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
+                                     const ConfigurationSpace& space,
+                                     const ResourceCapacity& capacity,
+                                     const Query& query) {
+  if (!capacity.compatible_with(catalog))
+    throw std::invalid_argument(
+        "PlannerEngine: model capacity was characterized against a "
+        "structurally different catalog than '" + catalog.name() +
+        "' (types or per-type limits differ)");
+  EngineCounters& counters = engine_counters();
+  counters.queries.add(1);
+
+  if (!index_eligible(query)) {
+    // Risk-aware / sampled queries need the sweep; run it at the
+    // catalog's prices with the index explicitly disabled.
+    counters.sweeps.add(1);
+    SweepOptions options = query.options();
+    options.index_policy = IndexPolicy::Never();
+    return sweep(space, capacity, catalog,
+                 Query::make(query.demand(), query.constraints(), options));
+  }
+
+  const std::uint64_t fingerprint = catalog.fingerprint();
+  std::shared_ptr<const FrontierIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const CachedIndex& cached : indexes_) {
+      if (cached.catalog_fingerprint == fingerprint &&
+          cached.index->matches(space, capacity, catalog.hourly_costs())) {
+        index = cached.index;
+        break;
+      }
+    }
+  }
+  if (index) {
+    counters.index_hits.add(1);
+  } else {
+    // Build outside the lock; concurrent builders of the same (catalog,
+    // model) pair may race, in which case the first insertion wins — but
+    // every build is counted (hits + builds + sweeps == queries).
+    counters.index_builds.add(1);
+    FrontierIndex::BuildOptions build_options;
+    build_options.pool = query.options().pool;
+    auto built = std::make_shared<const FrontierIndex>(
+        FrontierIndex::build(space, capacity, catalog, build_options));
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const CachedIndex& cached : indexes_) {
+      if (cached.catalog_fingerprint == fingerprint &&
+          cached.index->matches(space, capacity, catalog.hourly_costs())) {
+        index = cached.index;
+        break;
+      }
+    }
+    if (!index) {
+      indexes_.push_back({fingerprint, built});
+      index = std::move(built);
+    }
+  }
+
+  SweepResult result = index->query(query);
+  result.route = QueryRoute::kIndex;
+  return result;
+}
+
+}  // namespace celia::core

@@ -1,0 +1,108 @@
+#pragma once
+// core::PlannerEngine — a concurrency-safe owner of named catalog
+// snapshots that routes planner Querys to a per-(catalog, model) cache of
+// FrontierIndex instances.
+//
+// The sweep/FrontierIndex machinery treats the catalog as a call
+// argument; a long-lived planning SERVICE instead holds many catalogs at
+// once (several regions' price lists, yesterday's snapshot next to
+// today's) and answers interleaved queries against all of them. The
+// engine provides that layer:
+//
+//   * Catalog snapshots are registered under a name and immutable from
+//     then on (swapping a name to a new snapshot is an explicit replace).
+//   * Index-eligible queries (deterministic, unsampled — the same
+//     eligibility rule as IndexPolicy) are answered from a cached
+//     FrontierIndex keyed by (catalog fingerprint, capacity). The first
+//     query against a (catalog, model) pair builds the index once —
+//     outside the lock, first insertion wins — and every later query
+//     hits the cache, whatever other catalogs were queried in between.
+//   * Ineligible queries (risk-aware or sampled) run the full sweep at
+//     the catalog's prices.
+//
+// Observability: celia_planner_engine_queries_total counts every plan()
+// call, _index_hits_total the ones answered from an already-cached index,
+// _index_builds_total the cache misses that built one, and _sweeps_total
+// the ineligible queries that swept. hits + builds + sweeps == queries.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cloud/catalog.hpp"
+#include "core/capacity.hpp"
+#include "core/celia.hpp"
+#include "core/configuration.hpp"
+#include "core/enumerate.hpp"
+#include "core/frontier_index.hpp"
+#include "core/query.hpp"
+
+namespace celia::core {
+
+class PlannerEngine {
+ public:
+  PlannerEngine() = default;
+
+  // Not copyable or movable: the engine is a service object whose caches
+  // are referenced concurrently.
+  PlannerEngine(const PlannerEngine&) = delete;
+  PlannerEngine& operator=(const PlannerEngine&) = delete;
+
+  /// Register a catalog snapshot under `name`. Throws std::invalid_argument
+  /// on a null catalog or empty name, and on a duplicate name unless
+  /// `replace` is true (replacing drops the old snapshot's cached indexes
+  /// only when no other name still points at the same catalog).
+  void add_catalog(std::string name,
+                   std::shared_ptr<const cloud::Catalog> catalog,
+                   bool replace = false);
+
+  /// The snapshot registered under `name`; throws std::out_of_range for an
+  /// unknown name.
+  std::shared_ptr<const cloud::Catalog> catalog(std::string_view name) const;
+
+  /// Registered snapshot names, in registration order.
+  std::vector<std::string> catalog_names() const;
+
+  std::size_t num_catalogs() const;
+
+  /// Number of FrontierIndex instances currently cached across all
+  /// (catalog, model) pairs.
+  std::size_t num_cached_indexes() const;
+
+  /// Route `query` for `capacity` against the named catalog, over the
+  /// catalog's own configuration space (per-type limits). Throws
+  /// std::out_of_range for an unknown name and std::invalid_argument when
+  /// `capacity` was characterized against a structurally different
+  /// catalog.
+  SweepResult plan(std::string_view catalog_name,
+                   const ResourceCapacity& capacity, const Query& query);
+
+  /// Route `query` for a full model (e.g. one restored by load_model)
+  /// against the named catalog. The model's space is used as-is; its
+  /// capacity must be structurally compatible with the catalog — a model
+  /// loaded for one catalog cannot silently plan against another.
+  SweepResult plan(std::string_view catalog_name, const Celia& model,
+                   const Query& query);
+
+ private:
+  struct CachedIndex {
+    std::uint64_t catalog_fingerprint = 0;
+    std::shared_ptr<const FrontierIndex> index;
+  };
+
+  std::shared_ptr<const cloud::Catalog> catalog_locked(
+      std::string_view name) const;
+
+  SweepResult plan_impl(const cloud::Catalog& catalog,
+                        const ConfigurationSpace& space,
+                        const ResourceCapacity& capacity, const Query& query);
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<const cloud::Catalog>>>
+      catalogs_;
+  std::vector<CachedIndex> indexes_;
+};
+
+}  // namespace celia::core

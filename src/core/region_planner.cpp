@@ -2,15 +2,24 @@
 
 #include <stdexcept>
 
+#include "core/query.hpp"
+
 namespace celia::core {
 
 std::vector<RegionPlan> plan_across_regions(const Celia& celia,
                                             const apps::AppParams& params,
                                             double deadline_hours,
                                             double input_gb) {
+  return plan_across_regions(celia, params, deadline_hours, input_gb,
+                             cloud::region_catalog());
+}
+
+std::vector<RegionPlan> plan_across_regions(
+    const Celia& celia, const apps::AppParams& params, double deadline_hours,
+    double input_gb, std::span<const cloud::Region> regions) {
   if (input_gb < 0)
     throw std::invalid_argument("plan_across_regions: negative data size");
-  const auto regions = cloud::region_catalog();
+  const double demand = celia.predict_demand(params);
   std::vector<RegionPlan> plans;
   plans.reserve(regions.size());
 
@@ -33,13 +42,21 @@ std::vector<RegionPlan> plan_across_regions(const Celia& celia,
       continue;
     }
 
-    const auto best = celia.min_cost_configuration(params, remaining_hours);
-    if (best.has_value()) {
+    // Min-cost selection at THIS region's per-type prices: the sweep runs
+    // on the regional catalog, so optima that shift per type (not by a
+    // uniform multiplier) are found.
+    Constraints constraints;
+    constraints.deadline_seconds = remaining_hours * 3600.0;
+    SweepOptions options;
+    options.collect_pareto = false;
+    const SweepResult result =
+        sweep(celia.space(), celia.capacity(), *region.catalog,
+              Query::make(demand, constraints, options));
+    if (result.any_feasible) {
       plan.feasible = true;
-      plan.config_index = best->config_index;
-      plan.compute_seconds = best->seconds;
-      // Same configuration, same time; only the tariff differs.
-      plan.compute_cost = best->cost * region.price_multiplier;
+      plan.config_index = result.min_cost.config_index;
+      plan.compute_seconds = result.min_cost.seconds;
+      plan.compute_cost = result.min_cost.cost;
     }
     plans.push_back(plan);
   }

@@ -3,12 +3,15 @@
 //
 // For each modeled region: stage the input data in (one-time egress fee +
 // transfer time out of the remaining deadline), then run CELIA's min-cost
-// selection against the region's prices. Capacity is identical across
-// regions (same instance types); only prices and staging differ, so the
-// cheapest region is a real trade-off between price multiplier and data
-// gravity.
+// selection against the region's OWN catalog prices — a full sweep at the
+// regional tariff, not a post-hoc multiplier on the home-region optimum.
+// Capacity is identical across regions (same instance types, so the
+// region catalogs share the home catalog's structure fingerprint); prices
+// may differ arbitrarily per type, so the optimal configuration itself can
+// shift between regions and the planner finds that shift.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cloud/region.hpp"
@@ -35,6 +38,16 @@ std::vector<RegionPlan> plan_across_regions(const Celia& celia,
                                             const apps::AppParams& params,
                                             double deadline_hours,
                                             double input_gb);
+
+/// As above over an explicit region list (index 0 = where the data
+/// lives). Every region's catalog must be structurally compatible with
+/// the model's capacity (same types and limits; prices free) — the sweep
+/// throws std::invalid_argument otherwise.
+std::vector<RegionPlan> plan_across_regions(const Celia& celia,
+                                            const apps::AppParams& params,
+                                            double deadline_hours,
+                                            double input_gb,
+                                            std::span<const cloud::Region> regions);
 
 /// The cheapest feasible plan across regions; nullopt if none qualifies.
 std::optional<RegionPlan> best_region_plan(const Celia& celia,

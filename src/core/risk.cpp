@@ -4,7 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
-#include "cloud/instance_type.hpp"
+#include "cloud/catalog.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/stats.hpp"
 
@@ -26,6 +26,14 @@ std::optional<CostTimePoint> robust_min_cost(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     double demand, double deadline_seconds, const RiskSpec& spec,
     parallel::ThreadPool* pool) {
+  return robust_min_cost(space, capacity, cloud::Catalog::ec2_table3(),
+                         demand, deadline_seconds, spec, pool);
+}
+
+std::optional<CostTimePoint> robust_min_cost(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const cloud::Catalog& catalog, double demand, double deadline_seconds,
+    const RiskSpec& spec, parallel::ThreadPool* pool) {
   if (demand <= 0)
     throw std::invalid_argument("robust_min_cost: non-positive demand");
   if (spec.model != RiskModel::kNone &&
@@ -33,14 +41,19 @@ std::optional<CostTimePoint> robust_min_cost(
        spec.median_factor <= 0))
     throw std::invalid_argument("robust_min_cost: bad risk spec");
   if (space.num_types() != capacity.num_types() ||
-      space.num_types() != cloud::catalog_size())
+      space.num_types() != catalog.size())
     throw std::invalid_argument("robust_min_cost: width mismatch");
+  if (!capacity.compatible_with(catalog))
+    throw std::invalid_argument(
+        "robust_min_cost: capacity was characterized against a structurally "
+        "different catalog than '" + catalog.name() + "'");
 
   const std::size_t m = space.num_types();
+  const std::span<const double> catalog_hourly = catalog.hourly_costs();
   std::vector<double> rates(m), hourly(m), var_terms(m);
   for (std::size_t i = 0; i < m; ++i) {
     rates[i] = capacity.rate(i);
-    hourly[i] = cloud::ec2_catalog()[i].cost_per_hour;
+    hourly[i] = catalog_hourly[i];
     const double term = rates[i] * spec.sigma;
     var_terms[i] = term * term;
   }

@@ -47,11 +47,18 @@ struct RiskSpec {
 };
 
 /// Min-cost configuration meeting `deadline_seconds` with the spec's
-/// confidence (exhaustive sweep). The returned point carries the
-/// DETERMINISTIC predicted time/cost of the chosen configuration (what
-/// the user would quote), feasibility having been tested probabilistically.
-/// Returns nullopt when nothing qualifies. Throws std::invalid_argument on
-/// a bad spec.
+/// confidence (exhaustive sweep), priced with `catalog`. The returned
+/// point carries the DETERMINISTIC predicted time/cost of the chosen
+/// configuration (what the user would quote), feasibility having been
+/// tested probabilistically. Returns nullopt when nothing qualifies.
+/// Throws std::invalid_argument on a bad spec or a catalog structurally
+/// incompatible with the capacity.
+std::optional<CostTimePoint> robust_min_cost(
+    const ConfigurationSpace& space, const ResourceCapacity& capacity,
+    const cloud::Catalog& catalog, double demand, double deadline_seconds,
+    const RiskSpec& spec, parallel::ThreadPool* pool = nullptr);
+
+/// Convenience overload pricing with the paper's Table III catalog.
 std::optional<CostTimePoint> robust_min_cost(
     const ConfigurationSpace& space, const ResourceCapacity& capacity,
     double demand, double deadline_seconds, const RiskSpec& spec,

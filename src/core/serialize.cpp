@@ -2,10 +2,15 @@
 
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "cloud/catalog.hpp"
 
 namespace celia::core {
 
@@ -66,6 +71,47 @@ void write_fit(std::ostream& out, const char* key,
   out << " " << fit.r2 << " " << fit.adjusted_r2 << " " << fit.rmse << "\n";
 }
 
+cloud::Category category_from_id(int id) {
+  switch (id) {
+    case static_cast<int>(cloud::Category::kCompute):
+      return cloud::Category::kCompute;
+    case static_cast<int>(cloud::Category::kGeneralPurpose):
+      return cloud::Category::kGeneralPurpose;
+    case static_cast<int>(cloud::Category::kMemoryOptimized):
+      return cloud::Category::kMemoryOptimized;
+  }
+  throw std::runtime_error("celia-model: unknown category id " +
+                           std::to_string(id));
+}
+
+cloud::Size size_from_id(int id) {
+  switch (id) {
+    case static_cast<int>(cloud::Size::kLarge):
+      return cloud::Size::kLarge;
+    case static_cast<int>(cloud::Size::kXLarge):
+      return cloud::Size::kXLarge;
+    case static_cast<int>(cloud::Size::k2XLarge):
+      return cloud::Size::k2XLarge;
+  }
+  throw std::runtime_error("celia-model: unknown size id " +
+                           std::to_string(id));
+}
+
+hw::Microarch microarch_from_id(int id) {
+  switch (id) {
+    case static_cast<int>(hw::Microarch::kHaswellE5_2666v3):
+      return hw::Microarch::kHaswellE5_2666v3;
+    case static_cast<int>(hw::Microarch::kHaswellE5_2676v3):
+      return hw::Microarch::kHaswellE5_2676v3;
+    case static_cast<int>(hw::Microarch::kSandyBridgeE5_2670):
+      return hw::Microarch::kSandyBridgeE5_2670;
+    case static_cast<int>(hw::Microarch::kBroadwellE5_2630v4):
+      return hw::Microarch::kBroadwellE5_2630v4;
+  }
+  throw std::runtime_error("celia-model: unknown microarch id " +
+                           std::to_string(id));
+}
+
 /// Read one line and verify it starts with `key`; returns the rest as a
 /// stream.
 std::istringstream expect_line(std::istream& in, const std::string& key) {
@@ -107,12 +153,147 @@ fit::FitResult read_fit(std::istream& in, const std::string& key) {
   return fit;
 }
 
+/// Read one line `key <value>` where the value is the whole rest of the
+/// line (may contain spaces; may be empty).
+std::string expect_text_line(std::istream& in, const std::string& key) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("celia-model: unexpected end of file, wanted '" +
+                             key + "'");
+  if (line == key) return "";
+  if (line.rfind(key + " ", 0) != 0)
+    throw std::runtime_error("celia-model: expected '" + key + "', found '" +
+                             line.substr(0, line.find(' ')) + "'");
+  return line.substr(key.size() + 1);
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+double tab_double(const std::string& field, const char* what) {
+  std::istringstream stream(field);
+  double value;
+  char extra;
+  if (!(stream >> value) || stream >> extra || !std::isfinite(value))
+    throw std::runtime_error("celia-model: catalog.type " + std::string(what) +
+                             " '" + field + "' is not a finite number");
+  return value;
+}
+
+int tab_int(const std::string& field, const char* what) {
+  std::istringstream stream(field);
+  int value;
+  char extra;
+  if (!(stream >> value) || stream >> extra)
+    throw std::runtime_error("celia-model: catalog.type " + std::string(what) +
+                             " '" + field + "' is not an integer");
+  return value;
+}
+
+/// The v2 catalog section: catalog.name / catalog.region / catalog.meta
+/// followed by one TAB-separated catalog.type line per instance type. The
+/// rebuilt catalog must reproduce the fingerprint stored in catalog.meta.
+std::shared_ptr<const cloud::Catalog> read_catalog(std::istream& in) {
+  std::string name = expect_text_line(in, "catalog.name");
+  std::string region = expect_text_line(in, "catalog.region");
+
+  std::size_t count = 0;
+  std::uint64_t stored_fingerprint = 0;
+  {
+    auto stream = expect_line(in, "catalog.meta");
+    if (!(stream >> count) || count == 0 || count > 64)
+      throw std::runtime_error("celia-model: bad catalog size");
+    if (!(stream >> stored_fingerprint))
+      throw std::runtime_error("celia-model: missing catalog fingerprint");
+  }
+
+  std::vector<cloud::InstanceType> types;
+  std::vector<int> limits;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string line;
+    if (!std::getline(in, line))
+      throw std::runtime_error(
+          "celia-model: unexpected end of file, wanted 'catalog.type'");
+    if (line.rfind("catalog.type\t", 0) != 0)
+      throw std::runtime_error("celia-model: expected 'catalog.type', found '" +
+                               line.substr(0, line.find_first_of(" \t")) +
+                               "'");
+    const std::vector<std::string> fields =
+        split_tabs(line.substr(std::string_view("catalog.type\t").size()));
+    if (fields.size() != 10)
+      throw std::runtime_error(
+          "celia-model: catalog.type needs 10 tab-separated fields, got " +
+          std::to_string(fields.size()));
+    cloud::InstanceType type;
+    type.name = fields[0];
+    type.category = category_from_id(tab_int(fields[1], "category"));
+    type.size = size_from_id(tab_int(fields[2], "size"));
+    type.vcpus = tab_int(fields[3], "vcpus");
+    type.frequency_ghz = tab_double(fields[4], "frequency_ghz");
+    type.memory_gb = tab_double(fields[5], "memory_gb");
+    type.storage = fields[6];
+    type.cost_per_hour = tab_double(fields[7], "cost_per_hour");
+    const int limit = tab_int(fields[8], "limit");
+    if (limit < 0 || limit > 1000)
+      throw std::runtime_error("celia-model: limit outside [0, 1000]");
+    type.microarch = microarch_from_id(tab_int(fields[9], "microarch"));
+    types.push_back(std::move(type));
+    limits.push_back(limit);
+  }
+
+  std::shared_ptr<const cloud::Catalog> catalog;
+  try {
+    catalog = std::make_shared<const cloud::Catalog>(
+        std::move(name), std::move(region), std::move(types),
+        std::move(limits));
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error("celia-model: invalid catalog: " +
+                             std::string(error.what()));
+  }
+  if (catalog->fingerprint() != stored_fingerprint)
+    throw std::runtime_error(
+        "celia-model: catalog fingerprint mismatch — the file's catalog "
+        "section does not reproduce the catalog it claims (corrupted or "
+        "hand-edited)");
+  return catalog;
+}
+
 }  // namespace
 
 void save_model(const Celia& celia, std::ostream& out) {
   out << "celia-model " << kModelFormatVersion << "\n";
   out << "app " << celia.app_name() << "\n";
   out << "workload " << static_cast<int>(celia.workload()) << "\n";
+
+  // v2: the catalog the model was characterized against, in full, plus
+  // its fingerprint so the loader can prove it rebuilt the same value.
+  // catalog.type fields are TAB-separated — names and storage descriptions
+  // may contain spaces.
+  const cloud::Catalog& catalog = celia.catalog();
+  out << "catalog.name " << catalog.name() << "\n";
+  out << "catalog.region " << catalog.region() << "\n";
+  out << "catalog.meta " << catalog.size() << " " << catalog.fingerprint()
+      << "\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const cloud::InstanceType& type = catalog.type(i);
+    out << "catalog.type\t" << type.name << '\t'
+        << static_cast<int>(type.category) << '\t'
+        << static_cast<int>(type.size) << '\t' << type.vcpus << '\t'
+        << type.frequency_ghz << '\t' << type.memory_gb << '\t'
+        << type.storage << '\t' << type.cost_per_hour << '\t'
+        << catalog.limit(i) << '\t' << static_cast<int>(type.microarch)
+        << "\n";
+  }
 
   out << "space " << celia.space().num_types();
   for (const int max : celia.space().max_counts()) out << " " << max;
@@ -142,10 +323,11 @@ std::string model_to_string(const Celia& celia) {
 }
 
 Celia load_model(std::istream& in) {
+  int version = 0;
   {
     auto header = expect_line(in, "celia-model");
-    int version = 0;
-    if (!(header >> version) || version != kModelFormatVersion)
+    if (!(header >> version) || version < kOldestSupportedModelVersion ||
+        version > kModelFormatVersion)
       throw std::runtime_error("celia-model: unsupported format version");
   }
 
@@ -164,6 +346,11 @@ Celia load_model(std::istream& in) {
       throw std::runtime_error("celia-model: missing workload class");
     workload = workload_from_id(id);
   }
+
+  // v1 files predate embedded catalogs; every v1 writer planned against
+  // the paper's Table III, so that is what they are restored with.
+  const std::shared_ptr<const cloud::Catalog> catalog =
+      version >= 2 ? read_catalog(in) : cloud::Catalog::ec2_table3_ptr();
 
   std::vector<int> max_counts;
   {
@@ -222,9 +409,18 @@ Celia load_model(std::istream& in) {
   fit::SeparableDemandModel demand = fit::SeparableDemandModel::from_parts(
       n_shape, a_shape, std::move(n_fit), std::move(a_fit), n0, a0, d00,
       grid_r2);
-  return Celia(app_name, workload, std::move(demand),
-               ResourceCapacity(std::move(per_vcpu)),
-               ConfigurationSpace(std::move(max_counts)));
+  // The model-assembly layer reports inconsistencies (width mismatches, a
+  // capacity characterized for a different catalog) as invalid_argument;
+  // from a FILE they are data corruption, so surface them as this loader's
+  // own error type.
+  try {
+    return Celia(app_name, workload, std::move(demand),
+                 ResourceCapacity(std::move(per_vcpu), *catalog),
+                 ConfigurationSpace(std::move(max_counts)), catalog);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error("celia-model: inconsistent model: " +
+                             std::string(error.what()));
+  }
 }
 
 Celia model_from_string(const std::string& text) {

@@ -5,7 +5,15 @@
 // campaign — profile runs on the local server plus timed runs on cloud
 // instances. Persisting the built model lets a user characterize once and
 // re-plan many times without re-measuring. The format is a line-oriented
-// text file ("celia-model 1") designed to be diff-able and hand-auditable.
+// text file ("celia-model 2") designed to be diff-able and hand-auditable.
+//
+// Version 2 embeds the catalog the model was characterized against —
+// instance types, per-type limits, prices, and the catalog fingerprint —
+// so a loaded model carries its own pricing context and the planner can
+// refuse (descriptively) to run it against a structurally different
+// catalog. Version 1 files (no catalog section) still load and are
+// assumed to target the paper's Table III catalog, which is what every
+// v1 writer planned against.
 
 #include <iosfwd>
 #include <string>
@@ -14,8 +22,10 @@
 
 namespace celia::core {
 
-/// Current serialization format version.
-inline constexpr int kModelFormatVersion = 1;
+/// Current serialization format version (written by save_model).
+inline constexpr int kModelFormatVersion = 2;
+/// Oldest version load_model still reads.
+inline constexpr int kOldestSupportedModelVersion = 1;
 
 /// Write `celia` to `out` in the celia-model text format.
 void save_model(const Celia& celia, std::ostream& out);

@@ -3,7 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "cloud/instance_type.hpp"
+#include "cloud/catalog.hpp"
 
 namespace celia::core {
 
@@ -17,18 +17,24 @@ double configuration_capacity(std::span<const int> config,
   return total;
 }
 
-double configuration_hourly_cost(std::span<const int> config) {
-  const auto catalog = cloud::ec2_catalog();
+double configuration_hourly_cost(std::span<const int> config,
+                                 const cloud::Catalog& catalog) {
   if (config.size() != catalog.size())
     throw std::invalid_argument("configuration_hourly_cost: width mismatch");
+  const std::span<const double> hourly = catalog.hourly_costs();
   double total = 0.0;
   for (std::size_t i = 0; i < config.size(); ++i)
-    total += config[i] * catalog[i].cost_per_hour;
+    total += config[i] * hourly[i];
   return total;
 }
 
+double configuration_hourly_cost(std::span<const int> config) {
+  return configuration_hourly_cost(config, cloud::Catalog::ec2_table3());
+}
+
 Prediction predict(double demand, std::span<const int> config,
-                   const ResourceCapacity& capacity) {
+                   const ResourceCapacity& capacity,
+                   const cloud::Catalog& catalog) {
   if (demand <= 0) throw std::invalid_argument("predict: non-positive demand");
   const double u = configuration_capacity(config, capacity);
   Prediction prediction;
@@ -39,8 +45,13 @@ Prediction predict(double demand, std::span<const int> config,
   }
   prediction.seconds = demand / u;
   prediction.cost = prediction.seconds / 3600.0 *
-                    configuration_hourly_cost(config);
+                    configuration_hourly_cost(config, catalog);
   return prediction;
+}
+
+Prediction predict(double demand, std::span<const int> config,
+                   const ResourceCapacity& capacity) {
+  return predict(demand, config, capacity, cloud::Catalog::ec2_table3());
 }
 
 }  // namespace celia::core

@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "cloud/catalog.hpp"
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
 
@@ -23,10 +24,20 @@ struct Prediction {
 double configuration_capacity(std::span<const int> config,
                               const ResourceCapacity& capacity);
 
-/// C_j,u: total cost per hour of a configuration ($/hour).
+/// C_j,u: total cost per hour of a configuration at `catalog` prices.
+double configuration_hourly_cost(std::span<const int> config,
+                                 const cloud::Catalog& catalog);
+
+/// Convenience overload pricing with the paper's Table III catalog.
 double configuration_hourly_cost(std::span<const int> config);
 
-/// Full prediction for `demand` instructions on `config`.
+/// Full prediction for `demand` instructions on `config`, priced with
+/// `catalog`.
+Prediction predict(double demand, std::span<const int> config,
+                   const ResourceCapacity& capacity,
+                   const cloud::Catalog& catalog);
+
+/// Convenience overload pricing with the paper's Table III catalog.
 Prediction predict(double demand, std::span<const int> config,
                    const ResourceCapacity& capacity);
 

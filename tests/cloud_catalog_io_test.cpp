@@ -1,0 +1,208 @@
+// Tests for catalog loading/saving (cloud/catalog_io.hpp): CSV and JSON
+// round-trips plus malformed-input fuzzing — a mangled price list must
+// throw a descriptive std::runtime_error, never crash or hand back a
+// half-parsed catalog.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cloud/catalog.hpp"
+#include "cloud/catalog_io.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+
+const std::string kSmallCsv =
+    "# name: tiny\n"
+    "# region: test-1\n"
+    "name,category,size,vcpus,frequency_ghz,memory_gb,storage,cost_per_hour,"
+    "limit\n"
+    "c4.large,compute,large,2,2.9,3.75,EBS,0.105,5\n"
+    "m4.xlarge,general,xlarge,4,2.4,16,EBS,0.266,3\n"
+    "r3.2xlarge,memory,2xlarge,8,2.5,61,160,0.664,2\n";
+
+const std::string kSmallJson = R"({
+  "name": "tiny",
+  "region": "test-1",
+  "types": [
+    {"name": "c4.large", "category": "compute", "size": "large",
+     "vcpus": 2, "frequency_ghz": 2.9, "memory_gb": 3.75,
+     "storage": "EBS", "cost_per_hour": 0.105, "limit": 5},
+    {"name": "m4.xlarge", "category": "general", "size": "xlarge",
+     "vcpus": 4, "frequency_ghz": 2.4, "memory_gb": 16,
+     "storage": "EBS", "cost_per_hour": 0.266, "limit": 3},
+    {"name": "r3.2xlarge", "category": "memory", "size": "2xlarge",
+     "vcpus": 8, "frequency_ghz": 2.5, "memory_gb": 61,
+     "storage": "160", "cost_per_hour": 0.664, "limit": 2}
+  ]
+})";
+
+TEST(CatalogIo, CsvLoadsTypesLimitsAndMetadata) {
+  const Catalog catalog = catalog_from_csv(kSmallCsv);
+  EXPECT_EQ(catalog.name(), "tiny");
+  EXPECT_EQ(catalog.region(), "test-1");
+  ASSERT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.type(0).name, "c4.large");
+  EXPECT_EQ(catalog.type(0).category, Category::kCompute);
+  EXPECT_EQ(catalog.type(0).size, Size::kLarge);
+  EXPECT_EQ(catalog.type(0).vcpus, 2);
+  EXPECT_DOUBLE_EQ(catalog.type(0).cost_per_hour, 0.105);
+  EXPECT_EQ(catalog.type(1).category, Category::kGeneralPurpose);
+  EXPECT_EQ(catalog.type(2).category, Category::kMemoryOptimized);
+  EXPECT_EQ(catalog.limits(), (std::vector<int>{5, 3, 2}));
+}
+
+TEST(CatalogIo, CsvLimitColumnIsOptional) {
+  const Catalog catalog = catalog_from_csv(
+      "name,category,size,vcpus,frequency_ghz,memory_gb,storage,"
+      "cost_per_hour\n"
+      "c4.large,c4,large,2,2.9,3.75,EBS,0.105\n");
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.limit(0), kDefaultInstanceLimit);
+  // Missing directives fall back to placeholder metadata.
+  EXPECT_EQ(catalog.name(), "unnamed");
+}
+
+TEST(CatalogIo, JsonLoadsTheSameCatalogAsCsv) {
+  const Catalog from_csv = catalog_from_csv(kSmallCsv);
+  const Catalog from_json = catalog_from_json(kSmallJson);
+  EXPECT_EQ(from_csv.fingerprint(), from_json.fingerprint());
+  EXPECT_EQ(from_csv.structure_fingerprint(),
+            from_json.structure_fingerprint());
+}
+
+TEST(CatalogIo, FormatSniffingPicksTheRightParser) {
+  EXPECT_EQ(catalog_from_string(kSmallCsv).fingerprint(),
+            catalog_from_string("\n  " + kSmallJson).fingerprint());
+}
+
+TEST(CatalogIo, CsvRoundTripPreservesTheFingerprint) {
+  const Catalog original = catalog_from_csv(kSmallCsv);
+  const Catalog reloaded = catalog_from_csv(catalog_to_csv(original));
+  EXPECT_EQ(reloaded.fingerprint(), original.fingerprint());
+  EXPECT_EQ(reloaded.name(), original.name());
+  EXPECT_EQ(reloaded.region(), original.region());
+}
+
+TEST(CatalogIo, TableThreeRoundTripsBitIdentically) {
+  // Table III's category->microarch mapping is exactly the loader's
+  // default, so writing and reloading the paper's catalog reproduces the
+  // full fingerprint (types, limits, prices, microarchs).
+  const Catalog& table3 = Catalog::ec2_table3();
+  const Catalog reloaded = catalog_from_csv(catalog_to_csv(table3));
+  EXPECT_EQ(reloaded.fingerprint(), table3.fingerprint());
+  EXPECT_EQ(reloaded.structure_fingerprint(),
+            table3.structure_fingerprint());
+  ASSERT_EQ(reloaded.size(), table3.size());
+  for (std::size_t i = 0; i < table3.size(); ++i) {
+    EXPECT_EQ(reloaded.type(i).microarch, table3.type(i).microarch) << i;
+    EXPECT_EQ(reloaded.type(i).cost_per_hour, table3.type(i).cost_per_hour)
+        << i;
+  }
+}
+
+TEST(CatalogIo, StreamAndStringEntryPointsAgree) {
+  std::istringstream csv(kSmallCsv), json(kSmallJson), sniffed(kSmallJson);
+  EXPECT_EQ(load_catalog_csv(csv).fingerprint(),
+            catalog_from_csv(kSmallCsv).fingerprint());
+  EXPECT_EQ(load_catalog_json(json).fingerprint(),
+            catalog_from_json(kSmallJson).fingerprint());
+  EXPECT_EQ(load_catalog(sniffed).fingerprint(),
+            catalog_from_json(kSmallJson).fingerprint());
+}
+
+TEST(CatalogIo, MissingFileThrows) {
+  EXPECT_THROW(load_catalog_file("/nonexistent/catalog.csv"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------- fuzz --
+
+TEST(CatalogIoFuzz, CsvRejectsStructuralDamage) {
+  // No header; wrong header; empty input.
+  EXPECT_THROW(catalog_from_csv(""), std::runtime_error);
+  EXPECT_THROW(catalog_from_csv("c4.large,compute,large,2,2.9,3.75,EBS,0.1\n"),
+               std::runtime_error);
+  EXPECT_THROW(catalog_from_csv("name,price\nc4.large,0.1\n"),
+               std::runtime_error);
+  // Header but no rows.
+  EXPECT_THROW(
+      catalog_from_csv("name,category,size,vcpus,frequency_ghz,memory_gb,"
+                       "storage,cost_per_hour\n"),
+      std::runtime_error);
+}
+
+TEST(CatalogIoFuzz, CsvRejectsFieldDamage) {
+  const auto row = [](const std::string& line) {
+    return "name,category,size,vcpus,frequency_ghz,memory_gb,storage,"
+           "cost_per_hour,limit\n" +
+           line + "\n";
+  };
+  // Wrong field count, unknown category/size, non-numeric and non-positive
+  // numerics, negative limit, duplicate names.
+  EXPECT_THROW(catalog_from_csv(row("c4.large,compute,large")),
+               std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,turbo,large,2,2.9,3.75,EBS,0.105,5")),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,compute,mega,2,2.9,3.75,EBS,0.105,5")),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,compute,large,x,2.9,3.75,EBS,0.105,5")),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,compute,large,2,-2.9,3.75,EBS,0.105,5")),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,compute,large,2,2.9,3.75,EBS,0,5")),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_csv(row("c4.large,compute,large,2,2.9,3.75,EBS,0.105,-1")),
+      std::runtime_error);
+  EXPECT_THROW(catalog_from_csv(
+                   row("c4.large,compute,large,2,2.9,3.75,EBS,0.105,5\n"
+                       "c4.large,compute,large,2,2.9,3.75,EBS,0.105,5")),
+               std::runtime_error);
+}
+
+TEST(CatalogIoFuzz, JsonRejectsMalformedDocuments) {
+  EXPECT_THROW(catalog_from_json(""), std::runtime_error);
+  EXPECT_THROW(catalog_from_json("{"), std::runtime_error);
+  EXPECT_THROW(catalog_from_json("{}"), std::runtime_error);  // no types
+  EXPECT_THROW(catalog_from_json(R"({"types": []})"), std::runtime_error);
+  EXPECT_THROW(catalog_from_json(R"({"bogus": 1, "types": []})"),
+               std::runtime_error);
+  EXPECT_THROW(catalog_from_json(kSmallJson + "trailing"),
+               std::runtime_error);
+  // Unterminated string; missing required key; unknown type key.
+  EXPECT_THROW(catalog_from_json(R"({"name": "oops)"), std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_json(
+          R"({"types": [{"name": "a", "category": "compute"}]})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      catalog_from_json(
+          R"({"types": [{"name": "a", "category": "compute",
+              "size": "large", "vcpus": 2, "frequency_ghz": 2.9,
+              "memory_gb": 4, "cost_per_hour": 0.1, "color": "red"}]})"),
+      std::runtime_error);
+}
+
+TEST(CatalogIoFuzz, EveryTruncationOfValidInputsIsHandled) {
+  // Truncations either load (a shorter CSV can still be complete rows) or
+  // throw std::runtime_error — never crash or throw anything else.
+  for (const std::string& text : {kSmallCsv, kSmallJson}) {
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      try {
+        (void)catalog_from_string(text.substr(0, len));
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+}
+
+}  // namespace

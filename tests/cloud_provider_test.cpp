@@ -42,7 +42,7 @@ TEST(Provider, ProvisionExpandsCounts) {
 TEST(Provider, EnforcesPerTypeLimit) {
   CloudProvider provider(1);
   std::vector<int> counts(9, 0);
-  counts[0] = kMaxInstancesPerType + 1;
+  counts[0] = provider.catalog().limit(0) + 1;
   EXPECT_THROW(provider.provision(counts), std::invalid_argument);
 }
 

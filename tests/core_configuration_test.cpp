@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "cloud/catalog.hpp"
 #include "core/configuration.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +43,41 @@ TEST(ConfigurationSpace, EncodeDecodeRoundTripSampled) {
   for (int k = 0; k < 10000; ++k) {
     const std::uint64_t index = rng.bounded(space.size());
     EXPECT_EQ(space.encode(space.decode(index)), index);
+  }
+}
+
+TEST(ConfigurationSpace, ForCatalogUsesPerTypeLimits) {
+  // A catalog with NON-uniform m_i,max: Eq. 1 still reads
+  // S = prod(m_i,max + 1) - 1.
+  const auto& table3 = celia::cloud::Catalog::ec2_table3();
+  const std::vector<int> limits = {3, 0, 7, 5, 1, 2, 5, 4, 6};
+  const celia::cloud::Catalog catalog(
+      "non-uniform", "test",
+      {table3.types().begin(), table3.types().end()}, limits);
+  const auto space = ConfigurationSpace::for_catalog(catalog);
+  ASSERT_EQ(space.num_types(), limits.size());
+  std::uint64_t expected = 1;
+  for (std::size_t i = 0; i < limits.size(); ++i) {
+    EXPECT_EQ(space.max_counts()[i], limits[i]);
+    expected *= static_cast<std::uint64_t>(limits[i]) + 1;
+  }
+  EXPECT_EQ(space.size(), expected - 1);
+  // The default space is exactly the Table III catalog's space.
+  const auto default_space =
+      ConfigurationSpace::for_catalog(celia::cloud::Catalog::ec2_table3());
+  EXPECT_EQ(default_space.size(), ConfigurationSpace::ec2_default().size());
+}
+
+TEST(ConfigurationSpace, NonUniformLimitsEncodeDecodeAreInverse) {
+  // Exhaustive over a mixed-radix space that includes a zero limit (type
+  // 1 can never be provisioned) — decode(encode(c)) == c and
+  // encode(decode(i)) == i across the whole space.
+  const ConfigurationSpace space({3, 0, 2, 5, 1});
+  EXPECT_EQ(space.size(), 4u * 1 * 3 * 6 * 2 - 1);
+  for (std::uint64_t index = 0; index < space.size(); ++index) {
+    const Configuration config = space.decode(index);
+    EXPECT_EQ(config[1], 0);
+    EXPECT_EQ(space.encode(config), index);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "apps/registry.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/region.hpp"
@@ -22,19 +25,49 @@ const Celia& galaxy_celia() {
   return instance;
 }
 
+/// The 2017-era relative price level of each built-in region, recovered
+/// from its catalog (type 0's price relative to Table III).
+double region_multiplier(const celia::cloud::Region& region) {
+  return region.catalog->type(0).cost_per_hour /
+         celia::cloud::Catalog::ec2_table3().type(0).cost_per_hour;
+}
+
 TEST(RegionCatalog, HomeRegionIsOregonAtParity) {
   const auto& home = region_catalog()[kHomeRegion];
   EXPECT_NE(std::string(home.name).find("us-west-2"), std::string::npos);
-  EXPECT_DOUBLE_EQ(home.price_multiplier, 1.0);
+  // The home region's catalog IS the paper's Table III catalog.
+  EXPECT_EQ(home.catalog->fingerprint(),
+            celia::cloud::Catalog::ec2_table3().fingerprint());
   EXPECT_DOUBLE_EQ(home.transfer_dollars_per_gb, 0.0);
 }
 
-TEST(RegionCatalog, RegionalPricingScales) {
-  const auto& type = celia::cloud::ec2_catalog()[0];
+TEST(RegionCatalog, RegionalCatalogsShareTableThreeStructure) {
+  const auto& table3 = celia::cloud::Catalog::ec2_table3();
   for (const auto& region : region_catalog()) {
-    EXPECT_DOUBLE_EQ(celia::cloud::regional_hourly_cost(type, region),
-                     type.cost_per_hour * region.price_multiplier);
+    ASSERT_NE(region.catalog, nullptr);
+    // Same types and limits (one measurement campaign serves them all)...
+    EXPECT_EQ(region.catalog->structure_fingerprint(),
+              table3.structure_fingerprint());
+    // ...with every per-type price scaled by the region's price level.
+    const double multiplier = region_multiplier(region);
+    for (std::size_t i = 0; i < table3.size(); ++i) {
+      EXPECT_DOUBLE_EQ(celia::cloud::regional_hourly_cost(region, i),
+                       region.catalog->type(i).cost_per_hour);
+      EXPECT_NEAR(region.catalog->type(i).cost_per_hour,
+                  table3.type(i).cost_per_hour * multiplier,
+                  1e-12 * table3.type(i).cost_per_hour);
+    }
   }
+}
+
+TEST(RegionCatalog, MakeRegionValidates) {
+  auto catalog = celia::cloud::Catalog::ec2_table3_ptr();
+  EXPECT_THROW(celia::cloud::make_region("x", nullptr, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(celia::cloud::make_region("x", catalog, -0.01, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(celia::cloud::make_region("x", catalog, 0.0, -1.0),
+               std::invalid_argument);
 }
 
 TEST(RegionPlanner, OnePlanPerRegion) {
@@ -56,20 +89,66 @@ TEST(RegionPlanner, HomeRegionHasNoStaging) {
   }
 }
 
-TEST(RegionPlanner, ComputeCostScalesWithMultiplier) {
-  // With negligible input data, compute costs differ exactly by the
-  // price multipliers (the selected configuration is the same).
+TEST(RegionPlanner, ComputeCostScalesWithUniformRegionalPricing) {
+  // The built-in regions reprice every type by one multiplier, so with
+  // negligible input data the regional sweeps land on the same
+  // configuration and the compute costs differ by that multiplier (up to
+  // rounding in the regional price table).
   const auto plans =
       plan_across_regions(galaxy_celia(), {65536, 4000}, 24.0, 0.0);
   ASSERT_TRUE(plans[kHomeRegion].feasible);
   const double home = plans[kHomeRegion].compute_cost;
   for (const auto& plan : plans) {
     if (!plan.feasible) continue;
-    EXPECT_NEAR(plan.compute_cost,
-                home * region_catalog()[plan.region_index].price_multiplier,
-                home * 1e-9);
+    const double multiplier =
+        region_multiplier(region_catalog()[plan.region_index]);
+    EXPECT_NEAR(plan.compute_cost, home * multiplier, home * 1e-9);
     EXPECT_EQ(plan.config_index, plans[kHomeRegion].config_index);
   }
+}
+
+TEST(RegionPlanner, PerTypeRegionalPricesShiftTheOptimum) {
+  // A region whose prices differ PER TYPE (not by a uniform multiplier)
+  // can have a different optimal configuration. The old planner scaled the
+  // home optimum's cost post hoc and would both miss the shift and
+  // misprice the plan; the regional sweep finds it.
+  const Celia& celia = galaxy_celia();
+  const auto& table3 = celia::cloud::Catalog::ec2_table3();
+
+  const auto home_plans =
+      plan_across_regions(celia, {65536, 4000}, 24.0, 0.0);
+  ASSERT_TRUE(home_plans[kHomeRegion].feasible);
+  const auto home_config =
+      celia.space().decode(home_plans[kHomeRegion].config_index);
+
+  // Reprice so every type the home optimum uses becomes 20x while all
+  // other types get 20% cheaper: the old optimum is now a terrible deal.
+  std::vector<double> skewed(table3.hourly_costs().begin(),
+                             table3.hourly_costs().end());
+  for (std::size_t i = 0; i < skewed.size(); ++i)
+    skewed[i] *= home_config[i] > 0 ? 20.0 : 0.8;
+  auto skewed_catalog =
+      std::make_shared<const celia::cloud::Catalog>(table3.repriced(
+          "ec2-table3@skewed", "skewed-1", std::move(skewed)));
+
+  const std::vector<celia::cloud::Region> regions = {
+      region_catalog()[kHomeRegion],
+      celia::cloud::make_region("skewed-1", skewed_catalog, 0.0, 600e6),
+  };
+  const auto plans =
+      plan_across_regions(celia, {65536, 4000}, 24.0, 0.0, regions);
+  ASSERT_TRUE(plans[0].feasible);
+  ASSERT_TRUE(plans[1].feasible);
+  // The regional sweep found a different configuration than home's...
+  EXPECT_NE(plans[1].config_index, plans[0].config_index);
+  // ...and prices it with the regional tariff: re-predicting the chosen
+  // configuration at the skewed prices reproduces the plan's cost, while
+  // the old post-hoc scaling (uniform multiplier on the home cost) cannot.
+  const auto chosen = celia.space().decode(plans[1].config_index);
+  const Prediction repriced = predict(celia.predict_demand({65536, 4000}),
+                                      chosen, celia.capacity(),
+                                      *skewed_catalog);
+  EXPECT_DOUBLE_EQ(plans[1].compute_cost, repriced.cost);
 }
 
 TEST(RegionPlanner, ZeroDataChoosesCheapestTariff) {

@@ -58,12 +58,102 @@ TEST(SerializeFuzz, MangledHeaderThrows) {
   EXPECT_THROW(model_from_string("garbage\n"), std::runtime_error);
   EXPECT_THROW(
       model_from_string(with_line(model_text(), "celia-model",
-                                  "celia-model 2")),
+                                  "celia-model 3")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_line(model_text(), "celia-model",
+                                  "celia-model 0")),
       std::runtime_error);
   EXPECT_THROW(
       model_from_string(with_line(model_text(), "celia-model",
                                   "celia-model x")),
       std::runtime_error);
+}
+
+TEST(SerializeFuzz, MangledCatalogMetaThrows) {
+  // Width zero / absurd; missing or non-numeric fingerprint.
+  EXPECT_THROW(model_from_string(with_line(model_text(), "catalog.meta",
+                                           "catalog.meta 0 1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "catalog.meta",
+                                           "catalog.meta 9999 1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_line(model_text(), "catalog.meta",
+                                           "catalog.meta 9")),
+               std::runtime_error);
+  // Claiming fewer types than the section holds desynchronizes the parser
+  // at the next catalog.type line.
+  EXPECT_THROW(model_from_string(with_line(model_text(), "catalog.meta",
+                                           "catalog.meta 2 1")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, CatalogFingerprintMismatchThrows) {
+  // Retail price tampering: the rebuilt catalog no longer reproduces the
+  // stored fingerprint, and the error says so.
+  std::string text = model_text();
+  const std::size_t pos = text.find("\t0.105\t");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "\t0.104\t");
+  try {
+    (void)model_from_string(text);
+    FAIL() << "load of a price-tampered model succeeded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SerializeFuzz, MangledCatalogTypeThrows) {
+  const std::string& full = model_text();
+  const std::size_t begin = full.find("catalog.type\t");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = full.find('\n', begin);
+  const auto with_type = [&](const std::string& line) {
+    return full.substr(0, begin) + line + full.substr(end);
+  };
+  // Too few fields; unknown category / size / microarch ids; non-numeric
+  // and non-finite numerics; negative price and limit.
+  EXPECT_THROW(model_from_string(with_type("catalog.type\tc4.large\t0\t0")),
+               std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t7\t0\t2\t2.9\t3.75\tEBS\t0.105\t5\t0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t9\t2\t2.9\t3.75\tEBS\t0.105\t5\t0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t0\t2\t2.9\t3.75\tEBS\t0.105\t5\t9")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t0\tx\t2.9\t3.75\tEBS\t0.105\t5\t0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t0\t2\tinf\t3.75\tEBS\t0.105\t5\t0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t0\t2\t2.9\t3.75\tEBS\t-0.105\t5\t0")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model_from_string(with_type(
+          "catalog.type\tc4.large\t0\t0\t2\t2.9\t3.75\tEBS\t0.105\t-1\t0")),
+      std::runtime_error);
+}
+
+TEST(SerializeFuzz, VersionOneBodyWithVersionTwoHeaderThrows) {
+  // A v2 header promises a catalog section; a v1 body has none.
+  std::string text = model_text();
+  std::size_t begin;
+  while ((begin = text.find("catalog.")) != std::string::npos)
+    text.erase(begin, text.find('\n', begin) + 1 - begin);
+  EXPECT_THROW(model_from_string(text), std::runtime_error);
 }
 
 TEST(SerializeFuzz, MangledWorkloadAndShapesThrow) {

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "apps/registry.hpp"
+#include "cloud/catalog.hpp"
 #include "cloud/provider.hpp"
+#include "core/enumerate.hpp"
+#include "core/query.hpp"
 #include "core/serialize.hpp"
 
 namespace {
@@ -65,13 +69,73 @@ TEST(Serialize, SecondRoundTripIsStable) {
 
 TEST(Serialize, FormatIsVersioned) {
   const std::string text = model_to_string(build_galaxy());
-  EXPECT_EQ(text.rfind("celia-model 1\n", 0), 0u);
+  EXPECT_EQ(text.rfind("celia-model 2\n", 0), 0u);
 }
 
 TEST(Serialize, RejectsWrongVersion) {
   std::string text = model_to_string(build_galaxy());
-  text.replace(text.find("celia-model 1"), 13, "celia-model 9");
+  text.replace(text.find("celia-model 2"), 13, "celia-model 9");
   EXPECT_THROW(model_from_string(text), std::runtime_error);
+}
+
+TEST(Serialize, RoundTripPreservesTheCatalog) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(model_to_string(original));
+  EXPECT_EQ(loaded.catalog().fingerprint(),
+            original.catalog().fingerprint());
+  EXPECT_EQ(loaded.catalog().name(), original.catalog().name());
+  ASSERT_EQ(loaded.catalog().size(), original.catalog().size());
+  for (std::size_t i = 0; i < loaded.catalog().size(); ++i) {
+    EXPECT_EQ(loaded.catalog().type(i).name, original.catalog().type(i).name);
+    EXPECT_EQ(loaded.catalog().limit(i), original.catalog().limit(i));
+  }
+}
+
+/// Strip the v2 catalog section and rewind the header: byte-for-byte what
+/// a v1 writer produced.
+std::string as_v1(std::string text) {
+  text.replace(text.find("celia-model 2"), 13, "celia-model 1");
+  while (true) {
+    const std::size_t begin = text.find("catalog.");
+    if (begin == std::string::npos) break;
+    text.erase(begin, text.find('\n', begin) + 1 - begin);
+  }
+  return text;
+}
+
+TEST(Serialize, VersionOneFilesStillLoad) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(as_v1(model_to_string(original)));
+  // A v1 file carries no catalog, so it is restored against Table III —
+  // which is also what its writer planned against.
+  EXPECT_EQ(loaded.catalog().fingerprint(),
+            celia::cloud::Catalog::ec2_table3().fingerprint());
+  EXPECT_DOUBLE_EQ(loaded.predict_demand({65536, 8000}),
+                   original.predict_demand({65536, 8000}));
+  const auto a = original.min_cost_configuration({65536, 8000}, 24.0);
+  const auto b = loaded.min_cost_configuration({65536, 8000}, 24.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->config_index, b->config_index);
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+}
+
+TEST(Serialize, EmbeddedCatalogPinsPlanning) {
+  // A model saved against a repriced catalog restores with that catalog
+  // and refuses to plan against a structurally different one.
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(model_to_string(original));
+  const celia::cloud::Catalog trimmed(
+      "trimmed", "nowhere",
+      {loaded.catalog().types().begin(), loaded.catalog().types().end() - 1});
+  try {
+    (void)sweep(loaded.space(), loaded.capacity(), trimmed,
+                Query::make(1e15, {.deadline_seconds = 24 * 3600.0}, {}));
+    FAIL() << "sweep against a mismatched catalog succeeded";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("structurally different"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(Serialize, RejectsGarbage) {

@@ -89,7 +89,7 @@ TEST_P(ClusterExecProperties, MoreNodesNeverSlower) {
   // Same fleet plus one extra c4.2xlarge must not increase the makespan
   // (same seed => the original instances draw identical factors).
   std::vector<int> bigger = param.config;
-  if (bigger[2] < kMaxInstancesPerType) ++bigger[2];
+  if (bigger[2] < celia::cloud::kDefaultInstanceLimit) ++bigger[2];
   else return;  // nothing to grow
 
   CloudProvider provider_a(param.seed), provider_b(param.seed);
