@@ -1,0 +1,130 @@
+// Extension E6: control-plane resilience — provision-and-plan latency as
+// the provider API degrades. The same fleet request and re-plan run at
+// 0% / 5% / 20% control-plane fault rates (throttling + transient 5xx);
+// the table reports the API traffic, the simulated completion clock and
+// the real wall time per round. A final check drives the provider into a
+// permanent brownout and verifies the circuit breaker bounds worst-case
+// API calls at its failure threshold — without the breaker every one of
+// the fleet's retry attempts would hit the dead endpoint.
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "cloud/api_faults.hpp"
+#include "cloud/catalog.hpp"
+#include "cloud/provider.hpp"
+#include "core/capacity.hpp"
+#include "core/planner_engine.hpp"
+#include "core/query.hpp"
+#include "util/format.hpp"
+#include "util/resilience.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+  using cloud::Catalog;
+  using util::CircuitBreaker;
+
+  // The PlannerEngine tests' small fixture: 6 Table III types, limit 3.
+  const auto& table3 = Catalog::ec2_table3();
+  const auto catalog = std::make_shared<const Catalog>(
+      "bench", "us-west-2",
+      std::vector<cloud::InstanceType>{table3.types().begin(),
+                                       table3.types().begin() + 6},
+      std::vector<int>{3, 3, 3, 3, 3, 3});
+  std::vector<double> per_vcpu(catalog->size());
+  for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+    per_vcpu[i] = 1.1e9 + 3.7e7 * static_cast<double>(i);
+  const core::ResourceCapacity capacity(std::move(per_vcpu), *catalog);
+
+  core::Query query = [] {
+    core::Constraints constraints;
+    constraints.deadline_seconds = 1800.0;
+    core::SweepOptions options;
+    options.collect_pareto = false;
+    return core::Query::make(1e13, constraints, options);
+  }();
+
+  core::PlannerEngine engine;
+  engine.add_catalog("bench", catalog);
+  // Warm the index cache so every round's plan() is the steady-state
+  // microsecond path and the wall column tracks the control plane.
+  (void)engine.plan("bench", capacity, query);
+
+  std::vector<int> fleet(catalog->size(), 0);
+  fleet[0] = 3;
+  fleet[2] = 2;
+  fleet[4] = 2;
+
+  std::cout << "=== Extension E6: provision-and-plan under control-plane "
+               "faults ===\n"
+            << "fleet: 7 instances across 3 types, plus one planner query "
+               "per round\n\n";
+
+  util::TablePrinter table({"fault rate", "api calls", "throttled",
+                            "transient", "sim finish (s)", "complete",
+                            "wall (us)"});
+  for (std::size_t c : {1u, 2u, 3u, 4u, 6u}) table.set_right_aligned(c);
+
+  for (const double rate : {0.0, 0.05, 0.20}) {
+    cloud::ResilientProvisionOptions options;
+    options.api_faults.seed = 7;
+    options.api_faults.throttle_probability = rate;
+    options.api_faults.transient_error_probability = rate / 2.0;
+
+    cloud::CloudProvider provider(2017, catalog);
+    const auto start = std::chrono::steady_clock::now();
+    const cloud::ProvisionOutcome outcome =
+        provider.provision_resilient(fleet, options);
+    const core::SweepResult plan =
+        engine.plan("bench", capacity, query);
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    (void)plan;
+
+    table.add_row({util::format_percent(rate, 0),
+                   std::to_string(outcome.api.calls),
+                   std::to_string(outcome.api.throttled),
+                   std::to_string(outcome.api.transient_errors),
+                   util::format_fixed(outcome.finished_at, 2),
+                   outcome.complete ? "yes" : "no",
+                   std::to_string(wall)});
+  }
+  table.print(std::cout);
+
+  // --- breaker bound ----------------------------------------------------
+  // Permanent brownout: without a breaker, every instance would burn all
+  // its retry attempts against the dead endpoint (7 * 6 = 42 calls). The
+  // breaker must cap actual API calls at its failure threshold.
+  cloud::ResilientProvisionOptions dead;
+  dead.api_faults.brownouts.push_back({0.0, 1e18});
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 3;
+  policy.open_seconds = 1e18;
+  CircuitBreaker breaker(policy);
+  dead.breaker = &breaker;
+
+  cloud::CloudProvider dead_provider(2017, catalog);
+  const cloud::ProvisionOutcome blackout =
+      dead_provider.provision_resilient(fleet, dead);
+  const std::uint64_t naive_worst =
+      static_cast<std::uint64_t>(7) * dead.backoff.max_attempts;
+  std::cout << "\nbrownout worst case: " << blackout.api.calls
+            << " API calls with the breaker (threshold "
+            << policy.failure_threshold << "), " << naive_worst
+            << " without; " << blackout.api.breaker_rejections
+            << " attempts vetoed locally\n";
+  if (blackout.api.calls >
+      static_cast<std::uint64_t>(policy.failure_threshold)) {
+    std::cerr << "FAIL: breaker did not bound worst-case API calls\n";
+    return 1;
+  }
+  if (blackout.complete) {
+    std::cerr << "FAIL: a permanent brownout cannot complete\n";
+    return 1;
+  }
+  return 0;
+}

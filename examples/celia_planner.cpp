@@ -7,6 +7,7 @@
 //       --deadline=24 --budget=350 [--mode=per-category] [--seed=2017]
 //       [--catalog=prices.csv] [--save-model=m.celia | --load-model=m.celia]
 //       [--epsilon-hours=1 --epsilon-dollars=5] [--top=10] [--verbose]
+//       [--api-faults=seed=7,throttle=0.2,transient=0.1]
 
 #include <cstdlib>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include <memory>
 
 #include "apps/registry.hpp"
+#include "cloud/api_faults.hpp"
 #include "cloud/catalog_io.hpp"
 #include "cloud/provider.hpp"
 #include "core/celia.hpp"
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
   cli.add_option("save-model", "write the built model to this file", "");
   cli.add_option("load-model",
                  "skip measurement and load a model saved earlier", "");
+  cli.add_option("api-faults",
+                 "provision the recommended configuration against a faulty "
+                 "control plane, e.g. seed=7,throttle=0.2,transient=0.1", "");
   cli.add_flag("index",
                "answer the query from a precomputed frontier index instead "
                "of a full sweep");
@@ -237,6 +242,63 @@ int main(int argc, char** argv) {
               << core::to_string(celia.space().decode(pick.config_index))
               << "  " << util::format_duration(pick.seconds) << "  "
               << util::format_money(pick.cost) << "\n";
+  }
+  // Degraded-mode demo: replay provisioning of the min-cost pick against
+  // a seeded control-plane fault schedule and report what was actually
+  // obtained (see DESIGN.md §8, "Control plane vs data plane").
+  if (const std::string spec = cli.get("api-faults"); !spec.empty()) {
+    cloud::ResilientProvisionOptions options;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+      std::size_t end = spec.find(',', start);
+      if (end == std::string::npos) end = spec.size();
+      const std::string field = spec.substr(start, end - start);
+      start = end + 1;
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "bad --api-faults field '" << field
+                  << "' (expected key=value)\n";
+        return 1;
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "seed")
+        options.api_faults.seed = std::strtoull(value.c_str(), nullptr, 10);
+      else if (key == "throttle")
+        options.api_faults.throttle_probability = std::atof(value.c_str());
+      else if (key == "transient")
+        options.api_faults.transient_error_probability =
+            std::atof(value.c_str());
+      else {
+        std::cerr << "unknown --api-faults key '" << key
+                  << "' (seed, throttle, transient)\n";
+        return 1;
+      }
+    }
+    try {
+      cloud::validate(options.api_faults, catalog.get());
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+    const std::vector<int> counts =
+        celia.space().decode(result.min_cost.config_index);
+    const cloud::ProvisionOutcome outcome =
+        provider.provision_resilient(counts, options);
+    std::cout << "\n--- control-plane replay (min-cost pick) ---\n"
+              << "api calls    : " << outcome.api.calls << " ("
+              << outcome.api.throttled << " throttled, "
+              << outcome.api.transient_errors << " transient)\n"
+              << "backoff      : "
+              << util::format_fixed(outcome.api.backoff_seconds, 1)
+              << " s simulated\n"
+              << "fleet ready  : " << (outcome.complete ? "complete" :
+                                       "INCOMPLETE") << " at t+"
+              << util::format_fixed(outcome.finished_at, 1) << " s\n";
+    for (const cloud::ApiError& error : outcome.errors)
+      std::cout << "  [" << util::format_fixed(error.at_seconds, 1) << " s] "
+                << cloud::api_error_name(error.kind) << ": "
+                << error.message << "\n";
   }
   if (cli.has("metrics")) {
     std::cout << "\n--- obs metrics ---\n";

@@ -1,0 +1,121 @@
+#include "cloud/api_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "cloud/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace celia::cloud {
+
+namespace {
+
+/// Independent deterministic stream per (seed, request ordinal, channel) —
+/// the control-plane twin of faults.cpp's fault_stream. Channels keep the
+/// throttle and transient draws uncorrelated, so raising one probability
+/// never perturbs the other fault timeline.
+util::Xoshiro256 api_stream(std::uint64_t seed, std::uint64_t request,
+                            std::uint64_t channel) {
+  util::Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL +
+                       request * 0xbf58476d1ce4e5b9ULL + channel);
+  rng.next();
+  rng.next();
+  return rng;
+}
+
+constexpr std::uint64_t kThrottleChannel = 0x11;
+constexpr std::uint64_t kTransientChannel = 0x12;
+
+bool window_valid(double start, double end) {
+  return std::isfinite(start) && std::isfinite(end) && start >= 0 &&
+         end > start;
+}
+
+}  // namespace
+
+std::string_view api_error_name(ApiErrorKind kind) {
+  switch (kind) {
+    case ApiErrorKind::kRequestLimitExceeded:
+      return "RequestLimitExceeded";
+    case ApiErrorKind::kInsufficientCapacity:
+      return "InsufficientCapacity";
+    case ApiErrorKind::kServiceUnavailable:
+      return "ServiceUnavailable";
+    case ApiErrorKind::kRegionalBrownout:
+      return "RegionalBrownout";
+  }
+  return "UnknownApiError";
+}
+
+bool api_error_retryable(ApiErrorKind kind) {
+  return kind != ApiErrorKind::kInsufficientCapacity;
+}
+
+void validate(const ApiFaultModel& model, const Catalog* catalog) {
+  const auto probability_ok = [](double p) {
+    return std::isfinite(p) && p >= 0 && p <= 1;
+  };
+  if (!probability_ok(model.throttle_probability) ||
+      !probability_ok(model.transient_error_probability))
+    throw std::invalid_argument("ApiFaultModel: probability outside [0, 1]");
+  for (const CapacityWindow& window : model.capacity_windows) {
+    if (!window_valid(window.start_seconds, window.end_seconds))
+      throw std::invalid_argument(
+          "ApiFaultModel: capacity window must satisfy 0 <= start < end");
+    if (window.effective_limit < 0)
+      throw std::invalid_argument(
+          "ApiFaultModel: capacity window effective_limit must be >= 0");
+    if (catalog) {
+      if (window.type_index >= catalog->size())
+        throw std::invalid_argument(
+            "ApiFaultModel: capacity window type_index out of range for "
+            "catalog " +
+            catalog->name());
+      if (window.effective_limit > catalog->limit(window.type_index))
+        throw std::invalid_argument(
+            "ApiFaultModel: capacity window effective_limit exceeds catalog "
+            "limit for " +
+            catalog->type(window.type_index).name);
+    }
+  }
+  for (const BrownoutWindow& window : model.brownouts) {
+    if (!window_valid(window.start_seconds, window.end_seconds))
+      throw std::invalid_argument(
+          "ApiFaultModel: brownout window must satisfy 0 <= start < end");
+  }
+}
+
+bool api_throttled(const ApiFaultModel& model, std::uint64_t request) {
+  if (model.throttle_probability <= 0) return false;
+  auto rng = api_stream(model.seed, request, kThrottleChannel);
+  return rng.next_double() < model.throttle_probability;
+}
+
+bool api_transient_error(const ApiFaultModel& model, std::uint64_t request) {
+  if (model.transient_error_probability <= 0) return false;
+  auto rng = api_stream(model.seed, request, kTransientChannel);
+  return rng.next_double() < model.transient_error_probability;
+}
+
+int effective_limit(const ApiFaultModel& model, std::size_t type_index,
+                    double now, int catalog_limit) {
+  int limit = catalog_limit;
+  for (const CapacityWindow& window : model.capacity_windows) {
+    if (window.type_index == type_index && now >= window.start_seconds &&
+        now < window.end_seconds)
+      limit = std::min(limit, window.effective_limit);
+  }
+  return limit;
+}
+
+bool in_brownout(const ApiFaultModel& model, double now) {
+  return std::any_of(model.brownouts.begin(), model.brownouts.end(),
+                     [now](const BrownoutWindow& window) {
+                       return now >= window.start_seconds &&
+                              now < window.end_seconds;
+                     });
+}
+
+}  // namespace celia::cloud

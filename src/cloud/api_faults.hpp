@@ -1,0 +1,120 @@
+#pragma once
+// Seeded, deterministic PROVIDER-API fault injection — the control-plane
+// sibling of cloud/faults.hpp (which breaks the data plane: node crashes,
+// boot failures, gray instances).
+//
+// Real IaaS control planes reject, throttle and partially fulfill
+// requests: RunInstances answers RequestLimitExceeded under per-account
+// throttling, InsufficientInstanceCapacity when a type's pool drains in a
+// zone, 5xx-style transient errors, and whole-region brownouts during
+// incidents. ExpoCloud (PAPERS.md) treats instance-creation failure as a
+// first-class event a framework must survive; this layer lets the
+// simulator inject exactly those events, reproducibly:
+//
+//   * throttling — each API call is rejected with RequestLimitExceeded
+//     with probability `throttle_probability`;
+//   * transient errors — each call fails with a retryable
+//     ServiceUnavailable with probability `transient_error_probability`;
+//   * capacity windows — inside [start, end) a type's effective limit
+//     drops below the catalog limit: requests beyond it are rejected with
+//     InsufficientCapacity (retrying does not help until the window ends;
+//     the orchestrator re-plans against a shrunken catalog instead);
+//   * brownouts — inside [start, end) EVERY call fails with
+//     RegionalBrownout (what trips circuit breakers).
+//
+// Every stochastic draw is a pure function of (model seed, API request
+// ordinal): a fault timeline replays bit-identically from its seed, and a
+// model with zero probabilities and no windows is inert() — the provider
+// then takes its exact legacy code path.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace celia::cloud {
+
+class Catalog;
+
+/// What the provider API answered instead of fulfilling a call. Kinds map
+/// to the EC2-style errors named above; retryability is a property of the
+/// KIND (see api_error_retryable and the DESIGN.md table).
+enum class ApiErrorKind {
+  kRequestLimitExceeded,  // throttled: back off and retry
+  kInsufficientCapacity,  // type exhausted: re-plan, retrying is futile
+  kServiceUnavailable,    // transient 5xx: retry (counts against breaker)
+  kRegionalBrownout,      // region down: breaker opens, retry after cooldown
+};
+
+std::string_view api_error_name(ApiErrorKind kind);
+
+/// Whether retrying the SAME request can ever succeed while conditions
+/// persist. InsufficientCapacity is the one "no": the capacity window must
+/// pass, or the caller must ask for a different (shrunken) configuration.
+bool api_error_retryable(ApiErrorKind kind);
+
+/// One typed control-plane rejection, surfaced through ProvisionOutcome
+/// instead of silent success or an untyped throw.
+struct ApiError {
+  ApiErrorKind kind = ApiErrorKind::kServiceUnavailable;
+  std::string message;
+  /// Simulated time of the rejected call.
+  double at_seconds = 0.0;
+};
+
+/// Inside [start_seconds, end_seconds) the provider hands out at most
+/// `effective_limit` instances of `type_index` per request burst — a
+/// drained pool, not a quota change (the catalog is untouched).
+struct CapacityWindow {
+  std::size_t type_index = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  int effective_limit = 0;
+};
+
+/// Inside [start_seconds, end_seconds) every control-plane call fails.
+struct BrownoutWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+struct ApiFaultModel {
+  /// Control-plane draw seed — deliberately separate from the provider's
+  /// data-plane seed so adding API faults never perturbs boot/crash/gray
+  /// schedules.
+  std::uint64_t seed = 0;
+  /// Per-call probability of RequestLimitExceeded.
+  double throttle_probability = 0.0;
+  /// Per-call probability of a transient ServiceUnavailable.
+  double transient_error_probability = 0.0;
+  std::vector<CapacityWindow> capacity_windows;
+  std::vector<BrownoutWindow> brownouts;
+
+  /// True when the model can reject nothing: the provider takes its exact
+  /// legacy path (bit-identical provisioning).
+  bool inert() const {
+    return throttle_probability == 0.0 && transient_error_probability == 0.0 &&
+           capacity_windows.empty() && brownouts.empty();
+  }
+};
+
+/// Throws std::invalid_argument on out-of-range probabilities, inverted
+/// or negative windows, or (when `catalog` is given) a capacity window
+/// whose type_index is out of range or whose effective_limit exceeds the
+/// catalog limit.
+void validate(const ApiFaultModel& model, const Catalog* catalog = nullptr);
+
+/// Whether API request number `request` (a provider-wide ordinal) is
+/// throttled / transiently failed. Pure functions of (model, request).
+bool api_throttled(const ApiFaultModel& model, std::uint64_t request);
+bool api_transient_error(const ApiFaultModel& model, std::uint64_t request);
+
+/// Effective per-burst limit of `type_index` at time `now`: the minimum
+/// over all covering capacity windows, `catalog_limit` when none cover.
+int effective_limit(const ApiFaultModel& model, std::size_t type_index,
+                    double now, int catalog_limit);
+
+/// Whether `now` falls inside any brownout window.
+bool in_brownout(const ApiFaultModel& model, double now);
+
+}  // namespace celia::cloud

@@ -184,4 +184,12 @@ Catalog Catalog::with_price_multiplier(std::string name, std::string region,
   return repriced(std::move(name), std::move(region), std::move(hourly));
 }
 
+Catalog Catalog::with_limits(std::string name, std::string region,
+                             std::vector<int> limits) const {
+  if (limits.size() != types_.size())
+    throw std::invalid_argument("Catalog::with_limits: need one limit per type");
+  return Catalog(std::move(name), std::move(region), types_,
+                 std::move(limits));
+}
+
 }  // namespace celia::cloud

@@ -96,6 +96,14 @@ class Catalog {
   Catalog with_price_multiplier(std::string name, std::string region,
                                 double multiplier) const;
 
+  /// Same types and prices, new per-type limits — how the provisioning
+  /// orchestrator derives the SHRUNKEN catalog it re-plans against when a
+  /// type hits InsufficientCapacity. Limits cover the structure, so the
+  /// structure_fingerprint changes and stale index caches can never serve
+  /// the shrunken space. `limits` needs one non-negative entry per type.
+  Catalog with_limits(std::string name, std::string region,
+                      std::vector<int> limits) const;
+
  private:
   std::string name_;
   std::string region_;

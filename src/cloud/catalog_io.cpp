@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -42,6 +43,26 @@ int parse_int(std::string_view field, const std::string& where) {
   if (ec != std::errc() || ptr != field.data() + field.size())
     fail(where + ": '" + std::string(field) + "' is not an integer");
   return value;
+}
+
+/// Row-level sanity of one parsed instance type. The Catalog constructor
+/// re-checks all of this, but only after the whole file parsed — by then
+/// the row context is gone. Rejecting here keeps the line number (CSV) or
+/// type name (JSON) in the error, and catches values from_chars happily
+/// parses ("nan", "inf", negatives) before they reach the model.
+void check_row(const InstanceType& type, int limit, const std::string& where) {
+  if (type.vcpus < 1)
+    fail(where + ": vcpus must be >= 1, got " + std::to_string(type.vcpus));
+  if (std::isnan(type.cost_per_hour))
+    fail(where + ": cost_per_hour is NaN");
+  if (!std::isfinite(type.cost_per_hour) || type.cost_per_hour <= 0)
+    fail(where + ": cost_per_hour must be positive and finite");
+  if (!std::isfinite(type.frequency_ghz) || type.frequency_ghz <= 0)
+    fail(where + ": frequency_ghz must be positive and finite");
+  if (!std::isfinite(type.memory_gb) || type.memory_gb <= 0)
+    fail(where + ": memory_gb must be positive and finite");
+  if (limit < 0)
+    fail(where + ": limit must be non-negative, got " + std::to_string(limit));
 }
 
 /// Table III's host CPUs by category — the default when the input omits
@@ -142,10 +163,12 @@ Catalog load_catalog_csv(std::istream& in) {
     type.storage = std::string(fields[6]);
     type.cost_per_hour = parse_double(fields[7], where + " cost_per_hour");
     type.microarch = microarch_for(type.category);
+    const int limit = fields.size() == 9
+                          ? parse_int(fields[8], where + " limit")
+                          : kDefaultInstanceLimit;
+    check_row(type, limit, where);
     types.push_back(std::move(type));
-    limits.push_back(fields.size() == 9
-                         ? parse_int(fields[8], where + " limit")
-                         : kDefaultInstanceLimit);
+    limits.push_back(limit);
   }
   if (!seen_header) fail("missing CSV header row");
   return make_catalog(std::move(name), std::move(region), std::move(types),
@@ -329,6 +352,7 @@ class JsonParser {
         !has_frequency || !has_memory || !has_cost)
       fail("type object is missing a required key (need name, category, "
            "size, vcpus, frequency_ghz, memory_gb, cost_per_hour)");
+    check_row(type, limit, "json type '" + type.name + "'");
     type.microarch = microarch_for(type.category);
     types.push_back(std::move(type));
     limits.push_back(limit);

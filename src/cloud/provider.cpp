@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace celia::cloud {
 
@@ -13,12 +15,15 @@ namespace {
 /// One node's boot chain: retry failed attempts with backoff until an
 /// attempt succeeds or the budget is exhausted. Each attempt consumes a
 /// fresh instance id (a replacement VM), so the fault draws of later
-/// attempts are independent of earlier ones.
+/// attempts are independent of earlier ones. `jitter_stream` overrides the
+/// legacy per-id jitter seed (provision_replacement's independent stream);
+/// nullopt keeps the historical derivation bit-identical.
 Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
                   const Catalog& catalog, std::size_t type_index,
                   const FaultModel& faults,
                   const util::BackoffPolicy& backoff, double& ready_at,
-                  ProvisioningReport& report) {
+                  ProvisioningReport& report,
+                  std::optional<std::uint64_t> jitter_stream = std::nullopt) {
   static obs::Counter& retry_count =
       obs::counter("celia_provision_retries_total",
                    "Instance boot attempts retried after a failure");
@@ -32,9 +37,11 @@ Instance boot_one(std::uint64_t provider_seed, std::uint64_t& next_id,
     if (attempt > 0) {
       ++report.retries;
       retry_count.add(1);
-      const double delay =
-          util::backoff_delay(backoff, attempt, provider_seed ^ next_id);
+      const double delay = util::backoff_delay(
+          backoff, attempt,
+          jitter_stream ? *jitter_stream : (provider_seed ^ next_id));
       backoff_seconds.record(delay);
+      report.retry_delays.push_back(delay);
       clock += delay;
     }
     const std::uint64_t id = next_id++;
@@ -133,6 +140,17 @@ ProvisionResult CloudProvider::provision_with_faults(
   return result;
 }
 
+std::uint64_t CloudProvider::replacement_jitter_seed(
+    std::uint64_t provider_seed, std::uint64_t sequence) {
+  // SplitMix64 over (seed, sequence): adjacent replacement calls land in
+  // unrelated jitter streams, unlike the legacy provider_seed ^ next_id
+  // derivation whose consecutive ids differ only in low bits — a burst of
+  // replacements after one correlated outage would retry nearly in phase.
+  util::SplitMix64 mix(provider_seed ^
+                       (sequence + 1) * 0xbf58476d1ce4e5b9ULL);
+  return mix.next();
+}
+
 ProvisionResult CloudProvider::provision_replacement(
     std::size_t type_index, const FaultModel& faults,
     const util::BackoffPolicy& backoff) {
@@ -142,13 +160,223 @@ ProvisionResult CloudProvider::provision_replacement(
   ProvisionResult result;
   result.report.requested = 1;
   double ready_at = 0.0;
+  const std::uint64_t jitter =
+      replacement_jitter_seed(seed_, replacement_sequence_++);
   result.instances.push_back(boot_one(seed_, next_instance_id_, *catalog_,
                                       type_index, faults, backoff, ready_at,
-                                      result.report));
+                                      result.report, jitter));
   result.ready_seconds.push_back(ready_at);
   result.report.ready_seconds = ready_at;
   result.report.provisioned = 1;
   return result;
+}
+
+ProvisionOutcome CloudProvider::provision_resilient(
+    const std::vector<int>& node_counts,
+    const ResilientProvisionOptions& options) {
+  return provision_resilient_on(*catalog_, node_counts, options);
+}
+
+ProvisionOutcome CloudProvider::provision_resilient_on(
+    const Catalog& catalog, const std::vector<int>& node_counts,
+    const ResilientProvisionOptions& options) {
+  validate_counts(catalog, node_counts);
+  validate(options.faults);
+  validate(options.api_faults, &catalog);
+  util::validate(options.backoff);
+
+  static obs::Counter& api_calls = obs::counter(
+      "celia_provider_api_calls_total", "Provider control-plane API calls");
+  static obs::Counter& api_throttled_count =
+      obs::counter("celia_provider_api_throttled_total",
+                   "API calls rejected with RequestLimitExceeded");
+  static obs::Counter& api_transient_count =
+      obs::counter("celia_provider_api_transient_errors_total",
+                   "API calls failed with a transient ServiceUnavailable");
+  static obs::Counter& api_capacity_count =
+      obs::counter("celia_provider_api_capacity_rejections_total",
+                   "API calls rejected with InsufficientCapacity");
+  static obs::Counter& api_brownout_count =
+      obs::counter("celia_provider_api_brownout_rejections_total",
+                   "API calls failed inside a regional brownout");
+  static obs::Counter& breaker_rejected_count =
+      obs::counter("celia_provider_breaker_rejections_total",
+                   "API calls vetoed locally by an open circuit breaker");
+
+  ProvisionOutcome outcome;
+  outcome.acquired.assign(catalog.size(), 0);
+  outcome.shortfall.assign(catalog.size(), 0);
+  outcome.observed_limits.assign(catalog.limits().begin(),
+                                 catalog.limits().end());
+  double clock = options.start_seconds;
+
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    bool type_exhausted = false;  // InsufficientCapacity: stop asking
+    for (int k = 0; k < node_counts[i]; ++k) {
+      ++outcome.report.requested;
+      if (type_exhausted || outcome.deadline_exhausted) {
+        ++outcome.shortfall[i];
+        continue;
+      }
+      bool admitted = false;
+      for (int attempt = 0; attempt < options.backoff.max_attempts;
+           ++attempt) {
+        if (attempt > 0) {
+          // Control-plane backoff draws from the API seed + call ordinal —
+          // a stream disjoint from every data-plane jitter stream.
+          const double delay = util::backoff_delay(
+              options.backoff, attempt,
+              options.api_faults.seed ^
+                  (api_requests_ * 0xbf58476d1ce4e5b9ULL));
+          const auto clamped = options.deadline.clamp_delay(clock, delay);
+          if (!clamped) {
+            outcome.deadline_exhausted = true;
+            break;
+          }
+          clock += *clamped;
+          outcome.api.backoff_seconds += *clamped;
+        }
+        if (options.deadline.expired(clock)) {
+          outcome.deadline_exhausted = true;
+          break;
+        }
+        if (options.breaker && !options.breaker->allow(clock)) {
+          ++outcome.api.breaker_rejections;
+          breaker_rejected_count.add(1);
+          continue;  // fast local veto: no API call, back off and re-probe
+        }
+        if (options.rate_limiter) {
+          const double at = options.rate_limiter->acquire(clock);
+          outcome.api.rate_limited_seconds += at - clock;
+          clock = at;
+          if (options.deadline.expired(clock)) {
+            outcome.deadline_exhausted = true;
+            break;
+          }
+        }
+        const std::uint64_t ordinal = api_requests_++;
+        ++outcome.api.calls;
+        api_calls.add(1);
+        if (in_brownout(options.api_faults, clock)) {
+          ++outcome.api.brownout_rejections;
+          api_brownout_count.add(1);
+          outcome.errors.push_back({ApiErrorKind::kRegionalBrownout,
+                                    "RunInstances: region " +
+                                        catalog.region() + " unavailable",
+                                    clock});
+          if (options.breaker) options.breaker->record_failure(clock);
+          continue;
+        }
+        if (api_throttled(options.api_faults, ordinal)) {
+          ++outcome.api.throttled;
+          api_throttled_count.add(1);
+          outcome.errors.push_back(
+              {ApiErrorKind::kRequestLimitExceeded,
+               "RunInstances: request rate limit exceeded", clock});
+          // Client-side pressure, not endpoint health: no breaker failure.
+          continue;
+        }
+        if (api_transient_error(options.api_faults, ordinal)) {
+          ++outcome.api.transient_errors;
+          api_transient_count.add(1);
+          outcome.errors.push_back({ApiErrorKind::kServiceUnavailable,
+                                    "RunInstances: service unavailable",
+                                    clock});
+          if (options.breaker) options.breaker->record_failure(clock);
+          continue;
+        }
+        // The endpoint answered sanely — healthy as far as the breaker is
+        // concerned, even if the answer is a capacity rejection.
+        if (options.breaker) options.breaker->record_success(clock);
+        const int limit_now = effective_limit(options.api_faults, i, clock,
+                                              catalog.limit(i));
+        if (outcome.acquired[i] >= limit_now) {
+          ++outcome.api.capacity_rejections;
+          api_capacity_count.add(1);
+          outcome.errors.push_back({ApiErrorKind::kInsufficientCapacity,
+                                    "RunInstances: insufficient capacity "
+                                    "for " +
+                                        catalog.type(i).name,
+                                    clock});
+          outcome.observed_limits[i] = outcome.acquired[i];
+          type_exhausted = true;  // retrying is futile while the pool drains
+          break;
+        }
+        admitted = true;
+        break;
+      }
+      if (!admitted) {
+        ++outcome.shortfall[i];
+        continue;
+      }
+      ++outcome.acquired[i];
+      double ready_at = 0.0;
+      outcome.instances.push_back(boot_one(seed_, next_instance_id_, catalog,
+                                           i, options.faults, options.backoff,
+                                           ready_at, outcome.report));
+      const double ready = (clock - options.start_seconds) + ready_at;
+      outcome.ready_seconds.push_back(ready);
+      outcome.report.ready_seconds =
+          std::max(outcome.report.ready_seconds, ready);
+    }
+  }
+  if (outcome.report.requested == 0)
+    throw std::invalid_argument("provision: empty configuration");
+  outcome.report.provisioned = static_cast<int>(outcome.instances.size());
+  outcome.finished_at = clock;
+  outcome.complete =
+      !outcome.deadline_exhausted &&
+      std::all_of(outcome.shortfall.begin(), outcome.shortfall.end(),
+                  [](int missing) { return missing == 0; });
+  return outcome;
+}
+
+OrchestrationResult CloudProvider::provision_orchestrated(
+    const std::vector<int>& node_counts,
+    const ResilientProvisionOptions& options, const ReplanFn& replan,
+    int max_replans) {
+  if (!replan)
+    throw std::invalid_argument(
+        "provision_orchestrated: null replan callback");
+  if (max_replans < 0)
+    throw std::invalid_argument(
+        "provision_orchestrated: max_replans must be >= 0");
+  static obs::Counter& replan_count =
+      obs::counter("celia_provider_replans_total",
+                   "Capacity-driven shrink-and-re-plan provisioning rounds");
+
+  OrchestrationResult result;
+  result.requested = node_counts;
+  result.final_catalog = catalog_;
+  std::vector<int> counts = node_counts;
+  ResilientProvisionOptions round_options = options;
+  for (;;) {
+    ProvisionOutcome outcome =
+        provision_resilient_on(*result.final_catalog, counts, round_options);
+    result.errors.insert(result.errors.end(), outcome.errors.begin(),
+                         outcome.errors.end());
+    const bool capacity_limited = outcome.api.capacity_rejections > 0;
+    if (outcome.complete || !capacity_limited ||
+        result.replans >= max_replans) {
+      result.final_node_counts = std::move(counts);
+      result.outcome = std::move(outcome);
+      return result;
+    }
+    // A type's pool drained mid-round: the partial set no longer matches
+    // any plan, so hand it back, shrink the catalog to what the provider
+    // demonstrably honors, and let the planner pick the best configuration
+    // of THAT space.
+    result.released_instances += static_cast<int>(outcome.instances.size());
+    ++result.replans;
+    replan_count.add(1);
+    result.final_catalog =
+        std::make_shared<const Catalog>(result.final_catalog->with_limits(
+            result.final_catalog->name() + "#degraded" +
+                std::to_string(result.replans),
+            result.final_catalog->region(), outcome.observed_limits));
+    counts = replan(*result.final_catalog);
+    round_options.start_seconds = outcome.finished_at;  // clock carries over
+  }
 }
 
 double CloudProvider::run_benchmark(std::size_t type_index,

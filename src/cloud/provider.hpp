@@ -3,16 +3,20 @@
 // timed benchmark runs used by CELIA's cloud-side characterization.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "cloud/api_faults.hpp"
 #include "cloud/catalog.hpp"
 #include "cloud/faults.hpp"
 #include "cloud/instance_type.hpp"
 #include "cloud/vm.hpp"
 #include "hw/workload_class.hpp"
 #include "util/backoff.hpp"
+#include "util/resilience.hpp"
 
 namespace celia::cloud {
 
@@ -39,6 +43,9 @@ struct ProvisioningReport {
   double ready_seconds = 0.0;
   /// Wall-clock burned inside failed boot attempts (timeout per failure).
   double wasted_boot_seconds = 0.0;
+  /// Every backoff delay applied before a boot re-attempt, in order —
+  /// pins the exact retry schedule in regression tests.
+  std::vector<double> retry_delays;
 };
 
 /// Instances plus when each becomes usable (aligned vectors) and the
@@ -47,6 +54,75 @@ struct ProvisionResult {
   std::vector<Instance> instances;
   std::vector<double> ready_seconds;
   ProvisioningReport report;
+};
+
+/// Control-plane telemetry of one resilient provisioning call.
+struct ApiCallStats {
+  std::uint64_t calls = 0;                // API requests actually issued
+  std::uint64_t throttled = 0;            // RequestLimitExceeded answers
+  std::uint64_t transient_errors = 0;     // ServiceUnavailable answers
+  std::uint64_t capacity_rejections = 0;  // InsufficientCapacity answers
+  std::uint64_t brownout_rejections = 0;  // RegionalBrownout answers
+  std::uint64_t breaker_rejections = 0;   // calls the local breaker vetoed
+  double rate_limited_seconds = 0.0;      // waits imposed by the TokenBucket
+  double backoff_seconds = 0.0;           // control-plane backoff slept
+};
+
+/// What a resilient provisioning call actually delivered. Partial
+/// fulfillment is a RESULT here, not an exception: `acquired`/`shortfall`
+/// say per type what was obtained vs still missing, `errors` is the typed
+/// control-plane fault trail, and `observed_limits` is the per-type limit
+/// the provider demonstrably honors right now (= the catalog limit, or the
+/// acquired count at the moment of an InsufficientCapacity rejection) —
+/// exactly the limits the orchestrator shrinks the catalog to before
+/// asking the planner to re-plan.
+struct ProvisionOutcome {
+  bool complete = false;
+  std::vector<Instance> instances;
+  std::vector<double> ready_seconds;  // relative to the call's start
+  std::vector<int> acquired;          // per catalog type
+  std::vector<int> shortfall;         // per catalog type
+  std::vector<int> observed_limits;   // per catalog type
+  std::vector<ApiError> errors;
+  ProvisioningReport report;
+  ApiCallStats api;
+  double finished_at = 0.0;  // absolute simulated clock on return
+  bool deadline_exhausted = false;
+};
+
+/// Knobs of provision_resilient / provision_orchestrated. The defaults —
+/// inert API faults, no limiter, no breaker, unlimited deadline — take the
+/// exact provision_with_faults code path (bit-identical outcome).
+/// `rate_limiter` and `breaker` are borrowed, caller-owned state machines
+/// so one breaker/limiter can span many calls (and many providers).
+struct ResilientProvisionOptions {
+  ApiFaultModel api_faults;
+  FaultModel faults;
+  util::BackoffPolicy backoff;
+  util::TokenBucket* rate_limiter = nullptr;
+  util::CircuitBreaker* breaker = nullptr;
+  util::DeadlineBudget deadline;  // default: unlimited
+  double start_seconds = 0.0;     // simulated clock at call start
+};
+
+/// Planner callback of the orchestrator: given the SHRUNKEN catalog,
+/// return the node counts to provision instead (aligned with its types,
+/// within its limits).
+using ReplanFn = std::function<std::vector<int>(const Catalog&)>;
+
+/// provision_orchestrated's summary across all re-plan rounds.
+struct OrchestrationResult {
+  ProvisionOutcome outcome;  // the final round's outcome
+  std::vector<int> requested;          // the original ask
+  std::vector<int> final_node_counts;  // what the final round provisioned
+  /// Catalog the final round ran against — the original, or a
+  /// limit-shrunken derivative whose structure_fingerprint differs (so
+  /// planner index caches can never serve the stale space). Owns the
+  /// catalog the final outcome's instances point into.
+  std::shared_ptr<const Catalog> final_catalog;
+  int replans = 0;             // shrink-and-re-plan rounds taken
+  int released_instances = 0;  // partial acquisitions returned between rounds
+  std::vector<ApiError> errors;  // fault trail across every round
 };
 
 class CloudProvider {
@@ -84,10 +160,44 @@ class CloudProvider {
   /// Provision one replacement instance of catalog type `type_index`
   /// mid-run (fault-aware executors call this when a node dies). Same
   /// retry semantics as provision_with_faults; ready_seconds is relative
-  /// to the call (the caller adds its own clock).
+  /// to the call (the caller adds its own clock). Each call draws its
+  /// backoff jitter from an independent replacement stream (see
+  /// replacement_jitter_seed) so replacements issued in a tight loop after
+  /// a correlated outage spread out instead of retrying in lockstep.
   ProvisionResult provision_replacement(
       std::size_t type_index, const FaultModel& faults,
       const util::BackoffPolicy& backoff = {});
+
+  /// Jitter-stream seed of the `sequence`-th replacement call on a
+  /// provider seeded with `provider_seed` — a pure function, exposed so
+  /// tests can pin the exact expected retry timestamps.
+  static std::uint64_t replacement_jitter_seed(std::uint64_t provider_seed,
+                                               std::uint64_t sequence);
+
+  /// Provisioning against a faulty CONTROL plane: every instance request
+  /// is an API call that the fault model may throttle, transiently fail,
+  /// brown out, or capacity-reject; retryable rejections back off (clamped
+  /// by the deadline budget, gated by the optional breaker and rate
+  /// limiter) and InsufficientCapacity stops requests for that type. What
+  /// was and wasn't obtained comes back as a typed ProvisionOutcome —
+  /// partial fulfillment is not an exception. Data-plane boot exhaustion
+  /// still throws ProvisioningError exactly like provision_with_faults.
+  /// With default options this is bit-identical to provision_with_faults.
+  ProvisionOutcome provision_resilient(
+      const std::vector<int>& node_counts,
+      const ResilientProvisionOptions& options = {});
+
+  /// provision_resilient plus capacity-aware re-planning: when a round is
+  /// cut short by InsufficientCapacity, release the partial acquisition,
+  /// shrink the catalog to the round's observed per-type limits
+  /// (Catalog::with_limits — new structure_fingerprint by construction),
+  /// ask `replan` for a configuration of the shrunken catalog, and try
+  /// again, up to `max_replans` rounds. The simulated clock carries across
+  /// rounds and the deadline stays absolute.
+  OrchestrationResult provision_orchestrated(
+      const std::vector<int>& node_counts,
+      const ResilientProvisionOptions& options, const ReplanFn& replan,
+      int max_replans = 3);
 
   /// Run a timed scale-down benchmark of `instructions` on one fresh
   /// instance of catalog type `type_index` using all its vCPUs, and return
@@ -104,9 +214,15 @@ class CloudProvider {
   std::uint64_t instances_provisioned() const { return next_instance_id_; }
 
  private:
+  ProvisionOutcome provision_resilient_on(
+      const Catalog& catalog, const std::vector<int>& node_counts,
+      const ResilientProvisionOptions& options);
+
   std::uint64_t seed_;
   std::shared_ptr<const Catalog> catalog_;
   std::uint64_t next_instance_id_ = 0;
+  std::uint64_t api_requests_ = 0;          // control-plane call ordinals
+  std::uint64_t replacement_sequence_ = 0;  // provision_replacement calls
   NetworkModel network_;
 };
 

@@ -57,6 +57,18 @@ bool ResourceCapacity::compatible_with(const cloud::Catalog& catalog) const {
   return structure_fingerprint_ == catalog.structure_fingerprint();
 }
 
+ResourceCapacity ResourceCapacity::rebound(const cloud::Catalog& catalog) const {
+  if (catalog.size() != per_vcpu_rates_.size())
+    throw std::invalid_argument(
+        "ResourceCapacity::rebound: catalog type count differs");
+  for (std::size_t i = 0; i < vcpus_.size(); ++i)
+    if (catalog.type(i).vcpus != vcpus_[i])
+      throw std::invalid_argument(
+          "ResourceCapacity::rebound: vCPU count differs for " +
+          catalog.type(i).name);
+  return ResourceCapacity(per_vcpu_rates_, catalog);
+}
+
 apps::AppParams characterization_point(const apps::ElasticApp& app) {
   // Small steady-state runs, mirroring the paper's "small problem size"
   // profiling on each resource type (§IV-B).

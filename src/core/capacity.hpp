@@ -74,6 +74,14 @@ class ResourceCapacity {
   /// characterization catalog — prices are allowed to differ.
   bool compatible_with(const cloud::Catalog& catalog) const;
 
+  /// The same measured rates re-pinned to `catalog`. Valid only when the
+  /// types physically match (same count and per-type vCPUs) — the use case
+  /// is re-planning against a LIMIT-shrunken catalog after an
+  /// InsufficientCapacity partial fulfillment, where the W_i,vCPU
+  /// measurements still describe the same hardware. Throws
+  /// std::invalid_argument when the shapes differ.
+  ResourceCapacity rebound(const cloud::Catalog& catalog) const;
+
  private:
   std::vector<double> per_vcpu_rates_;
   std::vector<int> vcpus_;

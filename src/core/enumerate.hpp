@@ -103,6 +103,11 @@ enum class QueryRoute {
   kIndex,          // answered by a caller-provided FrontierIndex
   kSharedIndex,    // answered by the process-wide shared index
   kSweepFallback,  // index requested but query ineligible -> full sweep
+  kDegradedSweep,  // PlannerEngine deadline too tight to build an index ->
+                   // answered by a fresh full sweep instead
+  kTruncatedSweep,  // even the sweep didn't fit the deadline -> best-effort
+                    // sweep of a TRUNCATED space (result is a lower-quality
+                    // but valid answer over the shrunken space)
 };
 
 std::string_view query_route_name(QueryRoute route);

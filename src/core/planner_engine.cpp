@@ -23,6 +23,16 @@ struct EngineCounters {
   obs::Counter& sweeps = obs::counter(
       "celia_planner_engine_sweeps_total",
       "PlannerEngine queries (risk-aware or sampled) that ran a full sweep");
+  obs::Counter& degraded = obs::counter(
+      "celia_planner_engine_degraded_total",
+      "PlannerEngine queries pushed down the degradation ladder by a "
+      "PlanBudget (fresh-sweep or truncated-sweep instead of the index)");
+  obs::Counter& truncated = obs::counter(
+      "celia_planner_engine_truncated_sweeps_total",
+      "PlannerEngine queries answered by a best-effort truncated sweep");
+  obs::Counter& evictions = obs::counter(
+      "celia_planner_engine_index_evictions_total",
+      "Cached FrontierIndexes evicted by the LRU memory bound");
 };
 
 EngineCounters& engine_counters() {
@@ -37,6 +47,45 @@ bool index_eligible(const Query& query) {
   const bool risk_aware =
       constraints.confidence_z > 0 && constraints.rate_sigma > 0;
   return !risk_aware && query.options().sample_stride == 0;
+}
+
+/// Largest sub-space of `space` with at most `max_configs` configurations,
+/// shrunk by repeatedly halving the currently largest per-type limit —
+/// the best-effort search space of the kTruncatedSweep route. Low counts
+/// survive longest, which preserves the cheap corner of the space where
+/// min-cost answers live.
+ConfigurationSpace truncate_space(const ConfigurationSpace& space,
+                                  std::uint64_t max_configs) {
+  std::vector<int> max_counts = space.max_counts();
+  const auto size_of = [](const std::vector<int>& counts) {
+    std::uint64_t total = 1;
+    for (const int max : counts) total *= static_cast<std::uint64_t>(max) + 1;
+    return total - 1;
+  };
+  while (size_of(max_counts) > std::max<std::uint64_t>(max_configs, 1)) {
+    const auto largest =
+        std::max_element(max_counts.begin(), max_counts.end());
+    if (*largest <= 1) break;  // cannot shrink any further
+    *largest /= 2;
+  }
+  return ConfigurationSpace(std::move(max_counts));
+}
+
+/// Re-encode a truncated-space result into full-space config indices so
+/// callers can decode every point against the catalog's real space.
+void remap_result(SweepResult& result, const ConfigurationSpace& truncated,
+                  const ConfigurationSpace& full) {
+  std::vector<int> digits(truncated.num_types());
+  const auto remap = [&](CostTimePoint& point) {
+    truncated.decode_into(point.config_index, digits);
+    point.config_index = full.encode(digits);
+  };
+  if (result.any_feasible) {
+    remap(result.min_cost);
+    remap(result.min_time);
+  }
+  for (CostTimePoint& point : result.pareto) remap(point);
+  for (CostTimePoint& point : result.feasible_points) remap(point);
 }
 
 }  // namespace
@@ -107,32 +156,39 @@ std::size_t PlannerEngine::num_cached_indexes() const {
   return indexes_.size();
 }
 
+std::size_t PlannerEngine::cached_index_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_bytes_;
+}
+
 SweepResult PlannerEngine::plan(std::string_view catalog_name,
                                 const ResourceCapacity& capacity,
-                                const Query& query) {
+                                const Query& query, const PlanBudget& budget) {
   std::shared_ptr<const cloud::Catalog> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot = catalog_locked(catalog_name);
   }
   const ConfigurationSpace space = ConfigurationSpace::for_catalog(*snapshot);
-  return plan_impl(*snapshot, space, capacity, query);
+  return plan_impl(*snapshot, space, capacity, query, budget);
 }
 
 SweepResult PlannerEngine::plan(std::string_view catalog_name,
-                                const Celia& model, const Query& query) {
+                                const Celia& model, const Query& query,
+                                const PlanBudget& budget) {
   std::shared_ptr<const cloud::Catalog> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot = catalog_locked(catalog_name);
   }
-  return plan_impl(*snapshot, model.space(), model.capacity(), query);
+  return plan_impl(*snapshot, model.space(), model.capacity(), query, budget);
 }
 
 SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
                                      const ConfigurationSpace& space,
                                      const ResourceCapacity& capacity,
-                                     const Query& query) {
+                                     const Query& query,
+                                     const PlanBudget& budget) {
   if (!capacity.compatible_with(catalog))
     throw std::invalid_argument(
         "PlannerEngine: model capacity was characterized against a "
@@ -141,23 +197,47 @@ SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
   EngineCounters& counters = engine_counters();
   counters.queries.add(1);
 
+  const double remaining = budget.deadline.remaining(budget.now_seconds);
+
+  // Sweeps always run with the stand-alone index machinery disabled: the
+  // engine IS the cache here.
+  SweepOptions sweep_options = query.options();
+  sweep_options.index_policy = IndexPolicy::Never();
+  const Query sweep_query =
+      Query::make(query.demand(), query.constraints(), sweep_options);
+
+  // Last-resort route: a best-effort sweep over a truncated space, then
+  // re-encoded into full-space config indices. Never throws on a tight
+  // budget — a degraded answer always comes back.
+  const auto truncated_sweep = [&]() {
+    counters.degraded.add(1);
+    counters.truncated.add(1);
+    const ConfigurationSpace truncated =
+        truncate_space(space, budget.truncated_sweep_configs);
+    SweepResult result = sweep(truncated, capacity, catalog, sweep_query);
+    remap_result(result, truncated, space);
+    result.route = QueryRoute::kTruncatedSweep;
+    return result;
+  };
+
+  const bool sweep_fits = remaining >= budget.sweep_cost_seconds;
+
   if (!index_eligible(query)) {
     // Risk-aware / sampled queries need the sweep; run it at the
     // catalog's prices with the index explicitly disabled.
+    if (!sweep_fits) return truncated_sweep();
     counters.sweeps.add(1);
-    SweepOptions options = query.options();
-    options.index_policy = IndexPolicy::Never();
-    return sweep(space, capacity, catalog,
-                 Query::make(query.demand(), query.constraints(), options));
+    return sweep(space, capacity, catalog, sweep_query);
   }
 
   const std::uint64_t fingerprint = catalog.fingerprint();
   std::shared_ptr<const FrontierIndex> index;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const CachedIndex& cached : indexes_) {
+    for (CachedIndex& cached : indexes_) {
       if (cached.catalog_fingerprint == fingerprint &&
           cached.index->matches(space, capacity, catalog.hourly_costs())) {
+        cached.last_used = ++use_tick_;
         index = cached.index;
         break;
       }
@@ -166,25 +246,55 @@ SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
   if (index) {
     counters.index_hits.add(1);
   } else {
+    // No cached index: walk the degradation ladder. Building is the best
+    // long-term answer but also the most expensive step — under a tight
+    // budget fall back to a fresh sweep, then to a truncated one.
+    if (remaining < budget.index_build_cost_seconds) {
+      if (!sweep_fits) return truncated_sweep();
+      counters.degraded.add(1);
+      SweepResult result = sweep(space, capacity, catalog, sweep_query);
+      result.route = QueryRoute::kDegradedSweep;
+      return result;
+    }
     // Build outside the lock; concurrent builders of the same (catalog,
     // model) pair may race, in which case the first insertion wins — but
-    // every build is counted (hits + builds + sweeps == queries).
+    // every build is counted (hits + builds + sweeps + degraded ==
+    // queries).
     counters.index_builds.add(1);
     FrontierIndex::BuildOptions build_options;
     build_options.pool = query.options().pool;
     auto built = std::make_shared<const FrontierIndex>(
         FrontierIndex::build(space, capacity, catalog, build_options));
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const CachedIndex& cached : indexes_) {
+    for (CachedIndex& cached : indexes_) {
       if (cached.catalog_fingerprint == fingerprint &&
           cached.index->matches(space, capacity, catalog.hourly_costs())) {
+        cached.last_used = ++use_tick_;
         index = cached.index;
         break;
       }
     }
     if (!index) {
-      indexes_.push_back({fingerprint, built});
+      const std::size_t bytes = built->memory_bytes();
+      indexes_.push_back({fingerprint, built, bytes, ++use_tick_});
+      cache_bytes_ += bytes;
       index = std::move(built);
+      // LRU eviction keeps the cache under the byte bound. The entry just
+      // inserted is the most recently used, so it survives even when it
+      // alone exceeds the bound (an engine must always be able to serve
+      // its newest catalog).
+      while (options_.max_index_cache_bytes > 0 &&
+             cache_bytes_ > options_.max_index_cache_bytes &&
+             indexes_.size() > 1) {
+        const auto victim = std::min_element(
+            indexes_.begin(), indexes_.end(),
+            [](const CachedIndex& a, const CachedIndex& b) {
+              return a.last_used < b.last_used;
+            });
+        cache_bytes_ -= victim->bytes;
+        indexes_.erase(victim);
+        counters.evictions.add(1);
+      }
     }
   }
 

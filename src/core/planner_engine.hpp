@@ -20,11 +20,26 @@
 //   * Ineligible queries (risk-aware or sampled) run the full sweep at
 //     the catalog's prices.
 //
+// DEGRADED OPERATION (control-plane resilience): a PlanBudget bounds how
+// much simulated work one query may spend. The engine walks a fixed
+// degradation ladder instead of throwing: cached index (free) → build the
+// index if the budget affords it → fresh full sweep (route
+// kDegradedSweep) → best-effort sweep of a TRUNCATED configuration space
+// (route kTruncatedSweep) when even a sweep no longer fits. The route is
+// always visible in SweepResult::route and
+// celia_planner_engine_degraded_total. The index cache can additionally
+// be capped (PlannerEngineOptions::max_index_cache_bytes) with LRU
+// eviction, so a long-lived engine serving many catalogs degrades to
+// rebuild-churn instead of growing without bound.
+//
 // Observability: celia_planner_engine_queries_total counts every plan()
 // call, _index_hits_total the ones answered from an already-cached index,
-// _index_builds_total the cache misses that built one, and _sweeps_total
-// the ineligible queries that swept. hits + builds + sweeps == queries.
+// _index_builds_total the cache misses that built one, _sweeps_total the
+// ineligible queries that swept, and _degraded_total the queries pushed
+// down the ladder by a budget (also counted per route in _sweeps_total's
+// siblings). hits + builds + sweeps + degraded == queries.
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,12 +53,38 @@
 #include "core/enumerate.hpp"
 #include "core/frontier_index.hpp"
 #include "core/query.hpp"
+#include "util/resilience.hpp"
 
 namespace celia::core {
+
+/// Engine-wide resource policy. The defaults reproduce the legacy engine
+/// exactly (unbounded cache, nothing evicted).
+struct PlannerEngineOptions {
+  /// Cap on the summed FrontierIndex::memory_bytes() of cached indexes;
+  /// exceeding it evicts least-recently-used entries (the newest index is
+  /// never evicted by its own insertion). 0 = unlimited (legacy).
+  std::size_t max_index_cache_bytes = 0;
+};
+
+/// Per-query budget in the caller's (simulated or wall) clock. The engine
+/// compares the budget's remaining time against the caller-supplied cost
+/// estimates to pick the cheapest route that still fits — with the
+/// defaults (unlimited deadline) every query takes the legacy route.
+struct PlanBudget {
+  double now_seconds = 0.0;
+  util::DeadlineBudget deadline;  // default: unlimited
+  /// Estimated cost of building a FrontierIndex for this catalog.
+  double index_build_cost_seconds = 0.0;
+  /// Estimated cost of one full sweep of this catalog's space.
+  double sweep_cost_seconds = 0.0;
+  /// Size ceiling of the truncated space used by the last-resort route.
+  std::uint64_t truncated_sweep_configs = 65536;
+};
 
 class PlannerEngine {
  public:
   PlannerEngine() = default;
+  explicit PlannerEngine(PlannerEngineOptions options) : options_(options) {}
 
   // Not copyable or movable: the engine is a service object whose caches
   // are referenced concurrently.
@@ -71,25 +112,33 @@ class PlannerEngine {
   /// (catalog, model) pairs.
   std::size_t num_cached_indexes() const;
 
+  /// Current summed memory_bytes() of the cached indexes.
+  std::size_t cached_index_bytes() const;
+
   /// Route `query` for `capacity` against the named catalog, over the
   /// catalog's own configuration space (per-type limits). Throws
   /// std::out_of_range for an unknown name and std::invalid_argument when
   /// `capacity` was characterized against a structurally different
-  /// catalog.
+  /// catalog. `budget` selects the degraded route when the deadline is too
+  /// tight (see the header comment); the default budget is unlimited and
+  /// takes the legacy route.
   SweepResult plan(std::string_view catalog_name,
-                   const ResourceCapacity& capacity, const Query& query);
+                   const ResourceCapacity& capacity, const Query& query,
+                   const PlanBudget& budget = {});
 
   /// Route `query` for a full model (e.g. one restored by load_model)
   /// against the named catalog. The model's space is used as-is; its
   /// capacity must be structurally compatible with the catalog — a model
   /// loaded for one catalog cannot silently plan against another.
   SweepResult plan(std::string_view catalog_name, const Celia& model,
-                   const Query& query);
+                   const Query& query, const PlanBudget& budget = {});
 
  private:
   struct CachedIndex {
     std::uint64_t catalog_fingerprint = 0;
     std::shared_ptr<const FrontierIndex> index;
+    std::size_t bytes = 0;
+    std::uint64_t last_used = 0;  // LRU tick of the latest hit/insert
   };
 
   std::shared_ptr<const cloud::Catalog> catalog_locked(
@@ -97,12 +146,16 @@ class PlannerEngine {
 
   SweepResult plan_impl(const cloud::Catalog& catalog,
                         const ConfigurationSpace& space,
-                        const ResourceCapacity& capacity, const Query& query);
+                        const ResourceCapacity& capacity, const Query& query,
+                        const PlanBudget& budget);
 
+  PlannerEngineOptions options_;
   mutable std::mutex mutex_;
   std::vector<std::pair<std::string, std::shared_ptr<const cloud::Catalog>>>
       catalogs_;
   std::vector<CachedIndex> indexes_;
+  std::uint64_t use_tick_ = 0;
+  std::size_t cache_bytes_ = 0;
 };
 
 }  // namespace celia::core

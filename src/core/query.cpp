@@ -28,6 +28,10 @@ std::string_view query_route_name(QueryRoute route) {
       return "shared_index";
     case QueryRoute::kSweepFallback:
       return "sweep_fallback";
+    case QueryRoute::kDegradedSweep:
+      return "degraded_sweep";
+    case QueryRoute::kTruncatedSweep:
+      return "truncated_sweep";
   }
   return "?";
 }

@@ -1,0 +1,180 @@
+#include "util/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace celia::util {
+
+void validate(const BackoffPolicy& policy) {
+  if (policy.max_attempts < 1)
+    throw std::invalid_argument("BackoffPolicy: max_attempts must be >= 1");
+  if (!std::isfinite(policy.initial_seconds) || policy.initial_seconds < 0 ||
+      !(policy.multiplier >= 1.0) || std::isnan(policy.max_seconds) ||
+      policy.max_seconds < 0 || !(policy.jitter_fraction >= 0) ||
+      policy.jitter_fraction > 1.0)
+    throw std::invalid_argument("BackoffPolicy: field out of range");
+}
+
+// ---------------------------------------------------------- TokenBucket --
+
+TokenBucket::TokenBucket(double capacity, double refill_per_second)
+    : capacity_(capacity),
+      refill_per_second_(refill_per_second),
+      tokens_(capacity) {
+  if (!std::isfinite(capacity) || capacity < 1.0)
+    throw std::invalid_argument("TokenBucket: capacity must be >= 1");
+  if (!std::isfinite(refill_per_second) || refill_per_second <= 0)
+    throw std::invalid_argument("TokenBucket: refill rate must be positive");
+}
+
+void TokenBucket::refill(double now) {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(capacity_,
+                     tokens_ + (now - last_refill_) * refill_per_second_);
+  last_refill_ = now;
+}
+
+double TokenBucket::acquire(double now) {
+  refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return now;
+  }
+  // Wait exactly until the missing fraction of one token has accrued.
+  // Accrual before last_refill_ is already spoken for by earlier queued
+  // acquisitions, so back-to-back waits line up behind that horizon.
+  const double ready =
+      std::max(now, last_refill_) + (1.0 - tokens_) / refill_per_second_;
+  tokens_ = 0.0;
+  last_refill_ = ready;
+  return ready;
+}
+
+bool TokenBucket::try_acquire(double now) {
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(double now) const {
+  if (now <= last_refill_) return tokens_;
+  return std::min(capacity_,
+                  tokens_ + (now - last_refill_) * refill_per_second_);
+}
+
+// ------------------------------------------------------- CircuitBreaker --
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Policy()) {}
+
+CircuitBreaker::CircuitBreaker(Policy policy) : policy_(policy) {
+  if (policy_.failure_threshold < 1)
+    throw std::invalid_argument(
+        "CircuitBreaker: failure_threshold must be >= 1");
+  if (!std::isfinite(policy_.open_seconds) || policy_.open_seconds < 0)
+    throw std::invalid_argument(
+        "CircuitBreaker: open_seconds must be finite and non-negative");
+  if (policy_.half_open_probes < 1)
+    throw std::invalid_argument(
+        "CircuitBreaker: half_open_probes must be >= 1");
+  if (!(policy_.cooldown_jitter_fraction >= 0) ||
+      policy_.cooldown_jitter_fraction > 1.0)
+    throw std::invalid_argument(
+        "CircuitBreaker: cooldown_jitter_fraction outside [0, 1]");
+}
+
+void CircuitBreaker::open(double now) {
+  state_ = State::kOpen;
+  ++stats_.opened;
+  double cooldown = policy_.open_seconds;
+  if (policy_.cooldown_jitter_fraction > 0) {
+    // Independent stream per (seed, episode): two breakers tripped by the
+    // same outage reopen at different times, and episode n's jitter never
+    // depends on how episode n-1's probes went.
+    Xoshiro256 rng(policy_.seed * 0x9e3779b97f4a7c15ULL + stats_.opened);
+    rng.next();
+    rng.next();
+    cooldown *= 1.0 + rng.uniform(-policy_.cooldown_jitter_fraction,
+                                  policy_.cooldown_jitter_fraction);
+  }
+  reopen_at_ = now + cooldown;
+  consecutive_failures_ = 0;
+  probes_admitted_ = 0;
+  probe_successes_ = 0;
+}
+
+bool CircuitBreaker::allow(double now) {
+  if (state_ == State::kOpen && now >= reopen_at_) {
+    state_ = State::kHalfOpen;
+    ++stats_.half_opened;
+    probes_admitted_ = 0;
+    probe_successes_ = 0;
+  }
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++stats_.rejected;
+      return false;
+    case State::kHalfOpen:
+      if (probes_admitted_ < policy_.half_open_probes) {
+        ++probes_admitted_;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::record_success(double now) {
+  (void)now;
+  if (state_ == State::kHalfOpen) {
+    if (++probe_successes_ >= policy_.half_open_probes) {
+      state_ = State::kClosed;
+      ++stats_.closed;
+      reopen_at_ = std::numeric_limits<double>::infinity();
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (state_ == State::kHalfOpen) {
+    open(now);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == State::kOpen) return;  // late failure of an old request
+  if (++consecutive_failures_ >= policy_.failure_threshold) open(now);
+}
+
+// ------------------------------------------------------- DeadlineBudget --
+
+DeadlineBudget DeadlineBudget::until(double deadline_seconds) {
+  if (std::isnan(deadline_seconds) || deadline_seconds < 0)
+    throw std::invalid_argument(
+        "DeadlineBudget: deadline must be non-negative (NaN rejected)");
+  DeadlineBudget budget;
+  budget.deadline_ = deadline_seconds;
+  return budget;
+}
+
+DeadlineBudget DeadlineBudget::child(double now, double budget_seconds) const {
+  if (std::isnan(budget_seconds) || budget_seconds < 0)
+    throw std::invalid_argument(
+        "DeadlineBudget::child: budget must be non-negative");
+  return until(std::min(deadline_, now + budget_seconds));
+}
+
+std::optional<double> DeadlineBudget::clamp_delay(double now,
+                                                  double proposed) const {
+  if (expired(now)) return std::nullopt;
+  return std::min(proposed, deadline_ - now);
+}
+
+}  // namespace celia::util

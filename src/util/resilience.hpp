@@ -1,0 +1,172 @@
+#pragma once
+// Composable control-plane resilience primitives, layered on the shared
+// exponential-backoff schedule (util/backoff.hpp).
+//
+// Everything here is a pure, seedable state machine over an EXPLICIT clock
+// (wall or simulated seconds supplied by the caller), never the system
+// clock — the same reproducibility contract as cloud/faults.hpp: drive two
+// instances with the same call sequence and they transition identically,
+// so a chaos schedule replays bit-for-bit from its seed.
+//
+//   * TokenBucket — client-side rate limiter in front of a throttling
+//     provider API (RequestLimitExceeded): acquire() returns WHEN the call
+//     may fire instead of sleeping, so simulated time can jump there.
+//   * CircuitBreaker — per-endpoint closed/open/half-open breaker. Repeated
+//     failures open it; after a (seed-jittered) cooldown a bounded number
+//     of probes test the endpoint; probe success closes it, probe failure
+//     re-opens it. The jitter decorrelates many breakers opened by one
+//     regional brownout so their probe storms don't synchronize.
+//   * DeadlineBudget — one wall/simulated-time budget threaded through
+//     nested retry loops: a child operation's budget can only shrink, and
+//     clamp_delay() caps every backoff sleep so no retry chain can ever
+//     overshoot the outermost caller's deadline.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "util/backoff.hpp"
+
+namespace celia::util {
+
+/// Throws std::invalid_argument on a malformed policy (same checks as
+/// backoff_delay plus max_attempts >= 1, which only callers enforce).
+void validate(const BackoffPolicy& policy);
+
+/// Token-bucket rate limiter over an explicit clock. `capacity` tokens
+/// burst; `refill_per_second` tokens accrue continuously. The caller's
+/// `now` must be non-decreasing across calls on one bucket.
+class TokenBucket {
+ public:
+  /// Starts full. Throws std::invalid_argument when capacity < 1 or
+  /// refill_per_second <= 0 (or either is non-finite).
+  TokenBucket(double capacity, double refill_per_second);
+
+  /// Earliest time >= now at which one token is available; consumes that
+  /// token and returns the acquisition time. Never blocks — the caller
+  /// advances its (simulated) clock to the returned value.
+  double acquire(double now);
+
+  /// Consume a token iff one is available at `now`.
+  bool try_acquire(double now);
+
+  /// Tokens available at `now` (fractional while refilling).
+  double available(double now) const;
+
+  double capacity() const { return capacity_; }
+
+ private:
+  void refill(double now);
+
+  double capacity_;
+  double refill_per_second_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+/// Per-endpoint circuit breaker: closed / open / half-open with seeded,
+/// deterministic probe scheduling.
+class CircuitBreaker {
+ public:
+  struct Policy {
+    /// Consecutive failures (while closed) that open the breaker.
+    int failure_threshold = 5;
+    /// Cooldown before an open breaker admits probes (before jitter).
+    double open_seconds = 30.0;
+    /// Probes admitted per half-open episode; that many consecutive probe
+    /// successes close the breaker, any probe failure re-opens it.
+    int half_open_probes = 1;
+    /// Uniform +/- jitter fraction on each cooldown, drawn as a pure
+    /// function of (seed, times opened) — breakers tripped by the same
+    /// outage wake up staggered. 0 disables.
+    double cooldown_jitter_fraction = 0.0;
+    std::uint64_t seed = 0;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Stats {
+    std::uint64_t opened = 0;       // closed/half-open -> open transitions
+    std::uint64_t half_opened = 0;  // open -> half-open transitions
+    std::uint64_t closed = 0;       // half-open -> closed transitions
+    std::uint64_t rejected = 0;     // allow() calls answered false
+  };
+
+  /// Default policy (defined out of line: the nested Policy's member
+  /// initializers are only usable past the end of this class).
+  CircuitBreaker();
+  /// Throws std::invalid_argument on a malformed policy.
+  explicit CircuitBreaker(Policy policy);
+
+  /// May the next request fire at `now`? An open breaker whose cooldown
+  /// has elapsed transitions to half-open here and starts admitting
+  /// probes. `now` must be non-decreasing across calls.
+  bool allow(double now);
+
+  /// Report the outcome of a request that allow() admitted.
+  void record_success(double now);
+  void record_failure(double now);
+
+  State state() const { return state_; }
+  const Stats& stats() const { return stats_; }
+  /// When an open breaker next admits a probe (+inf while closed).
+  double reopen_at() const { return reopen_at_; }
+
+ private:
+  void open(double now);
+
+  Policy policy_;
+  State state_ = State::kClosed;
+  Stats stats_;
+  int consecutive_failures_ = 0;
+  int probes_admitted_ = 0;
+  int probe_successes_ = 0;
+  double reopen_at_ = std::numeric_limits<double>::infinity();
+};
+
+/// One deadline threaded through nested retries. Budgets only ever
+/// shrink (child() takes the min), so an inner retry loop can never sleep
+/// past the outermost caller's deadline.
+class DeadlineBudget {
+ public:
+  /// Default: unlimited (deadline at +inf) — the legacy no-deadline path.
+  DeadlineBudget() = default;
+
+  static DeadlineBudget unlimited() { return DeadlineBudget(); }
+
+  /// Absolute deadline in the caller's clock. Throws std::invalid_argument
+  /// on NaN or negative.
+  static DeadlineBudget until(double deadline_seconds);
+
+  /// Budget of `budget_seconds` starting at `now`.
+  static DeadlineBudget from_now(double now, double budget_seconds) {
+    return until(now + budget_seconds);
+  }
+
+  bool is_unlimited() const {
+    return deadline_ == std::numeric_limits<double>::infinity();
+  }
+
+  double deadline_seconds() const { return deadline_; }
+
+  /// Seconds left at `now`, clamped to >= 0.
+  double remaining(double now) const {
+    return now >= deadline_ ? 0.0 : deadline_ - now;
+  }
+
+  bool expired(double now) const { return now >= deadline_; }
+
+  /// A nested operation's budget: at most `budget_seconds` from `now`,
+  /// never past this budget's own deadline.
+  DeadlineBudget child(double now, double budget_seconds) const;
+
+  /// The proposed backoff delay, truncated so now + delay stays within
+  /// the deadline; nullopt when the budget is already expired at `now`
+  /// (the retry loop must give up instead of sleeping).
+  std::optional<double> clamp_delay(double now, double proposed) const;
+
+ private:
+  double deadline_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace celia::util

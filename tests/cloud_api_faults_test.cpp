@@ -1,0 +1,337 @@
+// Tests for cloud/api_faults.hpp and CloudProvider::provision_resilient:
+// model validation, seeded-draw determinism, the inert-model bit-identity
+// guarantee, and the typed control-plane fault paths (throttling,
+// transient errors, brownouts, capacity windows, breaker and deadline
+// interaction).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/api_faults.hpp"
+#include "cloud/catalog.hpp"
+#include "cloud/provider.hpp"
+#include "util/resilience.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using celia::util::BackoffPolicy;
+using celia::util::CircuitBreaker;
+using celia::util::DeadlineBudget;
+using celia::util::TokenBucket;
+
+ApiFaultModel throttling_model(double probability, std::uint64_t seed = 7) {
+  ApiFaultModel model;
+  model.seed = seed;
+  model.throttle_probability = probability;
+  return model;
+}
+
+// ------------------------------------------------------------ the model --
+
+TEST(ApiFaultModel, InertDetectsAnyActiveField) {
+  EXPECT_TRUE(ApiFaultModel{}.inert());
+  EXPECT_FALSE(throttling_model(0.1).inert());
+  ApiFaultModel transient;
+  transient.transient_error_probability = 0.1;
+  EXPECT_FALSE(transient.inert());
+  ApiFaultModel capacity;
+  capacity.capacity_windows.push_back({0, 0.0, 10.0, 1});
+  EXPECT_FALSE(capacity.inert());
+  ApiFaultModel brownout;
+  brownout.brownouts.push_back({0.0, 10.0});
+  EXPECT_FALSE(brownout.inert());
+}
+
+TEST(ApiFaultModel, ValidateRejectsMalformedModels) {
+  EXPECT_THROW(validate(throttling_model(1.5)), std::invalid_argument);
+  EXPECT_THROW(validate(throttling_model(-0.1)), std::invalid_argument);
+
+  ApiFaultModel inverted;
+  inverted.capacity_windows.push_back({0, 10.0, 5.0, 1});
+  EXPECT_THROW(validate(inverted), std::invalid_argument);
+
+  ApiFaultModel negative_limit;
+  negative_limit.capacity_windows.push_back({0, 0.0, 10.0, -1});
+  EXPECT_THROW(validate(negative_limit), std::invalid_argument);
+
+  ApiFaultModel bad_brownout;
+  bad_brownout.brownouts.push_back({-1.0, 10.0});
+  EXPECT_THROW(validate(bad_brownout), std::invalid_argument);
+
+  // Catalog-aware checks: type index range and limit consistency.
+  const Catalog& table3 = Catalog::ec2_table3();
+  ApiFaultModel bad_type;
+  bad_type.capacity_windows.push_back({table3.size(), 0.0, 10.0, 1});
+  EXPECT_NO_THROW(validate(bad_type));  // without a catalog: unknown range
+  EXPECT_THROW(validate(bad_type, &table3), std::invalid_argument);
+  ApiFaultModel over_limit;
+  over_limit.capacity_windows.push_back({0, 0.0, 10.0, table3.limit(0) + 1});
+  EXPECT_THROW(validate(over_limit, &table3), std::invalid_argument);
+}
+
+TEST(ApiFaultModel, DrawsAreDeterministicAndChannelIndependent) {
+  ApiFaultModel model = throttling_model(0.3);
+  model.transient_error_probability = 0.2;
+  for (std::uint64_t request = 0; request < 64; ++request) {
+    EXPECT_EQ(api_throttled(model, request), api_throttled(model, request));
+    EXPECT_EQ(api_transient_error(model, request),
+              api_transient_error(model, request));
+  }
+  // Raising the transient probability never perturbs the throttle
+  // timeline (independent channels).
+  ApiFaultModel more_transient = model;
+  more_transient.transient_error_probability = 0.9;
+  for (std::uint64_t request = 0; request < 64; ++request)
+    EXPECT_EQ(api_throttled(model, request),
+              api_throttled(more_transient, request));
+  // And a different seed gives a different timeline somewhere.
+  ApiFaultModel reseeded = model;
+  reseeded.seed = model.seed + 1;
+  bool differs = false;
+  for (std::uint64_t request = 0; request < 256 && !differs; ++request)
+    differs = api_throttled(model, request) != api_throttled(reseeded, request);
+  EXPECT_TRUE(differs);
+}
+
+TEST(ApiFaultModel, EffectiveLimitTakesTheCoveringMinimum) {
+  ApiFaultModel model;
+  model.capacity_windows.push_back({2, 10.0, 20.0, 3});
+  model.capacity_windows.push_back({2, 15.0, 30.0, 1});
+  model.capacity_windows.push_back({4, 0.0, 100.0, 0});
+  EXPECT_EQ(effective_limit(model, 2, 5.0, 5), 5);    // before any window
+  EXPECT_EQ(effective_limit(model, 2, 10.0, 5), 3);   // first window
+  EXPECT_EQ(effective_limit(model, 2, 17.0, 5), 1);   // overlap: minimum
+  EXPECT_EQ(effective_limit(model, 2, 20.0, 5), 1);   // first ended
+  EXPECT_EQ(effective_limit(model, 2, 30.0, 5), 5);   // both ended
+  EXPECT_EQ(effective_limit(model, 3, 17.0, 5), 5);   // other type untouched
+  EXPECT_EQ(effective_limit(model, 4, 50.0, 5), 0);   // fully drained
+}
+
+TEST(ApiFaultModel, BrownoutWindowsAreHalfOpen) {
+  ApiFaultModel model;
+  model.brownouts.push_back({10.0, 20.0});
+  EXPECT_FALSE(in_brownout(model, 9.999));
+  EXPECT_TRUE(in_brownout(model, 10.0));
+  EXPECT_TRUE(in_brownout(model, 19.999));
+  EXPECT_FALSE(in_brownout(model, 20.0));
+}
+
+TEST(ApiFaultModel, ErrorKindNamesAndRetryability) {
+  EXPECT_EQ(api_error_name(ApiErrorKind::kRequestLimitExceeded),
+            "RequestLimitExceeded");
+  EXPECT_EQ(api_error_name(ApiErrorKind::kInsufficientCapacity),
+            "InsufficientCapacity");
+  EXPECT_EQ(api_error_name(ApiErrorKind::kServiceUnavailable),
+            "ServiceUnavailable");
+  EXPECT_EQ(api_error_name(ApiErrorKind::kRegionalBrownout),
+            "RegionalBrownout");
+  EXPECT_TRUE(api_error_retryable(ApiErrorKind::kRequestLimitExceeded));
+  EXPECT_TRUE(api_error_retryable(ApiErrorKind::kServiceUnavailable));
+  EXPECT_TRUE(api_error_retryable(ApiErrorKind::kRegionalBrownout));
+  EXPECT_FALSE(api_error_retryable(ApiErrorKind::kInsufficientCapacity));
+}
+
+// ------------------------------------------- inert-model bit identity --
+
+std::vector<int> two_of_each_small() {
+  std::vector<int> counts(Catalog::ec2_table3().size(), 0);
+  counts[0] = 2;
+  counts[3] = 2;
+  counts[6] = 1;
+  return counts;
+}
+
+TEST(ProvisionResilient, InertModelIsBitIdenticalToProvisionWithFaults) {
+  FaultModel data_faults;
+  data_faults.boot_failure_probability = 0.3;
+  data_faults.boot_timeout_seconds = 45.0;
+  data_faults.boot_delay_seconds = 30.0;
+  data_faults.gray_probability = 0.2;
+  data_faults.gray_slowdown = 0.7;
+
+  CloudProvider legacy(2017), resilient(2017);
+  const ProvisionResult expected =
+      legacy.provision_with_faults(two_of_each_small(), data_faults);
+  ResilientProvisionOptions options;
+  options.faults = data_faults;
+  const ProvisionOutcome outcome =
+      resilient.provision_resilient(two_of_each_small(), options);
+
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_FALSE(outcome.deadline_exhausted);
+  EXPECT_TRUE(outcome.errors.empty());
+  EXPECT_EQ(outcome.api.throttled, 0u);
+  ASSERT_EQ(outcome.instances.size(), expected.instances.size());
+  for (std::size_t i = 0; i < expected.instances.size(); ++i) {
+    EXPECT_EQ(outcome.instances[i].instance_id,
+              expected.instances[i].instance_id);
+    EXPECT_EQ(outcome.instances[i].type_index,
+              expected.instances[i].type_index);
+    EXPECT_EQ(outcome.instances[i].speed_factor,
+              expected.instances[i].speed_factor);
+  }
+  EXPECT_EQ(outcome.ready_seconds, expected.ready_seconds);
+  EXPECT_EQ(outcome.report.requested, expected.report.requested);
+  EXPECT_EQ(outcome.report.provisioned, expected.report.provisioned);
+  EXPECT_EQ(outcome.report.boot_failures, expected.report.boot_failures);
+  EXPECT_EQ(outcome.report.retries, expected.report.retries);
+  EXPECT_EQ(outcome.report.ready_seconds, expected.report.ready_seconds);
+  EXPECT_EQ(outcome.report.wasted_boot_seconds,
+            expected.report.wasted_boot_seconds);
+  EXPECT_EQ(outcome.report.retry_delays, expected.report.retry_delays);
+}
+
+TEST(ProvisionResilient, ValidatesInputLikeLegacyProvisioning) {
+  CloudProvider provider(1);
+  EXPECT_THROW(provider.provision_resilient(
+                   std::vector<int>(Catalog::ec2_table3().size(), 0)),
+               std::invalid_argument);
+  EXPECT_THROW(provider.provision_resilient({1, 2}), std::invalid_argument);
+  std::vector<int> over(Catalog::ec2_table3().size(), 0);
+  over[0] = Catalog::ec2_table3().limit(0) + 1;
+  EXPECT_THROW(provider.provision_resilient(over), std::invalid_argument);
+  ResilientProvisionOptions bad;
+  bad.api_faults = throttling_model(2.0);
+  EXPECT_THROW(provider.provision_resilient(two_of_each_small(), bad),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------- typed fault behaviors --
+
+TEST(ProvisionResilient, ThrottlingRetriesAndAdvancesTheClock) {
+  ResilientProvisionOptions options;
+  options.api_faults = throttling_model(0.5, 11);
+  CloudProvider provider(3);
+  const ProvisionOutcome outcome =
+      provider.provision_resilient(two_of_each_small(), options);
+  // With p=0.5 over 5 instances some throttling is effectively certain.
+  ASSERT_GT(outcome.api.throttled, 0u);
+  EXPECT_GT(outcome.api.backoff_seconds, 0.0);
+  EXPECT_GT(outcome.finished_at, 0.0);
+  for (const ApiError& error : outcome.errors)
+    EXPECT_EQ(error.kind, ApiErrorKind::kRequestLimitExceeded);
+  // Every provisioned instance became ready after the call start.
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.instances.size(), 5u);
+}
+
+TEST(ProvisionResilient, ReplaysBitIdenticallyFromTheSameSeeds) {
+  ResilientProvisionOptions options;
+  options.api_faults = throttling_model(0.4, 99);
+  options.api_faults.transient_error_probability = 0.2;
+  options.faults.boot_failure_probability = 0.2;
+  options.faults.boot_timeout_seconds = 30.0;
+
+  const auto run = [&] {
+    CloudProvider provider(5);
+    return provider.provision_resilient(two_of_each_small(), options);
+  };
+  const ProvisionOutcome a = run(), b = run();
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (std::size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].kind, b.errors[i].kind);
+    EXPECT_EQ(a.errors[i].at_seconds, b.errors[i].at_seconds);
+  }
+  EXPECT_EQ(a.api.calls, b.api.calls);
+  EXPECT_EQ(a.api.backoff_seconds, b.api.backoff_seconds);
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.ready_seconds, b.ready_seconds);
+  EXPECT_EQ(a.report.retry_delays, b.report.retry_delays);
+}
+
+TEST(ProvisionResilient, CapacityWindowShortfallsAreReportedNotThrown) {
+  const Catalog& table3 = Catalog::ec2_table3();
+  ResilientProvisionOptions options;
+  // Type 0's pool holds only 1 instance for the whole call.
+  options.api_faults.capacity_windows.push_back({0, 0.0, 1e9, 1});
+
+  std::vector<int> counts(table3.size(), 0);
+  counts[0] = 4;
+  counts[1] = 2;
+  CloudProvider provider(8);
+  const ProvisionOutcome outcome =
+      provider.provision_resilient(counts, options);
+
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_EQ(outcome.acquired[0], 1);
+  EXPECT_EQ(outcome.shortfall[0], 3);
+  EXPECT_EQ(outcome.acquired[1], 2);
+  EXPECT_EQ(outcome.shortfall[1], 0);
+  EXPECT_EQ(outcome.observed_limits[0], 1);
+  EXPECT_EQ(outcome.observed_limits[1], table3.limit(1));
+  EXPECT_EQ(outcome.api.capacity_rejections, 1u);  // one rejection, then stop
+  ASSERT_EQ(outcome.errors.size(), 1u);
+  EXPECT_EQ(outcome.errors[0].kind, ApiErrorKind::kInsufficientCapacity);
+  EXPECT_EQ(outcome.instances.size(), 3u);
+}
+
+TEST(ProvisionResilient, BreakerOpensDuringBrownoutAndBoundsCalls) {
+  ResilientProvisionOptions options;
+  options.api_faults.brownouts.push_back({0.0, 1e9});  // region down forever
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 3;
+  policy.open_seconds = 1e12;  // never re-probes within this call
+  CircuitBreaker breaker(policy);
+  options.breaker = &breaker;
+  options.backoff.max_attempts = 6;
+
+  std::vector<int> counts(Catalog::ec2_table3().size(), 0);
+  counts[0] = 3;
+  CloudProvider provider(13);
+  const ProvisionOutcome outcome =
+      provider.provision_resilient(counts, options);
+
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_EQ(outcome.instances.size(), 0u);
+  // The breaker opened after `failure_threshold` real calls; every later
+  // attempt was vetoed locally without reaching the API.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(outcome.api.calls, 3u);
+  EXPECT_EQ(outcome.api.brownout_rejections, 3u);
+  EXPECT_GT(outcome.api.breaker_rejections, 0u);
+  EXPECT_EQ(breaker.stats().opened, 1u);
+}
+
+TEST(ProvisionResilient, DeadlineBudgetCutsRetriesShort) {
+  ResilientProvisionOptions options;
+  options.api_faults = throttling_model(1.0, 21);  // every call throttled
+  options.deadline = DeadlineBudget::until(5.0);
+  options.backoff.initial_seconds = 2.0;
+  options.backoff.max_attempts = 50;
+
+  std::vector<int> counts(Catalog::ec2_table3().size(), 0);
+  counts[0] = 2;
+  CloudProvider provider(17);
+  const ProvisionOutcome outcome =
+      provider.provision_resilient(counts, options);
+
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_TRUE(outcome.deadline_exhausted);
+  EXPECT_EQ(outcome.instances.size(), 0u);
+  EXPECT_EQ(outcome.shortfall[0], 2);
+  // The clock never ran past the absolute deadline.
+  EXPECT_LE(outcome.finished_at, 5.0);
+}
+
+TEST(ProvisionResilient, RateLimiterSpacesCallsDeterministically) {
+  ResilientProvisionOptions options;
+  TokenBucket bucket(1.0, 0.5);  // one call per 2 simulated seconds
+  options.rate_limiter = &bucket;
+  std::vector<int> counts(Catalog::ec2_table3().size(), 0);
+  counts[0] = 3;
+  CloudProvider provider(23);
+  const ProvisionOutcome outcome =
+      provider.provision_resilient(counts, options);
+  EXPECT_TRUE(outcome.complete);
+  // First call free (burst token), the next two wait 2 s each.
+  EXPECT_DOUBLE_EQ(outcome.api.rate_limited_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(outcome.finished_at, 4.0);
+  EXPECT_DOUBLE_EQ(outcome.ready_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(outcome.ready_seconds[1], 2.0);
+  EXPECT_DOUBLE_EQ(outcome.ready_seconds[2], 4.0);
+}
+
+}  // namespace

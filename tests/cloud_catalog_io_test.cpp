@@ -10,6 +10,7 @@
 
 #include "cloud/catalog.hpp"
 #include "cloud/catalog_io.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -190,6 +191,121 @@ TEST(CatalogIoFuzz, JsonRejectsMalformedDocuments) {
               "size": "large", "vcpus": 2, "frequency_ghz": 2.9,
               "memory_gb": 4, "cost_per_hour": 0.1, "color": "red"}]})"),
       std::runtime_error);
+}
+
+TEST(CatalogIoRowValidation, CsvErrorsCarryTheOffendingLineNumber) {
+  // Rows land on line 5 of this scaffold (directives + header above).
+  const auto doc = [](const std::string& bad_row) {
+    return "# name: tiny\n"
+           "# region: test-1\n"
+           "\n"
+           "name,category,size,vcpus,frequency_ghz,memory_gb,storage,"
+           "cost_per_hour,limit\n" +
+           bad_row + "\n";
+  };
+  const auto error_for = [&](const std::string& bad_row) -> std::string {
+    try {
+      (void)catalog_from_csv(doc(bad_row));
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    return {};
+  };
+
+  struct Case {
+    const char* row;
+    const char* expect;  // substring of the error message
+  };
+  const Case cases[] = {
+      {"c4.large,compute,large,2,2.9,3.75,EBS,nan,5", "cost_per_hour is NaN"},
+      {"c4.large,compute,large,2,2.9,3.75,EBS,inf,5",
+       "cost_per_hour must be positive and finite"},
+      {"c4.large,compute,large,2,2.9,3.75,EBS,-0.105,5",
+       "cost_per_hour must be positive and finite"},
+      {"c4.large,compute,large,0,2.9,3.75,EBS,0.105,5",
+       "vcpus must be >= 1, got 0"},
+      {"c4.large,compute,large,-2,2.9,3.75,EBS,0.105,5",
+       "vcpus must be >= 1, got -2"},
+      {"c4.large,compute,large,2,nan,3.75,EBS,0.105,5",
+       "frequency_ghz must be positive and finite"},
+      {"c4.large,compute,large,2,2.9,inf,EBS,0.105,5",
+       "memory_gb must be positive and finite"},
+      {"c4.large,compute,large,2,2.9,3.75,EBS,0.105,-1",
+       "limit must be non-negative, got -1"},
+  };
+  for (const Case& c : cases) {
+    const std::string message = error_for(c.row);
+    EXPECT_NE(message.find("line 5"), std::string::npos)
+        << c.row << " -> " << message;
+    EXPECT_NE(message.find(c.expect), std::string::npos)
+        << c.row << " -> " << message;
+  }
+}
+
+TEST(CatalogIoRowValidation, JsonErrorsNameTheOffendingType) {
+  const auto type_doc = [](const std::string& fields) {
+    return std::string(R"({"types": [{"name": "c4.large",
+        "category": "compute", "size": "large", "storage": "EBS", )") +
+           fields + "}]}";
+  };
+  const auto error_for = [&](const std::string& fields) -> std::string {
+    try {
+      (void)catalog_from_json(type_doc(fields));
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    return {};
+  };
+
+  const std::string zero_vcpus = error_for(
+      R"("vcpus": 0, "frequency_ghz": 2.9, "memory_gb": 4,
+         "cost_per_hour": 0.1)");
+  EXPECT_NE(zero_vcpus.find("json type 'c4.large'"), std::string::npos)
+      << zero_vcpus;
+  EXPECT_NE(zero_vcpus.find("vcpus must be >= 1"), std::string::npos);
+
+  const std::string negative_price = error_for(
+      R"("vcpus": 2, "frequency_ghz": 2.9, "memory_gb": 4,
+         "cost_per_hour": -0.1)");
+  EXPECT_NE(negative_price.find("cost_per_hour must be positive"),
+            std::string::npos)
+      << negative_price;
+}
+
+TEST(CatalogIoFuzz, SeededNumericGarbageNeverCrashesTheCsvLoader) {
+  // Splice seed-derived garbage into each numeric column of an otherwise
+  // valid row: every mutation must either load or throw runtime_error.
+  const char* garbage[] = {"nan",  "-nan", "inf",   "-inf", "1e999",
+                           "-1",   "0x10", "1.2.3", "2,",   "--3",
+                           "1e-),", "NaN",  "1e",    ".",    "+"};
+  int rejected = 0, accepted = 0;
+  celia::util::SplitMix64 mix(20260805);
+  for (int round = 0; round < 200; ++round) {
+    std::string fields[] = {"c4.large", "compute", "large", "2",
+                            "2.9",      "3.75",    "EBS",   "0.105",
+                            "5"};
+    const int column = static_cast<int>(mix.next() % 5);
+    const int numeric_field[] = {3, 4, 5, 7, 8};
+    fields[numeric_field[column]] =
+        garbage[mix.next() % (sizeof(garbage) / sizeof(garbage[0]))];
+    std::string row;
+    for (const std::string& field : fields)
+      row += (row.empty() ? "" : ",") + field;
+    const std::string text =
+        "name,category,size,vcpus,frequency_ghz,memory_gb,storage,"
+        "cost_per_hour,limit\n" +
+        row + "\n";
+    try {
+      (void)catalog_from_csv(text);
+      ++accepted;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  // Every drawn mutation corrupts a numeric field: nothing may slip
+  // through to a "successfully" loaded catalog.
+  EXPECT_EQ(accepted, 0);
+  EXPECT_EQ(rejected, 200);
 }
 
 TEST(CatalogIoFuzz, EveryTruncationOfValidInputsIsHandled) {

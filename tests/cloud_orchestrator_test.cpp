@@ -1,0 +1,222 @@
+// End-to-end partial-fulfillment orchestration: an InsufficientCapacity
+// window on one type cuts provisioning short, the orchestrator shrinks
+// the catalog to the observed limits (new structure_fingerprint) and asks
+// the planner to re-plan, and the final configuration converges to the
+// optimal frontier point of the SHRUNKEN catalog — with the engine's
+// degraded-route counter and the circuit breaker's transition counters
+// exact along the way.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cloud/api_faults.hpp"
+#include "cloud/catalog.hpp"
+#include "cloud/provider.hpp"
+#include "core/capacity.hpp"
+#include "core/configuration.hpp"
+#include "core/enumerate.hpp"
+#include "core/planner_engine.hpp"
+#include "core/query.hpp"
+#include "obs/metrics.hpp"
+#include "util/resilience.hpp"
+
+namespace {
+
+using namespace celia::cloud;
+using namespace celia::core;
+namespace obs = celia::obs;
+using celia::util::CircuitBreaker;
+
+/// 6 Table III types with uniform limit 3 — 4^6 - 1 = 4095 configurations
+/// (same small fixture as the PlannerEngine tests: fast under sanitizers).
+std::shared_ptr<const Catalog> alpha() {
+  static const auto catalog = [] {
+    const auto& table3 = Catalog::ec2_table3();
+    return std::make_shared<const Catalog>(
+        "alpha", "test-1",
+        std::vector<InstanceType>{table3.types().begin(),
+                                  table3.types().begin() + 6},
+        std::vector<int>{3, 3, 3, 3, 3, 3});
+  }();
+  return catalog;
+}
+
+const ResourceCapacity& small_capacity() {
+  static const ResourceCapacity capacity = [] {
+    std::vector<double> per_vcpu(alpha()->size());
+    for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+      per_vcpu[i] = 1.1e9 + 3.7e7 * static_cast<double>(i);
+    return ResourceCapacity(std::move(per_vcpu), *alpha());
+  }();
+  return capacity;
+}
+
+Query small_query(double deadline_hours) {
+  Constraints constraints;
+  constraints.deadline_seconds = deadline_hours * 3600.0;
+  SweepOptions options;
+  options.collect_pareto = false;
+  return Query::make(1e13, constraints, options);
+}
+
+TEST(Orchestrator, CapacityShortfallReplansToShrunkenCatalogOptimum) {
+  PlannerEngine engine;
+  engine.add_catalog("alpha", alpha());
+  obs::Counter& queries = obs::counter("celia_planner_engine_queries_total");
+  obs::Counter& degraded =
+      obs::counter("celia_planner_engine_degraded_total");
+  const auto q0 = queries.value(), d0 = degraded.value();
+
+  // The plan the service WOULD run with a healthy control plane. A tight
+  // deadline forces several instances, so shrinking a limit must move the
+  // optimum.
+  const Query query = small_query(0.25);
+  const SweepResult healthy = engine.plan("alpha", small_capacity(), query);
+  ASSERT_TRUE(healthy.any_feasible);
+  const ConfigurationSpace alpha_space =
+      ConfigurationSpace::for_catalog(*alpha());
+  const Configuration wanted =
+      alpha_space.decode(healthy.min_cost.config_index);
+
+  // Drain the pool of the most-used type down to one below the plan.
+  const auto busiest = std::max_element(wanted.begin(), wanted.end());
+  const auto busy_type =
+      static_cast<std::size_t>(busiest - wanted.begin());
+  ASSERT_GT(*busiest, 0);
+
+  ResilientProvisionOptions options;
+  options.api_faults.capacity_windows.push_back(
+      {busy_type, 0.0, 1e9, *busiest - 1});
+  // A brief brownout at call time zero: the breaker opens on the first
+  // call, cools down during the first backoff sleep (>= 1.5 s with the
+  // default policy's jitter bounds), probes once and closes — an exact,
+  // pinned transition sequence.
+  options.api_faults.brownouts.push_back({0.0, 0.5});
+  CircuitBreaker::Policy breaker_policy;
+  breaker_policy.failure_threshold = 1;
+  breaker_policy.open_seconds = 1.0;
+  CircuitBreaker breaker(breaker_policy);
+  options.breaker = &breaker;
+
+  CloudProvider provider(2017, alpha());
+  int replan_calls = 0;
+  const OrchestrationResult result = provider.provision_orchestrated(
+      wanted, options,
+      [&](const Catalog& shrunken) {
+        ++replan_calls;
+        // Shrunken limits = a structurally NEW catalog; the measured
+        // rates still describe the same hardware, so re-pin them.
+        const auto snapshot = std::make_shared<const Catalog>(shrunken);
+        engine.add_catalog(snapshot->name(), snapshot);
+        // Re-plan under control-plane pressure: no time to build an
+        // index, enough for one sweep -> the observable degraded route.
+        PlanBudget budget;
+        budget.deadline = celia::util::DeadlineBudget::until(10.0);
+        budget.index_build_cost_seconds = 100.0;
+        budget.sweep_cost_seconds = 1.0;
+        const SweepResult replanned = engine.plan(
+            snapshot->name(), small_capacity().rebound(*snapshot), query,
+            budget);
+        EXPECT_EQ(replanned.route, QueryRoute::kDegradedSweep);
+        if (!replanned.any_feasible) return std::vector<int>(shrunken.size());
+        return std::vector<int>(ConfigurationSpace::for_catalog(shrunken)
+                                    .decode(replanned.min_cost.config_index));
+      });
+
+  // Exactly one shrink-and-re-plan round.
+  EXPECT_EQ(result.replans, 1);
+  EXPECT_EQ(replan_calls, 1);
+  EXPECT_TRUE(result.outcome.complete);
+  ASSERT_NE(result.final_catalog, nullptr);
+  EXPECT_NE(result.final_catalog->structure_fingerprint(),
+            alpha()->structure_fingerprint());
+  EXPECT_EQ(result.final_catalog->limit(busy_type), *busiest - 1);
+
+  // The partial acquisition of round one was handed back.
+  EXPECT_GT(result.released_instances, 0);
+  const bool saw_capacity_error = std::any_of(
+      result.errors.begin(), result.errors.end(), [](const ApiError& error) {
+        return error.kind == ApiErrorKind::kInsufficientCapacity;
+      });
+  EXPECT_TRUE(saw_capacity_error);
+
+  // Convergence: the final configuration IS the min-cost frontier point
+  // of the shrunken catalog, computed independently by a direct sweep.
+  const ConfigurationSpace shrunken_space =
+      ConfigurationSpace::for_catalog(*result.final_catalog);
+  const SweepResult direct =
+      sweep(shrunken_space, small_capacity().rebound(*result.final_catalog),
+            *result.final_catalog, query);
+  ASSERT_TRUE(direct.any_feasible);
+  EXPECT_EQ(shrunken_space.encode(result.final_node_counts),
+            direct.min_cost.config_index);
+  EXPECT_EQ(result.outcome.acquired, result.final_node_counts);
+  EXPECT_LE(result.final_node_counts[busy_type], *busiest - 1);
+
+  // Engine counters: the healthy plan + one degraded re-plan.
+  EXPECT_EQ(queries.value() - q0, 2u);
+  EXPECT_EQ(degraded.value() - d0, 1u);
+
+  // Breaker transitions: opened by the brownout's first call, probed once
+  // after cooldown, closed — and never tripped again.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().opened, 1u);
+  EXPECT_EQ(breaker.stats().half_opened, 1u);
+  EXPECT_EQ(breaker.stats().closed, 1u);
+  EXPECT_EQ(breaker.stats().rejected, 0u);
+}
+
+TEST(Orchestrator, CompleteFulfillmentNeverReplans) {
+  CloudProvider provider(2017, alpha());
+  std::vector<int> counts(alpha()->size(), 0);
+  counts[0] = 2;
+  const OrchestrationResult result = provider.provision_orchestrated(
+      counts, {}, [](const Catalog&) -> std::vector<int> {
+        ADD_FAILURE() << "replan must not be called on a healthy plane";
+        return {};
+      });
+  EXPECT_EQ(result.replans, 0);
+  EXPECT_TRUE(result.outcome.complete);
+  EXPECT_EQ(result.final_node_counts, counts);
+  EXPECT_EQ(result.final_catalog->fingerprint(), alpha()->fingerprint());
+  EXPECT_EQ(result.released_instances, 0);
+}
+
+TEST(Orchestrator, ReplanRoundsAreBoundedByMaxReplans) {
+  // Effective limit 0 on EVERY type the replanner keeps asking for: the
+  // orchestrator must give up after max_replans rounds, not loop forever.
+  ResilientProvisionOptions options;
+  for (std::size_t i = 0; i < alpha()->size(); ++i)
+    options.api_faults.capacity_windows.push_back({i, 0.0, 1e9, 0});
+  CloudProvider provider(2017, alpha());
+  std::vector<int> counts(alpha()->size(), 0);
+  counts[0] = 2;
+  int replan_calls = 0;
+  const OrchestrationResult result = provider.provision_orchestrated(
+      counts, options,
+      [&](const Catalog& shrunken) {
+        ++replan_calls;
+        // Ask for one instance of the next type the shrunken catalog still
+        // permits — which the pool then refuses too.
+        std::vector<int> again(shrunken.size(), 0);
+        for (std::size_t i = 0; i < shrunken.size(); ++i) {
+          if (shrunken.limit(i) > 0) {
+            again[i] = 1;
+            break;
+          }
+        }
+        return again;
+      },
+      /*max_replans=*/2);
+  EXPECT_EQ(result.replans, 2);
+  EXPECT_EQ(replan_calls, 2);
+  EXPECT_FALSE(result.outcome.complete);
+  EXPECT_THROW(
+      provider.provision_orchestrated(counts, options, nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace

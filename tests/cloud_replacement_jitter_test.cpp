@@ -1,0 +1,89 @@
+// Regression tests for the replacement jitter streams: each
+// provision_replacement call retries on its own seed-derived stream
+// (CloudProvider::replacement_jitter_seed), so a burst of replacements
+// after one correlated outage spreads out instead of retrying in phase —
+// and the exact retry timestamps are pinned, not just "some jitter".
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cloud/catalog.hpp"
+#include "cloud/faults.hpp"
+#include "cloud/provider.hpp"
+#include "util/backoff.hpp"
+
+namespace {
+
+using celia::cloud::CloudProvider;
+using celia::cloud::FaultModel;
+using celia::cloud::ProvisionResult;
+using celia::util::BackoffPolicy;
+
+FaultModel flaky_boots() {
+  FaultModel faults;
+  faults.boot_failure_probability = 0.7;
+  faults.boot_timeout_seconds = 10.0;
+  return faults;
+}
+
+TEST(ReplacementJitter, RetryTimestampsArePinnedToTheSequenceStream) {
+  constexpr std::uint64_t kProviderSeed = 4242;
+  CloudProvider provider(kProviderSeed);
+  const FaultModel faults = flaky_boots();
+  const BackoffPolicy backoff;
+
+  // Several consecutive replacements: replacement k must draw every retry
+  // delay from the stream seeded by replacement_jitter_seed(seed, k),
+  // regardless of how many instance ids earlier calls consumed.
+  int total_retries = 0;
+  for (std::uint64_t sequence = 0; sequence < 6; ++sequence) {
+    const ProvisionResult result =
+        provider.provision_replacement(0, faults, backoff);
+    const std::uint64_t stream =
+        CloudProvider::replacement_jitter_seed(kProviderSeed, sequence);
+    ASSERT_EQ(result.report.retry_delays.size(),
+              static_cast<std::size_t>(result.report.retries));
+    for (int retry = 0; retry < result.report.retries; ++retry) {
+      EXPECT_DOUBLE_EQ(result.report.retry_delays[retry],
+                       celia::util::backoff_delay(backoff, retry + 1, stream))
+          << "replacement " << sequence << ", retry " << retry;
+    }
+    total_retries += result.report.retries;
+  }
+  // The fault model is hot enough that the pinning above was exercised.
+  ASSERT_GT(total_retries, 0);
+}
+
+TEST(ReplacementJitter, StreamsAreDeterministicAndPairwiseDistinct) {
+  std::set<std::uint64_t> streams;
+  for (std::uint64_t sequence = 0; sequence < 64; ++sequence) {
+    const std::uint64_t stream =
+        CloudProvider::replacement_jitter_seed(4242, sequence);
+    EXPECT_EQ(stream, CloudProvider::replacement_jitter_seed(4242, sequence));
+    streams.insert(stream);
+  }
+  // 64 consecutive replacement calls, 64 unrelated jitter streams.
+  EXPECT_EQ(streams.size(), 64u);
+  // Different providers never share a stream either.
+  EXPECT_NE(CloudProvider::replacement_jitter_seed(4242, 0),
+            CloudProvider::replacement_jitter_seed(4243, 0));
+}
+
+TEST(ReplacementJitter, BurstReplacementsDoNotRetryInLockstep) {
+  // The thundering-herd scenario: many replacements issued back to back
+  // after one outage. Their FIRST retry delays must not collapse onto a
+  // handful of values (the legacy provider_seed ^ next_id derivation made
+  // consecutive ids differ only in low bits).
+  const BackoffPolicy backoff;
+  std::set<double> first_delays;
+  for (std::uint64_t sequence = 0; sequence < 16; ++sequence) {
+    const std::uint64_t stream =
+        CloudProvider::replacement_jitter_seed(7, sequence);
+    first_delays.insert(celia::util::backoff_delay(backoff, 1, stream));
+  }
+  EXPECT_EQ(first_delays.size(), 16u);
+}
+
+}  // namespace

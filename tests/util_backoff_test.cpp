@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+#include <cmath>
+
 #include "util/backoff.hpp"
+#include "util/resilience.hpp"
 
 namespace {
 
@@ -60,6 +64,54 @@ TEST(Backoff, RejectsBadArguments) {
   policy = {};
   policy.initial_seconds = -1.0;
   EXPECT_THROW(backoff_delay(policy, 1, 1), std::invalid_argument);
+}
+
+TEST(Backoff, ZeroMaxAttemptsIsRejectedBeforeAnyRetryLoopRuns) {
+  // backoff_delay itself is attempt-count-agnostic; a policy whose
+  // max_attempts would make every retry loop a no-op is caught by the
+  // policy validator that all provisioning entry points run first.
+  BackoffPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW(celia::util::validate(policy), std::invalid_argument);
+  policy.max_attempts = -3;
+  EXPECT_THROW(celia::util::validate(policy), std::invalid_argument);
+  // The schedule for the policy's delays is still well-defined.
+  EXPECT_NO_THROW(backoff_delay(policy, 1, 7));
+}
+
+TEST(Backoff, SaturatedDelaysKeepJitterBoundedAtExtremeAttempts) {
+  BackoffPolicy policy;  // defaults: max 120 s, 25 % jitter
+  for (const int attempt : {50, 1000, INT_MAX}) {
+    const double d = backoff_delay(policy, attempt, 99);
+    EXPECT_TRUE(std::isfinite(d)) << attempt;
+    EXPECT_GE(d, policy.max_seconds * (1.0 - policy.jitter_fraction));
+    EXPECT_LE(d, policy.max_seconds * (1.0 + policy.jitter_fraction));
+    // Still a pure function at the saturated plateau.
+    EXPECT_DOUBLE_EQ(d, backoff_delay(policy, attempt, 99));
+  }
+}
+
+TEST(Backoff, GeometricGrowthNeverOverflowsToInfinity) {
+  // A cap near DBL_MAX: the doubling loop crosses it through an
+  // intermediate infinity, which must clamp back to the cap rather than
+  // leak an infinite delay into a retry clock.
+  BackoffPolicy policy;
+  policy.initial_seconds = 2.0;
+  policy.multiplier = 2.0;
+  policy.max_seconds = 1.7e308;
+  policy.jitter_fraction = 0.0;
+  for (const int attempt : {1100, 5000, INT_MAX}) {
+    const double d = backoff_delay(policy, attempt, 7);
+    EXPECT_TRUE(std::isfinite(d)) << attempt;
+    EXPECT_DOUBLE_EQ(d, policy.max_seconds);
+  }
+}
+
+TEST(Backoff, ZeroInitialDelayStaysZeroAtEveryAttempt) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 0.0;
+  for (const int attempt : {1, 2, 37, 10000})
+    EXPECT_DOUBLE_EQ(backoff_delay(policy, attempt, 3), 0.0);
 }
 
 }  // namespace

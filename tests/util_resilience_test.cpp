@@ -1,0 +1,235 @@
+// Tests for util/resilience.hpp: TokenBucket, CircuitBreaker and
+// DeadlineBudget — explicit-clock state machines, so every test drives
+// simulated time by hand and asserts exact transition points.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/resilience.hpp"
+
+namespace {
+
+using celia::util::BackoffPolicy;
+using celia::util::CircuitBreaker;
+using celia::util::DeadlineBudget;
+using celia::util::TokenBucket;
+
+// ---------------------------------------------------------- TokenBucket --
+
+TEST(TokenBucket, StartsFullAndBurstsToCapacity) {
+  TokenBucket bucket(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 0.0);
+  // Bucket empty: the fourth acquisition waits exactly one refill period.
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 1.0);
+}
+
+TEST(TokenBucket, RefillsContinuouslyAndCapsAtCapacity) {
+  TokenBucket bucket(2.0, 2.0);  // 2 tokens, 2 tokens/s
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));
+  // After 0.25 s half a token accrued: still not enough.
+  EXPECT_FALSE(bucket.try_acquire(0.25));
+  EXPECT_TRUE(bucket.try_acquire(0.5));
+  // A long idle period refills to capacity, never beyond.
+  EXPECT_DOUBLE_EQ(bucket.available(1000.0), 2.0);
+}
+
+TEST(TokenBucket, AcquireQueuesBackToBackWaits) {
+  TokenBucket bucket(1.0, 0.5);  // one burst token, 2 s per refill
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 2.0);
+  // The previous acquisition consumed the token accruing until t=2, so
+  // the next one is pushed out another full period.
+  EXPECT_DOUBLE_EQ(bucket.acquire(0.0), 4.0);
+}
+
+TEST(TokenBucket, RejectsBadArguments) {
+  EXPECT_THROW(TokenBucket(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, -1.0), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TokenBucket(inf, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, inf), std::invalid_argument);
+}
+
+// ------------------------------------------------------- CircuitBreaker --
+
+CircuitBreaker::Policy two_strikes() {
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 2;
+  policy.open_seconds = 10.0;
+  policy.half_open_probes = 1;
+  return policy;
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(two_strikes());
+  ASSERT_TRUE(breaker.allow(0.0));
+  breaker.record_failure(0.0);
+  ASSERT_TRUE(breaker.allow(1.0));
+  breaker.record_success(1.0);  // success resets the streak
+  ASSERT_TRUE(breaker.allow(2.0));
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(breaker.allow(3.0));
+  breaker.record_failure(3.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_DOUBLE_EQ(breaker.reopen_at(), 13.0);
+  EXPECT_EQ(breaker.stats().opened, 1u);
+}
+
+TEST(CircuitBreaker, OpenRejectsUntilCooldownThenProbes) {
+  CircuitBreaker breaker(two_strikes());
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  EXPECT_FALSE(breaker.allow(5.0));
+  EXPECT_FALSE(breaker.allow(9.999));
+  EXPECT_EQ(breaker.stats().rejected, 2u);
+
+  // Cooldown elapsed: half-open, exactly one probe admitted.
+  EXPECT_TRUE(breaker.allow(10.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(10.5));  // second concurrent probe vetoed
+
+  breaker.record_success(11.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().half_opened, 1u);
+  EXPECT_EQ(breaker.stats().closed, 1u);
+  EXPECT_TRUE(breaker.allow(11.0));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreaker breaker(two_strikes());
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  ASSERT_TRUE(breaker.allow(10.0));  // probe
+  breaker.record_failure(10.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_DOUBLE_EQ(breaker.reopen_at(), 20.0);
+  EXPECT_EQ(breaker.stats().opened, 2u);
+  // A late failure report of an old request while open is ignored.
+  breaker.record_failure(12.0);
+  EXPECT_DOUBLE_EQ(breaker.reopen_at(), 20.0);
+}
+
+TEST(CircuitBreaker, MultipleProbesMustAllSucceed) {
+  CircuitBreaker::Policy policy = two_strikes();
+  policy.half_open_probes = 2;
+  CircuitBreaker breaker(policy);
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  ASSERT_TRUE(breaker.allow(10.0));
+  ASSERT_TRUE(breaker.allow(10.0));
+  EXPECT_FALSE(breaker.allow(10.0));  // probe budget spent
+  breaker.record_success(11.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record_success(11.5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, CooldownJitterIsSeededAndDeterministic) {
+  CircuitBreaker::Policy policy = two_strikes();
+  policy.cooldown_jitter_fraction = 0.5;
+  policy.seed = 42;
+  CircuitBreaker a(policy), b(policy);
+  for (CircuitBreaker* breaker : {&a, &b}) {
+    breaker->record_failure(0.0);
+    breaker->record_failure(0.0);
+  }
+  // Same (seed, episode) => identical jittered cooldown, within bounds.
+  EXPECT_DOUBLE_EQ(a.reopen_at(), b.reopen_at());
+  EXPECT_GE(a.reopen_at(), 5.0);
+  EXPECT_LE(a.reopen_at(), 15.0);
+
+  policy.seed = 43;
+  CircuitBreaker c(policy);
+  c.record_failure(0.0);
+  c.record_failure(0.0);
+  EXPECT_NE(a.reopen_at(), c.reopen_at());
+}
+
+TEST(CircuitBreaker, RejectsBadPolicies) {
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{policy}, std::invalid_argument);
+  policy = {};
+  policy.open_seconds = -1.0;
+  EXPECT_THROW(CircuitBreaker{policy}, std::invalid_argument);
+  policy = {};
+  policy.half_open_probes = 0;
+  EXPECT_THROW(CircuitBreaker{policy}, std::invalid_argument);
+  policy = {};
+  policy.cooldown_jitter_fraction = 1.5;
+  EXPECT_THROW(CircuitBreaker{policy}, std::invalid_argument);
+}
+
+// ------------------------------------------------------- DeadlineBudget --
+
+TEST(DeadlineBudget, DefaultIsUnlimited) {
+  DeadlineBudget budget;
+  EXPECT_TRUE(budget.is_unlimited());
+  EXPECT_FALSE(budget.expired(1e18));
+  EXPECT_EQ(budget.remaining(1e18),
+            std::numeric_limits<double>::infinity());
+  const auto delay = budget.clamp_delay(1e18, 30.0);
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_DOUBLE_EQ(*delay, 30.0);
+}
+
+TEST(DeadlineBudget, RemainingAndExpiry) {
+  const DeadlineBudget budget = DeadlineBudget::from_now(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(budget.deadline_seconds(), 150.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(120.0), 30.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(150.0), 0.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(200.0), 0.0);
+  EXPECT_FALSE(budget.expired(149.9));
+  EXPECT_TRUE(budget.expired(150.0));
+}
+
+TEST(DeadlineBudget, ClampDelayTruncatesAndExpires) {
+  const DeadlineBudget budget = DeadlineBudget::until(10.0);
+  const auto fits = budget.clamp_delay(2.0, 5.0);
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_DOUBLE_EQ(*fits, 5.0);
+  const auto truncated = budget.clamp_delay(8.0, 5.0);
+  ASSERT_TRUE(truncated.has_value());
+  EXPECT_DOUBLE_EQ(*truncated, 2.0);
+  EXPECT_FALSE(budget.clamp_delay(10.0, 5.0).has_value());
+}
+
+TEST(DeadlineBudget, ChildBudgetsOnlyShrink) {
+  const DeadlineBudget outer = DeadlineBudget::until(100.0);
+  const DeadlineBudget tight = outer.child(0.0, 40.0);
+  EXPECT_DOUBLE_EQ(tight.deadline_seconds(), 40.0);
+  // A child asking for more time than the parent has left is clamped to
+  // the parent's deadline: nested retries can never overshoot it.
+  const DeadlineBudget clamped = outer.child(90.0, 40.0);
+  EXPECT_DOUBLE_EQ(clamped.deadline_seconds(), 100.0);
+  const DeadlineBudget unlimited_child = DeadlineBudget().child(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(unlimited_child.deadline_seconds(), 7.0);
+}
+
+TEST(DeadlineBudget, RejectsBadArguments) {
+  EXPECT_THROW(DeadlineBudget::until(-1.0), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(DeadlineBudget::until(nan), std::invalid_argument);
+  EXPECT_THROW(DeadlineBudget().child(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(BackoffPolicyValidate, RejectsNonPositiveMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW(celia::util::validate(policy), std::invalid_argument);
+  policy = {};
+  EXPECT_NO_THROW(celia::util::validate(policy));
+}
+
+}  // namespace
