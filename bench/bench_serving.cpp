@@ -1,0 +1,334 @@
+// Serving-layer benchmark + acceptance harness for serve::PlannerService.
+//
+// Phase A — coalescing: N identical in-flight requests must cost exactly
+// ONE index build (counter-exact via celia_serve_coalesced_total /
+// celia_planner_engine_index_builds_total), and a duplicate-heavy open
+// loop is compared with coalescing on vs off (qps, p50, p99).
+//
+// Phase B — overload: the sustainable closed-loop rate is measured, then
+// an open loop drives the service at 2x that rate twice: once with
+// watermark + SLO shedding (the shed counter must move and the p99 of
+// ADMITTED requests must stay inside the SLO) and once with shedding
+// disabled (the p99 must blow through the same SLO — the latency death
+// spiral shedding exists to prevent).
+//
+// Exits nonzero if any acceptance check fails, so CI can gate on it.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/catalog.hpp"
+#include "core/planner_engine.hpp"
+#include "obs/metrics.hpp"
+#include "serve/planner_service.hpp"
+
+namespace {
+
+using namespace celia;
+using core::PlannerEngine;
+using core::Query;
+using core::ResourceCapacity;
+using serve::PlanRequest;
+using serve::PlannerService;
+using serve::ServeOutcome;
+using serve::ServeStats;
+using serve::ServeStatus;
+using serve::ServiceOptions;
+
+int failures = 0;
+
+#define CHECK(cond, ...)                                   \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      std::printf("FAIL: %s — ", #cond);                   \
+      std::printf(__VA_ARGS__);                            \
+      std::printf("\n");                                   \
+      ++failures;                                          \
+    }                                                      \
+  } while (0)
+
+/// 6 Table III types, uniform limit `limit` (limit 3 → 4095 configs,
+/// limit 7 → 262143 configs).
+std::shared_ptr<const cloud::Catalog> make_catalog(int limit) {
+  const auto& table3 = cloud::Catalog::ec2_table3();
+  return std::make_shared<const cloud::Catalog>(
+      "bench", "bench-1",
+      std::vector<cloud::InstanceType>{table3.types().begin(),
+                                       table3.types().begin() + 6},
+      std::vector<int>(6, limit));
+}
+
+ResourceCapacity capacity_for(const cloud::Catalog& catalog) {
+  std::vector<double> per_vcpu(catalog.size());
+  for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+    per_vcpu[i] = 1.1e9 + 3.7e7 * static_cast<double>(i);
+  return ResourceCapacity(std::move(per_vcpu), catalog);
+}
+
+/// Risk-aware (index-ineligible) query: every non-coalesced request costs
+/// a full sweep, which is what makes service time measurable.
+Query risky_query(double demand) {
+  core::Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.confidence_z = 1.645;
+  constraints.rate_sigma = 0.1;
+  core::SweepOptions options;
+  options.collect_pareto = false;
+  return Query::make(demand, constraints, options);
+}
+
+Query plain_query(double demand) {
+  core::Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  core::SweepOptions options;
+  options.collect_pareto = false;
+  return Query::make(demand, constraints, options);
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+struct LoadReport {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t planned = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Submit `total` requests open-loop at `rate` (requests/second) and
+/// wait for every outcome. Latencies are taken from the ADMITTED
+/// (planned) outcomes' own total_seconds.
+LoadReport open_loop(PlannerService& service, const ResourceCapacity& capacity,
+                     double rate, int total, int distinct) {
+  std::vector<std::future<ServeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(total));
+  const auto start = std::chrono::steady_clock::now();
+  const double interarrival = 1.0 / rate;
+  for (int i = 0; i < total; ++i) {
+    const double due = static_cast<double>(i) * interarrival;
+    for (;;) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= due) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    futures.push_back(service.submit(PlanRequest{
+        "tenant-" + std::to_string(i % 2), "bench", capacity,
+        risky_query(1e13 + static_cast<double>(i % distinct))}));
+  }
+  LoadReport report;
+  std::vector<double> latencies;
+  for (auto& future : futures) {
+    const ServeOutcome outcome = future.get();
+    if (outcome.status == ServeStatus::kPlanned) {
+      ++report.planned;
+      latencies.push_back(outcome.total_seconds);
+    } else {
+      ++report.shed;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.qps = static_cast<double>(report.planned) / elapsed;
+  report.p50_ms = quantile(latencies, 0.50) * 1e3;
+  report.p99_ms = quantile(latencies, 0.99) * 1e3;
+  return report;
+}
+
+void phase_a_coalescing() {
+  std::printf("--- phase A: in-flight coalescing ---\n");
+  obs::Counter& builds =
+      obs::counter("celia_planner_engine_index_builds_total");
+  obs::Counter& coalesced = obs::counter("celia_serve_coalesced_total");
+
+  // A1: counter-exact dedup. N identical index-eligible requests held
+  // in-flight (caller-driven mode) cost exactly one index build.
+  const auto catalog = make_catalog(3);
+  PlannerEngine engine;
+  engine.add_catalog("bench", catalog);
+  const ResourceCapacity capacity = capacity_for(*catalog);
+  ServiceOptions options;
+  options.num_workers = 0;
+  PlannerService service(engine, options);
+
+  constexpr int kN = 64;
+  const auto b0 = builds.value(), c0 = coalesced.value();
+  std::vector<std::future<ServeOutcome>> futures;
+  for (int i = 0; i < kN; ++i)
+    futures.push_back(service.submit(
+        PlanRequest{"t", "bench", capacity, plain_query(1e13)}));
+  while (service.drain_one()) {
+  }
+  for (auto& future : futures)
+    CHECK(future.get().status == ServeStatus::kPlanned, "coalesced plan");
+  const auto dup_builds = builds.value() - b0;
+  const auto dup_joins = coalesced.value() - c0;
+  std::printf("identical in-flight: %d requests -> %llu index build(s), "
+              "%llu coalesced joins\n",
+              kN, static_cast<unsigned long long>(dup_builds),
+              static_cast<unsigned long long>(dup_joins));
+  CHECK(dup_builds == 1u, "expected exactly 1 build, got %llu",
+        static_cast<unsigned long long>(dup_builds));
+  CHECK(dup_joins == static_cast<std::uint64_t>(kN - 1),
+        "expected %d joins, got %llu", kN - 1,
+        static_cast<unsigned long long>(dup_joins));
+  service.stop();
+
+  // A2: duplicate-heavy open loop, coalescing on vs off. 4 distinct
+  // risk-aware queries over 240 requests: with coalescing the duplicate
+  // sweeps collapse.
+  for (const bool coalesce : {false, true}) {
+    PlannerEngine loop_engine;
+    loop_engine.add_catalog("bench", make_catalog(5));
+    const auto loop_catalog = loop_engine.catalog("bench");
+    const ResourceCapacity loop_capacity = capacity_for(*loop_catalog);
+    ServiceOptions loop_options;
+    loop_options.num_workers = 2;
+    loop_options.queue_capacity = 4096;
+    loop_options.shed_watermark = 4096;
+    loop_options.coalesce = coalesce;
+    PlannerService loop_service(loop_engine, loop_options);
+    const LoadReport report =
+        open_loop(loop_service, loop_capacity, 4000.0, 240, 4);
+    loop_service.stop();
+    std::printf("open loop (coalesce=%s): qps=%.0f p50=%.2fms p99=%.2fms\n",
+                coalesce ? "on" : "off", report.qps, report.p50_ms,
+                report.p99_ms);
+    CHECK(report.planned == 240u, "every request planned, got %llu",
+          static_cast<unsigned long long>(report.planned));
+  }
+}
+
+void phase_b_overload() {
+  std::printf("--- phase B: overload shedding ---\n");
+  // Big space (262143 configurations per sweep) so one request is real
+  // work and 2 workers have a clearly measurable sustainable rate.
+  const auto catalog = make_catalog(7);
+
+  // B1: measure the sustainable rate closed-loop (one request in flight
+  // per worker at all times).
+  double sustainable_qps;
+  {
+    PlannerEngine engine;
+    engine.add_catalog("bench", catalog);
+    const ResourceCapacity capacity = capacity_for(*catalog);
+    ServiceOptions options;
+    options.num_workers = 2;
+    PlannerService service(engine, options);
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kProbe = 60;
+    std::vector<std::future<ServeOutcome>> window;
+    int done = 0;
+    for (int i = 0; i < kProbe; ++i) {
+      window.push_back(service.submit(PlanRequest{
+          "probe", "bench", capacity,
+          risky_query(1e13 + static_cast<double>(i))}));
+      if (window.size() >= 2) {
+        (void)window.front().get();
+        window.erase(window.begin());
+        ++done;
+      }
+    }
+    for (auto& future : window) {
+      (void)future.get();
+      ++done;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    sustainable_qps = static_cast<double>(done) / elapsed;
+    service.stop();
+    std::printf("sustainable (closed loop, 2 workers): %.0f qps\n",
+                sustainable_qps);
+  }
+
+  // B2: open loop at 2x the sustainable rate. The SLO is set to a
+  // generous multiple of one service time at the sustainable rate; a
+  // short bounded queue + watermark keeps admitted latency inside it.
+  const double overload_rate = 2.0 * sustainable_qps;
+  const double service_seconds = 2.0 / sustainable_qps;  // per request
+  const double slo_seconds = 16.0 * service_seconds;
+  const int total = static_cast<int>(overload_rate * 2.0);  // ~2 s of load
+
+  LoadReport shed_report, spiral_report;
+  {
+    PlannerEngine engine;
+    engine.add_catalog("bench", catalog);
+    const ResourceCapacity capacity = capacity_for(*catalog);
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 64;
+    // Watermark chosen so queue wait stays well under the SLO:
+    // 8 queued * service_seconds/2 per slot << slo_seconds.
+    options.shed_watermark = 8;
+    options.latency_slo_seconds = slo_seconds;
+    options.slo_probe_stride = 16;
+    PlannerService service(engine, options);
+    shed_report = open_loop(service, capacity, overload_rate, total, 1 << 20);
+    const ServeStats stats = service.stats();
+    service.stop();
+    CHECK(stats.admitted + stats.shed + stats.rejected_quota ==
+              stats.submitted,
+          "terminal buckets must partition submissions");
+    std::printf("2x overload WITH shedding: qps=%.0f p50=%.1fms p99=%.1fms "
+                "shed=%llu (slo p99 <= %.1fms)\n",
+                shed_report.qps, shed_report.p50_ms, shed_report.p99_ms,
+                static_cast<unsigned long long>(shed_report.shed),
+                slo_seconds * 1e3);
+    CHECK(shed_report.shed > 0, "2x overload must shed");
+    CHECK(shed_report.p99_ms <= slo_seconds * 1e3,
+          "admitted p99 %.1fms must stay within the %.1fms SLO",
+          shed_report.p99_ms, slo_seconds * 1e3);
+  }
+  {
+    PlannerEngine engine;
+    engine.add_catalog("bench", catalog);
+    const ResourceCapacity capacity = capacity_for(*catalog);
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 1 << 16;  // effectively unbounded
+    options.shed_watermark = 1 << 16;  // no watermark shedding
+    PlannerService service(engine, options);  // no SLO either
+    spiral_report =
+        open_loop(service, capacity, overload_rate, total, 1 << 20);
+    service.stop();
+    std::printf("2x overload NO shedding:   qps=%.0f p50=%.1fms p99=%.1fms "
+                "shed=%llu\n",
+                spiral_report.qps, spiral_report.p50_ms, spiral_report.p99_ms,
+                static_cast<unsigned long long>(spiral_report.shed));
+    CHECK(spiral_report.p99_ms > slo_seconds * 1e3,
+          "the unshed baseline should blow the SLO (p99 %.1fms vs %.1fms)",
+          spiral_report.p99_ms, slo_seconds * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  phase_a_coalescing();
+  phase_b_overload();
+  if (failures != 0) {
+    std::printf("%d serving acceptance check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all serving acceptance checks passed\n");
+  return 0;
+}

@@ -14,6 +14,12 @@
 #include <iostream>
 #include <memory>
 
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
 #include "apps/registry.hpp"
 #include "cloud/api_faults.hpp"
 #include "cloud/catalog_io.hpp"
@@ -23,11 +29,166 @@
 #include "core/recommend.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "serve/planner_service.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
+#include "util/resilience.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// --serve: synthetic open-loop load against a PlannerService fronting
+/// the model's catalog (the "Serving quickstart" in README.md). Two
+/// tenants — interactive (weight 2, tight per-request deadlines) and
+/// batch (weight 1) — submit a rotating mix of index-eligible and
+/// risk-aware queries at a fixed aggregate rate.
+int run_serve_demo(const celia::core::Celia& celia,
+                   std::shared_ptr<const celia::cloud::Catalog> catalog,
+                   const celia::apps::AppParams& params,
+                   const celia::util::CliParser& cli) {
+  using namespace celia;
+
+  const double seconds = cli.get_double("serve-seconds");
+  const double rate = cli.get_double("serve-rate");
+  const auto workers = static_cast<std::size_t>(cli.get_int("serve-workers"));
+  const double slo_ms = cli.get_double("serve-slo-ms");
+  if (seconds <= 0 || rate <= 0 || workers < 1 || slo_ms <= 0) {
+    std::cerr << "--serve needs positive --serve-seconds, --serve-rate, "
+                 "--serve-workers and --serve-slo-ms\n";
+    return 1;
+  }
+
+  core::PlannerEngine engine;
+  engine.add_catalog("live", std::move(catalog));
+
+  // One explicit clock shared by the service and the load generator, so
+  // per-request deadlines line up with admission decisions.
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto clock = [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+
+  const double base_demand = celia.predict_demand(params);
+  core::Constraints plain;
+  plain.deadline_seconds = 24 * 3600.0;
+  core::SweepOptions no_pareto;
+  no_pareto.collect_pareto = false;
+
+  // Warm the demand-invariant frontier index once, timed: the measured
+  // build cost doubles as the service's PlanBudget estimate, so queries
+  // whose remaining deadline cannot afford a rebuild or a full sweep are
+  // routed down the degradation ladder instead of monopolizing a worker.
+  util::Stopwatch warm;
+  (void)engine.plan("live", celia.capacity(),
+                    core::Query::make(base_demand, plain, no_pareto));
+  const double full_work_seconds = warm.elapsed_ms() / 1e3;
+  std::cout << "index warmed in "
+            << util::format_fixed(full_work_seconds * 1e3, 0)
+            << " ms (PlanBudget cost estimate)\n";
+
+  serve::ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 256;
+  options.shed_watermark = 16;
+  options.latency_slo_seconds = slo_ms / 1e3;
+  options.slo_probe_stride = 32;
+  options.index_build_cost_seconds = full_work_seconds;
+  options.sweep_cost_seconds = full_work_seconds;
+  options.truncated_sweep_configs = 32768;
+  options.clock = clock;
+  serve::PlannerService service(engine, options);
+  serve::TenantQuota interactive;
+  interactive.weight = 2.0;
+  service.set_tenant_quota("interactive", interactive);
+  service.set_tenant_quota("batch", serve::TenantQuota{});
+
+  std::cout << "serving: " << workers << " workers, open loop at "
+            << util::format_fixed(rate, 0) << " req/s for "
+            << util::format_fixed(seconds, 1) << " s, p99 SLO "
+            << util::format_fixed(slo_ms, 1) << " ms\n";
+
+  const double load_start = clock();
+  const int total = static_cast<int>(seconds * rate);
+  std::vector<std::future<serve::ServeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const double due = load_start + static_cast<double>(i) / rate;
+    while (clock() < due)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    core::Constraints constraints = plain;
+    if (i % 8 == 0) {  // every eighth query is risk-aware (index-ineligible)
+      constraints.confidence_z = 1.645;
+      constraints.rate_sigma = 0.1;
+    }
+    // Interactive requests carry a tight deadline; batch a loose one.
+    // Both are absolute times in the shared service clock.
+    serve::PlanRequest request{
+        i % 2 == 0 ? "interactive" : "batch", "live", celia.capacity(),
+        core::Query::make(base_demand * (1.0 + 0.01 * (i % 64)), constraints,
+                          no_pareto),
+        util::DeadlineBudget::from_now(
+            clock(), i % 2 == 0 ? 10 * slo_ms / 1e3 : 2.0)};
+    futures.push_back(service.submit(std::move(request)));
+  }
+
+  std::uint64_t planned = 0, degraded = 0;
+  std::vector<double> latencies;
+  for (auto& future : futures) {
+    const serve::ServeOutcome outcome = future.get();
+    if (outcome.status != serve::ServeStatus::kPlanned) continue;
+    ++planned;
+    latencies.push_back(outcome.total_seconds * 1e3);
+    degraded += outcome.result.route == core::QueryRoute::kDegradedSweep ||
+                outcome.result.route == core::QueryRoute::kTruncatedSweep;
+  }
+  const double elapsed = clock() - load_start;
+  service.stop();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&latencies](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1));
+    return latencies[rank];
+  };
+  const serve::ServeStats stats = service.stats();
+  util::TablePrinter table({"outcome", "count"});
+  table.set_right_aligned(1);
+  const auto row = [&table](const char* name, std::uint64_t count) {
+    table.add_row({name, util::format_with_commas(count)});
+  };
+  row("submitted", stats.submitted);
+  row("admitted (answered)", stats.admitted);
+  row("  coalesced joins", stats.coalesced);
+  row("  degraded-but-on-time", degraded);
+  row("shed: queue watermark", stats.shed_queue_full);
+  row("shed: latency SLO", stats.shed_slo);
+  row("shed: deadline expired", stats.shed_deadline);
+  row("rejected: tenant quota", stats.rejected_quota);
+  table.print(std::cout);
+  std::cout << "throughput   : "
+            << util::format_fixed(static_cast<double>(planned) / elapsed, 0)
+            << " planned/s\n"
+            << "latency      : p50 " << util::format_fixed(pct(0.50), 2)
+            << " ms, p99 " << util::format_fixed(pct(0.99), 2) << " ms\n";
+  // The serving invariant, checked live: every submission landed in
+  // exactly one terminal bucket.
+  if (stats.admitted + stats.shed + stats.rejected_quota != stats.submitted) {
+    std::cerr << "serving counter invariant VIOLATED\n";
+    return 1;
+  }
+  if (cli.has("metrics")) {
+    std::cout << "\n--- obs metrics ---\n";
+    obs::dump_metrics(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace celia;
@@ -63,6 +224,13 @@ int main(int argc, char** argv) {
   cli.add_flag("index",
                "answer the query from a precomputed frontier index instead "
                "of a full sweep");
+  cli.add_flag("serve",
+               "run the planner as a service under synthetic open-loop load "
+               "(admission control, coalescing, per-tenant fairness)");
+  cli.add_option("serve-seconds", "serving demo duration", "2");
+  cli.add_option("serve-rate", "aggregate submission rate, req/s", "500");
+  cli.add_option("serve-workers", "planner worker threads", "2");
+  cli.add_option("serve-slo-ms", "p99 latency SLO in milliseconds", "50");
   cli.add_flag("metrics",
                "dump the obs metrics registry (Prometheus text format) "
                "after planning");
@@ -149,6 +317,8 @@ int main(int argc, char** argv) {
     core::save_model(celia, out);
     std::cout << "model saved to " << path << "\n";
   }
+
+  if (cli.has("serve")) return run_serve_demo(celia, catalog, params, cli);
 
   std::cout << "CELIA plan for " << app->name() << "(n=" << params.n
             << ", " << app->accuracy_param_name() << "=" << params.a

@@ -83,6 +83,70 @@ std::span<const double> latency_bounds_seconds() noexcept {
   return kBounds;
 }
 
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> counts,
+                             double q) {
+  if (counts.size() != bounds.size() + 1)
+    throw std::invalid_argument(
+        "quantile_from_buckets: counts must have bounds.size() + 1 entries");
+  if (!(q >= 0.0) || q > 1.0)
+    throw std::invalid_argument("quantile_from_buckets: q outside [0, 1]");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // The q-th observation rank, Prometheus-style: rank q*total counted
+  // from 1 (q == 1 lands exactly on the last observation).
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b == bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double upper = bounds[b];
+    const double into =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+  }
+  return bounds.back();  // q == 0 with all mass in the overflow bucket
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  return quantile_from_buckets(histogram.bounds(), counts, q);
+}
+
+LatencyQuantiles latency_quantiles(const Histogram& histogram) {
+  const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  LatencyQuantiles out;
+  for (const std::uint64_t c : counts) out.count += c;
+  out.p50 = quantile_from_buckets(histogram.bounds(), counts, 0.50);
+  out.p99 = quantile_from_buckets(histogram.bounds(), counts, 0.99);
+  return out;
+}
+
+LatencyQuantiles latency_quantiles_since(
+    const Histogram& histogram, std::span<const std::uint64_t> previous) {
+  std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  if (previous.size() != counts.size())
+    throw std::invalid_argument(
+        "latency_quantiles_since: snapshot shape does not match histogram");
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (previous[b] > counts[b])
+      throw std::invalid_argument(
+          "latency_quantiles_since: snapshot is not an earlier snapshot of "
+          "this histogram (bucket count decreased)");
+    counts[b] -= previous[b];
+  }
+  LatencyQuantiles out;
+  for (const std::uint64_t c : counts) out.count += c;
+  out.p50 = quantile_from_buckets(histogram.bounds(), counts, 0.50);
+  out.p99 = quantile_from_buckets(histogram.bounds(), counts, 0.99);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 

@@ -182,6 +182,41 @@ class Histogram {
 /// The default for every `*_seconds` histogram in the codebase.
 std::span<const double> latency_bounds_seconds() noexcept;
 
+/// Quantile estimate over fixed histogram buckets, with the PROMETHEUS
+/// histogram_quantile() semantics: find the bucket holding the q-th
+/// observation rank and interpolate linearly inside it (the first
+/// bucket's lower edge is 0; an answer landing in the overflow bucket is
+/// clamped to bounds.back(), the largest value the histogram can still
+/// resolve). `counts` must be per-bucket counts of length
+/// bounds.size() + 1 (last = overflow) and q in [0, 1] — throws
+/// std::invalid_argument otherwise. Returns 0 when the histogram is
+/// empty. Exact whenever the true quantile sits on a bucket boundary or
+/// the observations inside the deciding bucket are uniformly spaced —
+/// pinned by obs_percentile_test.cpp.
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> counts, double q);
+
+/// quantile_from_buckets over a live histogram's current totals.
+double histogram_quantile(const Histogram& histogram, double q);
+
+/// The p50/p99 convenience snapshot used by serving-layer SLO probes.
+struct LatencyQuantiles {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Quantiles of everything the histogram has recorded so far.
+LatencyQuantiles latency_quantiles(const Histogram& histogram);
+
+/// Quantiles of the WINDOW between two cumulative bucket snapshots (the
+/// rolling-percentile building block: snapshot bucket_counts() at probe
+/// time, diff against the previous probe's snapshot). `previous` must be
+/// an earlier snapshot of the same histogram (element-wise <=); throws
+/// std::invalid_argument on shape mismatch or a non-monotonic pair.
+LatencyQuantiles latency_quantiles_since(
+    const Histogram& histogram, std::span<const std::uint64_t> previous);
+
 /// The process-wide registry. Metrics are created on first lookup and
 /// live forever; looking a name up again returns the same object (and
 /// throws std::invalid_argument if the kinds disagree).

@@ -1,13 +1,30 @@
 #pragma once
 // Bounded multi-producer multi-consumer queue with blocking push/pop and a
-// close() protocol. Used by the SAND master-worker simulator's work queue
-// and available as a general building block.
+// close() protocol. Used by the SAND master-worker simulator's work queue,
+// the serving layer's shutdown path, and available as a general building
+// block.
+//
+// SHUTDOWN CONTRACT (pinned by parallel_queue_test.cpp):
+//  * close() is the graceful path: pushes fail from that point on, but
+//    every item already queued remains poppable — consumers DRAIN the
+//    queue and then (and only then) see the definite "closed" signal,
+//    pop() == nullopt. A pop() blocked on an empty queue at close() time
+//    wakes exactly once with nullopt; it can never miss the signal or
+//    re-block, because the closed flag is checked under the same mutex
+//    the wait predicate uses.
+//  * close_and_drain() is the abortive path: it closes the queue AND
+//    removes the pending items in one atomic step, handing them back to
+//    the caller so unserved work can be REPORTED (failed over, answered
+//    with a typed shutdown outcome, ...) instead of silently destroyed.
+//    After it returns, every pop() — blocked or future — returns nullopt.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 namespace celia::parallel {
 
@@ -67,7 +84,8 @@ class ConcurrentQueue {
     return value;
   }
 
-  /// After close(), pushes fail and pops drain the remaining items.
+  /// Graceful shutdown: pushes fail afterwards, pops drain the remaining
+  /// items and then return nullopt (see the shutdown contract above).
   void close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -75,6 +93,28 @@ class ConcurrentQueue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  /// Abortive shutdown: close AND take the pending items in one atomic
+  /// step, in FIFO order, so the caller can report or re-route work that
+  /// will never be served. Blocked pops wake with nullopt immediately.
+  /// Idempotent: a second call (or a call after close()) returns whatever
+  /// is still queued, which is empty unless items were pushed before the
+  /// first close won the race.
+  std::vector<T> close_and_drain() {
+    std::vector<T> pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      pending.reserve(items_.size());
+      while (!items_.empty()) {
+        pending.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return pending;
   }
 
   bool closed() const {

@@ -1,0 +1,176 @@
+#pragma once
+// serve::WeightedFairQueue — the PlannerService's bounded, multi-tenant
+// submission queue. Extends the ConcurrentQueue protocol (one mutex + two
+// condition variables, blocking pop, close()/close_and_drain() shutdown
+// contract — see parallel/concurrent_queue.hpp) with per-tenant FIFO
+// lanes drained by weighted deficit round-robin, so one hot tenant can
+// fill its own lane but never starve the others:
+//
+//   * Each tenant owns a FIFO lane and a weight (default 1). The total
+//     number of queued items across lanes is bounded by `capacity`.
+//   * pop() serves lanes in registration order from a rotating cursor.
+//     Every lane carries a CREDIT; serving one item costs one credit.
+//     When no backlogged lane has credit left, every backlogged lane is
+//     replenished by its weight — so over any long window tenant i
+//     receives service proportional to weight_i, while an idle tenant's
+//     credit is forfeited (reset when its lane empties), never hoarded.
+//   * Lock-lean by construction: push/pop each take the one mutex once,
+//     do O(#tenants) pointer work, and leave; the expensive planning work
+//     happens strictly outside the lock.
+//
+// The queue is deliberately deterministic: given the same sequence of
+// push/pop calls, the same items come out in the same order (the fairness
+// test and the serving bench both rely on this).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace celia::serve {
+
+template <typename T>
+class WeightedFairQueue {
+ public:
+  /// capacity == 0 means unbounded (summed across every tenant lane).
+  explicit WeightedFairQueue(std::size_t capacity = 0)
+      : capacity_(capacity) {}
+
+  /// Register `tenant` (idempotent) and set its scheduling weight.
+  /// Throws std::invalid_argument unless weight >= 1.
+  void set_weight(std::string_view tenant, double weight) {
+    if (!(weight >= 1.0))
+      throw std::invalid_argument(
+          "WeightedFairQueue: tenant weight must be >= 1");
+    std::lock_guard<std::mutex> lock(mutex_);
+    lane_locked(tenant).weight = weight;
+  }
+
+  /// Non-blocking push into `tenant`'s lane; fails when the queue is full
+  /// or closed. Unknown tenants are registered on first push (weight 1).
+  bool try_push(std::string_view tenant, T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || (capacity_ != 0 && size_ >= capacity_)) return false;
+      lane_locked(tenant).items.push_back(std::move(value));
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: the next item by weighted deficit round-robin. Returns
+  /// nullopt once the queue is closed AND drained (definite shutdown
+  /// signal, same contract as ConcurrentQueue::pop).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop (same scheduling as pop()).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Graceful shutdown: pushes fail afterwards, pops drain what is queued
+  /// and then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Abortive shutdown: close and hand back every queued item (in the
+  /// order pop() would have served them) so unserved work can be answered
+  /// with a typed outcome instead of silently destroyed.
+  std::vector<T> close_and_drain() {
+    std::vector<T> pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      pending.reserve(size_);
+      while (size_ > 0) {
+        std::optional<T> item = pop_locked();
+        pending.push_back(std::move(*item));
+      }
+    }
+    not_empty_.notify_all();
+    return pending;
+  }
+
+ private:
+  struct Lane {
+    std::deque<T> items;
+    double weight = 1.0;
+    double credit = 0.0;
+  };
+
+  Lane& lane_locked(std::string_view tenant) {
+    const auto it = lane_index_.find(std::string(tenant));
+    if (it != lane_index_.end()) return lanes_[it->second];
+    lane_index_.emplace(std::string(tenant), lanes_.size());
+    lanes_.emplace_back();
+    return lanes_.back();
+  }
+
+  std::optional<T> pop_locked() {
+    if (size_ == 0) return std::nullopt;
+    // Two scans from the cursor: serve the first backlogged lane with
+    // credit; if every backlogged lane is out of credit, replenish each
+    // by its weight and scan again (some lane then has credit >= 1).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      for (std::size_t step = 0; step < lanes_.size(); ++step) {
+        Lane& lane = lanes_[(cursor_ + step) % lanes_.size()];
+        if (lane.items.empty() || lane.credit < 1.0) continue;
+        T value = std::move(lane.items.front());
+        lane.items.pop_front();
+        lane.credit -= 1.0;
+        // An emptied lane forfeits leftover credit (classic DRR): a
+        // tenant cannot bank idle time into a later burst.
+        if (lane.items.empty()) lane.credit = 0.0;
+        // Advance the cursor past lanes this one outranked only when its
+        // credit is spent, so a weight-w lane serves up to w items per
+        // round instead of exactly one.
+        if (lane.credit < 1.0)
+          cursor_ = ((cursor_ + step) % lanes_.size()) + 1;
+        --size_;
+        return value;
+      }
+      for (Lane& lane : lanes_)
+        if (!lane.items.empty()) lane.credit += lane.weight;
+    }
+    return std::nullopt;  // unreachable: size_ > 0 guarantees a hit
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::unordered_map<std::string, std::size_t> lane_index_;
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace celia::serve

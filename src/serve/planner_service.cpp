@@ -1,0 +1,486 @@
+#include "serve/planner_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace celia::serve {
+
+namespace {
+
+struct ServeCounters {
+  obs::Counter& submitted = obs::counter(
+      "celia_serve_submitted_total", "Requests submitted to a PlannerService");
+  obs::Counter& admitted = obs::counter(
+      "celia_serve_admitted_total",
+      "Requests answered on their merits (planned or typed failure)");
+  obs::Counter& shed = obs::counter(
+      "celia_serve_shed_total",
+      "Requests shed by admission control or a queued-deadline expiry");
+  obs::Counter& shed_queue_full = obs::counter(
+      "celia_serve_shed_queue_full_total",
+      "Sheds caused by the queue-depth watermark");
+  obs::Counter& shed_slo = obs::counter(
+      "celia_serve_shed_slo_total",
+      "Sheds caused by a rolling-p99 latency SLO breach");
+  obs::Counter& shed_deadline = obs::counter(
+      "celia_serve_shed_deadline_total",
+      "Sheds caused by a request deadline expiring before dispatch");
+  obs::Counter& shed_shutdown = obs::counter(
+      "celia_serve_shed_shutdown_total",
+      "Requests resolved as shed because the service stopped");
+  obs::Counter& rejected_quota = obs::counter(
+      "celia_serve_rejected_quota_total",
+      "Requests rejected by the tenant's token-bucket quota");
+  obs::Counter& coalesced = obs::counter(
+      "celia_serve_coalesced_total",
+      "Requests answered by attaching to an identical in-flight computation");
+  obs::Counter& failed = obs::counter(
+      "celia_serve_failed_total",
+      "Admitted requests the engine answered with a typed failure");
+  obs::Gauge& queue_depth = obs::gauge(
+      "celia_serve_queue_depth", "Requests currently queued for dispatch");
+};
+
+ServeCounters& serve_counters() {
+  static ServeCounters counters;
+  return counters;
+}
+
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& hist = obs::histogram(
+      "celia_serve_latency_seconds", {},
+      "Admission-to-resolution latency of admitted requests");
+  return hist;
+}
+
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& hist = obs::histogram(
+      "celia_serve_queue_wait_seconds", {},
+      "Admission-to-dispatch wait of admitted requests");
+  return hist;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t value) {
+  return splitmix64(seed ^ splitmix64(value));
+}
+
+std::uint64_t hash_mix(std::uint64_t seed, double value) {
+  return hash_mix(seed, std::bit_cast<std::uint64_t>(value));
+}
+
+void validate_quota(const TenantQuota& quota) {
+  if (!(quota.burst >= 1.0))
+    throw std::invalid_argument("TenantQuota: burst must be >= 1");
+  if (!(quota.requests_per_second > 0.0))
+    throw std::invalid_argument(
+        "TenantQuota: requests_per_second must be positive");
+  if (!(quota.weight >= 1.0))
+    throw std::invalid_argument("TenantQuota: weight must be >= 1");
+}
+
+ServiceOptions validated(ServiceOptions options) {
+  if (options.queue_capacity < 1)
+    throw std::invalid_argument(
+        "PlannerService: queue_capacity must be >= 1");
+  if (options.shed_watermark == 0)
+    options.shed_watermark = options.queue_capacity;
+  if (options.shed_watermark > options.queue_capacity)
+    throw std::invalid_argument(
+        "PlannerService: shed_watermark exceeds queue_capacity");
+  validate_quota(options.default_quota);
+  if (!options.clock) {
+    options.clock = [] {
+      static const auto epoch = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch)
+          .count();
+    };
+  }
+  return options;
+}
+
+}  // namespace
+
+std::string_view shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kLatencySlo: return "latency-slo";
+    case ShedReason::kDeadlineExpired: return "deadline-expired";
+    case ShedReason::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string_view serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kPlanned: return "planned";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kRejectedQuota: return "rejected-quota";
+    case ServeStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::size_t PlannerService::CoalesceKeyHash::operator()(
+    const CoalesceKey& key) const noexcept {
+  std::uint64_t h = hash_mix(key.catalog_fingerprint, key.capacity_structure);
+  for (const double rate : key.per_vcpu_rates) h = hash_mix(h, rate);
+  h = hash_mix(h, key.demand);
+  h = hash_mix(h, key.deadline_seconds);
+  h = hash_mix(h, key.budget_dollars);
+  h = hash_mix(h, key.confidence_z);
+  h = hash_mix(h, key.rate_sigma);
+  h = hash_mix(h, key.sample_stride);
+  h = hash_mix(h, static_cast<std::uint64_t>(key.collect_pareto));
+  return static_cast<std::size_t>(h);
+}
+
+PlannerService::PlannerService(core::PlannerEngine& engine,
+                               ServiceOptions options)
+    : engine_(engine),
+      options_(validated(std::move(options))),
+      queue_(options_.queue_capacity),
+      probe_(options_.latency_slo_seconds, options_.slo_probe_stride) {
+  if (options_.num_workers > 0) {
+    pool_ = std::make_unique<parallel::ThreadPool>(options_.num_workers);
+    workers_.reserve(options_.num_workers);
+    for (std::size_t i = 0; i < options_.num_workers; ++i)
+      workers_.push_back(pool_->submit([this] { worker_loop(); }));
+  }
+}
+
+PlannerService::~PlannerService() { stop(StopMode::kDrain); }
+
+std::size_t PlannerService::num_workers() const {
+  return options_.num_workers;
+}
+
+util::TokenBucket& PlannerService::tenant_bucket_locked(
+    const std::string& tenant) {
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return *it->second;
+  const auto quota_it = quotas_.find(tenant);
+  const TenantQuota& quota =
+      quota_it == quotas_.end() ? options_.default_quota : quota_it->second;
+  queue_.set_weight(tenant, quota.weight);
+  return *buckets_
+              .emplace(tenant, std::make_unique<util::TokenBucket>(
+                                   quota.burst, quota.requests_per_second))
+              .first->second;
+}
+
+void PlannerService::set_tenant_quota(const std::string& tenant,
+                                      const TenantQuota& quota) {
+  validate_quota(quota);
+  std::lock_guard<std::mutex> lock(mutex_);
+  quotas_[tenant] = quota;
+  buckets_[tenant] =
+      std::make_unique<util::TokenBucket>(quota.burst,
+                                          quota.requests_per_second);
+  queue_.set_weight(tenant, quota.weight);
+}
+
+void PlannerService::resolve(Waiter& waiter, ServeOutcome outcome,
+                             double total) {
+  outcome.coalesced = waiter.coalesced;
+  outcome.total_seconds = total;
+  waiter.promise.set_value(std::move(outcome));
+}
+
+std::future<ServeOutcome> PlannerService::submit(PlanRequest request) {
+  ServeCounters& counters = serve_counters();
+  const double submit_now = now();
+  counters.submitted.add(1);
+
+  Waiter waiter;
+  waiter.deadline = request.deadline;
+  waiter.submitted_at = submit_now;
+  std::future<ServeOutcome> future = waiter.promise.get_future();
+
+  // Fast typed rejection: resolve the promise before submit() returns.
+  const auto reject_now = [&](ServeStatus status, ShedReason reason,
+                              std::string error = {}) {
+    ServeOutcome outcome;
+    outcome.status = status;
+    outcome.shed_reason = reason;
+    outcome.error = std::move(error);
+    resolve(waiter, std::move(outcome), now() - submit_now);
+    return std::move(future);
+  };
+
+  // Resolve the catalog before admission: an unknown catalog is a typed
+  // answer on the merits (kFailed), not an overload artifact.
+  std::shared_ptr<const cloud::Catalog> catalog;
+  try {
+    catalog = engine_.catalog(request.catalog);
+  } catch (const std::out_of_range& error) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.submitted;
+      ++stats_.admitted;
+      ++stats_.failed;
+    }
+    counters.admitted.add(1);
+    counters.failed.add(1);
+    return reject_now(ServeStatus::kFailed, ShedReason::kNone, error.what());
+  }
+
+  const bool coalescible = options_.coalesce;
+  CoalesceKey key;
+  if (coalescible) {
+    key.catalog_fingerprint = catalog->fingerprint();
+    key.capacity_structure = request.capacity.catalog_structure_fingerprint();
+    key.per_vcpu_rates.reserve(request.capacity.num_types());
+    for (std::size_t i = 0; i < request.capacity.num_types(); ++i)
+      key.per_vcpu_rates.push_back(request.capacity.per_vcpu_rate(i));
+    const core::Constraints& constraints = request.query.constraints();
+    key.demand = request.query.demand();
+    key.deadline_seconds = constraints.deadline_seconds;
+    key.budget_dollars = constraints.budget_dollars;
+    key.confidence_z = constraints.confidence_z;
+    key.rate_sigma = constraints.rate_sigma;
+    key.sample_stride = request.query.options().sample_stride;
+    key.collect_pareto = request.query.options().collect_pareto;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (stopped_) {
+      ++stats_.shed;
+      ++stats_.shed_shutdown;
+      counters.shed.add(1);
+      counters.shed_shutdown.add(1);
+      return reject_now(ServeStatus::kOverloaded, ShedReason::kShutdown);
+    }
+    if (!tenant_bucket_locked(request.tenant).try_acquire(submit_now)) {
+      ++stats_.rejected_quota;
+      counters.rejected_quota.add(1);
+      return reject_now(ServeStatus::kRejectedQuota, ShedReason::kNone);
+    }
+    if (request.deadline.expired(submit_now)) {
+      ++stats_.shed;
+      ++stats_.shed_deadline;
+      counters.shed.add(1);
+      counters.shed_deadline.add(1);
+      return reject_now(ServeStatus::kOverloaded,
+                        ShedReason::kDeadlineExpired);
+    }
+    if (queue_.size() >= options_.shed_watermark) {
+      ++stats_.shed;
+      ++stats_.shed_queue_full;
+      counters.shed.add(1);
+      counters.shed_queue_full.add(1);
+      return reject_now(ServeStatus::kOverloaded, ShedReason::kQueueFull);
+    }
+    if (probe_.should_shed()) {
+      ++stats_.shed;
+      ++stats_.shed_slo;
+      counters.shed.add(1);
+      counters.shed_slo.add(1);
+      return reject_now(ServeStatus::kOverloaded, ShedReason::kLatencySlo);
+    }
+
+    if (coalescible) {
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        waiter.coalesced = true;
+        it->second->waiters.push_back(std::move(waiter));
+        ++stats_.coalesced;
+        counters.coalesced.add(1);
+        return future;
+      }
+    }
+
+    auto entry = std::make_shared<InFlight>(std::move(request));
+    entry->coalescible = coalescible;
+    entry->key = std::move(key);
+    entry->waiters.push_back(std::move(waiter));
+    if (coalescible) inflight_.emplace(entry->key, entry);
+    if (!queue_.try_push(entry->request.tenant, entry)) {
+      // Lost the watermark race (or the queue closed underneath us):
+      // same typed outcome as the watermark check.
+      if (coalescible) inflight_.erase(entry->key);
+      Waiter back = std::move(entry->waiters.front());
+      ++stats_.shed;
+      ++stats_.shed_queue_full;
+      counters.shed.add(1);
+      counters.shed_queue_full.add(1);
+      ServeOutcome outcome;
+      outcome.status = ServeStatus::kOverloaded;
+      outcome.shed_reason = ShedReason::kQueueFull;
+      resolve(back, std::move(outcome), now() - submit_now);
+      return future;
+    }
+  }
+  serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
+  return future;
+}
+
+void PlannerService::dispatch(const std::shared_ptr<InFlight>& entry) {
+  ServeCounters& counters = serve_counters();
+  const double start = now();
+
+  // Deadline gate: requests whose deadline passed while queued are shed
+  // with a typed outcome, and doomed work is skipped entirely. The
+  // survivors' tightest deadline drives the engine's degradation ladder.
+  std::vector<Waiter> expired;
+  util::DeadlineBudget tightest;  // unlimited until a live waiter narrows it
+  bool any_live = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Waiter> live;
+    live.reserve(entry->waiters.size());
+    for (Waiter& waiter : entry->waiters) {
+      if (waiter.deadline.expired(start)) {
+        expired.push_back(std::move(waiter));
+        continue;
+      }
+      if (!any_live ||
+          waiter.deadline.deadline_seconds() < tightest.deadline_seconds())
+        tightest = waiter.deadline;
+      any_live = true;
+      live.push_back(std::move(waiter));
+    }
+    entry->waiters = std::move(live);
+    if (!any_live && entry->coalescible) inflight_.erase(entry->key);
+    stats_.shed += expired.size();
+    stats_.shed_deadline += expired.size();
+  }
+  if (!expired.empty()) {
+    counters.shed.add(expired.size());
+    counters.shed_deadline.add(expired.size());
+    for (Waiter& waiter : expired) {
+      ServeOutcome outcome;
+      outcome.status = ServeStatus::kOverloaded;
+      outcome.shed_reason = ShedReason::kDeadlineExpired;
+      outcome.queue_seconds = start - waiter.submitted_at;
+      resolve(waiter, std::move(outcome), start - waiter.submitted_at);
+    }
+  }
+  if (!any_live) return;
+
+  core::PlanBudget budget;
+  budget.now_seconds = start;
+  budget.deadline = tightest;
+  budget.index_build_cost_seconds = options_.index_build_cost_seconds;
+  budget.sweep_cost_seconds = options_.sweep_cost_seconds;
+  budget.truncated_sweep_configs = options_.truncated_sweep_configs;
+
+  // The expensive part runs strictly outside every lock; identical
+  // requests arriving meanwhile still attach to this entry.
+  ServeOutcome base;
+  try {
+    base.result = engine_.plan(entry->request.catalog,
+                               entry->request.capacity,
+                               entry->request.query, budget);
+    base.status = ServeStatus::kPlanned;
+  } catch (const std::exception& error) {
+    base.status = ServeStatus::kFailed;
+    base.error = error.what();
+  }
+
+  const double end = now();
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry->coalescible) inflight_.erase(entry->key);
+    waiters = std::move(entry->waiters);
+    stats_.admitted += waiters.size();
+    if (base.status == ServeStatus::kFailed) stats_.failed += waiters.size();
+  }
+  counters.admitted.add(waiters.size());
+  if (base.status == ServeStatus::kFailed) counters.failed.add(waiters.size());
+  for (Waiter& waiter : waiters) {
+    const double queue_seconds = start - waiter.submitted_at;
+    const double total_seconds = end - waiter.submitted_at;
+    queue_wait_histogram().record(queue_seconds);
+    latency_histogram().record(total_seconds);
+    probe_.record(total_seconds);
+    ServeOutcome outcome = base;
+    outcome.queue_seconds = queue_seconds;
+    resolve(waiter, std::move(outcome), total_seconds);
+  }
+}
+
+bool PlannerService::drain_one() {
+  std::optional<std::shared_ptr<InFlight>> entry = queue_.try_pop();
+  if (!entry) return false;
+  serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
+  dispatch(*entry);
+  return true;
+}
+
+void PlannerService::worker_loop() {
+  while (std::optional<std::shared_ptr<InFlight>> entry = queue_.pop()) {
+    serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
+    dispatch(*entry);
+  }
+}
+
+void PlannerService::stop(StopMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  if (mode == StopMode::kAbort) {
+    ServeCounters& counters = serve_counters();
+    const double stop_now = now();
+    std::vector<std::shared_ptr<InFlight>> pending = queue_.close_and_drain();
+    std::vector<Waiter> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const std::shared_ptr<InFlight>& entry : pending) {
+        if (entry->coalescible) inflight_.erase(entry->key);
+        for (Waiter& waiter : entry->waiters)
+          orphans.push_back(std::move(waiter));
+        entry->waiters.clear();
+      }
+      stats_.shed += orphans.size();
+      stats_.shed_shutdown += orphans.size();
+    }
+    counters.shed.add(orphans.size());
+    counters.shed_shutdown.add(orphans.size());
+    for (Waiter& waiter : orphans) {
+      ServeOutcome outcome;
+      outcome.status = ServeStatus::kOverloaded;
+      outcome.shed_reason = ShedReason::kShutdown;
+      outcome.queue_seconds = stop_now - waiter.submitted_at;
+      resolve(waiter, std::move(outcome), stop_now - waiter.submitted_at);
+    }
+  } else {
+    queue_.close();
+    // Caller-driven mode has no workers: drain the backlog right here so
+    // kDrain keeps its promise that admitted requests get answers.
+    if (!pool_) {
+      while (drain_one()) {
+      }
+    }
+  }
+  for (std::future<void>& worker : workers_)
+    if (worker.valid()) worker.wait();
+  workers_.clear();
+  pool_.reset();
+  serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
+}
+
+ServeStats PlannerService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace celia::serve

@@ -1,0 +1,296 @@
+#pragma once
+// serve::PlannerService — planner-as-a-service: the overload-safe
+// concurrent serving front-end over core::PlannerEngine.
+//
+// The engine answers one well-behaved caller; production traffic is many
+// tenants hammering the planner concurrently under latency SLOs. The
+// service puts four production mechanisms (the Envoy overload-manager
+// playbook, on the server side this time) between submit() and the
+// engine:
+//
+//   1. ADMISSION CONTROL with watermark load shedding. A bounded
+//      submission queue feeds the worker pool; when queue depth reaches
+//      the shed watermark, or the rolling p99 of served requests (a
+//      tumbling-window LatencySloProbe) breaches the configured SLO, new
+//      requests are REJECTED FAST with a typed kOverloaded outcome
+//      instead of queueing into a latency death spiral. Rejection costs
+//      one mutex acquisition — no planning work, no unbounded buffering.
+//
+//   2. PER-TENANT FAIRNESS. Each tenant owns a util::TokenBucket quota
+//      (burst + sustained rate; exhaustion is the typed kRejectedQuota
+//      outcome) and a weighted lane in the WeightedFairQueue, drained by
+//      deficit round-robin — a hot tenant saturates its own share and
+//      its own quota, never another tenant's latency.
+//
+//   3. IN-FLIGHT COALESCING. Identical requests — same (catalog
+//      fingerprint, characterized capacity, demand, constraints,
+//      result-shaping options) — share ONE computation and one cached
+//      index build: the first becomes the leader, later arrivals attach
+//      as waiters (typed in the outcome as coalesced) until the leader's
+//      computation resolves, and every waiter receives the same answer.
+//      N identical concurrent requests therefore cost one index build,
+//      not N (counter-exact: celia_serve_coalesced_total).
+//
+//   4. DEADLINE PROPAGATION. Every request carries an absolute
+//      util::DeadlineBudget in the service clock. A request whose
+//      deadline expires while queued is shed (typed, never a silent
+//      timeout); one dispatched near its deadline hands the REMAINING
+//      budget to PlannerEngine::plan's degradation ladder, so the caller
+//      gets a truncated-but-on-time answer (route kDegradedSweep /
+//      kTruncatedSweep) instead of nothing. A coalesced batch plans
+//      under the tightest deadline among the waiters present at
+//      dispatch.
+//
+// Every submitted request reaches EXACTLY ONE of three terminal buckets
+// — admitted (answered on its merits: kPlanned, or kFailed when the
+// engine threw), shed (kOverloaded, any reason), or rejected_quota — so
+//     admitted + shed + rejected_quota == submitted
+// holds whenever the service is quiesced (stats() documents this; the
+// serving tests pin it). There is no fourth, silent path.
+//
+// CLOCK: all admission, SLO and deadline decisions read
+// ServiceOptions::clock (default: process-steady wall clock). Tests and
+// the chaos harness install a simulated clock, making shedding and
+// deadline behavior fully deterministic.
+//
+// Observability (naming per DESIGN.md §9): celia_serve_submitted_total,
+// _admitted_total, _shed_total (+ per-reason _shed_queue_full/_slo/
+// _deadline/_shutdown_total), _rejected_quota_total, _coalesced_total,
+// _failed_total, the celia_serve_queue_depth gauge, and the
+// celia_serve_latency_seconds / celia_serve_queue_wait_seconds
+// histograms.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/planner_engine.hpp"
+#include "core/query.hpp"
+#include "serve/fair_queue.hpp"
+#include "serve/slo.hpp"
+#include "util/resilience.hpp"
+
+namespace celia::parallel {
+class ThreadPool;
+}
+
+namespace celia::serve {
+
+/// Why an kOverloaded request was turned away.
+enum class ShedReason {
+  kNone,
+  kQueueFull,        // submission: depth at/above the shed watermark
+  kLatencySlo,       // submission: rolling p99 breached the latency SLO
+  kDeadlineExpired,  // dispatch: the deadline passed while queued
+  kShutdown,         // the service stopped before the request was served
+};
+
+std::string_view shed_reason_name(ShedReason reason);
+
+enum class ServeStatus {
+  kPlanned,        // result holds the engine's answer (route says how)
+  kOverloaded,     // typed load-shed; shed_reason says why
+  kRejectedQuota,  // the tenant's token bucket had no token
+  kFailed,         // the engine rejected the request; error says why
+};
+
+std::string_view serve_status_name(ServeStatus status);
+
+/// One planning request as a tenant submits it.
+struct PlanRequest {
+  std::string tenant = "default";
+  std::string catalog;  // PlannerEngine catalog name
+  core::ResourceCapacity capacity;
+  core::Query query;
+  /// Absolute deadline in the service clock. Default: unlimited.
+  util::DeadlineBudget deadline;
+};
+
+/// The typed terminal answer for one request. Never default-meaningful:
+/// `result` is only valid when status == kPlanned (and even then
+/// result.route reports whether the degradation ladder truncated it).
+struct ServeOutcome {
+  ServeStatus status = ServeStatus::kOverloaded;
+  ShedReason shed_reason = ShedReason::kNone;
+  core::SweepResult result;  // valid iff status == kPlanned
+  bool coalesced = false;    // answered by another request's computation
+  double queue_seconds = 0.0;  // admission -> dispatch
+  double total_seconds = 0.0;  // admission -> resolution
+  std::string error;           // kFailed only
+};
+
+/// Per-tenant admission policy.
+struct TenantQuota {
+  double burst = 1024.0;              // TokenBucket capacity
+  double requests_per_second = 1e9;   // sustained refill (default: ample)
+  double weight = 1.0;                // WeightedFairQueue share (>= 1)
+};
+
+struct ServiceOptions {
+  /// Dedicated worker threads planning dequeued requests. 0 = caller-
+  /// driven mode: nothing dequeues until drain_one() (deterministic
+  /// tests drive admission and dispatch separately).
+  std::size_t num_workers = 2;
+  /// Hard bound on queued requests across all tenant lanes.
+  std::size_t queue_capacity = 1024;
+  /// Shed new work once queue depth reaches this (Envoy-style high
+  /// watermark; must be <= queue_capacity, 0 = use queue_capacity).
+  std::size_t shed_watermark = 768;
+  /// p99 objective for served requests; the rolling probe breaching it
+  /// sheds new work. Infinity disables SLO shedding.
+  double latency_slo_seconds = std::numeric_limits<double>::infinity();
+  /// Completions per SLO-probe window (tumbling).
+  std::size_t slo_probe_stride = 64;
+  /// Share one computation among identical in-flight requests.
+  bool coalesce = true;
+  /// Applied to tenants that never got set_tenant_quota().
+  TenantQuota default_quota;
+  /// PlanBudget cost estimates handed to the engine's degradation ladder
+  /// (how long an index build / a full sweep is expected to take, in
+  /// service-clock seconds). 0 keeps the legacy always-fits behavior.
+  double index_build_cost_seconds = 0.0;
+  double sweep_cost_seconds = 0.0;
+  /// Size ceiling of the last-resort truncated sweep.
+  std::uint64_t truncated_sweep_configs = 65536;
+  /// Service clock in seconds. Default: process-steady wall clock.
+  std::function<double()> clock;
+};
+
+/// Monotonic counters, snapshot by value. When the service is quiesced
+/// (stopped, or caller-driven with nothing queued and nothing mid-
+/// dispatch): submitted == admitted + shed + rejected_quota, with
+/// shed == shed_queue_full + shed_slo + shed_deadline + shed_shutdown
+/// and failed <= admitted (a kFailed answer is still an answer).
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_slo = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t failed = 0;
+};
+
+class PlannerService {
+ public:
+  /// `engine` must outlive the service; its catalogs are the serveable
+  /// universe. Throws std::invalid_argument on inconsistent options
+  /// (shed_watermark > queue_capacity, zero capacity, bad quota).
+  explicit PlannerService(core::PlannerEngine& engine,
+                          ServiceOptions options = {});
+
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  /// stop(kDrain): every already-admitted request still gets its answer.
+  ~PlannerService();
+
+  /// Admit or reject `request`. Always returns a future that WILL be
+  /// satisfied with a typed ServeOutcome — rejections resolve it before
+  /// submit() returns; admitted requests resolve it at dispatch.
+  std::future<ServeOutcome> submit(PlanRequest request);
+
+  /// Configure `tenant`'s quota and fair-share weight (idempotent;
+  /// replaces the token bucket, so unused burst is reset).
+  void set_tenant_quota(const std::string& tenant, const TenantQuota& quota);
+
+  enum class StopMode {
+    kDrain,  // serve everything already queued, then stop
+    kAbort,  // resolve everything queued as shed (kShutdown), then stop
+  };
+
+  /// Idempotent. After stop() every new submit() is shed with kShutdown.
+  void stop(StopMode mode = StopMode::kDrain);
+
+  /// Caller-driven dispatch (num_workers == 0 mode, also usable while
+  /// workers run): dequeue and serve one entry on THIS thread. Returns
+  /// false when the queue is empty.
+  bool drain_one();
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t num_workers() const;
+  ServeStats stats() const;
+  /// Last sealed SLO-probe window (p50/p99 of recently served requests).
+  obs::LatencyQuantiles latency_window() const { return probe_.window(); }
+
+ private:
+  /// Coalescing identity: requests with equal keys are answered by one
+  /// computation. Deliberately EXCLUDES the deadline (a batch plans
+  /// under its tightest member's deadline) and the tenant (both tenants
+  /// paid quota; the answer is tenant-independent).
+  struct CoalesceKey {
+    std::uint64_t catalog_fingerprint = 0;
+    std::uint64_t capacity_structure = 0;
+    std::vector<double> per_vcpu_rates;
+    double demand = 0.0;
+    double deadline_seconds = 0.0;
+    double budget_dollars = 0.0;
+    double confidence_z = 0.0;
+    double rate_sigma = 0.0;
+    std::uint64_t sample_stride = 0;
+    bool collect_pareto = true;
+
+    bool operator==(const CoalesceKey& other) const = default;
+  };
+
+  struct CoalesceKeyHash {
+    std::size_t operator()(const CoalesceKey& key) const noexcept;
+  };
+
+  struct Waiter {
+    std::promise<ServeOutcome> promise;
+    util::DeadlineBudget deadline;
+    double submitted_at = 0.0;
+    bool coalesced = false;
+  };
+
+  /// One queue entry: the leader's request plus every coalesced waiter.
+  /// Waiters are guarded by the service mutex; an entry stays joinable
+  /// (present in inflight_) from admission until its terminal
+  /// resolution, so late arrivals share even a mid-flight computation.
+  struct InFlight {
+    // core::Query is not default-constructible, so neither is this.
+    explicit InFlight(PlanRequest r) : request(std::move(r)) {}
+
+    PlanRequest request;
+    CoalesceKey key;
+    bool coalescible = false;
+    std::vector<Waiter> waiters;
+  };
+
+  double now() const { return options_.clock(); }
+  util::TokenBucket& tenant_bucket_locked(const std::string& tenant);
+  void dispatch(const std::shared_ptr<InFlight>& entry);
+  void worker_loop();
+  static void resolve(Waiter& waiter, ServeOutcome outcome, double total);
+
+  core::PlannerEngine& engine_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;  // tenants, inflight_, stats_, stopped_
+  std::unordered_map<std::string, std::unique_ptr<util::TokenBucket>>
+      buckets_;
+  std::unordered_map<std::string, TenantQuota> quotas_;
+  std::unordered_map<CoalesceKey, std::shared_ptr<InFlight>, CoalesceKeyHash>
+      inflight_;
+  ServeStats stats_;
+  bool stopped_ = false;
+
+  WeightedFairQueue<std::shared_ptr<InFlight>> queue_;
+  LatencySloProbe probe_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace celia::serve

@@ -1,0 +1,55 @@
+#include "serve/slo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace celia::serve {
+
+LatencySloProbe::LatencySloProbe(double slo_seconds, std::size_t stride,
+                                 std::span<const double> bounds)
+    : slo_seconds_(slo_seconds), stride_(stride) {
+  if (std::isnan(slo_seconds) || slo_seconds <= 0)
+    throw std::invalid_argument(
+        "LatencySloProbe: slo_seconds must be positive (inf disables)");
+  if (stride < 1)
+    throw std::invalid_argument("LatencySloProbe: stride must be >= 1");
+  if (bounds.empty()) bounds = obs::latency_bounds_seconds();
+  bounds_.assign(bounds.begin(), bounds.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void LatencySloProbe::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && seconds > bounds_[bucket]) ++bucket;
+  ++counts_[bucket];
+  if (++in_window_ < stride_) return;
+  // Seal the window: compute its quantiles, latch the verdict, start the
+  // next window empty.
+  obs::LatencyQuantiles sealed;
+  sealed.count = in_window_;
+  sealed.p50 = obs::quantile_from_buckets(bounds_, counts_, 0.50);
+  sealed.p99 = obs::quantile_from_buckets(bounds_, counts_, 0.99);
+  sealed_ = sealed;
+  const bool breached = sealed.p99 > slo_seconds_;
+  breached_.store(breached, std::memory_order_relaxed);
+  shed_allowance_ = breached ? stride_ : 0;
+  counts_.assign(counts_.size(), 0);
+  in_window_ = 0;
+}
+
+bool LatencySloProbe::should_shed() {
+  if (!breached_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!breached_.load(std::memory_order_relaxed)) return false;
+  if (--shed_allowance_ == 0)
+    breached_.store(false, std::memory_order_relaxed);  // probation
+  return true;
+}
+
+obs::LatencyQuantiles LatencySloProbe::window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_;
+}
+
+}  // namespace celia::serve

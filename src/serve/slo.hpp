@@ -1,0 +1,82 @@
+#pragma once
+// serve::LatencySloProbe — the admission controller's view of "are we
+// meeting the latency SLO right now?".
+//
+// Envoy-style overload managers act on a recent-window latency signal,
+// not the lifetime distribution: a service that was fast for an hour and
+// is drowning now must shed NOW. The probe therefore keeps a private
+// fixed-bucket histogram of the completions in the current TUMBLING
+// window (`stride` completions per window); when a window fills it
+// computes the window's p50/p99 via obs::quantile_from_buckets and
+// latches whether p99 exceeded the SLO. The latched verdict is one
+// relaxed atomic load on the submit path — admission never takes the
+// probe mutex unless it is the completion that seals a window.
+//
+// Deterministic by construction: windows are counted in completions (not
+// wall time), quantile math is the exact bucket interpolation pinned by
+// obs_percentile_test.cpp, and no system clock is consulted — so a
+// simulated-clock test or a replayed trace produces the same shed
+// decisions every run.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace celia::serve {
+
+class LatencySloProbe {
+ public:
+  /// `bounds` are ascending histogram bucket bounds (empty = the shared
+  /// obs::latency_bounds_seconds()); `slo_seconds` the p99 objective
+  /// (infinity disables breaching); `stride` the completions per window
+  /// (>= 1, throws std::invalid_argument otherwise).
+  LatencySloProbe(double slo_seconds, std::size_t stride,
+                  std::span<const double> bounds = {});
+
+  LatencySloProbe(const LatencySloProbe&) = delete;
+  LatencySloProbe& operator=(const LatencySloProbe&) = delete;
+
+  /// Record one served request's latency. The completion that fills the
+  /// current window seals it: window quantiles are recomputed and the
+  /// breached() verdict re-latched (with a fresh shed allowance of
+  /// `stride` when the window breached).
+  void record(double seconds);
+
+  /// Did the last sealed window's p99 exceed the SLO? One relaxed load.
+  bool breached() const {
+    return breached_.load(std::memory_order_relaxed);
+  }
+
+  /// Admission-control hook: should THIS arriving request be shed?
+  /// Consumes one unit of the breached window's shed allowance. The
+  /// allowance is bounded (`stride` sheds per breached window) so a
+  /// breach can never latch forever: once it is spent the probe re-admits
+  /// on probation — the probation completions seal the next window, which
+  /// either recovers or re-arms the allowance. Fast path (not breached)
+  /// is one relaxed load.
+  bool should_shed();
+
+  /// Quantiles of the last sealed window (zero until a window seals).
+  obs::LatencyQuantiles window() const;
+
+  double slo_seconds() const { return slo_seconds_; }
+
+ private:
+  const double slo_seconds_;
+  const std::size_t stride_;
+  std::vector<double> bounds_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;  // current (unsealed) window
+  std::size_t in_window_ = 0;
+  std::size_t shed_allowance_ = 0;  // sheds left before probation
+  obs::LatencyQuantiles sealed_{};
+  std::atomic<bool> breached_{false};
+};
+
+}  // namespace celia::serve

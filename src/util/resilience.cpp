@@ -30,7 +30,7 @@ TokenBucket::TokenBucket(double capacity, double refill_per_second)
     throw std::invalid_argument("TokenBucket: refill rate must be positive");
 }
 
-void TokenBucket::refill(double now) {
+void TokenBucket::refill_locked(double now) {
   if (now <= last_refill_) return;
   tokens_ = std::min(capacity_,
                      tokens_ + (now - last_refill_) * refill_per_second_);
@@ -38,10 +38,11 @@ void TokenBucket::refill(double now) {
 }
 
 double TokenBucket::acquire(double now) {
-  refill(now);
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(now);
   if (tokens_ >= 1.0) {
     tokens_ -= 1.0;
-    return now;
+    return std::max(now, last_refill_);
   }
   // Wait exactly until the missing fraction of one token has accrued.
   // Accrual before last_refill_ is already spoken for by earlier queued
@@ -54,13 +55,15 @@ double TokenBucket::acquire(double now) {
 }
 
 bool TokenBucket::try_acquire(double now) {
-  refill(now);
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(now);
   if (tokens_ < 1.0) return false;
   tokens_ -= 1.0;
   return true;
 }
 
 double TokenBucket::available(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (now <= last_refill_) return tokens_;
   return std::min(capacity_,
                   tokens_ + (now - last_refill_) * refill_per_second_);
@@ -86,7 +89,7 @@ CircuitBreaker::CircuitBreaker(Policy policy) : policy_(policy) {
         "CircuitBreaker: cooldown_jitter_fraction outside [0, 1]");
 }
 
-void CircuitBreaker::open(double now) {
+void CircuitBreaker::open_locked(double now) {
   state_ = State::kOpen;
   ++stats_.opened;
   double cooldown = policy_.open_seconds;
@@ -107,6 +110,7 @@ void CircuitBreaker::open(double now) {
 }
 
 bool CircuitBreaker::allow(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == State::kOpen && now >= reopen_at_) {
     state_ = State::kHalfOpen;
     ++stats_.half_opened;
@@ -132,6 +136,7 @@ bool CircuitBreaker::allow(double now) {
 
 void CircuitBreaker::record_success(double now) {
   (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == State::kHalfOpen) {
     if (++probe_successes_ >= policy_.half_open_probes) {
       state_ = State::kClosed;
@@ -145,12 +150,13 @@ void CircuitBreaker::record_success(double now) {
 }
 
 void CircuitBreaker::record_failure(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == State::kHalfOpen) {
-    open(now);  // a failed probe re-opens immediately
+    open_locked(now);  // a failed probe re-opens immediately
     return;
   }
   if (state_ == State::kOpen) return;  // late failure of an old request
-  if (++consecutive_failures_ >= policy_.failure_threshold) open(now);
+  if (++consecutive_failures_ >= policy_.failure_threshold) open_locked(now);
 }
 
 // ------------------------------------------------------- DeadlineBudget --

@@ -8,6 +8,19 @@
 // instances with the same call sequence and they transition identically,
 // so a chaos schedule replays bit-for-bit from its seed.
 //
+// THREAD SAFETY: TokenBucket and CircuitBreaker are safe for concurrent
+// callers — every transition happens under an internal mutex, so the
+// serving layer can share one bucket per tenant and one breaker per
+// backend across its worker pool. Concurrent callers cannot order their
+// clock reads, so `now` is clamped internally to be non-decreasing (a
+// slightly stale `now` behaves as if the call had happened at the latest
+// time the primitive has already seen). Determinism is preserved in the
+// single-caller (simulated-clock) regime the chaos tests replay; under
+// races the LINEARIZED call order decides, and the invariants below hold
+// for every interleaving — in particular a half-open CircuitBreaker
+// admits exactly `half_open_probes` probes no matter how many threads
+// race allow().
+//
 //   * TokenBucket — client-side rate limiter in front of a throttling
 //     provider API (RequestLimitExceeded): acquire() returns WHEN the call
 //     may fire instead of sleeping, so simulated time can jump there.
@@ -23,6 +36,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <optional>
 
 #include "util/backoff.hpp"
@@ -34,13 +48,18 @@ namespace celia::util {
 void validate(const BackoffPolicy& policy);
 
 /// Token-bucket rate limiter over an explicit clock. `capacity` tokens
-/// burst; `refill_per_second` tokens accrue continuously. The caller's
-/// `now` must be non-decreasing across calls on one bucket.
+/// burst; `refill_per_second` tokens accrue continuously. Safe for
+/// concurrent callers: a `now` older than what the bucket has already
+/// seen is clamped forward, so racing threads with skewed clock reads
+/// cannot mint extra tokens or move time backwards.
 class TokenBucket {
  public:
   /// Starts full. Throws std::invalid_argument when capacity < 1 or
   /// refill_per_second <= 0 (or either is non-finite).
   TokenBucket(double capacity, double refill_per_second);
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
 
   /// Earliest time >= now at which one token is available; consumes that
   /// token and returns the acquisition time. Never blocks — the caller
@@ -56,8 +75,9 @@ class TokenBucket {
   double capacity() const { return capacity_; }
 
  private:
-  void refill(double now);
+  void refill_locked(double now);
 
+  mutable std::mutex mutex_;
   double capacity_;
   double refill_per_second_;
   double tokens_;
@@ -98,23 +118,40 @@ class CircuitBreaker {
   /// Throws std::invalid_argument on a malformed policy.
   explicit CircuitBreaker(Policy policy);
 
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
   /// May the next request fire at `now`? An open breaker whose cooldown
   /// has elapsed transitions to half-open here and starts admitting
-  /// probes. `now` must be non-decreasing across calls.
+  /// probes. Safe for racing callers: the open→half-open transition and
+  /// the probe admission are one atomic step, so exactly
+  /// `half_open_probes` callers are admitted per half-open episode.
   bool allow(double now);
 
   /// Report the outcome of a request that allow() admitted.
   void record_success(double now);
   void record_failure(double now);
 
-  State state() const { return state_; }
-  const Stats& stats() const { return stats_; }
+  State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+  /// Snapshot of the transition counters (by value: the breaker keeps
+  /// mutating concurrently).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
   /// When an open breaker next admits a probe (+inf while closed).
-  double reopen_at() const { return reopen_at_; }
+  double reopen_at() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reopen_at_;
+  }
 
  private:
-  void open(double now);
+  void open_locked(double now);
 
+  mutable std::mutex mutex_;
   Policy policy_;
   State state_ = State::kClosed;
   Stats stats_;

@@ -239,6 +239,44 @@ TEST(PlannerDegraded, CountersStayExactAcrossTheLadder) {
             queries.value() - q0);
 }
 
+TEST(PlannerDegraded, NearZeroBudgetIsDeterministicAndNeverBuilds) {
+  // The serving layer hands plan() whatever deadline remains when a
+  // request finally dispatches — possibly (near) zero. The engine must
+  // answer with a typed, bounded route every time: never an unbounded
+  // index build, never an untyped timeout, and bit-identical answers
+  // across repeats.
+  obs::Counter& builds =
+      obs::counter("celia_planner_engine_index_builds_total");
+  obs::Counter& truncated =
+      obs::counter("celia_planner_engine_truncated_sweeps_total");
+  const Query query = small_query(1.0);
+
+  for (const double remaining : {0.0, 1e-12, 1e-9, 1e-3}) {
+    PlannerEngine engine;
+    engine.add_catalog("alpha", alpha());
+    PlanBudget budget = budget_with(remaining);
+    budget.truncated_sweep_configs = 256;
+
+    const auto b0 = builds.value(), t0 = truncated.value();
+    const SweepResult first =
+        engine.plan("alpha", small_capacity(), query, budget);
+    EXPECT_EQ(first.route, QueryRoute::kTruncatedSweep) << remaining;
+    EXPECT_LE(first.total, 256u);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const SweepResult again =
+          engine.plan("alpha", small_capacity(), query, budget);
+      EXPECT_EQ(again.route, QueryRoute::kTruncatedSweep);
+      EXPECT_EQ(again.min_cost.config_index, first.min_cost.config_index);
+      EXPECT_EQ(again.min_cost.cost, first.min_cost.cost);
+      EXPECT_EQ(again.min_time.config_index, first.min_time.config_index);
+      EXPECT_EQ(again.feasible, first.feasible);
+    }
+    // The ladder never attempted a build, and every call was typed.
+    EXPECT_EQ(builds.value() - b0, 0u);
+    EXPECT_EQ(truncated.value() - t0, 4u);
+  }
+}
+
 TEST(PlannerDegraded, LruEvictionKeepsTheCacheUnderTheByteBound) {
   // First find the real per-index footprint, then bound a second engine
   // just below two of them: caching beta must evict alpha (LRU), and the

@@ -1,0 +1,105 @@
+// Exactness tests for the histogram-backed quantile helpers
+// (obs::quantile_from_buckets and friends): the serving layer's SLO probe
+// trusts these numbers, so they are pinned against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+namespace obs = celia::obs;
+
+// bounds {1, 2, 4}: buckets (-inf,1], (1,2], (2,4], (4,inf).
+constexpr std::array<double, 3> kBounds = {1.0, 2.0, 4.0};
+
+TEST(ObsPercentile, InterpolatesExactlyWithinABucket) {
+  // 2 samples in (-inf,1], 2 in (1,2].
+  const std::array<std::uint64_t, 4> counts = {2, 2, 0, 0};
+  // rank q*4 counted from 1: p25 = rank 1 = halfway into bucket 0.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.25), 0.5);
+  // p50 = rank 2 = the top of bucket 0.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.50), 1.0);
+  // p75 = rank 3 = halfway into bucket 1: 1 + 0.5 * (2 - 1).
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.75), 1.5);
+  // p99 = rank 3.96: 1 + (3.96 - 2) / 2 * (2 - 1).
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.99), 1.98);
+  // q = 1 lands exactly on the last observation's bucket top.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 1.0), 2.0);
+  // q = 0 is the lower edge of the first populated bucket.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.0), 0.0);
+}
+
+TEST(ObsPercentile, SkipsEmptyBucketsAndUsesTheLowerEdge) {
+  // All mass in (2,4]: every quantile interpolates inside that bucket.
+  const std::array<std::uint64_t, 4> counts = {0, 0, 4, 0};
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.50),
+                   2.0 + 0.5 * (4.0 - 2.0));
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 1.0), 4.0);
+}
+
+TEST(ObsPercentile, OverflowBucketClampsToTheLastBound) {
+  const std::array<std::uint64_t, 4> counts = {0, 0, 0, 3};
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.50), 4.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.99), 4.0);
+}
+
+TEST(ObsPercentile, EmptyHistogramIsZero) {
+  const std::array<std::uint64_t, 4> counts = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(kBounds, counts, 0.99), 0.0);
+}
+
+TEST(ObsPercentile, RejectsMalformedInput) {
+  const std::array<std::uint64_t, 3> short_counts = {1, 1, 1};
+  EXPECT_THROW(obs::quantile_from_buckets(kBounds, short_counts, 0.5),
+               std::invalid_argument);
+  const std::array<std::uint64_t, 4> counts = {1, 1, 1, 1};
+  EXPECT_THROW(obs::quantile_from_buckets(kBounds, counts, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(obs::quantile_from_buckets(kBounds, counts, 1.1),
+               std::invalid_argument);
+}
+
+TEST(ObsPercentile, LiveHistogramQuantilesMatchTheRawHelper) {
+  obs::Histogram& hist = obs::histogram(
+      "celia_test_percentile_seconds",
+      std::span<const double>(kBounds.data(), kBounds.size()));
+  hist.reset();
+  hist.record(0.5);
+  hist.record(0.9);
+  hist.record(1.5);
+  hist.record(1.6);
+  const obs::LatencyQuantiles window = obs::latency_quantiles(hist);
+  EXPECT_EQ(window.count, 4u);
+  EXPECT_DOUBLE_EQ(window.p50, 1.0);
+  EXPECT_DOUBLE_EQ(window.p99, 1.98);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 0.75), 1.5);
+}
+
+TEST(ObsPercentile, SinceSnapshotDiffsOutTheEarlierWindow) {
+  obs::Histogram& hist = obs::histogram(
+      "celia_test_percentile_since_seconds",
+      std::span<const double>(kBounds.data(), kBounds.size()));
+  hist.reset();
+  hist.record(0.5);  // the old window: one fast sample
+  const std::vector<std::uint64_t> snapshot = hist.bucket_counts();
+
+  hist.record(3.0);
+  hist.record(3.5);
+  const obs::LatencyQuantiles fresh =
+      obs::latency_quantiles_since(hist, snapshot);
+  // Only the two (2,4] samples count: p50 = 2 + 0.5 * 2 = 3.
+  EXPECT_EQ(fresh.count, 2u);
+  EXPECT_DOUBLE_EQ(fresh.p50, 3.0);
+
+  const std::vector<std::uint64_t> wrong_shape(2, 0);
+  EXPECT_THROW(obs::latency_quantiles_since(hist, wrong_shape),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -98,6 +98,44 @@ TEST(ConcurrentQueue, BoundedPushBlocksUntilSpace) {
   EXPECT_EQ(queue.pop(), 2);
 }
 
+TEST(ConcurrentQueue, CloseAndDrainReportsExactlyThePendingItems) {
+  ConcurrentQueue<int> queue;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.push(i));
+  (void)queue.try_pop();  // 0 already consumed
+  const std::vector<int> pending = queue.close_and_drain();
+  EXPECT_EQ(pending, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.size(), 0u);
+  // Abortive close leaves nothing behind: pops report definite shutdown,
+  // pushes fail.
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.push(99));
+}
+
+TEST(ConcurrentQueue, CloseAndDrainWakesBlockedConsumersWithNullopt) {
+  ConcurrentQueue<int> queue;
+  std::thread consumer([&queue] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(queue.close_and_drain().empty());
+  consumer.join();
+}
+
+TEST(ConcurrentQueue, CloseAndDrainWakesBlockedProducers) {
+  ConcurrentQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(2));  // blocked full, then woken by close
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  const std::vector<int> pending = queue.close_and_drain();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(pending, (std::vector<int>{1}));
+}
+
 TEST(ConcurrentQueue, MpmcStressDeliversEveryItemOnce) {
   constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2500;
   ConcurrentQueue<int> queue(64);

@@ -1,0 +1,143 @@
+// Tests for the weighted deficit-round-robin tenant queue
+// (serve/fair_queue.hpp): deterministic weighted interleave, forfeited
+// credit, the shared capacity bound, and the ConcurrentQueue-style
+// shutdown contract.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fair_queue.hpp"
+
+namespace {
+
+using celia::serve::WeightedFairQueue;
+
+std::vector<int> drain(WeightedFairQueue<int>& queue, std::size_t n) {
+  std::vector<int> order;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<int> value = queue.try_pop();
+    if (!value) break;
+    order.push_back(*value);
+  }
+  return order;
+}
+
+TEST(ServeFairQueue, SingleTenantIsPlainFifo) {
+  WeightedFairQueue<int> queue;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.try_push("a", i));
+  EXPECT_EQ(drain(queue, 5), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(ServeFairQueue, WeightedInterleaveIsDeterministicDrr) {
+  WeightedFairQueue<int> queue;
+  queue.set_weight("a", 1.0);
+  queue.set_weight("b", 2.0);
+  // a0..a3 encoded 0..3, b0..b3 encoded 10..13; all backlogged up front.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.try_push("a", i));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.try_push("b", 10 + i));
+  // Weight-2 b gets two slots per round while a gets one; once b's lane
+  // drains, a's remainder flows.
+  EXPECT_EQ(drain(queue, 8),
+            (std::vector<int>{0, 10, 11, 1, 12, 13, 2, 3}));
+}
+
+TEST(ServeFairQueue, BacklogCannotStarveALightTenant) {
+  WeightedFairQueue<int> queue;
+  queue.set_weight("hog", 3.0);
+  queue.set_weight("mouse", 1.0);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(queue.try_push("hog", i));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.try_push("mouse", 1000 + i));
+  // Within each 4-pop round the mouse is served once: all three of its
+  // items are out by pop 12 despite a 100-deep hog backlog.
+  const std::vector<int> first12 = drain(queue, 12);
+  int mouse_seen = 0;
+  for (const int value : first12) mouse_seen += value >= 1000;
+  EXPECT_EQ(mouse_seen, 3);
+}
+
+TEST(ServeFairQueue, EmptiedLaneForfeitsItsCredit) {
+  WeightedFairQueue<int> queue;
+  queue.set_weight("a", 1.0);
+  queue.set_weight("b", 4.0);
+  ASSERT_TRUE(queue.try_push("b", 10));
+  // b's lane empties on this pop, so its remaining 3 credits are
+  // forfeited — not banked against the next backlog.
+  EXPECT_EQ(queue.try_pop(), 10);
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(queue.try_push("a", i));
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.try_push("b", 10 + i));
+  // A fresh round: b restarts from credit 0 + weight 4, it does not get
+  // 4 + 3 banked slots before a is served.
+  const std::vector<int> order = drain(queue, 6);
+  int a_seen = 0;
+  for (const int value : order) a_seen += value < 10;
+  EXPECT_GE(a_seen, 1);
+}
+
+TEST(ServeFairQueue, CapacityBoundsTheWholeQueueNotPerLane) {
+  WeightedFairQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push("a", 1));
+  EXPECT_TRUE(queue.try_push("b", 2));
+  EXPECT_FALSE(queue.try_push("c", 3));
+  (void)queue.try_pop();
+  EXPECT_TRUE(queue.try_push("c", 3));
+}
+
+TEST(ServeFairQueue, InvalidWeightThrows) {
+  WeightedFairQueue<int> queue;
+  EXPECT_THROW(queue.set_weight("a", 0.5), std::invalid_argument);
+  EXPECT_THROW(queue.set_weight("a", 0.0), std::invalid_argument);
+}
+
+TEST(ServeFairQueue, CloseDrainsThenReturnsNullopt) {
+  WeightedFairQueue<int> queue;
+  queue.try_push("a", 1);
+  queue.try_push("a", 2);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push("a", 3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ServeFairQueue, CloseAndDrainHandsBackPendingInServiceOrder) {
+  WeightedFairQueue<int> queue;
+  queue.set_weight("a", 1.0);
+  queue.set_weight("b", 2.0);
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(queue.try_push("a", i));
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(queue.try_push("b", 10 + i));
+  const std::vector<int> pending = queue.close_and_drain();
+  EXPECT_EQ(pending, (std::vector<int>{0, 10, 11, 1}));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ServeFairQueue, CloseWakesABlockedPopWithADefiniteResult) {
+  WeightedFairQueue<int> queue;
+  std::thread consumer([&queue] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+}
+
+TEST(ServeFairQueue, PopBlocksUntilPush) {
+  WeightedFairQueue<int> queue;
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.try_push("a", 99);
+  });
+  const std::optional<int> value = queue.pop();
+  producer.join();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 99);
+}
+
+}  // namespace

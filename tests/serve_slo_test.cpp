@@ -1,0 +1,94 @@
+// Tests for the serving layer's rolling-p99 SLO probe
+// (serve/slo.hpp): tumbling windows counted in completions, exact bucket
+// quantiles, and a latched breach verdict.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "serve/slo.hpp"
+
+namespace {
+
+using celia::serve::LatencySloProbe;
+
+constexpr std::array<double, 4> kBounds = {0.05, 0.1, 0.5, 1.0};
+
+TEST(ServeSloProbe, NothingBreachesBeforeTheFirstWindowSeals) {
+  LatencySloProbe probe(0.1, 4, kBounds);
+  probe.record(10.0);  // way over SLO, but the window has not sealed
+  probe.record(10.0);
+  probe.record(10.0);
+  EXPECT_FALSE(probe.breached());
+  EXPECT_EQ(probe.window().count, 0u);
+}
+
+TEST(ServeSloProbe, SealedWindowLatchesTheVerdictUntilTheNextSeal) {
+  LatencySloProbe probe(0.1, 4, kBounds);
+  for (int i = 0; i < 4; ++i) probe.record(0.01);  // all fast
+  EXPECT_FALSE(probe.breached());
+  EXPECT_EQ(probe.window().count, 4u);
+  // p99 of 4 samples in (-inf, 0.05]: rank 3.96 → 0.05 * 0.99.
+  EXPECT_DOUBLE_EQ(probe.window().p99, 0.05 * 0.99);
+
+  for (int i = 0; i < 4; ++i) probe.record(0.4);  // all slow
+  EXPECT_TRUE(probe.breached());
+  // p99 in (0.1, 0.5]: 0.1 + 0.99 * 0.4.
+  EXPECT_DOUBLE_EQ(probe.window().p99, 0.1 + 0.99 * 0.4);
+
+  // Recovery: the next fast window un-latches the breach.
+  for (int i = 0; i < 4; ++i) probe.record(0.01);
+  EXPECT_FALSE(probe.breached());
+}
+
+TEST(ServeSloProbe, WindowsTumbleTheyDoNotSlide) {
+  LatencySloProbe probe(0.1, 4, kBounds);
+  for (int i = 0; i < 4; ++i) probe.record(0.4);
+  ASSERT_TRUE(probe.breached());
+  // Three fast completions: still the OLD verdict — the window is
+  // unsealed, not sliding sample-by-sample.
+  for (int i = 0; i < 3; ++i) probe.record(0.01);
+  EXPECT_TRUE(probe.breached());
+  probe.record(0.01);  // fourth completion seals the fast window
+  EXPECT_FALSE(probe.breached());
+}
+
+TEST(ServeSloProbe, DeterministicAcrossIdenticalRuns) {
+  LatencySloProbe a(0.2, 8, kBounds);
+  LatencySloProbe b(0.2, 8, kBounds);
+  const std::array<double, 16> trace = {0.01, 0.3, 0.07, 0.6, 0.02, 0.9,
+                                        0.04, 0.3, 0.01, 0.01, 0.02, 0.03,
+                                        0.01, 0.02, 0.04, 0.01};
+  for (const double sample : trace) {
+    a.record(sample);
+    b.record(sample);
+    EXPECT_EQ(a.breached(), b.breached());
+  }
+  EXPECT_DOUBLE_EQ(a.window().p99, b.window().p99);
+  EXPECT_DOUBLE_EQ(a.window().p50, b.window().p50);
+}
+
+TEST(ServeSloProbe, ShedAllowanceIsBoundedPerBreachedWindow) {
+  LatencySloProbe probe(0.1, 4, kBounds);
+  EXPECT_FALSE(probe.should_shed());  // healthy: free pass
+  for (int i = 0; i < 4; ++i) probe.record(0.4);
+  ASSERT_TRUE(probe.breached());
+  // Exactly `stride` sheds per breached window, then probation: the
+  // breach can never latch forever even if nothing completes meanwhile.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(probe.should_shed()) << "shed " << i;
+  EXPECT_FALSE(probe.should_shed());
+  EXPECT_FALSE(probe.breached());
+  // A probation window that is still slow re-arms the allowance.
+  for (int i = 0; i < 4; ++i) probe.record(0.4);
+  EXPECT_TRUE(probe.should_shed());
+}
+
+TEST(ServeSloProbe, RejectsMalformedArguments) {
+  EXPECT_THROW(LatencySloProbe(0.0, 4, kBounds), std::invalid_argument);
+  EXPECT_THROW(LatencySloProbe(-1.0, 4, kBounds), std::invalid_argument);
+  EXPECT_THROW(LatencySloProbe(0.1, 0, kBounds), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Concurrency regression tests for the resilience primitives
+// (util/resilience.hpp). These run under the TSan CI matrix: the
+// invariants here must hold for EVERY interleaving, not just the lucky
+// ones — in particular a racing half-open CircuitBreaker admits exactly
+// `half_open_probes` probes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/resilience.hpp"
+
+namespace {
+
+using celia::util::CircuitBreaker;
+using celia::util::TokenBucket;
+
+TEST(ResilienceConcurrent, HalfOpenAdmitsExactlyOneProbeUnderRacingAllow) {
+  for (int round = 0; round < 20; ++round) {
+    CircuitBreaker::Policy policy;
+    policy.failure_threshold = 1;
+    policy.open_seconds = 1.0;
+    policy.half_open_probes = 1;
+    policy.cooldown_jitter_fraction = 0.0;
+    CircuitBreaker breaker(policy);
+
+    ASSERT_TRUE(breaker.allow(0.0));
+    breaker.record_failure(0.0);  // opens; cooldown ends at t = 1
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // Many threads race allow() past the cooldown: the open → half-open
+    // transition and the probe admission are one atomic step, so exactly
+    // one caller may probe.
+    constexpr int kThreads = 8;
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&breaker, &admitted] {
+        if (breaker.allow(2.0)) admitted.fetch_add(1);
+      });
+    for (std::thread& thread : threads) thread.join();
+
+    EXPECT_EQ(admitted.load(), 1) << "round " << round;
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    // The probe succeeding closes the breaker again.
+    breaker.record_success(2.5);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+}
+
+TEST(ResilienceConcurrent, HalfOpenAdmitsExactlyKProbesUnderRacingAllow) {
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 1;
+  policy.open_seconds = 1.0;
+  policy.half_open_probes = 3;
+  CircuitBreaker breaker(policy);
+  ASSERT_TRUE(breaker.allow(0.0));
+  breaker.record_failure(0.0);
+
+  constexpr int kThreads = 16;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&breaker, &admitted] {
+      if (breaker.allow(2.0)) admitted.fetch_add(1);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), 3);
+}
+
+TEST(ResilienceConcurrent, TokenBucketNeverMintsTokensUnderRace) {
+  // 64 tokens, negligible refill: no matter how the threads interleave,
+  // exactly 64 try_acquire calls may succeed.
+  TokenBucket bucket(64.0, 1e-9);
+  constexpr int kThreads = 8;
+  constexpr int kAttempts = 64;
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&bucket, &acquired] {
+      for (int i = 0; i < kAttempts; ++i)
+        if (bucket.try_acquire(0.0)) acquired.fetch_add(1);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(acquired.load(), 64);
+  EXPECT_FALSE(bucket.try_acquire(0.0));
+}
+
+TEST(ResilienceConcurrent, SkewedClockReadsCannotMoveTheBucketBackwards) {
+  // Racing callers observe the clock in different orders; the bucket
+  // clamps `now` forward internally, so a stale read can never re-mint
+  // tokens another thread already spent.
+  TokenBucket bucket(1.0, 1.0);  // 1 token, 1 token/s
+  ASSERT_TRUE(bucket.try_acquire(10.0));
+  constexpr int kThreads = 8;
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&bucket, &acquired, t] {
+      // Thread clocks skew from 10.2 to 11.6: at most one token has
+      // refilled by ANY of these times.
+      const double now = 10.2 + 0.2 * static_cast<double>(t);
+      if (bucket.try_acquire(now)) acquired.fetch_add(1);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(acquired.load(), 1);
+}
+
+TEST(ResilienceConcurrent, BreakerSurvivesAHammeringMixedWorkload) {
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = 3;
+  policy.open_seconds = 0.01;
+  policy.half_open_probes = 2;
+  CircuitBreaker breaker(policy);
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&breaker, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const double now = 0.001 * static_cast<double>(i);
+        if (!breaker.allow(now)) continue;
+        if ((i + t) % 5 == 0)
+          breaker.record_failure(now);
+        else
+          breaker.record_success(now);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  // No crash, no deadlock, and a coherent final snapshot: every closed
+  // transition had a matching half-open episode, which had a matching
+  // open transition.
+  const CircuitBreaker::Stats stats = breaker.stats();
+  EXPECT_GE(stats.opened, stats.half_opened);
+  EXPECT_GE(stats.half_opened, stats.closed);
+}
+
+}  // namespace
