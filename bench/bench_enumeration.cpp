@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/demand.hpp"
 #include "cloud/catalog.hpp"
 #include "core/enumerate.hpp"
 #include "core/query.hpp"
@@ -16,9 +17,10 @@ namespace {
 using namespace celia::core;
 
 ResourceCapacity bench_capacity() {
-  return ResourceCapacity(std::vector<double>(
-      {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9, 1.09e9, 1.09e9,
-       1.09e9}));
+  return ResourceCapacity(
+      std::vector<double>({1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9,
+                           1.09e9, 1.09e9, 1.09e9}),
+      celia::cloud::Catalog::ec2_table3());
 }
 
 /// A synthetic catalog of `num_types` instance types: Table III extended
@@ -106,6 +108,57 @@ void BM_FullSweepCatalogScaling(benchmark::State& state) {
   state.counters["configs"] = static_cast<double>(space.size());
 }
 BENCHMARK(BM_FullSweepCatalogScaling)->Arg(9)->Arg(12)->Arg(15)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Vector-demand sweep cost vs dimension count over the full EC2 space.
+/// 1-D queries route through the scalar suffix-sum walk unchanged; >= 2
+/// dimensions pay the per-dimension max in the multi-dimensional walk, so
+/// this axis prices the bottleneck-feasibility generalization (DESIGN.md
+/// §11). Per-dimension demand is scaled to the same ~hours completion
+/// time as the scalar baseline so the feasibility mix stays comparable.
+void BM_FullSweepDimensionScaling(benchmark::State& state) {
+  const auto num_dims = static_cast<std::size_t>(state.range(0));
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto& catalog = celia::cloud::Catalog::ec2_table3();
+
+  std::vector<std::string> names{"instructions"};
+  const char* extra[] = {"io_ops", "net_bytes", "mem_bytes"};
+  for (std::size_t d = 1; d < num_dims; ++d)
+    names.emplace_back(extra[d - 1]);
+  celia::apps::DemandDimensions schema(std::move(names));
+
+  // Row 0 is the scalar benchmark capacity; further rows vary by type so
+  // the binding dimension actually shifts across the space.
+  const double per_vcpu_base[] = {1.38e9, 2.0e4, 6.25e7, 4.0e8};
+  std::vector<std::vector<double>> rates;
+  celia::apps::DemandVector demand;
+  for (std::size_t d = 0; d < num_dims; ++d) {
+    std::vector<double> row(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      row[i] = per_vcpu_base[d] * (1.0 - 0.05 * static_cast<double>(i % 3));
+    rates.push_back(std::move(row));
+    // ~9e15 instructions takes hours on these fleets; match that scale
+    // per dimension, skewed so no single dimension always binds.
+    demand.values.push_back(9e15 / 1.38e9 * per_vcpu_base[d] *
+                            (0.9 + 0.1 * static_cast<double>(d)));
+  }
+  const ResourceCapacity capacity(std::move(schema), std::move(rates),
+                                  catalog);
+
+  Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.budget_dollars = 350.0;
+  SweepOptions options;
+  options.collect_pareto = false;
+  const Query query = Query::make(demand, constraints, options);
+  for (auto _ : state) {
+    const SweepResult result = sweep(space, capacity, catalog, query);
+    benchmark::DoNotOptimize(result.feasible);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_FullSweepDimensionScaling)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_DecodeEncode(benchmark::State& state) {

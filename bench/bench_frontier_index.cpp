@@ -17,9 +17,10 @@ namespace {
 using namespace celia::core;
 
 ResourceCapacity bench_capacity() {
-  return ResourceCapacity(std::vector<double>(
-      {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9, 1.09e9, 1.09e9,
-       1.09e9}));
+  return ResourceCapacity(
+      std::vector<double>({1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9, 1.31e9,
+                           1.09e9, 1.09e9, 1.09e9}),
+      celia::cloud::Catalog::ec2_table3());
 }
 
 /// Synthetic catalog of `num_types` types: Table III plus repriced clones,

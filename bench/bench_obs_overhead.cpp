@@ -60,7 +60,8 @@ int main() {
   std::vector<int> max_counts(cloud::catalog_size(), 4);
   const core::ConfigurationSpace space(max_counts);
   const core::ResourceCapacity capacity(
-      std::vector<double>(cloud::catalog_size(), 1.2e9));
+      std::vector<double>(cloud::catalog_size(), 1.2e9),
+      cloud::Catalog::ec2_table3());
   const std::vector<double> hourly = core::ec2_hourly_costs();
 
   core::Constraints constraints;

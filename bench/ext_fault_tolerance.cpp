@@ -55,7 +55,8 @@ core::ResourceCapacity nominal_capacity() {
   per_vcpu.reserve(cloud::catalog_size());
   for (const auto& type : cloud::ec2_catalog())
     per_vcpu.push_back(hw::vcpu_rate(type.microarch, kWc));
-  return core::ResourceCapacity(std::move(per_vcpu));
+  return core::ResourceCapacity(std::move(per_vcpu),
+                               cloud::Catalog::ec2_table3());
 }
 
 struct SimOutcome {

@@ -8,6 +8,8 @@
 //       [--catalog=prices.csv] [--save-model=m.celia | --load-model=m.celia]
 //       [--epsilon-hours=1 --epsilon-dollars=5] [--top=10] [--verbose]
 //       [--api-faults=seed=7,throttle=0.2,transient=0.1]
+//   example_celia_planner --app=oltp-aurora --n=1e9 --a=0.2 --dimensions
+//       (vector demand: per-frontier-point bottleneck attribution)
 
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +28,7 @@
 #include "cloud/provider.hpp"
 #include "core/celia.hpp"
 #include "core/frontier_index.hpp"
+#include "core/query.hpp"
 #include "core/recommend.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -196,9 +199,13 @@ int main(int argc, char** argv) {
   util::CliParser cli("celia_planner",
                       "find cost-time Pareto-optimal cloud configurations "
                       "for an elastic application");
-  cli.add_option("app", "application: x264 | galaxy | sand", "galaxy");
+  cli.add_option("app",
+                 "application: x264 | galaxy | sand | oltp | oltp-aurora | "
+                 "oltp-socrates", "galaxy");
   cli.add_option("n", "problem size", "65536");
-  cli.add_option("a", "accuracy parameter (f / s / t)", "8000");
+  cli.add_option("a",
+                 "accuracy parameter (f / s / t; read fraction r for the "
+                 "oltp family)", "8000");
   cli.add_option("deadline", "time deadline in hours", "24");
   cli.add_option("budget", "cost budget in dollars", "350");
   cli.add_option("mode",
@@ -224,6 +231,10 @@ int main(int argc, char** argv) {
   cli.add_flag("index",
                "answer the query from a precomputed frontier index instead "
                "of a full sweep");
+  cli.add_flag("dimensions",
+               "attribute each frontier point to its binding bottleneck "
+               "dimension (vector-demand apps plan over instructions, IO, "
+               "network and memory at once)");
   cli.add_flag("serve",
                "run the planner as a service under synthetic open-loop load "
                "(admission control, coalescing, per-tenant fairness)");
@@ -245,7 +256,8 @@ int main(int argc, char** argv) {
   const auto app = apps::make_app(cli.get("app"));
   if (!app) {
     std::cerr << "unknown application '" << cli.get("app")
-              << "' (expected x264, galaxy or sand)\n";
+              << "' (expected x264, galaxy, sand or one of the oltp "
+                 "family)\n";
     return 1;
   }
   core::CharacterizationMode mode = core::CharacterizationMode::kFullMeasurement;
@@ -297,7 +309,16 @@ int main(int argc, char** argv) {
     }
     CELIA_LOG_INFO << "building models ("
                    << core::characterization_mode_name(mode) << ")";
-    return core::Celia::build(*app, provider, mode);
+    core::Celia built = core::Celia::build(*app, provider, mode);
+    if (app->demand_dimensions().size() == 1) return built;
+    // Vector-demand app: lift the capacity to the app's full schema. The
+    // measured instruction campaign stays dimension 0; IO/network/memory
+    // rows come from the catalog's published attributes (DESIGN.md §11).
+    core::ResourceCapacity vector_capacity =
+        core::characterize_vector_capacity(*app, provider, mode);
+    return core::Celia(std::string(built.app_name()), built.workload(),
+                       built.demand_model(), std::move(vector_capacity),
+                       built.space(), built.catalog_ptr());
   }();
   CELIA_LOG_INFO << "model ready after "
                  << util::format_fixed(watch.elapsed_ms(), 1) << " ms";
@@ -318,7 +339,25 @@ int main(int argc, char** argv) {
     std::cout << "model saved to " << path << "\n";
   }
 
-  if (cli.has("serve")) return run_serve_demo(celia, catalog, params, cli);
+  // Dimension count of the model we plan with: 1 for the paper's scalar
+  // pipeline, >1 when the app declares a vector demand schema (or a v3
+  // vector model was loaded).
+  const std::size_t dims = celia.capacity().num_dimensions();
+
+  if (cli.has("serve")) {
+    if (dims > 1) {
+      std::cerr << "--serve drives the scalar planning path; pick a 1-D "
+                   "app (x264, galaxy, sand)\n";
+      return 1;
+    }
+    return run_serve_demo(celia, catalog, params, cli);
+  }
+
+  // The demand the sweep answers for: the fitted scalar model in 1-D
+  // (the paper's pipeline), the app's closed-form vector otherwise.
+  const apps::DemandVector demand_vector =
+      dims > 1 ? app->demand_vector(params)
+               : apps::DemandVector::scalar(celia.predict_demand(params));
 
   std::cout << "CELIA plan for " << app->name() << "(n=" << params.n
             << ", " << app->accuracy_param_name() << "=" << params.a
@@ -329,13 +368,24 @@ int main(int argc, char** argv) {
             << " in accuracy (grid R^2 = "
             << util::format_fixed(celia.demand_model().grid_r2(), 4) << ")\n"
             << "  demand       : "
-            << util::format_instructions(celia.predict_demand(params))
-            << "\n  constraints  : T' = " << deadline << " h, C' = "
+            << util::format_instructions(demand_vector[0]) << "\n";
+  if (dims > 1) {
+    std::cout << "  demand vector: ";
+    for (std::size_t d = 1; d < dims; ++d)
+      std::cout << (d > 1 ? ", " : "")
+                << celia.capacity().dimensions().name(d) << " "
+                << demand_vector[d];
+    std::cout << "\n";
+  }
+  std::cout << "  constraints  : T' = " << deadline << " h, C' = "
             << util::format_money(budget) << "\n\n";
 
   core::SweepOptions sweep_options;
   std::shared_ptr<const core::FrontierIndex> index;
-  if (cli.has("index")) {
+  if (cli.has("index") && dims > 1) {
+    std::cout << "frontier index: unavailable for vector demand (the "
+                 "staircase is only demand-invariant in 1-D); sweeping\n";
+  } else if (cli.has("index")) {
     watch.reset();
     index = core::shared_frontier_index(celia.space(), celia.capacity(),
                                         celia.catalog());
@@ -349,10 +399,18 @@ int main(int argc, char** argv) {
   }
 
   watch.reset();
-  const core::SweepResult result =
-      celia.select(params, deadline, budget, sweep_options);
+  const core::SweepResult result = [&] {
+    if (dims == 1)
+      return celia.select(params, deadline, budget, sweep_options);
+    core::Constraints constraints;
+    constraints.deadline_seconds = deadline * 3600.0;
+    constraints.budget_dollars = budget;
+    return core::sweep(celia.space(), celia.capacity(), celia.catalog(),
+                       core::Query::make(demand_vector, constraints,
+                                         sweep_options));
+  }();
   std::cout << "route: " << core::query_route_name(result.route) << "\n";
-  if (cli.has("index")) {
+  if (index) {
     std::cout << "answered from the index in "
               << util::format_fixed(watch.elapsed_ms() * 1000.0, 1)
               << " us; ";
@@ -378,15 +436,30 @@ int main(int argc, char** argv) {
               << " representatives\n";
   }
 
-  util::TablePrinter table({"Configuration", "time", "cost"});
+  // --dimensions: attribute every printed point (and the pick) to the
+  // dimension whose D_d / U_{j,d} achieves the completion-time max.
+  const bool report_dimensions = cli.has("dimensions");
+  const auto dimensional = [&](std::uint64_t config_index) {
+    return core::predict_vector(demand_vector,
+                                celia.space().decode(config_index),
+                                celia.capacity(), celia.catalog());
+  };
+
+  std::vector<std::string> headers{"Configuration", "time", "cost"};
+  if (report_dimensions) headers.push_back("bottleneck");
+  util::TablePrinter table(std::move(headers));
   table.set_right_aligned(1);
   table.set_right_aligned(2);
   const auto top = static_cast<std::size_t>(cli.get_int("top"));
   for (std::size_t i = 0; i < frontier.size() && i < top; ++i) {
-    table.add_row(
-        {core::to_string(celia.space().decode(frontier[i].config_index)),
-         util::format_duration(frontier[i].seconds),
-         util::format_money(frontier[i].cost)});
+    std::vector<std::string> row{
+        core::to_string(celia.space().decode(frontier[i].config_index)),
+        util::format_duration(frontier[i].seconds),
+        util::format_money(frontier[i].cost)};
+    if (report_dimensions)
+      row.push_back(
+          dimensional(frontier[i].config_index).binding_dimension_name);
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
   if (frontier.size() > top)
@@ -412,6 +485,18 @@ int main(int argc, char** argv) {
               << core::to_string(celia.space().decode(pick.config_index))
               << "  " << util::format_duration(pick.seconds) << "  "
               << util::format_money(pick.cost) << "\n";
+    if (report_dimensions) {
+      const core::DimensionalPrediction prediction =
+          dimensional(pick.config_index);
+      std::cout << "per-dimension completion time of the pick:\n";
+      for (std::size_t d = 0; d < dims; ++d)
+        std::cout << "  " << celia.capacity().dimensions().name(d) << " : "
+                  << util::format_duration(
+                         prediction.per_dimension_seconds[d])
+                  << (d == prediction.binding_dimension ? "  <- binding"
+                                                        : "")
+                  << "\n";
+    }
   }
   // Degraded-mode demo: replay provisioning of the min-cost pick against
   // a seeded control-plane fault schedule and report what was actually

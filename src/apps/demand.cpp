@@ -1,0 +1,61 @@
+#include "apps/demand.hpp"
+
+#include <stdexcept>
+
+namespace celia::apps {
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<std::string>& names) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  for (const std::string& name : names) {
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    mix(0x1f);  // unit separator: ("ab","c") != ("a","bc")
+  }
+  return hash;
+}
+
+}  // namespace
+
+const DemandDimensions& DemandDimensions::scalar() {
+  static const DemandDimensions instance(
+      std::vector<std::string>{std::string(kDimInstructions)});
+  return instance;
+}
+
+const DemandDimensions& DemandDimensions::oltp() {
+  static const DemandDimensions instance(std::vector<std::string>{
+      std::string(kDimInstructions), std::string(kDimIoOps),
+      std::string(kDimNetBytes), std::string(kDimMemBytes)});
+  return instance;
+}
+
+DemandDimensions::DemandDimensions(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  if (names_.empty())
+    throw std::invalid_argument("DemandDimensions: need at least one dimension");
+  if (names_.size() > 16)
+    throw std::invalid_argument("DemandDimensions: more than 16 dimensions");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].empty())
+      throw std::invalid_argument("DemandDimensions: empty dimension name");
+    for (std::size_t j = 0; j < i; ++j)
+      if (names_[i] == names_[j])
+        throw std::invalid_argument("DemandDimensions: duplicate dimension '" +
+                                    names_[i] + "'");
+  }
+  fingerprint_ = fnv1a(names_);
+}
+
+std::optional<std::size_t> DemandDimensions::index_of(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  return std::nullopt;
+}
+
+}  // namespace celia::apps

@@ -1,0 +1,91 @@
+#pragma once
+// Multi-dimensional resource demand.
+//
+// The paper's Eqs. (2)-(6) model demand as a single scalar (instructions),
+// which is only honest for compute-bound applications. Workloads whose
+// bottleneck shifts between CPU, IO, network and memory — the
+// disaggregated-storage OLTP family in apps/oltp/ — need a demand VECTOR:
+// one non-negative component per resource dimension, paired with a
+// DemandDimensions schema naming the components. Capacity generalizes the
+// same way (core::ResourceCapacity carries one rate per type per
+// dimension) and completion time becomes the max over bottleneck
+// dimensions:
+//
+//     T_j = max_d  D_d / U_{j,d}        (generalized Eq. 2)
+//
+// The 1-D case degenerates to the paper's scalar model bit-identically —
+// a max over one element is that element — which is what keeps the three
+// seed applications' numbers pinned (tests/core_vector_demand_test.cpp).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace celia::apps {
+
+/// Canonical dimension names. Schemas are free-form lists of names; these
+/// four are the ones the shipped applications use.
+inline constexpr std::string_view kDimInstructions = "instructions";
+inline constexpr std::string_view kDimIoOps = "io_ops";
+inline constexpr std::string_view kDimNetBytes = "net_bytes";
+inline constexpr std::string_view kDimMemBytes = "mem_bytes";
+
+/// An ordered, named list of demand dimensions — the schema a demand
+/// vector and a capacity rate matrix are both indexed by. Immutable after
+/// construction; identified by a fingerprint so planners can refuse to
+/// combine a demand vector with a capacity characterized for a different
+/// schema (the same way capacities pin a catalog structure fingerprint).
+class DemandDimensions {
+ public:
+  /// The paper's scalar model: the single "instructions" dimension.
+  static const DemandDimensions& scalar();
+
+  /// The OLTP family's four dimensions: instructions, io_ops, net_bytes,
+  /// mem_bytes (in that order; instructions is always dimension 0).
+  static const DemandDimensions& oltp();
+
+  /// Arbitrary schema. Throws std::invalid_argument when `names` is empty,
+  /// holds an empty/duplicate name, or exceeds 16 dimensions. Dimension 0
+  /// is the scalar-compatibility dimension and should be "instructions"
+  /// for anything the legacy entry points may see.
+  explicit DemandDimensions(std::vector<std::string> names);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t dim) const { return names_.at(dim); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of a dimension by name; nullopt when absent.
+  std::optional<std::size_t> index_of(std::string_view name) const;
+
+  /// Order-sensitive FNV-1a over the names; equal schemas have equal
+  /// fingerprints. Serialized with the rate matrix in model-format v3.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  friend bool operator==(const DemandDimensions& a, const DemandDimensions& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// A demand vector: values_[d] is the demand in dimension d of some
+/// DemandDimensions schema (instructions, IO operations, bytes, ...).
+/// Plain data; validation happens at the planner boundary
+/// (core::validate_query) exactly as for scalar demand.
+struct DemandVector {
+  std::vector<double> values;
+
+  /// The 1-D vector the scalar-compatibility shims produce.
+  static DemandVector scalar(double instructions) { return {{instructions}}; }
+
+  std::size_t size() const { return values.size(); }
+  double operator[](std::size_t dim) const { return values[dim]; }
+
+  friend bool operator==(const DemandVector&, const DemandVector&) = default;
+};
+
+}  // namespace celia::apps

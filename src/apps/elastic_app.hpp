@@ -11,19 +11,28 @@
 //     synthetic input, reporting every operation to a hw::PerfCounter.
 //     This is the analogue of running the real binary under `perf` on the
 //     local server. Only practical at scaled-down parameters.
-//   * exact_demand() — closed-form operation counts derived from the
-//     kernel's loop structure. The test suite proves this agrees *exactly*
-//     with run_instrumented() at small parameters, which justifies using it
-//     as the simulated ground truth at cloud-scale parameters (where a real
-//     instrumented run would take CPU-days).
+//   * demand_vector() — closed-form per-dimension demand (instructions,
+//     IO operations, network bytes, memory traffic — see apps/demand.hpp).
+//     Dimension 0 is always instructions, and the test suite proves it
+//     agrees *exactly* with run_instrumented() at small parameters, which
+//     justifies using the closed forms as the simulated ground truth at
+//     cloud-scale parameters (where a real instrumented run would take
+//     CPU-days). Compute-bound applications (the three seed apps) are
+//     1-dimensional; the OLTP family is 4-dimensional.
 //   * make_workload() — the application's parallel decomposition, consumed
 //     by the cluster execution simulator.
+//
+// exact_demand() is the legacy scalar view (the instructions dimension
+// alone) and is DEPRECATED in favor of demand_vector(); it remains the
+// closed-form hook the scalar apps implement, with demand_vector()
+// adapting it to a 1-D vector by default.
 
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "apps/demand.hpp"
 #include "apps/workload.hpp"
 #include "hw/perf_counter.hpp"
 #include "hw/workload_class.hpp"
@@ -55,7 +64,24 @@ class ElasticApp {
   virtual std::string_view accuracy_param_name() const = 0;
   virtual ParamRange param_range() const = 0;
 
-  /// Closed-form resource demand D_P(n,a) in instructions.
+  /// The demand schema of this application. Scalar (one "instructions"
+  /// dimension) unless overridden; multi-dimensional applications return
+  /// the schema their demand_vector() and capacity matrix are indexed by.
+  virtual const DemandDimensions& demand_dimensions() const {
+    return DemandDimensions::scalar();
+  }
+
+  /// Closed-form per-dimension resource demand D_P(n,a), aligned with
+  /// demand_dimensions(). Dimension 0 is always instructions. The default
+  /// is the scalar-adapter shim: a 1-D vector wrapping exact_demand(), so
+  /// the scalar applications keep their closed forms untouched.
+  virtual DemandVector demand_vector(const AppParams& params) const {
+    return DemandVector::scalar(exact_demand(params));
+  }
+
+  /// DEPRECATED: the scalar (instructions-only) view of demand_vector().
+  /// Still the closed-form hook scalar applications implement; new code
+  /// should call demand_vector() instead.
   virtual double exact_demand(const AppParams& params) const = 0;
 
   /// Execute the real kernel at `params`, accumulating operation counts.

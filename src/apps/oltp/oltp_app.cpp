@@ -1,0 +1,171 @@
+#include "apps/oltp/oltp_app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/oltp/txn_kernel.hpp"
+
+namespace celia::apps::oltp {
+
+namespace {
+
+/// n rounded to a whole transaction count (>= 1).
+std::uint64_t checked_n(const AppParams& params) {
+  const auto n = static_cast<std::int64_t>(std::llround(params.n));
+  if (n < 1)
+    throw std::invalid_argument("oltp: need at least one transaction");
+  return static_cast<std::uint64_t>(n);
+}
+
+/// Read fraction r in [0, 1]; reads = round(r n), writes = n - reads.
+std::uint64_t checked_reads(const AppParams& params, std::uint64_t n) {
+  const double r = params.a;
+  if (!(r >= 0.0 && r <= 1.0))
+    throw std::invalid_argument("oltp: read fraction must be in [0, 1]");
+  const auto reads = static_cast<std::uint64_t>(
+      std::llround(r * static_cast<double>(n)));
+  return reads > n ? n : reads;
+}
+
+double read_instructions() {
+  static const double value =
+      static_cast<double>(read_txn_ops().instructions());
+  return value;
+}
+
+double write_instructions() {
+  static const double value =
+      static_cast<double>(write_txn_ops().instructions());
+  return value;
+}
+
+}  // namespace
+
+std::string_view storage_architecture_name(StorageArchitecture arch) {
+  switch (arch) {
+    case StorageArchitecture::kClassic:
+      return "classic";
+    case StorageArchitecture::kAurora:
+      return "aurora";
+    case StorageArchitecture::kSocrates:
+      return "socrates";
+  }
+  return "?";
+}
+
+const ArchCosts& arch_costs(StorageArchitecture arch) {
+  // Per-transaction storage/network/buffer-pool demand. Magnitudes are
+  // per-txn averages of a warmed engine (8 KiB pages, ~0.5 % read miss
+  // on classic's large local pool):
+  //
+  //   classic  — reads hit the pool (0.005 IO/read miss traffic); a write
+  //              pays amortized page + log IO (1.0) and dirties full page
+  //              images in the pool (64 KiB of page + undo + redo
+  //              traffic). Network carries client result sets only.
+  //   aurora   — only log records reach storage, group-committed (0.05
+  //              IO/write), but each write ships its log record to a
+  //              6-way storage fleet: 2400 B/write on the wire. Reads hit
+  //              the compute-tier pool exactly like classic (a lean ~1 KiB
+  //              of pool traffic; result sets only on the wire).
+  //   socrates — log IO offloaded to the log service (0.3/write); the
+  //              small compute-tier cache makes reads fetch pages from
+  //              page servers: 500 B/read average on the wire (miss rate
+  //              x 8 KiB page), with the lightest local pool traffic.
+  static const ArchCosts kClassic{0.005, 1.0, 200.0, 800.0, 2048.0, 65536.0};
+  static const ArchCosts kAurora{0.002, 0.05, 200.0, 2400.0, 1024.0, 16384.0};
+  static const ArchCosts kSocrates{0.001, 0.3, 500.0, 4096.0, 1024.0, 8192.0};
+  switch (arch) {
+    case StorageArchitecture::kClassic:
+      return kClassic;
+    case StorageArchitecture::kAurora:
+      return kAurora;
+    case StorageArchitecture::kSocrates:
+      return kSocrates;
+  }
+  throw std::invalid_argument("oltp: unknown storage architecture");
+}
+
+std::string_view OltpApp::name() const {
+  switch (arch_) {
+    case StorageArchitecture::kClassic:
+      return "oltp-classic";
+    case StorageArchitecture::kAurora:
+      return "oltp-aurora";
+    case StorageArchitecture::kSocrates:
+      return "oltp-socrates";
+  }
+  return "oltp";
+}
+
+double OltpApp::exact_demand(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t reads = checked_reads(params, n);
+  const std::uint64_t writes = n - reads;
+  return static_cast<double>(reads) * read_instructions() +
+         static_cast<double>(writes) * write_instructions();
+}
+
+DemandVector OltpApp::demand_vector(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const auto reads = static_cast<double>(checked_reads(params, n));
+  const auto writes = static_cast<double>(n) - reads;
+  const ArchCosts& costs = arch_costs(arch_);
+
+  DemandVector demand;
+  demand.values = {
+      reads * read_instructions() + writes * write_instructions(),
+      reads * costs.io_per_read + writes * costs.io_per_write,
+      reads * costs.net_per_read + writes * costs.net_per_write,
+      reads * costs.mem_per_read + writes * costs.mem_per_write,
+  };
+  return demand;
+}
+
+void OltpApp::run_instrumented(const AppParams& params,
+                               hw::PerfCounter& counter,
+                               std::uint64_t seed) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t reads = checked_reads(params, n);
+  TxnTable table = make_table(seed);
+  run_transactions(table, reads, n - reads, counter);
+}
+
+Workload OltpApp::make_workload(const AppParams& params) const {
+  const std::uint64_t n = checked_n(params);
+  const std::uint64_t reads = checked_reads(params, n);
+  const std::uint64_t writes = n - reads;
+
+  Workload workload;
+  workload.app_name = std::string(name());
+  workload.workload_class = workload_class();
+  workload.pattern = ParallelPattern::kIndependentTasks;
+
+  // Shard the transaction stream into independent batches (transactions
+  // never talk to each other; the engine scales out like x264's clips).
+  const std::uint64_t shards = n < 64 ? n : 64;
+  workload.task_instructions.reserve(shards);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < shards; ++k) {
+    const std::uint64_t r_k = reads / shards + (k < reads % shards ? 1 : 0);
+    const std::uint64_t w_k =
+        writes / shards + (k < writes % shards ? 1 : 0);
+    const double task = static_cast<double>(r_k) * read_instructions() +
+                        static_cast<double>(w_k) * write_instructions();
+    workload.task_instructions.push_back(task);
+    total += task;
+  }
+  workload.total_instructions = total;
+  return workload;
+}
+
+std::vector<AppParams> OltpApp::profile_grid() const {
+  // §IV-A analogue: transaction counts small enough to instrument, read
+  // fractions spanning write-heavy to read-mostly.
+  std::vector<AppParams> grid;
+  for (const double n : {10000, 20000, 50000, 100000})
+    for (const double r : {0.1, 0.3, 0.5, 0.7, 0.9})
+      grid.push_back({n, r});
+  return grid;
+}
+
+}  // namespace celia::apps::oltp

@@ -1,0 +1,87 @@
+#pragma once
+// The disaggregated-storage OLTP application family — the first
+// multi-dimensional (vector-demand) elastic applications.
+//
+// An OLTP workload P(n, r) executes n independent transactions of which a
+// fraction r are reads (r is the accuracy-style second parameter: the
+// read/write mix the operator expects). All three family members run the
+// SAME SQL/compute kernel (apps/oltp/txn_kernel.hpp) — what differs is
+// the storage architecture, i.e. which resource a transaction leans on:
+//
+//   oltp-classic  — monolithic engine, local storage. Writes pay full
+//                   page + log IO and heavy buffer-pool traffic; network
+//                   carries only client result sets. Write-heavy mixes
+//                   are IO-bound (instance-local SSD — Table III's r3 —
+//                   wins); read-mostly mixes are compute-bound (c4 wins).
+//   oltp-aurora   — log-is-the-database (Aurora): only log records reach
+//                   storage, but each is fanned out to a storage quorum,
+//                   so write-heavy mixes become NETWORK-bound.
+//   oltp-socrates — page-server split (Socrates): the compute tier keeps
+//                   a small cache and fetches pages from page servers, so
+//                   even read traffic rides the network; log IO is
+//                   offloaded to a log service.
+//
+// Because the three architectures saturate different dimensions first,
+// the planner's min-cost instance mix shifts with r — the bottleneck-
+// shift demonstration `celia_planner --app=oltp --dimensions` prints
+// (see tests/apps_oltp_test.cpp for the pinned assertion).
+
+#include <string_view>
+
+#include "apps/elastic_app.hpp"
+
+namespace celia::apps::oltp {
+
+enum class StorageArchitecture { kClassic, kAurora, kSocrates };
+
+std::string_view storage_architecture_name(StorageArchitecture arch);
+
+/// Per-transaction non-compute demand of one architecture: how many IO
+/// operations, network bytes and buffer-pool bytes one read / one write
+/// transaction generates. Dimension 0 (instructions) comes from the
+/// kernel's exact ledgers instead.
+struct ArchCosts {
+  double io_per_read, io_per_write;    // storage IO operations
+  double net_per_read, net_per_write;  // network bytes
+  double mem_per_read, mem_per_write;  // buffer-pool bytes
+};
+
+const ArchCosts& arch_costs(StorageArchitecture arch);
+
+class OltpApp final : public ElasticApp {
+ public:
+  explicit OltpApp(StorageArchitecture arch) : arch_(arch) {}
+
+  std::string_view name() const override;
+  std::string_view domain() const override { return "databases"; }
+  hw::WorkloadClass workload_class() const override {
+    return hw::WorkloadClass::kTransactionProcessing;
+  }
+  std::string_view size_param_name() const override {
+    return "n (transactions)";
+  }
+  std::string_view accuracy_param_name() const override {
+    return "r (read fraction)";
+  }
+  ParamRange param_range() const override { return {1, 1e12, 0.0, 1.0}; }
+
+  StorageArchitecture architecture() const { return arch_; }
+
+  const DemandDimensions& demand_dimensions() const override {
+    return DemandDimensions::oltp();
+  }
+  DemandVector demand_vector(const AppParams& params) const override;
+
+  /// Dimension 0 of demand_vector(): the kernel instruction count.
+  double exact_demand(const AppParams& params) const override;
+
+  void run_instrumented(const AppParams& params, hw::PerfCounter& counter,
+                        std::uint64_t seed = 42) const override;
+  Workload make_workload(const AppParams& params) const override;
+  std::vector<AppParams> profile_grid() const override;
+
+ private:
+  StorageArchitecture arch_;
+};
+
+}  // namespace celia::apps::oltp

@@ -1,0 +1,125 @@
+#include "apps/oltp/txn_kernel.hpp"
+
+namespace celia::apps::oltp {
+
+namespace {
+
+// SplitMix64-style multiplicative mixing constants.
+constexpr std::uint64_t kKeyMul = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kKeyInc = 0xbf58476d1ce4e5b9ull;
+
+/// Hash-probe descent shared by reads and writes: `probes` rounds of key
+/// mixing + slot load + parity fold. Returns the last slot touched (the
+/// "row" the payload pass starts from) and accumulates into `acc`.
+/// Charges per probe: 1 IntMul (key mix), 4 IntArith (increment, shift,
+/// mask, fold), 1 LoadStore (slot load), 1 Branch (loop).
+std::size_t probe_descent(const TxnTable& table, std::uint64_t probes,
+                          std::uint64_t& key, std::uint64_t& acc,
+                          hw::PerfCounter& counter) {
+  std::size_t slot = 0;
+  for (std::uint64_t p = 0; p < probes; ++p) {
+    key = key * kKeyMul + kKeyInc;
+    slot = static_cast<std::size_t>(key >> 16) & (kTableSlots - 1);
+    acc ^= table.slots[slot];
+  }
+  counter.add(hw::OpClass::kIntMul, probes);
+  counter.add(hw::OpClass::kIntArith, 4 * probes);
+  counter.add(hw::OpClass::kLoadStore, probes);
+  counter.add(hw::OpClass::kBranch, probes);
+  return slot;
+}
+
+/// Payload checksum over kPayloadWords row words starting at `slot`.
+/// Charges per word: 2 IntArith (index add, accumulate), 1 LoadStore,
+/// 1 Branch (loop).
+void payload_pass(const TxnTable& table, std::size_t slot, std::uint64_t& acc,
+                  hw::PerfCounter& counter) {
+  for (std::uint64_t w = 0; w < kPayloadWords; ++w)
+    acc += table.slots[(slot + w) & (kTableSlots - 1)];
+  counter.add(hw::OpClass::kIntArith, 2 * kPayloadWords);
+  counter.add(hw::OpClass::kLoadStore, kPayloadWords);
+  counter.add(hw::OpClass::kBranch, kPayloadWords);
+}
+
+}  // namespace
+
+TxnTable make_table(std::uint64_t seed) {
+  TxnTable table;
+  table.slots.resize(kTableSlots);
+  table.log.assign(kLogSlots, 0);
+  std::uint64_t state = seed * kKeyMul + kKeyInc;
+  for (auto& slot : table.slots) {
+    state = state * kKeyMul + kKeyInc;
+    slot = state ^ (state >> 31);
+  }
+  return table;
+}
+
+std::uint64_t run_transactions(TxnTable& table, std::uint64_t reads,
+                               std::uint64_t writes,
+                               hw::PerfCounter& counter) {
+  std::uint64_t acc = 0;
+  std::uint64_t key = 0x2545f4914f6cdd1dull;
+
+  // Interleave deterministically: writes are spread evenly through the
+  // read stream (every txn is independent, so only the counts matter for
+  // the ledger; the interleave keeps the table state realistic).
+  const std::uint64_t total = reads + writes;
+  std::uint64_t writes_done = 0;
+  for (std::uint64_t t = 0; t < total; ++t) {
+    const bool is_write =
+        writes_done < writes &&
+        (t + 1) * writes >= (writes_done + 1) * total;
+    if (!is_write) {
+      const std::size_t slot =
+          probe_descent(table, kProbesPerRead, key, acc, counter);
+      payload_pass(table, slot, acc, counter);
+      counter.add(hw::OpClass::kOther, kReadOverheadOps);
+    } else {
+      ++writes_done;
+      const std::size_t slot =
+          probe_descent(table, kProbesPerWrite, key, acc, counter);
+      payload_pass(table, slot, acc, counter);
+      // Redo-log record: kLogWords mixed words into the ring.
+      // Charges per word: 2 IntArith (cursor mask, mix), 1 LoadStore
+      // (store), 1 Branch (loop).
+      for (std::uint64_t w = 0; w < kLogWords; ++w) {
+        table.log[static_cast<std::size_t>(table.log_cursor++) &
+                  (kLogSlots - 1)] = acc ^ (w * kKeyMul);
+      }
+      counter.add(hw::OpClass::kIntArith, 2 * kLogWords);
+      counter.add(hw::OpClass::kLoadStore, kLogWords);
+      counter.add(hw::OpClass::kBranch, kLogWords);
+      // Store the updated row back (1 IntArith for the new value fold).
+      table.slots[slot] = acc;
+      counter.add(hw::OpClass::kIntArith, 1);
+      counter.add(hw::OpClass::kLoadStore, 1);
+      counter.add(hw::OpClass::kOther, kWriteOverheadOps);
+    }
+  }
+  return acc;
+}
+
+hw::PerfCounter read_txn_ops() {
+  hw::PerfCounter ops;
+  ops.add(hw::OpClass::kIntMul, kProbesPerRead);
+  ops.add(hw::OpClass::kIntArith, 4 * kProbesPerRead + 2 * kPayloadWords);
+  ops.add(hw::OpClass::kLoadStore, kProbesPerRead + kPayloadWords);
+  ops.add(hw::OpClass::kBranch, kProbesPerRead + kPayloadWords);
+  ops.add(hw::OpClass::kOther, kReadOverheadOps);
+  return ops;
+}
+
+hw::PerfCounter write_txn_ops() {
+  hw::PerfCounter ops;
+  ops.add(hw::OpClass::kIntMul, kProbesPerWrite);
+  ops.add(hw::OpClass::kIntArith,
+          4 * kProbesPerWrite + 2 * kPayloadWords + 2 * kLogWords + 1);
+  ops.add(hw::OpClass::kLoadStore,
+          kProbesPerWrite + kPayloadWords + kLogWords + 1);
+  ops.add(hw::OpClass::kBranch, kProbesPerWrite + kPayloadWords + kLogWords);
+  ops.add(hw::OpClass::kOther, kWriteOverheadOps);
+  return ops;
+}
+
+}  // namespace celia::apps::oltp

@@ -1,0 +1,67 @@
+#pragma once
+// Synthetic key-value transaction kernel — the compute half of the OLTP
+// application family (apps/oltp/oltp_app.hpp).
+//
+// A transaction against a table of kTableSlots 64-bit rows:
+//   * READ  — a fixed-depth hash-probe descent (kProbesPerRead rounds of
+//     multiplicative key mixing + slot load + compare, the cache-hostile
+//     pointer-chase of a B-tree lookup) followed by a payload checksum of
+//     kPayloadWords row words.
+//   * WRITE — a shallower descent (kProbesPerWrite; the row position is
+//     usually known from the preceding read of the same key), the same
+//     payload pass, a redo-log record of kLogWords words appended to a
+//     ring, and the updated row stored back.
+//
+// The kernel executes the real integer work and charges every operation to
+// a hw::PerfCounter in fixed per-transaction amounts (no data-dependent
+// charges), so the closed forms read_txn_ops()/write_txn_ops() match the
+// instrumented run EXACTLY — the same contract the galaxy/x264/sand
+// kernels honor, enforced by tests/apps_oltp_test.cpp.
+//
+// This kernel models the SQL/compute tier only (demand dimension 0,
+// instructions). The storage-architecture differences — which IO, network
+// and buffer-pool traffic a transaction generates — live in the
+// per-architecture cost tables of oltp_app.cpp, not here: Classic, Aurora
+// and Socrates run the same SQL engine but move different bytes.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/perf_counter.hpp"
+
+namespace celia::apps::oltp {
+
+inline constexpr std::size_t kTableSlots = 4096;    // power of two
+inline constexpr std::size_t kLogSlots = 1024;      // redo ring, power of two
+inline constexpr std::uint64_t kProbesPerRead = 560;
+inline constexpr std::uint64_t kProbesPerWrite = 400;
+inline constexpr std::uint64_t kPayloadWords = 128;
+inline constexpr std::uint64_t kLogWords = 96;
+/// Fixed per-transaction bookkeeping (parse, plan, lock manager), charged
+/// to OpClass::kOther.
+inline constexpr std::uint64_t kReadOverheadOps = 1200;
+inline constexpr std::uint64_t kWriteOverheadOps = 1400;
+
+/// The in-memory table a kernel run mutates. Deterministic per seed.
+struct TxnTable {
+  std::vector<std::uint64_t> slots;  // kTableSlots rows
+  std::vector<std::uint64_t> log;    // kLogSlots redo ring
+  std::uint64_t log_cursor = 0;
+};
+
+TxnTable make_table(std::uint64_t seed);
+
+/// Execute `reads` read transactions and `writes` write transactions
+/// (interleaved deterministically), charging the counter. Returns a
+/// checksum of all values touched (consumed by tests; also keeps the
+/// compiler from eliding the work).
+std::uint64_t run_transactions(TxnTable& table, std::uint64_t reads,
+                               std::uint64_t writes, hw::PerfCounter& counter);
+
+/// Closed-form operation ledger of ONE read / write transaction; the
+/// instrumented run charges exactly reads x read_txn_ops() + writes x
+/// write_txn_ops().
+hw::PerfCounter read_txn_ops();
+hw::PerfCounter write_txn_ops();
+
+}  // namespace celia::apps::oltp

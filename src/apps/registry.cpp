@@ -1,6 +1,7 @@
 #include "apps/registry.hpp"
 
 #include "apps/galaxy/galaxy_app.hpp"
+#include "apps/oltp/oltp_app.hpp"
 #include "apps/sand/sand_app.hpp"
 #include "apps/x264/x264_app.hpp"
 
@@ -16,6 +17,19 @@ std::unique_ptr<ElasticApp> make_galaxy() {
 
 std::unique_ptr<ElasticApp> make_sand() {
   return std::make_unique<sand::SandApp>(sand::SandModel::full());
+}
+
+std::unique_ptr<ElasticApp> make_oltp_classic() {
+  return std::make_unique<oltp::OltpApp>(oltp::StorageArchitecture::kClassic);
+}
+
+std::unique_ptr<ElasticApp> make_oltp_aurora() {
+  return std::make_unique<oltp::OltpApp>(oltp::StorageArchitecture::kAurora);
+}
+
+std::unique_ptr<ElasticApp> make_oltp_socrates() {
+  return std::make_unique<oltp::OltpApp>(
+      oltp::StorageArchitecture::kSocrates);
 }
 
 std::unique_ptr<ElasticApp> make_x264_mini() {
@@ -34,10 +48,22 @@ std::vector<std::unique_ptr<ElasticApp>> all_apps() {
   return apps;
 }
 
+std::vector<std::unique_ptr<ElasticApp>> all_oltp_apps() {
+  std::vector<std::unique_ptr<ElasticApp>> apps;
+  apps.push_back(make_oltp_classic());
+  apps.push_back(make_oltp_aurora());
+  apps.push_back(make_oltp_socrates());
+  return apps;
+}
+
 std::unique_ptr<ElasticApp> make_app(std::string_view name) {
   if (name == "x264") return make_x264();
   if (name == "galaxy") return make_galaxy();
   if (name == "sand") return make_sand();
+  // "oltp" is the family shorthand for the monolithic baseline.
+  if (name == "oltp" || name == "oltp-classic") return make_oltp_classic();
+  if (name == "oltp-aurora") return make_oltp_aurora();
+  if (name == "oltp-socrates") return make_oltp_socrates();
   return nullptr;
 }
 

@@ -15,6 +15,13 @@ std::unique_ptr<ElasticApp> make_x264();
 std::unique_ptr<ElasticApp> make_galaxy();
 std::unique_ptr<ElasticApp> make_sand();
 
+/// The disaggregated-storage OLTP family (multi-dimensional demand; see
+/// apps/oltp/oltp_app.hpp): monolithic baseline, Aurora-style
+/// log-shipping, Socrates-style page-server split.
+std::unique_ptr<ElasticApp> make_oltp_classic();
+std::unique_ptr<ElasticApp> make_oltp_aurora();
+std::unique_ptr<ElasticApp> make_oltp_socrates();
+
 /// Scaled-down variants whose instrumented runs finish in milliseconds;
 /// used by tests to validate closed forms against real kernel execution.
 /// (galaxy needs no mini variant: its instrumented cost is set entirely by
@@ -25,7 +32,11 @@ std::unique_ptr<ElasticApp> make_sand_mini();
 /// All three full-scale applications (x264, galaxy, sand — paper order).
 std::vector<std::unique_ptr<ElasticApp>> all_apps();
 
-/// Lookup by paper name ("x264", "galaxy", "sand"); nullptr when unknown.
+/// The three OLTP architectures (classic, aurora, socrates).
+std::vector<std::unique_ptr<ElasticApp>> all_oltp_apps();
+
+/// Lookup by name ("x264", "galaxy", "sand", "oltp"/"oltp-classic",
+/// "oltp-aurora", "oltp-socrates"); nullptr when unknown.
 std::unique_ptr<ElasticApp> make_app(std::string_view name);
 
 }  // namespace celia::apps

@@ -1,11 +1,16 @@
 #pragma once
-// Cloud resource capacity characterization (paper §IV-B, §IV-C).
+// Cloud resource capacity characterization (paper §IV-B, §IV-C),
+// generalized to multi-dimensional demand.
 //
 // CELIA expresses the capacity of resource type i as an instruction
-// execution rate W_i = W_i,vCPU x v_i (Eq. 4). W_i,vCPU is obtained by
-// dividing the instruction count of a scale-down run (measured with `perf`
-// on the local server) by the wall-clock time of the same run on one cloud
-// instance of type i. Three characterization modes are supported:
+// execution rate W_i = W_i,vCPU x v_i (Eq. 4). With vector demand
+// (apps/demand.hpp) that single rate becomes a rate MATRIX: W_{i,d} is the
+// rate at which one instance of type i serves dimension d (instructions/s,
+// IO ops/s, network bytes/s, memory-traffic bytes/s). Dimension 0 is
+// always instructions and reproduces the scalar model bit-identically.
+//
+// Three characterization modes are supported for the measured
+// (instructions) dimension:
 //
 //   kFullMeasurement — time the scale-down run on every type (paper §IV-B);
 //   kPerCategory     — time it on ONE type per category and derive the rest
@@ -14,11 +19,17 @@
 //   kSpecFrequency   — no cloud runs at all: assume 1 instruction/cycle at
 //                      the catalog base frequency (the naive upper bound the
 //                      paper argues against; used as an ablation baseline).
+//
+// The non-instruction dimensions of characterize_vector_capacity come from
+// the catalog's published hardware attributes (storage class, memory size,
+// vCPU count) — the spec-sheet analogue of §IV-B for resources we cannot
+// time with an instruction counter.
 
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "apps/demand.hpp"
 #include "apps/elastic_app.hpp"
 #include "cloud/catalog.hpp"
 #include "cloud/provider.hpp"
@@ -34,35 +45,57 @@ enum class CharacterizationMode {
 
 std::string_view characterization_mode_name(CharacterizationMode mode);
 
-/// Per-type capacities for one application/workload class.
+/// Per-type, per-dimension capacities for one application/workload class.
 ///
-/// A capacity is characterized AGAINST a catalog: rate(i) multiplies the
-/// per-vCPU rate by that catalog's vCPU count for type i, and the
-/// capacity remembers the catalog's structure fingerprint so planners can
-/// refuse to combine it with a structurally different catalog (different
-/// types or limits). Repriced catalogs — same structure, regional prices —
-/// remain compatible, so one measurement campaign serves every region.
+/// A capacity is characterized AGAINST a catalog — the one catalog-coupled
+/// constructor is the only way to build one: rate(i, d) multiplies the
+/// per-vCPU rate by that catalog's vCPU count for type i, and the capacity
+/// remembers the catalog's structure fingerprint so planners can refuse to
+/// combine it with a structurally different catalog (different types or
+/// limits). Repriced catalogs — same structure, regional prices — remain
+/// compatible, so one measurement campaign serves every region. The
+/// DemandDimensions schema is carried alongside that fingerprint; planners
+/// likewise refuse to evaluate a demand vector of a different width.
 class ResourceCapacity {
  public:
-  /// Characterized against the paper's Table III catalog.
-  explicit ResourceCapacity(std::vector<double> per_vcpu_rates);
-
-  /// Characterized against `catalog` (one rate per catalog type).
+  /// Scalar (1-D) capacity characterized against `catalog` (one
+  /// instructions rate per catalog type) — the legacy shape every scalar
+  /// entry point uses. For the paper's Table III pass
+  /// cloud::Catalog::ec2_table3().
   ResourceCapacity(std::vector<double> per_vcpu_rates,
                    const cloud::Catalog& catalog);
 
-  /// W_i,vCPU — instruction rate of one vCPU of type i.
-  double per_vcpu_rate(std::size_t type_index) const;
+  /// Vector capacity: `per_vcpu_rates[d][i]` is the per-vCPU rate of
+  /// catalog type i in dimension d of `dimensions`. Dimension 0 must be
+  /// "instructions". Throws std::invalid_argument on a width mismatch in
+  /// either axis or a non-positive rate.
+  ResourceCapacity(apps::DemandDimensions dimensions,
+                   std::vector<std::vector<double>> per_vcpu_rates,
+                   const cloud::Catalog& catalog);
 
-  /// W_i — full-instance rate (Eq. 4).
+  /// W_i,vCPU — instruction rate of one vCPU of type i (dimension 0).
+  double per_vcpu_rate(std::size_t type_index) const;
+  /// Per-vCPU rate of type i in dimension `dim`.
+  double per_vcpu_rate(std::size_t type_index, std::size_t dim) const;
+
+  /// W_i — full-instance instruction rate (Eq. 4, dimension 0).
   double rate(std::size_t type_index) const;
+  /// W_{i,d} — full-instance rate of type i in dimension `dim`.
+  double rate(std::size_t type_index, std::size_t dim) const;
 
   /// Normalized performance: instructions/second per dollar/hour (the
   /// quantity of the paper's Figure 3), at the characterization catalog's
   /// prices.
   double normalized_performance(std::size_t type_index) const;
 
-  std::size_t num_types() const { return per_vcpu_rates_.size(); }
+  std::size_t num_types() const { return per_vcpu_[0].size(); }
+
+  /// Number of demand dimensions (1 for the scalar model).
+  std::size_t num_dimensions() const { return per_vcpu_.size(); }
+  bool is_scalar() const { return per_vcpu_.size() == 1; }
+
+  /// The demand schema this capacity serves.
+  const apps::DemandDimensions& dimensions() const { return dimensions_; }
 
   /// Structure fingerprint of the catalog this capacity was characterized
   /// against (price-free: types + limits).
@@ -77,13 +110,14 @@ class ResourceCapacity {
   /// The same measured rates re-pinned to `catalog`. Valid only when the
   /// types physically match (same count and per-type vCPUs) — the use case
   /// is re-planning against a LIMIT-shrunken catalog after an
-  /// InsufficientCapacity partial fulfillment, where the W_i,vCPU
+  /// InsufficientCapacity partial fulfillment, where the W_{i,d}
   /// measurements still describe the same hardware. Throws
   /// std::invalid_argument when the shapes differ.
   ResourceCapacity rebound(const cloud::Catalog& catalog) const;
 
  private:
-  std::vector<double> per_vcpu_rates_;
+  apps::DemandDimensions dimensions_;
+  std::vector<std::vector<double>> per_vcpu_;  // [dimension][type]
   std::vector<int> vcpus_;
   std::vector<double> hourly_;
   std::uint64_t structure_fingerprint_ = 0;
@@ -93,13 +127,32 @@ class ResourceCapacity {
 /// application (small enough to be cheap, large enough to be steady-state).
 apps::AppParams characterization_point(const apps::ElasticApp& app);
 
-/// Characterize all catalog types for `app`. The local server provides the
-/// instruction count of the scale-down run; `provider` provides timed runs
-/// on cloud instances. `mode` selects the measurement strategy above.
+/// Characterize all catalog types for `app` (scalar, instructions only).
+/// The local server provides the instruction count of the scale-down run;
+/// `provider` provides timed runs on cloud instances. `mode` selects the
+/// measurement strategy above.
 ResourceCapacity characterize_capacity(
     const apps::ElasticApp& app, cloud::CloudProvider& provider,
     CharacterizationMode mode = CharacterizationMode::kFullMeasurement,
     const hw::LocalServer& local = hw::LocalServer());
+
+/// Multi-dimensional characterization: the instructions dimension is the
+/// measured campaign above; every further dimension of
+/// app.demand_dimensions() is derived from the catalog's published
+/// hardware attributes (see the per-dimension rate functions in
+/// capacity.cpp). For a scalar app this returns exactly
+/// characterize_capacity.
+ResourceCapacity characterize_vector_capacity(
+    const apps::ElasticApp& app, cloud::CloudProvider& provider,
+    CharacterizationMode mode = CharacterizationMode::kFullMeasurement,
+    const hw::LocalServer& local = hw::LocalServer());
+
+/// Spec-sheet per-vCPU rate of one catalog type in a named non-instruction
+/// dimension ("io_ops", "net_bytes", "mem_bytes"); throws
+/// std::invalid_argument for an unknown dimension name. Exposed so tests
+/// and examples can reproduce characterize_vector_capacity's matrix.
+double spec_per_vcpu_rate(const cloud::InstanceType& type,
+                          std::string_view dimension);
 
 /// What the measurement campaign itself costs: the benchmark runs are
 /// real paid cloud time. §IV-C's one-type-per-category optimization is

@@ -59,13 +59,16 @@ std::vector<double> capacity_rates(const ResourceCapacity& capacity) {
   return rates;
 }
 
-/// The FrontierIndex answers only the deterministic, unsampled form of the
-/// query; everything else takes the sweep path.
+/// The FrontierIndex answers only the deterministic, unsampled, SCALAR
+/// form of the query; everything else takes the sweep path. (The staircase
+/// is demand-invariant only in 1-D: with several dimensions the set of
+/// frontier configurations depends on the demand mix's direction.)
 bool index_can_answer(const Constraints& constraints,
-                      const SweepOptions& options) {
+                      const SweepOptions& options,
+                      std::size_t num_dimensions) {
   const bool risk_aware =
       constraints.confidence_z > 0 && constraints.rate_sigma > 0;
-  return !risk_aware && options.sample_stride == 0;
+  return !risk_aware && options.sample_stride == 0 && num_dimensions == 1;
 }
 
 struct RouteCounters {
@@ -81,7 +84,8 @@ struct RouteCounters {
   obs::Counter& fallback = obs::counter(
       "celia_planner_route_fallback_total",
       "Planner queries that requested an index but were ineligible "
-      "(risk-aware or sampled) and fell back to the full sweep");
+      "(risk-aware, sampled, or multi-dimensional) and fell back to the "
+      "full sweep");
 };
 
 RouteCounters& route_counters() {
@@ -110,6 +114,25 @@ void validate_query(double demand, const Constraints& constraints) {
         "planner query: rate_sigma must be finite and non-negative");
 }
 
+void validate_query(const apps::DemandVector& demand,
+                    const Constraints& constraints) {
+  if (demand.size() == 0)
+    throw std::invalid_argument(
+        "planner query: demand vector must have at least one dimension");
+  validate_query(demand.values[0], constraints);
+  for (std::size_t d = 1; d < demand.size(); ++d)
+    if (!std::isfinite(demand.values[d]) || demand.values[d] < 0)
+      throw std::invalid_argument(
+          "planner query: demand dimension " + std::to_string(d) +
+          " must be finite and non-negative");
+  if (demand.size() > 1 && constraints.confidence_z > 0 &&
+      constraints.rate_sigma > 0)
+    throw std::invalid_argument(
+        "planner query: risk-aware selection (confidence_z with rate_sigma) "
+        "models a spread on the scalar instruction rate and is not "
+        "supported for multi-dimensional demand");
+}
+
 std::vector<double> ec2_hourly_costs() {
   std::vector<double> hourly;
   for (const auto& type : cloud::ec2_catalog())
@@ -128,17 +151,20 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
                        std::span<const double> hourly_costs,
                        const cloud::Catalog* catalog, const Query& query) {
   detail::validate_model_widths(space, capacity, hourly_costs, "sweep");
+  detail::validate_demand_dimensions(capacity, query.num_dimensions(),
+                                     "sweep");
   const double demand = query.demand();
   const Constraints& constraints = query.constraints();
   const SweepOptions& options = query.options();
   const IndexPolicy& policy = options.index_policy;
+  const bool multi = query.num_dimensions() > 1;
 
   QueryRoute route = QueryRoute::kSweep;
   if (policy.mode != IndexPolicy::Mode::kNever) {
     if (policy.mode == IndexPolicy::Mode::kPrefer && policy.index == nullptr)
       throw std::invalid_argument(
           "sweep: IndexPolicy::Prefer requires a non-null FrontierIndex");
-    if (index_can_answer(constraints, options)) {
+    if (index_can_answer(constraints, options, query.num_dimensions())) {
       if (policy.mode == IndexPolicy::Mode::kPrefer) {
         if (catalog && policy.index->catalog_fingerprint() != 0 &&
             policy.index->catalog_fingerprint() != catalog->fingerprint())
@@ -163,8 +189,8 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
       result.route = QueryRoute::kSharedIndex;
       return result;
     }
-    // Index requested but this query needs the sweep (risk-aware or
-    // sampled): fall back, visibly.
+    // Index requested but this query needs the sweep (risk-aware,
+    // sampled, or multi-dimensional): fall back, visibly.
     route_counters().fallback.add(1);
     route = QueryRoute::kSweepFallback;
   } else {
@@ -187,11 +213,28 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
       "Wall time of one enumeration block on one worker thread");
   static obs::Histogram& sweep_seconds = obs::histogram(
       "celia_sweep_seconds", {}, "End-to-end full-sweep wall time");
+  static obs::Counter& multidim_sweeps = obs::counter(
+      "celia_sweep_multidim_queries_total",
+      "Full-sweep executions of multi-dimensional (vector-demand) queries");
   sweep_queries.add(1);
+  if (multi) multidim_sweeps.add(1);
   util::Stopwatch sweep_timer;
   obs::Span sweep_span("sweep", "planner");
 
   const std::vector<double> rates = capacity_rates(capacity);
+
+  // Full-instance rate rows for the multi-dimensional walk ([dim][type]);
+  // the scalar path keeps using `rates` through the original walk_range.
+  const apps::DemandVector& demand_vec = query.demand_vector();
+  std::vector<std::vector<double>> rate_rows;
+  if (multi) {
+    rate_rows.resize(capacity.num_dimensions());
+    for (std::size_t d = 0; d < capacity.num_dimensions(); ++d) {
+      rate_rows[d].reserve(capacity.num_types());
+      for (std::size_t i = 0; i < capacity.num_types(); ++i)
+        rate_rows[d].push_back(capacity.rate(i, d));
+    }
+  }
 
   // Per-type variance contribution for risk-aware selection: adding one
   // instance of type i adds (W_i x sigma)^2 to the capacity variance.
@@ -219,17 +262,36 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
       [&](parallel::BlockedRange range) {
         util::Stopwatch block_timer;
         PartialResult partial;
-        detail::walk_range(
-            space, rates, hourly_costs, var_terms, range,
-            [&](std::uint64_t index, double u, double cu, double v) {
-              if (risk_aware) u -= z * std::sqrt(v);
-              if (u <= 0) return;
-              const double seconds = demand / u;
-              if (seconds >= constraints.deadline_seconds) return;
-              const double cost = seconds / 3600.0 * cu;
-              if (cost >= constraints.budget_dollars) return;
-              partial.note_feasible({index, seconds, cost}, options);
-            });
+        if (multi) {
+          // Bottleneck feasibility: T = max_d D_d / U_d (generalized
+          // Eq. 2); a zero-demand dimension never binds.
+          detail::walk_range_multi(
+              space, rate_rows, hourly_costs, range,
+              [&](std::uint64_t index, std::span<const double> u, double cu) {
+                double seconds = 0.0;
+                for (std::size_t d = 0; d < u.size(); ++d) {
+                  if (demand_vec.values[d] <= 0) continue;
+                  if (u[d] <= 0) return;
+                  seconds = std::max(seconds, demand_vec.values[d] / u[d]);
+                }
+                if (seconds >= constraints.deadline_seconds) return;
+                const double cost = seconds / 3600.0 * cu;
+                if (cost >= constraints.budget_dollars) return;
+                partial.note_feasible({index, seconds, cost}, options);
+              });
+        } else {
+          detail::walk_range(
+              space, rates, hourly_costs, var_terms, range,
+              [&](std::uint64_t index, double u, double cu, double v) {
+                if (risk_aware) u -= z * std::sqrt(v);
+                if (u <= 0) return;
+                const double seconds = demand / u;
+                if (seconds >= constraints.deadline_seconds) return;
+                const double cost = seconds / 3600.0 * cu;
+                if (cost >= constraints.budget_dollars) return;
+                partial.note_feasible({index, seconds, cost}, options);
+              });
+        }
         if (options.collect_pareto)
           partial.pareto_buffer = pareto_filter(std::move(partial.pareto_buffer));
 
@@ -333,6 +395,19 @@ void validate_model_widths(const ConfigurationSpace& space,
   if (hourly_costs.size() != capacity.num_types())
     throw std::invalid_argument(std::string(who) +
                                 ": hourly cost width mismatch");
+}
+
+void validate_demand_dimensions(const ResourceCapacity& capacity,
+                                std::size_t query_dimensions,
+                                const char* who) {
+  if (capacity.num_dimensions() != query_dimensions)
+    throw std::invalid_argument(
+        std::string(who) + ": demand has " +
+        std::to_string(query_dimensions) + " dimension(s) but the capacity "
+        "was characterized for " +
+        std::to_string(capacity.num_dimensions()) +
+        " ('" + capacity.dimensions().name(0) +
+        "' ...) — schema mismatch, not a degenerate case");
 }
 
 }  // namespace detail

@@ -69,12 +69,25 @@ struct Constraints {
 /// confidence_z / rate_sigma is negative or non-finite.
 void validate_query(double demand, const Constraints& constraints);
 
+/// Vector-demand form: dimension 0 (instructions) must be finite and
+/// positive exactly as the scalar rule above; further dimensions must be
+/// finite and NON-negative (zero demand in a dimension simply never
+/// binds — e.g. a monolithic database moves no network bytes). Risk-aware
+/// selection (confidence_z > 0 with rate_sigma > 0) models a spread on the
+/// scalar instruction rate only and is rejected for multi-dimensional
+/// queries.
+void validate_query(const apps::DemandVector& demand,
+                    const Constraints& constraints);
+
 /// How the planner may use the demand-invariant FrontierIndex.
 ///
-/// Only deterministic queries are index-eligible (confidence_z == 0,
-/// sample_stride == 0). When Prefer/Shared is requested for an ineligible
-/// query the planner runs the full sweep instead — and that fallback is
-/// OBSERVABLE: SweepResult::route == kSweepFallback and the
+/// Only deterministic SCALAR queries are index-eligible (confidence_z ==
+/// 0, sample_stride == 0, one demand dimension — the staircase is
+/// demand-invariant only in 1-D; with several dimensions feasibility
+/// depends on the demand mix's direction, not just its magnitude). When
+/// Prefer/Shared is requested for an ineligible query the planner runs the
+/// full sweep instead — and that fallback is OBSERVABLE:
+/// SweepResult::route == kSweepFallback and the
 /// celia_planner_route_fallback_total counter is bumped, never silent.
 struct IndexPolicy {
   enum class Mode {
@@ -146,6 +159,15 @@ void validate_model_widths(const ConfigurationSpace& space,
                            std::span<const double> hourly_costs,
                            const char* who);
 
+/// Demand/capacity dimensionality agreement: a query must be evaluated
+/// against a capacity of the same width (a scalar query against a 4-D OLTP
+/// capacity — or a 4-D query against a scalar capacity — is a schema
+/// mismatch, not a degenerate case). Throws std::invalid_argument naming
+/// `who` and both widths.
+void validate_demand_dimensions(const ResourceCapacity& capacity,
+                                std::size_t query_dimensions,
+                                const char* who);
+
 /// Walk [range.begin, range.end) invoking body(index, U, Cu, V) for every
 /// configuration, where V is the capacity variance sum_i m_i var_terms[i]
 /// (used by risk-aware selection; var_terms may be all-zero).
@@ -216,6 +238,75 @@ void walk_range(const ConfigurationSpace& space, std::span<const double> rates,
       su[t] = su[t + 1];
       scu[t] = scu[t + 1];
       sv[t] = sv[t + 1];
+    }
+  }
+}
+
+/// Multi-dimensional walk_range: body(index, u, cu) where u is a span of
+/// per-dimension capacities U_d = sum_i m_i W_{i,d}. Same odometer/suffix-
+/// sum structure as walk_range with the suffix sums widened to one row per
+/// dimension (stored [level][dim], flattened). The scalar sweep does NOT
+/// route through this — 1-D queries take the original walk_range verbatim,
+/// which is what keeps the degenerate case bit-identical.
+template <typename Body>
+void walk_range_multi(const ConfigurationSpace& space,
+                      std::span<const std::vector<double>> rate_rows,
+                      std::span<const double> hourly,
+                      parallel::BlockedRange range, Body&& body) {
+  if (range.empty()) return;
+  const std::size_t m = space.num_types();
+  const std::size_t dims = rate_rows.size();
+  const auto& max_counts = space.max_counts();
+  std::vector<int> digits(m);
+  space.decode_into(range.begin, digits);
+
+  const double hourly0 = hourly[0];
+  const std::uint64_t row_radix = static_cast<std::uint64_t>(max_counts[0]) + 1;
+
+  // su[i * dims + d] = sum_{t >= i} digits[t] * rate_rows[d][t]
+  std::vector<double> su((m + 1) * dims, 0.0);
+  std::vector<double> scu(m + 1, 0.0);
+  for (std::size_t i = m; i-- > 1;) {
+    for (std::size_t d = 0; d < dims; ++d)
+      su[i * dims + d] = su[(i + 1) * dims + d] + digits[i] * rate_rows[d][i];
+    scu[i] = scu[i + 1] + digits[i] * hourly[i];
+  }
+
+  std::vector<double> u(dims);
+  std::uint64_t index = range.begin;
+  for (;;) {
+    for (std::size_t d = 0; d < dims; ++d) u[d] = su[dims + d];
+    double cu = scu[1];
+    const auto k_begin = static_cast<std::uint64_t>(digits[0]);
+    for (std::uint64_t k = 0; k < k_begin; ++k) {
+      for (std::size_t d = 0; d < dims; ++d) u[d] += rate_rows[d][0];
+      cu += hourly0;
+    }
+    const std::uint64_t steps =
+        std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
+    for (std::uint64_t j = 0; j < steps; ++j) {
+      body(index + j, std::span<const double>(u), cu);
+      for (std::size_t d = 0; d < dims; ++d) u[d] += rate_rows[d][0];
+      cu += hourly0;
+    }
+    index += steps;
+    if (index >= range.end) break;
+    digits[0] = 0;
+    std::size_t i = 1;
+    for (; i < m; ++i) {
+      if (digits[i] < max_counts[i]) {
+        ++digits[i];
+        break;
+      }
+      digits[i] = 0;
+    }
+    for (std::size_t d = 0; d < dims; ++d)
+      su[i * dims + d] = su[(i + 1) * dims + d] + digits[i] * rate_rows[d][i];
+    scu[i] = scu[i + 1] + digits[i] * hourly[i];
+    for (std::size_t t = i; t-- > 1;) {
+      for (std::size_t d = 0; d < dims; ++d)
+        su[t * dims + d] = su[(t + 1) * dims + d];
+      scu[t] = scu[t + 1];
     }
   }
 }

@@ -85,6 +85,15 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
                                    const BuildOptions& options) {
   detail::validate_model_widths(space, capacity, hourly_costs,
                                 "FrontierIndex");
+  // The staircase is demand-invariant only for scalar demand: with
+  // several dimensions the frontier depends on the demand mix's
+  // direction, so no single index can answer every vector query.
+  if (!capacity.is_scalar())
+    throw std::invalid_argument(
+        "FrontierIndex: cannot index a multi-dimensional capacity (" +
+        std::to_string(capacity.num_dimensions()) +
+        " dimensions) — the staircase is demand-invariant only in 1-D; "
+        "vector queries take the sweep route");
 
   static obs::Counter& builds = obs::counter(
       "celia_frontier_builds_total", "FrontierIndex builds executed");

@@ -41,12 +41,13 @@ EngineCounters& engine_counters() {
 }
 
 /// Same eligibility rule as IndexPolicy: the FrontierIndex answers only
-/// deterministic, unsampled queries.
+/// deterministic, unsampled, scalar (1-D) queries.
 bool index_eligible(const Query& query) {
   const Constraints& constraints = query.constraints();
   const bool risk_aware =
       constraints.confidence_z > 0 && constraints.rate_sigma > 0;
-  return !risk_aware && query.options().sample_stride == 0;
+  return !risk_aware && query.options().sample_stride == 0 &&
+         query.num_dimensions() == 1;
 }
 
 /// Largest sub-space of `space` with at most `max_configs` configurations,
@@ -223,8 +224,8 @@ SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
   const bool sweep_fits = remaining >= budget.sweep_cost_seconds;
 
   if (!index_eligible(query)) {
-    // Risk-aware / sampled queries need the sweep; run it at the
-    // catalog's prices with the index explicitly disabled.
+    // Risk-aware / sampled / multi-dimensional queries need the sweep;
+    // run it at the catalog's prices with the index explicitly disabled.
     if (!sweep_fits) return truncated_sweep();
     counters.sweeps.add(1);
     return sweep(space, capacity, catalog, sweep_query);

@@ -6,6 +6,16 @@ Query Query::make(double demand, const Constraints& constraints,
                   SweepOptions options) {
   validate_query(demand, constraints);
   Query query;
+  query.demand_ = apps::DemandVector::scalar(demand);
+  query.constraints_ = constraints;
+  query.options_ = options;
+  return query;
+}
+
+Query Query::make(const apps::DemandVector& demand,
+                  const Constraints& constraints, SweepOptions options) {
+  validate_query(demand, constraints);
+  Query query;
   query.demand_ = demand;
   query.constraints_ = constraints;
   query.options_ = options;

@@ -21,11 +21,23 @@ namespace celia::core {
 class Query {
  public:
   /// Validate (throws std::invalid_argument — see validate_query) and
-  /// bundle a planner query.
+  /// bundle a scalar (1-D) planner query.
   static Query make(double demand, const Constraints& constraints,
                     SweepOptions options = {});
 
-  double demand() const noexcept { return demand_; }
+  /// Vector form: per-dimension demand, to be evaluated against a
+  /// ResourceCapacity of the same width (sweep throws on a mismatch).
+  /// Validation (see the validate_query overload) requires dimension 0 —
+  /// instructions — positive, the rest non-negative; a 1-D vector query is
+  /// bit-identical to the scalar form with the same value.
+  static Query make(const apps::DemandVector& demand,
+                    const Constraints& constraints, SweepOptions options = {});
+
+  /// Scalar view: dimension 0 (instructions) — the full demand for 1-D
+  /// queries, which is every query the legacy entry points produce.
+  double demand() const noexcept { return demand_.values[0]; }
+  const apps::DemandVector& demand_vector() const noexcept { return demand_; }
+  std::size_t num_dimensions() const noexcept { return demand_.size(); }
   const Constraints& constraints() const noexcept { return constraints_; }
   const SweepOptions& options() const noexcept { return options_; }
 
@@ -35,7 +47,7 @@ class Query {
  private:
   Query() = default;
 
-  double demand_ = 0.0;
+  apps::DemandVector demand_;
   Constraints constraints_;
   SweepOptions options_;
 };

@@ -46,4 +46,16 @@ std::optional<CostTimePoint> recommend(const ConfigurationSpace& space,
                                        PickStrategy strategy,
                                        parallel::ThreadPool* pool = nullptr);
 
+/// Vector-demand form: identical selection over the bottleneck-feasible
+/// frontier. Multi-dimensional queries are index-ineligible, so this takes
+/// the (observable) sweep-fallback route; a 1-D demand vector is
+/// bit-identical to the scalar overload above.
+std::optional<CostTimePoint> recommend(const ConfigurationSpace& space,
+                                       const ResourceCapacity& capacity,
+                                       std::span<const double> hourly_costs,
+                                       const apps::DemandVector& demand,
+                                       const Constraints& constraints,
+                                       PickStrategy strategy,
+                                       parallel::ThreadPool* pool = nullptr);
+
 }  // namespace celia::core

@@ -184,7 +184,7 @@ double tab_double(const std::string& field, const char* what) {
   double value;
   char extra;
   if (!(stream >> value) || stream >> extra || !std::isfinite(value))
-    throw std::runtime_error("celia-model: catalog.type " + std::string(what) +
+    throw std::runtime_error("celia-model: " + std::string(what) +
                              " '" + field + "' is not a finite number");
   return value;
 }
@@ -194,7 +194,7 @@ int tab_int(const std::string& field, const char* what) {
   int value;
   char extra;
   if (!(stream >> value) || stream >> extra)
-    throw std::runtime_error("celia-model: catalog.type " + std::string(what) +
+    throw std::runtime_error("celia-model: " + std::string(what) +
                              " '" + field + "' is not an integer");
   return value;
 }
@@ -305,6 +305,23 @@ void save_model(const Celia& celia, std::ostream& out) {
     out << " " << celia.capacity().per_vcpu_rate(i);
   out << "\n";
 
+  // v3: the demand-dimension schema behind the capacity, fingerprinted so
+  // the loader can prove it rebuilt the same schema, plus one rate-matrix
+  // row per dimension beyond the scalar row already written above.
+  // capacity.dimensions fields are TAB-separated — dimension names are
+  // free-form.
+  const apps::DemandDimensions& dimensions = celia.capacity().dimensions();
+  out << "capacity.dimensions\t" << dimensions.size() << '\t'
+      << dimensions.fingerprint();
+  for (const std::string& name : dimensions.names()) out << '\t' << name;
+  out << "\n";
+  for (std::size_t d = 1; d < dimensions.size(); ++d) {
+    out << "capacity.rates " << d;
+    for (std::size_t i = 0; i < celia.capacity().num_types(); ++i)
+      out << " " << celia.capacity().per_vcpu_rate(i, d);
+    out << "\n";
+  }
+
   const auto& demand = celia.demand_model();
   out << "demand.shapes " << shape_id(demand.n_shape()) << " "
       << shape_id(demand.a_shape()) << "\n";
@@ -382,6 +399,66 @@ Celia load_model(std::istream& in) {
     }
   }
 
+  // v3: the demand-dimension schema and the rate-matrix rows beyond the
+  // scalar one. v1/v2 capacities are by construction 1-D instruction-rate
+  // models, so older files load with the scalar schema.
+  std::vector<std::string> dimension_names = {
+      std::string(apps::kDimInstructions)};
+  std::uint64_t stored_schema_fingerprint = 0;
+  std::vector<std::vector<double>> rate_rows;
+  if (version >= 3) {
+    std::string line;
+    if (!std::getline(in, line))
+      throw std::runtime_error(
+          "celia-model: unexpected end of file, wanted 'capacity.dimensions'");
+    constexpr std::string_view kKey = "capacity.dimensions\t";
+    if (line.rfind(kKey, 0) != 0)
+      throw std::runtime_error(
+          "celia-model: expected 'capacity.dimensions', found '" +
+          line.substr(0, line.find_first_of(" \t")) + "'");
+    const std::vector<std::string> fields =
+        split_tabs(line.substr(kKey.size()));
+    if (fields.size() < 2)
+      throw std::runtime_error(
+          "celia-model: capacity.dimensions needs a count and a fingerprint");
+    const int count = tab_int(fields[0], "dimension count");
+    if (count < 1 || count > 16)
+      throw std::runtime_error(
+          "celia-model: dimension count outside [1, 16]");
+    {
+      std::istringstream fp_stream(fields[1]);
+      char extra;
+      if (!(fp_stream >> stored_schema_fingerprint) || fp_stream >> extra)
+        throw std::runtime_error(
+            "celia-model: capacity.dimensions fingerprint '" + fields[1] +
+            "' is not an integer");
+    }
+    if (fields.size() != 2 + static_cast<std::size_t>(count))
+      throw std::runtime_error(
+          "celia-model: capacity.dimensions claims " + std::to_string(count) +
+          " dimensions but carries " + std::to_string(fields.size() - 2) +
+          " names");
+    dimension_names.assign(fields.begin() + 2, fields.end());
+
+    rate_rows.reserve(static_cast<std::size_t>(count) - 1);
+    for (int d = 1; d < count; ++d) {
+      auto stream = expect_line(in, "capacity.rates");
+      int row_dim = -1;
+      if (!(stream >> row_dim) || row_dim != d)
+        throw std::runtime_error(
+            "celia-model: capacity.rates rows must appear in dimension "
+            "order; wanted dimension " + std::to_string(d));
+      std::vector<double> row(per_vcpu.size());
+      for (auto& rate : row) {
+        if (!(stream >> rate) || !std::isfinite(rate) || !(rate > 0))
+          throw std::runtime_error(
+              "celia-model: bad capacity rate in dimension " +
+              std::to_string(d));
+      }
+      rate_rows.push_back(std::move(row));
+    }
+  }
+
   fit::Shape n_shape, a_shape;
   {
     auto stream = expect_line(in, "demand.shapes");
@@ -410,12 +487,40 @@ Celia load_model(std::istream& in) {
       n_shape, a_shape, std::move(n_fit), std::move(a_fit), n0, a0, d00,
       grid_r2);
   // The model-assembly layer reports inconsistencies (width mismatches, a
-  // capacity characterized for a different catalog) as invalid_argument;
-  // from a FILE they are data corruption, so surface them as this loader's
-  // own error type.
+  // capacity characterized for a different catalog, a malformed dimension
+  // schema) as invalid_argument; from a FILE they are data corruption, so
+  // surface them as this loader's own error type.
   try {
-    return Celia(app_name, workload, std::move(demand),
-                 ResourceCapacity(std::move(per_vcpu), *catalog),
+    ResourceCapacity capacity = [&]() -> ResourceCapacity {
+      if (version < 3 || dimension_names.size() == 1) {
+        // The schema must still be the scalar one the 1-D constructor pins.
+        if (version >= 3 &&
+            dimension_names != apps::DemandDimensions::scalar().names())
+          throw std::invalid_argument(
+              "a 1-D schema must be exactly [instructions], found '" +
+              dimension_names.front() + "'");
+        if (version >= 3 && stored_schema_fingerprint !=
+                                apps::DemandDimensions::scalar().fingerprint())
+          throw std::invalid_argument(
+              "dimension-schema fingerprint mismatch — the stored names do "
+              "not reproduce the fingerprint they claim (corrupted or "
+              "hand-edited)");
+        return ResourceCapacity(std::move(per_vcpu), *catalog);
+      }
+      apps::DemandDimensions dimensions(std::move(dimension_names));
+      if (dimensions.fingerprint() != stored_schema_fingerprint)
+        throw std::invalid_argument(
+            "dimension-schema fingerprint mismatch — the stored names do "
+            "not reproduce the fingerprint they claim (corrupted or "
+            "hand-edited)");
+      std::vector<std::vector<double>> rows;
+      rows.reserve(1 + rate_rows.size());
+      rows.push_back(std::move(per_vcpu));
+      for (auto& row : rate_rows) rows.push_back(std::move(row));
+      return ResourceCapacity(std::move(dimensions), std::move(rows),
+                              *catalog);
+    }();
+    return Celia(app_name, workload, std::move(demand), std::move(capacity),
                  ConfigurationSpace(std::move(max_counts)), catalog);
   } catch (const std::invalid_argument& error) {
     throw std::runtime_error("celia-model: inconsistent model: " +

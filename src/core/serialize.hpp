@@ -5,15 +5,18 @@
 // campaign — profile runs on the local server plus timed runs on cloud
 // instances. Persisting the built model lets a user characterize once and
 // re-plan many times without re-measuring. The format is a line-oriented
-// text file ("celia-model 2") designed to be diff-able and hand-auditable.
+// text file ("celia-model 3") designed to be diff-able and hand-auditable.
 //
-// Version 2 embeds the catalog the model was characterized against —
-// instance types, per-type limits, prices, and the catalog fingerprint —
-// so a loaded model carries its own pricing context and the planner can
-// refuse (descriptively) to run it against a structurally different
-// catalog. Version 1 files (no catalog section) still load and are
-// assumed to target the paper's Table III catalog, which is what every
-// v1 writer planned against.
+// Version 3 serializes the capacity's demand-dimension schema (names plus
+// their FNV-1a fingerprint) and the full per-dimension rate matrix, so
+// vector capacities (apps/demand.hpp) round-trip. Version 2 embedded the
+// catalog the model was characterized against — instance types, per-type
+// limits, prices, and the catalog fingerprint — so a loaded model carries
+// its own pricing context and the planner can refuse (descriptively) to
+// run it against a structurally different catalog. Version 2 and version 1
+// files (scalar capacity; v1 also lacks the catalog section) still load as
+// 1-D models; v1 is restored against the paper's Table III catalog, which
+// is what every v1 writer planned against.
 
 #include <iosfwd>
 #include <string>
@@ -23,7 +26,7 @@
 namespace celia::core {
 
 /// Current serialization format version (written by save_model).
-inline constexpr int kModelFormatVersion = 2;
+inline constexpr int kModelFormatVersion = 3;
 /// Oldest version load_model still reads.
 inline constexpr int kOldestSupportedModelVersion = 1;
 

@@ -1,7 +1,9 @@
 #include "core/time_cost.hpp"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "cloud/catalog.hpp"
 
@@ -14,6 +16,17 @@ double configuration_capacity(std::span<const int> config,
   double total = 0.0;
   for (std::size_t i = 0; i < config.size(); ++i)
     total += config[i] * capacity.rate(i);
+  return total;
+}
+
+double configuration_capacity(std::span<const int> config,
+                              const ResourceCapacity& capacity,
+                              std::size_t dim) {
+  if (config.size() != capacity.num_types())
+    throw std::invalid_argument("configuration_capacity: width mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < config.size(); ++i)
+    total += config[i] * capacity.rate(i, dim);
   return total;
 }
 
@@ -52,6 +65,53 @@ Prediction predict(double demand, std::span<const int> config,
 Prediction predict(double demand, std::span<const int> config,
                    const ResourceCapacity& capacity) {
   return predict(demand, config, capacity, cloud::Catalog::ec2_table3());
+}
+
+DimensionalPrediction predict_vector(const apps::DemandVector& demand,
+                                     std::span<const int> config,
+                                     const ResourceCapacity& capacity,
+                                     const cloud::Catalog& catalog) {
+  if (demand.size() != capacity.num_dimensions())
+    throw std::invalid_argument(
+        "predict_vector: demand has " + std::to_string(demand.size()) +
+        " dimension(s) but the capacity was characterized for " +
+        std::to_string(capacity.num_dimensions()));
+  if (demand.size() == 0 || demand.values[0] <= 0)
+    throw std::invalid_argument("predict_vector: non-positive demand");
+  for (std::size_t d = 1; d < demand.size(); ++d)
+    if (demand.values[d] < 0)
+      throw std::invalid_argument("predict_vector: negative demand");
+
+  DimensionalPrediction prediction;
+  prediction.per_dimension_seconds.resize(demand.size(), 0.0);
+  for (std::size_t d = 0; d < demand.size(); ++d) {
+    double seconds = 0.0;
+    if (demand.values[d] > 0) {
+      const double u = configuration_capacity(config, capacity, d);
+      seconds = u > 0 ? demand.values[d] / u
+                      : std::numeric_limits<double>::infinity();
+    }
+    prediction.per_dimension_seconds[d] = seconds;
+    // Strict >: ties go to the lowest dimension index (instructions).
+    if (seconds > prediction.seconds) {
+      prediction.seconds = seconds;
+      prediction.binding_dimension = d;
+    }
+  }
+  prediction.binding_dimension_name =
+      capacity.dimensions().name(prediction.binding_dimension);
+  prediction.cost = std::isinf(prediction.seconds)
+                        ? std::numeric_limits<double>::infinity()
+                        : prediction.seconds / 3600.0 *
+                              configuration_hourly_cost(config, catalog);
+  return prediction;
+}
+
+DimensionalPrediction predict_vector(const apps::DemandVector& demand,
+                                     std::span<const int> config,
+                                     const ResourceCapacity& capacity) {
+  return predict_vector(demand, config, capacity,
+                        cloud::Catalog::ec2_table3());
 }
 
 }  // namespace celia::core

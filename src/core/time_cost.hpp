@@ -1,13 +1,22 @@
 #pragma once
-// CELIA's analytical time and cost models (paper §III-B, §III-C).
+// CELIA's analytical time and cost models (paper §III-B, §III-C),
+// generalized to vector demand.
 //
 //   T = D / U_j                 (Eq. 2)
 //   U_j = sum_i m_j,i x W_i     (Eq. 3)
 //   C = T x C_j,u               (Eq. 5)
 //   C_j,u = sum_i m_j,i x c_i   (Eq. 6)
+//
+// With a demand vector the completion time becomes the max over bottleneck
+// dimensions — T_j = max_d D_d / U_{j,d} with U_{j,d} = sum_i m_j,i
+// W_{i,d} — and predict_vector() additionally reports WHICH dimension
+// binds (the argmax), which is what celia_planner --dimensions prints per
+// frontier point. The 1-D case degenerates to the scalar forms above.
 
 #include <span>
+#include <string>
 
+#include "apps/demand.hpp"
 #include "cloud/catalog.hpp"
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
@@ -20,9 +29,25 @@ struct Prediction {
   double cost = 0.0;
 };
 
+/// Vector-demand prediction: the scalar prediction plus the bottleneck
+/// attribution (which dimension's D_d / U_{j,d} achieves the max; ties go
+/// to the lowest dimension index, so "instructions" wins an exact tie).
+struct DimensionalPrediction {
+  double seconds = 0.0;
+  double cost = 0.0;
+  std::size_t binding_dimension = 0;       // argmax_d D_d / U_{j,d}
+  std::string binding_dimension_name;      // schema name of that dimension
+  std::vector<double> per_dimension_seconds;  // D_d / U_{j,d} for every d
+};
+
 /// U_j: total capacity of a configuration (instructions/second).
 double configuration_capacity(std::span<const int> config,
                               const ResourceCapacity& capacity);
+
+/// U_{j,d}: total capacity of a configuration in dimension `dim`.
+double configuration_capacity(std::span<const int> config,
+                              const ResourceCapacity& capacity,
+                              std::size_t dim);
 
 /// C_j,u: total cost per hour of a configuration at `catalog` prices.
 double configuration_hourly_cost(std::span<const int> config,
@@ -40,5 +65,20 @@ Prediction predict(double demand, std::span<const int> config,
 /// Convenience overload pricing with the paper's Table III catalog.
 Prediction predict(double demand, std::span<const int> config,
                    const ResourceCapacity& capacity);
+
+/// Vector-demand prediction with bottleneck attribution. Throws
+/// std::invalid_argument when `demand` and `capacity` disagree on the
+/// number of dimensions, when dimension 0 is non-positive, or when a
+/// further dimension is negative. For a 1-D demand this reports the same
+/// seconds/cost as predict() with binding dimension 0.
+DimensionalPrediction predict_vector(const apps::DemandVector& demand,
+                                     std::span<const int> config,
+                                     const ResourceCapacity& capacity,
+                                     const cloud::Catalog& catalog);
+
+/// Convenience overload pricing with the paper's Table III catalog.
+DimensionalPrediction predict_vector(const apps::DemandVector& demand,
+                                     std::span<const int> config,
+                                     const ResourceCapacity& capacity);
 
 }  // namespace celia::core

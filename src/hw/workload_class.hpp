@@ -12,9 +12,11 @@ enum class WorkloadClass : int {
   kVideoEncoding = 0,   // x264: integer/SIMD-heavy transform + quantization
   kNBody,               // galaxy: FP-heavy with divides/sqrts (low IPC)
   kGenomeAlignment,     // sand: branchy integer dynamic programming
+  kTransactionProcessing,  // oltp: pointer-chasing B-tree + logging, cache-
+                           // hostile (low IPC)
 };
 
-inline constexpr int kNumWorkloadClasses = 3;
+inline constexpr int kNumWorkloadClasses = 4;
 
 constexpr std::string_view workload_class_name(WorkloadClass wc) {
   switch (wc) {
@@ -24,6 +26,8 @@ constexpr std::string_view workload_class_name(WorkloadClass wc) {
       return "n-body";
     case WorkloadClass::kGenomeAlignment:
       return "genome-alignment";
+    case WorkloadClass::kTransactionProcessing:
+      return "transaction-processing";
   }
   return "?";
 }

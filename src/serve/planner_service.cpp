@@ -139,7 +139,7 @@ std::size_t PlannerService::CoalesceKeyHash::operator()(
     const CoalesceKey& key) const noexcept {
   std::uint64_t h = hash_mix(key.catalog_fingerprint, key.capacity_structure);
   for (const double rate : key.per_vcpu_rates) h = hash_mix(h, rate);
-  h = hash_mix(h, key.demand);
+  for (const double d : key.demand) h = hash_mix(h, d);
   h = hash_mix(h, key.deadline_seconds);
   h = hash_mix(h, key.budget_dollars);
   h = hash_mix(h, key.confidence_z);
@@ -248,7 +248,7 @@ std::future<ServeOutcome> PlannerService::submit(PlanRequest request) {
     for (std::size_t i = 0; i < request.capacity.num_types(); ++i)
       key.per_vcpu_rates.push_back(request.capacity.per_vcpu_rate(i));
     const core::Constraints& constraints = request.query.constraints();
-    key.demand = request.query.demand();
+    key.demand = request.query.demand_vector().values;
     key.deadline_seconds = constraints.deadline_seconds;
     key.budget_dollars = constraints.budget_dollars;
     key.confidence_z = constraints.confidence_z;

@@ -233,7 +233,10 @@ class PlannerService {
     std::uint64_t catalog_fingerprint = 0;
     std::uint64_t capacity_structure = 0;
     std::vector<double> per_vcpu_rates;
-    double demand = 0.0;
+    // Full demand vector (one element for scalar queries): two requests
+    // with the same instruction count but different IO/network/memory
+    // mixes must NOT be answered by one computation.
+    std::vector<double> demand;
     double deadline_seconds = 0.0;
     double budget_dollars = 0.0;
     double confidence_z = 0.0;

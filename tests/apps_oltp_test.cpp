@@ -1,0 +1,218 @@
+// Tests for the disaggregated-storage OLTP application family
+// (apps/oltp/) — the first multi-dimensional elastic applications:
+//
+//  * the closed-form demand (all dimensions) matches the instrumented
+//    kernel EXACTLY, the same contract the scalar seed apps honor;
+//  * the planner's min-cost instance mix SHIFTS with the read fraction,
+//    and the binding bottleneck dimension shifts with it — the property
+//    `celia_planner --app=oltp --dimensions` demonstrates.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/oltp/oltp_app.hpp"
+#include "apps/oltp/txn_kernel.hpp"
+#include "apps/registry.hpp"
+#include "cloud/catalog.hpp"
+#include "cloud/provider.hpp"
+#include "core/capacity.hpp"
+#include "core/celia.hpp"
+#include "core/query.hpp"
+#include "core/time_cost.hpp"
+#include "hw/perf_counter.hpp"
+
+namespace {
+
+using namespace celia::core;
+using celia::apps::AppParams;
+using celia::apps::DemandDimensions;
+using celia::apps::DemandVector;
+using celia::apps::oltp::arch_costs;
+using celia::apps::oltp::StorageArchitecture;
+using celia::cloud::Catalog;
+using celia::cloud::CloudProvider;
+
+// ---------------------------------------------------------------------------
+// Kernel exactness: closed forms == instrumented counts.
+// ---------------------------------------------------------------------------
+
+TEST(Oltp, ClosedFormMatchesInstrumentedExactly) {
+  for (const auto& app : celia::apps::all_oltp_apps()) {
+    for (const AppParams params :
+         {AppParams{1, 1.0}, AppParams{1, 0.0}, AppParams{257, 0.5},
+          AppParams{1000, 0.9}, AppParams{1000, 0.1}, AppParams{4096, 0.32}}) {
+      celia::hw::PerfCounter counter;
+      app->run_instrumented(params, counter);
+      EXPECT_EQ(static_cast<double>(counter.instructions()),
+                app->exact_demand(params))
+          << app->name() << " n=" << params.n << " r=" << params.a;
+      EXPECT_EQ(app->demand_vector(params).values[0],
+                app->exact_demand(params));
+    }
+  }
+}
+
+TEST(Oltp, InstrumentedRunIsDeterministic) {
+  const auto app = celia::apps::make_oltp_classic();
+  celia::hw::PerfCounter a, b;
+  app->run_instrumented({500, 0.7}, a, 7);
+  app->run_instrumented({500, 0.7}, b, 7);
+  for (int op = 0; op < celia::hw::kNumOpClasses; ++op)
+    EXPECT_EQ(a.ops(static_cast<celia::hw::OpClass>(op)),
+              b.ops(static_cast<celia::hw::OpClass>(op)));
+}
+
+TEST(Oltp, DemandVectorFollowsTheArchitectureCostTables) {
+  for (const auto& [maker, arch] :
+       {std::pair{&celia::apps::make_oltp_classic,
+                  StorageArchitecture::kClassic},
+        std::pair{&celia::apps::make_oltp_aurora,
+                  StorageArchitecture::kAurora},
+        std::pair{&celia::apps::make_oltp_socrates,
+                  StorageArchitecture::kSocrates}}) {
+    const auto app = maker();
+    EXPECT_EQ(app->demand_dimensions(), DemandDimensions::oltp());
+    const double n = 10000, r = 0.75;
+    const double reads = 7500, writes = 2500;
+    const DemandVector demand = app->demand_vector({n, r});
+    ASSERT_EQ(demand.size(), 4u) << app->name();
+    const auto& costs = arch_costs(arch);
+    EXPECT_EQ(demand.values[1],
+              reads * costs.io_per_read + writes * costs.io_per_write);
+    EXPECT_EQ(demand.values[2],
+              reads * costs.net_per_read + writes * costs.net_per_write);
+    EXPECT_EQ(demand.values[3],
+              reads * costs.mem_per_read + writes * costs.mem_per_write);
+  }
+}
+
+TEST(Oltp, WorkloadShardsPartitionTheDemandExactly) {
+  const auto app = celia::apps::make_oltp_aurora();
+  for (const AppParams params :
+       {AppParams{5, 0.4}, AppParams{64, 0.5}, AppParams{1000, 0.33}}) {
+    const celia::apps::Workload workload = app->make_workload(params);
+    const std::uint64_t n = static_cast<std::uint64_t>(params.n);
+    EXPECT_EQ(workload.task_instructions.size(), n < 64 ? n : 64u);
+    double total = 0.0;
+    for (const double task : workload.task_instructions) total += task;
+    EXPECT_DOUBLE_EQ(total, app->exact_demand(params));
+  }
+}
+
+TEST(Oltp, RegistryNamesAndAliases) {
+  EXPECT_EQ(celia::apps::make_app("oltp")->name(), "oltp-classic");
+  EXPECT_EQ(celia::apps::make_app("oltp-aurora")->name(), "oltp-aurora");
+  EXPECT_EQ(celia::apps::make_app("oltp-socrates")->name(), "oltp-socrates");
+  EXPECT_EQ(celia::apps::all_oltp_apps().size(), 3u);
+  EXPECT_EQ(celia::hw::workload_class_name(
+                celia::apps::make_app("oltp")->workload_class()),
+            "transaction-processing");
+  // The seed trio is unchanged — OLTP apps are reached by name.
+  EXPECT_EQ(celia::apps::all_apps().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Vector characterization.
+// ---------------------------------------------------------------------------
+
+TEST(Oltp, VectorCharacterizationExtendsTheMeasuredCampaign) {
+  const auto app = celia::apps::make_oltp_classic();
+  CloudProvider scalar_provider(2017);
+  const ResourceCapacity scalar =
+      characterize_capacity(*app, scalar_provider);
+  CloudProvider vector_provider(2017);
+  const ResourceCapacity vector =
+      characterize_vector_capacity(*app, vector_provider);
+
+  ASSERT_EQ(vector.num_dimensions(), 4u);
+  EXPECT_EQ(vector.dimensions(), DemandDimensions::oltp());
+  const Catalog& catalog = Catalog::ec2_table3();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    // Dimension 0 is the same measured instruction campaign, bit for bit.
+    EXPECT_EQ(vector.per_vcpu_rate(i, 0), scalar.per_vcpu_rate(i)) << i;
+    // Dimensions 1..3 come from the catalog's published attributes.
+    EXPECT_EQ(vector.per_vcpu_rate(i, 1),
+              spec_per_vcpu_rate(catalog.type(i), "io_ops"));
+    EXPECT_EQ(vector.per_vcpu_rate(i, 2),
+              spec_per_vcpu_rate(catalog.type(i), "net_bytes"));
+    EXPECT_EQ(vector.per_vcpu_rate(i, 3),
+              spec_per_vcpu_rate(catalog.type(i), "mem_bytes"));
+  }
+  // Instance-local SSD (r3) serves far more IO/s than EBS-backed types.
+  EXPECT_GT(vector.per_vcpu_rate(6, 1), vector.per_vcpu_rate(0, 1));
+}
+
+TEST(Oltp, ScalarFacadeStillBuildsForOltp) {
+  // Celia::build stays the paper's scalar pipeline: the OLTP demand model
+  // is fitted on dimension 0 (instructions) and predicts it accurately.
+  const auto app = celia::apps::make_oltp_socrates();
+  CloudProvider provider(7);
+  const Celia celia = Celia::build(*app, provider);
+  const AppParams probe{60000, 0.45};
+  EXPECT_NEAR(celia.predict_demand(probe) / app->exact_demand(probe), 1.0,
+              0.01);
+}
+
+// ---------------------------------------------------------------------------
+// The bottleneck shift — the property --dimensions demonstrates.
+// ---------------------------------------------------------------------------
+
+struct ShiftCase {
+  const char* app;
+  double read_fraction_a;  // first mix
+  double read_fraction_b;  // second mix
+  const char* binding_a;   // bottleneck of the min-cost config, mix A
+  const char* binding_b;   // bottleneck of the min-cost config, mix B
+};
+
+class OltpBottleneckShift : public ::testing::TestWithParam<ShiftCase> {};
+
+TEST_P(OltpBottleneckShift, MinCostConfigAndBindingDimensionShiftWithMix) {
+  const ShiftCase param = GetParam();
+  const auto app = celia::apps::make_app(param.app);
+  CloudProvider provider(2017);
+  const ResourceCapacity capacity =
+      characterize_vector_capacity(*app, provider);
+  // A reduced space keeps the sweep fast; the min-cost mix is set by the
+  // per-type rate/price ratios, not the space bound.
+  const ConfigurationSpace space(std::vector<int>(9, 2));
+  const double n = 1e9;
+
+  const auto plan = [&](double read_fraction) {
+    const Query query = Query::make(
+        app->demand_vector({n, read_fraction}), Constraints{});
+    return sweep(space, capacity, Catalog::ec2_table3(), query);
+  };
+  const SweepResult mix_a = plan(param.read_fraction_a);
+  const SweepResult mix_b = plan(param.read_fraction_b);
+  ASSERT_TRUE(mix_a.any_feasible);
+  ASSERT_TRUE(mix_b.any_feasible);
+
+  // Different mixes buy different hardware...
+  EXPECT_NE(mix_a.min_cost.config_index, mix_b.min_cost.config_index);
+
+  // ...because a different dimension binds.
+  const auto binding = [&](const SweepResult& result, double read_fraction) {
+    const DimensionalPrediction prediction = predict_vector(
+        app->demand_vector({n, read_fraction}),
+        space.decode(result.min_cost.config_index), capacity,
+        Catalog::ec2_table3());
+    EXPECT_EQ(prediction.seconds, result.min_cost.seconds);
+    return prediction.binding_dimension_name;
+  };
+  EXPECT_EQ(binding(mix_a, param.read_fraction_a), param.binding_a);
+  EXPECT_EQ(binding(mix_b, param.read_fraction_b), param.binding_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, OltpBottleneckShift,
+    ::testing::Values(
+        // Monolithic engine: read-mostly is compute-bound, write-heavy
+        // hammers the local storage stack.
+        ShiftCase{"oltp-classic", 0.99, 0.10, "instructions", "io_ops"},
+        // Aurora: write-heavy mixes ship every log record to the storage
+        // fleet — the network becomes the bottleneck.
+        ShiftCase{"oltp-aurora", 0.99, 0.10, "instructions", "net_bytes"}));
+
+}  // namespace

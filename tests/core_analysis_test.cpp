@@ -21,7 +21,7 @@ Celia synthetic_celia() {
   auto demand = celia::fit::SeparableDemandModel::fit(grid);
   return Celia("synthetic", celia::hw::WorkloadClass::kNBody,
                std::move(demand),
-               ResourceCapacity(std::vector<double>(9, 1e9)),
+               ResourceCapacity(std::vector<double>(9, 1e9), celia::cloud::Catalog::ec2_table3()),
                ConfigurationSpace::ec2_default());
 }
 

@@ -14,7 +14,7 @@ ResourceCapacity paper_like_capacity() {
   // Per-vCPU rates shaped like the galaxy characterization (c4 best $/instr).
   std::vector<double> per_vcpu = {1.38e9, 1.38e9, 1.38e9, 1.31e9, 1.31e9,
                                   1.31e9, 1.09e9, 1.09e9, 1.09e9};
-  return ResourceCapacity(per_vcpu);
+  return ResourceCapacity(per_vcpu, celia::cloud::Catalog::ec2_table3());
 }
 
 Constraints day_constraints() {

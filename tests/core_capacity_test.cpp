@@ -15,17 +15,24 @@ using celia::cloud::ec2_catalog;
 
 TEST(ResourceCapacity, RateFollowsEq4) {
   std::vector<double> per_vcpu(9, 1e9);
-  const ResourceCapacity capacity(per_vcpu);
+  const ResourceCapacity capacity(per_vcpu,
+                                  celia::cloud::Catalog::ec2_table3());
   EXPECT_DOUBLE_EQ(capacity.rate(0), 2e9);   // c4.large: 2 vCPUs
   EXPECT_DOUBLE_EQ(capacity.rate(8), 8e9);   // r3.2xlarge: 8 vCPUs
+  // Scalar capacities are 1-D with the instructions schema.
+  EXPECT_EQ(capacity.num_dimensions(), 1u);
+  EXPECT_TRUE(capacity.is_scalar());
+  EXPECT_EQ(capacity.dimensions(), celia::apps::DemandDimensions::scalar());
+  EXPECT_DOUBLE_EQ(capacity.rate(0, 0), capacity.rate(0));
 }
 
 TEST(ResourceCapacity, RejectsBadInput) {
-  EXPECT_THROW(ResourceCapacity{std::vector<double>(3, 1e9)},
+  const auto& catalog = celia::cloud::Catalog::ec2_table3();
+  EXPECT_THROW(ResourceCapacity(std::vector<double>(3, 1e9), catalog),
                std::invalid_argument);
   std::vector<double> with_zero(9, 1e9);
   with_zero[4] = 0.0;
-  EXPECT_THROW(ResourceCapacity{with_zero}, std::invalid_argument);
+  EXPECT_THROW(ResourceCapacity(with_zero, catalog), std::invalid_argument);
 }
 
 TEST(Characterize, FullMeasurementTracksTrueRates) {

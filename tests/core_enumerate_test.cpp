@@ -18,7 +18,7 @@ ResourceCapacity test_capacity() {
   // Distinct, realistic per-vCPU rates so ties are rare.
   std::vector<double> per_vcpu = {1.4e9, 1.4e9, 1.4e9, 1.3e9, 1.3e9,
                                   1.3e9, 1.1e9, 1.1e9, 1.1e9};
-  return ResourceCapacity(per_vcpu);
+  return ResourceCapacity(per_vcpu, celia::cloud::Catalog::ec2_table3());
 }
 
 TEST(Sweep, VisitsEveryConfigurationOnce) {

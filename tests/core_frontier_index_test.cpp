@@ -44,7 +44,8 @@ RandomModel random_model(celia::util::Xoshiro256& rng) {
   std::vector<double> hourly(celia::cloud::catalog_size());
   for (auto& price : hourly) price = rng.uniform(0.05, 1.0);
 
-  return {ConfigurationSpace(max_counts), ResourceCapacity(per_vcpu),
+  return {ConfigurationSpace(max_counts),
+          ResourceCapacity(per_vcpu, celia::cloud::Catalog::ec2_table3()),
           std::move(hourly)};
 }
 
@@ -148,7 +149,8 @@ TEST(FrontierIndex, SingleTypeSpace) {
   max_counts[0] = 5;
   const ConfigurationSpace space(max_counts);
   const ResourceCapacity capacity(
-      std::vector<double>(celia::cloud::catalog_size(), 1e9));
+      std::vector<double>(celia::cloud::catalog_size(), 1e9),
+      celia::cloud::Catalog::ec2_table3());
   const std::vector<double> hourly = ec2_hourly_costs();
   const FrontierIndex index = FrontierIndex::build(space, capacity, hourly);
   EXPECT_EQ(index.total_configurations(), 5u);

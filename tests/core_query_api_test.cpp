@@ -47,7 +47,8 @@ RandomModel random_model(celia::util::Xoshiro256& rng) {
   std::vector<double> hourly(celia::cloud::catalog_size());
   for (auto& price : hourly) price = rng.uniform(0.05, 1.0);
 
-  return {ConfigurationSpace(max_counts), ResourceCapacity(per_vcpu),
+  return {ConfigurationSpace(max_counts),
+          ResourceCapacity(per_vcpu, celia::cloud::Catalog::ec2_table3()),
           std::move(hourly)};
 }
 

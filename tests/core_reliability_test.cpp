@@ -19,7 +19,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 ResourceCapacity test_capacity() {
   std::vector<double> per_vcpu = {1.4e9, 1.4e9, 1.4e9, 1.3e9, 1.3e9,
                                   1.3e9, 1.1e9, 1.1e9, 1.1e9};
-  return ResourceCapacity(per_vcpu);
+  return ResourceCapacity(per_vcpu, celia::cloud::Catalog::ec2_table3());
 }
 
 TEST(ExpectedMakespan, FailNeverReducesToBase) {

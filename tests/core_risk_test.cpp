@@ -14,7 +14,7 @@ namespace {
 using namespace celia::core;
 
 ResourceCapacity flat_capacity() {
-  return ResourceCapacity(std::vector<double>(9, 1e9));
+  return ResourceCapacity(std::vector<double>(9, 1e9), celia::cloud::Catalog::ec2_table3());
 }
 
 TEST(NormalMath, CdfKnownValues) {

@@ -17,7 +17,7 @@ using namespace celia::core;
 using celia::cloud::CloudProvider;
 
 ResourceCapacity flat_capacity() {
-  return ResourceCapacity(std::vector<double>(9, 1e9));
+  return ResourceCapacity(std::vector<double>(9, 1e9), celia::cloud::Catalog::ec2_table3());
 }
 
 TEST(RobustSweep, ZeroZMatchesDeterministic) {

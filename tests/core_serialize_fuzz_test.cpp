@@ -58,7 +58,7 @@ TEST(SerializeFuzz, MangledHeaderThrows) {
   EXPECT_THROW(model_from_string("garbage\n"), std::runtime_error);
   EXPECT_THROW(
       model_from_string(with_line(model_text(), "celia-model",
-                                  "celia-model 3")),
+                                  "celia-model 4")),
       std::runtime_error);
   EXPECT_THROW(
       model_from_string(with_line(model_text(), "celia-model",
@@ -261,6 +261,54 @@ TEST(SerializeFuzz, MissingSectionThrows) {
   } catch (const std::runtime_error& error) {
     EXPECT_NE(std::string(error.what()).find("capacity"), std::string::npos);
   }
+}
+
+/// Replace the whole line starting with `key` + TAB by `replacement` (the
+/// v3 dimension line is tab-separated).
+std::string with_tab_line(const std::string& text, const std::string& key,
+                          const std::string& replacement) {
+  const std::size_t begin = text.find(key + "\t");
+  EXPECT_NE(begin, std::string::npos) << key;
+  const std::size_t end = text.find('\n', begin);
+  return text.substr(0, begin) + replacement + text.substr(end);
+}
+
+TEST(SerializeFuzz, MangledDimensionSectionThrows) {
+  const std::string key = "capacity.dimensions";
+  // Count zero / absurd; count lying about the name payload; non-numeric
+  // fingerprint; a 1-D schema that is not [instructions].
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\t0\t1")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\t17\t1\tinstructions")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key,
+                   key + "\t2\t1\tinstructions")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\tx\t1\tinstructions")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\t1\tx\tinstructions")),
+               std::runtime_error);
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\t1\t1\tio_ops")),
+               std::runtime_error);
+  // A fingerprint that does not reproduce the stored names.
+  EXPECT_THROW(model_from_string(with_tab_line(
+                   model_text(), key, key + "\t1\t12345\tinstructions")),
+               std::runtime_error);
+}
+
+TEST(SerializeFuzz, VersionTwoBodyWithVersionThreeHeaderThrows) {
+  // A v3 header promises a dimension section; a v2 body has none.
+  std::string text = model_text();
+  std::size_t begin;
+  while ((begin = text.find("capacity.")) != std::string::npos)
+    text.erase(begin, text.find('\n', begin) + 1 - begin);
+  EXPECT_THROW(model_from_string(text), std::runtime_error);
 }
 
 TEST(SerializeFuzz, IntactModelStillLoads) {

@@ -69,12 +69,12 @@ TEST(Serialize, SecondRoundTripIsStable) {
 
 TEST(Serialize, FormatIsVersioned) {
   const std::string text = model_to_string(build_galaxy());
-  EXPECT_EQ(text.rfind("celia-model 2\n", 0), 0u);
+  EXPECT_EQ(text.rfind("celia-model 3\n", 0), 0u);
 }
 
 TEST(Serialize, RejectsWrongVersion) {
   std::string text = model_to_string(build_galaxy());
-  text.replace(text.find("celia-model 2"), 13, "celia-model 9");
+  text.replace(text.find("celia-model 3"), 13, "celia-model 9");
   EXPECT_THROW(model_from_string(text), std::runtime_error);
 }
 
@@ -91,16 +91,27 @@ TEST(Serialize, RoundTripPreservesTheCatalog) {
   }
 }
 
-/// Strip the v2 catalog section and rewind the header: byte-for-byte what
-/// a v1 writer produced.
-std::string as_v1(std::string text) {
-  text.replace(text.find("celia-model 2"), 13, "celia-model 1");
+/// Drop every line whose key starts with `prefix`.
+std::string strip_lines(std::string text, const std::string& prefix) {
   while (true) {
-    const std::size_t begin = text.find("catalog.");
+    const std::size_t begin = text.find(prefix);
     if (begin == std::string::npos) break;
     text.erase(begin, text.find('\n', begin) + 1 - begin);
   }
   return text;
+}
+
+/// Strip the v3 dimension section and rewind the header: byte-for-byte
+/// what a v2 writer produced (for a scalar model).
+std::string as_v2(std::string text) {
+  text.replace(text.find("celia-model 3"), 13, "celia-model 2");
+  return strip_lines(std::move(text), "capacity.");
+}
+
+/// Additionally strip the v2 catalog section: what a v1 writer produced.
+std::string as_v1(std::string text) {
+  text.replace(text.find("celia-model 3"), 13, "celia-model 1");
+  return strip_lines(strip_lines(std::move(text), "capacity."), "catalog.");
 }
 
 TEST(Serialize, VersionOneFilesStillLoad) {
@@ -110,8 +121,29 @@ TEST(Serialize, VersionOneFilesStillLoad) {
   // which is also what its writer planned against.
   EXPECT_EQ(loaded.catalog().fingerprint(),
             celia::cloud::Catalog::ec2_table3().fingerprint());
+  EXPECT_TRUE(loaded.capacity().is_scalar());
   EXPECT_DOUBLE_EQ(loaded.predict_demand({65536, 8000}),
                    original.predict_demand({65536, 8000}));
+  const auto a = original.min_cost_configuration({65536, 8000}, 24.0);
+  const auto b = loaded.min_cost_configuration({65536, 8000}, 24.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->config_index, b->config_index);
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+}
+
+TEST(Serialize, VersionTwoFilesStillLoad) {
+  const Celia original = build_galaxy();
+  const Celia loaded = model_from_string(as_v2(model_to_string(original)));
+  // A v2 file has no dimension section: it loads as the 1-D scalar model
+  // with its embedded catalog intact.
+  EXPECT_TRUE(loaded.capacity().is_scalar());
+  EXPECT_EQ(loaded.capacity().dimensions(),
+            celia::apps::DemandDimensions::scalar());
+  EXPECT_EQ(loaded.catalog().fingerprint(),
+            original.catalog().fingerprint());
+  for (std::size_t i = 0; i < loaded.capacity().num_types(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.capacity().per_vcpu_rate(i),
+                     original.capacity().per_vcpu_rate(i));
   const auto a = original.min_cost_configuration({65536, 8000}, 24.0);
   const auto b = loaded.min_cost_configuration({65536, 8000}, 24.0);
   ASSERT_TRUE(a && b);
@@ -156,6 +188,63 @@ TEST(Serialize, RejectsCorruptCapacity) {
   const auto pos = text.find("capacity 9 ");
   ASSERT_NE(pos, std::string::npos);
   text.insert(pos + 11, "-");
+  EXPECT_THROW(model_from_string(text), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// v3: vector capacities (dimension schema + rate matrix) round-trip.
+// ---------------------------------------------------------------------------
+
+Celia build_oltp_vector() {
+  const auto app = celia::apps::make_oltp_classic();
+  CloudProvider provider(2017);
+  const Celia scalar = Celia::build(*app, provider);
+  CloudProvider capacity_provider(2017);
+  ResourceCapacity capacity =
+      characterize_vector_capacity(*app, capacity_provider);
+  return Celia(scalar.app_name(), scalar.workload(), scalar.demand_model(),
+               std::move(capacity), scalar.space(), scalar.catalog_ptr());
+}
+
+TEST(Serialize, VectorCapacityRoundTripsExactly) {
+  const Celia original = build_oltp_vector();
+  ASSERT_EQ(original.capacity().num_dimensions(), 4u);
+  const Celia loaded = model_from_string(model_to_string(original));
+  ASSERT_EQ(loaded.capacity().num_dimensions(), 4u);
+  EXPECT_EQ(loaded.capacity().dimensions(),
+            original.capacity().dimensions());
+  for (std::size_t d = 0; d < 4; ++d)
+    for (std::size_t i = 0; i < loaded.capacity().num_types(); ++i)
+      EXPECT_DOUBLE_EQ(loaded.capacity().per_vcpu_rate(i, d),
+                       original.capacity().per_vcpu_rate(i, d))
+          << "dimension " << d << " type " << i;
+}
+
+TEST(Serialize, VectorModelSecondRoundTripIsStable) {
+  const std::string once = model_to_string(build_oltp_vector());
+  EXPECT_EQ(once, model_to_string(model_from_string(once)));
+}
+
+TEST(Serialize, TamperedDimensionNameThrowsDescriptively) {
+  std::string text = model_to_string(build_oltp_vector());
+  const std::size_t pos = text.find("\tio_ops");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "\tio_opz");
+  try {
+    (void)model_from_string(text);
+    FAIL() << "load of a name-tampered vector model succeeded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Serialize, MissingRateRowThrows) {
+  std::string text = model_to_string(build_oltp_vector());
+  const std::size_t begin = text.find("capacity.rates 2");
+  ASSERT_NE(begin, std::string::npos);
+  text.erase(begin, text.find('\n', begin) + 1 - begin);
   EXPECT_THROW(model_from_string(text), std::runtime_error);
 }
 

@@ -11,7 +11,7 @@ namespace {
 using namespace celia::core;
 
 ResourceCapacity uniform_capacity(double per_vcpu) {
-  return ResourceCapacity(std::vector<double>(9, per_vcpu));
+  return ResourceCapacity(std::vector<double>(9, per_vcpu), celia::cloud::Catalog::ec2_table3());
 }
 
 TEST(TimeCost, CapacityIsWeightedSum) {

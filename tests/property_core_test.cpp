@@ -123,8 +123,10 @@ class SweepEquivalence : public ::testing::TestWithParam<ConstraintCase> {};
 TEST_P(SweepEquivalence, FeasibleSetMatchesBruteForce) {
   const ConstraintCase param = GetParam();
   const ConfigurationSpace space(std::vector<int>(9, 1));
-  const ResourceCapacity capacity(std::vector<double>(
-      {1.4e9, 1.4e9, 1.4e9, 1.3e9, 1.3e9, 1.3e9, 1.1e9, 1.1e9, 1.1e9}));
+  const ResourceCapacity capacity(
+      std::vector<double>(
+          {1.4e9, 1.4e9, 1.4e9, 1.3e9, 1.3e9, 1.3e9, 1.1e9, 1.1e9, 1.1e9}),
+      celia::cloud::Catalog::ec2_table3());
   Constraints constraints;
   constraints.deadline_seconds = param.deadline_hours * 3600.0;
   constraints.budget_dollars = param.budget;
