@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "apps/demand.hpp"
+#include "bench_io.hpp"
 #include "cloud/catalog.hpp"
 #include "core/enumerate.hpp"
 #include "core/query.hpp"
+#include "core/simd.hpp"
 
 namespace {
 
@@ -110,25 +112,24 @@ void BM_FullSweepCatalogScaling(benchmark::State& state) {
 BENCHMARK(BM_FullSweepCatalogScaling)->Arg(9)->Arg(12)->Arg(15)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-/// Vector-demand sweep cost vs dimension count over the full EC2 space.
-/// 1-D queries route through the scalar suffix-sum walk unchanged; >= 2
-/// dimensions pay the per-dimension max in the multi-dimensional walk, so
-/// this axis prices the bottleneck-feasibility generalization (DESIGN.md
-/// §11). Per-dimension demand is scaled to the same ~hours completion
-/// time as the scalar baseline so the feasibility mix stays comparable.
-void BM_FullSweepDimensionScaling(benchmark::State& state) {
-  const auto num_dims = static_cast<std::size_t>(state.range(0));
-  const auto space = ConfigurationSpace::ec2_default();
-  const auto& catalog = celia::cloud::Catalog::ec2_table3();
+/// The vector-demand model the dimension-scaling axes share: row 0 is the
+/// scalar benchmark capacity; further rows vary by type so the binding
+/// dimension actually shifts across the space. Per-dimension demand is
+/// scaled to the same ~hours completion time as the scalar baseline so
+/// the feasibility mix stays comparable.
+struct DimensionModel {
+  ResourceCapacity capacity;
+  Query query;
+};
 
+DimensionModel dimension_model(std::size_t num_dims) {
+  const auto& catalog = celia::cloud::Catalog::ec2_table3();
   std::vector<std::string> names{"instructions"};
   const char* extra[] = {"io_ops", "net_bytes", "mem_bytes"};
   for (std::size_t d = 1; d < num_dims; ++d)
     names.emplace_back(extra[d - 1]);
   celia::apps::DemandDimensions schema(std::move(names));
 
-  // Row 0 is the scalar benchmark capacity; further rows vary by type so
-  // the binding dimension actually shifts across the space.
   const double per_vcpu_base[] = {1.38e9, 2.0e4, 6.25e7, 4.0e8};
   std::vector<std::vector<double>> rates;
   celia::apps::DemandVector demand;
@@ -142,23 +143,71 @@ void BM_FullSweepDimensionScaling(benchmark::State& state) {
     demand.values.push_back(9e15 / 1.38e9 * per_vcpu_base[d] *
                             (0.9 + 0.1 * static_cast<double>(d)));
   }
-  const ResourceCapacity capacity(std::move(schema), std::move(rates),
-                                  catalog);
-
   Constraints constraints;
   constraints.deadline_seconds = 24 * 3600.0;
   constraints.budget_dollars = 350.0;
   SweepOptions options;
   options.collect_pareto = false;
-  const Query query = Query::make(demand, constraints, options);
+  return DimensionModel{
+      ResourceCapacity(std::move(schema), std::move(rates), catalog),
+      Query::make(demand, constraints, options)};
+}
+
+/// Vector-demand sweep cost vs dimension count over the full EC2 space.
+/// 1-D queries route through the scalar suffix-sum walk unchanged; >= 2
+/// dimensions pay the per-dimension max in the multi-dimensional walk, so
+/// this axis prices the bottleneck-feasibility generalization (DESIGN.md
+/// §11).
+void BM_FullSweepDimensionScaling(benchmark::State& state) {
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto& catalog = celia::cloud::Catalog::ec2_table3();
+  const DimensionModel model =
+      dimension_model(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    const SweepResult result = sweep(space, capacity, catalog, query);
+    const SweepResult result =
+        sweep(space, model.capacity, catalog, model.query);
     benchmark::DoNotOptimize(result.feasible);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(space.size()));
 }
 BENCHMARK(BM_FullSweepDimensionScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The SoA kernel dispatch axis: the same single-threaded sweep with the
+/// runtime dispatch pinned to the portable scalar kernels vs the best
+/// detected SIMD level, over 1/2/4 demand dimensions. Args are
+/// {num_dims, forced_scalar}; the label names the level actually used, so
+/// the BENCH json carries the dispatch alongside the milliseconds.
+void BM_FullSweepSimdDispatch(benchmark::State& state) {
+  namespace simd = celia::core::simd;
+  const auto space = ConfigurationSpace::ec2_default();
+  const auto& catalog = celia::cloud::Catalog::ec2_table3();
+  const DimensionModel model =
+      dimension_model(static_cast<std::size_t>(state.range(0)));
+  celia::parallel::ThreadPool pool(1);
+  SweepOptions options = model.query.options();
+  options.pool = &pool;
+  const Query query = model.query.with_options(options);
+
+  const simd::Level before = simd::active_level();
+  const simd::Level level = state.range(1) != 0
+                                ? simd::Level::kScalar
+                                : simd::detected_level();
+  simd::set_level(level);
+  state.SetLabel(std::string(simd::level_name(simd::active_level())));
+  for (auto _ : state) {
+    const SweepResult result = sweep(space, model.capacity, catalog, query);
+    benchmark::DoNotOptimize(result.feasible);
+  }
+  simd::set_level(before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_FullSweepSimdDispatch)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({4, 0})->Args({4, 1})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_DecodeEncode(benchmark::State& state) {
@@ -174,4 +223,4 @@ BENCHMARK(BM_DecodeEncode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CELIA_BENCHMARK_MAIN("enumeration");

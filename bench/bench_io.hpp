@@ -1,18 +1,92 @@
 #pragma once
-// Shared helper for the figure-reproduction benches: optional
-// machine-readable output. When the environment variable CELIA_CSV_DIR is
-// set to a directory, each bench writes its series there as
-// <dir>/<name>.csv alongside the human-readable stdout.
+// Shared helpers for the bench binaries' machine-readable output.
+//
+//  * CsvSink — the figure-reproduction benches' optional CSV series
+//    (written when CELIA_CSV_DIR names a directory).
+//  * bench_json_path / CELIA_BENCHMARK_MAIN — every bench_* binary emits
+//    BENCH_<name>.json so the perf trajectory can be tracked across
+//    commits instead of living in stdout scrollback. Google-benchmark
+//    binaries get it via the CELIA_BENCHMARK_MAIN macro (the library's
+//    own JSON reporter, injected through --benchmark_out unless the
+//    caller passed their own); custom-main harnesses write theirs with
+//    JsonBench. The target directory is CELIA_BENCH_DIR, default ".".
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/csv.hpp"
 
 namespace celia::benchio {
+
+/// <CELIA_BENCH_DIR or .>/BENCH_<name>.json
+inline std::string bench_json_path(const std::string& name) {
+  const char* dir = std::getenv("CELIA_BENCH_DIR");
+  const std::string base =
+      (dir != nullptr && *dir != '\0') ? std::string(dir) : std::string(".");
+  return base + "/BENCH_" + name + ".json";
+}
+
+/// JSON record sink for benches with hand-rolled mains (bench_serving,
+/// bench_obs_overhead): a flat list of {"name": ..., metric: value, ...}
+/// rows under "benchmarks", loosely mirroring google-benchmark's JSON so
+/// one consumer can parse both. Rows are buffered and written by write()
+/// (also called from the destructor).
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+  ~JsonBench() { write(); }
+
+  JsonBench(const JsonBench&) = delete;
+  JsonBench& operator=(const JsonBench&) = delete;
+
+  /// Start a new benchmark row. Names must be JSON-plain (no quotes or
+  /// backslashes) — true for every caller in this repo.
+  void begin_row(const std::string& row_name) {
+    rows_.emplace_back(row_name, std::vector<std::pair<std::string, double>>{});
+  }
+  /// Add one numeric metric to the current row.
+  void metric(const std::string& key, double value) {
+    if (rows_.empty()) begin_row(name_);
+    rows_.back().second.emplace_back(key, value);
+  }
+
+  /// Serialize to bench_json_path(name); returns false (with a warning)
+  /// when the file cannot be written. Idempotent: the second call is a
+  /// no-op.
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    const std::string path = bench_json_path(name_);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\n  \"context\": {\"bench\": \"" << name_ << "\"},\n"
+        << "  \"benchmarks\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {\"name\": \"" << rows_[r].first << "\"";
+      for (const auto& [key, value] : rows_[r].second)
+        out << ", \"" << key << "\": " << value;
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "[json written to " << path << "]\n";
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      rows_;
+  bool written_ = false;
+};
 
 /// An optional CSV sink: no-op when CELIA_CSV_DIR is unset.
 class CsvSink {
@@ -56,3 +130,34 @@ class CsvSink {
 };
 
 }  // namespace celia::benchio
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes the run as
+/// BENCH_<name>.json via google-benchmark's own JSON reporter. The flags
+/// are injected only when the caller did not pass --benchmark_out, so
+/// explicit invocations keep full control.
+#define CELIA_BENCHMARK_MAIN(name)                                          \
+  int main(int argc, char** argv) {                                         \
+    std::vector<char*> args(argv, argv + argc);                             \
+    bool user_out = false;                                                  \
+    for (int i = 1; i < argc; ++i)                                          \
+      if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)            \
+        user_out = true;                                                    \
+    std::string out_flag =                                                  \
+        "--benchmark_out=" + celia::benchio::bench_json_path(name);         \
+    std::string format_flag = "--benchmark_out_format=json";                \
+    if (!user_out) {                                                        \
+      args.push_back(out_flag.data());                                      \
+      args.push_back(format_flag.data());                                   \
+    }                                                                       \
+    int args_count = static_cast<int>(args.size());                         \
+    benchmark::Initialize(&args_count, args.data());                        \
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))    \
+      return 1;                                                             \
+    benchmark::RunSpecifiedBenchmarks();                                    \
+    benchmark::Shutdown();                                                  \
+    if (!user_out)                                                          \
+      std::cout << "[json written to "                                      \
+                << celia::benchio::bench_json_path(name) << "]\n";          \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_io.hpp"
+
 #include "apps/galaxy/nbody.hpp"
 #include "apps/sand/align.hpp"
 #include "apps/sand/sequence.hpp"
@@ -84,4 +86,4 @@ BENCHMARK(BM_SandKmerScan);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CELIA_BENCHMARK_MAIN("kernels");

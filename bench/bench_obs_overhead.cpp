@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "cloud/instance_type.hpp"
 #include "core/enumerate.hpp"
 #include "core/query.hpp"
@@ -77,6 +78,7 @@ int main() {
   // Warm up: thread pool spin-up, metric/site registration, page faults.
   min_sweep_seconds(space, capacity, hourly, query, true, 1);
 
+  celia::benchio::JsonBench json("obs_overhead");
   bool passed = false;
   for (int round = 1; round <= kMaxRounds; ++round) {
     // Interleave A (metrics on) and B (off) so drift hits both equally.
@@ -93,11 +95,18 @@ int main() {
     std::printf("round %d: metrics on %.3f ms, off %.3f ms, overhead "
                 "%+.2f%%\n",
                 round, best_on * 1e3, best_off * 1e3, overhead * 100.0);
+    json.begin_row("round_" + std::to_string(round));
+    json.metric("metrics_on_ms", best_on * 1e3);
+    json.metric("metrics_off_ms", best_off * 1e3);
+    json.metric("overhead_pct", overhead * 100.0);
     if (overhead <= kMaxOverhead) {
       passed = true;
       break;
     }
   }
+  json.begin_row("verdict");
+  json.metric("passed", passed ? 1.0 : 0.0);
+  json.write();
 
   if (!passed) {
     std::fprintf(stderr,

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_io.hpp"
+
 #include "core/pareto.hpp"
 #include "util/rng.hpp"
 
@@ -52,4 +54,4 @@ BENCHMARK(BM_EpsilonNondominated)->Range(1 << 10, 1 << 21)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CELIA_BENCHMARK_MAIN("pareto");

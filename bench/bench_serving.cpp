@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "cloud/catalog.hpp"
 #include "core/planner_engine.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,14 @@ using serve::ServeStatus;
 using serve::ServiceOptions;
 
 int failures = 0;
+
+/// BENCH_serving.json: one row per reported load point, so the serving
+/// perf trajectory (qps, p50, p99, sheds) is machine-readable.
+celia::benchio::JsonBench& bench_json() {
+  static celia::benchio::JsonBench json("serving");
+  return json;
+}
+
 
 #define CHECK(cond, ...)                                   \
   do {                                                     \
@@ -108,6 +117,15 @@ struct LoadReport {
   std::uint64_t planned = 0;
   std::uint64_t shed = 0;
 };
+
+void record_load(const std::string& row, const LoadReport& report) {
+  bench_json().begin_row(row);
+  bench_json().metric("qps", report.qps);
+  bench_json().metric("p50_ms", report.p50_ms);
+  bench_json().metric("p99_ms", report.p99_ms);
+  bench_json().metric("planned", static_cast<double>(report.planned));
+  bench_json().metric("shed", static_cast<double>(report.shed));
+}
 
 /// Submit `total` requests open-loop at `rate` (requests/second) and
 /// wait for every outcome. Latencies are taken from the ADMITTED
@@ -189,6 +207,10 @@ void phase_a_coalescing() {
   CHECK(dup_joins == static_cast<std::uint64_t>(kN - 1),
         "expected %d joins, got %llu", kN - 1,
         static_cast<unsigned long long>(dup_joins));
+  bench_json().begin_row("coalesce_identical_inflight");
+  bench_json().metric("requests", static_cast<double>(kN));
+  bench_json().metric("index_builds", static_cast<double>(dup_builds));
+  bench_json().metric("coalesced_joins", static_cast<double>(dup_joins));
   service.stop();
 
   // A2: duplicate-heavy open loop, coalescing on vs off. 4 distinct
@@ -213,6 +235,8 @@ void phase_a_coalescing() {
                 report.p99_ms);
     CHECK(report.planned == 240u, "every request planned, got %llu",
           static_cast<unsigned long long>(report.planned));
+    record_load(coalesce ? "open_loop_coalesce_on" : "open_loop_coalesce_off",
+                report);
   }
 }
 
@@ -258,6 +282,8 @@ void phase_b_overload() {
     service.stop();
     std::printf("sustainable (closed loop, 2 workers): %.0f qps\n",
                 sustainable_qps);
+    bench_json().begin_row("sustainable_closed_loop");
+    bench_json().metric("qps", sustainable_qps);
   }
 
   // B2: open loop at 2x the sustainable rate. The SLO is set to a
@@ -297,6 +323,7 @@ void phase_b_overload() {
     CHECK(shed_report.p99_ms <= slo_seconds * 1e3,
           "admitted p99 %.1fms must stay within the %.1fms SLO",
           shed_report.p99_ms, slo_seconds * 1e3);
+    record_load("overload_2x_with_shedding", shed_report);
   }
   {
     PlannerEngine engine;
@@ -317,6 +344,7 @@ void phase_b_overload() {
     CHECK(spiral_report.p99_ms > slo_seconds * 1e3,
           "the unshed baseline should blow the SLO (p99 %.1fms vs %.1fms)",
           spiral_report.p99_ms, slo_seconds * 1e3);
+    record_load("overload_2x_no_shedding", spiral_report);
   }
 }
 
@@ -325,6 +353,9 @@ void phase_b_overload() {
 int main() {
   phase_a_coalescing();
   phase_b_overload();
+  bench_json().begin_row("verdict");
+  bench_json().metric("failures", static_cast<double>(failures));
+  bench_json().write();
   if (failures != 0) {
     std::printf("%d serving acceptance check(s) FAILED\n", failures);
     return 1;

@@ -58,4 +58,13 @@ std::optional<std::size_t> DemandDimensions::index_of(
   return std::nullopt;
 }
 
+std::string DemandDimensions::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i];
+  }
+  return out;
+}
+
 }  // namespace celia::apps

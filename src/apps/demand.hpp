@@ -59,6 +59,12 @@ class DemandDimensions {
   /// Index of a dimension by name; nullopt when absent.
   std::optional<std::size_t> index_of(std::string_view name) const;
 
+  /// Human-readable schema summary for diagnostics: the ordered names
+  /// joined with ", " (e.g. "instructions, io_ops, net_bytes, mem_bytes").
+  /// Error messages that reject a schema quote this so the caller can see
+  /// WHICH dimensions were offending, not just how many.
+  std::string describe() const;
+
   /// Order-sensitive FNV-1a over the names; equal schemas have equal
   /// fingerprints. Serialized with the rate matrix in model-format v3.
   std::uint64_t fingerprint() const { return fingerprint_; }

@@ -56,6 +56,11 @@ std::string_view characterization_mode_name(CharacterizationMode mode);
 /// compatible, so one measurement campaign serves every region. The
 /// DemandDimensions schema is carried alongside that fingerprint; planners
 /// likewise refuse to evaluate a demand vector of a different width.
+///
+/// The rate(i, d) doubles are copied verbatim into core::SweepPlan's
+/// contiguous per-dimension rows, so this class is the single source of
+/// the values the SIMD sweep kernels consume — any rounding applied here
+/// (and only here) is what the hexfloat golden tests pin.
 class ResourceCapacity {
  public:
   /// Scalar (1-D) capacity characterized against `catalog` (one

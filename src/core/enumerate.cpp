@@ -1,13 +1,18 @@
 #include "core/enumerate.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "cloud/instance_type.hpp"
 #include "core/frontier_index.hpp"
 #include "core/query.hpp"
+#include "core/simd.hpp"
+#include "core/sweep_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -51,6 +56,30 @@ struct PartialResult {
       samples.push_back(point);
   }
 };
+
+/// Per-block scratch for the batched classification kernels: seconds/cost
+/// output lanes plus the feasibility bitmask (one bit per lane element;
+/// kBatch is a multiple of 64 so the mask is a whole number of words).
+struct ClassifyScratch {
+  std::array<double, SweepPlan::kBatch> seconds;
+  std::array<double, SweepPlan::kBatch> cost;
+  std::array<std::uint64_t, SweepPlan::kBatch / 64> mask;
+};
+
+/// Visit the set bits of `mask` in ascending position order. Feasible hits
+/// must be consumed in index order — min-cost/min-time tie-breaks, the
+/// sample stride and the Pareto buffer all observe the arrival sequence.
+template <typename OnFeasible>
+void for_each_set_bit(const std::uint64_t* mask, std::size_t n,
+                      OnFeasible&& fn) {
+  for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      fn(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
 
 std::vector<double> capacity_rates(const ResourceCapacity& capacity) {
   std::vector<double> rates;
@@ -115,22 +144,32 @@ void validate_query(double demand, const Constraints& constraints) {
 }
 
 void validate_query(const apps::DemandVector& demand,
-                    const Constraints& constraints) {
+                    const Constraints& constraints,
+                    const apps::DemandDimensions* schema) {
   if (demand.size() == 0)
     throw std::invalid_argument(
         "planner query: demand vector must have at least one dimension");
+  if (schema != nullptr && schema->size() != demand.size())
+    throw std::invalid_argument(
+        "planner query: demand vector has " + std::to_string(demand.size()) +
+        " dimensions but the schema [" + schema->describe() + "] names " +
+        std::to_string(schema->size()));
   validate_query(demand.values[0], constraints);
   for (std::size_t d = 1; d < demand.size(); ++d)
     if (!std::isfinite(demand.values[d]) || demand.values[d] < 0)
       throw std::invalid_argument(
           "planner query: demand dimension " + std::to_string(d) +
+          (schema != nullptr ? " ('" + schema->name(d) + "')" : "") +
           " must be finite and non-negative");
   if (demand.size() > 1 && constraints.confidence_z > 0 &&
       constraints.rate_sigma > 0)
     throw std::invalid_argument(
         "planner query: risk-aware selection (confidence_z with rate_sigma) "
         "models a spread on the scalar instruction rate and is not "
-        "supported for multi-dimensional demand");
+        "supported for multi-dimensional demand" +
+        (schema != nullptr
+             ? " over the schema [" + schema->describe() + "]"
+             : " (" + std::to_string(demand.size()) + " dimensions)"));
 }
 
 std::vector<double> ec2_hourly_costs() {
@@ -249,6 +288,27 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
   }
   const double z = constraints.confidence_z;
 
+  // Build the SoA plan once per sweep; each block walks its own range over
+  // it and classifies whole batches with the runtime-dispatched kernels.
+  const SweepPlan plan =
+      multi ? SweepPlan(space, rate_rows, hourly_costs)
+            : SweepPlan(space, rates, hourly_costs, var_terms);
+  const simd::Kernels& kernels = simd::active_kernels();
+  simd::ClassifyParams params;
+  params.demand = demand;
+  params.deadline = constraints.deadline_seconds;
+  params.budget = constraints.budget_dollars;
+  params.z = z;
+
+  // Dimensions with zero demand never bind the bottleneck max; list the
+  // ones that do once, outside the walk.
+  std::vector<std::uint32_t> active_dims;
+  if (multi) {
+    for (std::size_t d = 0; d < demand_vec.size(); ++d)
+      if (demand_vec.values[d] > 0)
+        active_dims.push_back(static_cast<std::uint32_t>(d));
+  }
+
   std::mutex merge_mutex;
   SweepResult result;
   result.total = space.size();
@@ -262,36 +322,36 @@ SweepResult sweep_impl(const ConfigurationSpace& space,
       [&](parallel::BlockedRange range) {
         util::Stopwatch block_timer;
         PartialResult partial;
-        if (multi) {
-          // Bottleneck feasibility: T = max_d D_d / U_d (generalized
-          // Eq. 2); a zero-demand dimension never binds.
-          detail::walk_range_multi(
-              space, rate_rows, hourly_costs, range,
-              [&](std::uint64_t index, std::span<const double> u, double cu) {
-                double seconds = 0.0;
-                for (std::size_t d = 0; d < u.size(); ++d) {
-                  if (demand_vec.values[d] <= 0) continue;
-                  if (u[d] <= 0) return;
-                  seconds = std::max(seconds, demand_vec.values[d] / u[d]);
-                }
-                if (seconds >= constraints.deadline_seconds) return;
-                const double cost = seconds / 3600.0 * cu;
-                if (cost >= constraints.budget_dollars) return;
-                partial.note_feasible({index, seconds, cost}, options);
-              });
-        } else {
-          detail::walk_range(
-              space, rates, hourly_costs, var_terms, range,
-              [&](std::uint64_t index, double u, double cu, double v) {
-                if (risk_aware) u -= z * std::sqrt(v);
-                if (u <= 0) return;
-                const double seconds = demand / u;
-                if (seconds >= constraints.deadline_seconds) return;
-                const double cost = seconds / 3600.0 * cu;
-                if (cost >= constraints.budget_dollars) return;
-                partial.note_feasible({index, seconds, cost}, options);
-              });
-        }
+        auto scratch = std::make_unique<ClassifyScratch>();
+        plan.walk(range, [&](std::uint64_t first, std::size_t n,
+                             const SweepPlan::Lanes& lanes) {
+          std::size_t hits;
+          if (multi) {
+            // Bottleneck feasibility: T = max_d D_d / U_d (generalized
+            // Eq. 2) over the active dimensions.
+            hits = kernels.classify_multi(
+                lanes.u_rows, SweepPlan::kBatch, active_dims.data(),
+                active_dims.size(), demand_vec.values.data(), lanes.cu, n,
+                constraints.deadline_seconds, constraints.budget_dollars,
+                scratch->seconds.data(), scratch->cost.data(),
+                scratch->mask.data());
+          } else if (risk_aware) {
+            hits = kernels.classify_risk(lanes.u(), lanes.v, lanes.cu, n,
+                                         params, scratch->seconds.data(),
+                                         scratch->cost.data(),
+                                         scratch->mask.data());
+          } else {
+            hits = kernels.classify(lanes.u(), lanes.cu, n, params,
+                                    scratch->seconds.data(),
+                                    scratch->cost.data(),
+                                    scratch->mask.data());
+          }
+          if (hits == 0) return;
+          for_each_set_bit(scratch->mask.data(), n, [&](std::size_t j) {
+            partial.note_feasible(
+                {first + j, scratch->seconds[j], scratch->cost[j]}, options);
+          });
+        });
         if (options.collect_pareto)
           partial.pareto_buffer = pareto_filter(std::move(partial.pareto_buffer));
 

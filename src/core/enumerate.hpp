@@ -33,6 +33,7 @@
 #include "core/capacity.hpp"
 #include "core/configuration.hpp"
 #include "core/pareto.hpp"
+#include "core/sweep_plan.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -75,9 +76,12 @@ void validate_query(double demand, const Constraints& constraints);
 /// binds — e.g. a monolithic database moves no network bytes). Risk-aware
 /// selection (confidence_z > 0 with rate_sigma > 0) models a spread on the
 /// scalar instruction rate only and is rejected for multi-dimensional
-/// queries.
+/// queries. When `schema` is given, the vector's width must match it and
+/// every rejection names the offending dimension / the schema's dimension
+/// names instead of bare indices.
 void validate_query(const apps::DemandVector& demand,
-                    const Constraints& constraints);
+                    const Constraints& constraints,
+                    const apps::DemandDimensions* schema = nullptr);
 
 /// How the planner may use the demand-invariant FrontierIndex.
 ///
@@ -172,143 +176,53 @@ void validate_demand_dimensions(const ResourceCapacity& capacity,
 /// configuration, where V is the capacity variance sum_i m_i var_terms[i]
 /// (used by risk-aware selection; var_terms may be all-zero).
 ///
-/// The innermost digit is a tight inner loop over each mixed-radix "row";
-/// the outer digits carry between rows. Row bases are suffix sums
-/// S[i] = sum_{t>=i} d_t * r_t, maintained as a fixed right-to-left fold:
-/// a carry at level i recomputes S[i] from the untouched S[i+1] and
-/// propagates S[t] = S[t+1] to the zeroed levels below (exact — those
-/// digits contribute 0). In-row values accumulate by repeated addition
-/// from k = 0 (mid-row range starts warm up from zero), so every value
-/// passed to `body` depends only on the configuration, never on `range`.
+/// Per-element adapter over core::SweepPlan, which owns the batched
+/// odometer/suffix-sum walk (see sweep_plan.hpp for the pinned
+/// accumulation-order contract). Every value passed to `body` depends
+/// only on the configuration, never on `range` or batch boundaries.
+/// Callers that can consume whole lanes (the sweep itself) build a
+/// SweepPlan directly and classify batches with core/simd.hpp kernels.
 template <typename Body>
 void walk_range(const ConfigurationSpace& space, std::span<const double> rates,
                 std::span<const double> hourly,
                 std::span<const double> var_terms, parallel::BlockedRange range,
                 Body&& body) {
   if (range.empty()) return;
-  const std::size_t m = space.num_types();
-  const auto& max_counts = space.max_counts();
-  std::vector<int> digits(m);
-  space.decode_into(range.begin, digits);
-
-  const double rate0 = rates[0];
-  const double hourly0 = hourly[0];
-  const double var0 = var_terms[0];
-  const std::uint64_t row_radix = static_cast<std::uint64_t>(max_counts[0]) + 1;
-
-  std::vector<double> su(m + 1, 0.0), scu(m + 1, 0.0), sv(m + 1, 0.0);
-  for (std::size_t i = m; i-- > 1;) {
-    su[i] = su[i + 1] + digits[i] * rates[i];
-    scu[i] = scu[i + 1] + digits[i] * hourly[i];
-    sv[i] = sv[i + 1] + digits[i] * var_terms[i];
-  }
-
-  std::uint64_t index = range.begin;
-  for (;;) {
-    double u = su[1], cu = scu[1], v = sv[1];
-    const auto k_begin = static_cast<std::uint64_t>(digits[0]);
-    for (std::uint64_t k = 0; k < k_begin; ++k) {
-      u += rate0;
-      cu += hourly0;
-      v += var0;
+  const SweepPlan plan(space, rates, hourly, var_terms);
+  plan.walk(range, [&](std::uint64_t first, std::size_t n,
+                       const SweepPlan::Lanes& lanes) {
+    const double* u = lanes.u();
+    const double* cu = lanes.cu;
+    const double* v = lanes.v;  // nullptr when var_terms is all-zero
+    for (std::size_t j = 0; j < n; ++j) {
+      body(first + j, u[j], cu[j], v != nullptr ? v[j] : 0.0);
     }
-    const std::uint64_t steps =
-        std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
-    for (std::uint64_t j = 0; j < steps; ++j) {
-      body(index + j, u, cu, v);
-      u += rate0;
-      cu += hourly0;
-      v += var0;
-    }
-    index += steps;
-    if (index >= range.end) break;
-    digits[0] = 0;
-    std::size_t i = 1;
-    for (; i < m; ++i) {
-      if (digits[i] < max_counts[i]) {
-        ++digits[i];
-        break;
-      }
-      digits[i] = 0;
-    }
-    su[i] = su[i + 1] + digits[i] * rates[i];
-    scu[i] = scu[i + 1] + digits[i] * hourly[i];
-    sv[i] = sv[i + 1] + digits[i] * var_terms[i];
-    for (std::size_t t = i; t-- > 1;) {
-      su[t] = su[t + 1];
-      scu[t] = scu[t + 1];
-      sv[t] = sv[t + 1];
-    }
-  }
+  });
 }
 
 /// Multi-dimensional walk_range: body(index, u, cu) where u is a span of
-/// per-dimension capacities U_d = sum_i m_i W_{i,d}. Same odometer/suffix-
-/// sum structure as walk_range with the suffix sums widened to one row per
-/// dimension (stored [level][dim], flattened). The scalar sweep does NOT
-/// route through this — 1-D queries take the original walk_range verbatim,
-/// which is what keeps the degenerate case bit-identical.
+/// per-dimension capacities U_d = sum_i m_i W_{i,d}. Per-element adapter
+/// over a multi-row SweepPlan (suffix sums widened to one row per
+/// dimension). The scalar sweep does NOT route through this — 1-D queries
+/// take the 1-D plan verbatim, which is what keeps the degenerate case
+/// bit-identical.
 template <typename Body>
 void walk_range_multi(const ConfigurationSpace& space,
                       std::span<const std::vector<double>> rate_rows,
                       std::span<const double> hourly,
                       parallel::BlockedRange range, Body&& body) {
   if (range.empty()) return;
-  const std::size_t m = space.num_types();
-  const std::size_t dims = rate_rows.size();
-  const auto& max_counts = space.max_counts();
-  std::vector<int> digits(m);
-  space.decode_into(range.begin, digits);
-
-  const double hourly0 = hourly[0];
-  const std::uint64_t row_radix = static_cast<std::uint64_t>(max_counts[0]) + 1;
-
-  // su[i * dims + d] = sum_{t >= i} digits[t] * rate_rows[d][t]
-  std::vector<double> su((m + 1) * dims, 0.0);
-  std::vector<double> scu(m + 1, 0.0);
-  for (std::size_t i = m; i-- > 1;) {
-    for (std::size_t d = 0; d < dims; ++d)
-      su[i * dims + d] = su[(i + 1) * dims + d] + digits[i] * rate_rows[d][i];
-    scu[i] = scu[i + 1] + digits[i] * hourly[i];
-  }
-
+  const SweepPlan plan(space, rate_rows, hourly);
+  const std::size_t dims = plan.num_dimensions();
   std::vector<double> u(dims);
-  std::uint64_t index = range.begin;
-  for (;;) {
-    for (std::size_t d = 0; d < dims; ++d) u[d] = su[dims + d];
-    double cu = scu[1];
-    const auto k_begin = static_cast<std::uint64_t>(digits[0]);
-    for (std::uint64_t k = 0; k < k_begin; ++k) {
-      for (std::size_t d = 0; d < dims; ++d) u[d] += rate_rows[d][0];
-      cu += hourly0;
-    }
-    const std::uint64_t steps =
-        std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
-    for (std::uint64_t j = 0; j < steps; ++j) {
-      body(index + j, std::span<const double>(u), cu);
-      for (std::size_t d = 0; d < dims; ++d) u[d] += rate_rows[d][0];
-      cu += hourly0;
-    }
-    index += steps;
-    if (index >= range.end) break;
-    digits[0] = 0;
-    std::size_t i = 1;
-    for (; i < m; ++i) {
-      if (digits[i] < max_counts[i]) {
-        ++digits[i];
-        break;
-      }
-      digits[i] = 0;
-    }
-    for (std::size_t d = 0; d < dims; ++d)
-      su[i * dims + d] = su[(i + 1) * dims + d] + digits[i] * rate_rows[d][i];
-    scu[i] = scu[i + 1] + digits[i] * hourly[i];
-    for (std::size_t t = i; t-- > 1;) {
+  plan.walk(range, [&](std::uint64_t first, std::size_t n,
+                       const SweepPlan::Lanes& lanes) {
+    for (std::size_t j = 0; j < n; ++j) {
       for (std::size_t d = 0; d < dims; ++d)
-        su[t * dims + d] = su[(t + 1) * dims + d];
-      scu[t] = scu[t + 1];
+        u[d] = lanes.u_rows[d * SweepPlan::kBatch + j];
+      body(first + j, std::span<const double>(u), lanes.cu[j]);
     }
-  }
+  });
 }
 
 }  // namespace detail

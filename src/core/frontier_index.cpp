@@ -1,6 +1,7 @@
 #include "core/frontier_index.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <future>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/query.hpp"
+#include "core/sweep_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -49,6 +51,34 @@ std::vector<double> make_fences(std::vector<double> sample, std::size_t grid) {
 /// provably larger for every demand, so sweep() can never prefer it.
 constexpr double kSlopeMargin = 1e-14;
 
+// --- Delta-maintenance envelopes (DESIGN.md §13) ---------------------------
+//
+// kWideKappa: a point joins the wide candidate set W when its slope is
+// within this factor of the staircase envelope at its u-strip's UPPER
+// fence. The reprice closure needs every from-scratch survivor at any
+// in-band price to satisfy slope <= B * (1 + eps)^2 * (1 + kSlopeMargin)
+// * envelope ~= 1.101 * envelope with B = kRepriceBand. 1.15 keeps a
+// ~4.5% safety factor over the closure bound while holding |W| to ~1M
+// points on the 10M-configuration EC2 space — near-best mixes cluster a
+// few percent above the envelope there, so every extra percent of kappa
+// admits hundreds of thousands of points (1.25 blows the candidate cap
+// and would disable deltas on exactly the space they matter for).
+constexpr double kWideKappa = 1.15;
+/// Maximum allowed spread max_i(rho_i) / min_i(rho_i) of the per-type
+/// price ratios rho_i = new_i / anchor_i for repriced() to engage.
+constexpr double kRepriceBand = 1.10;
+/// Relative slack absorbing fold/rounding differences whenever a bound
+/// derived from anchor-price slopes certifies something about new-price
+/// costs (reprice counting, with_limit screening). Orders of magnitude
+/// larger than the few-ulp error it covers, orders smaller than the
+/// kWideKappa / kRepriceBand headroom it spends.
+constexpr double kRetestSlack = 1e-9;
+/// Caps keeping the delta structures bounded: a store whose candidate set
+/// (or with_limit screen) exceeds these is declared not delta-capable and
+/// the caller falls back to a full rebuild.
+constexpr std::size_t kMaxCandidates = std::size_t{1} << 22;
+constexpr std::size_t kMaxScreened = std::size_t{1} << 22;
+
 /// The (max U, min slope) non-dominated staircase, returned ascending in U
 /// with (near-)non-decreasing slope. Near-ties within kSlopeMargin are all
 /// kept so rounded-cost comparisons resolve exactly as sweep()'s.
@@ -77,7 +107,163 @@ std::vector<FrontierIndex::Entry> staircase_filter(
   return kept;
 }
 
+/// Suffix minimum of the staircase slopes: sm[k] = min slope over
+/// frontier[k..); sm[frontier.size()] = +inf. Because staircase_filter's
+/// running best only ever tightens on KEPT entries, this equals the exact
+/// suffix-min over the FULL point set the staircase was filtered from.
+std::vector<double> slope_suffix_min(
+    std::span<const FrontierIndex::Entry> frontier) {
+  std::vector<double> sm(frontier.size() + 1, kInf);
+  for (std::size_t k = frontier.size(); k-- > 0;)
+    sm[k] = std::min(frontier[k].cu / frontier[k].u, sm[k + 1]);
+  return sm;
+}
+
+/// First staircase entry with u >= x (frontier ascends in u).
+std::size_t frontier_at_or_above(
+    std::span<const FrontierIndex::Entry> frontier, double x) {
+  return static_cast<std::size_t>(
+      std::lower_bound(frontier.begin(), frontier.end(), x,
+                       [](const FrontierIndex::Entry& e, double v) {
+                         return e.u < v;
+                       }) -
+      frontier.begin());
+}
+
+/// First staircase entry with u > x.
+std::size_t frontier_above(std::span<const FrontierIndex::Entry> frontier,
+                           double x) {
+  return static_cast<std::size_t>(
+      std::upper_bound(frontier.begin(), frontier.end(), x,
+                       [](double v, const FrontierIndex::Entry& e) {
+                         return v < e.u;
+                       }) -
+      frontier.begin());
+}
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t double_bits(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
 }  // namespace
+
+// --- GridStore -------------------------------------------------------------
+//
+// Everything the index holds besides the staircase and the model identity:
+// the counting grid, the structure-of-arrays point store and the wide
+// candidate set. Immutable once built and shared (shared_ptr) between an
+// anchor index and every repriced() derivative — a price tick must not
+// copy the multi-hundred-MB point store to produce a fresh index.
+//
+// Point layout: pu_u/pu_cu/pu_idx are parallel lanes holding every U > 0
+// configuration grouped by u-strip (u_offsets delimits strips); ps_pos
+// holds, grouped by s-strip (s_offsets), each point's POSITION in the pu
+// lanes — an index-based second grouping instead of a second copy.
+struct FrontierIndex::GridStore {
+  std::size_t grid = 0;
+  std::vector<double> u_fences;             // grid + 1, [0, ..., +inf]
+  std::vector<double> s_fences;             // grid + 1, [0, ..., +inf]
+  std::vector<std::uint64_t> u_offsets;     // grid + 1
+  std::vector<std::uint64_t> s_offsets;     // grid + 1
+  std::vector<std::uint64_t> matrix;        // (grid+1)^2, suffix-U/prefix-s
+  std::vector<double> pu_u;                 // SoA point lanes by u-strip
+  std::vector<double> pu_cu;                //   (cu at the ANCHOR prices)
+  std::vector<std::uint64_t> pu_idx;        //   configuration index
+  std::vector<std::uint32_t> ps_pos;        // s-strip grouping: pu positions
+  std::vector<Entry> candidates;            // wide staircase candidate set W
+  std::vector<double> anchor_hourly;        // prices pu_cu was folded with
+  bool delta_capable = false;
+
+  std::size_t bytes() const;
+  void rebuild_s_grouping();
+  void recount_matrix();
+  void select_candidates(std::span<const Entry> frontier);
+};
+
+std::size_t FrontierIndex::GridStore::bytes() const {
+  return (u_fences.capacity() + s_fences.capacity() + pu_u.capacity() +
+          pu_cu.capacity() + anchor_hourly.capacity()) *
+             sizeof(double) +
+         (u_offsets.capacity() + s_offsets.capacity() + matrix.capacity() +
+          pu_idx.capacity()) *
+             sizeof(std::uint64_t) +
+         ps_pos.capacity() * sizeof(std::uint32_t) +
+         candidates.capacity() * sizeof(Entry);
+}
+
+/// Recompute s_offsets + ps_pos from the pu lanes (serial; delta paths
+/// only — the build fills the grouping during its scatter pass).
+void FrontierIndex::GridStore::rebuild_s_grouping() {
+  const std::size_t count = pu_u.size();
+  std::vector<std::uint64_t> hist(grid, 0);
+  for (std::size_t pos = 0; pos < count; ++pos)
+    ++hist[strip_of(s_fences, pu_cu[pos] / pu_u[pos])];
+  s_offsets.assign(grid + 1, 0);
+  for (std::size_t j = 0; j < grid; ++j)
+    s_offsets[j + 1] = s_offsets[j] + hist[j];
+  ps_pos.resize(count);
+  std::vector<std::uint64_t> cursor(s_offsets.begin(), s_offsets.end() - 1);
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    const std::size_t j = strip_of(s_fences, pu_cu[pos] / pu_u[pos]);
+    ps_pos[cursor[j]++] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+/// Recompute the (suffix-in-U, prefix-in-s) count matrix from the pu
+/// lanes (serial; delta paths only).
+void FrontierIndex::GridStore::recount_matrix() {
+  std::vector<std::uint64_t> hist2d(grid * grid, 0);
+  for (std::size_t i = 0; i < grid; ++i) {
+    std::uint64_t* row = hist2d.data() + i * grid;
+    for (std::uint64_t p = u_offsets[i]; p < u_offsets[i + 1]; ++p)
+      ++row[strip_of(s_fences, pu_cu[p] / pu_u[p])];
+  }
+  const std::size_t width = grid + 1;
+  matrix.assign(width * width, 0);
+  for (std::size_t i = grid; i-- > 0;) {
+    std::uint64_t run = 0;
+    for (std::size_t j = 1; j <= grid; ++j) {
+      run += hist2d[i * grid + (j - 1)];
+      matrix[i * width + j] = matrix[(i + 1) * width + j] + run;
+    }
+  }
+}
+
+/// Fill the wide candidate set W: every point whose slope is within
+/// kWideKappa of the staircase envelope evaluated at its u-strip's UPPER
+/// fence (the envelope is non-decreasing in u, so the strip-level value
+/// upper-bounds the per-point one and W only grows). Sets delta_capable.
+void FrontierIndex::GridStore::select_candidates(
+    std::span<const Entry> frontier) {
+  candidates.clear();
+  delta_capable = false;
+  const std::vector<double> sm = slope_suffix_min(frontier);
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double env = sm[frontier_at_or_above(frontier, u_fences[i + 1])];
+    for (std::uint64_t p = u_offsets[i]; p < u_offsets[i + 1]; ++p) {
+      // env = +inf (top strip / empty suffix) admits everything: x <= inf.
+      if (pu_cu[p] <= kWideKappa * env * pu_u[p]) {
+        if (candidates.size() >= kMaxCandidates) {
+          candidates.clear();
+          candidates.shrink_to_fit();
+          return;
+        }
+        candidates.push_back({pu_u[p], pu_cu[p], pu_idx[p]});
+      }
+    }
+  }
+  delta_capable = true;
+}
+
+// --- Build -----------------------------------------------------------------
 
 FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
                                    const ResourceCapacity& capacity,
@@ -90,7 +276,8 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
   // direction, so no single index can answer every vector query.
   if (!capacity.is_scalar())
     throw std::invalid_argument(
-        "FrontierIndex: cannot index a multi-dimensional capacity (" +
+        "FrontierIndex: cannot index the multi-dimensional capacity schema "
+        "[" + capacity.dimensions().describe() + "] (" +
         std::to_string(capacity.num_dimensions()) +
         " dimensions) — the staircase is demand-invariant only in 1-D; "
         "vector queries take the sweep route");
@@ -125,6 +312,10 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
   }
   index.grid_ = grid;
 
+  auto store = std::make_shared<GridStore>();
+  store->grid = grid;
+  store->anchor_hourly = index.hourly_;
+
   // Fences from a deterministic stride sample. Fence values only steer the
   // partition (any value is correct); quantiles keep the strips balanced.
   {
@@ -144,8 +335,8 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
         s_sample.push_back(cu / u);
       }
     }
-    index.u_fences_ = make_fences(std::move(u_sample), grid);
-    index.s_fences_ = make_fences(std::move(s_sample), grid);
+    store->u_fences = make_fences(std::move(u_sample), grid);
+    store->s_fences = make_fences(std::move(s_sample), grid);
   }
 
   // Pass A: per-block strip histograms + staircase candidates.
@@ -168,8 +359,8 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
             space, rates, hourly, zero_var, blocks[b],
             [&](std::uint64_t idx, double u, double cu, double /*v*/) {
               if (u <= 0) return;
-              ++local.hist_u[strip_of(index.u_fences_, u)];
-              ++local.hist_s[strip_of(index.s_fences_, cu / u)];
+              ++local.hist_u[strip_of(store->u_fences, u)];
+              ++local.hist_s[strip_of(store->s_fences, cu / u)];
               local.frontier.push_back({u, cu, idx});
               if (local.frontier.size() >= prune) {
                 local.frontier = staircase_filter(std::move(local.frontier));
@@ -184,17 +375,21 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
 
   // Strip offsets plus per-(block, strip) scatter cursors: deterministic
   // destinations, so pass B needs no atomics.
-  index.u_offsets_.assign(grid + 1, 0);
-  index.s_offsets_.assign(grid + 1, 0);
+  store->u_offsets.assign(grid + 1, 0);
+  store->s_offsets.assign(grid + 1, 0);
   for (std::size_t i = 0; i < grid; ++i) {
-    index.u_offsets_[i + 1] = index.u_offsets_[i];
-    index.s_offsets_[i + 1] = index.s_offsets_[i];
+    store->u_offsets[i + 1] = store->u_offsets[i];
+    store->s_offsets[i + 1] = store->s_offsets[i];
     for (const auto& local : stats) {
-      index.u_offsets_[i + 1] += local.hist_u[i];
-      index.s_offsets_[i + 1] += local.hist_s[i];
+      store->u_offsets[i + 1] += local.hist_u[i];
+      store->s_offsets[i + 1] += local.hist_s[i];
     }
   }
-  index.positive_ = index.u_offsets_[grid];
+  index.positive_ = store->u_offsets[grid];
+  if (index.positive_ > std::numeric_limits<std::uint32_t>::max())
+    throw std::length_error(
+        "FrontierIndex: more than 2^32 - 1 attainable configurations "
+        "(position-based strip grouping overflows)");
 
   std::vector<std::vector<std::uint64_t>> cursor_u(blocks.size()),
       cursor_s(blocks.size());
@@ -203,8 +398,8 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
     cursor_s[b].resize(grid);
   }
   for (std::size_t i = 0; i < grid; ++i) {
-    std::uint64_t run_u = index.u_offsets_[i];
-    std::uint64_t run_s = index.s_offsets_[i];
+    std::uint64_t run_u = store->u_offsets[i];
+    std::uint64_t run_s = store->s_offsets[i];
     for (std::size_t b = 0; b < blocks.size(); ++b) {
       cursor_u[b][i] = run_u;
       cursor_s[b][i] = run_s;
@@ -213,9 +408,12 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
     }
   }
 
-  // Pass B: scatter (U, Cu) into the strip-grouped copies.
-  index.by_u_strip_.resize(index.positive_);
-  index.by_s_strip_.resize(index.positive_);
+  // Pass B: scatter the SoA point lanes (u-strip grouping) and record each
+  // point's lane position in the s-strip grouping.
+  store->pu_u.resize(index.positive_);
+  store->pu_cu.resize(index.positive_);
+  store->pu_idx.resize(index.positive_);
+  store->ps_pos.resize(index.positive_);
   {
     std::vector<std::future<void>> futures;
     futures.reserve(blocks.size());
@@ -225,12 +423,15 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
         std::vector<std::uint64_t>& cs_cursor = cursor_s[b];
         detail::walk_range(
             space, rates, hourly, zero_var, blocks[b],
-            [&](std::uint64_t /*idx*/, double u, double cu, double /*v*/) {
+            [&](std::uint64_t idx, double u, double cu, double /*v*/) {
               if (u <= 0) return;
-              index.by_u_strip_[cu_cursor[strip_of(index.u_fences_, u)]++] = {
-                  u, cu};
-              index.by_s_strip_[cs_cursor[strip_of(index.s_fences_,
-                                                   cu / u)]++] = {u, cu};
+              const std::uint64_t pos =
+                  cu_cursor[strip_of(store->u_fences, u)]++;
+              store->pu_u[pos] = u;
+              store->pu_cu[pos] = cu;
+              store->pu_idx[pos] = idx;
+              store->ps_pos[cs_cursor[strip_of(store->s_fences, cu / u)]++] =
+                  static_cast<std::uint32_t>(pos);
             });
       }));
     }
@@ -247,25 +448,26 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
         0, grid,
         [&](std::uint64_t i) {
           std::uint64_t* row = hist2d.data() + i * grid;
-          for (std::uint64_t p = index.u_offsets_[i];
-               p < index.u_offsets_[i + 1]; ++p) {
-            const PointUC& point = index.by_u_strip_[p];
-            ++row[strip_of(index.s_fences_, point.cu / point.u)];
-          }
+          for (std::uint64_t p = store->u_offsets[i];
+               p < store->u_offsets[i + 1]; ++p)
+            ++row[strip_of(store->s_fences,
+                           store->pu_cu[p] / store->pu_u[p])];
         },
         fo);
   }
   const std::size_t width = grid + 1;
-  index.matrix_.assign(width * width, 0);
+  store->matrix.assign(width * width, 0);
   for (std::size_t i = grid; i-- > 0;) {
     std::uint64_t run = 0;
     for (std::size_t j = 1; j <= grid; ++j) {
       run += hist2d[i * grid + (j - 1)];
-      index.matrix_[i * width + j] = index.matrix_[(i + 1) * width + j] + run;
+      store->matrix[i * width + j] =
+          store->matrix[(i + 1) * width + j] + run;
     }
   }
 
-  // Merge per-block staircase candidates into the final frontier.
+  // Merge per-block staircase candidates into the final frontier, then
+  // derive the wide candidate set from it.
   std::vector<Entry> candidates;
   for (auto& local : stats) {
     candidates.insert(candidates.end(), local.frontier.begin(),
@@ -273,6 +475,8 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
     local.frontier.clear();
   }
   index.frontier_ = staircase_filter(std::move(candidates));
+  store->select_candidates(index.frontier_);
+  index.store_ = std::move(store);
   build_seconds.record(build_timer.elapsed_seconds());
   return index;
 }
@@ -297,57 +501,333 @@ FrontierIndex FrontierIndex::build(const ConfigurationSpace& space,
   return build(space, capacity, hourly, options);
 }
 
+// --- Delta maintenance -----------------------------------------------------
+
+std::uint64_t FrontierIndex::content_fingerprint() const {
+  std::uint64_t hash = 1469598103934665603ull;
+  hash = fnv_mix(hash, max_counts_.size());
+  for (const int count : max_counts_)
+    hash = fnv_mix(hash, static_cast<std::uint64_t>(count));
+  for (const double rate : rates_) hash = fnv_mix(hash, double_bits(rate));
+  for (const double price : hourly_) hash = fnv_mix(hash, double_bits(price));
+  hash = fnv_mix(hash, catalog_fingerprint_);
+  hash = fnv_mix(hash, total_);
+  hash = fnv_mix(hash, positive_);
+  hash = fnv_mix(hash, frontier_.size());
+  for (const Entry& entry : frontier_) {
+    hash = fnv_mix(hash, double_bits(entry.u));
+    hash = fnv_mix(hash, double_bits(entry.cu));
+    hash = fnv_mix(hash, entry.config_index);
+  }
+  return hash;
+}
+
+bool FrontierIndex::delta_capable() const {
+  return store_ != nullptr && store_->delta_capable;
+}
+
+bool FrontierIndex::is_repriced() const { return repriced_; }
+
+std::optional<FrontierIndex> FrontierIndex::repriced(
+    std::span<const double> new_hourly) const {
+  if (!delta_capable()) return std::nullopt;
+  const std::size_t width = hourly_.size();
+  if (new_hourly.size() != width || width == 0) return std::nullopt;
+
+  // Per-type price ratios are taken against the ANCHOR prices (the ones
+  // pu_cu / candidates were folded with), not this index's own — chains of
+  // reprices re-derive from the anchor instead of compounding bands.
+  const std::vector<double>& anchor = store_->anchor_hourly;
+  double lo = kInf, hi = 0.0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const double from = anchor[i];
+    const double to = new_hourly[i];
+    if (!(from > 0) || !(to > 0) || !std::isfinite(to)) return std::nullopt;
+    const double ratio = to / from;
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  if (!(hi / lo <= kRepriceBand)) return std::nullopt;
+
+  // Re-derive every wide candidate's Cu with the canonical walk fold —
+  // bit-identical to the double a from-scratch walk at the new prices
+  // would hand the staircase — and re-filter. The kWideKappa closure (see
+  // the header) guarantees every from-scratch survivor is a candidate, and
+  // dropping never-kept points does not perturb staircase_filter's state,
+  // so the result equals the from-scratch staircase bit for bit.
+  const ConfigurationSpace space(max_counts_);
+  std::vector<int> digits(width);
+  std::vector<Entry> entries;
+  entries.reserve(store_->candidates.size());
+  for (const Entry& candidate : store_->candidates) {
+    space.decode_into(candidate.config_index, digits);
+    entries.push_back({candidate.u,
+                       SweepPlan::fold_value(digits, new_hourly),
+                       candidate.config_index});
+  }
+
+  FrontierIndex out;
+  out.max_counts_ = max_counts_;
+  out.rates_ = rates_;
+  out.hourly_.assign(new_hourly.begin(), new_hourly.end());
+  out.total_ = total_;
+  out.positive_ = positive_;
+  out.grid_ = grid_;
+  out.frontier_ = staircase_filter(std::move(entries));
+  out.store_ = store_;  // shared: the point store is anchor-priced
+  out.repriced_ = true;
+  out.rho_lo_ = lo;
+  out.rho_hi_ = hi;
+  return out;
+}
+
+std::optional<FrontierIndex> FrontierIndex::repriced(
+    const cloud::Catalog& to) const {
+  if (to.size() != hourly_.size()) return std::nullopt;
+  if (to.limits() != max_counts_) return std::nullopt;
+  std::optional<FrontierIndex> out = repriced(to.hourly_costs());
+  if (out) out->catalog_fingerprint_ = to.fingerprint();
+  return out;
+}
+
+std::optional<FrontierIndex> FrontierIndex::with_limit(std::size_t type,
+                                                       int new_max) const {
+  if (repriced_ || !delta_capable()) return std::nullopt;
+  const std::size_t width = max_counts_.size();
+  if (type >= width) return std::nullopt;
+  const int old_max = max_counts_[type];
+  if (new_max < 0 || new_max >= old_max) return std::nullopt;
+
+  const GridStore& old_store = *store_;
+  const std::size_t grid = old_store.grid;
+
+  // Mixed-radix surgery: removing the digits d_type > new_max keeps every
+  // survivor's digit vector — hence its walk-computed U and Cu doubles —
+  // unchanged, and remaps indexes MONOTONICALLY (the walk order of the
+  // shrunken space is the old order restricted to survivors).
+  std::uint64_t scale_below = 1;
+  for (std::size_t i = 0; i < type; ++i)
+    scale_below *= static_cast<std::uint64_t>(max_counts_[i]) + 1;
+  const std::uint64_t radix_old = static_cast<std::uint64_t>(old_max) + 1;
+  const std::uint64_t radix_new = static_cast<std::uint64_t>(new_max) + 1;
+  const std::uint64_t block = scale_below * radix_old;
+  const auto remap = [&](std::uint64_t idx, std::uint64_t& out_idx) {
+    const std::uint64_t value = idx + 1;
+    const std::uint64_t high = value / block;
+    const std::uint64_t rem = value % block;
+    const std::uint64_t digit = rem / scale_below;
+    if (digit > static_cast<std::uint64_t>(new_max)) return false;
+    out_idx =
+        rem % scale_below + digit * scale_below + high * (scale_below * radix_new) - 1;
+    return true;
+  };
+
+  // Surviving wide candidates and their staircase E: the exactness screen
+  // below compares every survivor against E's slope envelope.
+  std::vector<Entry> surviving;
+  surviving.reserve(old_store.candidates.size());
+  for (const Entry& candidate : old_store.candidates) {
+    std::uint64_t remapped = 0;
+    if (remap(candidate.config_index, remapped))
+      surviving.push_back({candidate.u, candidate.cu, remapped});
+  }
+  const std::vector<Entry> screen_stairs = staircase_filter(surviving);
+  const std::vector<double> screen_sm = slope_suffix_min(screen_stairs);
+
+  // One pass over the point store: drop non-survivors, keep strip order
+  // (which preserves in-strip walk order under a monotone remap), and
+  // screen for points the true new staircase could keep. A survivor can be
+  // kept by a from-scratch filter only if its slope is within kSlopeMargin
+  // of the envelope over survivors ABOVE it, which E's suffix-min bounds
+  // from above — so filtering (surviving candidates + screened extras)
+  // reproduces the from-scratch staircase exactly, no envelope-rise
+  // heuristics needed. The screen admits everything above E's top entry
+  // (suffix-min +inf), which covers the new global-max-U region.
+  auto next = std::make_shared<GridStore>();
+  next->grid = grid;
+  next->u_fences = old_store.u_fences;
+  next->s_fences = old_store.s_fences;
+  next->anchor_hourly = old_store.anchor_hourly;
+  next->u_offsets.assign(grid + 1, 0);
+  std::vector<Entry> extras;
+  for (std::size_t i = 0; i < grid; ++i) {
+    next->u_offsets[i] = next->pu_u.size();
+    for (std::uint64_t p = old_store.u_offsets[i];
+         p < old_store.u_offsets[i + 1]; ++p) {
+      std::uint64_t remapped = 0;
+      if (!remap(old_store.pu_idx[p], remapped)) continue;
+      const double u = old_store.pu_u[p];
+      const double cu = old_store.pu_cu[p];
+      next->pu_u.push_back(u);
+      next->pu_cu.push_back(cu);
+      next->pu_idx.push_back(remapped);
+      const double env = screen_sm[frontier_above(screen_stairs, u)];
+      if (cu / u <= env * (1.0 + kRetestSlack)) {
+        if (extras.size() >= kMaxScreened) return std::nullopt;
+        extras.push_back({u, cu, remapped});
+      }
+    }
+  }
+  next->u_offsets[grid] = next->pu_u.size();
+  next->rebuild_s_grouping();
+  next->recount_matrix();
+
+  surviving.insert(surviving.end(), extras.begin(), extras.end());
+
+  FrontierIndex out;
+  out.max_counts_ = max_counts_;
+  out.max_counts_[type] = new_max;
+  out.rates_ = rates_;
+  out.hourly_ = hourly_;
+  out.total_ = (total_ + 1) / radix_old * radix_new - 1;
+  out.positive_ = next->pu_u.size();
+  out.grid_ = grid;
+  out.frontier_ = staircase_filter(std::move(surviving));
+  // The result is a fresh anchor: reselect W so further deltas chain.
+  next->select_candidates(out.frontier_);
+  out.store_ = std::move(next);
+  return out;
+}
+
+std::optional<FrontierIndex> FrontierIndex::with_limit(
+    std::size_t type, int new_max, const cloud::Catalog& to) const {
+  const std::size_t width = max_counts_.size();
+  if (to.size() != width || type >= width) return std::nullopt;
+  const std::span<const double> to_hourly = to.hourly_costs();
+  for (std::size_t i = 0; i < width; ++i)
+    if (to_hourly[i] != hourly_[i]) return std::nullopt;
+  const std::vector<int>& to_limits = to.limits();
+  for (std::size_t i = 0; i < width; ++i) {
+    const int expected = i == type ? new_max : max_counts_[i];
+    if (to_limits[i] != expected) return std::nullopt;
+  }
+  std::optional<FrontierIndex> out = with_limit(type, new_max);
+  if (out) out->catalog_fingerprint_ = to.fingerprint();
+  return out;
+}
+
+// --- Queries ---------------------------------------------------------------
+
 std::uint64_t FrontierIndex::count_feasible(double demand,
                                             double deadline_seconds,
                                             double budget_dollars) const {
   const std::size_t grid = grid_;
   if (grid == 0 || positive_ == 0) return 0;
+  const GridStore& store = *store_;
 
   // First u-fence meeting the deadline: strips >= m pass it wholly (exact:
-  // division is monotone), strip m-1 is the single partial strip, strips
-  // below fail wholly. m >= 1 always because u_fences_[0] = 0.
+  // division is monotone, and U does not depend on prices), strip m-1 is
+  // the single partial strip, strips below fail wholly. m >= 1 always
+  // because u_fences[0] = 0.
   const std::size_t m =
       static_cast<std::size_t>(
-          std::partition_point(u_fences_.begin(), u_fences_.end(),
+          std::partition_point(store.u_fences.begin(), store.u_fences.end(),
                                [&](double fence) {
                                  return !(demand / fence < deadline_seconds);
                                }) -
-          u_fences_.begin());
+          store.u_fences.begin());
   if (m > grid) return 0;  // not even unbounded capacity meets the deadline
 
-  // First s-fence failing the budget in slope form (cost ~ D/3600 * s):
-  // strips < jm-1 pass wholly, strip jm-1 is partial, the rest fail.
   const double hscale = demand / 3600.0;
-  const std::size_t jm =
-      static_cast<std::size_t>(
-          std::partition_point(
-              s_fences_.begin(), s_fences_.end(),
-              [&](double fence) { return hscale * fence < budget_dollars; }) -
-          s_fences_.begin());
-
   const std::size_t width = grid + 1;
-  std::uint64_t count = matrix_[m * width + (jm == 0 ? 0 : jm - 1)];
+  std::uint64_t count = 0;
 
-  // Partial u-strip m-1: exact per-point predicates.
-  for (std::uint64_t p = u_offsets_[m - 1]; p < u_offsets_[m]; ++p) {
-    const PointUC& point = by_u_strip_[p];
-    const double seconds = demand / point.u;
-    if (!(seconds < deadline_seconds)) continue;
-    const double cost = seconds / 3600.0 * point.cu;
-    if (cost < budget_dollars) ++count;
+  if (!repriced_) {
+    // First s-fence failing the budget in slope form (cost ~ D/3600 * s):
+    // strips < jm-1 pass wholly, strip jm-1 is partial, the rest fail.
+    const std::size_t jm =
+        static_cast<std::size_t>(
+            std::partition_point(
+                store.s_fences.begin(), store.s_fences.end(),
+                [&](double fence) { return hscale * fence < budget_dollars; }) -
+            store.s_fences.begin());
+    count = store.matrix[m * width + (jm == 0 ? 0 : jm - 1)];
+
+    // Partial u-strip m-1: exact per-point predicates.
+    for (std::uint64_t p = store.u_offsets[m - 1]; p < store.u_offsets[m];
+         ++p) {
+      const double seconds = demand / store.pu_u[p];
+      if (!(seconds < deadline_seconds)) continue;
+      const double cost = seconds / 3600.0 * store.pu_cu[p];
+      if (cost < budget_dollars) ++count;
+    }
+
+    // Partial s-strip jm-1, restricted to whole-passing u-strips (u >=
+    // u_fences[m] excludes strip m-1, already counted above).
+    if (jm >= 1) {
+      const double u_min = store.u_fences[m];
+      for (std::uint64_t p = store.s_offsets[jm - 1]; p < store.s_offsets[jm];
+           ++p) {
+        const std::uint32_t pos = store.ps_pos[p];
+        const double u = store.pu_u[pos];
+        if (!(u >= u_min)) continue;
+        const double seconds = demand / u;
+        if (!(seconds < deadline_seconds)) continue;
+        const double cost = seconds / 3600.0 * store.pu_cu[pos];
+        if (cost < budget_dollars) ++count;
+      }
+    }
+    return count;
   }
 
-  // Partial s-strip jm-1, restricted to whole-passing u-strips (u >=
-  // u_fences_[m] excludes strip m-1, already counted above).
-  if (jm >= 1) {
-    const double u_min = u_fences_[m];
-    for (std::uint64_t p = s_offsets_[jm - 1]; p < s_offsets_[jm]; ++p) {
-      const PointUC& point = by_s_strip_[p];
-      if (!(point.u >= u_min)) continue;
-      const double seconds = demand / point.u;
+  // Repriced: the grid's slopes are ANCHOR-priced while the budget must be
+  // judged at the current prices. Any point's current cost lies within
+  // [rho_lo, rho_hi] (x fold-rounding slack) of its anchor cost, so strips
+  // whose anchor-slope fences clear the budget by more than the band are
+  // counted in bulk, and only the band-straddling middle strips are
+  // re-tested per point with the EXACT fold-derived current cost.
+  const ConfigurationSpace space(max_counts_);
+  std::vector<int> digits(max_counts_.size());
+  const auto current_cost = [&](std::uint32_t pos, double seconds) {
+    space.decode_into(store.pu_idx[pos], digits);
+    return seconds / 3600.0 * SweepPlan::fold_value(digits, hourly_);
+  };
+
+  const double pass_scale = rho_hi_ * (1.0 + kRetestSlack);
+  const double fail_scale = rho_lo_ * (1.0 - kRetestSlack);
+  // Certainly-passing strips [0, j_hi - 1): every point's current cost is
+  // below budget for sure; j_fail = first certainly-failing strip.
+  const std::size_t j_hi =
+      static_cast<std::size_t>(
+          std::partition_point(store.s_fences.begin(), store.s_fences.end(),
+                               [&](double fence) {
+                                 return hscale * fence * pass_scale <
+                                        budget_dollars;
+                               }) -
+          store.s_fences.begin());
+  const std::size_t j_fail =
+      static_cast<std::size_t>(
+          std::partition_point(store.s_fences.begin(), store.s_fences.end(),
+                               [&](double fence) {
+                                 return !(hscale * fence * fail_scale >=
+                                          budget_dollars);
+                               }) -
+          store.s_fences.begin());
+
+  const std::size_t j_bulk = j_hi == 0 ? 0 : j_hi - 1;
+  count = store.matrix[m * width + j_bulk];
+
+  // Partial u-strip m-1: full per-point retest at current prices.
+  for (std::uint64_t p = store.u_offsets[m - 1]; p < store.u_offsets[m]; ++p) {
+    const double seconds = demand / store.pu_u[p];
+    if (!(seconds < deadline_seconds)) continue;
+    // pu lanes and ps_pos address the same arrays: p IS a position here.
+    if (current_cost(static_cast<std::uint32_t>(p), seconds) < budget_dollars)
+      ++count;
+  }
+
+  // Band-straddling s-strips [j_bulk, j_fail): per-point retest, skipping
+  // u-strip m-1 (covered above) and wholly-failing u-strips.
+  const double u_min = store.u_fences[m];
+  for (std::size_t j = j_bulk; j < std::min(j_fail, grid); ++j) {
+    for (std::uint64_t p = store.s_offsets[j]; p < store.s_offsets[j + 1];
+         ++p) {
+      const std::uint32_t pos = store.ps_pos[p];
+      const double u = store.pu_u[pos];
+      if (!(u >= u_min)) continue;
+      const double seconds = demand / u;
       if (!(seconds < deadline_seconds)) continue;
-      const double cost = seconds / 3600.0 * point.cu;
-      if (cost < budget_dollars) ++count;
+      if (current_cost(pos, seconds) < budget_dollars) ++count;
     }
   }
   return count;
@@ -444,12 +924,11 @@ SweepResult FrontierIndex::query_impl(double demand,
 }
 
 std::size_t FrontierIndex::memory_bytes() const {
-  return frontier_.capacity() * sizeof(Entry) +
-         (by_u_strip_.capacity() + by_s_strip_.capacity()) * sizeof(PointUC) +
-         matrix_.capacity() * sizeof(std::uint64_t) +
-         (u_fences_.capacity() + s_fences_.capacity()) * sizeof(double) +
-         (u_offsets_.capacity() + s_offsets_.capacity()) *
-             sizeof(std::uint64_t);
+  std::size_t bytes = frontier_.capacity() * sizeof(Entry);
+  // A repriced index SHARES its anchor's store; charging the shared bytes
+  // to the anchor alone keeps cache accounting from double-counting.
+  if (store_ && !repriced_) bytes += store_->bytes();
+  return bytes;
 }
 
 bool FrontierIndex::matches(const ConfigurationSpace& space,

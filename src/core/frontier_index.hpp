@@ -37,9 +37,36 @@
 //
 // Risk-aware queries (confidence_z > 0) change the effective capacity per
 // configuration and keep the sweep path; see SweepOptions.
+//
+// DELTA MAINTENANCE (see DESIGN.md §13): the build also records a compact
+// structure-of-arrays point store (per-strip U/Cu/config-index lanes) and
+// a WIDE staircase candidate set — every point whose anchor slope is
+// within kWideKappa of the staircase envelope at its capacity. Two catalog
+// edits can then be absorbed without re-walking the space:
+//
+//  * repriced(): price-only changes whose per-type ratios to the ANCHOR
+//    prices stay inside a bounded band. The new staircase is recomputed
+//    from the candidate set with each candidate's Cu re-derived by the
+//    canonical walk fold (bit-identical to what a from-scratch build's
+//    walk would produce), and a closure argument over the band guarantees
+//    every from-scratch survivor is a candidate — so the delta staircase
+//    equals the from-scratch staircase bit for bit. Feasible counts reuse
+//    the anchor grid: s-strips that certainly pass/fail under the ratio
+//    band are counted in bulk, the narrow middle band is re-tested
+//    per-point with exact fold-derived costs.
+//  * with_limit(): a single type's limit DECREASE. Configuration indexes
+//    remap monotonically, so the point store is filtered in place and the
+//    grid recounted without a walk; the staircase is re-filtered from the
+//    surviving candidates and verified against an envelope-rise bound
+//    (if dropping points uncovered configurations outside the candidate
+//    set, the delta refuses and the caller falls back to a full rebuild).
+//
+// Both return std::nullopt whenever the edit falls outside their provable
+// envelope; callers (PlannerEngine) treat nullopt as "full rebuild".
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -122,6 +149,53 @@ class FrontierIndex {
   /// index was built from an ad-hoc hourly-cost span (unpinned).
   std::uint64_t catalog_fingerprint() const { return catalog_fingerprint_; }
 
+  /// Order-sensitive FNV-1a over the index's observable content: model
+  /// identity (max_counts, rates, hourly prices), catalog pin, totals and
+  /// every staircase entry's bits. Grid internals (fences, strip layout)
+  /// are excluded — they only steer the exact counting partition, so a
+  /// delta-maintained index and a from-scratch build are equal iff their
+  /// content fingerprints (and hence frontiers, bit for bit) are equal.
+  std::uint64_t content_fingerprint() const;
+
+  // --- Delta maintenance ---------------------------------------------------
+
+  /// True when the build retained the point store + wide candidate set
+  /// that repriced()/with_limit() need (a degenerate space can exceed the
+  /// candidate cap, in which case deltas refuse and callers rebuild).
+  bool delta_capable() const;
+
+  /// True for an index produced by repriced() (its point store still
+  /// carries the anchor prices; with_limit() requires a pristine index).
+  bool is_repriced() const;
+
+  /// Price-only delta: same space, same rates, new hourly prices. Returns
+  /// an index answering queries bit-identically to a from-scratch build at
+  /// `new_hourly`, or nullopt when the edit is not provably coverable
+  /// (width mismatch, ratio band vs the anchor prices exceeded, zero/
+  /// negative prices, or delta_capable() is false). O(candidates), never
+  /// walks the space.
+  std::optional<FrontierIndex> repriced(
+      std::span<const double> new_hourly) const;
+
+  /// Catalog form: additionally requires an identical catalog STRUCTURE
+  /// (types + limits) and pins the result to `to.fingerprint()`.
+  std::optional<FrontierIndex> repriced(const cloud::Catalog& to) const;
+
+  /// Single-axis delta: type `type`'s instance limit decreases to
+  /// `new_max`. Filters + remaps the point store (one pass, no walk),
+  /// recounts the grid and re-filters the staircase from the surviving
+  /// candidates. Returns nullopt when the edit is an increase, the index
+  /// is repriced or not delta-capable, the shrunken space is empty, or
+  /// the envelope-rise verification cannot prove the filtered candidate
+  /// set still covers the new staircase.
+  std::optional<FrontierIndex> with_limit(std::size_t type, int new_max) const;
+
+  /// Catalog form of with_limit: `to` must differ from the anchor catalog
+  /// only in type `type`'s limit (same types, same prices); pins the
+  /// result to `to.fingerprint()`.
+  std::optional<FrontierIndex> with_limit(std::size_t type, int new_max,
+                                          const cloud::Catalog& to) const;
+
   /// True when the index was built for exactly this model.
   bool matches(const ConfigurationSpace& space,
                const ResourceCapacity& capacity,
@@ -136,10 +210,10 @@ class FrontierIndex {
                std::uint64_t catalog_fingerprint) const;
 
  private:
-  struct PointUC {
-    double u = 0.0;
-    double cu = 0.0;
-  };
+  // Counting grid + SoA point store + wide candidate set, built once and
+  // shared immutably between an anchor index and every index delta-derived
+  // from it (a reprice must not copy hundreds of MB). Defined in the .cpp.
+  struct GridStore;
 
   FrontierIndex() = default;
 
@@ -159,17 +233,15 @@ class FrontierIndex {
 
   std::vector<Entry> frontier_;
 
-  // Counting grid: fences[0] = 0 and fences[grid_] = +inf sentinel each
-  // axis; matrix_[i*(grid_+1)+j] = #points with u-strip >= i, s-strip < j;
-  // by_*_strip_ hold the (U, Cu) points grouped by strip via *_offsets_.
   std::size_t grid_ = 0;
-  std::vector<double> u_fences_;
-  std::vector<double> s_fences_;
-  std::vector<std::uint64_t> u_offsets_;
-  std::vector<std::uint64_t> s_offsets_;
-  std::vector<PointUC> by_u_strip_;
-  std::vector<PointUC> by_s_strip_;
-  std::vector<std::uint64_t> matrix_;
+  std::shared_ptr<const GridStore> store_;
+
+  // Reprice state: when repriced_, `hourly_` holds the current prices
+  // while store_ still carries the anchor ones; [rho_lo_, rho_hi_] bounds
+  // every per-type price ratio current/anchor (used by the banded count).
+  bool repriced_ = false;
+  double rho_lo_ = 1.0;
+  double rho_hi_ = 1.0;
 };
 
 /// Process-wide index cache (small LRU keyed by (catalog fingerprint,

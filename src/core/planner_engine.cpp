@@ -33,6 +33,22 @@ struct EngineCounters {
   obs::Counter& evictions = obs::counter(
       "celia_planner_engine_index_evictions_total",
       "Cached FrontierIndexes evicted by the LRU memory bound");
+  obs::Counter& replaces = obs::counter(
+      "celia_planner_engine_catalog_replaces_total",
+      "Catalog snapshots replaced under an existing PlannerEngine name");
+  obs::Counter& delta_rescale = obs::counter(
+      "celia_planner_engine_delta_rescale_total",
+      "Catalog replaces classified as price-only: cached staircases "
+      "rescaled without a walk (FrontierIndex::repriced)");
+  obs::Counter& delta_axis = obs::counter(
+      "celia_planner_engine_delta_axis_total",
+      "Catalog replaces classified as a single-type limit decrease: cached "
+      "indexes filtered along the one affected axis "
+      "(FrontierIndex::with_limit)");
+  obs::Counter& delta_rebuild = obs::counter(
+      "celia_planner_engine_delta_rebuild_total",
+      "Catalog replaces classified as structural: cached indexes dropped, "
+      "the next query rebuilds from scratch");
 };
 
 EngineCounters& engine_counters() {
@@ -89,6 +105,47 @@ void remap_result(SweepResult& result, const ConfigurationSpace& truncated,
   for (CostTimePoint& point : result.feasible_points) remap(point);
 }
 
+/// Classification of one catalog replace (see add_catalog's doc comment).
+struct ReplaceEdit {
+  enum class Kind { kRescale, kAxis, kRebuild } kind = Kind::kRebuild;
+  std::size_t axis_type = 0;  // kAxis only
+  int axis_max = 0;           // kAxis only
+};
+
+ReplaceEdit classify_replace(const cloud::Catalog& from,
+                             const cloud::Catalog& to) {
+  ReplaceEdit edit;
+  // Price-only: the price-free identity (types + limits) is unchanged.
+  // Covers the trivial replace-with-identical-catalog case too.
+  if (from.structure_fingerprint() == to.structure_fingerprint()) {
+    edit.kind = ReplaceEdit::Kind::kRescale;
+    return edit;
+  }
+  if (from.size() != to.size()) return edit;
+  const std::span<const double> from_prices = from.hourly_costs();
+  const std::span<const double> to_prices = to.hourly_costs();
+  for (std::size_t i = 0; i < from.size(); ++i)
+    if (from_prices[i] != to_prices[i]) return edit;
+  // Exactly one limit changed, and it decreased.
+  std::size_t changed = from.size();
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from.limit(i) == to.limit(i)) continue;
+    if (changed != from.size()) return edit;  // second differing limit
+    changed = i;
+  }
+  if (changed == from.size() || to.limit(changed) >= from.limit(changed))
+    return edit;
+  // Same TYPES: re-deriving `from`'s structure at `to`'s limits must land
+  // on `to`'s structure fingerprint (the hash covers types + limits).
+  if (from.with_limits(to.name(), to.region(), to.limits())
+          .structure_fingerprint() != to.structure_fingerprint())
+    return edit;
+  edit.kind = ReplaceEdit::Kind::kAxis;
+  edit.axis_type = changed;
+  edit.axis_max = to.limit(changed);
+  return edit;
+}
+
 }  // namespace
 
 void PlannerEngine::add_catalog(std::string name,
@@ -110,8 +167,53 @@ void PlannerEngine::add_catalog(std::string name,
   if (!replace)
     throw std::invalid_argument("PlannerEngine: catalog '" + name +
                                 "' is already registered");
-  const std::uint64_t old_fingerprint = it->second->fingerprint();
-  it->second = std::move(catalog);
+
+  EngineCounters& counters = engine_counters();
+  counters.replaces.add(1);
+  const std::shared_ptr<const cloud::Catalog> old_snapshot = it->second;
+  const std::uint64_t old_fingerprint = old_snapshot->fingerprint();
+  const std::uint64_t new_fingerprint = catalog->fingerprint();
+  it->second = catalog;
+
+  const ReplaceEdit edit = classify_replace(*old_snapshot, *catalog);
+  switch (edit.kind) {
+    case ReplaceEdit::Kind::kRescale:
+      counters.delta_rescale.add(1);
+      break;
+    case ReplaceEdit::Kind::kAxis:
+      counters.delta_axis.add(1);
+      break;
+    case ReplaceEdit::Kind::kRebuild:
+      counters.delta_rebuild.add(1);
+      break;
+  }
+
+  // Delta-derive indexes for the new snapshot from the old snapshot's
+  // cached ones — no configuration walk. An entry whose delta refuses
+  // (nullopt) is simply not derived; it gets evicted below and the next
+  // query rebuilds.
+  if (new_fingerprint != old_fingerprint &&
+      edit.kind != ReplaceEdit::Kind::kRebuild) {
+    std::vector<CachedIndex> derived;
+    for (const CachedIndex& cached : indexes_) {
+      if (cached.catalog_fingerprint != old_fingerprint) continue;
+      std::optional<FrontierIndex> next =
+          edit.kind == ReplaceEdit::Kind::kRescale
+              ? cached.index->repriced(*catalog)
+              : cached.index->with_limit(edit.axis_type, edit.axis_max,
+                                         *catalog);
+      if (!next) continue;
+      auto built = std::make_shared<const FrontierIndex>(std::move(*next));
+      const std::size_t bytes = built->memory_bytes();
+      derived.push_back({new_fingerprint, std::move(built), bytes, 0});
+    }
+    for (CachedIndex& entry : derived) {
+      entry.last_used = ++use_tick_;
+      cache_bytes_ += entry.bytes;
+      indexes_.push_back(std::move(entry));
+    }
+  }
+
   // Drop the replaced snapshot's cached indexes, unless another name still
   // serves the same catalog (same full fingerprint = same prices + identity).
   const bool still_referenced = std::any_of(
@@ -120,8 +222,26 @@ void PlannerEngine::add_catalog(std::string name,
       });
   if (!still_referenced) {
     std::erase_if(indexes_, [&](const CachedIndex& cached) {
-      return cached.catalog_fingerprint == old_fingerprint;
+      if (cached.catalog_fingerprint != old_fingerprint) return false;
+      cache_bytes_ -= cached.bytes;
+      return true;
     });
+  }
+  evict_lru_locked();
+}
+
+void PlannerEngine::evict_lru_locked() {
+  while (options_.max_index_cache_bytes > 0 &&
+         cache_bytes_ > options_.max_index_cache_bytes &&
+         indexes_.size() > 1) {
+    const auto victim = std::min_element(
+        indexes_.begin(), indexes_.end(),
+        [](const CachedIndex& a, const CachedIndex& b) {
+          return a.last_used < b.last_used;
+        });
+    cache_bytes_ -= victim->bytes;
+    indexes_.erase(victim);
+    engine_counters().evictions.add(1);
   }
 }
 
@@ -284,18 +404,7 @@ SweepResult PlannerEngine::plan_impl(const cloud::Catalog& catalog,
       // inserted is the most recently used, so it survives even when it
       // alone exceeds the bound (an engine must always be able to serve
       // its newest catalog).
-      while (options_.max_index_cache_bytes > 0 &&
-             cache_bytes_ > options_.max_index_cache_bytes &&
-             indexes_.size() > 1) {
-        const auto victim = std::min_element(
-            indexes_.begin(), indexes_.end(),
-            [](const CachedIndex& a, const CachedIndex& b) {
-              return a.last_used < b.last_used;
-            });
-        cache_bytes_ -= victim->bytes;
-        indexes_.erase(victim);
-        counters.evictions.add(1);
-      }
+      evict_lru_locked();
     }
   }
 

@@ -93,8 +93,28 @@ class PlannerEngine {
 
   /// Register a catalog snapshot under `name`. Throws std::invalid_argument
   /// on a null catalog or empty name, and on a duplicate name unless
-  /// `replace` is true (replacing drops the old snapshot's cached indexes
-  /// only when no other name still points at the same catalog).
+  /// `replace` is true.
+  ///
+  /// A replace classifies the old -> new catalog edit and maintains the
+  /// index cache INCREMENTALLY instead of always evicting and rebuilding:
+  ///
+  ///   * price-only (equal structure fingerprints): every cached index of
+  ///     the old snapshot is rescaled in place via FrontierIndex::repriced
+  ///     — no configuration walk (celia_planner_engine_delta_rescale_total);
+  ///   * one type's limit DECREASED, same types and prices: cached indexes
+  ///     are filtered along that single axis via FrontierIndex::with_limit
+  ///     (celia_planner_engine_delta_axis_total);
+  ///   * anything else is structural: cached indexes are dropped and the
+  ///     next query rebuilds (celia_planner_engine_delta_rebuild_total).
+  ///
+  /// Exactly one of the three counters increments per replace, so
+  /// rescale + axis + rebuild == celia_planner_engine_catalog_replaces_total
+  /// always holds. A delta that refuses (FrontierIndex returns nullopt —
+  /// e.g. price ratios outside the provable band, or with_limit on an
+  /// already-repriced index) silently falls back to eviction for that
+  /// entry; the classification counter records the EDIT, not the per-entry
+  /// outcome. The old snapshot's cached indexes are only dropped when no
+  /// other name still points at the same catalog.
   void add_catalog(std::string name,
                    std::shared_ptr<const cloud::Catalog> catalog,
                    bool replace = false);
@@ -143,6 +163,10 @@ class PlannerEngine {
 
   std::shared_ptr<const cloud::Catalog> catalog_locked(
       std::string_view name) const;
+
+  /// Evict least-recently-used cached indexes until the cache fits
+  /// options_.max_index_cache_bytes (mutex_ must be held).
+  void evict_lru_locked();
 
   SweepResult plan_impl(const cloud::Catalog& catalog,
                         const ConfigurationSpace& space,

@@ -22,6 +22,17 @@ Query Query::make(const apps::DemandVector& demand,
   return query;
 }
 
+Query Query::make(const apps::DemandVector& demand,
+                  const apps::DemandDimensions& schema,
+                  const Constraints& constraints, SweepOptions options) {
+  validate_query(demand, constraints, &schema);
+  Query query;
+  query.demand_ = demand;
+  query.constraints_ = constraints;
+  query.options_ = options;
+  return query;
+}
+
 Query Query::with_options(SweepOptions options) const {
   Query query = *this;
   query.options_ = options;

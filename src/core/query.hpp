@@ -33,6 +33,16 @@ class Query {
   static Query make(const apps::DemandVector& demand,
                     const Constraints& constraints, SweepOptions options = {});
 
+  /// Vector form with the demand's DIMENSION SCHEMA attached: the vector's
+  /// width must match `schema`, and every rejection — width mismatch, a
+  /// bad component, risk-aware multi-dimensional selection — names the
+  /// offending dimension names (schema.describe()) instead of bare
+  /// indices, so a caller juggling several schemas can see WHICH one was
+  /// mis-queried.
+  static Query make(const apps::DemandVector& demand,
+                    const apps::DemandDimensions& schema,
+                    const Constraints& constraints, SweepOptions options = {});
+
   /// Scalar view: dimension 0 (instructions) — the full demand for 1-D
   /// queries, which is every query the legacy entry points produce.
   double demand() const noexcept { return demand_.values[0]; }

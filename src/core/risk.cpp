@@ -1,10 +1,14 @@
 #include "core/risk.hpp"
 
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 
 #include "cloud/catalog.hpp"
+#include "core/simd.hpp"
+#include "core/sweep_plan.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/stats.hpp"
 
@@ -64,6 +68,19 @@ std::optional<CostTimePoint> robust_min_cost(
   const double ln_confidence = std::log(spec.confidence);
   const double ln_median = std::log(spec.median_factor);
 
+  // The risk walk IS the sweep walk: the same SweepPlan lanes (so kNone
+  // reproduces sweep()'s doubles bit for bit) plus the exact integer
+  // `instances` lane that feeds kBottleneck's lognormal tail bound.
+  const SweepPlan plan(space, rates, hourly, var_terms,
+                       /*track_instances=*/true);
+  const bool use_kernel = spec.model == RiskModel::kNone;
+  simd::ClassifyParams params;
+  params.demand = demand;
+  params.deadline = deadline_seconds;
+  // kNone has no budget cut: +inf never rejects a finite cost, so the
+  // shared classify kernel answers `u > 0 && demand / u < deadline`.
+  params.budget = std::numeric_limits<double>::infinity();
+
   std::mutex merge_mutex;
   std::optional<CostTimePoint> best;
 
@@ -73,19 +90,14 @@ std::optional<CostTimePoint> robust_min_cost(
       0, space.size(),
       [&](parallel::BlockedRange range) {
         if (range.empty()) return;
-        // Suffix-sum walk mirroring detail::walk_range's arithmetic
-        // exactly, so kNone reproduces sweep()'s doubles bit for bit; the
-        // extra `instances` channel (exact integer) feeds kBottleneck.
-        const auto& max_counts = space.max_counts();
-        std::vector<int> digits(m);
-        space.decode_into(range.begin, digits);
-        const double rate0 = rates[0];
-        const double hourly0 = hourly[0];
-        const double var0 = var_terms[0];
-        const std::uint64_t row_radix =
-            static_cast<std::uint64_t>(max_counts[0]) + 1;
-
         std::optional<CostTimePoint> local;
+        const auto note = [&](std::uint64_t index, double seconds,
+                              double cost) {
+          if (!local || cost < local->cost ||
+              (cost == local->cost && seconds < local->seconds)) {
+            local = CostTimePoint{index, seconds, cost};
+          }
+        };
         const auto consider = [&](std::uint64_t index, double u, double cu,
                                   double v, int instances) {
           if (u <= 0) return;
@@ -117,64 +129,40 @@ std::optional<CostTimePoint> robust_min_cost(
           if (feasible) {
             const double seconds = demand / u;  // deterministic quote
             const double cost = seconds / 3600.0 * cu;
-            if (!local || cost < local->cost ||
-                (cost == local->cost && seconds < local->seconds)) {
-              local = CostTimePoint{index, seconds, cost};
-            }
+            note(index, seconds, cost);
           }
         };
 
-        std::vector<double> su(m + 1, 0.0), scu(m + 1, 0.0), sv(m + 1, 0.0);
-        std::vector<int> si(m + 1, 0);
-        for (std::size_t i = m; i-- > 1;) {
-          su[i] = su[i + 1] + digits[i] * rates[i];
-          scu[i] = scu[i + 1] + digits[i] * hourly[i];
-          sv[i] = sv[i + 1] + digits[i] * var_terms[i];
-          si[i] = si[i + 1] + digits[i];
-        }
-
-        std::uint64_t index = range.begin;
-        for (;;) {
-          double u = su[1], cu = scu[1], v = sv[1];
-          int instances = si[1];
-          const auto k_begin = static_cast<std::uint64_t>(digits[0]);
-          for (std::uint64_t k = 0; k < k_begin; ++k) {
-            u += rate0;
-            cu += hourly0;
-            v += var0;
-            ++instances;
-          }
-          const std::uint64_t steps =
-              std::min<std::uint64_t>(row_radix - k_begin, range.end - index);
-          for (std::uint64_t j = 0; j < steps; ++j) {
-            consider(index + j, u, cu, v, instances);
-            u += rate0;
-            cu += hourly0;
-            v += var0;
-            ++instances;
-          }
-          index += steps;
-          if (index >= range.end) break;
-          digits[0] = 0;
-          std::size_t i = 1;
-          for (; i < m; ++i) {
-            if (digits[i] < max_counts[i]) {
-              ++digits[i];
-              break;
+        const simd::Kernels& kernels = simd::active_kernels();
+        std::vector<double> seconds(use_kernel ? SweepPlan::kBatch : 0);
+        std::vector<double> cost(use_kernel ? SweepPlan::kBatch : 0);
+        std::vector<std::uint64_t> mask(use_kernel ? SweepPlan::kBatch / 64
+                                                   : 0);
+        plan.walk(range, [&](std::uint64_t first, std::size_t n,
+                             const SweepPlan::Lanes& lanes) {
+          if (use_kernel) {
+            const std::size_t hits =
+                kernels.classify(lanes.u(), lanes.cu, n, params,
+                                 seconds.data(), cost.data(), mask.data());
+            if (hits == 0) return;
+            for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
+              std::uint64_t bits = mask[w];
+              while (bits != 0) {
+                const std::size_t j =
+                    w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                note(first + j, seconds[j], cost[j]);
+              }
             }
-            digits[i] = 0;
+            return;
           }
-          su[i] = su[i + 1] + digits[i] * rates[i];
-          scu[i] = scu[i + 1] + digits[i] * hourly[i];
-          sv[i] = sv[i + 1] + digits[i] * var_terms[i];
-          si[i] = si[i + 1] + digits[i];
-          for (std::size_t t = i; t-- > 1;) {
-            su[t] = su[t + 1];
-            scu[t] = scu[t + 1];
-            sv[t] = sv[t + 1];
-            si[t] = si[t + 1];
+          const double* u = lanes.u();
+          const double* v = lanes.v;  // nullptr when var_terms is all-zero
+          for (std::size_t j = 0; j < n; ++j) {
+            consider(first + j, u[j], lanes.cu[j], v != nullptr ? v[j] : 0.0,
+                     lanes.instances[j]);
           }
-        }
+        });
 
         if (local) {
           std::lock_guard<std::mutex> lock(merge_mutex);

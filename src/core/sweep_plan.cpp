@@ -1,0 +1,81 @@
+#include "core/sweep_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace celia::core {
+
+namespace {
+
+bool all_zero(std::span<const double> values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](double v) { return v == 0.0; });
+}
+
+}  // namespace
+
+SweepPlan::SweepPlan(const ConfigurationSpace& space,
+                     std::span<const double> rates,
+                     std::span<const double> hourly,
+                     std::span<const double> var_terms, bool track_instances)
+    : space_(&space),
+      num_types_(space.num_types()),
+      dims_(1),
+      track_instances_(track_instances) {
+  if (rates.size() != num_types_ || hourly.size() != num_types_) {
+    throw std::invalid_argument(
+        "SweepPlan: rates/hourly width must match the configuration space");
+  }
+  if (!var_terms.empty() && var_terms.size() != num_types_) {
+    throw std::invalid_argument(
+        "SweepPlan: var_terms width must match the configuration space");
+  }
+  rates_.assign(rates.begin(), rates.end());
+  hourly_.assign(hourly.begin(), hourly.end());
+  has_var_ = !var_terms.empty() && !all_zero(var_terms);
+  if (has_var_) var_terms_.assign(var_terms.begin(), var_terms.end());
+}
+
+SweepPlan::SweepPlan(const ConfigurationSpace& space,
+                     std::span<const std::vector<double>> rate_rows,
+                     std::span<const double> hourly, bool track_instances)
+    : space_(&space),
+      num_types_(space.num_types()),
+      dims_(rate_rows.size()),
+      track_instances_(track_instances) {
+  if (dims_ == 0) {
+    throw std::invalid_argument("SweepPlan: at least one rate row required");
+  }
+  if (hourly.size() != num_types_) {
+    throw std::invalid_argument(
+        "SweepPlan: hourly width must match the configuration space");
+  }
+  rates_.reserve(dims_ * num_types_);
+  for (const auto& row : rate_rows) {
+    if (row.size() != num_types_) {
+      throw std::invalid_argument(
+          "SweepPlan: every rate row must match the configuration space");
+    }
+    rates_.insert(rates_.end(), row.begin(), row.end());
+  }
+  hourly_.assign(hourly.begin(), hourly.end());
+}
+
+double SweepPlan::fold_tail(std::span<const int> digits,
+                            std::span<const double> weights) {
+  double acc = 0.0;
+  for (std::size_t i = digits.size(); i-- > 1;) {
+    acc = acc + digits[i] * weights[i];
+  }
+  return acc;
+}
+
+double SweepPlan::fold_value(std::span<const int> digits,
+                             std::span<const double> weights) {
+  double acc = fold_tail(digits, weights);
+  const double w0 = weights[0];
+  for (int k = 0; k < digits[0]; ++k) acc += w0;
+  return acc;
+}
+
+}  // namespace celia::core

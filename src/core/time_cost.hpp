@@ -12,6 +12,13 @@
 // W_{i,d} — and predict_vector() additionally reports WHICH dimension
 // binds (the argmax), which is what celia_planner --dimensions prints per
 // frontier point. The 1-D case degenerates to the scalar forms above.
+//
+// predict() is also the REFERENCE SEMANTICS for the batched classify
+// kernels in core/simd.hpp: every dispatch level evaluates
+// `s = D / U; c = s / 3600 * C_j,u` in exactly this operation order so
+// sweep results are bit-identical across scalar/SSE2/AVX2 (pinned by
+// hexfloat goldens). Changing the arithmetic here without mirroring it
+// in the kernels — or vice versa — breaks that contract.
 
 #include <span>
 #include <string>

@@ -112,6 +112,15 @@ TEST(Oltp, RegistryNamesAndAliases) {
   EXPECT_EQ(celia::apps::all_apps().size(), 3u);
 }
 
+TEST(Oltp, DimensionSchemaDescribesItselfForDiagnostics) {
+  // describe() is what schema-rejection error messages quote; it must list
+  // the ordered names, comma-joined, with no trailing separator.
+  EXPECT_EQ(celia::apps::DemandDimensions::oltp().describe(),
+            "instructions, io_ops, net_bytes, mem_bytes");
+  EXPECT_EQ(celia::apps::DemandDimensions::scalar().describe(),
+            "instructions");
+}
+
 // ---------------------------------------------------------------------------
 // Vector characterization.
 // ---------------------------------------------------------------------------

@@ -85,14 +85,21 @@ TEST(PlannerEngine, RegistrationAndLookup) {
   EXPECT_THROW(engine.add_catalog("x", nullptr), std::invalid_argument);
 }
 
-TEST(PlannerEngine, ReplaceDropsTheStaleCachedIndex) {
+TEST(PlannerEngine, ReplaceRepricesTheCachedIndexInPlace) {
+  // beta() -> alpha() is a price-only edit (uniform 1/1.4 rescale), so the
+  // replace is absorbed as a reprice delta: the cached index is re-derived
+  // for the new snapshot without a rebuild, not dropped.
   PlannerEngine engine;
   engine.add_catalog("live", beta());
   (void)engine.plan("live", small_capacity(), small_query(1.0));
   EXPECT_EQ(engine.num_cached_indexes(), 1u);
   engine.add_catalog("live", alpha(), /*replace=*/true);
-  EXPECT_EQ(engine.num_cached_indexes(), 0u);
+  EXPECT_EQ(engine.num_cached_indexes(), 1u);
   EXPECT_EQ(engine.catalog("live")->fingerprint(), alpha()->fingerprint());
+  // A structural replace (different type count) has no delta path; the
+  // stale cache is dropped and the next query rebuilds from scratch.
+  engine.add_catalog("live", Catalog::ec2_table3_ptr(), /*replace=*/true);
+  EXPECT_EQ(engine.num_cached_indexes(), 0u);
 }
 
 TEST(PlannerEngine, ReplaceKeepsTheIndexWhileAnotherNameReferencesIt) {
@@ -102,8 +109,9 @@ TEST(PlannerEngine, ReplaceKeepsTheIndexWhileAnotherNameReferencesIt) {
   (void)engine.plan("live", small_capacity(), small_query(1.0));
   EXPECT_EQ(engine.num_cached_indexes(), 1u);
   engine.add_catalog("live", alpha(), /*replace=*/true);
-  // "alias" still serves the same snapshot, so its index survives.
-  EXPECT_EQ(engine.num_cached_indexes(), 1u);
+  // "alias" still serves the old snapshot, so its index survives; the
+  // replace also delta-derives alpha's index from it, so both are cached.
+  EXPECT_EQ(engine.num_cached_indexes(), 2u);
 }
 
 TEST(PlannerEngine, MismatchedCapacityThrowsDescriptively) {

@@ -230,10 +230,19 @@ TEST(VectorDemand, DimensionMismatchIsASchemaError) {
                std::invalid_argument);
 }
 
-TEST(VectorDemand, FrontierIndexRefusesVectorCapacity) {
+TEST(VectorDemand, FrontierIndexRefusalNamesTheOffendingSchema) {
   const Celia& celia = seed_celia("galaxy");
-  EXPECT_THROW(FrontierIndex::build(celia.space(), two_dim_capacity()),
-               std::invalid_argument);
+  try {
+    FrontierIndex::build(celia.space(), two_dim_capacity());
+    FAIL() << "multi-dimensional capacity must be refused";
+  } catch (const std::invalid_argument& error) {
+    // The message must name WHICH schema was refused, not just a count —
+    // a service juggling several capacities needs to see the dimensions.
+    const std::string message = error.what();
+    EXPECT_NE(message.find("instructions, io_ops"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("2 dimensions"), std::string::npos) << message;
+  }
 }
 
 TEST(VectorDemand, RiskAwareSelectionRejectsMultiDimQueries) {
@@ -244,6 +253,57 @@ TEST(VectorDemand, RiskAwareSelectionRejectsMultiDimQueries) {
                std::invalid_argument);
   // The scalar risk-aware form stays valid.
   EXPECT_NO_THROW(Query::make(DemandVector::scalar(1e12), constraints));
+
+  // Without a schema the rejection reports the width...
+  try {
+    Query::make(DemandVector{{1e12, 1e6}}, constraints);
+    FAIL() << "risk-aware multi-dim query must be rejected";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("risk-aware"), std::string::npos) << message;
+    EXPECT_NE(message.find("(2 dimensions)"), std::string::npos) << message;
+  }
+  // ...and with one it names the offending dimensions.
+  try {
+    Query::make(DemandVector{{1e12, 1e6}},
+                DemandDimensions({"instructions", "io_ops"}), constraints);
+    FAIL() << "risk-aware multi-dim query must be rejected";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("risk-aware"), std::string::npos) << message;
+    EXPECT_NE(message.find("schema [instructions, io_ops]"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(VectorDemand, SchemaQueryOverloadValidatesAgainstTheSchema) {
+  // The schema-taking Query::make pins the vector's width to the schema
+  // and reports mismatches by name.
+  const DemandDimensions oltp = DemandDimensions::oltp();
+  EXPECT_NO_THROW(Query::make(DemandVector{{1e13, 2e7, 5e11, 1e10}}, oltp,
+                              paper_constraints()));
+  try {
+    Query::make(DemandVector{{1e13, 2e7}}, oltp, paper_constraints());
+    FAIL() << "width mismatch must be rejected";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("2 dimensions"), std::string::npos) << message;
+    EXPECT_NE(
+        message.find("schema [instructions, io_ops, net_bytes, mem_bytes]"),
+        std::string::npos)
+        << message;
+    EXPECT_NE(message.find("names 4"), std::string::npos) << message;
+  }
+  // A bad component is reported under its schema name.
+  try {
+    Query::make(DemandVector{{1e13, -1.0, 5e11, 1e10}}, oltp,
+                paper_constraints());
+    FAIL() << "negative component must be rejected";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("('io_ops')"), std::string::npos) << message;
+  }
 }
 
 TEST(VectorDemand, MultiDimQueriesTakeTheObservableSweepFallback) {
