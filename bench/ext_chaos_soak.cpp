@@ -1,0 +1,121 @@
+// Extension E8: chaos soak of the self-healing serving stack. One run
+// drives serve::run_chaos_soak — price churn through the watchdog feed
+// (with transient faults and a staleness-busting brownout), a poison
+// query that must quarantine and then recover, sustained 2x overload,
+// and the threaded worker-stall/respawn phase — for 5000 simulated
+// ticks, TWICE, and diffs the counter digests: the whole failure
+// timeline must replay bit-identically from its seed.
+//
+// Seed comes from CELIA_CHAOS_SEED (default 20260805), matching the
+// chaos CI job idiom. Exit status is nonzero when either run reports a
+// violation (liveness, bounded staleness, counter invariants,
+// quarantine convergence, stall recovery) or the two digests differ —
+// this harness is a check, not just a timer.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_io.hpp"
+#include "serve/soak.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace celia;
+
+  serve::ChaosSoakOptions options;
+  if (const char* env = std::getenv("CELIA_CHAOS_SEED");
+      env != nullptr && *env != '\0')
+    options.seed = std::strtoull(env, nullptr, 10);
+
+  std::cout << "=== Extension E8: chaos soak (seed " << options.seed
+            << ", " << options.ticks << " ticks, run twice) ===\n\n";
+
+  const auto run_once = [&options] {
+    const auto start = std::chrono::steady_clock::now();
+    serve::ChaosSoakReport report = serve::run_chaos_soak(options);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return std::pair<serve::ChaosSoakReport, double>(std::move(report),
+                                                     wall);
+  };
+  const auto [first, wall_first] = run_once();
+  const auto [second, wall_second] = run_once();
+
+  util::TablePrinter table({"metric", "run 1", "run 2"});
+  table.set_right_aligned(1);
+  table.set_right_aligned(2);
+  const auto row = [&table](const std::string& name, std::uint64_t a,
+                            std::uint64_t b) {
+    table.add_row({name, std::to_string(a), std::to_string(b)});
+  };
+  row("submitted", first.serve.submitted, second.serve.submitted);
+  row("planned", first.outcomes_planned, second.outcomes_planned);
+  row("shed (all reasons)", first.serve.shed, second.serve.shed);
+  row("shed stale", first.serve.shed_stale, second.serve.shed_stale);
+  row("quarantine rejections", first.serve.quarantined,
+      second.serve.quarantined);
+  row("quarantine entries", first.serve.quarantine_entries,
+      second.serve.quarantine_entries);
+  row("quarantine recoveries", first.serve.quarantine_recoveries,
+      second.serve.quarantine_recoveries);
+  row("plan retries", first.serve.plan_retries, second.serve.plan_retries);
+  row("retry vetoes", first.serve.retry_vetoes, second.serve.retry_vetoes);
+  row("worker restarts",
+      first.serve.worker_restarts + first.stall_restarts,
+      second.serve.worker_restarts + second.stall_restarts);
+  row("feed deliveries", first.feed_deliveries, second.feed_deliveries);
+  row("feed faults", first.feed_faults, second.feed_faults);
+  row("watchdog degraded entries", first.watchdog.degraded_entries,
+      second.watchdog.degraded_entries);
+  row("watchdog recoveries", first.watchdog.recoveries,
+      second.watchdog.recoveries);
+  row("max served staleness (us)", first.max_served_staleness_us,
+      second.max_served_staleness_us);
+  row("digest", first.digest, second.digest);
+  table.print(std::cout);
+
+  bool ok = true;
+  if (first.digest != second.digest) {
+    ok = false;
+    std::cout << "\nFAIL: digests differ between identical runs — the "
+                 "soak is not replaying deterministically\n";
+  }
+  for (const auto* report : {&first, &second})
+    for (const std::string& violation : report->violations) {
+      ok = false;
+      std::cout << "\nFAIL: " << violation << "\n";
+    }
+  std::cout << "\nwall: run 1 " << wall_first << " s, run 2 "
+            << wall_second << " s\n"
+            << (ok ? "chaos soak clean: deterministic, live, staleness-"
+                     "bounded, quarantine converged\n"
+                   : "chaos soak FAILED\n");
+
+  benchio::JsonBench jb("ext_chaos_soak");
+  jb.begin_row("chaos_soak/seed_" + std::to_string(options.seed));
+  jb.metric("ticks", static_cast<double>(options.ticks));
+  jb.metric("submitted", static_cast<double>(first.serve.submitted));
+  jb.metric("planned", static_cast<double>(first.outcomes_planned));
+  jb.metric("shed_stale", static_cast<double>(first.serve.shed_stale));
+  jb.metric("quarantine_entries",
+            static_cast<double>(first.serve.quarantine_entries));
+  jb.metric("quarantine_recoveries",
+            static_cast<double>(first.serve.quarantine_recoveries));
+  jb.metric("worker_restarts",
+            static_cast<double>(first.serve.worker_restarts +
+                                first.stall_restarts));
+  jb.metric("max_served_staleness_us",
+            static_cast<double>(first.max_served_staleness_us));
+  jb.metric("digest_match", first.digest == second.digest ? 1.0 : 0.0);
+  jb.metric("violations", static_cast<double>(first.violations.size() +
+                                              second.violations.size()));
+  jb.metric("wall_seconds_run1", wall_first);
+  jb.metric("wall_seconds_run2", wall_second);
+  jb.write();
+
+  return ok ? 0 : 1;
+}

@@ -33,6 +33,7 @@
 #include "core/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "serve/planner_service.hpp"
+#include "serve/soak.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
@@ -41,6 +42,61 @@
 #include "util/table.hpp"
 
 namespace {
+
+/// --serve --chaos: the deterministic self-healing soak (serve/soak.hpp)
+/// as a demo — catalog price churn with feed faults and a brownout, a
+/// poison query that quarantines and recovers, 2x overload, and a wedged
+/// worker that is detached and respawned. Seed from CELIA_CHAOS_SEED or
+/// --seed; the same seed replays the whole failure timeline
+/// bit-identically (the README's degraded-serving quickstart).
+int run_chaos_demo(const celia::util::CliParser& cli) {
+  using namespace celia;
+
+  serve::ChaosSoakOptions options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (const char* env = std::getenv("CELIA_CHAOS_SEED");
+      env != nullptr && *env != '\0')
+    options.seed = std::strtoull(env, nullptr, 10);
+
+  std::cout << "chaos soak: seed " << options.seed << ", " << options.ticks
+            << " simulated ticks (feed churn + faults + brownout, poison "
+               "query, 2x overload, worker stall)\n\n";
+  const serve::ChaosSoakReport report = serve::run_chaos_soak(options);
+
+  util::TablePrinter table({"self-healing metric", "value"});
+  table.set_right_aligned(1);
+  const auto row = [&table](const char* name, std::uint64_t value) {
+    table.add_row({name, util::format_with_commas(value)});
+  };
+  row("submitted", report.serve.submitted);
+  row("answered (kPlanned)", report.outcomes_planned);
+  row("  degraded-but-answered", report.degraded_answers);
+  row("  max served staleness (us)", report.max_served_staleness_us);
+  row("shed: feed past hard staleness cap", report.serve.shed_stale);
+  row("shed: queue watermark (overload)", report.serve.shed_queue_full);
+  row("quarantine: entries", report.serve.quarantine_entries);
+  row("quarantine: fast-fail rejections", report.serve.quarantined);
+  row("quarantine: recoveries", report.serve.quarantine_recoveries);
+  row("plan retries granted / vetoed",
+      report.serve.plan_retries);
+  row("  retry-budget vetoes", report.serve.retry_vetoes);
+  row("worker restarts",
+      report.serve.worker_restarts + report.stall_restarts);
+  row("feed deliveries applied", report.feed_deliveries);
+  row("feed faults", report.feed_faults);
+  row("watchdog degraded entries", report.watchdog.degraded_entries);
+  row("watchdog recoveries", report.watchdog.recoveries);
+  table.print(std::cout);
+  std::cout << "replay digest: " << report.digest
+            << " (same seed => same digest, bit for bit)\n";
+
+  for (const std::string& violation : report.violations)
+    std::cerr << "SOAK VIOLATION: " << violation << "\n";
+  if (report.violations.empty())
+    std::cout << "self-healing contract held: live, staleness-bounded, "
+                 "quarantine converged, worker respawned\n";
+  return report.violations.empty() ? 0 : 1;
+}
 
 /// --serve: synthetic open-loop load against a PlannerService fronting
 /// the model's catalog (the "Serving quickstart" in README.md). Two
@@ -238,6 +294,11 @@ int main(int argc, char** argv) {
   cli.add_flag("serve",
                "run the planner as a service under synthetic open-loop load "
                "(admission control, coalescing, per-tenant fairness)");
+  cli.add_flag("chaos",
+               "with --serve: run the deterministic self-healing chaos soak "
+               "(feed churn + faults, poison-query quarantine, worker "
+               "stall/respawn, 2x overload) and report the recovery "
+               "counters");
   cli.add_option("serve-seconds", "serving demo duration", "2");
   cli.add_option("serve-rate", "aggregate submission rate, req/s", "500");
   cli.add_option("serve-workers", "planner worker threads", "2");
@@ -252,6 +313,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (cli.has("verbose")) util::Logger::set_level(util::LogLevel::kInfo);
+
+  if (cli.has("chaos")) {
+    if (!cli.has("serve")) {
+      std::cerr << "--chaos is a serving demo; pass --serve --chaos\n";
+      return 1;
+    }
+    // The soak builds its own engine/catalog/feed — no model needed.
+    return run_chaos_demo(cli);
+  }
 
   const auto app = apps::make_app(cli.get("app"));
   if (!app) {

@@ -202,6 +202,9 @@ ProvisionOutcome CloudProvider::provision_resilient_on(
   static obs::Counter& breaker_rejected_count =
       obs::counter("celia_provider_breaker_rejections_total",
                    "API calls vetoed locally by an open circuit breaker");
+  static obs::Counter& retry_budget_veto_count =
+      obs::counter("celia_provider_retry_budget_vetoes_total",
+                   "Provisioning re-attempts refused by the RetryBudget");
 
   ProvisionOutcome outcome;
   outcome.acquired.assign(catalog.size(), 0);
@@ -219,9 +222,19 @@ ProvisionOutcome CloudProvider::provision_resilient_on(
         continue;
       }
       bool admitted = false;
+      if (options.retry_budget) options.retry_budget->deposit(clock);
       for (int attempt = 0; attempt < options.backoff.max_attempts;
            ++attempt) {
         if (attempt > 0) {
+          // Every re-attempt must first withdraw from the retry budget:
+          // under a long brownout the budget dries up and the chain ends
+          // here instead of amplifying the outage by max_attempts.
+          if (options.retry_budget &&
+              !options.retry_budget->try_withdraw(clock)) {
+            ++outcome.api.retry_budget_vetoes;
+            retry_budget_veto_count.add(1);
+            break;
+          }
           // Control-plane backoff draws from the API seed + call ordinal —
           // a stream disjoint from every data-plane jitter stream.
           const double delay = util::backoff_delay(

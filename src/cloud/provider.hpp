@@ -64,6 +64,7 @@ struct ApiCallStats {
   std::uint64_t capacity_rejections = 0;  // InsufficientCapacity answers
   std::uint64_t brownout_rejections = 0;  // RegionalBrownout answers
   std::uint64_t breaker_rejections = 0;   // calls the local breaker vetoed
+  std::uint64_t retry_budget_vetoes = 0;  // retries the RetryBudget refused
   double rate_limited_seconds = 0.0;      // waits imposed by the TokenBucket
   double backoff_seconds = 0.0;           // control-plane backoff slept
 };
@@ -101,6 +102,13 @@ struct ResilientProvisionOptions {
   util::BackoffPolicy backoff;
   util::TokenBucket* rate_limiter = nullptr;
   util::CircuitBreaker* breaker = nullptr;
+  /// Borrowed Finagle-style retry budget: each instance REQUEST deposits,
+  /// each backoff RETRY must withdraw first. A veto ends that instance's
+  /// retry chain (counted in ApiCallStats::retry_budget_vetoes and
+  /// surfaced as shortfall), bounding retry amplification under brownout
+  /// to the budget's ratio. nullptr (default) = unbounded legacy retries,
+  /// bit-identical to the pre-budget behavior.
+  util::RetryBudget* retry_budget = nullptr;
   util::DeadlineBudget deadline;  // default: unlimited
   double start_seconds = 0.0;     // simulated clock at call start
 };

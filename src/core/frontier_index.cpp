@@ -547,6 +547,15 @@ std::optional<FrontierIndex> FrontierIndex::repriced(
     lo = std::min(lo, ratio);
     hi = std::max(hi, ratio);
   }
+  // Export how much of the provable anchor band this edit consumed, so a
+  // /metrics reader can see rebuild-fallbacks coming before they happen:
+  // 1 = prices still at the anchor, 0 = at the band edge, negative = the
+  // edit fell outside the band and this call refused.
+  static obs::Gauge& headroom = obs::gauge(
+      "celia_frontier_reprice_band_headroom",
+      "Remaining fraction of the repriced() anchor band after the latest "
+      "attempt (1 = at the anchor, 0 = band edge, negative = refused)");
+  headroom.set((kRepriceBand - hi / lo) / (kRepriceBand - 1.0));
   if (!(hi / lo <= kRepriceBand)) return std::nullopt;
 
   // Re-derive every wide candidate's Cu with the canonical walk fold —

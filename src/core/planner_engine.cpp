@@ -168,14 +168,48 @@ void PlannerEngine::add_catalog(std::string name,
     throw std::invalid_argument("PlannerEngine: catalog '" + name +
                                 "' is already registered");
 
-  EngineCounters& counters = engine_counters();
-  counters.replaces.add(1);
+  // ---- Prepare phase (may throw; engine state untouched) ----------------
+  //
+  // Classification and delta derivation run into locals BEFORE any counter
+  // bumps or cache edits, so a throw anywhere in here — including the
+  // test-only fault-injection hook — leaves the engine exactly as it was
+  // (strong exception safety, pinned by the FrontierDelta failure-
+  // injection test).
   const std::shared_ptr<const cloud::Catalog> old_snapshot = it->second;
   const std::uint64_t old_fingerprint = old_snapshot->fingerprint();
   const std::uint64_t new_fingerprint = catalog->fingerprint();
-  it->second = catalog;
 
   const ReplaceEdit edit = classify_replace(*old_snapshot, *catalog);
+
+  // Delta-derive indexes for the new snapshot from the old snapshot's
+  // cached ones — no configuration walk. An entry whose delta refuses
+  // (nullopt) is simply not derived; it gets evicted below and the next
+  // query rebuilds.
+  std::vector<CachedIndex> derived;
+  if (new_fingerprint != old_fingerprint &&
+      edit.kind != ReplaceEdit::Kind::kRebuild) {
+    for (const CachedIndex& cached : indexes_) {
+      if (cached.catalog_fingerprint != old_fingerprint) continue;
+      std::optional<FrontierIndex> next =
+          edit.kind == ReplaceEdit::Kind::kRescale
+              ? cached.index->repriced(*catalog)
+              : cached.index->with_limit(edit.axis_type, edit.axis_max,
+                                         *catalog);
+      if (options_.delta_fault_injection)
+        options_.delta_fault_injection(derived.size());
+      if (!next) continue;
+      auto built = std::make_shared<const FrontierIndex>(std::move(*next));
+      const std::size_t bytes = built->memory_bytes();
+      derived.push_back({new_fingerprint, std::move(built), bytes, 0});
+    }
+  }
+  // The commit below must not throw, so take the one allocation that
+  // could (push_back growth) here.
+  indexes_.reserve(indexes_.size() + derived.size());
+
+  // ---- Commit phase (no-throw) ------------------------------------------
+  EngineCounters& counters = engine_counters();
+  counters.replaces.add(1);
   switch (edit.kind) {
     case ReplaceEdit::Kind::kRescale:
       counters.delta_rescale.add(1);
@@ -187,31 +221,11 @@ void PlannerEngine::add_catalog(std::string name,
       counters.delta_rebuild.add(1);
       break;
   }
-
-  // Delta-derive indexes for the new snapshot from the old snapshot's
-  // cached ones — no configuration walk. An entry whose delta refuses
-  // (nullopt) is simply not derived; it gets evicted below and the next
-  // query rebuilds.
-  if (new_fingerprint != old_fingerprint &&
-      edit.kind != ReplaceEdit::Kind::kRebuild) {
-    std::vector<CachedIndex> derived;
-    for (const CachedIndex& cached : indexes_) {
-      if (cached.catalog_fingerprint != old_fingerprint) continue;
-      std::optional<FrontierIndex> next =
-          edit.kind == ReplaceEdit::Kind::kRescale
-              ? cached.index->repriced(*catalog)
-              : cached.index->with_limit(edit.axis_type, edit.axis_max,
-                                         *catalog);
-      if (!next) continue;
-      auto built = std::make_shared<const FrontierIndex>(std::move(*next));
-      const std::size_t bytes = built->memory_bytes();
-      derived.push_back({new_fingerprint, std::move(built), bytes, 0});
-    }
-    for (CachedIndex& entry : derived) {
-      entry.last_used = ++use_tick_;
-      cache_bytes_ += entry.bytes;
-      indexes_.push_back(std::move(entry));
-    }
+  it->second = catalog;
+  for (CachedIndex& entry : derived) {
+    entry.last_used = ++use_tick_;
+    cache_bytes_ += entry.bytes;
+    indexes_.push_back(std::move(entry));
   }
 
   // Drop the replaced snapshot's cached indexes, unless another name still

@@ -40,6 +40,7 @@
 // siblings). hits + builds + sweeps + degraded == queries.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,13 @@ struct PlannerEngineOptions {
   /// exceeding it evicts least-recently-used entries (the newest index is
   /// never evicted by its own insertion). 0 = unlimited (legacy).
   std::size_t max_index_cache_bytes = 0;
+  /// TEST-ONLY failure injection: invoked inside add_catalog(replace)
+  /// after each cached index has been delta-derived, with the number
+  /// derived so far. A throw here (or from the delta itself) must leave
+  /// the engine observably unchanged — catalog map, index cache, bytes
+  /// and counters — which the FrontierDelta failure-injection test pins
+  /// by fingerprint. Production callers leave this empty.
+  std::function<void(std::size_t)> delta_fault_injection;
 };
 
 /// Per-query budget in the caller's (simulated or wall) clock. The engine
@@ -115,6 +123,12 @@ class PlannerEngine {
   /// entry; the classification counter records the EDIT, not the per-entry
   /// outcome. The old snapshot's cached indexes are only dropped when no
   /// other name still points at the same catalog.
+  ///
+  /// STRONG EXCEPTION SAFETY: a replace classifies and delta-derives into
+  /// locals before touching any engine state; the commit (counters,
+  /// snapshot swap, cache edits) is a no-throw tail. If classification or
+  /// a delta derivation throws, the engine — catalogs, cached indexes,
+  /// cache bytes and every counter — is exactly as it was before the call.
   void add_catalog(std::string name,
                    std::shared_ptr<const cloud::Catalog> catalog,
                    bool replace = false);

@@ -1,0 +1,217 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/planner_engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace celia::serve {
+
+namespace {
+
+struct HealthCounters {
+  obs::Counter& updates =
+      obs::counter("celia_serve_health_updates_total",
+                   "Catalog feed updates attempted through the watchdog "
+                   "(applied + failed + quarantined)");
+  obs::Counter& applied =
+      obs::counter("celia_serve_health_updates_applied_total",
+                   "Catalog feed updates the engine accepted");
+  obs::Counter& failures =
+      obs::counter("celia_serve_health_update_failures_total",
+                   "Catalog feed failures: failed fetches plus replaces "
+                   "that threw");
+  obs::Counter& quarantined =
+      obs::counter("celia_serve_health_replaces_quarantined_total",
+                   "Catalog replaces vetoed by the open feed breaker");
+  obs::Counter& degraded_entries =
+      obs::counter("celia_serve_health_degraded_entries_total",
+                   "healthy -> degraded transitions across tracked catalogs");
+  obs::Counter& recoveries =
+      obs::counter("celia_serve_health_recoveries_total",
+                   "degraded -> healthy transitions across tracked catalogs");
+  obs::Counter& stale_breaches =
+      obs::counter("celia_serve_health_stale_breaches_total",
+                   "Degraded entries caused by the soft staleness budget");
+  obs::Gauge& degraded_gauge =
+      obs::gauge("celia_serve_health_degraded",
+                 "Tracked catalogs currently in degraded mode");
+};
+
+HealthCounters& health_counters() {
+  static HealthCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+std::string_view degrade_reason_name(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kStaleFeed:
+      return "stale-feed";
+    case DegradeReason::kFeedFailing:
+      return "feed-failing";
+    case DegradeReason::kFeedQuarantined:
+      return "feed-quarantined";
+  }
+  return "unknown";
+}
+
+CatalogWatchdog::CatalogWatchdog(core::PlannerEngine& engine,
+                                 WatchdogOptions options)
+    : engine_(engine), options_(options) {
+  if (!(options_.staleness_budget_seconds >= 0))
+    throw std::invalid_argument(
+        "CatalogWatchdog: staleness_budget_seconds must be >= 0");
+  if (!(options_.max_staleness_seconds >= options_.staleness_budget_seconds))
+    throw std::invalid_argument(
+        "CatalogWatchdog: max_staleness_seconds must be >= the soft budget");
+  if (options_.feed_failure_threshold < 1)
+    throw std::invalid_argument(
+        "CatalogWatchdog: feed_failure_threshold must be >= 1");
+}
+
+HealthReport CatalogWatchdog::refresh_locked(Tracked& entry,
+                                             double now) const {
+  HealthReport report;
+  report.staleness_seconds = std::max(0.0, now - entry.last_success);
+  report.consecutive_failures = entry.consecutive_failures;
+  const util::CircuitBreaker::State breaker_state = entry.breaker->state();
+  report.replaces_allowed =
+      !(breaker_state == util::CircuitBreaker::State::kOpen &&
+        now < entry.breaker->reopen_at());
+  report.serve_allowed =
+      report.staleness_seconds <= options_.max_staleness_seconds;
+
+  if (report.staleness_seconds > options_.staleness_budget_seconds)
+    report.reason = DegradeReason::kStaleFeed;
+  else if (breaker_state != util::CircuitBreaker::State::kClosed)
+    report.reason = DegradeReason::kFeedQuarantined;
+  else if (entry.consecutive_failures >=
+           static_cast<std::uint64_t>(options_.feed_failure_threshold))
+    report.reason = DegradeReason::kFeedFailing;
+  report.degraded = report.reason != DegradeReason::kNone;
+
+  HealthCounters& counters = health_counters();
+  if (report.degraded && !entry.degraded) {
+    entry.degraded = true;
+    ++stats_.degraded_entries;
+    counters.degraded_entries.add(1);
+    if (report.reason == DegradeReason::kStaleFeed) {
+      ++stats_.stale_breaches;
+      counters.stale_breaches.add(1);
+    }
+    ++degraded_now_;
+    counters.degraded_gauge.set(static_cast<double>(degraded_now_));
+  } else if (!report.degraded && entry.degraded) {
+    entry.degraded = false;
+    ++stats_.recoveries;
+    counters.recoveries.add(1);
+    --degraded_now_;
+    counters.degraded_gauge.set(static_cast<double>(degraded_now_));
+  }
+  return report;
+}
+
+void CatalogWatchdog::track(const std::string& name, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = tracked_.try_emplace(name);
+  if (inserted)
+    it->second.breaker =
+        std::make_unique<util::CircuitBreaker>(options_.breaker);
+  it->second.last_success = now;
+  it->second.consecutive_failures = 0;
+  refresh_locked(it->second, now);
+}
+
+bool CatalogWatchdog::apply_update(
+    const std::string& name, std::shared_ptr<const cloud::Catalog> snapshot,
+    double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(name);
+  if (it == tracked_.end()) {
+    // Implicit track: the feed can start delivering before anyone called
+    // track(). The entry starts fresh at `now` and the update proceeds.
+    it = tracked_.try_emplace(name).first;
+    it->second.breaker = std::make_unique<util::CircuitBreaker>(options_.breaker);
+    it->second.last_success = now;
+  }
+  Tracked& entry = it->second;
+  HealthCounters& counters = health_counters();
+  ++stats_.updates_attempted;
+  counters.updates.add(1);
+
+  if (!entry.breaker->allow(now)) {
+    ++stats_.replaces_quarantined;
+    counters.quarantined.add(1);
+    refresh_locked(entry, now);
+    return false;
+  }
+  try {
+    engine_.add_catalog(name, std::move(snapshot), /*replace=*/true);
+  } catch (const std::exception&) {
+    // add_catalog's strong exception safety means the old snapshot (and
+    // its warm indexes) still serve — this is a feed failure, not an
+    // engine corruption.
+    ++stats_.update_failures;
+    counters.failures.add(1);
+    ++entry.consecutive_failures;
+    entry.breaker->record_failure(now);
+    refresh_locked(entry, now);
+    return false;
+  }
+  entry.breaker->record_success(now);
+  entry.last_success = now;
+  entry.consecutive_failures = 0;
+  ++stats_.updates_applied;
+  counters.applied.add(1);
+  refresh_locked(entry, now);
+  return true;
+}
+
+void CatalogWatchdog::record_feed_failure(const std::string& name,
+                                          double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(name);
+  if (it == tracked_.end()) return;
+  Tracked& entry = it->second;
+  HealthCounters& counters = health_counters();
+  ++stats_.updates_attempted;
+  counters.updates.add(1);
+  ++stats_.update_failures;
+  counters.failures.add(1);
+  ++entry.consecutive_failures;
+  entry.breaker->record_failure(now);
+  refresh_locked(entry, now);
+}
+
+HealthReport CatalogWatchdog::health(const std::string& name,
+                                     double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(name);
+  if (it == tracked_.end()) return HealthReport{};
+  return refresh_locked(it->second, now);
+}
+
+double CatalogWatchdog::staleness_seconds(const std::string& name,
+                                          double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(name);
+  if (it == tracked_.end()) return 0.0;
+  return std::max(0.0, now - it->second.last_success);
+}
+
+WatchdogStats CatalogWatchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CatalogWatchdog::degraded_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_now_;
+}
+
+}  // namespace celia::serve

@@ -1,0 +1,173 @@
+#pragma once
+// serve::CatalogWatchdog — the catalog-feed half of the serving layer's
+// self-healing contract.
+//
+// A long-lived PlannerService answers from catalog snapshots that some
+// external feed keeps replacing (prices drift, limits shrink — PR 9's
+// delta maintenance makes those replaces cheap). The feed itself is a
+// dependency that fails: fetches brown out, delta paths throw, a region
+// stops publishing. The watchdog makes that failure mode explicit and
+// bounded instead of silent:
+//
+//   * Every tracked catalog carries the age of its last SUCCESSFUL update
+//     ("staleness"). While staleness stays inside the soft budget and the
+//     feed isn't failing, the catalog is kHealthy.
+//   * Soft budget breached, or feed_failure_threshold consecutive feed
+//     failures, or the replace breaker not closed → kDegraded. The
+//     service keeps answering from the warm FrontierIndex — degraded
+//     serving beats no serving — but every outcome is stamped with
+//     staleness_us and a DegradeReason so callers can judge the answer.
+//   * Staleness past the HARD cap (max_staleness_seconds) additionally
+//     withdraws serve permission (HealthReport::serve_allowed == false);
+//     the service sheds those queries with a typed reason instead of
+//     returning arbitrarily stale plans. Bounded staleness is the
+//     contract the chaos soak asserts: no served answer is ever older
+//     than the hard cap.
+//   * Catalog replaces are gated behind a CircuitBreaker: repeated
+//     apply_update failures open it and QUARANTINE further replaces (the
+//     known-good snapshot keeps serving); after the seeded cooldown a
+//     probe replace re-admits the feed automatically.
+//
+// Counter invariants (exact, asserted by the chaos soak):
+//   updates_attempted == updates_applied + update_failures +
+//                        replaces_quarantined
+//   degraded_entries  == recoveries + (1 if currently degraded else 0),
+//                        per catalog, summed over tracked catalogs.
+//
+// THREAD SAFETY: all methods are safe for concurrent callers (one mutex).
+// Like every resilience primitive here, the watchdog reads an EXPLICIT
+// clock passed by the caller — never the system clock — so chaos
+// schedules replay bit-identically.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cloud/catalog.hpp"
+#include "util/resilience.hpp"
+
+namespace celia::core {
+class PlannerEngine;
+}
+
+namespace celia::serve {
+
+/// Why a served answer (or a tracked feed) is degraded. Stamped on every
+/// ServeOutcome; kNone for a healthy feed (or when no watchdog is wired).
+enum class DegradeReason {
+  kNone = 0,
+  kStaleFeed,        // soft staleness budget breached
+  kFeedFailing,      // consecutive feed failures at/over the threshold
+  kFeedQuarantined,  // replace breaker open/half-open: updates vetoed
+};
+
+std::string_view degrade_reason_name(DegradeReason reason);
+
+struct WatchdogOptions {
+  /// Soft staleness budget: age of the last successful update beyond
+  /// which the catalog is served DEGRADED (stamped, still answered).
+  double staleness_budget_seconds = 300.0;
+  /// Hard cap: beyond this age serve_allowed flips false and the service
+  /// sheds instead of answering. Defaults to unlimited (degraded serving
+  /// never turns into refusal unless the operator opts in).
+  double max_staleness_seconds = std::numeric_limits<double>::infinity();
+  /// Consecutive feed failures that flip the catalog degraded even while
+  /// the snapshot itself is still fresh.
+  int feed_failure_threshold = 3;
+  /// Breaker gating apply_update; its failure_threshold is how many
+  /// consecutive failed replaces quarantine the feed. The default exports
+  /// no state gauge; wire Policy::state_gauge to
+  /// "celia_resilience_breaker_state" for /metrics visibility.
+  util::CircuitBreaker::Policy breaker;
+};
+
+/// Point-in-time health of one tracked catalog.
+struct HealthReport {
+  bool degraded = false;
+  DegradeReason reason = DegradeReason::kNone;
+  double staleness_seconds = 0.0;
+  /// False only past the hard staleness cap: the service must shed.
+  bool serve_allowed = true;
+  /// Would the breaker admit a replace right now (without consuming a
+  /// half-open probe)?
+  bool replaces_allowed = true;
+  std::uint64_t consecutive_failures = 0;
+};
+
+/// Monotonic transition/attempt counters across all tracked catalogs.
+struct WatchdogStats {
+  std::uint64_t updates_attempted = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t update_failures = 0;      // failed fetches + throwing replaces
+  std::uint64_t replaces_quarantined = 0; // updates vetoed by the breaker
+  std::uint64_t degraded_entries = 0;     // healthy -> degraded transitions
+  std::uint64_t recoveries = 0;           // degraded -> healthy transitions
+  std::uint64_t stale_breaches = 0;       // degraded entries caused by age
+};
+
+class CatalogWatchdog {
+ public:
+  /// `engine` is borrowed and must outlive the watchdog.
+  explicit CatalogWatchdog(core::PlannerEngine& engine,
+                           WatchdogOptions options = {});
+
+  CatalogWatchdog(const CatalogWatchdog&) = delete;
+  CatalogWatchdog& operator=(const CatalogWatchdog&) = delete;
+
+  /// Start tracking `name` (which the engine must already hold), fresh as
+  /// of `now`. Idempotent: re-tracking only refreshes the timestamp.
+  void track(const std::string& name, double now);
+
+  /// Feed delivery path: replace `name`'s snapshot through the breaker.
+  /// Returns true when the engine accepted the replace (staleness resets,
+  /// consecutive failures clear, a half-open probe success re-closes the
+  /// breaker). Returns false when the breaker quarantined the replace, or
+  /// when the engine's add_catalog threw (recorded as a feed failure; the
+  /// engine's strong exception safety guarantees the old snapshot still
+  /// serves).
+  bool apply_update(const std::string& name,
+                    std::shared_ptr<const cloud::Catalog> snapshot,
+                    double now);
+
+  /// Feed failure with no snapshot to offer (fetch timeout, brownout).
+  void record_feed_failure(const std::string& name, double now);
+
+  /// Health of `name` at `now`. Unknown names report healthy/serveable
+  /// with zero staleness — an unwatched catalog must serve exactly like a
+  /// service with no watchdog wired. Updates the degraded-mode gauge and
+  /// transition counters (staleness grows between calls, so observation
+  /// is also where age-driven transitions surface).
+  HealthReport health(const std::string& name, double now) const;
+
+  double staleness_seconds(const std::string& name, double now) const;
+
+  WatchdogStats stats() const;
+
+  /// Tracked catalogs currently degraded (the degraded-mode gauge value).
+  std::size_t degraded_count() const;
+
+ private:
+  struct Tracked {
+    double last_success = 0.0;
+    std::uint64_t consecutive_failures = 0;
+    bool degraded = false;  // last observed state, for transition counting
+    std::unique_ptr<util::CircuitBreaker> breaker;
+  };
+
+  /// Recompute `entry`'s degraded state at `now`, counting transitions
+  /// and updating the degraded-mode gauge. mutex_ must be held.
+  HealthReport refresh_locked(Tracked& entry, double now) const;
+
+  core::PlannerEngine& engine_;
+  WatchdogOptions options_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, Tracked> tracked_;
+  mutable WatchdogStats stats_;
+  mutable std::size_t degraded_now_ = 0;
+};
+
+}  // namespace celia::serve

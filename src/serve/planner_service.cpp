@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace celia::serve {
 
@@ -43,8 +43,36 @@ struct ServeCounters {
   obs::Counter& failed = obs::counter(
       "celia_serve_failed_total",
       "Admitted requests the engine answered with a typed failure");
+  obs::Counter& shed_stale = obs::counter(
+      "celia_serve_shed_stale_total",
+      "Sheds caused by the serving catalog exceeding the watchdog's hard "
+      "staleness cap");
+  obs::Counter& quarantine_rejections = obs::counter(
+      "celia_serve_quarantine_rejections_total",
+      "Submissions fast-failed because their query identity is quarantined");
+  obs::Counter& quarantine_entries = obs::counter(
+      "celia_serve_quarantine_entries_total",
+      "Quarantine episodes begun (strike threshold reached or probe failed)");
+  obs::Counter& quarantine_recoveries = obs::counter(
+      "celia_serve_quarantine_recoveries_total",
+      "Poison-cache entries cleared by a subsequent successful plan");
+  obs::Counter& worker_lost = obs::counter(
+      "celia_serve_worker_lost_total",
+      "Waiters failed with kWorkerLost by the stall supervisor");
+  obs::Counter& worker_restarts = obs::counter(
+      "celia_serve_worker_restarts_total",
+      "Stalled workers detached and respawned by check_workers()");
+  obs::Counter& plan_retries = obs::counter(
+      "celia_serve_plan_retries_total",
+      "Plan re-attempts granted by the retry budget");
+  obs::Counter& retry_vetoes = obs::counter(
+      "celia_serve_retry_vetoes_total",
+      "Plan re-attempts the retry budget refused");
   obs::Gauge& queue_depth = obs::gauge(
       "celia_serve_queue_depth", "Requests currently queued for dispatch");
+  obs::Gauge& quarantine_active = obs::gauge(
+      "celia_serve_quarantine_active",
+      "Query identities currently quarantined");
 };
 
 ServeCounters& serve_counters() {
@@ -101,6 +129,28 @@ ServiceOptions validated(ServiceOptions options) {
     throw std::invalid_argument(
         "PlannerService: shed_watermark exceeds queue_capacity");
   validate_quota(options.default_quota);
+  if (options.quarantine.strike_threshold < 0)
+    throw std::invalid_argument(
+        "PlannerService: quarantine strike_threshold must be >= 0");
+  if (options.quarantine.strike_threshold > 0) {
+    if (!(options.quarantine.hard_wall_clock_seconds > 0))
+      throw std::invalid_argument(
+          "PlannerService: quarantine hard_wall_clock_seconds must be > 0");
+    // backoff_delay() validates the rest of the expiry schedule; fail at
+    // construction instead of on the first quarantine.
+    util::BackoffPolicy expiry;
+    expiry.initial_seconds = options.quarantine.base_seconds;
+    expiry.multiplier = options.quarantine.multiplier;
+    expiry.max_seconds = options.quarantine.max_seconds;
+    expiry.jitter_fraction = options.quarantine.jitter_fraction;
+    (void)util::backoff_delay(expiry, 1, options.quarantine.seed);
+  }
+  if (options.plan_retries < 0)
+    throw std::invalid_argument(
+        "PlannerService: plan_retries must be >= 0");
+  if (!(options.worker_stall_seconds > 0))
+    throw std::invalid_argument(
+        "PlannerService: worker_stall_seconds must be > 0");
   if (!options.clock) {
     options.clock = [] {
       static const auto epoch = std::chrono::steady_clock::now();
@@ -121,6 +171,7 @@ std::string_view shed_reason_name(ShedReason reason) {
     case ShedReason::kLatencySlo: return "latency-slo";
     case ShedReason::kDeadlineExpired: return "deadline-expired";
     case ShedReason::kShutdown: return "shutdown";
+    case ShedReason::kStaleCatalog: return "stale-catalog";
   }
   return "unknown";
 }
@@ -131,6 +182,8 @@ std::string_view serve_status_name(ServeStatus status) {
     case ServeStatus::kOverloaded: return "overloaded";
     case ServeStatus::kRejectedQuota: return "rejected-quota";
     case ServeStatus::kFailed: return "failed";
+    case ServeStatus::kQuarantined: return "quarantined";
+    case ServeStatus::kWorkerLost: return "worker-lost";
   }
   return "unknown";
 }
@@ -154,12 +207,14 @@ PlannerService::PlannerService(core::PlannerEngine& engine,
     : engine_(engine),
       options_(validated(std::move(options))),
       queue_(options_.queue_capacity),
-      probe_(options_.latency_slo_seconds, options_.slo_probe_stride) {
-  if (options_.num_workers > 0) {
-    pool_ = std::make_unique<parallel::ThreadPool>(options_.num_workers);
-    workers_.reserve(options_.num_workers);
-    for (std::size_t i = 0; i < options_.num_workers; ++i)
-      workers_.push_back(pool_->submit([this] { worker_loop(); }));
+      probe_(options_.latency_slo_seconds, options_.slo_probe_stride),
+      retry_budget_(options_.retry_budget) {
+  slots_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    WorkerSlot* slot = slots_.back().get();
+    slot->thread = std::thread(
+        [this, slot] { worker_loop(slot, /*generation=*/0); });
   }
 }
 
@@ -240,8 +295,11 @@ std::future<ServeOutcome> PlannerService::submit(PlanRequest request) {
   }
 
   const bool coalescible = options_.coalesce;
+  // The quarantine negative-cache shares the coalescing identity, so the
+  // key is also needed when coalescing is off but quarantine is on.
+  const bool keyed = coalescible || quarantine_enabled();
   CoalesceKey key;
-  if (coalescible) {
+  if (keyed) {
     key.catalog_fingerprint = catalog->fingerprint();
     key.capacity_structure = request.capacity.catalog_structure_fingerprint();
     key.per_vcpu_rates.reserve(request.capacity.num_types());
@@ -266,6 +324,21 @@ std::future<ServeOutcome> PlannerService::submit(PlanRequest request) {
       counters.shed.add(1);
       counters.shed_shutdown.add(1);
       return reject_now(ServeStatus::kOverloaded, ShedReason::kShutdown);
+    }
+    if (quarantine_enabled()) {
+      // Negative-cache check precedes even the quota: a known-poison
+      // identity is fast-failed for free, before it can spend tokens or
+      // queue capacity. Expiry admits the request — it becomes the probe
+      // that either clears the entry or re-quarantines it.
+      const auto poison_it = poison_.find(key);
+      if (poison_it != poison_.end() && poison_it->second.quarantined &&
+          submit_now < poison_it->second.until) {
+        ++stats_.quarantined;
+        counters.quarantine_rejections.add(1);
+        return reject_now(ServeStatus::kQuarantined, ShedReason::kNone,
+                          "query identity quarantined after repeated "
+                          "failures");
+      }
     }
     if (!tenant_bucket_locked(request.tenant).try_acquire(submit_now)) {
       ++stats_.rejected_quota;
@@ -308,13 +381,14 @@ std::future<ServeOutcome> PlannerService::submit(PlanRequest request) {
 
     auto entry = std::make_shared<InFlight>(std::move(request));
     entry->coalescible = coalescible;
+    entry->keyed = keyed;
     entry->key = std::move(key);
     entry->waiters.push_back(std::move(waiter));
     if (coalescible) inflight_.emplace(entry->key, entry);
     if (!queue_.try_push(entry->request.tenant, entry)) {
       // Lost the watermark race (or the queue closed underneath us):
       // same typed outcome as the watermark check.
-      if (coalescible) inflight_.erase(entry->key);
+      unregister_inflight_locked(entry);
       Waiter back = std::move(entry->waiters.front());
       ++stats_.shed;
       ++stats_.shed_queue_full;
@@ -357,7 +431,7 @@ void PlannerService::dispatch(const std::shared_ptr<InFlight>& entry) {
       live.push_back(std::move(waiter));
     }
     entry->waiters = std::move(live);
-    if (!any_live && entry->coalescible) inflight_.erase(entry->key);
+    if (!any_live) unregister_inflight_locked(entry);
     stats_.shed += expired.size();
     stats_.shed_deadline += expired.size();
   }
@@ -374,6 +448,42 @@ void PlannerService::dispatch(const std::shared_ptr<InFlight>& entry) {
   }
   if (!any_live) return;
 
+  // Staleness gate: with a watchdog wired, a catalog past the HARD
+  // staleness cap is shed typed instead of serving an arbitrarily old
+  // plan; anything softer stamps every outcome with staleness_us and the
+  // DegradeReason so callers can judge the (still served) answer.
+  std::uint64_t staleness_us = 0;
+  DegradeReason degrade = DegradeReason::kNone;
+  if (options_.watchdog != nullptr) {
+    const HealthReport health =
+        options_.watchdog->health(entry->request.catalog, start);
+    staleness_us = static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, health.staleness_seconds) * 1e6));
+    degrade = health.reason;
+    if (!health.serve_allowed) {
+      std::vector<Waiter> stale;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        unregister_inflight_locked(entry);
+        stale = std::move(entry->waiters);
+        stats_.shed += stale.size();
+        stats_.shed_stale += stale.size();
+      }
+      counters.shed.add(stale.size());
+      counters.shed_stale.add(stale.size());
+      for (Waiter& waiter : stale) {
+        ServeOutcome outcome;
+        outcome.status = ServeStatus::kOverloaded;
+        outcome.shed_reason = ShedReason::kStaleCatalog;
+        outcome.staleness_us = staleness_us;
+        outcome.degrade_reason = degrade;
+        outcome.queue_seconds = start - waiter.submitted_at;
+        resolve(waiter, std::move(outcome), start - waiter.submitted_at);
+      }
+      return;
+    }
+  }
+
   core::PlanBudget budget;
   budget.now_seconds = start;
   budget.deadline = tightest;
@@ -382,29 +492,71 @@ void PlannerService::dispatch(const std::shared_ptr<InFlight>& entry) {
   budget.truncated_sweep_configs = options_.truncated_sweep_configs;
 
   // The expensive part runs strictly outside every lock; identical
-  // requests arriving meanwhile still attach to this entry.
+  // requests arriving meanwhile still attach to this entry. A throwing
+  // plan may be re-attempted, but only while the Finagle-style retry
+  // budget (fed one deposit per dispatched request) grants a token — a
+  // hard-down engine is retried at a bounded ratio, never amplified.
   ServeOutcome base;
-  try {
-    base.result = engine_.plan(entry->request.catalog,
-                               entry->request.capacity,
-                               entry->request.query, budget);
-    base.status = ServeStatus::kPlanned;
-  } catch (const std::exception& error) {
-    base.status = ServeStatus::kFailed;
-    base.error = error.what();
+  if (options_.plan_retries > 0) retry_budget_.deposit(start);
+  int retries_left = options_.plan_retries;
+  for (;;) {
+    try {
+      if (options_.before_plan_hook) options_.before_plan_hook(entry->request);
+      base.result = engine_.plan(entry->request.catalog,
+                                 entry->request.capacity,
+                                 entry->request.query, budget);
+      base.status = ServeStatus::kPlanned;
+      base.error.clear();
+    } catch (const std::exception& error) {
+      base.status = ServeStatus::kFailed;
+      base.error = error.what();
+      if (retries_left > 0) {
+        if (retry_budget_.try_withdraw(now())) {
+          --retries_left;
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.plan_retries;
+          }
+          counters.plan_retries.add(1);
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.retry_vetoes;
+        }
+        counters.retry_vetoes.add(1);
+      }
+    }
+    break;
   }
 
   const double end = now();
+  // A strike is any outcome the quarantine counts against the query
+  // identity: a crash (after retries), the degradation ladder exhausted
+  // to its last-resort truncated sweep, or a hard wall-clock overrun.
+  const bool strike =
+      base.status == ServeStatus::kFailed ||
+      (base.status == ServeStatus::kPlanned &&
+       base.result.route == core::QueryRoute::kTruncatedSweep) ||
+      (end - start) > options_.quarantine.hard_wall_clock_seconds;
+
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (entry->coalescible) inflight_.erase(entry->key);
+    unregister_inflight_locked(entry);
     waiters = std::move(entry->waiters);
     stats_.admitted += waiters.size();
     if (base.status == ServeStatus::kFailed) stats_.failed += waiters.size();
+    // An empty waiter list means the stall supervisor already detached
+    // this dispatch and answered its waiters with kWorkerLost — this
+    // thread's late result must not touch the poison cache either.
+    if (!waiters.empty() && quarantine_enabled() && entry->keyed)
+      note_dispatch_outcome_locked(entry, strike, end);
   }
   counters.admitted.add(waiters.size());
   if (base.status == ServeStatus::kFailed) counters.failed.add(waiters.size());
+  base.staleness_us = staleness_us;
+  base.degrade_reason = degrade;
   for (Waiter& waiter : waiters) {
     const double queue_seconds = start - waiter.submitted_at;
     const double total_seconds = end - waiter.submitted_at;
@@ -425,11 +577,168 @@ bool PlannerService::drain_one() {
   return true;
 }
 
-void PlannerService::worker_loop() {
-  while (std::optional<std::shared_ptr<InFlight>> entry = queue_.pop()) {
+void PlannerService::worker_loop(WorkerSlot* slot, std::uint64_t generation) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Superseded by the supervisor: the slot (and its state) now
+      // belongs to the replacement thread. Exit without touching it.
+      if (slot->generation != generation) return;
+    }
+    std::optional<std::shared_ptr<InFlight>> entry = queue_.pop();
+    if (!entry) return;
     serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
+    bool tracked = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (slot->generation == generation) {
+        slot->busy = true;
+        slot->busy_since = now();
+        slot->current = *entry;
+        tracked = true;
+      }
+      // Detached between pop and here: still dispatch (the queue may
+      // already be closed, so requeueing is not an option) but leave the
+      // replacement's slot state alone.
+    }
     dispatch(*entry);
+    if (tracked) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (slot->generation == generation) {
+        slot->busy = false;
+        slot->current.reset();
+      }
+    }
   }
+}
+
+std::size_t PlannerService::check_workers() {
+  if (!std::isfinite(options_.worker_stall_seconds)) return 0;
+  ServeCounters& counters = serve_counters();
+  const double t = now();
+  struct LostBatch {
+    std::vector<Waiter> waiters;
+    double busy_since = 0.0;
+  };
+  std::vector<LostBatch> lost;
+  std::size_t restarted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return 0;
+    for (std::unique_ptr<WorkerSlot>& slot_ptr : slots_) {
+      WorkerSlot& slot = *slot_ptr;
+      if (!slot.busy ||
+          t - slot.busy_since < options_.worker_stall_seconds)
+        continue;
+
+      // Take the wedged dispatch's waiters while holding the mutex: when
+      // (if) the detached thread's plan finally resolves, it finds an
+      // empty waiter list and an inflight_ slot that is no longer its
+      // own, and exits at its next generation check.
+      std::shared_ptr<InFlight> entry = std::move(slot.current);
+      LostBatch batch;
+      batch.busy_since = slot.busy_since;
+      if (entry) {
+        unregister_inflight_locked(entry);
+        batch.waiters = std::move(entry->waiters);
+        entry->waiters.clear();
+      }
+      stats_.admitted += batch.waiters.size();
+      stats_.worker_lost += batch.waiters.size();
+      ++stats_.worker_restarts;
+      counters.admitted.add(batch.waiters.size());
+      counters.worker_lost.add(batch.waiters.size());
+      counters.worker_restarts.add(1);
+      lost.push_back(std::move(batch));
+
+      // Fence the wedged thread out, retire its handle for stop() to
+      // join, and respawn capacity under the new generation.
+      const std::uint64_t next_generation = ++slot.generation;
+      slot.busy = false;
+      slot.busy_since = 0.0;
+      retired_.push_back(std::move(slot.thread));
+      WorkerSlot* slot_raw = &slot;
+      slot.thread = std::thread([this, slot_raw, next_generation] {
+        worker_loop(slot_raw, next_generation);
+      });
+      ++restarted;
+    }
+  }
+  for (LostBatch& batch : lost) {
+    for (Waiter& waiter : batch.waiters) {
+      ServeOutcome outcome;
+      outcome.status = ServeStatus::kWorkerLost;
+      outcome.error =
+          "worker exceeded worker_stall_seconds mid-dispatch and was "
+          "detached";
+      outcome.queue_seconds = batch.busy_since - waiter.submitted_at;
+      resolve(waiter, std::move(outcome), t - waiter.submitted_at);
+    }
+  }
+  return restarted;
+}
+
+std::size_t PlannerService::busy_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t busy = 0;
+  for (const std::unique_ptr<WorkerSlot>& slot : slots_)
+    if (slot->busy) ++busy;
+  return busy;
+}
+
+void PlannerService::unregister_inflight_locked(
+    const std::shared_ptr<InFlight>& entry) {
+  if (!entry->coalescible) return;
+  const auto it = inflight_.find(entry->key);
+  if (it != inflight_.end() && it->second == entry) inflight_.erase(it);
+}
+
+void PlannerService::note_dispatch_outcome_locked(
+    const std::shared_ptr<InFlight>& entry, bool strike, double end) {
+  ServeCounters& counters = serve_counters();
+  if (!strike) {
+    const auto it = poison_.find(entry->key);
+    if (it == poison_.end()) return;
+    if (it->second.quarantined) {
+      // A successful probe: the identity healed. Clearing the entry is
+      // the recovery the chaos soak's convergence assertion counts.
+      --quarantine_active_;
+      counters.quarantine_active.set(static_cast<double>(quarantine_active_));
+      ++stats_.quarantine_recoveries;
+      counters.quarantine_recoveries.add(1);
+    }
+    poison_.erase(it);
+    return;
+  }
+
+  PoisonEntry& poison = poison_[entry->key];
+  if (poison.quarantined) {
+    // The expired entry admitted this dispatch as a probe and the probe
+    // struck out: re-quarantine at the next (longer) backoff rung.
+    ++poison.episodes;
+  } else {
+    ++poison.strikes;
+    if (poison.strikes < options_.quarantine.strike_threshold) return;
+    poison.quarantined = true;
+    poison.strikes = 0;
+    ++poison.episodes;
+    ++quarantine_active_;
+    counters.quarantine_active.set(static_cast<double>(quarantine_active_));
+  }
+  ++stats_.quarantine_entries;
+  counters.quarantine_entries.add(1);
+  util::BackoffPolicy expiry;
+  expiry.initial_seconds = options_.quarantine.base_seconds;
+  expiry.multiplier = options_.quarantine.multiplier;
+  expiry.max_seconds = options_.quarantine.max_seconds;
+  expiry.jitter_fraction = options_.quarantine.jitter_fraction;
+  // Per-identity seeding keeps distinct poisonous queries from expiring
+  // in lockstep while staying bit-identical per (seed, identity, rung).
+  poison.until =
+      end + util::backoff_delay(
+                expiry, poison.episodes,
+                options_.quarantine.seed ^
+                    static_cast<std::uint64_t>(CoalesceKeyHash{}(entry->key)));
 }
 
 void PlannerService::stop(StopMode mode) {
@@ -445,7 +754,7 @@ void PlannerService::stop(StopMode mode) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (const std::shared_ptr<InFlight>& entry : pending) {
-        if (entry->coalescible) inflight_.erase(entry->key);
+        unregister_inflight_locked(entry);
         for (Waiter& waiter : entry->waiters)
           orphans.push_back(std::move(waiter));
         entry->waiters.clear();
@@ -466,15 +775,20 @@ void PlannerService::stop(StopMode mode) {
     queue_.close();
     // Caller-driven mode has no workers: drain the backlog right here so
     // kDrain keeps its promise that admitted requests get answers.
-    if (!pool_) {
+    if (slots_.empty()) {
       while (drain_one()) {
       }
     }
   }
-  for (std::future<void>& worker : workers_)
-    if (worker.valid()) worker.wait();
-  workers_.clear();
-  pool_.reset();
+  // End-to-end shutdown: join current workers AND every supervisor-
+  // detached thread. A detached thread may still be mid-plan; it resolves
+  // nothing (its waiters were taken) but must not outlive the service it
+  // dereferences. Callers injecting stalls must unwedge them first.
+  for (std::unique_ptr<WorkerSlot>& slot : slots_)
+    if (slot->thread.joinable()) slot->thread.join();
+  for (std::thread& thread : retired_)
+    if (thread.joinable()) thread.join();
+  retired_.clear();
   serve_counters().queue_depth.set(static_cast<double>(queue_.size()));
 }
 

@@ -41,22 +41,62 @@
 //      under the tightest deadline among the waiters present at
 //      dispatch.
 //
-// Every submitted request reaches EXACTLY ONE of three terminal buckets
-// — admitted (answered on its merits: kPlanned, or kFailed when the
-// engine threw), shed (kOverloaded, any reason), or rejected_quota — so
-//     admitted + shed + rejected_quota == submitted
-// holds whenever the service is quiesced (stats() documents this; the
-// serving tests pin it). There is no fourth, silent path.
+// SELF-HEALING (the robustness layer over the four mechanisms above):
 //
-// CLOCK: all admission, SLO and deadline decisions read
-// ServiceOptions::clock (default: process-steady wall clock). Tests and
-// the chaos harness install a simulated clock, making shedding and
-// deadline behavior fully deterministic.
+//   5. STALENESS-BOUNDED DEGRADED SERVING. With a CatalogWatchdog wired
+//      (ServiceOptions::watchdog), every answered request is stamped with
+//      the serving catalog's staleness_us and DegradeReason; a catalog
+//      past the watchdog's HARD staleness cap is shed typed
+//      (kStaleCatalog) instead of silently serving arbitrarily old
+//      plans. See serve/health.hpp for the feed-side state machine.
+//
+//   6. POISON-QUERY QUARANTINE. A query identity (CoalesceKey) whose
+//      plan crashes, exhausts the PlanBudget ladder (lands on
+//      kTruncatedSweep), or exceeds the hard wall-clock bound
+//      `QuarantinePolicy::strike_threshold` consecutive times gets a
+//      negative-cache entry: further submissions fast-fail typed
+//      (kQuarantined) until a seeded-backoff expiry admits a probe.
+//      Probe success clears the entry (a recovery); probe failure
+//      re-quarantines with a longer backoff. One pathological request
+//      can no longer serially burn every worker.
+//
+//   7. WORKER STALL SELF-HEALING. Worker dispatch start times are
+//      heartbeats; check_workers() (the supervisor step — call it
+//      periodically) detaches any worker stuck in one dispatch longer
+//      than worker_stall_seconds, fails the stuck request's waiters with
+//      typed kWorkerLost, and respawns a replacement thread so capacity
+//      recovers. The detached thread finds its waiters already taken and
+//      exits at the next generation check instead of resolving anything.
+//
+//   8. RETRY BUDGET. plan_retries > 0 re-attempts a throwing plan, but
+//      every retry must withdraw from a Finagle-style util::RetryBudget
+//      (deposits accrue per dispatched request), so a failing engine is
+//      retried at a bounded ratio instead of amplifying the failure.
+//
+// Every submitted request reaches EXACTLY ONE of four terminal buckets
+// — admitted (answered on its merits: kPlanned, kFailed when the engine
+// threw, or kWorkerLost when the supervisor detached its worker), shed
+// (kOverloaded, any reason), rejected_quota, or quarantined — so
+//     admitted + shed + rejected_quota + quarantined == submitted
+// holds whenever the service is quiesced (stats() documents this; the
+// serving tests pin it), with
+//     shed == shed_queue_full + shed_slo + shed_deadline
+//             + shed_shutdown + shed_stale
+// and failed + worker_lost <= admitted. There is no silent path.
+//
+// CLOCK: all admission, SLO, deadline, staleness, quarantine and stall
+// decisions read ServiceOptions::clock (default: process-steady wall
+// clock). Tests and the chaos harness install a simulated clock, making
+// every one of those behaviors fully deterministic.
 //
 // Observability (naming per DESIGN.md §9): celia_serve_submitted_total,
 // _admitted_total, _shed_total (+ per-reason _shed_queue_full/_slo/
-// _deadline/_shutdown_total), _rejected_quota_total, _coalesced_total,
-// _failed_total, the celia_serve_queue_depth gauge, and the
+// _deadline/_shutdown/_stale_total), _rejected_quota_total,
+// _coalesced_total, _failed_total, _quarantine_rejections_total,
+// _quarantine_entries_total, _quarantine_recoveries_total,
+// _worker_lost_total, _worker_restarts_total, _plan_retries_total,
+// _retry_vetoes_total, the celia_serve_queue_depth and
+// celia_serve_quarantine_active gauges, and the
 // celia_serve_latency_seconds / celia_serve_queue_wait_seconds
 // histograms.
 
@@ -68,6 +108,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -75,12 +116,10 @@
 #include "core/planner_engine.hpp"
 #include "core/query.hpp"
 #include "serve/fair_queue.hpp"
+#include "serve/health.hpp"
 #include "serve/slo.hpp"
+#include "util/backoff.hpp"
 #include "util/resilience.hpp"
-
-namespace celia::parallel {
-class ThreadPool;
-}
 
 namespace celia::serve {
 
@@ -91,6 +130,7 @@ enum class ShedReason {
   kLatencySlo,       // submission: rolling p99 breached the latency SLO
   kDeadlineExpired,  // dispatch: the deadline passed while queued
   kShutdown,         // the service stopped before the request was served
+  kStaleCatalog,     // dispatch: catalog past the watchdog's hard cap
 };
 
 std::string_view shed_reason_name(ShedReason reason);
@@ -100,6 +140,8 @@ enum class ServeStatus {
   kOverloaded,     // typed load-shed; shed_reason says why
   kRejectedQuota,  // the tenant's token bucket had no token
   kFailed,         // the engine rejected the request; error says why
+  kQuarantined,    // the query identity is negative-cached as poison
+  kWorkerLost,     // the dispatching worker stalled and was detached
 };
 
 std::string_view serve_status_name(ServeStatus status);
@@ -124,7 +166,12 @@ struct ServeOutcome {
   bool coalesced = false;    // answered by another request's computation
   double queue_seconds = 0.0;  // admission -> dispatch
   double total_seconds = 0.0;  // admission -> resolution
-  std::string error;           // kFailed only
+  std::string error;           // kFailed / kQuarantined / kWorkerLost only
+  /// Age of the serving catalog's last successful feed update at
+  /// dispatch, in microseconds. 0 when no watchdog is wired.
+  std::uint64_t staleness_us = 0;
+  /// kNone for a healthy feed; otherwise why this answer is degraded.
+  DegradeReason degrade_reason = DegradeReason::kNone;
 };
 
 /// Per-tenant admission policy.
@@ -162,13 +209,57 @@ struct ServiceOptions {
   std::uint64_t truncated_sweep_configs = 65536;
   /// Service clock in seconds. Default: process-steady wall clock.
   std::function<double()> clock;
+
+  /// Borrowed catalog-feed watchdog (must outlive the service). When
+  /// wired, dispatch stamps staleness_us / degrade_reason on every
+  /// answer and sheds typed (kStaleCatalog) past the hard staleness cap.
+  CatalogWatchdog* watchdog = nullptr;
+
+  /// Poison-query quarantine. strike_threshold == 0 disables the whole
+  /// mechanism (legacy behavior).
+  struct QuarantinePolicy {
+    /// Consecutive strikes (crash / ladder-exhausted / over the
+    /// wall-clock bound) that quarantine the query identity.
+    int strike_threshold = 0;
+    /// Hard per-plan wall-clock bound; a slower plan is a strike even
+    /// when it succeeds. Infinity = only crashes/ladder exhaustion count.
+    double hard_wall_clock_seconds =
+        std::numeric_limits<double>::infinity();
+    /// Seeded-backoff expiry of a quarantine entry: episode n sleeps
+    /// roughly base * multiplier^(n-1), capped and jittered, before the
+    /// next probe is admitted.
+    double base_seconds = 1.0;
+    double multiplier = 2.0;
+    double max_seconds = 60.0;
+    double jitter_fraction = 0.25;
+    std::uint64_t seed = 0;
+  } quarantine;
+
+  /// Supervisor bound: a worker stuck in ONE dispatch longer than this
+  /// (service clock) is detached by check_workers(). Infinity disables.
+  double worker_stall_seconds = std::numeric_limits<double>::infinity();
+
+  /// Client-side re-attempts of a plan whose engine call threw, each
+  /// gated by the retry budget below. 0 = legacy single attempt.
+  int plan_retries = 0;
+  /// Budget bounding those retries (deposits accrue per dispatched
+  /// request, each retry withdraws one token).
+  util::RetryBudget::Policy retry_budget;
+
+  /// TEST/CHAOS SEAM: runs on the dispatching thread immediately before
+  /// every engine plan attempt, outside all service locks. A throw is
+  /// treated exactly like the engine throwing (typed kFailed + a
+  /// quarantine strike); blocking here is how the chaos harness wedges a
+  /// worker. Production callers leave this empty.
+  std::function<void(const PlanRequest&)> before_plan_hook;
 };
 
 /// Monotonic counters, snapshot by value. When the service is quiesced
 /// (stopped, or caller-driven with nothing queued and nothing mid-
-/// dispatch): submitted == admitted + shed + rejected_quota, with
-/// shed == shed_queue_full + shed_slo + shed_deadline + shed_shutdown
-/// and failed <= admitted (a kFailed answer is still an answer).
+/// dispatch): submitted == admitted + shed + rejected_quota + quarantined,
+/// with shed == shed_queue_full + shed_slo + shed_deadline + shed_shutdown
+/// + shed_stale and failed + worker_lost <= admitted (a kFailed or
+/// kWorkerLost answer is still an answer).
 struct ServeStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
@@ -177,9 +268,17 @@ struct ServeStats {
   std::uint64_t shed_slo = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
+  std::uint64_t shed_stale = 0;
   std::uint64_t rejected_quota = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t failed = 0;
+  std::uint64_t quarantined = 0;            // submissions fast-failed
+  std::uint64_t quarantine_entries = 0;     // quarantine episodes begun
+  std::uint64_t quarantine_recoveries = 0;  // entries cleared by a success
+  std::uint64_t worker_lost = 0;            // waiters failed by the supervisor
+  std::uint64_t worker_restarts = 0;        // workers detached + respawned
+  std::uint64_t plan_retries = 0;           // budget-granted plan re-attempts
+  std::uint64_t retry_vetoes = 0;           // retries the budget refused
 };
 
 class PlannerService {
@@ -211,12 +310,35 @@ class PlannerService {
   };
 
   /// Idempotent. After stop() every new submit() is shed with kShutdown.
+  ///
+  /// END-TO-END SHUTDOWN CONTRACT (not just the queue's): every future
+  /// submit() ever returned is satisfied by the time stop() returns.
+  /// kAbort drains the queue via WeightedFairQueue::close_and_drain() and
+  /// resolves every still-queued waiter with the typed kShutdown shed;
+  /// kDrain serves the backlog first (inline when caller-driven). Either
+  /// way worker threads — including supervisor-detached ones — are
+  /// joined before returning, so destroying the service concurrently
+  /// with in-flight work is safe (the TSan destructor-race test pins
+  /// this). A mid-plan request resolves with its computed answer, never
+  /// hangs.
   void stop(StopMode mode = StopMode::kDrain);
 
   /// Caller-driven dispatch (num_workers == 0 mode, also usable while
   /// workers run): dequeue and serve one entry on THIS thread. Returns
   /// false when the queue is empty.
   bool drain_one();
+
+  /// Supervisor step: detach every worker stuck in one dispatch longer
+  /// than worker_stall_seconds, fail its waiters with typed kWorkerLost,
+  /// and respawn a replacement. Call periodically (the chaos harness
+  /// calls it per tick; a production embedding would call it from a
+  /// timer). Returns the number of workers restarted. No-op while the
+  /// bound is infinite, no worker is stalled, or the service stopped.
+  std::size_t check_workers();
+
+  /// Workers currently inside a dispatch (stall-injection tests use this
+  /// to wait until a worker is provably wedged before advancing time).
+  std::size_t busy_workers() const;
 
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t num_workers() const;
@@ -269,31 +391,64 @@ class PlannerService {
     PlanRequest request;
     CoalesceKey key;
     bool coalescible = false;
+    bool keyed = false;  // key computed (coalescing and/or quarantine on)
     std::vector<Waiter> waiters;
   };
 
+  /// Negative-cache entry of one poisonous query identity.
+  struct PoisonEntry {
+    int strikes = 0;             // consecutive strikes while not quarantined
+    int episodes = 0;            // quarantine episodes so far (backoff rung)
+    double until = 0.0;          // quarantine expiry (service clock)
+    bool quarantined = false;
+  };
+
+  /// One worker thread's supervision slot. `generation` fences detached
+  /// threads: a worker whose slot moved on finds the mismatch and exits
+  /// instead of touching service state meant for its replacement.
+  struct WorkerSlot {
+    std::uint64_t generation = 0;
+    bool busy = false;
+    double busy_since = 0.0;               // dispatch-start heartbeat
+    std::shared_ptr<InFlight> current;     // entry being dispatched
+    std::thread thread;
+  };
+
   double now() const { return options_.clock(); }
+  bool quarantine_enabled() const {
+    return options_.quarantine.strike_threshold > 0;
+  }
   util::TokenBucket& tenant_bucket_locked(const std::string& tenant);
   void dispatch(const std::shared_ptr<InFlight>& entry);
-  void worker_loop();
+  void worker_loop(WorkerSlot* slot, std::uint64_t generation);
+  /// Erase `entry` from inflight_ iff it is still the entry registered
+  /// under its key (the supervisor may have replaced it). mutex_ held.
+  void unregister_inflight_locked(const std::shared_ptr<InFlight>& entry);
+  /// Record one dispatch outcome against the poison cache. mutex_ held.
+  void note_dispatch_outcome_locked(const std::shared_ptr<InFlight>& entry,
+                                    bool strike, double end);
   static void resolve(Waiter& waiter, ServeOutcome outcome, double total);
 
   core::PlannerEngine& engine_;
   ServiceOptions options_;
 
-  mutable std::mutex mutex_;  // tenants, inflight_, stats_, stopped_
+  mutable std::mutex mutex_;  // tenants, inflight_, poison_, stats_,
+                              // stopped_, worker slots
   std::unordered_map<std::string, std::unique_ptr<util::TokenBucket>>
       buckets_;
   std::unordered_map<std::string, TenantQuota> quotas_;
   std::unordered_map<CoalesceKey, std::shared_ptr<InFlight>, CoalesceKeyHash>
       inflight_;
+  std::unordered_map<CoalesceKey, PoisonEntry, CoalesceKeyHash> poison_;
+  std::size_t quarantine_active_ = 0;  // poison_ entries with quarantined set
   ServeStats stats_;
   bool stopped_ = false;
 
   WeightedFairQueue<std::shared_ptr<InFlight>> queue_;
   LatencySloProbe probe_;
-  std::unique_ptr<parallel::ThreadPool> pool_;
-  std::vector<std::future<void>> workers_;
+  util::RetryBudget retry_budget_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> retired_;  // detached workers, joined at stop()
 };
 
 }  // namespace celia::serve

@@ -1,0 +1,114 @@
+#pragma once
+// serve::run_chaos_soak — the deterministic chaos-soak harness behind
+// bench/ext_chaos_soak and tests/serve_chaos_soak_test.
+//
+// One soak run drives a full self-healing serving stack — PlannerEngine
+// + CatalogWatchdog + PlannerService with quarantine, retry budget and
+// stall supervision — through thousands of simulated-clock ticks of
+// compounded adversity:
+//
+//   * seeded catalog price churn through the watchdog's feed path
+//     (PlannerEngine::add_catalog replace), with transient feed faults
+//     drawn from a cloud::ApiFaultModel and one long brownout window
+//     that starves the feed until staleness crosses the HARD cap;
+//   * a poison tenant whose query identity crashes every plan until a
+//     heal tick, exercising quarantine entry, backoff probes and
+//     recovery;
+//   * sustained 2x overload (submits_per_tick vs drains_per_tick) over a
+//     deliberately small queue, so watermark shedding runs hot the whole
+//     time;
+//   * an optional worker-stall phase on a second, threaded service: a
+//     hook-wedged worker is detached by check_workers(), its request
+//     fails typed kWorkerLost, and the respawned worker proves capacity
+//     recovered.
+//
+// Everything in the main soak reads one simulated clock and pure seeded
+// draws, so a run is a pure function of ChaosSoakOptions: the report's
+// `digest` folds every per-tick counter snapshot and MUST be
+// bit-identical across runs with the same options (the bench runs every
+// seed twice and diffs). The report also carries `violations` — the
+// liveness / bounded-staleness / counter-invariant / convergence checks
+// the soak asserts; an empty vector is a clean soak.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/health.hpp"
+#include "serve/planner_service.hpp"
+
+namespace celia::serve {
+
+struct ChaosSoakOptions {
+  std::uint64_t seed = 20260805;
+  /// Simulated ticks; the clock advances 1 s per tick.
+  std::size_t ticks = 5000;
+  /// Offered load vs service rate: 2x overload by default.
+  std::size_t submits_per_tick = 6;
+  std::size_t drains_per_tick = 3;
+  /// Distinct query identities in rotation (coalescing still collapses
+  /// repeats that are in flight together).
+  std::size_t demand_values = 96;
+  /// One feed delivery attempt (replace or fault) every this many ticks.
+  std::size_t feed_period_ticks = 10;
+  /// Per-delivery transient fault probability (ApiFaultModel draw).
+  double feed_fault_probability = 0.2;
+  /// Brownout window, as fractions of the run: inside it EVERY feed
+  /// delivery fails, so staleness climbs past the hard cap and the
+  /// service must shed typed instead of serving stale.
+  double brownout_start_fraction = 0.45;
+  double brownout_end_fraction = 0.55;
+  /// Watchdog budgets (seconds of simulated time).
+  double staleness_budget_seconds = 60.0;
+  double max_staleness_seconds = 200.0;
+  /// Poison-query quarantine policy under test.
+  int poison_strike_threshold = 3;
+  /// The poison identity stops crashing at this fraction of the run —
+  /// the soak then asserts the quarantine converges (probe succeeds,
+  /// entry cleared) before the end.
+  double poison_heal_fraction = 0.7;
+  /// Run the threaded worker-stall phase after the main soak.
+  bool stall_phase = true;
+};
+
+struct ChaosSoakReport {
+  /// FNV-1a fold of every per-tick counter snapshot (plus the final
+  /// stats). Bit-identical across runs of the same options.
+  std::uint64_t digest = 0;
+
+  /// Failed soak assertions, empty on a clean run.
+  std::vector<std::string> violations;
+
+  /// Final counters of the main soak's service / watchdog.
+  ServeStats serve;
+  WatchdogStats watchdog;
+
+  /// Terminal outcome tally across every future the soak ever held.
+  std::uint64_t outcomes_planned = 0;
+  std::uint64_t outcomes_failed = 0;
+  std::uint64_t outcomes_shed = 0;
+  std::uint64_t outcomes_quota = 0;
+  std::uint64_t outcomes_quarantined = 0;
+  std::uint64_t outcomes_worker_lost = 0;
+  /// Futures still unresolved after stop() — liveness demands 0.
+  std::uint64_t unresolved = 0;
+
+  /// Max staleness_us stamped on any ANSWERED (kPlanned) outcome; the
+  /// bounded-staleness contract demands <= max_staleness_seconds * 1e6.
+  std::uint64_t max_served_staleness_us = 0;
+  std::uint64_t degraded_answers = 0;  // answered with reason != kNone
+
+  /// Feed-side tallies.
+  std::uint64_t feed_deliveries = 0;
+  std::uint64_t feed_faults = 0;
+
+  /// Worker-stall phase results (stall_phase only).
+  std::size_t stall_restarts = 0;
+  bool stall_recovered = false;
+};
+
+/// Run one soak. Pure in its options for the main phase; the stall phase
+/// adds real threads but its counted outcomes are deterministic too.
+ChaosSoakReport run_chaos_soak(const ChaosSoakOptions& options = {});
+
+}  // namespace celia::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace celia::util {
@@ -87,6 +88,27 @@ CircuitBreaker::CircuitBreaker(Policy policy) : policy_(policy) {
       policy_.cooldown_jitter_fraction > 1.0)
     throw std::invalid_argument(
         "CircuitBreaker: cooldown_jitter_fraction outside [0, 1]");
+  if (!policy_.state_gauge.empty()) {
+    state_gauge_ = &obs::gauge(policy_.state_gauge,
+                               "circuit breaker state: 0 closed, 1 half-open, "
+                               "2 open");
+    state_gauge_->set(0.0);
+  }
+}
+
+void CircuitBreaker::export_state_locked() {
+  if (state_gauge_ == nullptr) return;
+  switch (state_) {
+    case State::kClosed:
+      state_gauge_->set(0.0);
+      break;
+    case State::kHalfOpen:
+      state_gauge_->set(1.0);
+      break;
+    case State::kOpen:
+      state_gauge_->set(2.0);
+      break;
+  }
 }
 
 void CircuitBreaker::open_locked(double now) {
@@ -107,6 +129,7 @@ void CircuitBreaker::open_locked(double now) {
   consecutive_failures_ = 0;
   probes_admitted_ = 0;
   probe_successes_ = 0;
+  export_state_locked();
 }
 
 bool CircuitBreaker::allow(double now) {
@@ -116,6 +139,7 @@ bool CircuitBreaker::allow(double now) {
     ++stats_.half_opened;
     probes_admitted_ = 0;
     probe_successes_ = 0;
+    export_state_locked();
   }
   switch (state_) {
     case State::kClosed:
@@ -143,6 +167,7 @@ void CircuitBreaker::record_success(double now) {
       ++stats_.closed;
       reopen_at_ = std::numeric_limits<double>::infinity();
       consecutive_failures_ = 0;
+      export_state_locked();
     }
     return;
   }
@@ -157,6 +182,101 @@ void CircuitBreaker::record_failure(double now) {
   }
   if (state_ == State::kOpen) return;  // late failure of an old request
   if (++consecutive_failures_ >= policy_.failure_threshold) open_locked(now);
+}
+
+// ---------------------------------------------------------- RetryBudget --
+
+RetryBudget::RetryBudget() : RetryBudget(Policy()) {}
+
+RetryBudget::RetryBudget(Policy policy) : policy_(policy) {
+  if (!std::isfinite(policy_.ratio) || policy_.ratio < 0)
+    throw std::invalid_argument("RetryBudget: ratio must be >= 0");
+  if (!std::isfinite(policy_.min_retries_per_second) ||
+      policy_.min_retries_per_second < 0)
+    throw std::invalid_argument(
+        "RetryBudget: min_retries_per_second must be >= 0");
+  if (!std::isfinite(policy_.window_seconds) || policy_.window_seconds < 1.0)
+    throw std::invalid_argument(
+        "RetryBudget: window_seconds must be finite and >= 1");
+  const auto slots = static_cast<std::size_t>(std::ceil(policy_.window_seconds));
+  deposited_.assign(slots, 0.0);
+  withdrawn_.assign(slots, 0.0);
+}
+
+void RetryBudget::advance_locked(double now) {
+  // Same non-decreasing clamp as TokenBucket: racing callers with skewed
+  // clock reads cannot roll the window backwards.
+  if (!started_) {
+    started_ = true;
+    current_second_ = static_cast<std::int64_t>(std::floor(now));
+    last_now_ = now;
+    return;
+  }
+  now = std::max(now, last_now_);
+  // Reserve accrual: min_retries_per_second tokens, capped at one window.
+  if (policy_.min_retries_per_second > 0) {
+    reserve_ = std::min(
+        policy_.min_retries_per_second * policy_.window_seconds,
+        reserve_ + (now - last_now_) * policy_.min_retries_per_second);
+  }
+  last_now_ = now;
+  const auto second = static_cast<std::int64_t>(std::floor(now));
+  const auto slots = static_cast<std::int64_t>(deposited_.size());
+  if (second - current_second_ >= slots) {
+    // Whole window expired at once.
+    std::fill(deposited_.begin(), deposited_.end(), 0.0);
+    std::fill(withdrawn_.begin(), withdrawn_.end(), 0.0);
+    deposited_sum_ = withdrawn_sum_ = 0.0;
+    current_second_ = second;
+    return;
+  }
+  while (current_second_ < second) {
+    ++current_second_;
+    auto& dep = deposited_[static_cast<std::size_t>(current_second_ % slots)];
+    auto& wd = withdrawn_[static_cast<std::size_t>(current_second_ % slots)];
+    deposited_sum_ -= dep;
+    withdrawn_sum_ -= wd;
+    dep = 0.0;
+    wd = 0.0;
+  }
+}
+
+void RetryBudget::deposit(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(now);
+  const auto slots = static_cast<std::int64_t>(deposited_.size());
+  deposited_[static_cast<std::size_t>(current_second_ % slots)] +=
+      policy_.ratio;
+  deposited_sum_ += policy_.ratio;
+  ++stats_.deposits;
+}
+
+bool RetryBudget::try_withdraw(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(now);
+  if (deposited_sum_ - withdrawn_sum_ >= 1.0) {
+    const auto slots = static_cast<std::int64_t>(withdrawn_.size());
+    withdrawn_[static_cast<std::size_t>(current_second_ % slots)] += 1.0;
+    withdrawn_sum_ += 1.0;
+    ++stats_.withdrawals;
+    return true;
+  }
+  if (reserve_ >= 1.0) {
+    reserve_ -= 1.0;
+    ++stats_.withdrawals;
+    return true;
+  }
+  ++stats_.vetoes;
+  return false;
+}
+
+double RetryBudget::balance(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // advance_locked mutates the rings; recompute without side effects by
+  // letting a const_cast'd advance run — the clamp keeps this monotone, so
+  // observing the balance is still a linearizable read.
+  const_cast<RetryBudget*>(this)->advance_locked(now);
+  return std::max(0.0, deposited_sum_ - withdrawn_sum_) + reserve_;
 }
 
 // ------------------------------------------------------- DeadlineBudget --

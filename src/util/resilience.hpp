@@ -8,8 +8,8 @@
 // instances with the same call sequence and they transition identically,
 // so a chaos schedule replays bit-for-bit from its seed.
 //
-// THREAD SAFETY: TokenBucket and CircuitBreaker are safe for concurrent
-// callers — every transition happens under an internal mutex, so the
+// THREAD SAFETY: TokenBucket, CircuitBreaker and RetryBudget are safe for
+// concurrent callers — every transition happens under an internal mutex, so the
 // serving layer can share one bucket per tenant and one breaker per
 // backend across its worker pool. Concurrent callers cannot order their
 // clock reads, so `now` is clamped internally to be non-decreasing (a
@@ -33,13 +33,25 @@
 //     nested retry loops: a child operation's budget can only shrink, and
 //     clamp_delay() caps every backoff sleep so no retry chain can ever
 //     overshoot the outermost caller's deadline.
+//   * RetryBudget — Finagle-style retry-amplification bound: each original
+//     request deposits `ratio` retry tokens into a sliding window, each
+//     retry withdraws one, so sustained retry traffic can never exceed
+//     `ratio` times the request rate no matter how aggressive the backoff
+//     policy is. A small reserve floor keeps low-traffic clients able to
+//     retry at all.
 
 #include <cstdint>
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "util/backoff.hpp"
+
+namespace celia::obs {
+class Gauge;
+}
 
 namespace celia::util {
 
@@ -101,6 +113,11 @@ class CircuitBreaker {
     /// outage wake up staggered. 0 disables.
     double cooldown_jitter_fraction = 0.0;
     std::uint64_t seed = 0;
+    /// When non-empty, every state transition is mirrored into the obs
+    /// gauge of this name (0 = closed, 1 = half-open, 2 = open), so the
+    /// breaker's position is readable from /metrics alone. The serving
+    /// layer's catalog-feed breaker uses `celia_resilience_breaker_state`.
+    std::string state_gauge;
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -150,6 +167,7 @@ class CircuitBreaker {
 
  private:
   void open_locked(double now);
+  void export_state_locked();
 
   mutable std::mutex mutex_;
   Policy policy_;
@@ -159,6 +177,75 @@ class CircuitBreaker {
   int probes_admitted_ = 0;
   int probe_successes_ = 0;
   double reopen_at_ = std::numeric_limits<double>::infinity();
+  obs::Gauge* state_gauge_ = nullptr;  // nullptr when Policy::state_gauge empty
+};
+
+/// Finagle-style retry budget over an explicit clock: each original
+/// request deposit()s `ratio` retry tokens that live for `window_seconds`;
+/// each retry must try_withdraw() one token first. Sustained retry rate is
+/// therefore bounded by ratio * request rate (plus the reserve floor),
+/// which is what keeps client retries from amplifying a brownout into a
+/// retry storm. Deterministic: no randomness, explicit clock, and `now`
+/// is clamped non-decreasing like TokenBucket's.
+class RetryBudget {
+ public:
+  struct Policy {
+    /// Retry tokens minted per deposited request (0 disables retries
+    /// entirely once the reserve is spent).
+    double ratio = 0.2;
+    /// Reserve accrual floor so a client with negligible traffic can
+    /// still probe: tokens per second, capped at one window's worth.
+    double min_retries_per_second = 0.0;
+    /// Sliding window (whole seconds) over which deposits stay live.
+    double window_seconds = 10.0;
+  };
+
+  struct Stats {
+    std::uint64_t deposits = 0;
+    std::uint64_t withdrawals = 0;  // granted retries
+    std::uint64_t vetoes = 0;       // try_withdraw() calls answered false
+  };
+
+  RetryBudget();
+  /// Throws std::invalid_argument on a malformed policy (negative or
+  /// non-finite fields, window < 1s).
+  explicit RetryBudget(Policy policy);
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Record one original (non-retry) request at `now`.
+  void deposit(double now);
+
+  /// Permission for ONE retry at `now`; false = the retry must be dropped
+  /// (the original failure is surfaced instead of amplified).
+  bool try_withdraw(double now);
+
+  /// Tokens currently withdrawable (deposit window balance + reserve).
+  double balance(double now) const;
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void advance_locked(double now);
+
+  mutable std::mutex mutex_;
+  Policy policy_;
+  // Per-second rings of deposited retry tokens and granted withdrawals.
+  // Both expire after window_seconds, so balance = deposits - withdrawals
+  // over the same sliding window.
+  std::vector<double> deposited_;
+  std::vector<double> withdrawn_;
+  double deposited_sum_ = 0.0;
+  double withdrawn_sum_ = 0.0;
+  double reserve_ = 0.0;
+  std::int64_t current_second_ = 0;
+  double last_now_ = 0.0;
+  bool started_ = false;
+  Stats stats_;
 };
 
 /// One deadline threaded through nested retries. Budgets only ever

@@ -316,6 +316,41 @@ TEST(ProvisionResilient, DeadlineBudgetCutsRetriesShort) {
   EXPECT_LE(outcome.finished_at, 5.0);
 }
 
+TEST(ProvisionResilient, RetryBudgetBoundsRetryAmplification) {
+  // Every call throttled: an unbudgeted loop burns max_attempts calls per
+  // instance; with an empty budget (ratio 0) every re-attempt is vetoed,
+  // so each chain stops after its first call instead of amplifying the
+  // outage.
+  ResilientProvisionOptions options;
+  options.api_faults = throttling_model(1.0, 31);
+  options.backoff.max_attempts = 6;
+  std::vector<int> counts(Catalog::ec2_table3().size(), 0);
+  counts[0] = 3;
+
+  CloudProvider baseline(29);
+  const ProvisionOutcome unbounded =
+      baseline.provision_resilient(counts, options);
+  EXPECT_FALSE(unbounded.complete);
+  EXPECT_EQ(unbounded.api.calls, 18u);  // 3 instances x 6 attempts
+  EXPECT_EQ(unbounded.api.retry_budget_vetoes, 0u);
+
+  celia::util::RetryBudget::Policy policy;
+  policy.ratio = 0.0;
+  celia::util::RetryBudget budget(policy);
+  options.retry_budget = &budget;
+  CloudProvider bounded(29);
+  const ProvisionOutcome vetoed =
+      bounded.provision_resilient(counts, options);
+  EXPECT_FALSE(vetoed.complete);
+  EXPECT_EQ(vetoed.instances.size(), 0u);
+  EXPECT_EQ(vetoed.api.calls, 3u);  // one original call per instance
+  EXPECT_EQ(vetoed.api.retry_budget_vetoes, 3u);
+  EXPECT_EQ(vetoed.shortfall[0], 3);
+  EXPECT_EQ(budget.stats().deposits, 3u);
+  EXPECT_EQ(budget.stats().withdrawals, 0u);
+  EXPECT_EQ(budget.stats().vetoes, 3u);
+}
+
 TEST(ProvisionResilient, RateLimiterSpacesCallsDeterministically) {
   ResilientProvisionOptions options;
   TokenBucket bucket(1.0, 0.5);  // one call per 2 simulated seconds

@@ -471,6 +471,96 @@ TEST(PlannerEngineDelta, ReplaceClassifiesAndCountsExactly) {
   EXPECT_EQ(planned_repriced.min_cost.cost, scratch_repriced.min_cost.cost);
 }
 
+TEST(PlannerEngineDelta, InjectedDeltaFaultLeavesTheEngineUntouched) {
+  obs::Counter& replaces =
+      obs::counter("celia_planner_engine_catalog_replaces_total");
+  obs::Counter& rescales =
+      obs::counter("celia_planner_engine_delta_rescale_total");
+  obs::Counter& axes = obs::counter("celia_planner_engine_delta_axis_total");
+  obs::Counter& rebuilds =
+      obs::counter("celia_planner_engine_delta_rebuild_total");
+
+  PlannerEngineOptions options;
+  int injected = 0;
+  options.delta_fault_injection = [&](std::size_t) {
+    ++injected;
+    throw std::runtime_error("injected delta fault");
+  };
+  PlannerEngine engine(options);
+  const auto anchor = std::make_shared<const Catalog>(base_catalog());
+  engine.add_catalog("cat", anchor);
+  const SweepResult before =
+      engine.plan("cat", base_capacity(), probe_query());
+  ASSERT_EQ(engine.num_cached_indexes(), 1u);
+  const std::size_t bytes_before = engine.cached_index_bytes();
+  const auto r0 = replaces.value(), s0 = rescales.value(),
+             a0 = axes.value(), b0 = rebuilds.value();
+
+  // The hook throws mid-derivation, after classification but before any
+  // commit. Strong exception safety: the throw propagates and the engine
+  // is EXACTLY as it was — snapshot, cache, byte accounting, counters.
+  const auto repriced = std::make_shared<const Catalog>(
+      anchor->with_price_multiplier("bump", "test", 1.05));
+  EXPECT_THROW(engine.add_catalog("cat", repriced, /*replace=*/true),
+               std::runtime_error);
+  EXPECT_EQ(injected, 1);
+  EXPECT_EQ(engine.catalog("cat")->fingerprint(), anchor->fingerprint());
+  EXPECT_EQ(engine.num_cached_indexes(), 1u);
+  EXPECT_EQ(engine.cached_index_bytes(), bytes_before);
+  EXPECT_EQ(replaces.value(), r0);
+  EXPECT_EQ(rescales.value(), s0);
+  EXPECT_EQ(axes.value(), a0);
+  EXPECT_EQ(rebuilds.value(), b0);
+
+  // The warm index still answers bit-identically to the pre-fault plan.
+  const SweepResult after =
+      engine.plan("cat", base_capacity(), probe_query());
+  EXPECT_EQ(after.feasible, before.feasible);
+  EXPECT_EQ(after.min_cost.config_index, before.min_cost.config_index);
+  EXPECT_EQ(after.min_cost.seconds, before.min_cost.seconds);
+  EXPECT_EQ(after.min_cost.cost, before.min_cost.cost);
+
+  // A structural replace takes the rebuild path, which never derives —
+  // the hook is not reached and the engine is not wedged by the earlier
+  // fault.
+  const auto grown = std::make_shared<const Catalog>(
+      anchor->with_limits("grown", "test",
+                          std::vector<int>{4, 4, 2, 3, 3, 2}));
+  engine.add_catalog("cat", grown, /*replace=*/true);
+  EXPECT_EQ(injected, 1);
+  EXPECT_EQ(engine.catalog("cat")->fingerprint(), grown->fingerprint());
+  EXPECT_EQ(replaces.value() - r0, 1u);
+  EXPECT_EQ(rebuilds.value() - b0, 1u);
+}
+
+TEST(PlannerEngineDelta, RepriceBandHeadroomGaugeTracksTheLatestAttempt) {
+  obs::Gauge& headroom =
+      obs::gauge("celia_frontier_reprice_band_headroom");
+  const FrontierIndex index = build_for(base_catalog());
+  const std::vector<double> anchor_hourly(
+      base_catalog().hourly_costs().begin(),
+      base_catalog().hourly_costs().end());
+
+  // Prices at the anchor: ratio spread exactly 1, full headroom.
+  ASSERT_TRUE(
+      index.repriced(std::span<const double>(anchor_hourly)).has_value());
+  EXPECT_DOUBLE_EQ(headroom.value(), 1.0);
+
+  // One type at 1.05x consumes half of the 1.10 band.
+  std::vector<double> half = anchor_hourly;
+  half[0] *= 1.05;
+  ASSERT_TRUE(index.repriced(std::span<const double>(half)).has_value());
+  EXPECT_NEAR(headroom.value(), 0.5, 1e-9);
+
+  // Outside the band: the delta refuses and the gauge goes negative —
+  // a /metrics reader sees the rebuild-fallback coming.
+  std::vector<double> outside = anchor_hourly;
+  outside[0] *= 1.5;
+  EXPECT_FALSE(
+      index.repriced(std::span<const double>(outside)).has_value());
+  EXPECT_LT(headroom.value(), 0.0);
+}
+
 TEST(PlannerEngineDelta, IdenticalSnapshotReplaceIsARescale) {
   obs::Counter& replaces =
       obs::counter("celia_planner_engine_catalog_replaces_total");

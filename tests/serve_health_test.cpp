@@ -1,0 +1,287 @@
+// Tests for serve::CatalogWatchdog (serve/health.hpp): staleness-driven
+// soft/hard transitions, the consecutive-feed-failure threshold, the
+// replace breaker's quarantine + cooldown re-admission, unknown-name and
+// implicit-track behavior, throwing replaces surfacing as feed failures
+// (with the engine's old snapshot still serving), and options validation.
+//
+// The suite is deliberately COUNTER-FREE: every assertion reads the
+// watchdog's own WatchdogStats / HealthReport snapshots, never the obs
+// registry, so it also runs in the obs-disabled CI build.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/catalog.hpp"
+#include "core/planner_engine.hpp"
+#include "core/query.hpp"
+#include "serve/health.hpp"
+
+namespace {
+
+using namespace celia::serve;
+using celia::cloud::Catalog;
+using celia::core::Constraints;
+using celia::core::PlannerEngine;
+using celia::core::PlannerEngineOptions;
+using celia::core::Query;
+using celia::core::ResourceCapacity;
+using celia::core::SweepOptions;
+
+/// A small 4-type feed snapshot; `multiplier` models price drift between
+/// deliveries (same structure, so replaces take the cheap rescale path).
+std::shared_ptr<const Catalog> snapshot(double multiplier = 1.0) {
+  const auto& table3 = Catalog::ec2_table3();
+  const Catalog base("feed", "test",
+                     std::vector<celia::cloud::InstanceType>{
+                         table3.types().begin(), table3.types().begin() + 4},
+                     std::vector<int>{2, 2, 2, 2});
+  if (multiplier == 1.0) return std::make_shared<const Catalog>(base);
+  return std::make_shared<const Catalog>(
+      base.with_price_multiplier("feed", "test", multiplier));
+}
+
+ResourceCapacity capacity_for(const Catalog& catalog) {
+  std::vector<double> per_vcpu(catalog.size());
+  for (std::size_t i = 0; i < per_vcpu.size(); ++i)
+    per_vcpu[i] = 1.1e9 + 3e7 * static_cast<double>(i);
+  return ResourceCapacity(std::move(per_vcpu), catalog);
+}
+
+Query probe_query() {
+  Constraints constraints;
+  constraints.deadline_seconds = 24 * 3600.0;
+  constraints.budget_dollars = 500.0;
+  SweepOptions options;
+  options.collect_pareto = false;
+  return Query::make(5e14, constraints, options);
+}
+
+void expect_stats_invariant(const CatalogWatchdog& watchdog) {
+  const WatchdogStats stats = watchdog.stats();
+  EXPECT_EQ(stats.updates_attempted, stats.updates_applied +
+                                         stats.update_failures +
+                                         stats.replaces_quarantined);
+}
+
+TEST(ServeHealth, StalenessDrivesSoftAndHardTransitions) {
+  PlannerEngine engine;
+  engine.add_catalog("feed", snapshot());
+  WatchdogOptions options;
+  options.staleness_budget_seconds = 10.0;
+  options.max_staleness_seconds = 50.0;
+  CatalogWatchdog watchdog(engine, options);
+  watchdog.track("feed", 0.0);
+
+  // Inside the soft budget (inclusive): healthy, fully serveable.
+  HealthReport fresh = watchdog.health("feed", 10.0);
+  EXPECT_FALSE(fresh.degraded);
+  EXPECT_EQ(fresh.reason, DegradeReason::kNone);
+  EXPECT_TRUE(fresh.serve_allowed);
+  EXPECT_DOUBLE_EQ(fresh.staleness_seconds, 10.0);
+  EXPECT_EQ(watchdog.degraded_count(), 0u);
+
+  // Past the soft budget: degraded but still answering.
+  HealthReport soft = watchdog.health("feed", 30.0);
+  EXPECT_TRUE(soft.degraded);
+  EXPECT_EQ(soft.reason, DegradeReason::kStaleFeed);
+  EXPECT_TRUE(soft.serve_allowed);
+  EXPECT_EQ(watchdog.degraded_count(), 1u);
+
+  // Past the hard cap: serve permission withdrawn.
+  HealthReport hard = watchdog.health("feed", 60.0);
+  EXPECT_EQ(hard.reason, DegradeReason::kStaleFeed);
+  EXPECT_FALSE(hard.serve_allowed);
+
+  // One successful delivery heals everything: staleness resets, the
+  // degraded -> healthy transition is counted exactly once.
+  EXPECT_TRUE(watchdog.apply_update("feed", snapshot(1.02), 61.0));
+  HealthReport healed = watchdog.health("feed", 62.0);
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_TRUE(healed.serve_allowed);
+  EXPECT_DOUBLE_EQ(watchdog.staleness_seconds("feed", 62.0), 1.0);
+  EXPECT_EQ(watchdog.degraded_count(), 0u);
+
+  const WatchdogStats stats = watchdog.stats();
+  EXPECT_EQ(stats.degraded_entries, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.stale_breaches, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  expect_stats_invariant(watchdog);
+}
+
+TEST(ServeHealth, ConsecutiveFeedFailuresDegradeAndOneSuccessHeals) {
+  PlannerEngine engine;
+  engine.add_catalog("feed", snapshot());
+  WatchdogOptions options;
+  options.feed_failure_threshold = 2;
+  CatalogWatchdog watchdog(engine, options);
+  watchdog.track("feed", 0.0);
+
+  watchdog.record_feed_failure("feed", 1.0);
+  EXPECT_FALSE(watchdog.health("feed", 1.0).degraded);
+
+  watchdog.record_feed_failure("feed", 2.0);
+  HealthReport failing = watchdog.health("feed", 2.0);
+  EXPECT_TRUE(failing.degraded);
+  EXPECT_EQ(failing.reason, DegradeReason::kFeedFailing);
+  EXPECT_EQ(failing.consecutive_failures, 2u);
+  // The snapshot itself is still fresh, so serving continues (degraded).
+  EXPECT_TRUE(failing.serve_allowed);
+
+  // One accepted delivery clears the streak.
+  EXPECT_TRUE(watchdog.apply_update("feed", snapshot(1.01), 3.0));
+  EXPECT_FALSE(watchdog.health("feed", 3.0).degraded);
+
+  const WatchdogStats stats = watchdog.stats();
+  EXPECT_EQ(stats.updates_attempted, 3u);
+  EXPECT_EQ(stats.update_failures, 2u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.stale_breaches, 0u);
+
+  // A failure report for an untracked name is a no-op, not a crash.
+  watchdog.record_feed_failure("nope", 4.0);
+  EXPECT_EQ(watchdog.stats().updates_attempted, 3u);
+  expect_stats_invariant(watchdog);
+}
+
+TEST(ServeHealth, BreakerQuarantinesReplacesAndCooldownReadmits) {
+  PlannerEngine engine;
+  engine.add_catalog("feed", snapshot());
+  WatchdogOptions options;
+  options.feed_failure_threshold = 99;  // isolate the breaker path
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_seconds = 30.0;
+  CatalogWatchdog watchdog(engine, options);
+  watchdog.track("feed", 0.0);
+
+  // Two throwing replaces (a null snapshot makes add_catalog throw) open
+  // the breaker.
+  EXPECT_FALSE(watchdog.apply_update("feed", nullptr, 1.0));
+  EXPECT_FALSE(watchdog.apply_update("feed", nullptr, 2.0));
+  HealthReport open = watchdog.health("feed", 3.0);
+  EXPECT_TRUE(open.degraded);
+  EXPECT_EQ(open.reason, DegradeReason::kFeedQuarantined);
+  EXPECT_FALSE(open.replaces_allowed);
+
+  // While open, even a GOOD replace is vetoed without touching the
+  // engine: the known-good snapshot keeps serving.
+  const std::uint64_t pinned = engine.catalog("feed")->fingerprint();
+  EXPECT_FALSE(watchdog.apply_update("feed", snapshot(1.03), 10.0));
+  EXPECT_EQ(engine.catalog("feed")->fingerprint(), pinned);
+  EXPECT_EQ(watchdog.stats().replaces_quarantined, 1u);
+
+  // Cooldown elapsed: the next delivery is the half-open probe; its
+  // success re-closes the breaker and the feed is re-admitted.
+  EXPECT_TRUE(watchdog.health("feed", 40.0).replaces_allowed);
+  EXPECT_TRUE(watchdog.apply_update("feed", snapshot(1.03), 40.0));
+  HealthReport healed = watchdog.health("feed", 40.0);
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_EQ(engine.catalog("feed")->fingerprint(),
+            snapshot(1.03)->fingerprint());
+
+  const WatchdogStats stats = watchdog.stats();
+  EXPECT_EQ(stats.updates_attempted, 4u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.update_failures, 2u);
+  EXPECT_EQ(stats.replaces_quarantined, 1u);
+  expect_stats_invariant(watchdog);
+}
+
+TEST(ServeHealth, StaleFeedOutranksQuarantineAsTheReason) {
+  PlannerEngine engine;
+  engine.add_catalog("feed", snapshot());
+  WatchdogOptions options;
+  options.staleness_budget_seconds = 5.0;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_seconds = 1e9;
+  CatalogWatchdog watchdog(engine, options);
+  watchdog.track("feed", 0.0);
+
+  EXPECT_FALSE(watchdog.apply_update("feed", nullptr, 1.0));  // breaker opens
+  // Both conditions hold at t=20 (stale AND quarantined); the stamped
+  // reason is the one the caller can act on first: the data's age.
+  HealthReport report = watchdog.health("feed", 20.0);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.reason, DegradeReason::kStaleFeed);
+  EXPECT_FALSE(report.replaces_allowed);
+}
+
+TEST(ServeHealth, UnknownNamesAreHealthyAndDeliveriesTrackImplicitly) {
+  PlannerEngine engine;
+  CatalogWatchdog watchdog(engine, WatchdogOptions{});
+
+  // An unwatched catalog must serve exactly like a service with no
+  // watchdog wired: healthy, serveable, zero staleness.
+  HealthReport unknown = watchdog.health("nope", 100.0);
+  EXPECT_FALSE(unknown.degraded);
+  EXPECT_TRUE(unknown.serve_allowed);
+  EXPECT_DOUBLE_EQ(unknown.staleness_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(watchdog.staleness_seconds("nope", 100.0), 0.0);
+
+  // The feed can start delivering before anyone called track().
+  EXPECT_TRUE(watchdog.apply_update("feed", snapshot(), 50.0));
+  EXPECT_DOUBLE_EQ(watchdog.staleness_seconds("feed", 55.0), 5.0);
+
+  // Re-tracking refreshes the timestamp and clears the failure streak.
+  watchdog.record_feed_failure("feed", 56.0);
+  watchdog.track("feed", 60.0);
+  EXPECT_EQ(watchdog.health("feed", 60.0).consecutive_failures, 0u);
+  EXPECT_DOUBLE_EQ(watchdog.staleness_seconds("feed", 61.0), 1.0);
+  expect_stats_invariant(watchdog);
+}
+
+TEST(ServeHealth, ThrowingReplaceIsAFeedFailureAndOldSnapshotStillServes) {
+  PlannerEngineOptions engine_options;
+  int injected = 0;
+  engine_options.delta_fault_injection = [&](std::size_t) {
+    ++injected;
+    throw std::runtime_error("injected delta fault");
+  };
+  PlannerEngine engine(engine_options);
+  const auto anchor = snapshot();
+  engine.add_catalog("feed", anchor);
+  // Warm one cached index so the replace actually derives (and throws).
+  const auto before =
+      engine.plan("feed", capacity_for(*anchor), probe_query());
+  ASSERT_EQ(engine.num_cached_indexes(), 1u);
+
+  CatalogWatchdog watchdog(engine, WatchdogOptions{});
+  watchdog.track("feed", 0.0);
+  EXPECT_FALSE(watchdog.apply_update("feed", snapshot(1.04), 1.0));
+  EXPECT_EQ(injected, 1);
+
+  // add_catalog's strong exception safety means the failure is purely a
+  // FEED event: old snapshot pinned, warm index intact, answers
+  // bit-identical.
+  EXPECT_EQ(engine.catalog("feed")->fingerprint(), anchor->fingerprint());
+  EXPECT_EQ(engine.num_cached_indexes(), 1u);
+  const auto after = engine.plan("feed", capacity_for(*anchor), probe_query());
+  EXPECT_EQ(after.min_cost.config_index, before.min_cost.config_index);
+  EXPECT_EQ(after.min_cost.seconds, before.min_cost.seconds);
+  EXPECT_EQ(after.min_cost.cost, before.min_cost.cost);
+
+  const WatchdogStats stats = watchdog.stats();
+  EXPECT_EQ(stats.update_failures, 1u);
+  EXPECT_EQ(watchdog.health("feed", 1.0).consecutive_failures, 1u);
+  expect_stats_invariant(watchdog);
+}
+
+TEST(ServeHealth, RejectsMalformedOptions) {
+  PlannerEngine engine;
+  WatchdogOptions options;
+  options.staleness_budget_seconds = -1.0;
+  EXPECT_THROW(CatalogWatchdog(engine, options), std::invalid_argument);
+  options = {};
+  options.staleness_budget_seconds = 100.0;
+  options.max_staleness_seconds = 50.0;  // hard cap below the soft budget
+  EXPECT_THROW(CatalogWatchdog(engine, options), std::invalid_argument);
+  options = {};
+  options.feed_failure_threshold = 0;
+  EXPECT_THROW(CatalogWatchdog(engine, options), std::invalid_argument);
+}
+
+}  // namespace

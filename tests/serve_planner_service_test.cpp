@@ -96,12 +96,13 @@ struct Harness {
 };
 
 void expect_invariant(const ServeStats& stats) {
-  EXPECT_EQ(stats.admitted + stats.shed + stats.rejected_quota,
+  EXPECT_EQ(stats.admitted + stats.shed + stats.rejected_quota +
+                stats.quarantined,
             stats.submitted);
   EXPECT_EQ(stats.shed_queue_full + stats.shed_slo + stats.shed_deadline +
-                stats.shed_shutdown,
+                stats.shed_shutdown + stats.shed_stale,
             stats.shed);
-  EXPECT_LE(stats.failed, stats.admitted);
+  EXPECT_LE(stats.failed + stats.worker_lost, stats.admitted);
 }
 
 TEST(PlannerService, PlansMatchTheEngineAndResolveOnDispatch) {
@@ -476,6 +477,258 @@ TEST(PlannerService, RejectsInconsistentOptions) {
   bad_quota.weight = 0.0;
   EXPECT_THROW(h.service->set_tenant_quota("t", bad_quota),
                std::invalid_argument);
+}
+
+TEST(PlannerService, WatchdogStampsStalenessAndShedsPastHardCap) {
+  PlannerEngine engine;
+  engine.add_catalog("alpha", alpha());
+  SimClock clock;
+  WatchdogOptions watchdog_options;
+  watchdog_options.staleness_budget_seconds = 10.0;
+  watchdog_options.max_staleness_seconds = 100.0;
+  CatalogWatchdog watchdog(engine, watchdog_options);
+  watchdog.track("alpha", 0.0);
+  ServiceOptions options = Harness::caller_driven();
+  options.clock = clock.fn();
+  options.watchdog = &watchdog;
+  PlannerService service(engine, options);
+
+  // Inside the soft budget: healthy, but the age is still stamped.
+  auto fresh = service.submit(request_for("t", 1e13));
+  clock.advance(5.0);
+  EXPECT_TRUE(service.drain_one());
+  {
+    const ServeOutcome outcome = fresh.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kPlanned);
+    EXPECT_EQ(outcome.degrade_reason, DegradeReason::kNone);
+    EXPECT_EQ(outcome.staleness_us, 5000000u);
+  }
+
+  // Past the soft budget: DEGRADED but still answered, reason stamped.
+  clock.advance(20.0);  // staleness 25 s
+  auto degraded = service.submit(request_for("t", 2e13));
+  EXPECT_TRUE(service.drain_one());
+  {
+    const ServeOutcome outcome = degraded.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kPlanned);
+    EXPECT_EQ(outcome.degrade_reason, DegradeReason::kStaleFeed);
+    EXPECT_EQ(outcome.staleness_us, 25000000u);
+  }
+
+  // Past the HARD cap: typed shed, never a silently ancient answer.
+  clock.advance(100.0);  // staleness 125 s
+  auto stale = service.submit(request_for("t", 3e13));
+  EXPECT_TRUE(service.drain_one());
+  {
+    const ServeOutcome outcome = stale.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kOverloaded);
+    EXPECT_EQ(outcome.shed_reason, ShedReason::kStaleCatalog);
+    EXPECT_EQ(outcome.staleness_us, 125000000u);
+  }
+
+  // Feed recovery re-admits serving with zero staleness.
+  ASSERT_TRUE(watchdog.apply_update("alpha", alpha(), 125.0));
+  auto recovered = service.submit(request_for("t", 4e13));
+  EXPECT_TRUE(service.drain_one());
+  {
+    const ServeOutcome outcome = recovered.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kPlanned);
+    EXPECT_EQ(outcome.degrade_reason, DegradeReason::kNone);
+    EXPECT_EQ(outcome.staleness_us, 0u);
+  }
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.shed_stale, 1u);
+  EXPECT_EQ(stats.admitted, 3u);
+  expect_invariant(stats);
+}
+
+TEST(PlannerService, PoisonQueryQuarantinesProbesAndRecovers) {
+  ServiceOptions options = Harness::caller_driven();
+  options.quarantine.strike_threshold = 2;
+  options.quarantine.base_seconds = 4.0;
+  options.quarantine.multiplier = 2.0;
+  options.quarantine.max_seconds = 64.0;
+  options.quarantine.jitter_fraction = 0.0;  // exact expiries for the test
+  bool poisoned = true;
+  constexpr double kPoison = 9e13;
+  options.before_plan_hook = [&poisoned](const PlanRequest& request) {
+    if (poisoned &&
+        request.query.demand_vector().values.front() == kPoison)
+      throw std::runtime_error("chaos: poison");
+  };
+  Harness h(options);
+
+  const auto dispatch_poison = [&h] {
+    auto future = h.service->submit(request_for("t", kPoison));
+    EXPECT_TRUE(h.service->drain_one());
+    return future.get();
+  };
+
+  // Two strikes quarantine the identity.
+  EXPECT_EQ(dispatch_poison().status, ServeStatus::kFailed);
+  EXPECT_EQ(dispatch_poison().status, ServeStatus::kFailed);
+
+  // Fast-fail without queueing or planning: typed kQuarantined.
+  auto rejected = h.service->submit(request_for("t", kPoison));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  {
+    const ServeOutcome outcome = rejected.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kQuarantined);
+    EXPECT_FALSE(outcome.error.empty());
+  }
+  EXPECT_EQ(h.service->queue_depth(), 0u);
+  // A DIFFERENT identity from the same tenant is unaffected.
+  auto innocent = h.service->submit(request_for("t", 1e13));
+  EXPECT_TRUE(h.service->drain_one());
+  EXPECT_EQ(innocent.get().status, ServeStatus::kPlanned);
+
+  // Expiry admits a probe; a failing probe re-quarantines with a longer
+  // backoff (episode 2: 8 s instead of 4 s).
+  h.clock.advance(4.0);
+  EXPECT_EQ(dispatch_poison().status, ServeStatus::kFailed);
+  EXPECT_EQ(h.service->submit(request_for("t", kPoison)).get().status,
+            ServeStatus::kQuarantined);
+  h.clock.advance(4.0);  // 4 of 8 s: still quarantined
+  EXPECT_EQ(h.service->submit(request_for("t", kPoison)).get().status,
+            ServeStatus::kQuarantined);
+
+  // The query heals: the next probe clears the entry for good.
+  h.clock.advance(4.0);
+  poisoned = false;
+  EXPECT_EQ(dispatch_poison().status, ServeStatus::kPlanned);
+  EXPECT_EQ(dispatch_poison().status, ServeStatus::kPlanned);
+
+  const ServeStats stats = h.service->stats();
+  EXPECT_EQ(stats.quarantine_entries, 2u);
+  EXPECT_EQ(stats.quarantine_recoveries, 1u);
+  EXPECT_EQ(stats.quarantined, 3u);
+  EXPECT_EQ(stats.failed, 3u);
+  expect_invariant(stats);
+}
+
+TEST(PlannerService, HardWallClockOverrunIsAStrikeEvenOnSuccess) {
+  PlannerEngine engine;
+  engine.add_catalog("alpha", alpha());
+  SimClock clock;
+  ServiceOptions options = Harness::caller_driven();
+  options.clock = clock.fn();
+  options.quarantine.strike_threshold = 1;
+  options.quarantine.hard_wall_clock_seconds = 0.5;
+  options.quarantine.jitter_fraction = 0.0;
+  // The plan "takes" one simulated second — over the 0.5 s bound.
+  auto time = clock.time;
+  options.before_plan_hook = [time](const PlanRequest&) { *time += 1.0; };
+  PlannerService service(engine, options);
+
+  auto slow = service.submit(request_for("t", 1e13));
+  EXPECT_TRUE(service.drain_one());
+  EXPECT_EQ(slow.get().status, ServeStatus::kPlanned);  // answered...
+  // ...but struck: the identity is quarantined.
+  auto rejected = service.submit(request_for("t", 1e13));
+  EXPECT_EQ(rejected.get().status, ServeStatus::kQuarantined);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.quarantine_entries, 1u);
+  expect_invariant(stats);
+}
+
+TEST(PlannerService, RetryBudgetBoundsPlanRetries) {
+  ServiceOptions options = Harness::caller_driven();
+  options.plan_retries = 1;
+  options.retry_budget.ratio = 0.5;  // one retry token per two dispatches
+  options.retry_budget.window_seconds = 10.0;
+  int attempts = 0;
+  options.before_plan_hook = [&attempts](const PlanRequest&) {
+    ++attempts;
+    throw std::runtime_error("chaos: engine down");
+  };
+  Harness h(options);
+
+  // Dispatch 1 deposits 0.5: its retry is VETOED (balance < 1).
+  auto first = h.service->submit(request_for("t", 1e13));
+  EXPECT_TRUE(h.service->drain_one());
+  EXPECT_EQ(first.get().status, ServeStatus::kFailed);
+  EXPECT_EQ(attempts, 1);
+
+  // Dispatch 2 tops the balance to 1.0: one budget-granted retry.
+  auto second = h.service->submit(request_for("t", 2e13));
+  EXPECT_TRUE(h.service->drain_one());
+  EXPECT_EQ(second.get().status, ServeStatus::kFailed);
+  EXPECT_EQ(attempts, 3);
+
+  const ServeStats stats = h.service->stats();
+  EXPECT_EQ(stats.plan_retries, 1u);
+  EXPECT_EQ(stats.retry_vetoes, 1u);
+  EXPECT_EQ(stats.failed, 2u);
+  expect_invariant(stats);
+}
+
+TEST(PlannerServiceConcurrent, StalledWorkerIsDetachedAndReplaced) {
+  PlannerEngine engine;
+  engine.add_catalog("alpha", alpha());
+  SimClock clock;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.worker_stall_seconds = 5.0;
+  options.clock = clock.fn();
+  std::promise<void> gate;
+  std::shared_future<void> wedge_until = gate.get_future().share();
+  options.before_plan_hook = [wedge_until](const PlanRequest& request) {
+    if (request.tenant == "wedge") wedge_until.wait();
+  };
+  PlannerService service(engine, options);
+
+  auto wedged = service.submit(request_for("wedge", 9e13));
+  while (service.busy_workers() == 0) std::this_thread::yield();
+  // Not stalled yet: the bound is 5 s and no simulated time has passed.
+  EXPECT_EQ(service.check_workers(), 0u);
+  EXPECT_NE(wedged.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  // Past the bound: the supervisor detaches the worker, fails the stuck
+  // request typed, and respawns a replacement.
+  clock.advance(10.0);
+  EXPECT_EQ(service.check_workers(), 1u);
+  {
+    const ServeOutcome outcome = wedged.get();
+    EXPECT_EQ(outcome.status, ServeStatus::kWorkerLost);
+    EXPECT_FALSE(outcome.error.empty());
+  }
+  // Capacity recovered: the replacement worker serves new requests while
+  // the detached thread is still wedged.
+  auto answered = service.submit(request_for("t", 1e13));
+  EXPECT_EQ(answered.get().status, ServeStatus::kPlanned);
+
+  gate.set_value();  // unwedge so stop() can join the detached thread
+  service.stop(PlannerService::StopMode::kDrain);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.worker_restarts, 1u);
+  EXPECT_EQ(stats.worker_lost, 1u);
+  expect_invariant(stats);
+}
+
+TEST(PlannerServiceConcurrent, DestructorDrainsInFlightRequestsTyped) {
+  // The TSan destructor-race pin for the end-to-end shutdown contract:
+  // destroying the service (stop(kDrain)) concurrently with mid-flight
+  // worker dispatches must answer every admitted future and join every
+  // thread — no leaks, no races, no hangs.
+  PlannerEngine engine;
+  engine.add_catalog("alpha", alpha());
+  std::vector<std::future<ServeOutcome>> futures;
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    PlannerService service(engine, options);
+    for (int i = 0; i < 16; ++i)
+      futures.push_back(service.submit(
+          request_for("t", 1e13 + static_cast<double>(i))));
+  }  // ~PlannerService runs while workers are mid-dispatch
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().status, ServeStatus::kPlanned);
+  }
 }
 
 TEST(PlannerServiceConcurrent, WorkerPoolServesRacingTenantsExactlyOnce) {

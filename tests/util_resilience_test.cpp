@@ -1,5 +1,5 @@
-// Tests for util/resilience.hpp: TokenBucket, CircuitBreaker and
-// DeadlineBudget — explicit-clock state machines, so every test drives
+// Tests for util/resilience.hpp: TokenBucket, CircuitBreaker, RetryBudget
+// and DeadlineBudget — explicit-clock state machines, so every test drives
 // simulated time by hand and asserts exact transition points.
 
 #include <gtest/gtest.h>
@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/resilience.hpp"
 
 namespace {
@@ -14,6 +15,7 @@ namespace {
 using celia::util::BackoffPolicy;
 using celia::util::CircuitBreaker;
 using celia::util::DeadlineBudget;
+using celia::util::RetryBudget;
 using celia::util::TokenBucket;
 
 // ---------------------------------------------------------- TokenBucket --
@@ -169,6 +171,98 @@ TEST(CircuitBreaker, RejectsBadPolicies) {
   policy = {};
   policy.cooldown_jitter_fraction = 1.5;
   EXPECT_THROW(CircuitBreaker{policy}, std::invalid_argument);
+}
+
+TEST(CircuitBreaker, ExportsStateTransitionsToTheNamedGauge) {
+  CircuitBreaker::Policy policy = two_strikes();
+  policy.state_gauge = "celia_resilience_breaker_state";
+  CircuitBreaker breaker(policy);
+#ifndef CELIA_OBS_DISABLED
+  // 0 = closed, 1 = half-open, 2 = open: the breaker's position is
+  // readable from /metrics alone, with no code path to its stats().
+  celia::obs::Gauge& gauge =
+      celia::obs::gauge("celia_resilience_breaker_state");
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);  // exported closed on construction
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  ASSERT_TRUE(breaker.allow(10.0));
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+  breaker.record_success(11.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+#else
+  // Obs compiled out: the gauge is a no-op but the breaker must still
+  // transition normally.
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+#endif
+}
+
+// ---------------------------------------------------------- RetryBudget --
+
+TEST(RetryBudget, RatioBoundsRetryAmplification) {
+  RetryBudget::Policy policy;
+  policy.ratio = 0.5;
+  RetryBudget budget(policy);
+  // Nothing deposited yet: every retry is vetoed.
+  EXPECT_FALSE(budget.try_withdraw(0.0));
+  budget.deposit(0.0);  // 0.5 tokens: still below one whole retry
+  EXPECT_FALSE(budget.try_withdraw(0.0));
+  budget.deposit(0.0);  // 1.0 token
+  EXPECT_TRUE(budget.try_withdraw(0.0));
+  EXPECT_FALSE(budget.try_withdraw(0.0));
+  const RetryBudget::Stats stats = budget.stats();
+  EXPECT_EQ(stats.deposits, 2u);
+  EXPECT_EQ(stats.withdrawals, 1u);
+  EXPECT_EQ(stats.vetoes, 3u);
+}
+
+TEST(RetryBudget, DepositsExpireWithTheSlidingWindow) {
+  RetryBudget::Policy policy;
+  policy.ratio = 1.0;
+  policy.window_seconds = 5.0;
+  RetryBudget budget(policy);
+  budget.deposit(0.0);
+  budget.deposit(0.0);
+  EXPECT_DOUBLE_EQ(budget.balance(0.0), 2.0);
+  // Inside the window the tokens stay live...
+  EXPECT_DOUBLE_EQ(budget.balance(4.0), 2.0);
+  // ...and vanish once the window slides past the deposit second: stale
+  // traffic cannot bankroll a retry storm later.
+  EXPECT_DOUBLE_EQ(budget.balance(6.0), 0.0);
+  EXPECT_FALSE(budget.try_withdraw(6.0));
+  budget.deposit(6.0);
+  EXPECT_TRUE(budget.try_withdraw(6.0));
+}
+
+TEST(RetryBudget, ReserveFloorKeepsLowTrafficClientsProbing) {
+  RetryBudget::Policy policy;
+  policy.ratio = 0.0;  // deposits mint nothing: only the reserve pays
+  policy.min_retries_per_second = 0.5;
+  RetryBudget budget(policy);
+  budget.deposit(0.0);  // starts the clock
+  EXPECT_FALSE(budget.try_withdraw(1.0));  // reserve at 0.5: not yet
+  EXPECT_TRUE(budget.try_withdraw(2.0));   // reserve reached 1.0
+  EXPECT_FALSE(budget.try_withdraw(2.0));  // ...and was spent
+  // The reserve caps at one window's worth no matter how long it idles.
+  EXPECT_DOUBLE_EQ(budget.balance(1000.0),
+                   policy.min_retries_per_second * policy.window_seconds);
+}
+
+TEST(RetryBudget, RejectsBadPolicies) {
+  RetryBudget::Policy policy;
+  policy.ratio = -0.1;
+  EXPECT_THROW(RetryBudget{policy}, std::invalid_argument);
+  policy = {};
+  policy.min_retries_per_second = -1.0;
+  EXPECT_THROW(RetryBudget{policy}, std::invalid_argument);
+  policy = {};
+  policy.window_seconds = 0.5;
+  EXPECT_THROW(RetryBudget{policy}, std::invalid_argument);
+  policy = {};
+  policy.ratio = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(RetryBudget{policy}, std::invalid_argument);
 }
 
 // ------------------------------------------------------- DeadlineBudget --
